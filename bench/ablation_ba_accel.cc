@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation beyond the paper's figures: which SLAM phases must an
+ * FPGA accelerate?  Section 5.2 reports the FPGA design accelerates
+ * the bundle adjustments and additionally integrates the eSLAM
+ * feature front end; this bench quantifies each choice's
+ * contribution to the end-to-end speedup (Amdahl structure).
+ */
+
+#include <cstdio>
+
+#include "platform/exec_model.hh"
+#include "util/regression.hh"
+#include "util/table.hh"
+
+using namespace dronedse;
+
+namespace {
+
+constexpr std::size_t kN =
+    static_cast<std::size_t>(SlamPhase::NumPhases);
+
+double
+speedupWith(const std::array<
+                PhaseWork,
+                static_cast<std::size_t>(SlamPhase::NumPhases)> &work,
+            const std::array<double, kN> &factors)
+{
+    const auto &rpi = platformSpec(PlatformKind::RPi);
+    double t_base = 0.0, t_acc = 0.0;
+    for (std::size_t p = 0; p < kN; ++p) {
+        const double base =
+            static_cast<double>(work[p].ops) / rpi.phaseThroughput[p];
+        t_base += base;
+        t_acc += base / factors[p];
+    }
+    return t_base / t_acc;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Ablation: which SLAM phases to accelerate ===\n\n");
+
+    struct Variant
+    {
+        const char *name;
+        std::array<double, kN> factors;
+    };
+    // Factors: feature, matching, tracking, local BA, global BA.
+    const Variant variants[] = {
+        {"none (RPi)", {1, 1, 1, 1, 1}},
+        {"BA only (40x)", {1, 1, 1, 40, 40}},
+        {"features only (eSLAM, 10x)", {10, 10, 1, 1, 1}},
+        {"BA + features (paper FPGA)", {12, 12, 12, 50, 50}},
+        {"BA + features, BA 100x", {12, 12, 12, 100, 100}},
+        {"everything 50x", {50, 50, 50, 50, 50}},
+    };
+
+    Table t({"accelerated phases", "MH01", "V201", "MH04", "geomean"});
+    const SequenceStats mh01 =
+        SlamPipeline::runSequence(findSequence("MH01"));
+    const SequenceStats v201 =
+        SlamPipeline::runSequence(findSequence("V201"));
+    const SequenceStats mh04 =
+        SlamPipeline::runSequence(findSequence("MH04"));
+
+    for (const auto &variant : variants) {
+        const double a = speedupWith(mh01.work, variant.factors);
+        const double b = speedupWith(v201.work, variant.factors);
+        const double c = speedupWith(mh04.work, variant.factors);
+        t.addRow({variant.name, fmt(a, 1) + "x", fmt(b, 1) + "x",
+                  fmt(c, 1) + "x",
+                  fmt(geomean({a, b, c}), 1) + "x"});
+    }
+    t.print();
+
+    std::printf(
+        "\nReading (Amdahl): BA-only acceleration saturates around\n"
+        "5-8x because the un-accelerated front end dominates the\n"
+        "residue; feature-only acceleration is nearly useless on its\n"
+        "own.  Only the combination (the paper's FPGA: dense-matrix\n"
+        "BA pipeline + eSLAM front end) reaches the ~30x regime, and\n"
+        "further BA-only gains show diminishing end-to-end returns.\n");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Ablation beyond the paper's figures: repeat the Figure 10
+ * footprint analysis at TWR 2-4.  Section 7 states that higher TWR
+ * values yield a lower contribution of computation power; this bench
+ * quantifies that claim with the same model.
+ */
+
+#include <cstdio>
+
+#include "components/compute_board.hh"
+#include "dse/sweep.hh"
+#include "dse/weight_closure.hh"
+#include "util/table.hh"
+
+using namespace dronedse;
+
+int
+main()
+{
+    std::printf("=== Ablation: computation footprint vs TWR ===\n\n");
+
+    const auto &spec = classSpec(SizeClass::Medium);
+    Table t({"TWR", "best flight time (min)", "avg power (W)",
+             "20W compute share @hover", "20W compute share @maneuver"});
+
+    double prev_share = 1.0;
+    bool monotone = true;
+    for (double twr = 2.0; twr <= 4.0 + 1e-9; twr += 0.5) {
+        const DesignResult best =
+            bestConfiguration(spec, advancedChip20W(), 250.0, twr);
+        // Re-evaluate the same configuration while maneuvering.
+        DesignInputs man = best.inputs;
+        man.activity = FlightActivity::Maneuvering;
+        const DesignResult man_res = solveDesign(man);
+
+        t.addRow({fmt(twr, 1), fmt(best.flightTimeMin, 1),
+                  fmt(best.avgPowerW, 0),
+                  fmtPercent(best.computePowerFraction),
+                  fmtPercent(man_res.computePowerFraction)});
+
+        if (best.computePowerFraction > prev_share + 1e-9)
+            monotone = false;
+        prev_share = best.computePowerFraction;
+    }
+    t.print();
+
+    std::printf("\nShape check: compute share decreases with TWR "
+                "(paper Section 7) -> %s\n",
+                monotone ? "HOLDS" : "VIOLATED");
+    return 0;
+}

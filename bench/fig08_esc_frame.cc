@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 8 reproduction: (a) ESC max continuous current vs the
+ * weight of a set of four ESCs, long- vs short-flight designs;
+ * (b) frame wheelbase vs frame weight.
+ */
+
+#include <cstdio>
+
+#include "components/esc.hh"
+#include "components/frame.hh"
+#include "util/table.hh"
+
+using namespace dronedse;
+
+int
+main()
+{
+    std::printf("=== Figure 8a: ESC current vs 4x-ESC weight ===\n\n");
+
+    Rng rng(2021);
+    const auto esc_catalog = generateEscCatalog(rng);
+    std::printf("Synthetic survey: %zu ESCs (paper surveyed 40)\n\n",
+                esc_catalog.size());
+
+    const LinearFit long_refit =
+        fitEscCatalog(esc_catalog, EscClass::LongFlight);
+    const LinearFit short_refit =
+        fitEscCatalog(esc_catalog, EscClass::ShortFlight);
+    std::printf("long-flight : paper y = 4.9678x - 15.757 | "
+                "refit y = %.4fx + %.3f (R^2 %.3f)\n",
+                long_refit.slope, long_refit.intercept,
+                long_refit.rSquared);
+    std::printf("short-flight: paper y = 1.2269x + 11.816 | "
+                "refit y = %.4fx + %.3f (R^2 %.3f)\n\n",
+                short_refit.slope, short_refit.intercept,
+                short_refit.rSquared);
+
+    Table esc({"max current (A)", "long-flight 4x (g)",
+               "short-flight 4x (g)"});
+    for (double current = 10.0; current <= 90.0; current += 10.0) {
+        esc.addRow({fmt(current, 0),
+                    fmt(escSetWeightG(current, EscClass::LongFlight), 0),
+                    fmt(escSetWeightG(current, EscClass::ShortFlight),
+                        0)});
+    }
+    esc.print();
+
+    std::printf("\n=== Figure 8b: frame wheelbase vs weight ===\n\n");
+    const auto frame_catalog = generateFrameCatalog(rng);
+    std::printf("Synthetic survey: %zu frames (paper surveyed 25)\n",
+                frame_catalog.size());
+    const LinearFit frame_refit = fitFrameCatalog(frame_catalog);
+    std::printf("paper fit (x > 200): y = 1.2767x - 167.6 | "
+                "refit y = %.4fx + %.1f\n\n",
+                frame_refit.slope, frame_refit.intercept);
+
+    Table frames({"wheelbase (mm)", "frame weight (g)", "max prop (in)"});
+    for (double wb : {50.0, 100.0, 150.0, 200.0, 300.0, 450.0, 600.0,
+                      800.0, 1000.0}) {
+        frames.addRow({fmt(wb, 0), fmt(frameWeightG(wb), 0),
+                       fmt(maxPropDiameterIn(wb), 1)});
+    }
+    frames.print();
+
+    std::printf("\nNamed survey frames:\n");
+    for (const auto &rec : frame_catalog) {
+        if (rec.name.rfind("Frame-", 0) == 0)
+            continue;
+        std::printf("  %-20s %6.0f mm  %6.0f g\n", rec.name.c_str(),
+                    rec.wheelbaseMm, rec.weightG);
+    }
+    return 0;
+}

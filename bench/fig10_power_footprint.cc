@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Figure 10 reproduction.
+ *
+ * Top row (a-c): total power consumption vs all-up weight for the
+ * 100/450/800 mm classes with 1S/3S/6S battery families, the best
+ * configuration's flight time, and the commercial validation points.
+ *
+ * Bottom row (d-f): computation power as % of total for 3 W and 20 W
+ * chips, hovering and maneuvering.
+ */
+
+#include <cstdio>
+
+#include "components/compute_board.hh"
+#include "dse/sweep.hh"
+#include "util/table.hh"
+
+using namespace dronedse;
+
+namespace {
+
+void
+printPowerPanel(SizeClass cls)
+{
+    const auto &spec = classSpec(cls);
+    std::printf("--- Figure 10 (%s): power vs weight ---\n", spec.label);
+
+    Table t({"weight (g)", "1S power (W)", "3S power (W)",
+             "6S power (W)"});
+    // Collect per-cells series and bucket them on the weight axis.
+    const double bucket = (spec.weightAxisHiG - spec.weightAxisLoG) / 12.0;
+    for (double w = spec.weightAxisLoG; w <= spec.weightAxisHiG + 1e-9;
+         w += bucket) {
+        std::vector<std::string> row{fmt(w, 0)};
+        for (int cells : {1, 3, 6}) {
+            const auto series =
+                sweepCapacity(spec, cells, 100.0, basicChip3W());
+            std::string cell = "-";
+            double best_delta = bucket / 2.0;
+            for (const auto &res : series) {
+                const double d = std::abs(res.totalWeightG - w);
+                if (d < best_delta) {
+                    best_delta = d;
+                    cell = fmt(res.avgPowerW, 0);
+                }
+            }
+            row.push_back(cell);
+        }
+        t.addRow(row);
+    }
+    t.print();
+
+    const DesignResult best = bestConfiguration(spec, basicChip3W());
+    std::printf("Best configuration: %.0f mAh %dS, %.0f g -> "
+                "%.1f min flight time (paper: %.0f min)\n",
+                best.inputs.capacityMah, best.inputs.cells,
+                best.totalWeightG, best.flightTimeMin,
+                spec.paperBestFlightTimeMin);
+
+    std::printf("Commercial validation points:\n");
+    for (const auto &drone : commercialDronesInClass(cls)) {
+        std::printf("  %-15s %6.0f g  implied hover %.0f W, "
+                    "%.0f min\n",
+                    drone.name.c_str(), drone.weightG,
+                    drone.impliedHoverPowerW(), drone.flightTimeMin);
+    }
+    std::printf("\n");
+}
+
+void
+printFootprintPanel(SizeClass cls)
+{
+    const auto &spec = classSpec(cls);
+    std::printf("--- Figure 10 (%s): %% computation power ---\n",
+                spec.label);
+
+    Table t({"weight (g)", "20W @hover", "20W @maneuver", "3W @hover",
+             "3W @maneuver"});
+    const double bucket = (spec.weightAxisHiG - spec.weightAxisLoG) / 10.0;
+    for (double w = spec.weightAxisLoG; w <= spec.weightAxisHiG + 1e-9;
+         w += bucket) {
+        std::vector<std::string> row{fmt(w, 0)};
+        for (const auto &board : {advancedChip20W(), basicChip3W()}) {
+            for (FlightActivity act : {FlightActivity::Hovering,
+                                       FlightActivity::Maneuvering}) {
+                // Best (lowest-power) feasible design at this weight
+                // across battery families, as in the paper's
+                // procedure.
+                double best_frac = -1.0, best_power = 1e18;
+                for (int cells : {1, 2, 3, 4, 5, 6}) {
+                    const auto series =
+                        sweepCapacity(spec, cells, 100.0, board, act);
+                    for (const auto &res : series) {
+                        if (std::abs(res.totalWeightG - w) <
+                                bucket / 2.0 &&
+                            res.avgPowerW < best_power) {
+                            best_power = res.avgPowerW;
+                            best_frac = res.computePowerFraction;
+                        }
+                    }
+                }
+                row.push_back(best_frac < 0.0 ? "-"
+                                              : fmtPercent(best_frac));
+            }
+        }
+        t.addRow(row);
+    }
+    t.print();
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figure 10: total power and computation "
+                "footprint ===\n\n");
+    for (SizeClass cls :
+         {SizeClass::Small, SizeClass::Medium, SizeClass::Large})
+        printPowerPanel(cls);
+    for (SizeClass cls :
+         {SizeClass::Small, SizeClass::Medium, SizeClass::Large})
+        printFootprintPanel(cls);
+
+    std::printf("Headline claims (Section 3.2):\n"
+                "  - 3 W chips contribute < 5%% of total power\n"
+                "  - 20 W systems drop to ~10%% when maneuvering\n"
+                "  - medium/large drones: compute savings gain up to "
+                "~+2 min\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 15 reproduction: performance counters for the autopilot,
+ * SLAM, and autopilot co-scheduled with SLAM on one RPi-class core
+ * (IPC, LLC miss rate, branch miss rate) plus the TLB-miss headline
+ * (Section 5.1: "SLAM causes 4.5x as many TLB misses as the
+ * autopilot alone").
+ */
+
+#include <cstdio>
+
+#include "uarch/core.hh"
+#include "util/table.hh"
+
+using namespace dronedse;
+
+int
+main()
+{
+    std::printf("=== Figure 15: autopilot vs SLAM contention ===\n\n");
+
+    const std::uint64_t n = 3000000;
+
+    PerfCounters autopilot_alone, slam_alone;
+    {
+        CorePlatform platform;
+        TraceGenerator gen(autopilotProfile(), 1);
+        autopilot_alone = runAlone(gen, n, platform);
+    }
+    {
+        CorePlatform platform;
+        TraceGenerator gen(slamProfile(), 2);
+        slam_alone = runAlone(gen, n, platform);
+    }
+    CoScheduleResult co;
+    {
+        CorePlatform platform;
+        TraceGenerator ap(autopilotProfile(), 1);
+        TraceGenerator sl(slamProfile(), 2);
+        co = coSchedule(ap, sl, n, kDefaultSliceInstructions,
+                        platform);
+    }
+
+    Table t({"workload", "IPC", "LLC miss rate", "branch miss rate",
+             "TLB misses / kinst"});
+    auto row = [&](const char *name, const PerfCounters &c) {
+        t.addRow({name, fmt(c.ipc(), 3), fmtPercent(c.llcMissRate()),
+                  fmtPercent(c.branchMissRate()),
+                  fmt(1000.0 * static_cast<double>(c.tlbMisses) /
+                          static_cast<double>(c.instructions),
+                      2)});
+    };
+    row("Autopilot", autopilot_alone);
+    row("SLAM", slam_alone);
+    row("Autopilot w/ SLAM", co.first);
+    row("SLAM w/ Autopilot", co.second);
+    t.print();
+
+    const double tlb_ratio =
+        static_cast<double>(co.first.tlbMisses) /
+        static_cast<double>(autopilot_alone.tlbMisses);
+    const double ipc_ratio = autopilot_alone.ipc() / co.first.ipc();
+    std::printf(
+        "\nHeadlines vs paper Section 5.1:\n"
+        "  autopilot TLB misses with SLAM: %.2fx (paper ~4.5x)\n"
+        "  autopilot IPC drop with SLAM:   %.2fx (paper ~1.7x)\n"
+        "  LLC / branch miss rates rise with SLAM: %s\n",
+        tlb_ratio, ipc_ratio,
+        (co.first.llcMissRate() > autopilot_alone.llcMissRate() &&
+         co.first.branchMissRate() > autopilot_alone.branchMissRate())
+            ? "HOLDS"
+            : "VIOLATED");
+    std::printf("\nConclusion (paper): heavy outer-loop workloads on "
+                "the shared core lag the autopilot;\nthe inner loop "
+                "needs its dedicated processor and the heavy work "
+                "wants offload.\n");
+    return 0;
+}

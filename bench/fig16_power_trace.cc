@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 16 reproduction: (a) RPi power across the bench/flight
+ * phases; (b) whole-drone power through a simulated measurement
+ * flight (idle, takeoff, hover, maneuvering, landing).
+ */
+
+#include <cstdio>
+
+#include "power/board_power.hh"
+#include "power/drone_power.hh"
+#include "util/table.hh"
+
+using namespace dronedse;
+
+int
+main()
+{
+    std::printf("=== Figure 16a: RPi power during the mission ===\n\n");
+    const auto script = figure16aScript();
+    const PowerTrace board = boardPowerTrace(script);
+
+    Table a({"phase", "start (s)", "mean (W)", "max (W)"});
+    for (std::size_t i = 0; i < board.phases.size(); ++i) {
+        const double t0 = board.phases[i].first;
+        const double t1 = i + 1 < board.phases.size()
+                              ? board.phases[i + 1].first
+                              : board.samples.back().t;
+        a.addRow({board.phases[i].second, fmt(t0, 0),
+                  fmt(board.meanW(t0, t1), 2),
+                  fmt(board.maxW(t0, t1), 2)});
+    }
+    a.print();
+    std::printf("\nPaper measurements: autopilot 3.39 W; +SLAM idle "
+                "4.05 W; +SLAM flying 4.56 W avg (5 W peak).\n");
+
+    std::printf("\n=== Figure 16b: whole-drone power in flight ===\n\n");
+    const FlightPowerResult flight = flyMeasurementFlight();
+
+    Table b({"phase", "start (s)"});
+    for (const auto &[t0, label] : flight.trace.phases)
+        b.addRow({label, fmt(t0, 1)});
+    b.print();
+
+    std::printf("\nflight mean: %.0f W (paper: ~130 W average)\n",
+                flight.flightMeanW);
+    std::printf("hover mean:  %.0f W\n", flight.hoverMeanW);
+    std::printf("maneuver peak: %.0f W (paper: up to ~250 W)\n",
+                flight.maneuverPeakW);
+    std::printf("energy drawn: %.1f Wh, final SoC %.0f%%, stable=%s\n",
+                flight.energyDrawnWh, 100.0 * flight.finalSoc,
+                flight.stableFlight ? "yes" : "NO");
+
+    // A coarse ASCII strip chart of the whole-drone trace.
+    std::printf("\npower trace (1 char per 2 s, ~28 W per step):\n");
+    double t_next = 0.0;
+    std::string strip;
+    for (const auto &s : flight.trace.samples) {
+        if (s.t >= t_next) {
+            const int level =
+                std::min(9, static_cast<int>(s.powerW / 28.0));
+            strip += static_cast<char>('0' + level);
+            t_next += 2.0;
+        }
+    }
+    std::printf("%s\n", strip.c_str());
+    return 0;
+}

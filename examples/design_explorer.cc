@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Design explorer: sweep wheelbase x battery x compute board and
+ * print the Pareto frontier of flight time vs onboard compute power.
+ *
+ * A point is Pareto-optimal when no other design offers both more
+ * flight time and more compute capability.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "components/compute_board.hh"
+#include "dse/sweep.hh"
+#include "dse/weight_closure.hh"
+#include "util/table.hh"
+
+using namespace dronedse;
+
+int
+main()
+{
+    std::printf("=== Design explorer: flight time vs compute ===\n\n");
+
+    std::vector<DesignResult> points;
+    for (const auto &board : computeBoardTable()) {
+        for (SizeClass cls :
+             {SizeClass::Small, SizeClass::Medium, SizeClass::Large}) {
+            const auto &spec = classSpec(cls);
+            const DesignResult best =
+                bestConfiguration(spec, board, 500.0);
+            points.push_back(best);
+        }
+    }
+
+    // Pareto filter: maximize (flightTimeMin, compute.powerW).
+    std::vector<const DesignResult *> pareto;
+    for (const auto &p : points) {
+        bool dominated = false;
+        for (const auto &q : points) {
+            if (q.flightTimeMin > p.flightTimeMin + 1e-9 &&
+                q.inputs.compute.powerW >= p.inputs.compute.powerW) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            pareto.push_back(&p);
+    }
+
+    Table t({"frontier design", "compute board", "compute (W)",
+             "weight (g)", "flight time (min)"});
+    for (const auto *p : pareto) {
+        t.addRow({fmt(p->inputs.wheelbaseMm, 0) + "mm " +
+                      std::to_string(p->inputs.cells) + "S " +
+                      fmt(p->inputs.capacityMah, 0) + "mAh",
+                  p->inputs.compute.name, fmt(p->inputs.compute.powerW, 1),
+                  fmt(p->totalWeightG, 0), fmt(p->flightTimeMin, 1)});
+    }
+    t.print();
+
+    std::printf("\n%zu candidate designs, %zu on the frontier.\n"
+                "Reading: each extra watt of onboard compute costs "
+                "flight time;\nthe frontier shows the best achievable "
+                "trade at every capability level.\n",
+                points.size(), pareto.size());
+    return 0;
+}

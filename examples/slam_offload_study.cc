@@ -1,0 +1,84 @@
+/**
+ * @file
+ * SLAM offload study: run the pipeline on a synthetic sequence,
+ * time it on every Table 5 platform, convert the power deltas into
+ * flight time with the DSE model, and pick a platform — the
+ * decision procedure of the paper's Section 5.
+ */
+
+#include <cstdio>
+
+#include "dse/footprint.hh"
+#include "dse/weight_closure.hh"
+#include "platform/exec_model.hh"
+#include "platform/offload.hh"
+#include "slam/pipeline.hh"
+#include "util/table.hh"
+
+using namespace dronedse;
+
+int
+main()
+{
+    std::printf("=== SLAM offload study ===\n\n");
+
+    // 1. Run the actual pipeline on one sequence and measure work.
+    const SequenceSpec &spec = findSequence("V101");
+    std::printf("running ORB-style SLAM on %s (%d frames)...\n",
+                spec.name.c_str(), spec.frames);
+    const SequenceStats stats = SlamPipeline::runSequence(spec);
+    std::printf("  tracked %d/%d frames, %d keyframes, %d map "
+                "points, ATE %.2f m\n\n",
+                stats.trackedFrames, stats.frames, stats.keyframes,
+                stats.mapPoints, stats.ateRmseM);
+
+    // 2. Time that work on every platform.
+    Table t({"platform", "total (s)", "fps", "speedup", "power (W)",
+             "meets 20 fps camera?"});
+    const PlatformTimes rpi = timeOnPlatform(stats.work,
+                                             PlatformKind::RPi);
+    for (const auto &spec_p : allPlatforms()) {
+        const PlatformTimes pt = timeOnPlatform(stats.work,
+                                                spec_p.kind);
+        const double fps = stats.frames / pt.totalSeconds;
+        t.addRow({spec_p.name, fmt(pt.totalSeconds, 2),
+                  fmt(fps, 0),
+                  fmt(rpi.totalSeconds / pt.totalSeconds, 2) + "x",
+                  fmt(spec_p.powerOverheadW, 3),
+                  fps >= 20.0 ? "yes" : "no"});
+    }
+    t.print();
+
+    // 3. Convert the power deltas into flight time on a concrete
+    // drone design (450 mm, TX2-class CPU/GPU today).
+    std::printf("\nflight-time impact on a 450 mm drone (DSE "
+                "closure, weight feedback included):\n");
+    DesignInputs in;
+    in.wheelbaseMm = 450.0;
+    in.cells = 3;
+    in.capacityMah = 5000.0;
+    in.compute = {"CPU/GPU (TX2-class)", BoardClass::Improved, 85.0,
+                  10.0};
+    const DesignResult base = solveDesign(in);
+    std::printf("  baseline: %.1f min at %.0f W\n", base.flightTimeMin,
+                base.avgPowerW);
+    for (const auto &spec_p : allPlatforms()) {
+        if (spec_p.kind == PlatformKind::TX2)
+            continue;
+        const double gain = platformSwapGainMin(
+            in, spec_p.powerOverheadW - 10.0,
+            spec_p.weightOverheadG - 85.0);
+        std::printf("  offload to %-4s : %+5.2f min\n",
+                    spec_p.name.c_str(), gain);
+    }
+
+    // 4. The recommendation, per the paper's Table 5 logic.
+    const Figure17Data fig17 = runFigure17(80);
+    const auto table = assessOffload(fig17.geomeanSpeedup);
+    std::printf("\nrecommended platform: %s\n",
+                recommendPlatform(table, true).spec.name.c_str());
+    std::printf("(paper: FPGA — the ASIC's extra seconds cannot "
+                "justify fabrication cost,\nand the TX2 costs "
+                "flight time outright)\n");
+    return 0;
+}

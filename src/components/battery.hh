@@ -1,0 +1,90 @@
+/**
+ * @file
+ * LiPo battery records, catalog, and weight model (paper Figure 7).
+ *
+ * The paper surveys 250 commercial LiPo packs and fits, per cell
+ * count, a linear relationship between capacity (mAh) and weight (g).
+ * We embed those published fits, synthesize a catalog of packs
+ * scattered around them, and provide a fitter path that re-derives
+ * the lines from the catalog (the survey -> fit -> model pipeline).
+ */
+
+#ifndef DRONEDSE_COMPONENTS_BATTERY_HH
+#define DRONEDSE_COMPONENTS_BATTERY_HH
+
+#include <string>
+#include <vector>
+
+#include "util/regression.hh"
+#include "util/rng.hh"
+
+namespace dronedse {
+
+/** One commercial LiPo battery pack. */
+struct BatteryRecord
+{
+    std::string name;
+    /** Series cell count (1S..6S). */
+    int cells = 1;
+    /** Capacity in mAh. */
+    double capacityMah = 0.0;
+    /** Pack weight in grams, including case/wires/protection. */
+    double weightG = 0.0;
+    /** Discharge C rating (max continuous current = C * Ah). */
+    double dischargeC = 25.0;
+
+    /** Nominal pack voltage (3.7 V/cell). */
+    double nominalVoltage() const;
+
+    /** Stored energy in watt-hours at nominal voltage. */
+    double energyWh() const;
+
+    /** Maximum continuous discharge current in amperes. */
+    double maxContinuousCurrentA() const;
+};
+
+/** Smallest and largest cell counts covered by the survey. */
+inline constexpr int kMinCells = 1;
+inline constexpr int kMaxCells = 6;
+
+/**
+ * Published capacity->weight fit for a given cell count
+ * (Figure 7 legend, e.g. 6S: y = 0.116x + 159.117).
+ */
+LinearFit paperBatteryFit(int cells);
+
+/**
+ * Weight (g) of the lightest commercial pack of the given capacity
+ * and cell count, from the published fit.
+ */
+double batteryWeightG(int cells, double capacity_mah);
+
+/**
+ * Battery capacity (mAh) reachable at a given pack weight for a cell
+ * count (the fit inverted); returns 0 when the weight is below the
+ * fit's intercept.
+ */
+double batteryCapacityAtWeight(int cells, double weight_g);
+
+/**
+ * Synthesize a catalog of commercial packs scattered around the
+ * published fits.
+ *
+ * @param rng Seeded generator (catalog is deterministic per seed).
+ * @param packs_per_config Packs per cell count (default gives ~250
+ *        packs in total, matching the paper's survey size).
+ */
+std::vector<BatteryRecord>
+generateBatteryCatalog(Rng &rng, int packs_per_config = 42);
+
+/**
+ * Re-fit capacity vs weight from catalog entries of one cell count.
+ * Used by tests/benches to confirm the survey pipeline reproduces
+ * the published coefficients.
+ */
+LinearFit fitBatteryCatalog(const std::vector<BatteryRecord> &catalog,
+                            int cells);
+
+} // namespace dronedse
+
+#endif // DRONEDSE_COMPONENTS_BATTERY_HH

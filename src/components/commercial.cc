@@ -1,0 +1,81 @@
+#include "components/commercial.hh"
+
+#include "physics/loads.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace dronedse {
+
+double
+CommercialDrone::impliedHoverPowerW() const
+{
+    return batteryWh * kLipoDrainLimit / flightTimeMin * 60.0;
+}
+
+double
+CommercialDrone::impliedManeuverPowerW() const
+{
+    return impliedHoverPowerW() * kManeuverLoadFraction /
+           kHoverLoadFraction;
+}
+
+const std::vector<CommercialDrone> &
+commercialDroneTable()
+{
+    // Values from the manufacturers' published spec sheets as cited
+    // in the paper [33, 52-56, 69, 70].
+    static const std::vector<CommercialDrone> table = {
+        // Figure 10a ("100 mm" small class) points.
+        {"Parrot Anafi", SizeClass::Small, 320.0, 20.7, 25.0, true, 5.0},
+        {"DJI SPARK", SizeClass::Small, 300.0, 16.9, 16.0, true, 6.0},
+        {"DJI MAVIC", SizeClass::Small, 734.0, 43.6, 27.0, false, 7.0},
+        {"DJI MAVIC Air", SizeClass::Small, 430.0, 27.4, 21.0, true,
+         7.0},
+        {"Parrot Bebop 2", SizeClass::Small, 500.0, 30.0, 25.0, true,
+         6.5},
+        {"SKYDIO 2", SizeClass::Small, 775.0, 45.2, 23.0, true, 12.0},
+        // Figure 10b (450 mm class) points.  "Our Drone" is the
+        // paper's open-source build (Figure 14 parts sum).
+        {"Our Drone", SizeClass::Medium, 1071.0, 33.3, 15.0, false,
+         4.56},
+        {"DJI Phantom 4", SizeClass::Medium, 1380.0, 81.3, 28.0, false,
+         8.0},
+        // Figure 10c (800 mm class) points.
+        {"DJI MATRICE", SizeClass::Large, 2355.0, 99.9, 22.0, false,
+         10.0},
+        // Figure 11 only.
+        {"Parrot Mambo", SizeClass::Small, 63.0, 2.44, 9.0, true, 1.5},
+    };
+    return table;
+}
+
+std::vector<CommercialDrone>
+commercialDronesInClass(SizeClass size_class)
+{
+    std::vector<CommercialDrone> out;
+    for (const auto &d : commercialDroneTable())
+        if (d.sizeClass == size_class)
+            out.push_back(d);
+    return out;
+}
+
+std::vector<CommercialDrone>
+figure11Drones()
+{
+    std::vector<CommercialDrone> out;
+    for (const auto &d : commercialDroneTable())
+        if (d.inFigure11)
+            out.push_back(d);
+    return out;
+}
+
+const CommercialDrone &
+findCommercialDrone(const std::string &name)
+{
+    for (const auto &d : commercialDroneTable())
+        if (d.name == name)
+            return d;
+    fatal("findCommercialDrone: unknown drone '" + name + "'");
+}
+
+} // namespace dronedse

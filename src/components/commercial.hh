@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Commercial drone validation database.
+ *
+ * The paper overlays published spec-sheet values for commercial
+ * drones on its model output (diamond points in Figure 10) and
+ * studies nano/micro consumer drones in Figure 11.  This database
+ * carries those literature values: all-up weight, battery energy,
+ * advertised flight time, and the size class each point is plotted
+ * in.
+ */
+
+#ifndef DRONEDSE_COMPONENTS_COMMERCIAL_HH
+#define DRONEDSE_COMPONENTS_COMMERCIAL_HH
+
+#include <string>
+#include <vector>
+
+namespace dronedse {
+
+/** Size class a commercial drone is plotted against in Figure 10. */
+enum class SizeClass
+{
+    /** Small folding consumer drones (Figure 10a, "100 mm" class). */
+    Small,
+    /** 450 mm-class (Figure 10b). */
+    Medium,
+    /** 800 mm-class (Figure 10c). */
+    Large,
+};
+
+/** Published spec-sheet values for one commercial drone. */
+struct CommercialDrone
+{
+    std::string name;
+    SizeClass sizeClass = SizeClass::Small;
+    /** All-up weight including battery (g). */
+    double weightG = 0.0;
+    /** Battery energy (Wh) from the spec sheet. */
+    double batteryWh = 0.0;
+    /** Advertised hover flight time (min). */
+    double flightTimeMin = 0.0;
+    /** True for the nano/micro drones studied in Figure 11. */
+    bool inFigure11 = false;
+    /**
+     * Estimated heavy-computation power (W) when running SLAM /
+     * recognition / HD video (Figure 11's yellow series).  Anchored
+     * to the paper's RPi measurement (4.56 W average for autopilot +
+     * SLAM, Section 5.1) and each platform's known compute stack
+     * (e.g. Skydio 2 carries a Jetson TX2).
+     */
+    double heavyComputeW = 0.0;
+
+    /**
+     * Average hover power (W) implied by the spec sheet:
+     * usable energy over advertised flight time.
+     */
+    double impliedHoverPowerW() const;
+
+    /** Maneuvering power estimate (paper's 60-70 % vs 20-30 % load). */
+    double impliedManeuverPowerW() const;
+};
+
+/** All commercial validation points used in Figures 10 and 11. */
+const std::vector<CommercialDrone> &commercialDroneTable();
+
+/** Subset plotted in a given Figure 10 panel. */
+std::vector<CommercialDrone> commercialDronesInClass(SizeClass size_class);
+
+/** The nano/micro drones of Figure 11. */
+std::vector<CommercialDrone> figure11Drones();
+
+/** Look up a drone by name; fatal() if absent. */
+const CommercialDrone &findCommercialDrone(const std::string &name);
+
+} // namespace dronedse
+
+#endif // DRONEDSE_COMPONENTS_COMMERCIAL_HH

@@ -1,0 +1,68 @@
+#include "components/esc.hh"
+
+#include <algorithm>
+
+namespace dronedse {
+
+LinearFit
+paperEscFit(EscClass esc_class)
+{
+    LinearFit fit;
+    if (esc_class == EscClass::LongFlight) {
+        fit.slope = 4.9678;
+        fit.intercept = -15.757;
+    } else {
+        fit.slope = 1.2269;
+        fit.intercept = 11.816;
+    }
+    fit.rSquared = 1.0;
+    return fit;
+}
+
+double
+escSetWeightG(double max_current_a, EscClass esc_class)
+{
+    const double w = paperEscFit(esc_class).at(max_current_a);
+    // Tiny ESCs bottom out around 10 g for the set of four.
+    return std::max(w, 10.0);
+}
+
+std::vector<EscRecord>
+generateEscCatalog(Rng &rng, int per_class)
+{
+    std::vector<EscRecord> catalog;
+    catalog.reserve(static_cast<std::size_t>(per_class) * 2);
+
+    for (EscClass cls : {EscClass::LongFlight, EscClass::ShortFlight}) {
+        const LinearFit fit = paperEscFit(cls);
+        for (int i = 0; i < per_class; ++i) {
+            EscRecord rec;
+            rec.escClass = cls;
+            rec.maxCurrentA = rng.uniform(10.0, 90.0);
+            rec.weight4xG = std::max(
+                fit.at(rec.maxCurrentA) * (1.0 + rng.gaussian(0.0, 0.05)),
+                10.0);
+            rec.name = std::string(cls == EscClass::LongFlight ? "LF" : "SF") +
+                       "-ESC-" +
+                       std::to_string(static_cast<int>(rec.maxCurrentA)) +
+                       "A";
+            catalog.push_back(rec);
+        }
+    }
+    return catalog;
+}
+
+LinearFit
+fitEscCatalog(const std::vector<EscRecord> &catalog, EscClass esc_class)
+{
+    std::vector<double> xs, ys;
+    for (const auto &rec : catalog) {
+        if (rec.escClass == esc_class) {
+            xs.push_back(rec.maxCurrentA);
+            ys.push_back(rec.weight4xG);
+        }
+    }
+    return fitLinear(xs, ys);
+}
+
+} // namespace dronedse

@@ -1,0 +1,70 @@
+#include "components/motor.hh"
+
+#include "physics/propeller_aero.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace dronedse {
+
+double
+motorWeightG(double max_thrust_g)
+{
+    if (max_thrust_g < 0.0)
+        fatal("motorWeightG: thrust must be non-negative");
+    // Stator mass scales with torque demand, which scales with max
+    // thrust for a matched propeller.  Anchors: MT2213 (~55 g for
+    // ~850 g thrust), 100 mm-class (~5 g), 1000 mm-class (~100 g).
+    return 2.0 + max_thrust_g / 15.0;
+}
+
+MotorRecord
+matchMotor(double required_thrust_g, double prop_diameter_in,
+           double supply_voltage)
+{
+    if (required_thrust_g <= 0.0)
+        fatal("matchMotor: required thrust must be positive");
+
+    MotorRecord rec;
+    rec.maxThrustG = required_thrust_g;
+    rec.propDiameterIn = prop_diameter_in;
+    rec.kv = requiredKv(required_thrust_g, prop_diameter_in, supply_voltage);
+    rec.maxCurrentA =
+        motorCurrentA(required_thrust_g, prop_diameter_in, supply_voltage);
+    rec.weightG = motorWeightG(required_thrust_g);
+    rec.name = "BLDC-" + std::to_string(static_cast<int>(rec.kv)) + "Kv-" +
+               std::to_string(static_cast<int>(prop_diameter_in)) + "in";
+    return rec;
+}
+
+std::vector<MotorRecord>
+generateMotorCatalog(Rng &rng, int per_class)
+{
+    // Wheelbase classes and their prop diameters, as in Figure 9.
+    struct ClassSpec { double prop_in; double thrust_lo; double thrust_hi; };
+    const ClassSpec classes[] = {
+        {1.0, 20.0, 300.0},    // 50 mm
+        {2.0, 50.0, 800.0},    // 100 mm
+        {5.0, 100.0, 1600.0},  // 200 mm
+        {10.0, 300.0, 2500.0}, // 450 mm
+        {20.0, 800.0, 6000.0}, // 800 mm
+    };
+
+    std::vector<MotorRecord> catalog;
+    catalog.reserve(sizeof(classes) / sizeof(classes[0]) *
+                    static_cast<std::size_t>(per_class));
+    for (const auto &cls : classes) {
+        for (int i = 0; i < per_class; ++i) {
+            const double thrust = rng.uniform(cls.thrust_lo, cls.thrust_hi);
+            const int cells = static_cast<int>(rng.uniformInt(1, 6));
+            const double volts = cells * kLipoCellVoltage;
+            MotorRecord rec = matchMotor(thrust, cls.prop_in, volts);
+            // Manufacturing spread around the ideal match.
+            rec.weightG *= 1.0 + rng.gaussian(0.0, 0.08);
+            rec.kv *= 1.0 + rng.gaussian(0.0, 0.05);
+            catalog.push_back(rec);
+        }
+    }
+    return catalog;
+}
+
+} // namespace dronedse

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * BLDC motor records and the motor mass model (paper Figure 9).
+ *
+ * Motors are characterized by their Kv rating (RPM per volt), weight,
+ * and maximum thrust with a matched propeller.  The paper observes
+ * motor weight ranging from ~5 g on 100 mm drones to ~100 g on
+ * 1000 mm drones, driven by the torque (pole count, diameter) needed
+ * to swing larger propellers.
+ */
+
+#ifndef DRONEDSE_COMPONENTS_MOTOR_HH
+#define DRONEDSE_COMPONENTS_MOTOR_HH
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace dronedse {
+
+/** One BLDC motor model. */
+struct MotorRecord
+{
+    std::string name;
+    /** Kv rating: no-load RPM per volt. */
+    double kv = 0.0;
+    /** Motor weight (g). */
+    double weightG = 0.0;
+    /** Maximum continuous current (A). */
+    double maxCurrentA = 0.0;
+    /** Maximum thrust (g) with the matched propeller. */
+    double maxThrustG = 0.0;
+    /** Matched propeller diameter (inches). */
+    double propDiameterIn = 0.0;
+};
+
+/**
+ * Motor weight (g) as a function of the max thrust it must produce.
+ *
+ * Calibrated to the paper's observations: an MT2213-class motor
+ * (~55 g) lifts ~850 g with a 10" prop; 100 mm-class motors weigh
+ * ~5 g; 1000 mm-class motors ~100 g.
+ */
+double motorWeightG(double max_thrust_g);
+
+/**
+ * Build the motor matched to a thrust requirement at a supply
+ * voltage, using the propulsion physics to derive Kv and current.
+ *
+ * @param required_thrust_g Max thrust per motor (g), i.e.
+ *        TWR * weight / 4.
+ * @param prop_diameter_in  Propeller diameter the frame allows.
+ * @param supply_voltage    Battery nominal voltage.
+ */
+MotorRecord matchMotor(double required_thrust_g, double prop_diameter_in,
+                       double supply_voltage);
+
+/**
+ * Synthesize a motor catalog across wheelbase classes, mimicking the
+ * data released by the paper's 150 manufacturers.
+ */
+std::vector<MotorRecord> generateMotorCatalog(Rng &rng, int per_class = 30);
+
+} // namespace dronedse
+
+#endif // DRONEDSE_COMPONENTS_MOTOR_HH

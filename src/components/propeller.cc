@@ -1,0 +1,32 @@
+#include "components/propeller.hh"
+
+#include "util/logging.hh"
+
+namespace dronedse {
+
+PropellerRecord
+makePropeller(double diameter_in)
+{
+    if (diameter_in <= 0.0)
+        fatal("makePropeller: diameter must be positive");
+
+    PropellerRecord rec;
+    rec.diameterIn = diameter_in;
+    rec.pitchIn = 0.45 * diameter_in;
+    // Blade-area scaling anchored at the 10x4.5 prop (~10 g each),
+    // matching the 40 g set of four on the paper's 450 mm drone
+    // (Figure 14).
+    rec.weightG = 0.1 * diameter_in * diameter_in;
+    rec.name = std::to_string(static_cast<int>(diameter_in * 10)) +
+               "x" + std::to_string(static_cast<int>(rec.pitchIn * 10)) +
+               " prop";
+    return rec;
+}
+
+double
+propellerSetWeightG(double diameter_in)
+{
+    return 4.0 * makePropeller(diameter_in).weightG;
+}
+
+} // namespace dronedse

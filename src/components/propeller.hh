@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Propeller records: geometry and weight.
+ *
+ * The paper sets the propeller to the largest size the frame
+ * wheelbase allows (Section 3.1); weight scales roughly with blade
+ * area, so quadratically with diameter.
+ */
+
+#ifndef DRONEDSE_COMPONENTS_PROPELLER_HH
+#define DRONEDSE_COMPONENTS_PROPELLER_HH
+
+#include <string>
+
+namespace dronedse {
+
+/** One propeller model. */
+struct PropellerRecord
+{
+    std::string name;
+    /** Blade tip-to-tip diameter (inches). */
+    double diameterIn = 0.0;
+    /** Blade pitch (inches of advance per revolution). */
+    double pitchIn = 0.0;
+    /** Weight of a single propeller (g). */
+    double weightG = 0.0;
+};
+
+/**
+ * Propeller sized for a given diameter: pitch is ~45 % of diameter
+ * (typical multirotor props such as the 1045), weight scales with
+ * blade area.
+ */
+PropellerRecord makePropeller(double diameter_in);
+
+/** Weight (g) of a set of four propellers of the given diameter. */
+double propellerSetWeightG(double diameter_in);
+
+} // namespace dronedse
+
+#endif // DRONEDSE_COMPONENTS_PROPELLER_HH

@@ -1,0 +1,30 @@
+#include "components/sensor.hh"
+
+#include "util/logging.hh"
+
+namespace dronedse {
+
+const std::vector<SensorRecord> &
+sensorTable()
+{
+    static const std::vector<SensorRecord> table = {
+        {"Eachine Bat 19S 800TVL", SensorKind::FpvCamera, 8.0, 0.25, false},
+        {"RunCam Night Eagle 2", SensorKind::FpvCamera, 14.5, 1.0, false},
+        {"HoverMap", SensorKind::Lidar, 1800.0, 50.0, true},
+        {"YellowScan Surveyor", SensorKind::Lidar, 1600.0, 15.0, true},
+        {"Ultra Puck", SensorKind::Lidar, 925.0, 10.0, true},
+    };
+    return table;
+}
+
+const SensorRecord &
+findSensor(const std::string &name)
+{
+    for (const auto &rec : sensorTable()) {
+        if (rec.name == name)
+            return rec;
+    }
+    fatal("findSensor: unknown sensor '" + name + "'");
+}
+
+} // namespace dronedse

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * External sensors (paper Table 4): FPV cameras and drone-optimized
+ * LiDAR units.  State-of-the-art LiDARs are self-powered (they carry
+ * their own battery and compute), so they add weight but no draw on
+ * the main pack.
+ */
+
+#ifndef DRONEDSE_COMPONENTS_SENSOR_HH
+#define DRONEDSE_COMPONENTS_SENSOR_HH
+
+#include <string>
+#include <vector>
+
+namespace dronedse {
+
+/** Sensor category in Table 4. */
+enum class SensorKind
+{
+    FpvCamera,
+    Lidar,
+};
+
+/** One external sensor package. */
+struct SensorRecord
+{
+    std::string name;
+    SensorKind kind = SensorKind::FpvCamera;
+    /** Weight (g). */
+    double weightG = 0.0;
+    /** Power draw (W). */
+    double powerW = 0.0;
+    /** True when the unit carries its own battery (Table 4 LiDARs). */
+    bool selfPowered = false;
+
+    /** Power drawn from the drone's main pack. */
+    double mainPackPowerW() const { return selfPowered ? 0.0 : powerW; }
+};
+
+/** The Table 4 external sensor database. */
+const std::vector<SensorRecord> &sensorTable();
+
+/** Look up a sensor by name; fatal() if absent. */
+const SensorRecord &findSensor(const std::string &name);
+
+} // namespace dronedse
+
+#endif // DRONEDSE_COMPONENTS_SENSOR_HH

@@ -1,0 +1,130 @@
+#include "control/autopilot.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace dronedse {
+
+namespace {
+
+CascadePlant
+plantFromParams(const QuadrotorParams &params)
+{
+    CascadePlant plant;
+    plant.massKg = params.massKg;
+    plant.inertiaDiag = params.inertiaDiag;
+    plant.mixer.armLengthM = params.armLengthM;
+    plant.mixer.yawTorquePerThrust = params.yawTorquePerThrust;
+    plant.mixer.maxThrustPerMotorN = params.maxThrustPerMotorN;
+    return plant;
+}
+
+} // namespace
+
+Autopilot::Autopilot(QuadrotorParams params, std::vector<Waypoint> mission,
+                     AutopilotConfig config)
+    : config_(config), quad_(params), wind_(config.wind, config.seed),
+      sensors_(config.sensorRates, config.noise, config.seed + 1),
+      estimator_(config.noise),
+      cascade_(plantFromParams(params), config.rates),
+      navigator_(std::move(mission))
+{
+    if (config_.simDt <= 0.0 || config_.simDt > 0.005)
+        fatal("Autopilot: simDt must be in (0, 5 ms]");
+
+    // The cascade's low level runs at rates.thrustHz; the physics
+    // runs at 1/simDt.  The divider holds motor commands between
+    // control updates, modelling a slower flight controller.
+    controlDivider_ = std::max(
+        1, static_cast<int>(std::lround(
+               1.0 / (config_.simDt * config_.rates.thrustHz))));
+    navDivider_ = std::max(
+        1L, static_cast<long>(std::lround(
+                1.0 / (config_.simDt * config_.navRateHz))));
+}
+
+void
+Autopilot::step()
+{
+    const double dt = config_.simDt;
+
+    // Physics step with wind; recover the true acceleration for the
+    // accelerometer model.
+    const Vec3 v_before = quad_.state().velocity;
+    const Vec3 wind = wind_.sample(dt);
+    quad_.step(dt, wind);
+    const Vec3 accel_world = (quad_.state().velocity - v_before) / dt;
+
+    t_ += dt;
+    ++stepCount_;
+
+    // Sensors fire at their own rates (Table 2a).
+    sensors_.advance(t_, quad_.state(), accel_world);
+    if (auto imu = sensors_.imu())
+        estimator_.onImu(*imu);
+    if (auto gps = sensors_.gps())
+        estimator_.onGps(*gps);
+    if (auto baro = sensors_.baro())
+        estimator_.onBaro(*baro);
+    if (auto mag = sensors_.mag())
+        estimator_.onMag(*mag);
+
+    // Outer loop: waypoint navigation at navRateHz.
+    if (stepCount_ % navDivider_ == 0) {
+        const Vec3 nav_pos = config_.useTruthState
+                                 ? quad_.state().position
+                                 : estimator_.estimate().position;
+        targets_ = navigator_.update(nav_pos, t_);
+    }
+
+    // Inner loop at thrustHz.
+    if (stepCount_ % controlDivider_ == 0) {
+        RigidBodyState estimate = config_.useTruthState
+                                      ? quad_.state()
+                                      : estimator_.estimate();
+        quad_.commandMotors(cascade_.tick(estimate, targets_));
+    }
+
+    // ~50 Hz flight log.
+    logAccumulator_ += dt;
+    if (logAccumulator_ >= 0.02) {
+        logAccumulator_ = 0.0;
+        log_.push_back({t_, quad_.state().position, targets_.position,
+                        quad_.electricalPowerW()});
+    }
+}
+
+void
+Autopilot::run(double duration)
+{
+    const long steps =
+        static_cast<long>(std::lround(duration / config_.simDt));
+    for (long i = 0; i < steps; ++i)
+        step();
+}
+
+double
+Autopilot::estimationErrorM() const
+{
+    return (estimator_.estimate().position - quad_.state().position)
+        .norm();
+}
+
+double
+Autopilot::meanTrackingErrorM(double window) const
+{
+    double sum = 0.0;
+    long count = 0;
+    for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
+        if (t_ - it->t > window)
+            break;
+        sum += (it->position - it->target).norm();
+        ++count;
+    }
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+} // namespace dronedse

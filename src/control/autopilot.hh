@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Closed-loop autopilot: the simulated quadrotor, sensor suite,
+ * state estimator, cascaded inner loop, and waypoint outer loop
+ * wired together — the software stack of paper Figure 5 running
+ * against the physics of Section 2.1.
+ */
+
+#ifndef DRONEDSE_CONTROL_AUTOPILOT_HH
+#define DRONEDSE_CONTROL_AUTOPILOT_HH
+
+#include <vector>
+
+#include "control/cascade.hh"
+#include "control/ekf.hh"
+#include "control/outer_loop.hh"
+#include "sim/environment.hh"
+#include "sim/quadrotor.hh"
+
+namespace dronedse {
+
+/** Closed-loop configuration. */
+struct AutopilotConfig
+{
+    /** Inner-loop rates (paper Table 2b defaults). */
+    LoopRates rates{};
+    /** Sensor rates (paper Table 2a defaults). */
+    SensorRates sensorRates{};
+    /** Sensor noise. */
+    SensorNoise noise{};
+    /** Wind environment. */
+    WindParams wind{};
+    /** Outer-loop navigation rate (Hz). */
+    double navRateHz = 10.0;
+    /**
+     * Feed ground truth to the controller instead of the estimator
+     * output (isolates control physics from estimation noise).
+     */
+    bool useTruthState = false;
+    /** Physics integration step (s); keep <= 1 ms for stability. */
+    double simDt = 0.001;
+    /** RNG seed for wind and sensors. */
+    std::uint64_t seed = 17;
+};
+
+/** One sample of the flight log. */
+struct FlightSample
+{
+    double t = 0.0;
+    Vec3 position;
+    Vec3 target;
+    /** Propulsion electrical power (W). */
+    double propulsionPowerW = 0.0;
+};
+
+/** The closed loop. */
+class Autopilot
+{
+  public:
+    Autopilot(QuadrotorParams params, std::vector<Waypoint> mission,
+              AutopilotConfig config = {});
+
+    /** Advance the closed loop by `duration` seconds. */
+    void run(double duration);
+
+    /** Advance a single physics step. */
+    void step();
+
+    const Quadrotor &quad() const { return quad_; }
+    Quadrotor &quad() { return quad_; }
+    /** Sensor suite (e.g. for GPS-outage injection). */
+    SensorSuite &sensors() { return sensors_; }
+    const WaypointNavigator &navigator() const { return navigator_; }
+    const CascadeController &cascade() const { return cascade_; }
+    const StateEstimator &estimator() const { return estimator_; }
+    double time() const { return t_; }
+
+    /** Flight log sampled at ~50 Hz. */
+    const std::vector<FlightSample> &log() const { return log_; }
+
+    /** Position error (m) between estimate and truth right now. */
+    double estimationErrorM() const;
+
+    /** Mean distance to target over the last `window` seconds. */
+    double meanTrackingErrorM(double window) const;
+
+  private:
+    AutopilotConfig config_;
+    Quadrotor quad_;
+    WindField wind_;
+    SensorSuite sensors_;
+    StateEstimator estimator_;
+    CascadeController cascade_;
+    WaypointNavigator navigator_;
+
+    OuterLoopTargets targets_;
+    double t_ = 0.0;
+    long stepCount_ = 0;
+    int controlDivider_ = 1;
+    long navDivider_ = 100;
+    double logAccumulator_ = 0.0;
+    std::vector<FlightSample> log_;
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_CONTROL_AUTOPILOT_HH

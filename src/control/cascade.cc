@@ -1,0 +1,158 @@
+#include "control/cascade.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace dronedse {
+
+CascadeController::CascadeController(CascadePlant plant, LoopRates rates,
+                                     CascadeGains gains)
+    : plant_(plant), rates_(rates), gains_(gains),
+      velX_({gains.velocityKp, gains.velocityKi, 0.0, 0.5 * kGravity,
+             2.0}),
+      velY_({gains.velocityKp, gains.velocityKi, 0.0, 0.5 * kGravity,
+             2.0}),
+      velZ_({gains.velocityKp, gains.velocityKi, 0.0, 0.6 * kGravity,
+             2.0}),
+      rateX_({gains.rateKp, gains.rateKi, 0.0, 0.0, 1.0}),
+      rateY_({gains.rateKp, gains.rateKi, 0.0, 0.0, 1.0}),
+      rateZ_({gains.yawRateKp, 0.0, 0.0, gains.maxYawAccel, 0.0})
+{
+    if (rates_.thrustHz < rates_.attitudeHz ||
+        rates_.attitudeHz < rates_.positionHz) {
+        fatal("CascadeController: rates must respect time-scale "
+              "separation (thrust >= attitude >= position)");
+    }
+    attitudeDivider_ = std::max(
+        1, static_cast<int>(rates_.thrustHz / rates_.attitudeHz));
+    positionDivider_ = std::max(
+        1, static_cast<int>(rates_.thrustHz / rates_.positionHz));
+    thrustTarget_ = plant_.massKg * kGravity;
+}
+
+void
+CascadeController::overrideAttitudeTarget(const Quaternion &target)
+{
+    mode_ = Mode::AttitudeOverride;
+    attitudeTarget_ = target;
+    thrustTarget_ = plant_.massKg * kGravity;
+}
+
+void
+CascadeController::overrideRateTarget(const Vec3 &rates)
+{
+    mode_ = Mode::RateOverride;
+    rateTarget_ = rates;
+    thrustTarget_ = plant_.massKg * kGravity;
+}
+
+void
+CascadeController::clearOverrides()
+{
+    mode_ = Mode::Full;
+}
+
+void
+CascadeController::runPositionLevel(const RigidBodyState &estimate,
+                                    const OuterLoopTargets &targets)
+{
+    ++positionTicks_;
+    const double dt = 1.0 / rates_.positionHz;
+
+    // Position -> velocity command (P), clamped to maxVelocity; in
+    // velocity mode the outer loop supplies the command directly.
+    Vec3 vel_cmd = targets.velocityMode
+                       ? targets.velocity
+                       : (targets.position - estimate.position) *
+                             gains_.positionKp;
+    const double vn = vel_cmd.norm();
+    if (vn > gains_.maxVelocity)
+        vel_cmd = vel_cmd * (gains_.maxVelocity / vn);
+
+    // Velocity -> acceleration command (PI).
+    const Vec3 acc_cmd{
+        velX_.update(vel_cmd.x, estimate.velocity.x, dt),
+        velY_.update(vel_cmd.y, estimate.velocity.y, dt),
+        velZ_.update(vel_cmd.z, estimate.velocity.z, dt)};
+
+    // Acceleration -> tilt + collective thrust.  The desired thrust
+    // direction in the world frame is (acc + g) normalized; yaw is
+    // commanded separately.
+    const Vec3 thrust_dir_world =
+        Vec3{acc_cmd.x, acc_cmd.y, acc_cmd.z + kGravity};
+    const double norm = thrust_dir_world.norm();
+    thrustTarget_ = plant_.massKg * norm;
+
+    // Small-angle tilt extraction in the yaw-aligned frame.
+    const double cy = std::cos(targets.yaw);
+    const double sy = std::sin(targets.yaw);
+    const double ax = cy * thrust_dir_world.x + sy * thrust_dir_world.y;
+    const double ay = -sy * thrust_dir_world.x + cy * thrust_dir_world.y;
+    double pitch = std::atan2(ax, thrust_dir_world.z);
+    double roll = std::atan2(-ay, thrust_dir_world.z);
+    pitch = std::clamp(pitch, -gains_.maxTilt, gains_.maxTilt);
+    roll = std::clamp(roll, -gains_.maxTilt, gains_.maxTilt);
+
+    attitudeTarget_ = Quaternion::fromEuler(roll, pitch, targets.yaw);
+}
+
+void
+CascadeController::runAttitudeLevel(const RigidBodyState &estimate)
+{
+    ++attitudeTicks_;
+
+    // Attitude error as a body-frame rotation vector.
+    Quaternion err = estimate.attitude.conjugate() * attitudeTarget_;
+    if (err.w < 0.0)
+        err = {-err.w, -err.x, -err.y, -err.z};
+    const Vec3 err_vec{2.0 * err.x, 2.0 * err.y, 2.0 * err.z};
+
+    Vec3 rate_cmd = err_vec * gains_.attitudeKp;
+    const double rn = rate_cmd.norm();
+    if (rn > gains_.maxBodyRate)
+        rate_cmd = rate_cmd * (gains_.maxBodyRate / rn);
+    rate_cmd.z = std::clamp(rate_cmd.z, -gains_.maxYawRate,
+                            gains_.maxYawRate);
+    rateTarget_ = rate_cmd;
+}
+
+ControlWrench
+CascadeController::runRateLevel(const RigidBodyState &estimate)
+{
+    ++thrustTicks_;
+    const double dt = 1.0 / rates_.thrustHz;
+
+    // Rate error -> angular acceleration -> torque through inertia.
+    const Vec3 ang_acc{
+        rateX_.update(rateTarget_.x, estimate.angularVelocity.x, dt),
+        rateY_.update(rateTarget_.y, estimate.angularVelocity.y, dt),
+        rateZ_.update(rateTarget_.z, estimate.angularVelocity.z, dt)};
+
+    ControlWrench wrench;
+    wrench.thrustN = thrustTarget_;
+    wrench.tauX = plant_.inertiaDiag.x * ang_acc.x;
+    wrench.tauY = plant_.inertiaDiag.y * ang_acc.y;
+    wrench.tauZ = plant_.inertiaDiag.z * ang_acc.z;
+    return wrench;
+}
+
+std::array<double, 4>
+CascadeController::tick(const RigidBodyState &estimate,
+                        const OuterLoopTargets &targets)
+{
+    if (mode_ == Mode::Full &&
+        thrustTicks_ % positionDivider_ == 0) {
+        runPositionLevel(estimate, targets);
+    }
+    if (mode_ != Mode::RateOverride &&
+        thrustTicks_ % attitudeDivider_ == 0) {
+        runAttitudeLevel(estimate);
+    }
+    const ControlWrench wrench = runRateLevel(estimate);
+    return mixWrench(wrench, plant_.mixer);
+}
+
+} // namespace dronedse

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The hierarchical inner-loop cascade (paper Figure 6, Table 2b):
+ *
+ *   position controller  (high level,  40 Hz, ~1 s response)
+ *   -> velocity controller
+ *   -> attitude controller (mid level, 200 Hz, ~100 ms response)
+ *   -> rate/thrust controller (low level, 1 kHz, ~50 ms response)
+ *   -> mixer -> motors
+ *
+ * Time-scale separation: each level runs slower than the one below
+ * and treats it as ideal.
+ */
+
+#ifndef DRONEDSE_CONTROL_CASCADE_HH
+#define DRONEDSE_CONTROL_CASCADE_HH
+
+#include <array>
+
+#include "control/mixer.hh"
+#include "control/pid.hh"
+#include "sim/rigid_body.hh"
+
+namespace dronedse {
+
+/** Update frequencies of the three levels (paper Table 2b). */
+struct LoopRates
+{
+    double thrustHz = 1000.0;
+    double attitudeHz = 200.0;
+    double positionHz = 40.0;
+};
+
+/**
+ * Targets handed down by the outer loop (paper Figure 6: the outer
+ * loop dictates position, velocity, and sometimes attitude targets).
+ */
+struct OuterLoopTargets
+{
+    Vec3 position{0.0, 0.0, 1.0};
+    double yaw = 0.0;
+    /**
+     * Velocity mode: track `velocity` directly and ignore
+     * `position` (the "velocity target" path of Figure 6, used by
+     * e.g. target-following applications).
+     */
+    bool velocityMode = false;
+    Vec3 velocity{};
+};
+
+/** Gain set of the cascade. */
+struct CascadeGains
+{
+    double positionKp = 1.6;
+    double velocityKp = 3.0;
+    double velocityKi = 0.4;
+    double attitudeKp = 14.0;
+    double rateKp = 38.0;
+    double rateKi = 12.0;
+    double yawRateKp = 10.0;
+    /** Velocity command limit (m/s). */
+    double maxVelocity = 6.0;
+    /** Tilt limit (rad), the max stable angle of attack. */
+    double maxTilt = 0.6;
+    /** Roll/pitch body-rate command limit (rad/s). */
+    double maxBodyRate = 6.0;
+    /**
+     * Yaw-rate command limit (rad/s).  Yaw authority comes from
+     * propeller reaction torque only, so it is far weaker than
+     * roll/pitch; commanding more simply saturates the mixer.
+     */
+    double maxYawRate = 1.5;
+    /** Yaw angular-acceleration limit (rad/s^2), same reason. */
+    double maxYawAccel = 3.0;
+};
+
+/** Airframe facts the cascade needs. */
+struct CascadePlant
+{
+    double massKg = 1.071;
+    Vec3 inertiaDiag{0.011, 0.011, 0.021};
+    MixerConfig mixer{};
+};
+
+/**
+ * The full cascaded controller.  Call tick() at the low-level rate
+ * (thrustHz); the higher levels run on their own dividers, which is
+ * exactly the paper's time-scale separation.
+ */
+class CascadeController
+{
+  public:
+    CascadeController(CascadePlant plant, LoopRates rates = {},
+                      CascadeGains gains = {});
+
+    /**
+     * One low-level step.
+     *
+     * @param estimate State estimate (from the EKF in closed loop,
+     *        or ground truth in plant-model tests).
+     * @param targets  Outer-loop set targets.
+     * @return Per-motor thrust commands (N).
+     */
+    std::array<double, 4> tick(const RigidBodyState &estimate,
+                               const OuterLoopTargets &targets);
+
+    /** Number of low-level updates executed. */
+    long thrustUpdates() const { return thrustTicks_; }
+    /** Number of mid-level updates executed. */
+    long attitudeUpdates() const { return attitudeTicks_; }
+    /** Number of high-level updates executed. */
+    long positionUpdates() const { return positionTicks_; }
+
+    /** Attitude setpoint currently tracked by the mid level. */
+    const Quaternion &attitudeTarget() const { return attitudeTarget_; }
+
+    /** Direct attitude-target injection (attitude-mode tests). */
+    void overrideAttitudeTarget(const Quaternion &target);
+
+    /** Direct body-rate-target injection (rate-mode tests). */
+    void overrideRateTarget(const Vec3 &rates);
+
+    /** Leave any override mode and resume the full cascade. */
+    void clearOverrides();
+
+  private:
+    void runPositionLevel(const RigidBodyState &estimate,
+                          const OuterLoopTargets &targets);
+    void runAttitudeLevel(const RigidBodyState &estimate);
+    ControlWrench runRateLevel(const RigidBodyState &estimate);
+
+    CascadePlant plant_;
+    LoopRates rates_;
+    CascadeGains gains_;
+
+    Pid velX_, velY_, velZ_;
+    Pid rateX_, rateY_, rateZ_;
+
+    // Inter-level setpoints.
+    Quaternion attitudeTarget_;
+    double thrustTarget_ = 0.0;
+    Vec3 rateTarget_{};
+
+    enum class Mode { Full, AttitudeOverride, RateOverride };
+    Mode mode_ = Mode::Full;
+
+    long thrustTicks_ = 0;
+    long attitudeTicks_ = 0;
+    long positionTicks_ = 0;
+    int attitudeDivider_ = 5;
+    int positionDivider_ = 25;
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_CONTROL_CASCADE_HH

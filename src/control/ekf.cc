@@ -1,0 +1,234 @@
+#include "control/ekf.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace dronedse {
+
+PositionEkf::PositionEkf()
+    : x_(6, 0.0), p_(6, 6)
+{
+    // Start uncertain: 10 m position, 2 m/s velocity.
+    for (int i = 0; i < 3; ++i) {
+        p_(i, i) = 100.0;
+        p_(i + 3, i + 3) = 4.0;
+    }
+}
+
+void
+PositionEkf::predict(const Vec3 &accel_world, double dt)
+{
+    if (dt <= 0.0)
+        fatal("PositionEkf::predict: dt must be positive");
+
+    // x = F x + B a with constant-acceleration kinematics.
+    x_[0] += x_[3] * dt + 0.5 * accel_world.x * dt * dt;
+    x_[1] += x_[4] * dt + 0.5 * accel_world.y * dt * dt;
+    x_[2] += x_[5] * dt + 0.5 * accel_world.z * dt * dt;
+    x_[3] += accel_world.x * dt;
+    x_[4] += accel_world.y * dt;
+    x_[5] += accel_world.z * dt;
+
+    // P = F P F^T + Q.
+    Matrix f = Matrix::identity(6);
+    for (int i = 0; i < 3; ++i)
+        f(i, i + 3) = dt;
+    Matrix q(6, 6);
+    const double a2 = accelNoise_ * accelNoise_;
+    for (int i = 0; i < 3; ++i) {
+        q(i, i) = 0.25 * dt * dt * dt * dt * a2;
+        q(i, i + 3) = 0.5 * dt * dt * dt * a2;
+        q(i + 3, i) = q(i, i + 3);
+        q(i + 3, i + 3) = dt * dt * a2;
+    }
+    p_ = f * p_ * f.transpose() + q;
+}
+
+void
+PositionEkf::update(const Matrix &h, const std::vector<double> &z,
+                    const std::vector<double> &r_diag)
+{
+    const std::size_t m = h.rows();
+    // Innovation y = z - H x.
+    std::vector<double> y(m, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+        double hx = 0.0;
+        for (std::size_t j = 0; j < 6; ++j)
+            hx += h(i, j) * x_[j];
+        y[i] = z[i] - hx;
+    }
+
+    // S = H P H^T + R.
+    Matrix s = h * p_ * h.transpose();
+    for (std::size_t i = 0; i < m; ++i)
+        s(i, i) += r_diag[i];
+
+    // K = P H^T S^-1, computed column-by-column via solves of
+    // S k_col = (H P)_col.
+    const Matrix hp = h * p_; // m x 6
+    Matrix k(6, m);
+    for (std::size_t col = 0; col < 6; ++col) {
+        std::vector<double> rhs(m, 0.0);
+        for (std::size_t i = 0; i < m; ++i)
+            rhs[i] = hp(i, col);
+        std::vector<double> sol;
+        if (!s.solve(rhs, sol))
+            return; // numerically singular: skip this update
+        for (std::size_t i = 0; i < m; ++i)
+            k(col, i) = sol[i];
+    }
+
+    // x += K y.
+    for (std::size_t i = 0; i < 6; ++i) {
+        double dx = 0.0;
+        for (std::size_t j = 0; j < m; ++j)
+            dx += k(i, j) * y[j];
+        x_[i] += dx;
+    }
+
+    // P = (I - K H) P.
+    const Matrix kh = k * h;
+    p_ = (Matrix::identity(6) - kh) * p_;
+}
+
+void
+PositionEkf::updateGps(const GpsSample &sample, double pos_std,
+                       double vel_std)
+{
+    Matrix h = Matrix::identity(6);
+    const std::vector<double> z = {
+        sample.position.x, sample.position.y, sample.position.z,
+        sample.velocity.x, sample.velocity.y, sample.velocity.z};
+    const double pr = pos_std * pos_std;
+    const double vr = vel_std * vel_std;
+    update(h, z, {pr, pr, 2.25 * pr, vr, vr, vr});
+}
+
+void
+PositionEkf::updateBaro(const BaroSample &sample, double std)
+{
+    Matrix h(1, 6);
+    h(0, 2) = 1.0;
+    update(h, {sample.altitude}, {std * std});
+}
+
+Vec3
+PositionEkf::position() const
+{
+    return {x_[0], x_[1], x_[2]};
+}
+
+Vec3
+PositionEkf::velocity() const
+{
+    return {x_[3], x_[4], x_[5]};
+}
+
+double
+PositionEkf::positionUncertainty() const
+{
+    return p_(0, 0) + p_(1, 1) + p_(2, 2);
+}
+
+AttitudeFilter::AttitudeFilter(double accel_gain, double mag_gain)
+    : accelGain_(accel_gain), magGain_(mag_gain)
+{
+}
+
+void
+AttitudeFilter::predict(const Vec3 &gyro, double dt)
+{
+    q_ = q_.integrated(gyro, dt);
+}
+
+void
+AttitudeFilter::correctAccel(const Vec3 &accel_body, double dt)
+{
+    // When quasi-static, the specific force points along the
+    // body-frame "up"; lean the estimate toward it slowly.
+    const double norm = accel_body.norm();
+    if (norm < 0.88 * kGravity || norm > 1.12 * kGravity)
+        return; // dynamic maneuver: gravity direction unreliable
+
+    const Vec3 measured_up = accel_body / norm;
+    const Vec3 estimated_up =
+        q_.conjugate().rotate({0.0, 0.0, 1.0});
+    // For a small body-side attitude error phi,
+    // estimated_up x measured_up ~= -phi, so rotating by
+    // +accelGain * dt * (-cross) walks the estimate toward truth
+    // with time constant 1/accelGain.
+    const Vec3 correction =
+        estimated_up.cross(measured_up) * (-accelGain_);
+    q_ = q_.integrated(correction, dt);
+}
+
+void
+AttitudeFilter::correctMag(double yaw)
+{
+    double err = yaw - q_.yaw();
+    while (err > M_PI)
+        err -= 2.0 * M_PI;
+    while (err < -M_PI)
+        err += 2.0 * M_PI;
+    const Quaternion dq =
+        Quaternion::fromAxisAngle({0.0, 0.0, 1.0}, magGain_ * err);
+    q_ = (dq * q_).normalized();
+}
+
+StateEstimator::StateEstimator(SensorNoise noise)
+    : noise_(noise)
+{
+}
+
+void
+StateEstimator::onImu(const ImuSample &sample)
+{
+    const double dt = lastImuTime_ < 0.0
+                          ? 0.005
+                          : sample.timestamp - lastImuTime_;
+    lastImuTime_ = sample.timestamp;
+    lastGyro_ = sample.gyro;
+
+    const double step = dt > 0.0 ? dt : 0.005;
+    attitude_.predict(sample.gyro, step);
+    attitude_.correctAccel(sample.accel, step);
+
+    // Rotate specific force to the world frame and remove gravity.
+    const Vec3 accel_world =
+        attitude_.attitude().rotate(sample.accel) +
+        Vec3{0.0, 0.0, -kGravity};
+    ekf_.predict(accel_world, dt > 0.0 ? dt : 0.005);
+}
+
+void
+StateEstimator::onGps(const GpsSample &sample)
+{
+    ekf_.updateGps(sample, noise_.gpsStd, noise_.gpsVelStd);
+}
+
+void
+StateEstimator::onBaro(const BaroSample &sample)
+{
+    ekf_.updateBaro(sample, noise_.baroStd);
+}
+
+void
+StateEstimator::onMag(const MagSample &sample)
+{
+    attitude_.correctMag(sample.yaw);
+}
+
+RigidBodyState
+StateEstimator::estimate() const
+{
+    RigidBodyState s;
+    s.position = ekf_.position();
+    s.velocity = ekf_.velocity();
+    s.attitude = attitude_.attitude();
+    s.angularVelocity = lastGyro_;
+    return s;
+}
+
+} // namespace dronedse

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * State estimation for the inner loop: an extended Kalman filter
+ * over position/velocity fused with a complementary attitude filter
+ * — the "shared libraries" sensor-fusion layer of the paper's
+ * software stack (Figure 5, Section 2.1.3D: filter computations such
+ * as EKF for data fusion).
+ */
+
+#ifndef DRONEDSE_CONTROL_EKF_HH
+#define DRONEDSE_CONTROL_EKF_HH
+
+#include "control/sensors.hh"
+#include "sim/rigid_body.hh"
+#include "util/matrix.hh"
+
+namespace dronedse {
+
+/**
+ * Kalman filter over x = [position(3), velocity(3)] with world-frame
+ * acceleration as the control input, GPS position/velocity and
+ * barometric altitude as measurements.
+ */
+class PositionEkf
+{
+  public:
+    PositionEkf();
+
+    /** Propagate by dt with world-frame acceleration. */
+    void predict(const Vec3 &accel_world, double dt);
+
+    /** Fuse a GPS position+velocity fix. */
+    void updateGps(const GpsSample &sample, double pos_std,
+                   double vel_std);
+
+    /** Fuse a barometric altitude. */
+    void updateBaro(const BaroSample &sample, double std);
+
+    Vec3 position() const;
+    Vec3 velocity() const;
+
+    /** Trace of the position covariance block (uncertainty). */
+    double positionUncertainty() const;
+
+  private:
+    /** Generic linear measurement update. */
+    void update(const Matrix &h, const std::vector<double> &z,
+                const std::vector<double> &r_diag);
+
+    std::vector<double> x_; // [p, v]
+    Matrix p_;              // 6x6 covariance
+    double accelNoise_ = 0.35; // process noise (m/s^2)
+};
+
+/**
+ * Complementary attitude filter: integrates the gyro and leans the
+ * estimate toward the accelerometer gravity direction (roll/pitch)
+ * and the magnetometer (yaw).
+ */
+class AttitudeFilter
+{
+  public:
+    /**
+     * @param accel_gain Tilt correction gain (1/s): the estimate
+     *        leans toward the measured gravity direction with time
+     *        constant 1/accel_gain.  Must stay small (fractions of
+     *        a hertz) so sustained maneuvers cannot drag the
+     *        estimate off the gyro.
+     * @param mag_gain Yaw correction fraction per magnetometer
+     *        sample.
+     */
+    explicit AttitudeFilter(double accel_gain = 0.4,
+                            double mag_gain = 0.05);
+
+    /** Integrate a gyro sample over dt. */
+    void predict(const Vec3 &gyro, double dt);
+
+    /**
+     * Tilt correction from the accelerometer's gravity direction,
+     * weighted by the sample interval dt.  Ignored unless the
+     * specific-force magnitude is close to 1 g (quasi-static).
+     */
+    void correctAccel(const Vec3 &accel_body, double dt);
+
+    /** Yaw correction from the magnetometer. */
+    void correctMag(double yaw);
+
+    const Quaternion &attitude() const { return q_; }
+
+    /** Reset to a known attitude. */
+    void reset(const Quaternion &q) { q_ = q; }
+
+  private:
+    Quaternion q_;
+    double accelGain_;
+    double magGain_;
+};
+
+/**
+ * Full estimator: consumes the sensor suite's samples and maintains
+ * a RigidBodyState estimate for the control cascade.
+ */
+class StateEstimator
+{
+  public:
+    StateEstimator(SensorNoise noise = {});
+
+    /** Feed an IMU sample (predict step at the IMU rate). */
+    void onImu(const ImuSample &sample);
+    /** Feed a GPS fix. */
+    void onGps(const GpsSample &sample);
+    /** Feed a barometer sample. */
+    void onBaro(const BaroSample &sample);
+    /** Feed a magnetometer sample. */
+    void onMag(const MagSample &sample);
+
+    /** Current best estimate. */
+    RigidBodyState estimate() const;
+
+  private:
+    PositionEkf ekf_;
+    AttitudeFilter attitude_;
+    SensorNoise noise_;
+    Vec3 lastGyro_{};
+    double lastImuTime_ = -1.0;
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_CONTROL_EKF_HH

@@ -1,0 +1,45 @@
+#include "control/mixer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dronedse {
+
+std::array<double, 4>
+mixWrench(const ControlWrench &wrench, const MixerConfig &config)
+{
+    const double d = config.armLengthM / std::sqrt(2.0);
+    const double k = config.yawTorquePerThrust;
+    const double base = wrench.thrustN / 4.0;
+    const double rx = wrench.tauX / (4.0 * d);
+    const double ry = wrench.tauY / (4.0 * d);
+
+    auto mix = [&](double yaw_scale) {
+        const double rz = yaw_scale * wrench.tauZ / (4.0 * k);
+        // Matches the motor layout in sim/quadrotor.cc.
+        return std::array<double, 4>{
+            base - rx - ry + rz, // m0 front-right CW
+            base + rx + ry + rz, // m1 back-left   CW
+            base + rx - ry - rz, // m2 front-left  CCW
+            base - rx + ry - rz, // m3 back-right  CCW
+        };
+    };
+
+    // Reduce yaw authority first when motors saturate.
+    for (double yaw_scale : {1.0, 0.5, 0.2, 0.0}) {
+        auto thrusts = mix(yaw_scale);
+        const auto [lo, hi] =
+            std::minmax_element(thrusts.begin(), thrusts.end());
+        if (*lo >= 0.0 && *hi <= config.maxThrustPerMotorN)
+            return thrusts;
+        if (yaw_scale == 0.0) {
+            // Still saturated: clamp as a last resort.
+            for (auto &t : thrusts)
+                t = std::clamp(t, 0.0, config.maxThrustPerMotorN);
+            return thrusts;
+        }
+    }
+    return mix(0.0);
+}
+
+} // namespace dronedse

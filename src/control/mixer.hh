@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Motor mixer: maps collective thrust and body torques to per-motor
+ * thrust commands for the X-configuration layout of sim/quadrotor.
+ */
+
+#ifndef DRONEDSE_CONTROL_MIXER_HH
+#define DRONEDSE_CONTROL_MIXER_HH
+
+#include <array>
+
+namespace dronedse {
+
+/** Desired wrench: collective thrust plus body torques. */
+struct ControlWrench
+{
+    /** Total thrust (N). */
+    double thrustN = 0.0;
+    /** Roll torque about body x (N m). */
+    double tauX = 0.0;
+    /** Pitch torque about body y (N m). */
+    double tauY = 0.0;
+    /** Yaw torque about body z (N m). */
+    double tauZ = 0.0;
+};
+
+/** Mixer geometry (must match the simulated airframe). */
+struct MixerConfig
+{
+    /** Arm length hub-to-motor (m). */
+    double armLengthM = 0.225;
+    /** Reaction torque per newton of thrust (m). */
+    double yawTorquePerThrust = 0.016;
+    /** Per-motor thrust ceiling for saturation handling (N). */
+    double maxThrustPerMotorN = 5.25;
+};
+
+/**
+ * Invert the wrench into four motor thrusts.  Thrust is prioritized
+ * over yaw under saturation (yaw authority is reduced first), the
+ * standard multirotor mixing policy.
+ */
+std::array<double, 4> mixWrench(const ControlWrench &wrench,
+                                const MixerConfig &config);
+
+} // namespace dronedse
+
+#endif // DRONEDSE_CONTROL_MIXER_HH

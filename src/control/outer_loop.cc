@@ -1,0 +1,43 @@
+#include "control/outer_loop.hh"
+
+#include "util/logging.hh"
+
+namespace dronedse {
+
+WaypointNavigator::WaypointNavigator(std::vector<Waypoint> mission)
+    : mission_(std::move(mission))
+{
+    if (mission_.empty())
+        fatal("WaypointNavigator: mission must have waypoints");
+}
+
+OuterLoopTargets
+WaypointNavigator::update(const Vec3 &position, double t)
+{
+    OuterLoopTargets targets;
+    if (missionComplete()) {
+        // Hold the last waypoint.
+        targets.position = mission_.back().position;
+        targets.yaw = mission_.back().yaw;
+        return targets;
+    }
+
+    const Waypoint &wp = mission_[index_];
+    targets.position = wp.position;
+    targets.yaw = wp.yaw;
+
+    const double dist = (position - wp.position).norm();
+    if (dist <= wp.radius) {
+        if (arrivedAt_ < 0.0)
+            arrivedAt_ = t;
+        if (t - arrivedAt_ >= wp.holdS) {
+            ++index_;
+            arrivedAt_ = -1.0;
+        }
+    } else {
+        arrivedAt_ = -1.0;
+    }
+    return targets;
+}
+
+} // namespace dronedse

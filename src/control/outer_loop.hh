@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Outer-loop autonomy: waypoint navigation producing the position /
+ * yaw targets the inner loop tracks (paper Figure 6, Table 1's
+ * "control set target" column: position/attitude/velocity targets,
+ * navigation & trajectory, planning).
+ */
+
+#ifndef DRONEDSE_CONTROL_OUTER_LOOP_HH
+#define DRONEDSE_CONTROL_OUTER_LOOP_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "control/cascade.hh"
+#include "util/vec3.hh"
+
+namespace dronedse {
+
+/** One mission waypoint. */
+struct Waypoint
+{
+    Vec3 position;
+    /** Desired yaw while flying to this waypoint (rad). */
+    double yaw = 0.0;
+    /** Acceptance radius (m). */
+    double radius = 0.5;
+    /** Hold time at the waypoint before advancing (s). */
+    double holdS = 0.0;
+};
+
+/**
+ * Sequential waypoint navigator.  Runs at the outer-loop rate (tens
+ * of hertz at most — mission planning has relaxed deadlines, paper
+ * Section 6).
+ */
+class WaypointNavigator
+{
+  public:
+    explicit WaypointNavigator(std::vector<Waypoint> mission);
+
+    /**
+     * Update with the current estimate; returns the targets for the
+     * inner loop.
+     *
+     * @param position Current position estimate.
+     * @param t        Mission time (s).
+     */
+    OuterLoopTargets update(const Vec3 &position, double t);
+
+    /** Index of the waypoint currently being tracked. */
+    std::size_t currentIndex() const { return index_; }
+
+    /** True when every waypoint has been visited. */
+    bool missionComplete() const { return index_ >= mission_.size(); }
+
+    /** Number of waypoints reached so far. */
+    std::size_t reachedCount() const { return index_; }
+
+  private:
+    std::vector<Waypoint> mission_;
+    std::size_t index_ = 0;
+    double arrivedAt_ = -1.0;
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_CONTROL_OUTER_LOOP_HH

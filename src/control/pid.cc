@@ -1,0 +1,49 @@
+#include "control/pid.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dronedse {
+
+Pid::Pid(PidConfig config)
+    : config_(config)
+{
+}
+
+double
+Pid::update(double setpoint, double measurement, double dt)
+{
+    if (dt <= 0.0)
+        fatal("Pid::update: dt must be positive");
+
+    const double error = setpoint - measurement;
+
+    integral_ += error * dt;
+    if (config_.integralLimit > 0.0) {
+        integral_ = std::clamp(integral_, -config_.integralLimit,
+                               config_.integralLimit);
+    }
+
+    double derivative = 0.0;
+    if (hasPrev_ && config_.kd != 0.0)
+        derivative = -(measurement - prevMeasurement_) / dt;
+    prevMeasurement_ = measurement;
+    hasPrev_ = true;
+
+    double out = config_.kp * error + config_.ki * integral_ +
+                 config_.kd * derivative;
+    if (config_.outputLimit > 0.0)
+        out = std::clamp(out, -config_.outputLimit, config_.outputLimit);
+    return out;
+}
+
+void
+Pid::reset()
+{
+    integral_ = 0.0;
+    prevMeasurement_ = 0.0;
+    hasPrev_ = false;
+}
+
+} // namespace dronedse

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Proportional-integral-derivative controller, the workhorse of the
+ * hierarchical inner loop (paper Section 2.1.3C: "this layer
+ * extensively uses high-performance hierarchical PID controllers").
+ */
+
+#ifndef DRONEDSE_CONTROL_PID_HH
+#define DRONEDSE_CONTROL_PID_HH
+
+namespace dronedse {
+
+/** PID gains and limits. */
+struct PidConfig
+{
+    double kp = 1.0;
+    double ki = 0.0;
+    double kd = 0.0;
+    /** Symmetric output saturation (+-limit); 0 disables. */
+    double outputLimit = 0.0;
+    /** Symmetric integral clamp; 0 disables. */
+    double integralLimit = 0.0;
+};
+
+/**
+ * Discrete PID with derivative-on-measurement (avoids derivative
+ * kick on setpoint steps) and conditional anti-windup.
+ */
+class Pid
+{
+  public:
+    explicit Pid(PidConfig config = {});
+
+    /**
+     * One update step.
+     *
+     * @param setpoint     Target value.
+     * @param measurement  Current value.
+     * @param dt           Time since the previous update (s).
+     * @return Controller output (saturated if configured).
+     */
+    double update(double setpoint, double measurement, double dt);
+
+    /** Clear the integral and derivative history. */
+    void reset();
+
+    /** Accumulated integral term (for inspection/tests). */
+    double integral() const { return integral_; }
+
+  private:
+    PidConfig config_;
+    double integral_ = 0.0;
+    double prevMeasurement_ = 0.0;
+    bool hasPrev_ = false;
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_CONTROL_PID_HH

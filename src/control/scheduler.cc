@@ -1,0 +1,85 @@
+#include "control/scheduler.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dronedse {
+
+void
+RateScheduler::addTask(std::string name, double rate_hz, double cost_s,
+                       std::function<void(double)> fn)
+{
+    if (rate_hz <= 0.0 || cost_s < 0.0)
+        fatal("RateScheduler::addTask: invalid rate or cost");
+
+    Task task;
+    task.stats.name = std::move(name);
+    task.stats.rateHz = rate_hz;
+    task.periodS = 1.0 / rate_hz;
+    task.costS = cost_s;
+    task.fn = std::move(fn);
+    tasks_.push_back(std::move(task));
+
+    // Rate-monotonic priority: highest rate first.
+    std::stable_sort(tasks_.begin(), tasks_.end(),
+                     [](const Task &a, const Task &b) {
+                         return a.stats.rateHz > b.stats.rateHz;
+                     });
+}
+
+void
+RateScheduler::advanceTo(double t)
+{
+    if (t < now_)
+        fatal("RateScheduler::advanceTo: time must not go backwards");
+
+    // Release loop: find the earliest pending release and run it.
+    while (true) {
+        Task *next = nullptr;
+        for (auto &task : tasks_) {
+            if (task.nextRelease <= t + 1e-12 &&
+                (!next || task.nextRelease < next->nextRelease - 1e-12 ||
+                 (task.nextRelease <= next->nextRelease + 1e-12 &&
+                  task.stats.rateHz > next->stats.rateHz))) {
+                next = &task;
+            }
+        }
+        if (!next)
+            break;
+
+        const double release = next->nextRelease;
+        // The CPU starts this job when it is free.
+        const double start = std::max(release, cpuBusyUntil_);
+        const double finish = start + next->costS;
+        // Deadline: the next release of the same task.
+        if (finish > release + next->periodS + 1e-12)
+            ++next->stats.deadlineMisses;
+
+        cpuBusyUntil_ = finish;
+        totalCpuS_ += next->costS;
+        ++next->stats.executions;
+        next->stats.cpuTimeS += next->costS;
+        next->fn(release);
+        next->nextRelease = release + next->periodS;
+    }
+    now_ = t;
+}
+
+std::vector<TaskStats>
+RateScheduler::stats() const
+{
+    std::vector<TaskStats> out;
+    out.reserve(tasks_.size());
+    for (const auto &task : tasks_)
+        out.push_back(task.stats);
+    return out;
+}
+
+double
+RateScheduler::utilization() const
+{
+    return now_ > 0.0 ? std::min(1.0, totalCpuS_ / now_) : 0.0;
+}
+
+} // namespace dronedse

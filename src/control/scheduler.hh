@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Rate scheduler for the control stack's periodic tasks.
+ *
+ * The paper's central real-time observation (Section 2.1.3D) is that
+ * the inner loop runs at 50-500 Hz, bounded by physics rather than
+ * compute; the scheduler tracks deadline misses so experiments can
+ * show what happens when heavy outer-loop work (e.g. SLAM) steals
+ * cycles.
+ */
+
+#ifndef DRONEDSE_CONTROL_SCHEDULER_HH
+#define DRONEDSE_CONTROL_SCHEDULER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dronedse {
+
+/** Statistics for one periodic task. */
+struct TaskStats
+{
+    std::string name;
+    double rateHz = 0.0;
+    long executions = 0;
+    long deadlineMisses = 0;
+    /** Total simulated execution time consumed (s). */
+    double cpuTimeS = 0.0;
+};
+
+/**
+ * Cooperative rate scheduler with a simulated CPU-time budget.
+ *
+ * Each task declares a rate and a per-invocation execution cost (the
+ * time it occupies the CPU).  tick() advances wall time; a task
+ * misses its deadline when the CPU is still busy with earlier work
+ * past the task's release time plus its period.
+ */
+class RateScheduler
+{
+  public:
+    /**
+     * Register a task.
+     *
+     * @param name     Task name for the stats report.
+     * @param rate_hz  Release rate.
+     * @param cost_s   Simulated execution time per invocation.
+     * @param fn       The work; invoked once per release.
+     */
+    void addTask(std::string name, double rate_hz, double cost_s,
+                 std::function<void(double)> fn);
+
+    /**
+     * Advance wall time to `t` seconds, releasing and running due
+     * tasks in rate-monotonic priority order (highest rate first).
+     */
+    void advanceTo(double t);
+
+    /** Per-task statistics. */
+    std::vector<TaskStats> stats() const;
+
+    /** Simulated CPU utilization in [0, 1] so far. */
+    double utilization() const;
+
+  private:
+    struct Task
+    {
+        TaskStats stats;
+        double periodS = 0.0;
+        double costS = 0.0;
+        double nextRelease = 0.0;
+        std::function<void(double)> fn;
+    };
+
+    std::vector<Task> tasks_;
+    double now_ = 0.0;
+    double cpuBusyUntil_ = 0.0;
+    double totalCpuS_ = 0.0;
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_CONTROL_SCHEDULER_HH

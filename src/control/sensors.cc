@@ -1,0 +1,101 @@
+#include "control/sensors.hh"
+
+#include "util/units.hh"
+
+namespace dronedse {
+
+SensorSuite::SensorSuite(SensorRates rates, SensorNoise noise,
+                         std::uint64_t seed)
+    : rates_(rates), noise_(noise), rng_(seed)
+{
+    gyroBias_ = {rng_.gaussian(0.0, noise_.gyroBias),
+                 rng_.gaussian(0.0, noise_.gyroBias),
+                 rng_.gaussian(0.0, noise_.gyroBias)};
+}
+
+void
+SensorSuite::advance(double t, const RigidBodyState &truth,
+                     const Vec3 &accel_world)
+{
+    now_ = t;
+    truth_ = truth;
+    accelWorld_ = accel_world;
+}
+
+std::optional<ImuSample>
+SensorSuite::imu()
+{
+    if (now_ + 1e-12 < nextImu_)
+        return std::nullopt;
+    nextImu_ = now_ + 1.0 / rates_.accelHz;
+    ++imuCount_;
+
+    ImuSample s;
+    s.timestamp = now_;
+    // Accelerometer measures specific force in the body frame:
+    // f = R^T (a - g).
+    const Vec3 specific_world =
+        accelWorld_ - Vec3{0.0, 0.0, -kGravity};
+    const Vec3 body =
+        truth_.attitude.conjugate().rotate(specific_world);
+    s.accel = {body.x + rng_.gaussian(0.0, noise_.accelStd),
+               body.y + rng_.gaussian(0.0, noise_.accelStd),
+               body.z + rng_.gaussian(0.0, noise_.accelStd)};
+    s.gyro = {truth_.angularVelocity.x + gyroBias_.x +
+                  rng_.gaussian(0.0, noise_.gyroStd),
+              truth_.angularVelocity.y + gyroBias_.y +
+                  rng_.gaussian(0.0, noise_.gyroStd),
+              truth_.angularVelocity.z + gyroBias_.z +
+                  rng_.gaussian(0.0, noise_.gyroStd)};
+    return s;
+}
+
+std::optional<GpsSample>
+SensorSuite::gps()
+{
+    if (!gpsAvailable_)
+        return std::nullopt;
+    if (now_ + 1e-12 < nextGps_)
+        return std::nullopt;
+    nextGps_ = now_ + 1.0 / rates_.gpsHz;
+    ++gpsCount_;
+
+    GpsSample s;
+    s.timestamp = now_;
+    s.position = {truth_.position.x + rng_.gaussian(0.0, noise_.gpsStd),
+                  truth_.position.y + rng_.gaussian(0.0, noise_.gpsStd),
+                  truth_.position.z +
+                      rng_.gaussian(0.0, 1.5 * noise_.gpsStd)};
+    s.velocity = {
+        truth_.velocity.x + rng_.gaussian(0.0, noise_.gpsVelStd),
+        truth_.velocity.y + rng_.gaussian(0.0, noise_.gpsVelStd),
+        truth_.velocity.z + rng_.gaussian(0.0, noise_.gpsVelStd)};
+    return s;
+}
+
+std::optional<BaroSample>
+SensorSuite::baro()
+{
+    if (now_ + 1e-12 < nextBaro_)
+        return std::nullopt;
+    nextBaro_ = now_ + 1.0 / rates_.baroHz;
+    ++baroCount_;
+
+    return BaroSample{
+        truth_.position.z + rng_.gaussian(0.0, noise_.baroStd), now_};
+}
+
+std::optional<MagSample>
+SensorSuite::mag()
+{
+    if (now_ + 1e-12 < nextMag_)
+        return std::nullopt;
+    nextMag_ = now_ + 1.0 / rates_.magHz;
+    ++magCount_;
+
+    return MagSample{
+        truth_.attitude.yaw() + rng_.gaussian(0.0, noise_.magStd),
+        now_};
+}
+
+} // namespace dronedse

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * On-board sensor models at the paper's data frequencies
+ * (Table 2a): accelerometer and gyroscope at 100-200 Hz,
+ * magnetometer at 10 Hz, barometer at 10-20 Hz, GPS at 1-40 Hz.
+ * Each sensor samples the true simulator state with bias and
+ * Gaussian noise at its own rate.
+ */
+
+#ifndef DRONEDSE_CONTROL_SENSORS_HH
+#define DRONEDSE_CONTROL_SENSORS_HH
+
+#include <optional>
+
+#include "sim/rigid_body.hh"
+#include "util/rng.hh"
+
+namespace dronedse {
+
+/** Rates of the on-board sensors (paper Table 2a). */
+struct SensorRates
+{
+    double accelHz = 200.0;
+    double gyroHz = 200.0;
+    double magHz = 10.0;
+    double baroHz = 20.0;
+    double gpsHz = 10.0;
+};
+
+/** Noise densities and biases. */
+struct SensorNoise
+{
+    double accelStd = 0.08;      // m/s^2
+    double gyroStd = 0.005;      // rad/s
+    double gyroBias = 0.002;     // rad/s constant bias
+    double magStd = 0.02;        // rad equivalent yaw noise
+    double baroStd = 0.25;       // m
+    double gpsStd = 0.8;         // m horizontal
+    double gpsVelStd = 0.15;     // m/s
+};
+
+/** One IMU sample (body frame). */
+struct ImuSample
+{
+    /** Specific force: acceleration minus gravity, body frame. */
+    Vec3 accel;
+    Vec3 gyro;
+    double timestamp = 0.0;
+};
+
+/** GPS fix: world position and velocity. */
+struct GpsSample
+{
+    Vec3 position;
+    Vec3 velocity;
+    double timestamp = 0.0;
+};
+
+/** Barometric altitude. */
+struct BaroSample
+{
+    double altitude = 0.0;
+    double timestamp = 0.0;
+};
+
+/** Magnetometer-derived yaw. */
+struct MagSample
+{
+    double yaw = 0.0;
+    double timestamp = 0.0;
+};
+
+/**
+ * Samples the simulator's true state at per-sensor rates.  advance()
+ * is called every simulation step; each getter returns a sample only
+ * when that sensor's period has elapsed.
+ */
+class SensorSuite
+{
+  public:
+    SensorSuite(SensorRates rates = {}, SensorNoise noise = {},
+                std::uint64_t seed = 7);
+
+    /**
+     * Advance to time `t` with the current true state and the true
+     * world-frame acceleration (for the accelerometer).
+     */
+    void advance(double t, const RigidBodyState &truth,
+                 const Vec3 &accel_world);
+
+    /**
+     * Inject a GPS outage (indoor flight, jamming, canyon): while
+     * unavailable, gps() yields no fixes and the estimator must
+     * coast on IMU + barometer.
+     */
+    void setGpsAvailable(bool available) { gpsAvailable_ = available; }
+
+    /** True while GPS fixes are being produced. */
+    bool gpsAvailable() const { return gpsAvailable_; }
+
+    /** IMU sample if due this step. */
+    std::optional<ImuSample> imu();
+    /** GPS sample if due this step. */
+    std::optional<GpsSample> gps();
+    /** Barometer sample if due this step. */
+    std::optional<BaroSample> baro();
+    /** Magnetometer sample if due this step. */
+    std::optional<MagSample> mag();
+
+    /** Total samples produced per sensor (rate verification). */
+    long imuCount() const { return imuCount_; }
+    long gpsCount() const { return gpsCount_; }
+    long baroCount() const { return baroCount_; }
+    long magCount() const { return magCount_; }
+
+  private:
+    SensorRates rates_;
+    SensorNoise noise_;
+    Rng rng_;
+    Vec3 gyroBias_;
+
+    double now_ = 0.0;
+    RigidBodyState truth_;
+    Vec3 accelWorld_;
+
+    double nextImu_ = 0.0, nextGps_ = 0.0, nextBaro_ = 0.0,
+           nextMag_ = 0.0;
+    bool gpsAvailable_ = true;
+    long imuCount_ = 0, gpsCount_ = 0, baroCount_ = 0, magCount_ = 0;
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_CONTROL_SENSORS_HH

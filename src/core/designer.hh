@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The Figure 12 quantification procedure as a fluent public API.
+ *
+ * DroneDesigner walks the paper's flow: pick a frame for the
+ * application, add sensors/compute/payload, size the battery, close
+ * the weight loop, and report flight time, the computation power
+ * footprint, and the flight time gained by a compute optimization.
+ */
+
+#ifndef DRONEDSE_CORE_DESIGNER_HH
+#define DRONEDSE_CORE_DESIGNER_HH
+
+#include <optional>
+#include <string>
+
+#include "components/commercial.hh"
+#include "components/sensor.hh"
+#include "dse/design_point.hh"
+
+namespace dronedse {
+
+/** Rendered outcome of a design run. */
+struct DesignReport
+{
+    DesignResult result;
+    /** Compute power as % of total, hovering. */
+    double computeFractionHover = 0.0;
+    /** Compute power as % of total, maneuvering. */
+    double computeFractionManeuver = 0.0;
+    /** Flight time (min) if compute power were fully eliminated. */
+    double maxComputeGainMin = 0.0;
+    /** Closest commercial drone by weight, for validation. */
+    std::string nearestCommercial;
+    /** Weight distance to that drone (g). */
+    double nearestCommercialDeltaG = 0.0;
+
+    /** Multi-line human-readable summary. */
+    std::string str() const;
+};
+
+/** Fluent builder over DesignInputs implementing Figure 12. */
+class DroneDesigner
+{
+  public:
+    DroneDesigner() = default;
+
+    /** Start from an existing input set (e.g. a preset). */
+    explicit DroneDesigner(DesignInputs inputs);
+
+    DroneDesigner &wheelbase(double mm);
+    DroneDesigner &battery(int cells, double capacity_mah);
+    DroneDesigner &twr(double ratio);
+    DroneDesigner &escClass(EscClass esc_class);
+    DroneDesigner &compute(const ComputeBoardRecord &board);
+    /** Add an external sensor (Table 4 semantics: LiDARs self-power). */
+    DroneDesigner &sensor(const SensorRecord &record);
+    DroneDesigner &payload(double grams);
+    DroneDesigner &activity(FlightActivity activity);
+    /** Override the propeller instead of the wheelbase maximum. */
+    DroneDesigner &propeller(double diameter_in);
+
+    /** Current inputs (for inspection or sweeps). */
+    const DesignInputs &inputs() const { return inputs_; }
+
+    /** Solve the design point (Equations 1-6). */
+    DesignResult design() const;
+
+    /**
+     * Solve and assemble the full report, including both activity
+     * regimes and the commercial comparison (Figure 12's "compare
+     * with commercial drones" step).
+     */
+    DesignReport report() const;
+
+  private:
+    DesignInputs inputs_;
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_CORE_DESIGNER_HH

@@ -1,0 +1,90 @@
+#include "core/presets.hh"
+
+#include "components/compute_board.hh"
+#include "components/sensor.hh"
+
+namespace dronedse {
+
+std::vector<WeightSlice>
+ourDroneWeightBreakdown()
+{
+    // Figure 14 gram values.
+    static const std::vector<std::pair<const char *, double>> parts = {
+        {"Frame", 272.0},        {"Battery", 248.0},
+        {"Motors", 220.0},       {"ESC", 112.0},
+        {"Rpi", 50.0},           {"Propellers", 40.0},
+        {"GPS", 30.0},           {"Navio2", 23.0},
+        {"Misc", 20.0},          {"RC Receiver", 17.0},
+        {"Telemetry", 15.0},     {"Power Module", 15.0},
+        {"PPM Encoder", 9.0},
+    };
+    double total = 0.0;
+    for (const auto &[name, w] : parts)
+        total += w;
+
+    std::vector<WeightSlice> out;
+    out.reserve(parts.size());
+    for (const auto &[name, w] : parts)
+        out.push_back({name, w, w / total});
+    return out;
+}
+
+double
+ourDroneTotalWeightG()
+{
+    double total = 0.0;
+    for (const auto &slice : ourDroneWeightBreakdown())
+        total += slice.weightG;
+    return total;
+}
+
+DesignInputs
+ourDroneInputs()
+{
+    DesignInputs in;
+    in.wheelbaseMm = 450.0;
+    in.cells = 3;
+    in.capacityMah = 3000.0;
+    in.twr = 2.0;
+    in.escClass = EscClass::LongFlight;
+    // Raspberry Pi (autopilot + SLAM host) plus the Navio2 HAT.
+    const auto &rpi = findComputeBoard("Raspberry Pi 4");
+    const auto &navio = findComputeBoard("Navio2");
+    in.compute = {"RPi + Navio2", BoardClass::Improved,
+                  rpi.weightG + navio.weightG, rpi.powerW + navio.powerW};
+    // GPS, RC receiver, telemetry, power module, PPM encoder
+    // (Figure 14 support electronics).
+    in.sensorWeightG = 30.0 + 17.0 + 15.0 + 15.0 + 9.0;
+    in.sensorPowerW = 1.5;
+    return in;
+}
+
+DesignInputs
+racer220Inputs()
+{
+    DesignInputs in;
+    in.wheelbaseMm = 220.0;
+    in.cells = 4;
+    in.capacityMah = 1500.0;
+    in.twr = 4.0;
+    in.escClass = EscClass::ShortFlight;
+    in.compute = findComputeBoard("iFlight SucceX-E F4");
+    return in;
+}
+
+DesignInputs
+mapper800Inputs()
+{
+    DesignInputs in;
+    in.wheelbaseMm = 800.0;
+    in.cells = 6;
+    in.capacityMah = 8000.0;
+    in.twr = 2.0;
+    in.compute = findComputeBoard("Nvidia Jetson TX2");
+    const auto &lidar = findSensor("Ultra Puck");
+    in.sensorWeightG = lidar.weightG;
+    in.sensorPowerW = lidar.mainPackPowerW();
+    return in;
+}
+
+} // namespace dronedse

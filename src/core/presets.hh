@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Preset designs, including the paper's open-source drone
+ * (Section 4): a 450 mm frame with a Navio2 flight controller and
+ * Raspberry Pi companion computer, whose weight breakdown is
+ * Figure 14.
+ */
+
+#ifndef DRONEDSE_CORE_PRESETS_HH
+#define DRONEDSE_CORE_PRESETS_HH
+
+#include <string>
+#include <vector>
+
+#include "dse/design_point.hh"
+
+namespace dronedse {
+
+/** One slice of the Figure 14 weight-breakdown pie. */
+struct WeightSlice
+{
+    std::string component;
+    double weightG = 0.0;
+    /** Fraction of the total weight. */
+    double fraction = 0.0;
+};
+
+/**
+ * The Figure 14 weight breakdown of the paper's open-source drone
+ * (fractions computed from the published gram values; total 1061 g).
+ */
+std::vector<WeightSlice> ourDroneWeightBreakdown();
+
+/** Total weight (g) of the open-source drone. */
+double ourDroneTotalWeightG();
+
+/**
+ * Design inputs describing the open-source drone: Crazepony F450
+ * frame, 3S 3000 mAh pack, Navio2 + Raspberry Pi compute stack, GPS
+ * and telemetry carried as sensor weight.
+ */
+DesignInputs ourDroneInputs();
+
+/** A minimal racing 220 mm preset (short-flight ESCs, basic FC). */
+DesignInputs racer220Inputs();
+
+/** A mapping 800 mm preset carrying a self-powered LiDAR. */
+DesignInputs mapper800Inputs();
+
+} // namespace dronedse
+
+#endif // DRONEDSE_CORE_PRESETS_HH

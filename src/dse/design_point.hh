@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Inputs and outputs of one drone design-space point.
+ *
+ * A design point fixes the free variables of the paper's model
+ * (wheelbase, battery configuration, compute board, TWR, activity)
+ * and the solver (Equations 1-7, Section 3.2) resolves the coupled
+ * weight/power/flight-time quantities.
+ */
+
+#ifndef DRONEDSE_DSE_DESIGN_POINT_HH
+#define DRONEDSE_DSE_DESIGN_POINT_HH
+
+#include <string>
+
+#include "components/compute_board.hh"
+#include "components/esc.hh"
+#include "components/motor.hh"
+#include "physics/loads.hh"
+
+namespace dronedse {
+
+/** Free variables of a design point. */
+struct DesignInputs
+{
+    /** Frame wheelbase (mm); fixes frame weight and max propeller. */
+    double wheelbaseMm = 450.0;
+    /** LiPo series cell count (1-6). */
+    int cells = 3;
+    /** Battery capacity (mAh). */
+    double capacityMah = 3000.0;
+    /**
+     * Target thrust-to-weight ratio.  The paper uses the minimum
+     * flyable value of 2 to bound the computation power contribution
+     * from above (Table 3).
+     */
+    double twr = 2.0;
+    /**
+     * Propeller diameter (inches); 0 selects the largest the
+     * wheelbase allows (the paper's procedure).
+     */
+    double propDiameterIn = 0.0;
+    /** ESC market segment (long-flight unless studying racers). */
+    EscClass escClass = EscClass::LongFlight;
+    /** Compute board (weight and power). */
+    ComputeBoardRecord compute{"Basic 3W chip", BoardClass::Basic, 20.0,
+                               3.0};
+    /** External sensor weight carried (g). */
+    double sensorWeightG = 0.0;
+    /** External sensor power drawn from the main pack (W). */
+    double sensorPowerW = 0.0;
+    /** Additional payload (g). */
+    double payloadG = 0.0;
+    /** Activity regime for the average-power equation. */
+    FlightActivity activity = FlightActivity::Hovering;
+};
+
+/** Resolved quantities of a design point (Equations 1-7). */
+struct DesignResult
+{
+    /** False when the closure failed (e.g. runaway weight). */
+    bool feasible = false;
+    /** Human-readable reason when infeasible. */
+    std::string infeasibleReason;
+
+    /** Echo of the inputs that produced this result. */
+    DesignInputs inputs;
+
+    // -- Equation 1: weight closure --------------------------------
+    /** All-up weight (g). */
+    double totalWeightG = 0.0;
+    /**
+     * Basic weight (g): total minus battery, ESCs, and motors
+     * (the Figure 9 definition).
+     */
+    double basicWeightG = 0.0;
+    double frameWeightG = 0.0;
+    double batteryWeightG = 0.0;
+    double motorSetWeightG = 0.0;
+    double escSetWeightG = 0.0;
+    double propSetWeightG = 0.0;
+    double wiringWeightG = 0.0;
+
+    // -- Equation 2: motor matching --------------------------------
+    /** Matched motor (Kv, weight, max current). */
+    MotorRecord motor;
+    /** Max continuous current per motor (A). */
+    double motorMaxCurrentA = 0.0;
+    /** Flag for the Figure 9/10 "extremely high Kv" region. */
+    bool extremeKv = false;
+
+    // -- Equations 3-4: power and energy ---------------------------
+    /** Max electrical propulsion power, 4 * I_max * V (W). */
+    double maxPowerW = 0.0;
+    /** Propulsion power at the activity's flying load (W). */
+    double propulsionPowerW = 0.0;
+    /** Compute board power (W). */
+    double computePowerW = 0.0;
+    /** Sensor power from the main pack (W). */
+    double sensorPowerW = 0.0;
+    /** Average total power (W), Equation 3. */
+    double avgPowerW = 0.0;
+    /** Usable battery energy (Wh), Equation 4. */
+    double usableEnergyWh = 0.0;
+
+    // -- Equations 5-6: flight time and footprint ------------------
+    /** Flight time (min), Equation 5. */
+    double flightTimeMin = 0.0;
+    /** Fraction of total power consumed by compute, Equation 6. */
+    double computePowerFraction = 0.0;
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_DSE_DESIGN_POINT_HH

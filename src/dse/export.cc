@@ -1,0 +1,36 @@
+#include "dse/export.hh"
+
+namespace dronedse {
+
+CsvWriter
+sweepToCsv(const std::vector<DesignResult> &series)
+{
+    CsvWriter csv({"capacity_mah", "cells", "total_weight_g",
+                   "avg_power_w", "flight_time_min",
+                   "compute_power_fraction", "motor_current_a",
+                   "motor_kv"});
+    for (const auto &res : series) {
+        csv.addRow(std::vector<double>{
+            res.inputs.capacityMah,
+            static_cast<double>(res.inputs.cells), res.totalWeightG,
+            res.avgPowerW, res.flightTimeMin,
+            res.computePowerFraction, res.motorMaxCurrentA,
+            res.motor.kv});
+    }
+    return csv;
+}
+
+CsvWriter
+motorCurveToCsv(const std::vector<MotorCurrentPoint> &curve)
+{
+    CsvWriter csv({"basic_weight_g", "motor_current_a", "kv",
+                   "motor_weight_g"});
+    for (const auto &point : curve) {
+        csv.addRow(std::vector<double>{point.basicWeightG,
+                                       point.motorCurrentA, point.kv,
+                                       point.motorWeightG});
+    }
+    return csv;
+}
+
+} // namespace dronedse

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * CSV export of design-space sweeps — the repo-side equivalent of
+ * the paper artifact's raw figure data (/Drone-CSVs).
+ */
+
+#ifndef DRONEDSE_DSE_EXPORT_HH
+#define DRONEDSE_DSE_EXPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "dse/design_point.hh"
+#include "dse/sweep.hh"
+#include "util/csv.hh"
+
+namespace dronedse {
+
+/**
+ * Render a solved-design series (e.g. one Figure 10 battery family)
+ * as CSV: capacity, weight, power, flight time, compute share.
+ */
+CsvWriter sweepToCsv(const std::vector<DesignResult> &series);
+
+/**
+ * Render a Figure 9 motor-current curve as CSV: basic weight,
+ * current, Kv, motor weight.
+ */
+CsvWriter motorCurveToCsv(const std::vector<MotorCurrentPoint> &curve);
+
+} // namespace dronedse
+
+#endif // DRONEDSE_DSE_EXPORT_HH

@@ -1,0 +1,47 @@
+#include "dse/footprint.hh"
+
+#include "dse/weight_closure.hh"
+#include "util/logging.hh"
+
+namespace dronedse {
+
+double
+gainedFlightTimeMin(const DesignResult &result, double saved_power_w)
+{
+    if (!result.feasible)
+        fatal("gainedFlightTimeMin: design point is infeasible");
+    const double new_power = result.avgPowerW - saved_power_w;
+    if (new_power <= 0.0)
+        fatal("gainedFlightTimeMin: savings exceed total power");
+    const double new_time = result.usableEnergyWh / new_power * 60.0;
+    return new_time - result.flightTimeMin;
+}
+
+double
+gainedFlightTimeApproxMin(double saved_power_w, double total_power_w,
+                          double flight_time_min)
+{
+    if (total_power_w <= 0.0)
+        fatal("gainedFlightTimeApproxMin: total power must be positive");
+    return saved_power_w / total_power_w * flight_time_min;
+}
+
+double
+platformSwapGainMin(const DesignInputs &inputs, double delta_power_w,
+                    double delta_weight_g)
+{
+    const DesignResult base = solveDesign(inputs);
+    if (!base.feasible)
+        fatal("platformSwapGainMin: baseline design infeasible");
+
+    DesignInputs swapped = inputs;
+    swapped.compute.powerW += delta_power_w;
+    swapped.compute.weightG += delta_weight_g;
+    const DesignResult after = solveDesign(swapped);
+    if (!after.feasible)
+        fatal("platformSwapGainMin: swapped design infeasible");
+
+    return after.flightTimeMin - base.flightTimeMin;
+}
+
+} // namespace dronedse

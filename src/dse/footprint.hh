@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Computation power footprint analysis (Equations 6-7, Figures 10d-f
+ * and 11): what fraction of total drone power the compute system
+ * consumes, and how compute power savings convert into flight time.
+ */
+
+#ifndef DRONEDSE_DSE_FOOTPRINT_HH
+#define DRONEDSE_DSE_FOOTPRINT_HH
+
+#include "dse/design_point.hh"
+
+namespace dronedse {
+
+/**
+ * Exact flight time gained (min) by reducing average power draw by
+ * `saved_power_w` watts (Equation 7): the battery energy is fixed,
+ * so t_new = E / (P - dP).
+ *
+ * @param result        A feasible design point.
+ * @param saved_power_w Power saved; may be negative (added power,
+ *        e.g. a heavier platform), yielding a negative gain.
+ */
+double gainedFlightTimeMin(const DesignResult &result,
+                           double saved_power_w);
+
+/**
+ * The paper's linearized form of Equation 7 used in Section 5.2:
+ * gain ~= dP / P * t (e.g. "10/140 x 15 min").
+ */
+double gainedFlightTimeApproxMin(double saved_power_w,
+                                 double total_power_w,
+                                 double flight_time_min);
+
+/**
+ * Flight time gained (min) when a platform swap changes both power
+ * and weight: the design is re-solved with the new payload so the
+ * weight feedback (heavier platform -> bigger motors -> more power)
+ * is captured.
+ *
+ * @param inputs            Baseline design inputs.
+ * @param delta_power_w     Platform power change (positive = more).
+ * @param delta_weight_g    Platform weight change (positive = more).
+ */
+double platformSwapGainMin(const DesignInputs &inputs,
+                           double delta_power_w, double delta_weight_g);
+
+/** One row of the Figure 10d-f footprint series. */
+struct FootprintPoint
+{
+    double totalWeightG = 0.0;
+    double computePowerW = 0.0;
+    FlightActivity activity = FlightActivity::Hovering;
+    /** Compute power as a fraction of total (Equation 6). */
+    double fraction = 0.0;
+    double flightTimeMin = 0.0;
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_DSE_FOOTPRINT_HH

@@ -1,0 +1,134 @@
+#include "dse/sweep.hh"
+
+#include <cmath>
+
+#include "components/battery.hh"
+#include "components/esc.hh"
+#include "dse/weight_closure.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace dronedse {
+
+const SizeClassSpec &
+classSpec(SizeClass size_class)
+{
+    static const SizeClassSpec small{
+        SizeClass::Small, "100mm (small consumer)", 200.0, 5.0,
+        500.0, 4500.0, 200.0, 1700.0, 23.0};
+    static const SizeClassSpec medium{
+        SizeClass::Medium, "450mm", 450.0, 10.0,
+        1000.0, 8000.0, 400.0, 2000.0, 19.0};
+    static const SizeClassSpec large{
+        SizeClass::Large, "800mm", 800.0, 20.0,
+        1000.0, 8000.0, 1200.0, 3200.0, 22.0};
+
+    switch (size_class) {
+      case SizeClass::Small:
+        return small;
+      case SizeClass::Medium:
+        return medium;
+      case SizeClass::Large:
+        return large;
+    }
+    panic("classSpec: unreachable size class");
+}
+
+std::vector<DesignResult>
+sweepCapacity(const SizeClassSpec &spec, int cells, double step_mah,
+              const ComputeBoardRecord &compute, FlightActivity activity,
+              double twr)
+{
+    if (step_mah <= 0.0)
+        fatal("sweepCapacity: step must be positive");
+
+    std::vector<DesignResult> out;
+    for (double cap = spec.capacityLoMah; cap <= spec.capacityHiMah + 1e-9;
+         cap += step_mah) {
+        DesignInputs in;
+        in.wheelbaseMm = spec.wheelbaseMm;
+        in.propDiameterIn = spec.propDiameterIn;
+        in.cells = cells;
+        in.capacityMah = cap;
+        in.twr = twr;
+        in.compute = compute;
+        in.activity = activity;
+        DesignResult res = solveDesign(in);
+        if (res.feasible)
+            out.push_back(std::move(res));
+    }
+    return out;
+}
+
+bool
+withinPracticalLimits(const DesignResult &result,
+                      const SizeClassSpec &spec)
+{
+    if (!result.feasible)
+        return false;
+    if (result.totalWeightG > spec.weightAxisHiG)
+        return false;
+    return result.batteryWeightG <=
+           kMaxBatteryMassFraction * result.totalWeightG;
+}
+
+DesignResult
+bestConfiguration(const SizeClassSpec &spec,
+                  const ComputeBoardRecord &compute, double step_mah,
+                  double twr)
+{
+    DesignResult best;
+    for (int cells = kMinCells; cells <= kMaxCells; ++cells) {
+        const auto series = sweepCapacity(spec, cells, step_mah, compute,
+                                          FlightActivity::Hovering, twr);
+        for (const auto &res : series) {
+            // Stay within the class's practical envelope so a 100 mm
+            // "best" is not a 5 kg battery-dominated outlier.
+            if (!withinPracticalLimits(res, spec))
+                continue;
+            if (!best.feasible ||
+                res.flightTimeMin > best.flightTimeMin) {
+                best = res;
+            }
+        }
+    }
+    if (!best.feasible)
+        fatal("bestConfiguration: no feasible design in class sweep");
+    return best;
+}
+
+std::vector<MotorCurrentPoint>
+motorCurrentCurve(double prop_diameter_in, int cells, double basic_lo_g,
+                  double basic_hi_g, double step_g, double twr)
+{
+    if (step_g <= 0.0 || basic_hi_g < basic_lo_g)
+        fatal("motorCurrentCurve: invalid weight range");
+
+    const double voltage = cells * kLipoCellVoltage;
+    std::vector<MotorCurrentPoint> out;
+    for (double basic = basic_lo_g; basic <= basic_hi_g + 1e-9;
+         basic += step_g) {
+        // Closure over motor and ESC mass only (battery excluded,
+        // per the figure's basic-weight definition).
+        double total = basic;
+        MotorRecord motor;
+        bool converged = false;
+        for (int iter = 0; iter < 60; ++iter) {
+            const double thrust = twr * total / 4.0;
+            motor = matchMotor(thrust, prop_diameter_in, voltage);
+            const double esc_w = escSetWeightG(motor.maxCurrentA);
+            const double new_total = basic + 4.0 * motor.weightG + esc_w;
+            if (std::fabs(new_total - total) < 0.01) {
+                converged = true;
+                break;
+            }
+            total = new_total;
+        }
+        if (!converged)
+            continue;
+        out.push_back({basic, motor.maxCurrentA, motor.kv, motor.weightG});
+    }
+    return out;
+}
+
+} // namespace dronedse

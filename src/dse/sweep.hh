@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Design-space sweeps: the loops that generate the series in
+ * Figures 9 and 10 and locate each size class's best configuration.
+ */
+
+#ifndef DRONEDSE_DSE_SWEEP_HH
+#define DRONEDSE_DSE_SWEEP_HH
+
+#include <vector>
+
+#include "components/commercial.hh"
+#include "dse/design_point.hh"
+
+namespace dronedse {
+
+/** Canonical parameters of one Figure 10 size class. */
+struct SizeClassSpec
+{
+    SizeClass sizeClass = SizeClass::Medium;
+    const char *label = "";
+    /** Representative wheelbase (mm). */
+    double wheelbaseMm = 450.0;
+    /**
+     * Propeller diameter (inches).  For the small consumer class the
+     * paper's validation points (Mavic, Spark, ...) fly folding ~5"
+     * props that overlap the arms, so the class prop exceeds the
+     * strict wheelbase cap; see EXPERIMENTS.md.
+     */
+    double propDiameterIn = 10.0;
+    /** Capacity sweep bounds (mAh), Section 3.2 procedure. */
+    double capacityLoMah = 1000.0;
+    double capacityHiMah = 8000.0;
+    /** Weight axis of the corresponding Figure 10 panel (g). */
+    double weightAxisLoG = 200.0;
+    double weightAxisHiG = 1700.0;
+    /** Paper's validated best-configuration flight time (min). */
+    double paperBestFlightTimeMin = 23.0;
+};
+
+/** The three Figure 10 classes (small/medium/large). */
+const SizeClassSpec &classSpec(SizeClass size_class);
+
+/**
+ * Practical cap on the battery's share of all-up weight.  Commercial
+ * drones carry 20-35 % battery (Figure 14: 23 %; Mavic: ~33 %);
+ * beyond that, C-rating margins, voltage sag, and structure make
+ * designs impractical, so the best-configuration search excludes
+ * them.
+ */
+inline constexpr double kMaxBatteryMassFraction = 0.35;
+
+/**
+ * True when a design is inside the class's practical envelope:
+ * within the weight axis and under the battery-mass-fraction cap.
+ */
+bool withinPracticalLimits(const DesignResult &result,
+                           const SizeClassSpec &spec);
+
+/**
+ * Sweep battery capacity for one class and cell count, solving each
+ * design point (the Figure 10a-c series for one battery family).
+ *
+ * Infeasible points are omitted.
+ */
+std::vector<DesignResult>
+sweepCapacity(const SizeClassSpec &spec, int cells, double step_mah,
+              const ComputeBoardRecord &compute,
+              FlightActivity activity = FlightActivity::Hovering,
+              double twr = 2.0);
+
+/**
+ * Best configuration of a class: the max-flight-time design over
+ * cell counts {1..6} and the class's capacity range.
+ */
+DesignResult bestConfiguration(const SizeClassSpec &spec,
+                               const ComputeBoardRecord &compute,
+                               double step_mah = 250.0, double twr = 2.0);
+
+/** One point of a Figure 9 series. */
+struct MotorCurrentPoint
+{
+    /** Basic weight (g): no battery, ESCs, or motors. */
+    double basicWeightG = 0.0;
+    /** Minimum required max current draw per motor (A). */
+    double motorCurrentA = 0.0;
+    /** Kv rating of the matched motor. */
+    double kv = 0.0;
+    /** Matched motor weight (g). */
+    double motorWeightG = 0.0;
+};
+
+/**
+ * The Figure 9 relationship: per-motor max current vs basic weight
+ * for a given propeller and supply voltage at a target TWR.
+ *
+ * Basic weight excludes battery, ESCs, and motors (the figure's
+ * definition); the closure adds motor and ESC mass back before
+ * computing the thrust requirement.
+ */
+std::vector<MotorCurrentPoint>
+motorCurrentCurve(double prop_diameter_in, int cells,
+                  double basic_lo_g, double basic_hi_g, double step_g,
+                  double twr = 2.0);
+
+} // namespace dronedse
+
+#endif // DRONEDSE_DSE_SWEEP_HH

@@ -1,0 +1,119 @@
+#include "dse/weight_closure.hh"
+
+#include <cmath>
+
+#include "components/battery.hh"
+#include "components/frame.hh"
+#include "components/propeller.hh"
+#include "physics/lipo.hh"
+#include "physics/propeller_aero.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace dronedse {
+
+double
+wiringWeightG(double frame_weight_g)
+{
+    return 20.0 + 0.15 * frame_weight_g;
+}
+
+DesignResult
+solveDesign(const DesignInputs &inputs)
+{
+    DesignResult res;
+    res.inputs = inputs;
+
+    if (inputs.cells < kMinCells || inputs.cells > kMaxCells) {
+        res.infeasibleReason = "cell count out of range";
+        return res;
+    }
+    if (inputs.capacityMah <= 0.0 || inputs.twr < 1.0 ||
+        inputs.wheelbaseMm <= 0.0) {
+        res.infeasibleReason = "invalid capacity, TWR, or wheelbase";
+        return res;
+    }
+
+    const double prop_in = inputs.propDiameterIn > 0.0
+                               ? inputs.propDiameterIn
+                               : maxPropDiameterIn(inputs.wheelbaseMm);
+    const double voltage = inputs.cells * kLipoCellVoltage;
+
+    // Weight components independent of the thrust requirement.
+    res.frameWeightG = frameWeightG(inputs.wheelbaseMm);
+    res.batteryWeightG = batteryWeightG(inputs.cells, inputs.capacityMah);
+    res.propSetWeightG = propellerSetWeightG(prop_in);
+    res.wiringWeightG = wiringWeightG(res.frameWeightG);
+    const double fixed_weight =
+        res.frameWeightG + res.batteryWeightG + res.propSetWeightG +
+        res.wiringWeightG + inputs.compute.weightG + inputs.sensorWeightG +
+        inputs.payloadG;
+
+    // Equation 1/2 fixed point: motor and ESC weights depend on the
+    // thrust requirement, which depends on total weight.
+    double total = fixed_weight;
+    MotorRecord motor;
+    double esc_w = 0.0;
+    bool converged = false;
+    for (int iter = 0; iter < 60; ++iter) {
+        const double thrust_per_motor = inputs.twr * total / 4.0;
+        motor = matchMotor(thrust_per_motor, prop_in, voltage);
+        esc_w = escSetWeightG(motor.maxCurrentA, inputs.escClass);
+        const double new_total = fixed_weight + 4.0 * motor.weightG + esc_w;
+        if (std::fabs(new_total - total) < 0.01) {
+            total = new_total;
+            converged = true;
+            break;
+        }
+        total = new_total;
+        if (total > 1.0e6)
+            break;
+    }
+    if (!converged) {
+        res.infeasibleReason = "weight closure diverged";
+        return res;
+    }
+
+    res.totalWeightG = total;
+    res.motor = motor;
+    res.motorMaxCurrentA = motor.maxCurrentA;
+    res.motorSetWeightG = 4.0 * motor.weightG;
+    res.escSetWeightG = esc_w;
+    res.basicWeightG = total - res.batteryWeightG - res.motorSetWeightG -
+                       res.escSetWeightG;
+    res.extremeKv = motor.kv > kExtremeKvThreshold;
+
+    // Equation 3: average power from the flying load fraction.
+    const double load = flyingLoadFraction(inputs.activity);
+    res.maxPowerW = 4.0 * motor.maxCurrentA * voltage;
+    res.propulsionPowerW = res.maxPowerW * load;
+    res.computePowerW = inputs.compute.powerW;
+    res.sensorPowerW = inputs.sensorPowerW;
+    res.avgPowerW =
+        res.propulsionPowerW + res.computePowerW + res.sensorPowerW;
+
+    // Equation 4: usable energy.
+    res.usableEnergyWh = usableEnergyWh(inputs.capacityMah, voltage);
+
+    // Equation 5: flight time.
+    res.flightTimeMin = wattHoursToMinutes(res.usableEnergyWh,
+                                           res.avgPowerW);
+
+    // Equation 6: computation footprint.
+    res.computePowerFraction = res.computePowerW / res.avgPowerW;
+
+    // Sanity: the battery must be able to deliver the max current.
+    const double max_current_needed = 4.0 * motor.maxCurrentA;
+    const double capacity_ah = inputs.capacityMah / 1000.0;
+    // High-C packs reach ~80C continuous; beyond that no pack of
+    // this capacity can feed the motors.
+    if (capacity_ah * 80.0 < max_current_needed) {
+        res.infeasibleReason = "battery C-rating cannot supply max draw";
+        return res;
+    }
+
+    res.feasible = true;
+    return res;
+}
+
+} // namespace dronedse

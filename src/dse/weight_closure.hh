@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The design-point solver: Equations 1-6 of the paper.
+ *
+ * Component weights depend on the thrust requirement, which depends
+ * on total weight, which includes those components — so the solver
+ * iterates the weight closure to a fixed point ("if the additional
+ * weights necessitate a new motor, we redo the previous steps",
+ * Section 3.2), then evaluates power, energy, flight time, and the
+ * computation footprint.
+ */
+
+#ifndef DRONEDSE_DSE_WEIGHT_CLOSURE_HH
+#define DRONEDSE_DSE_WEIGHT_CLOSURE_HH
+
+#include "dse/design_point.hh"
+
+namespace dronedse {
+
+/**
+ * Kv above which the paper marks "extremely high Kv" requirements
+ * (Figure 9a annotates 25000Kv for 2" props on light packs).
+ */
+inline constexpr double kExtremeKvThreshold = 20000.0;
+
+/**
+ * Support-hardware weight (wiring, PDB, RC receiver, mounts) as a
+ * function of frame weight; anchored to the paper's 450 mm drone
+ * (Figure 14: ~60 g of wiring/misc on a 272 g frame).
+ */
+double wiringWeightG(double frame_weight_g);
+
+/**
+ * Resolve a design point: close the weight loop (Equations 1-2),
+ * then evaluate average power (Equation 3), usable energy
+ * (Equation 4), flight time (Equation 5), and the compute power
+ * fraction (Equation 6).
+ *
+ * Always returns; check DesignResult::feasible.
+ */
+DesignResult solveDesign(const DesignInputs &inputs);
+
+} // namespace dronedse
+
+#endif // DRONEDSE_DSE_WEIGHT_CLOSURE_HH

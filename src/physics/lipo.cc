@@ -1,0 +1,62 @@
+#include "physics/lipo.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace dronedse {
+
+double
+usableEnergyWh(double capacity_mah, double voltage)
+{
+    return capacityToWattHours(capacity_mah, voltage) * kLipoDrainLimit *
+           kPowerDeliveryEfficiency;
+}
+
+LipoPack::LipoPack(int cells, double capacity_mah)
+    : cells_(cells), capacityMah_(capacity_mah)
+{
+    if (cells < 1 || cells > 12)
+        fatal("LipoPack: cell count out of range");
+    if (capacity_mah <= 0.0)
+        fatal("LipoPack: capacity must be positive");
+}
+
+double
+LipoPack::nominalVoltage() const
+{
+    return cells_ * kLipoCellVoltage;
+}
+
+double
+LipoPack::terminalVoltage() const
+{
+    // 4.2 V/cell full, ~3.3 V/cell at the drain limit; linear in SoC.
+    const double per_cell = 3.3 + (4.2 - 3.3) * soc_;
+    return cells_ * per_cell;
+}
+
+bool
+LipoPack::depleted() const
+{
+    return soc_ <= 1.0 - kLipoDrainLimit;
+}
+
+void
+LipoPack::discharge(double power_w, double dt_s)
+{
+    if (power_w < 0.0 || dt_s < 0.0)
+        fatal("LipoPack::discharge: negative power or time");
+    const double drawn = power_w * dt_s / 3600.0; // Wh
+    drawn_wh_ += drawn;
+    soc_ = std::max(0.0, soc_ - drawn / totalEnergyWh());
+}
+
+double
+LipoPack::totalEnergyWh() const
+{
+    return capacityToWattHours(capacityMah_, nominalVoltage());
+}
+
+} // namespace dronedse

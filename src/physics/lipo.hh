@@ -1,0 +1,69 @@
+/**
+ * @file
+ * LiPo battery electrical behaviour: usable energy, state of charge,
+ * and voltage sag under load.  Used by the DSE flight-time equations
+ * and the power-trace simulation.
+ */
+
+#ifndef DRONEDSE_PHYSICS_LIPO_HH
+#define DRONEDSE_PHYSICS_LIPO_HH
+
+namespace dronedse {
+
+/** Power-delivery efficiency (wiring, PDB, ESC switching losses). */
+inline constexpr double kPowerDeliveryEfficiency = 0.95;
+
+/**
+ * Usable energy (Wh) of a pack: nominal energy derated by the
+ * LiPoDrainLimit (85 %, paper Section 2.1.2) and power-delivery
+ * efficiency (%PowerEff in Equation 4).
+ */
+double usableEnergyWh(double capacity_mah, double voltage);
+
+/**
+ * Stateful pack for time-domain simulation: integrates energy draw
+ * and reports state of charge and sagged terminal voltage.
+ */
+class LipoPack
+{
+  public:
+    /** Construct a pack of `cells` cells and `capacity_mah` mAh. */
+    LipoPack(int cells, double capacity_mah);
+
+    /** Nominal voltage (3.7 V/cell). */
+    double nominalVoltage() const;
+
+    /**
+     * Terminal voltage under the present state of charge: full packs
+     * sit ~14 % above nominal, empty packs ~11 % below.
+     */
+    double terminalVoltage() const;
+
+    /** Remaining fraction of total capacity in [0, 1]. */
+    double stateOfCharge() const { return soc_; }
+
+    /** True once the pack has reached the safe drain limit. */
+    bool depleted() const;
+
+    /**
+     * Draw `power_w` watts for `dt_s` seconds; state of charge never
+     * goes below zero.
+     */
+    void discharge(double power_w, double dt_s);
+
+    /** Total nominal energy (Wh). */
+    double totalEnergyWh() const;
+
+    /** Energy drawn so far (Wh). */
+    double drawnEnergyWh() const { return drawn_wh_; }
+
+  private:
+    int cells_;
+    double capacityMah_;
+    double soc_ = 1.0;
+    double drawn_wh_ = 0.0;
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_PHYSICS_LIPO_HH

@@ -1,0 +1,72 @@
+#include "physics/propeller_aero.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace dronedse {
+
+double
+propThrustN(double n_rev_s, double d_m)
+{
+    return kThrustCoefficient * kAirDensity * n_rev_s * n_rev_s *
+           d_m * d_m * d_m * d_m;
+}
+
+double
+propThrustG(double n_rev_s, double d_m)
+{
+    return propThrustN(n_rev_s, d_m) * kGramsPerNewton;
+}
+
+double
+propShaftPowerW(double n_rev_s, double d_m)
+{
+    return kPowerCoefficient * kAirDensity * n_rev_s * n_rev_s * n_rev_s *
+           d_m * d_m * d_m * d_m * d_m;
+}
+
+double
+revsForThrust(double thrust_g, double d_in)
+{
+    if (thrust_g < 0.0 || d_in <= 0.0)
+        fatal("revsForThrust: invalid thrust or diameter");
+    const double d_m = inchesToMeters(d_in);
+    const double thrust_n = thrust_g / kGramsPerNewton;
+    const double denom =
+        kThrustCoefficient * kAirDensity * d_m * d_m * d_m * d_m;
+    return std::sqrt(thrust_n / denom);
+}
+
+double
+rpmForThrust(double thrust_g, double d_in)
+{
+    return revPerSecToRpm(revsForThrust(thrust_g, d_in));
+}
+
+double
+electricalPowerW(double thrust_g, double d_in)
+{
+    const double n = revsForThrust(thrust_g, d_in);
+    const double d_m = inchesToMeters(d_in);
+    return propShaftPowerW(n, d_m) / kMotorEfficiency;
+}
+
+double
+motorCurrentA(double thrust_g, double d_in, double voltage)
+{
+    if (voltage <= 0.0)
+        fatal("motorCurrentA: voltage must be positive");
+    return electricalPowerW(thrust_g, d_in) / voltage;
+}
+
+double
+requiredKv(double thrust_g, double d_in, double voltage)
+{
+    if (voltage <= 0.0)
+        fatal("requiredKv: voltage must be positive");
+    return rpmForThrust(thrust_g, d_in) / (kLoadedRpmFraction * voltage);
+}
+
+} // namespace dronedse

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Propeller aerodynamics: the standard non-dimensional thrust/power
+ * coefficient model.
+ *
+ *   thrust = Ct * rho * n^2 * D^4      (N, n in rev/s, D in m)
+ *   power  = Cp * rho * n^3 * D^5      (W, shaft power)
+ *
+ * Coefficients are calibrated so an MT2213-class motor with a 10x4.5
+ * propeller on 3S reproduces its published max thrust (~850 g) and
+ * electrical power (~160 W), and so the paper's 450 mm drone hovers
+ * near its measured 130 W (Figure 16b).
+ */
+
+#ifndef DRONEDSE_PHYSICS_PROPELLER_AERO_HH
+#define DRONEDSE_PHYSICS_PROPELLER_AERO_HH
+
+namespace dronedse {
+
+/** Thrust coefficient for typical multirotor props (pitch ~0.45 D). */
+inline constexpr double kThrustCoefficient = 0.09;
+
+/** Power coefficient for the same propeller family. */
+inline constexpr double kPowerCoefficient = 0.05;
+
+/** Electrical-to-shaft efficiency of a BLDC motor + ESC pair. */
+inline constexpr double kMotorEfficiency = 0.75;
+
+/**
+ * Fraction of the no-load speed (Kv * V) a loaded propeller actually
+ * reaches at full throttle.
+ */
+inline constexpr double kLoadedRpmFraction = 0.75;
+
+/** Thrust (N) of a propeller at n rev/s with diameter d_m metres. */
+double propThrustN(double n_rev_s, double d_m);
+
+/** Thrust in grams-force. */
+double propThrustG(double n_rev_s, double d_m);
+
+/** Shaft power (W) at n rev/s with diameter d_m metres. */
+double propShaftPowerW(double n_rev_s, double d_m);
+
+/** Rotation speed (rev/s) needed to produce a thrust in grams. */
+double revsForThrust(double thrust_g, double d_in);
+
+/** Rotation speed in RPM needed to produce a thrust in grams. */
+double rpmForThrust(double thrust_g, double d_in);
+
+/**
+ * Electrical power (W) a motor draws to produce `thrust_g` grams of
+ * thrust with a `d_in`-inch propeller.
+ */
+double electricalPowerW(double thrust_g, double d_in);
+
+/**
+ * Motor current (A) to produce `thrust_g` grams of thrust with a
+ * `d_in`-inch propeller at the given supply voltage.
+ */
+double motorCurrentA(double thrust_g, double d_in, double voltage);
+
+/**
+ * Kv rating (RPM/V) a motor needs so that its loaded full-throttle
+ * speed produces `thrust_g` grams with a `d_in`-inch propeller at
+ * the given supply voltage.
+ */
+double requiredKv(double thrust_g, double d_in, double voltage);
+
+} // namespace dronedse
+
+#endif // DRONEDSE_PHYSICS_PROPELLER_AERO_HH

@@ -1,0 +1,68 @@
+#include "platform/exec_model.hh"
+
+#include "util/regression.hh"
+
+namespace dronedse {
+
+PlatformTimes
+timeOnPlatform(const std::array<
+                   PhaseWork,
+                   static_cast<std::size_t>(SlamPhase::NumPhases)> &work,
+               PlatformKind kind)
+{
+    const PlatformSpec &spec = platformSpec(kind);
+    PlatformTimes times;
+    times.kind = kind;
+    for (std::size_t p = 0; p < work.size(); ++p) {
+        times.phaseSeconds[p] = static_cast<double>(work[p].ops) /
+                                spec.phaseThroughput[p];
+        times.totalSeconds += times.phaseSeconds[p];
+    }
+    return times;
+}
+
+Figure17Data
+runFigure17(int frame_limit)
+{
+    Figure17Data data;
+    std::array<std::vector<double>, 4> speedups;
+
+    for (const SequenceSpec &base_spec : euRocSequences()) {
+        SequenceSpec spec = base_spec;
+        if (frame_limit > 0 && spec.frames > frame_limit)
+            spec.frames = frame_limit;
+
+        const SequenceStats stats = SlamPipeline::runSequence(spec);
+
+        Figure17Row row;
+        row.sequence = spec.name;
+        row.difficulty = spec.difficulty;
+
+        const PlatformTimes rpi =
+            timeOnPlatform(stats.work, PlatformKind::RPi);
+        row.tx2 = timeOnPlatform(stats.work, PlatformKind::TX2);
+        row.fpga = timeOnPlatform(stats.work, PlatformKind::Fpga);
+        const PlatformTimes asic =
+            timeOnPlatform(stats.work, PlatformKind::Asic);
+
+        row.totalSeconds = {rpi.totalSeconds, row.tx2.totalSeconds,
+                            row.fpga.totalSeconds, asic.totalSeconds};
+        for (std::size_t i = 0; i < 4; ++i) {
+            row.speedup[i] = rpi.totalSeconds / row.totalSeconds[i];
+            speedups[i].push_back(row.speedup[i]);
+        }
+        const double ba_time =
+            rpi.phaseSeconds[static_cast<std::size_t>(
+                SlamPhase::LocalBa)] +
+            rpi.phaseSeconds[static_cast<std::size_t>(
+                SlamPhase::GlobalBa)];
+        row.rpiBaFraction = ba_time / rpi.totalSeconds;
+        data.rows.push_back(std::move(row));
+    }
+
+    for (std::size_t i = 0; i < 4; ++i)
+        data.geomeanSpeedup[i] = geomean(speedups[i]);
+    return data;
+}
+
+} // namespace dronedse

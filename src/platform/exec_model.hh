@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Execution-time model: maps the SLAM pipeline's measured per-phase
+ * work onto each platform and produces the Figure 17 speedup bars.
+ */
+
+#ifndef DRONEDSE_PLATFORM_EXEC_MODEL_HH
+#define DRONEDSE_PLATFORM_EXEC_MODEL_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "platform/platform.hh"
+
+namespace dronedse {
+
+/** Per-phase and total time of one sequence on one platform. */
+struct PlatformTimes
+{
+    PlatformKind kind = PlatformKind::RPi;
+    std::array<double, static_cast<std::size_t>(SlamPhase::NumPhases)>
+        phaseSeconds{};
+    double totalSeconds = 0.0;
+};
+
+/** Time the measured work on one platform. */
+PlatformTimes
+timeOnPlatform(const std::array<
+                   PhaseWork,
+                   static_cast<std::size_t>(SlamPhase::NumPhases)> &work,
+               PlatformKind kind);
+
+/** One Figure 17 bar group. */
+struct Figure17Row
+{
+    std::string sequence;
+    std::string difficulty;
+    /** Per-platform total times (s) in Table 5 order. */
+    std::array<double, 4> totalSeconds{};
+    /** Speedup over RPi per platform. */
+    std::array<double, 4> speedup{};
+    /** Fraction of RPi time spent in BA (local+global). */
+    double rpiBaFraction = 0.0;
+    /** Phase split of the TX2/FPGA speedup rows (Figure 17 stacks). */
+    PlatformTimes tx2;
+    PlatformTimes fpga;
+};
+
+/** The full Figure 17 dataset plus geomean row. */
+struct Figure17Data
+{
+    std::vector<Figure17Row> rows;
+    /** Geomean speedups over RPi (RPi, TX2, FPGA, ASIC). */
+    std::array<double, 4> geomeanSpeedup{};
+};
+
+/**
+ * Run every EuRoC-like sequence through the pipeline and assemble
+ * the Figure 17 dataset.
+ *
+ * @param frame_limit Optional cap on frames per sequence (0 = full
+ *        length); tests use a cap to stay fast.
+ */
+Figure17Data runFigure17(int frame_limit = 0);
+
+} // namespace dronedse
+
+#endif // DRONEDSE_PLATFORM_EXEC_MODEL_HH

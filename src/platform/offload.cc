@@ -1,0 +1,91 @@
+#include "platform/offload.hh"
+
+#include "dse/footprint.hh"
+#include "util/logging.hh"
+
+namespace dronedse {
+
+namespace {
+
+/**
+ * The paper's linearized, power-only flight-time gain (Section 5.2:
+ * "saving 10 W by moving from TX2 to FPGA gives us +1 minute
+ * (~10/140 x 15 min)").  Accelerators (FPGA/ASIC) are credited with
+ * replacing the CPU/GPU system that hosted SLAM; the TX2 itself is
+ * assessed against the RPi baseline, which is why its row is
+ * negative.  A weight-aware exact analysis is available through
+ * platformSwapGainMin() in the DSE library.
+ */
+double
+gainMin(const PlatformSpec &spec, const OffloadScenario &sc,
+        double total_power_w)
+{
+    double replaced_w = sc.replacedComputeW;
+    if (spec.kind == PlatformKind::TX2) {
+        replaced_w = platformSpec(PlatformKind::RPi).powerOverheadW;
+    }
+    const double power_saved = replaced_w - spec.powerOverheadW;
+    return gainedFlightTimeApproxMin(power_saved, total_power_w,
+                                     sc.baselineFlightMin);
+}
+
+int
+costScore(const PlatformSpec &spec)
+{
+    return static_cast<int>(spec.integrationCost) +
+           static_cast<int>(spec.fabricationCost);
+}
+
+} // namespace
+
+std::vector<OffloadAssessment>
+assessOffload(const std::array<double, 4> &speedups,
+              const OffloadScenario &scenario)
+{
+    std::vector<OffloadAssessment> table;
+    table.reserve(4);
+    for (std::size_t i = 0; i < allPlatforms().size(); ++i) {
+        OffloadAssessment a;
+        a.spec = allPlatforms()[i];
+        a.slamSpeedup = speedups[i];
+
+        if (a.spec.kind == PlatformKind::RPi) {
+            // The baseline: zero gain by definition.
+            a.gainedSmallMin = 0.0;
+            a.gainedLargeMin = 0.0;
+        } else {
+            a.gainedSmallMin = gainMin(a.spec, scenario,
+                                       scenario.smallDronePowerW);
+            a.gainedLargeMin = gainMin(a.spec, scenario,
+                                       scenario.largeDronePowerW);
+        }
+        table.push_back(std::move(a));
+    }
+    return table;
+}
+
+const OffloadAssessment &
+recommendPlatform(const std::vector<OffloadAssessment> &table,
+                  bool small_drone, double tie_margin_min)
+{
+    if (table.empty())
+        fatal("recommendPlatform: empty assessment table");
+
+    const OffloadAssessment *best = &table.front();
+    auto gain = [&](const OffloadAssessment &a) {
+        return small_drone ? a.gainedSmallMin : a.gainedLargeMin;
+    };
+    for (const auto &a : table) {
+        if (gain(a) > gain(*best) + tie_margin_min) {
+            best = &a;
+        } else if (gain(a) > gain(*best) - tie_margin_min &&
+                   costScore(a.spec) < costScore(best->spec)) {
+            // Near-tie: prefer the cheaper platform to integrate
+            // and fabricate (the paper's FPGA-over-ASIC argument).
+            best = &a;
+        }
+    }
+    return *best;
+}
+
+} // namespace dronedse

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Table 5: the cost/benefit of hosting SLAM on each platform, and
+ * the paper's conclusion that the FPGA is the most cost-effective
+ * choice for both small and large drones.
+ */
+
+#ifndef DRONEDSE_PLATFORM_OFFLOAD_HH
+#define DRONEDSE_PLATFORM_OFFLOAD_HH
+
+#include <vector>
+
+#include "platform/platform.hh"
+
+namespace dronedse {
+
+/** Assumptions behind the Table 5 flight-time arithmetic. */
+struct OffloadScenario
+{
+    /** Baseline flight time (min); Table 5 footnote uses 15. */
+    double baselineFlightMin = 15.0;
+    /**
+     * Small-drone total power (W): the paper's "CPU/GPU to FPGA is
+     * ~15-20 % of total" implies ~50 W.
+     */
+    double smallDronePowerW = 50.0;
+    /** Large-drone total power (W); Figure 16b measures ~130-140. */
+    double largeDronePowerW = 140.0;
+    /**
+     * Compute power being replaced (W): the CPU/GPU system hosting
+     * SLAM before offload (TX2-class, Section 5.2's "saving 10 W by
+     * moving from TX2 to FPGA").
+     */
+    double replacedComputeW = 10.0;
+};
+
+/** One Table 5 column. */
+struct OffloadAssessment
+{
+    PlatformSpec spec;
+    /** SLAM speedup over the RPi baseline (geomean, Figure 17). */
+    double slamSpeedup = 1.0;
+    /** Gained flight time, small drones (min, paper arithmetic). */
+    double gainedSmallMin = 0.0;
+    /** Gained flight time, large drones (min). */
+    double gainedLargeMin = 0.0;
+};
+
+/**
+ * Assemble Table 5.
+ *
+ * @param speedups Geomean speedups per platform (from runFigure17),
+ *        RPi first.
+ */
+std::vector<OffloadAssessment>
+assessOffload(const std::array<double, 4> &speedups,
+              const OffloadScenario &scenario = {});
+
+/**
+ * The paper's recommendation logic: rank platforms by gained flight
+ * time, breaking near-ties (within `tie_margin_min` minutes) toward
+ * lower integration+fabrication cost.  Returns the winner — the
+ * FPGA under the paper's numbers.
+ */
+const OffloadAssessment &
+recommendPlatform(const std::vector<OffloadAssessment> &table,
+                  bool small_drone = true,
+                  double tie_margin_min = 0.5);
+
+} // namespace dronedse
+
+#endif // DRONEDSE_PLATFORM_OFFLOAD_HH

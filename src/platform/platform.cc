@@ -1,0 +1,113 @@
+#include "platform/platform.hh"
+
+#include "util/logging.hh"
+
+namespace dronedse {
+
+const char *
+costLevelName(CostLevel level)
+{
+    switch (level) {
+      case CostLevel::Low:
+        return "Low";
+      case CostLevel::Medium:
+        return "Medium";
+      case CostLevel::High:
+        return "High";
+    }
+    panic("costLevelName: invalid level");
+}
+
+namespace {
+
+/** Phase order: feature, matching, tracking, local BA, global BA. */
+constexpr std::size_t kN =
+    static_cast<std::size_t>(SlamPhase::NumPhases);
+
+/**
+ * RPi-4 baseline throughputs (ops/s).  Matching and tracking run at
+ * scalar-integer speed; the BA phases crawl (dense linear algebra on
+ * an in-order-friendly core), which is what puts ~90 % of the
+ * execution time into bundle adjustment.
+ */
+constexpr std::array<double, kN> kRpiThroughput = {
+    120.0e6, // feature extraction
+    180.0e6, // matching (popcount-heavy)
+    60.0e6,  // tracking
+    2.0e6,   // local BA
+    2.0e6,   // global BA
+};
+
+std::array<double, kN>
+scaled(const std::array<double, kN> &base,
+       const std::array<double, kN> &factor)
+{
+    std::array<double, kN> out{};
+    for (std::size_t i = 0; i < kN; ++i)
+        out[i] = base[i] * factor[i];
+    return out;
+}
+
+} // namespace
+
+const std::vector<PlatformSpec> &
+allPlatforms()
+{
+    static const std::vector<PlatformSpec> specs = [] {
+        std::vector<PlatformSpec> v(4);
+
+        v[0].kind = PlatformKind::RPi;
+        v[0].name = "RPi";
+        v[0].powerOverheadW = 2.0;
+        v[0].weightOverheadG = 50.0;
+        v[0].integrationCost = CostLevel::Low;
+        v[0].fabricationCost = CostLevel::Low;
+        v[0].phaseThroughput = kRpiThroughput;
+
+        // TX2: the GPU devours feature extraction and matching;
+        // bundle adjustment gains only ~2x (sparse, divergent).
+        v[1].kind = PlatformKind::TX2;
+        v[1].name = "TX2";
+        v[1].powerOverheadW = 10.0;
+        v[1].weightOverheadG = 85.0;
+        v[1].integrationCost = CostLevel::Low;
+        v[1].fabricationCost = CostLevel::Low;
+        v[1].phaseThroughput =
+            scaled(kRpiThroughput, {9.0, 9.0, 2.0, 1.8, 1.8});
+
+        // FPGA: dense fixed-size matrix pipeline for BA (~40x) plus
+        // an eSLAM-style feature front end (~10x).
+        v[2].kind = PlatformKind::Fpga;
+        v[2].name = "FPGA";
+        v[2].powerOverheadW = 0.417;
+        v[2].weightOverheadG = 75.0;
+        v[2].integrationCost = CostLevel::Medium;
+        v[2].fabricationCost = CostLevel::Medium;
+        v[2].phaseThroughput =
+            scaled(kRpiThroughput, {12.0, 12.0, 12.0, 50.0, 50.0});
+
+        // ASIC (Navion-class): slightly below the FPGA's raw BA
+        // throughput at a tiny power budget.
+        v[3].kind = PlatformKind::Asic;
+        v[3].name = "ASIC";
+        v[3].powerOverheadW = 0.024;
+        v[3].weightOverheadG = 20.0;
+        v[3].integrationCost = CostLevel::High;
+        v[3].fabricationCost = CostLevel::High;
+        v[3].phaseThroughput =
+            scaled(kRpiThroughput, {8.0, 8.0, 8.0, 45.0, 45.0});
+        return v;
+    }();
+    return specs;
+}
+
+const PlatformSpec &
+platformSpec(PlatformKind kind)
+{
+    const auto idx = static_cast<std::size_t>(kind);
+    if (idx >= allPlatforms().size())
+        fatal("platformSpec: invalid platform kind");
+    return allPlatforms()[idx];
+}
+
+} // namespace dronedse

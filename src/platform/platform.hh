@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Hardware platforms for SLAM offload (paper Section 5, Table 5):
+ * Raspberry Pi 4 baseline, Nvidia Jetson TX2, a ZYNQ-class FPGA, and
+ * a Navion-class ASIC.  Each platform is an execution model (phase
+ * throughputs over the pipeline's abstract op counts) plus power,
+ * weight, and cost attributes.
+ */
+
+#ifndef DRONEDSE_PLATFORM_PLATFORM_HH
+#define DRONEDSE_PLATFORM_PLATFORM_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "slam/pipeline.hh"
+
+namespace dronedse {
+
+/** The platforms of Table 5. */
+enum class PlatformKind
+{
+    RPi = 0,
+    TX2,
+    Fpga,
+    Asic,
+    NumPlatforms,
+};
+
+/** Qualitative cost level (Table 5 rows). */
+enum class CostLevel
+{
+    Low,
+    Medium,
+    High,
+};
+
+/** Render a cost level. */
+const char *costLevelName(CostLevel level);
+
+/** Static description of one platform. */
+struct PlatformSpec
+{
+    PlatformKind kind = PlatformKind::RPi;
+    std::string name;
+    /**
+     * Power overhead of hosting SLAM on this platform (W), Table 5:
+     * RPi 2, TX2 10, FPGA 0.417, ASIC 0.024.
+     */
+    double powerOverheadW = 2.0;
+    /** Weight overhead (g), Table 5: 50 / 85 / 75 / 20. */
+    double weightOverheadG = 50.0;
+    CostLevel integrationCost = CostLevel::Low;
+    CostLevel fabricationCost = CostLevel::Low;
+    /**
+     * Phase throughputs (abstract pipeline ops per second).  The
+     * RPi row is calibrated so bundle adjustment takes ~90 % of its
+     * execution time (paper Section 5.2); accelerators scale each
+     * phase according to what they accelerate (TX2: GPU feature
+     * extraction; FPGA: dense-matrix BA pipeline + eSLAM front end;
+     * ASIC: Navion-style full pipeline).
+     */
+    std::array<double, static_cast<std::size_t>(SlamPhase::NumPhases)>
+        phaseThroughput{};
+};
+
+/** Look up a platform's spec. */
+const PlatformSpec &platformSpec(PlatformKind kind);
+
+/** All four platforms in Table 5 order. */
+const std::vector<PlatformSpec> &allPlatforms();
+
+} // namespace dronedse
+
+#endif // DRONEDSE_PLATFORM_PLATFORM_HH

@@ -1,0 +1,127 @@
+#include "power/board_power.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dronedse {
+
+const char *
+boardStateName(BoardState state)
+{
+    switch (state) {
+      case BoardState::Disconnected:
+        return "disconnected";
+      case BoardState::Autopilot:
+        return "autopilot";
+      case BoardState::AutopilotSlamIdle:
+        return "autopilot+slam(idle)";
+      case BoardState::AutopilotSlamFlying:
+        return "autopilot+slam(flying)";
+      case BoardState::Shutdown:
+        return "shutdown(peripherals)";
+    }
+    panic("boardStateName: invalid state");
+}
+
+double
+boardStateMeanW(BoardState state)
+{
+    // Section 5.1 measurements.
+    switch (state) {
+      case BoardState::Disconnected:
+        return 0.0;
+      case BoardState::Autopilot:
+        return 3.39;
+      case BoardState::AutopilotSlamIdle:
+        return 4.05;
+      case BoardState::AutopilotSlamFlying:
+        return 4.56;
+      case BoardState::Shutdown:
+        return 1.1; // Navio2 + telemetry still on the rail
+    }
+    panic("boardStateMeanW: invalid state");
+}
+
+double
+PowerTrace::meanW(double t0, double t1) const
+{
+    double sum = 0.0;
+    long count = 0;
+    for (const auto &s : samples) {
+        if (s.t >= t0 && s.t < t1) {
+            sum += s.powerW;
+            ++count;
+        }
+    }
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+double
+PowerTrace::maxW(double t0, double t1) const
+{
+    double best = 0.0;
+    for (const auto &s : samples)
+        if (s.t >= t0 && s.t < t1)
+            best = std::max(best, s.powerW);
+    return best;
+}
+
+double
+PowerTrace::energyWh() const
+{
+    double wh = 0.0;
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+        const double dt = samples[i].t - samples[i - 1].t;
+        wh += samples[i - 1].powerW * dt / 3600.0;
+    }
+    return wh;
+}
+
+PowerTrace
+boardPowerTrace(const std::vector<BoardPhase> &script, double rate_hz,
+                std::uint64_t seed)
+{
+    if (rate_hz <= 0.0)
+        fatal("boardPowerTrace: rate must be positive");
+
+    PowerTrace trace;
+    Rng rng(seed);
+    double t = 0.0;
+    const double dt = 1.0 / rate_hz;
+    for (const auto &phase : script) {
+        trace.phases.emplace_back(t, boardStateName(phase.state));
+        const double mean = boardStateMeanW(phase.state);
+        const long steps =
+            std::lround(phase.durationS * rate_hz);
+        for (long i = 0; i < steps; ++i) {
+            double p = mean;
+            if (phase.state == BoardState::AutopilotSlamFlying) {
+                // Bursty: frame-processing spikes up to ~5 W.
+                p += 0.25 * std::sin(2.0 * M_PI * 0.4 * t) +
+                     std::max(0.0, rng.gaussian(0.0, 0.25));
+                p = std::min(p, 5.0);
+            } else if (phase.state != BoardState::Disconnected) {
+                p += rng.gaussian(0.0, 0.05);
+            }
+            trace.samples.push_back({t, std::max(0.0, p)});
+            t += dt;
+        }
+    }
+    return trace;
+}
+
+std::vector<BoardPhase>
+figure16aScript()
+{
+    // Figure 16a: disconnected -> autopilot -> +SLAM idle ->
+    // +SLAM flying -> Pi shutdown (peripherals still powered).
+    return {{BoardState::Disconnected, 30.0},
+            {BoardState::Autopilot, 150.0},
+            {BoardState::AutopilotSlamIdle, 120.0},
+            {BoardState::AutopilotSlamFlying, 400.0},
+            {BoardState::Shutdown, 100.0}};
+}
+
+} // namespace dronedse

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Companion-computer power states (Figure 16a): the Raspberry Pi's
+ * measured draw while idle, running the autopilot, running autopilot
+ * + SLAM on the bench, and with SLAM actively processing in flight.
+ */
+
+#ifndef DRONEDSE_POWER_BOARD_POWER_HH
+#define DRONEDSE_POWER_BOARD_POWER_HH
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace dronedse {
+
+/** Compute-board activity states in the Figure 16a timeline. */
+enum class BoardState
+{
+    Disconnected,
+    /** Pi booted, autopilot running. */
+    Autopilot,
+    /** Autopilot + SLAM loaded, drone not flying (SLAM idle). */
+    AutopilotSlamIdle,
+    /** Autopilot + SLAM actively processing during flight. */
+    AutopilotSlamFlying,
+    /** Pi shut down; rail still powers Navio2 and peripherals. */
+    Shutdown,
+};
+
+/** Human-readable state name. */
+const char *boardStateName(BoardState state);
+
+/**
+ * Mean power (W) of a state — the paper's measured averages:
+ * autopilot 3.39 W, +SLAM idle 4.05 W, +SLAM flying 4.56 W (peaks
+ * to ~5 W).
+ */
+double boardStateMeanW(BoardState state);
+
+/** One phase of a scripted board timeline. */
+struct BoardPhase
+{
+    BoardState state = BoardState::Autopilot;
+    double durationS = 10.0;
+};
+
+/** One sample of a power trace. */
+struct PowerSample
+{
+    double t = 0.0;
+    double powerW = 0.0;
+};
+
+/** A sampled power trace with phase annotations. */
+struct PowerTrace
+{
+    std::vector<PowerSample> samples;
+    /** (start time, label) per phase. */
+    std::vector<std::pair<double, std::string>> phases;
+
+    /** Mean power between t0 and t1. */
+    double meanW(double t0, double t1) const;
+
+    /** Max power between t0 and t1. */
+    double maxW(double t0, double t1) const;
+
+    /** Energy (Wh) integrated over the whole trace. */
+    double energyWh() const;
+};
+
+/**
+ * Generate the Figure 16a RPi trace for a phase script, sampled at
+ * `rate_hz` with measured-looking fluctuation.
+ */
+PowerTrace boardPowerTrace(const std::vector<BoardPhase> &script,
+                           double rate_hz = 2.0,
+                           std::uint64_t seed = 5);
+
+/** The paper's Figure 16a phase script. */
+std::vector<BoardPhase> figure16aScript();
+
+} // namespace dronedse
+
+#endif // DRONEDSE_POWER_BOARD_POWER_HH

@@ -1,0 +1,90 @@
+#include "power/drone_power.hh"
+
+#include <algorithm>
+
+namespace dronedse {
+
+FlightPowerResult
+flyMeasurementFlight(const FlightPowerConfig &config)
+{
+    FlightPowerResult result;
+    const double electronics =
+        config.computePowerW + config.supportPowerW;
+
+    // Mission: climb to 2 m, hover, fly an aggressive box, return,
+    // land (descend to 0.2 m and hold).
+    const double hold = config.hoverS;
+    std::vector<Waypoint> mission = {
+        {{0, 0, 2}, 0.0, 0.4, hold},
+        {{6, 0, 2.5}, 0.0, 0.6, 0.0},
+        {{6, 6, 1.5}, 1.6, 0.6, 0.0},
+        {{0, 6, 2.5}, 3.1, 0.6, 0.0},
+        {{0, 0, 2}, 0.0, 0.5, 5.0},
+        {{0, 0, 0.2}, 0.0, 0.3, 1e9},
+    };
+
+    AutopilotConfig ap_config;
+    ap_config.wind.gustIntensity = config.gustIntensity;
+    Autopilot autopilot(config.airframe, std::move(mission),
+                        ap_config);
+
+    LipoPack pack(config.cells, config.capacityMah);
+
+    // Idle on the ground: motors off, electronics on.
+    double t = 0.0;
+    const double sample_dt = 0.1;
+    result.trace.phases.emplace_back(t, "idle (motors off)");
+    for (; t < config.idleS; t += sample_dt) {
+        pack.discharge(electronics, sample_dt);
+        result.trace.samples.push_back({t, electronics});
+    }
+
+    // Flight: run the closed loop, sampling power every 100 ms.
+    result.trace.phases.emplace_back(t, "takeoff + hover");
+    bool maneuvering_noted = false;
+    double hover_sum = 0.0, flight_sum = 0.0;
+    long hover_n = 0, flight_n = 0;
+
+    const double flight_duration = config.idleS + hold +
+                                   config.maneuverS + 45.0;
+    while (t < flight_duration) {
+        autopilot.run(sample_dt);
+        const double power =
+            autopilot.quad().electricalPowerW() + electronics;
+        pack.discharge(power, sample_dt);
+        result.trace.samples.push_back({t, power});
+
+        const std::size_t wp = autopilot.navigator().currentIndex();
+        if (wp >= 1 && wp <= 3) {
+            if (!maneuvering_noted) {
+                result.trace.phases.emplace_back(t, "maneuvering");
+                maneuvering_noted = true;
+            }
+            result.maneuverPeakW =
+                std::max(result.maneuverPeakW, power);
+        } else if (wp == 0 &&
+                   autopilot.quad().state().position.z > 1.5) {
+            hover_sum += power;
+            ++hover_n;
+        }
+        if (autopilot.quad().state().position.z > 0.5) {
+            flight_sum += power;
+            ++flight_n;
+        }
+        if (autopilot.quad().upsideDown())
+            result.stableFlight = false;
+        t += sample_dt;
+    }
+    result.trace.phases.emplace_back(t, "landed");
+
+    result.hoverMeanW =
+        hover_n > 0 ? hover_sum / static_cast<double>(hover_n) : 0.0;
+    result.flightMeanW =
+        flight_n > 0 ? flight_sum / static_cast<double>(flight_n)
+                     : 0.0;
+    result.finalSoc = pack.stateOfCharge();
+    result.energyDrawnWh = pack.drawnEnergyWh();
+    return result;
+}
+
+} // namespace dronedse

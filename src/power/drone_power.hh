@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Whole-drone power trace (Figure 16b): the closed-loop flight
+ * simulator flies a scripted mission while propulsion electrical
+ * power, compute power, and battery state of charge are logged —
+ * the oscilloscope-on-the-battery measurement of the paper.
+ */
+
+#ifndef DRONEDSE_POWER_DRONE_POWER_HH
+#define DRONEDSE_POWER_DRONE_POWER_HH
+
+#include "control/autopilot.hh"
+#include "physics/lipo.hh"
+#include "power/board_power.hh"
+
+namespace dronedse {
+
+/** Configuration of the Figure 16b flight. */
+struct FlightPowerConfig
+{
+    /** Airframe (defaults to the paper's 450 mm drone). */
+    QuadrotorParams airframe{};
+    /** Battery (3S 3000 mAh, the open-source drone's pack). */
+    int cells = 3;
+    double capacityMah = 3000.0;
+    /** Compute-board power added on top of propulsion (W). */
+    double computePowerW = 4.56 + 0.75; // RPi w/ SLAM + Navio2
+    /** Support electronics (telemetry, RC, GPS) (W). */
+    double supportPowerW = 1.5;
+    /** Idle-on-ground time before takeoff (s). */
+    double idleS = 10.0;
+    /** Hover segment duration (s). */
+    double hoverS = 30.0;
+    /** Maneuver segment duration (s). */
+    double maneuverS = 20.0;
+    /** Wind gusts during the flight (m/s RMS). */
+    double gustIntensity = 0.8;
+};
+
+/** Outcome of the simulated measurement flight. */
+struct FlightPowerResult
+{
+    PowerTrace trace;
+    /** Mean total power while airborne (W). */
+    double flightMeanW = 0.0;
+    /** Peak power during the maneuver segment (W). */
+    double maneuverPeakW = 0.0;
+    /** Mean power while hovering (W). */
+    double hoverMeanW = 0.0;
+    /** Battery state of charge at the end. */
+    double finalSoc = 1.0;
+    /** Energy drawn (Wh). */
+    double energyDrawnWh = 0.0;
+    /** True if the vehicle stayed upright throughout. */
+    bool stableFlight = true;
+};
+
+/**
+ * Fly the Figure 16b profile — idle, takeoff, hover, aggressive
+ * waypoint maneuvering, return, land — and log total power.
+ */
+FlightPowerResult flyMeasurementFlight(
+    const FlightPowerConfig &config = {});
+
+} // namespace dronedse
+
+#endif // DRONEDSE_POWER_DRONE_POWER_HH

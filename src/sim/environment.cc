@@ -1,0 +1,32 @@
+#include "sim/environment.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dronedse {
+
+WindField::WindField(WindParams params, std::uint64_t seed)
+    : params_(params), rng_(seed)
+{
+    if (params_.gustCorrelationS <= 0.0)
+        fatal("WindField: gust correlation time must be positive");
+}
+
+Vec3
+WindField::sample(double dt)
+{
+    // Ornstein-Uhlenbeck: gust relaxes toward zero with correlation
+    // time tau while being driven by white noise scaled to keep the
+    // stationary RMS at gustIntensity.
+    const double tau = params_.gustCorrelationS;
+    const double decay = std::exp(-dt / tau);
+    const double drive =
+        params_.gustIntensity * std::sqrt(1.0 - decay * decay);
+    gust_.x = gust_.x * decay + drive * rng_.gaussian();
+    gust_.y = gust_.y * decay + drive * rng_.gaussian();
+    gust_.z = 0.3 * (gust_.z * decay + drive * rng_.gaussian());
+    return current();
+}
+
+} // namespace dronedse

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Wind environment: steady wind plus Ornstein-Uhlenbeck gusts, the
+ * "unpredictable effects compensated by the inner-loop control"
+ * (paper Table 1: wind gusts, local disturbance, atmospheric
+ * turbulence).
+ */
+
+#ifndef DRONEDSE_SIM_ENVIRONMENT_HH
+#define DRONEDSE_SIM_ENVIRONMENT_HH
+
+#include "util/rng.hh"
+#include "util/vec3.hh"
+
+namespace dronedse {
+
+/** Wind field parameters. */
+struct WindParams
+{
+    /** Steady world-frame wind (m/s). */
+    Vec3 steady{};
+    /** RMS gust intensity (m/s). */
+    double gustIntensity = 0.0;
+    /** Gust correlation time (s). */
+    double gustCorrelationS = 1.0;
+};
+
+/** Stateful wind generator (deterministic per seed). */
+class WindField
+{
+  public:
+    explicit WindField(WindParams params = {}, std::uint64_t seed = 1);
+
+    /** Advance the gust process and return the wind at the vehicle. */
+    Vec3 sample(double dt);
+
+    /** Current wind without advancing. */
+    Vec3 current() const { return params_.steady + gust_; }
+
+  private:
+    WindParams params_;
+    Rng rng_;
+    Vec3 gust_{};
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_SIM_ENVIRONMENT_HH

@@ -1,0 +1,160 @@
+#include "sim/quadrotor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "physics/propeller_aero.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace dronedse {
+
+double
+QuadrotorParams::hoverThrustPerMotorN() const
+{
+    return massKg * kGravity / 4.0;
+}
+
+QuadrotorParams
+QuadrotorParams::fromDesign(const DesignResult &design)
+{
+    if (!design.feasible)
+        fatal("QuadrotorParams::fromDesign: design is infeasible");
+
+    QuadrotorParams p;
+    p.massKg = gramsToKg(design.totalWeightG);
+    p.armLengthM = design.inputs.wheelbaseMm / 1000.0 / 2.0;
+    p.propDiameterIn = design.motor.propDiameterIn;
+    p.maxThrustPerMotorN =
+        design.motor.maxThrustG / kGramsPerNewton;
+    // Inertia scales like m * L^2 for a cross airframe.
+    const double i_xy = 0.22 * p.massKg * p.armLengthM * p.armLengthM;
+    p.inertiaDiag = {i_xy, i_xy, 1.9 * i_xy};
+    return p;
+}
+
+Quadrotor::Quadrotor(QuadrotorParams params)
+    : params_(params)
+{
+    // Start in a steady hover command so tests can perturb from
+    // equilibrium.
+    commanded_.fill(params_.hoverThrustPerMotorN());
+    actual_ = commanded_;
+}
+
+void
+Quadrotor::commandMotors(const std::array<double, 4> &thrusts_n)
+{
+    for (int i = 0; i < 4; ++i) {
+        commanded_[i] = std::clamp(thrusts_n[i], 0.0,
+                                   params_.maxThrustPerMotorN);
+    }
+}
+
+void
+Quadrotor::failMotor(int index, double effectiveness)
+{
+    if (index < 0 || index > 3)
+        fatal("Quadrotor::failMotor: motor index out of range");
+    effectiveness_[static_cast<std::size_t>(index)] =
+        std::clamp(effectiveness, 0.0, 1.0);
+}
+
+double
+Quadrotor::motorEffectiveness(int index) const
+{
+    if (index < 0 || index > 3)
+        fatal("Quadrotor::motorEffectiveness: index out of range");
+    return effectiveness_[static_cast<std::size_t>(index)];
+}
+
+void
+Quadrotor::step(double dt, const Vec3 &wind)
+{
+    if (dt <= 0.0)
+        fatal("Quadrotor::step: dt must be positive");
+
+    // Motor first-order lag toward the (possibly derated) command.
+    const double alpha =
+        1.0 - std::exp(-dt / params_.motorTimeConstantS);
+    for (int i = 0; i < 4; ++i) {
+        const double target = commanded_[i] * effectiveness_[i];
+        actual_[i] += alpha * (target - actual_[i]);
+    }
+
+    const double total_thrust =
+        actual_[0] + actual_[1] + actual_[2] + actual_[3];
+
+    // Torques in the body frame.  Motor layout (x fwd, y left):
+    //   m0 (+d, -d) CW, m1 (-d, +d) CW, m2 (+d, +d) CCW,
+    //   m3 (-d, -d) CCW, with d = L / sqrt(2).
+    const double d = params_.armLengthM / std::sqrt(2.0);
+    const double k = params_.yawTorquePerThrust;
+    const double tau_x =
+        d * (-actual_[0] + actual_[1] + actual_[2] - actual_[3]);
+    const double tau_y =
+        d * (-actual_[0] + actual_[1] - actual_[2] + actual_[3]);
+    const double tau_z =
+        k * (actual_[0] + actual_[1] - actual_[2] - actual_[3]);
+
+    // Translational dynamics: thrust along body z, gravity, and
+    // quadratic drag against the air-relative velocity.
+    const Vec3 thrust_world =
+        state_.attitude.rotate({0.0, 0.0, total_thrust});
+    const Vec3 air_rel = state_.velocity - wind;
+    const Vec3 drag = air_rel * (-params_.dragCoefficient *
+                                 air_rel.norm());
+    const Vec3 accel =
+        (thrust_world + drag) / params_.massKg +
+        Vec3{0.0, 0.0, -kGravity};
+
+    // Rotational dynamics with gyroscopic coupling:
+    //   I w_dot = tau - w x (I w).
+    const Vec3 &w = state_.angularVelocity;
+    const Vec3 iw{params_.inertiaDiag.x * w.x,
+                  params_.inertiaDiag.y * w.y,
+                  params_.inertiaDiag.z * w.z};
+    const Vec3 coupling = w.cross(iw);
+    const Vec3 ang_accel{
+        (tau_x - coupling.x) / params_.inertiaDiag.x,
+        (tau_y - coupling.y) / params_.inertiaDiag.y,
+        (tau_z - coupling.z) / params_.inertiaDiag.z};
+
+    // Semi-implicit Euler: update velocities first, then poses.
+    state_.velocity += accel * dt;
+    state_.angularVelocity += ang_accel * dt;
+    state_.position += state_.velocity * dt;
+    state_.attitude = state_.attitude.integrated(state_.angularVelocity,
+                                                 dt);
+
+    // Ground plane: the drone rests at z = 0.
+    if (state_.position.z < 0.0) {
+        state_.position.z = 0.0;
+        if (state_.velocity.z < 0.0)
+            state_.velocity.z = 0.0;
+    }
+}
+
+double
+Quadrotor::electricalPowerW() const
+{
+    double power = 0.0;
+    for (double thrust_n : actual_) {
+        const double thrust_g = thrust_n * kGramsPerNewton;
+        if (thrust_g > 1.0) {
+            power += dronedse::electricalPowerW(thrust_g,
+                                                params_.propDiameterIn);
+        }
+    }
+    return power;
+}
+
+bool
+Quadrotor::upsideDown() const
+{
+    // Body z axis in world coordinates; negative z means inverted.
+    const Vec3 up = state_.attitude.rotate({0.0, 0.0, 1.0});
+    return up.z < 0.0;
+}
+
+} // namespace dronedse

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Six-degree-of-freedom quadrotor dynamics with first-order motor
+ * response — the physical plant behind the inner-loop control study
+ * (paper Section 2.1.3: the inner loop is bounded by the physical
+ * response of the drone, not by computation).
+ *
+ * X configuration:
+ *   motor 0: front-right, CW     motor 2: front-left,  CCW
+ *   motor 1: back-left,   CW     motor 3: back-right,  CCW
+ */
+
+#ifndef DRONEDSE_SIM_QUADROTOR_HH
+#define DRONEDSE_SIM_QUADROTOR_HH
+
+#include <array>
+
+#include "dse/design_point.hh"
+#include "sim/rigid_body.hh"
+#include "util/mat3.hh"
+
+namespace dronedse {
+
+/** Physical parameters of the simulated airframe. */
+struct QuadrotorParams
+{
+    /** All-up mass (kg). */
+    double massKg = 1.071;
+    /** Diagonal body inertia (kg m^2). */
+    Vec3 inertiaDiag{0.011, 0.011, 0.021};
+    /** Arm length from hub to motor (m). */
+    double armLengthM = 0.225;
+    /** Propeller diameter (inches), for power accounting. */
+    double propDiameterIn = 10.0;
+    /** Maximum thrust per motor (N). */
+    double maxThrustPerMotorN = 5.25;
+    /** First-order motor/ESC response time constant (s). */
+    double motorTimeConstantS = 0.02;
+    /** Reaction (yaw) torque per newton of thrust (m). */
+    double yawTorquePerThrust = 0.016;
+    /** Linear aerodynamic drag coefficient (N per (m/s)^2). */
+    double dragCoefficient = 0.12;
+
+    /** Airframe hover thrust per motor (N). */
+    double hoverThrustPerMotorN() const;
+
+    /**
+     * Derive parameters from a solved design point (mass, arm from
+     * wheelbase, max thrust from TWR).
+     */
+    static QuadrotorParams fromDesign(const DesignResult &design);
+};
+
+/** The simulated plant. */
+class Quadrotor
+{
+  public:
+    explicit Quadrotor(QuadrotorParams params = {});
+
+    /** Physical parameters. */
+    const QuadrotorParams &params() const { return params_; }
+
+    /** Current true state. */
+    const RigidBodyState &state() const { return state_; }
+
+    /** Overwrite the state (test setup / scenario reset). */
+    void setState(const RigidBodyState &state) { state_ = state; }
+
+    /**
+     * Command per-motor thrusts (N); commands are clamped to
+     * [0, maxThrustPerMotorN] and reached through the motor lag.
+     */
+    void commandMotors(const std::array<double, 4> &thrusts_n);
+
+    /**
+     * Inject a motor/ESC failure: the motor's thrust is scaled by
+     * `effectiveness` (0 = dead, 1 = healthy) from now on — one of
+     * the electromechanical faults the inner loop must ride through
+     * (paper Table 1: "motor imperfection").
+     */
+    void failMotor(int index, double effectiveness = 0.0);
+
+    /** Current effectiveness of a motor in [0, 1]. */
+    double motorEffectiveness(int index) const;
+
+    /** Instantaneous per-motor thrust actually produced (N). */
+    const std::array<double, 4> &motorThrusts() const
+    { return actual_; }
+
+    /**
+     * Advance the simulation by dt seconds under a world-frame wind
+     * velocity (m/s).
+     */
+    void step(double dt, const Vec3 &wind = {});
+
+    /**
+     * Electrical power (W) the propulsion currently draws, from the
+     * propeller aero model.
+     */
+    double electricalPowerW() const;
+
+    /** True when the attitude has departed controlled flight. */
+    bool upsideDown() const;
+
+  private:
+    QuadrotorParams params_;
+    RigidBodyState state_;
+    std::array<double, 4> commanded_{};
+    std::array<double, 4> actual_{};
+    std::array<double, 4> effectiveness_{1.0, 1.0, 1.0, 1.0};
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_SIM_QUADROTOR_HH

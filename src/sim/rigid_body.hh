@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Rigid-body state shared by the flight simulator and the control
+ * stack.  World frame is Z-up; body frame is x-forward, y-left,
+ * z-up.
+ */
+
+#ifndef DRONEDSE_SIM_RIGID_BODY_HH
+#define DRONEDSE_SIM_RIGID_BODY_HH
+
+#include "util/quaternion.hh"
+#include "util/vec3.hh"
+
+namespace dronedse {
+
+/** Full 6-DOF state of the vehicle. */
+struct RigidBodyState
+{
+    /** World-frame position (m). */
+    Vec3 position;
+    /** World-frame velocity (m/s). */
+    Vec3 velocity;
+    /** Body-to-world attitude. */
+    Quaternion attitude;
+    /** Body-frame angular velocity (rad/s). */
+    Vec3 angularVelocity;
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_SIM_RIGID_BODY_HH

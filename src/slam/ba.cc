@@ -1,0 +1,473 @@
+#include "slam/ba.hh"
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/matrix.hh"
+
+namespace dronedse {
+
+namespace {
+
+/** One linearized observation. */
+struct ObsRef
+{
+    int kfId;      // keyframe (may be an anchor)
+    int poseIdx;   // index into optimized poses, -1 when fixed
+    int pointIdx;  // index into active points
+    Pixel pixel;
+};
+
+/** 3x3 symmetric block with solve. */
+struct Block3
+{
+    double m[3][3] = {};
+
+    void
+    add(int r, int c, double v)
+    {
+        m[r][c] += v;
+    }
+
+    /** Invert in place via adjugate; false when near-singular. */
+    bool
+    invert()
+    {
+        const double det =
+            m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+            m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+            m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+        if (std::fabs(det) < 1e-12)
+            return false;
+        const double id = 1.0 / det;
+        double inv[3][3];
+        inv[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * id;
+        inv[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * id;
+        inv[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * id;
+        inv[1][0] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * id;
+        inv[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * id;
+        inv[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * id;
+        inv[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * id;
+        inv[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * id;
+        inv[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * id;
+        for (int r = 0; r < 3; ++r)
+            for (int c = 0; c < 3; ++c)
+                m[r][c] = inv[r][c];
+        return true;
+    }
+};
+
+/** Evaluate residual and Jacobians of one observation. */
+bool
+linearize(const PinholeCamera &camera, const Se3 &pose,
+          const Vec3 &point, const Pixel &pixel, double huber,
+          double j_pose[2][6], double j_point[2][3], double res[2],
+          double &weight)
+{
+    const Vec3 p = pose.apply(point);
+    if (p.z <= 0.05)
+        return false;
+
+    const double iz = 1.0 / p.z;
+    res[0] = camera.fx * p.x * iz + camera.cx - pixel.u;
+    res[1] = camera.fy * p.y * iz + camera.cy - pixel.v;
+    const double err = std::sqrt(res[0] * res[0] + res[1] * res[1]);
+    weight = err > huber ? huber / err : 1.0;
+
+    const double ju[3] = {camera.fx * iz, 0.0,
+                          -camera.fx * p.x * iz * iz};
+    const double jv[3] = {0.0, camera.fy * iz,
+                          -camera.fy * p.y * iz * iz};
+
+    // dp/d(omega) = -[p]x, dp/d(upsilon) = I.
+    const double dpw[3][3] = {{0, p.z, -p.y},
+                              {-p.z, 0, p.x},
+                              {p.y, -p.x, 0}};
+    for (int k = 0; k < 3; ++k) {
+        j_pose[0][k] = ju[0] * dpw[0][k] + ju[1] * dpw[1][k] +
+                       ju[2] * dpw[2][k];
+        j_pose[1][k] = jv[0] * dpw[0][k] + jv[1] * dpw[1][k] +
+                       jv[2] * dpw[2][k];
+        j_pose[0][k + 3] = ju[k];
+        j_pose[1][k + 3] = jv[k];
+    }
+
+    // dp/dX = R.
+    const Mat3 r = pose.rotation.toRotationMatrix();
+    for (int k = 0; k < 3; ++k) {
+        j_point[0][k] = ju[0] * r(0, k) + ju[1] * r(1, k) +
+                        ju[2] * r(2, k);
+        j_point[1][k] = jv[0] * r(0, k) + jv[1] * r(1, k) +
+                        jv[2] * r(2, k);
+    }
+    return true;
+}
+
+double
+totalChi2(const PinholeCamera &camera, const SlamMap &map,
+          const std::vector<ObsRef> &obs,
+          const std::vector<int> &active_points, double huber)
+{
+    double chi2 = 0.0;
+    for (const ObsRef &o : obs) {
+        const Se3 &pose = map.keyframe(o.kfId).pose;
+        const Vec3 &pt =
+            map.point(active_points[static_cast<std::size_t>(
+                          o.pointIdx)])
+                .position;
+        const Vec3 p = pose.apply(pt);
+        if (p.z <= 0.05)
+            continue;
+        const double ru =
+            camera.fx * p.x / p.z + camera.cx - o.pixel.u;
+        const double rv =
+            camera.fy * p.y / p.z + camera.cy - o.pixel.v;
+        const double err = std::sqrt(ru * ru + rv * rv);
+        // Huber cost.
+        chi2 += err <= huber ? err * err
+                             : huber * (2.0 * err - huber);
+    }
+    return chi2;
+}
+
+} // namespace
+
+BaResult
+bundleAdjust(const PinholeCamera &camera, SlamMap &map, int kf_begin,
+             int kf_end, const BaConfig &config)
+{
+    BaResult result;
+    const int total_kf = static_cast<int>(map.keyframeCount());
+    if (kf_begin < 0 || kf_end > total_kf || kf_begin >= kf_end)
+        fatal("bundleAdjust: invalid keyframe window");
+
+    // Optimized poses: [kf_begin, kf_end), except that with no
+    // anchors the first keyframe stays fixed (gauge).
+    const bool has_anchor = kf_begin > 0;
+    const int first_free = has_anchor ? kf_begin : kf_begin + 1;
+    std::unordered_map<int, int> pose_index;
+    for (int kf = first_free; kf < kf_end; ++kf)
+        pose_index[kf] = static_cast<int>(pose_index.size());
+    const int n_poses = static_cast<int>(pose_index.size());
+
+    // Active points: observed by any keyframe in the window.
+    std::unordered_map<int, int> point_index;
+    std::vector<int> active_points;
+    for (int kf = kf_begin; kf < kf_end; ++kf) {
+        for (const auto &obs : map.keyframe(kf).observations) {
+            if (obs.mapPointId < 0)
+                continue;
+            if (point_index.emplace(obs.mapPointId,
+                                    static_cast<int>(
+                                        active_points.size()))
+                    .second) {
+                active_points.push_back(obs.mapPointId);
+            }
+        }
+    }
+    const int n_points = static_cast<int>(active_points.size());
+    if (n_points == 0)
+        return result;
+
+    // Observations: every keyframe observing an active point
+    // contributes; keyframes outside the window act as anchors.
+    std::vector<ObsRef> observations;
+    for (int kf = 0; kf < total_kf; ++kf) {
+        const bool in_window = kf >= kf_begin && kf < kf_end;
+        for (const auto &obs : map.keyframe(kf).observations) {
+            if (obs.mapPointId < 0)
+                continue;
+            const auto it = point_index.find(obs.mapPointId);
+            if (it == point_index.end())
+                continue;
+            // Anchor keyframes constrain points; far-outside
+            // keyframes only matter for global consistency, so
+            // local BA uses the immediate predecessors only.
+            if (!in_window && kf < kf_begin - 2)
+                continue;
+            ObsRef ref;
+            ref.kfId = kf;
+            const auto pit = pose_index.find(kf);
+            ref.poseIdx =
+                pit == pose_index.end() ? -1 : pit->second;
+            ref.pointIdx = it->second;
+            ref.pixel = obs.pixel;
+            observations.push_back(ref);
+        }
+    }
+
+    result.schurDimension = 6 * n_poses;
+    result.initialChi2 = totalChi2(camera, map, observations,
+                                   active_points, config.huberPx);
+
+    double lambda = config.lambda;
+    double chi2 = result.initialChi2;
+
+    for (int iter = 0; iter < config.maxIterations; ++iter) {
+        // Accumulators.
+        Matrix hpp(static_cast<std::size_t>(6 * n_poses),
+                   static_cast<std::size_t>(6 * n_poses));
+        std::vector<double> bp(static_cast<std::size_t>(6 * n_poses),
+                               0.0);
+        std::vector<Block3> hll(static_cast<std::size_t>(n_points));
+        std::vector<double> bl(static_cast<std::size_t>(3 * n_points),
+                               0.0);
+        // Hpl blocks keyed by (pose, point) pairs present.
+        struct PlBlock { int pose; int point; double m[6][3]; };
+        std::vector<PlBlock> hpl;
+        std::unordered_map<std::int64_t, std::size_t> hpl_index;
+
+        for (const ObsRef &o : observations) {
+            const Se3 &pose = map.keyframe(o.kfId).pose;
+            const Vec3 &pt =
+                map.point(active_points[static_cast<std::size_t>(
+                              o.pointIdx)])
+                    .position;
+            double jp[2][6], jl[2][3], r[2], w;
+            if (!linearize(camera, pose, pt, o.pixel, config.huberPx,
+                           jp, jl, r, w)) {
+                continue;
+            }
+            ++result.jacobianEvals;
+
+            // Point block and gradient.
+            Block3 &ll = hll[static_cast<std::size_t>(o.pointIdx)];
+            for (int a = 0; a < 3; ++a) {
+                for (int b = 0; b < 3; ++b) {
+                    ll.add(a, b,
+                           w * (jl[0][a] * jl[0][b] +
+                                jl[1][a] * jl[1][b]));
+                }
+                bl[static_cast<std::size_t>(3 * o.pointIdx + a)] -=
+                    w * (jl[0][a] * r[0] + jl[1][a] * r[1]);
+            }
+
+            if (o.poseIdx < 0)
+                continue; // anchor: pose fixed
+
+            const int pb = 6 * o.poseIdx;
+            for (int a = 0; a < 6; ++a) {
+                for (int b = 0; b < 6; ++b) {
+                    hpp(static_cast<std::size_t>(pb + a),
+                        static_cast<std::size_t>(pb + b)) +=
+                        w * (jp[0][a] * jp[0][b] +
+                             jp[1][a] * jp[1][b]);
+                }
+                bp[static_cast<std::size_t>(pb + a)] -=
+                    w * (jp[0][a] * r[0] + jp[1][a] * r[1]);
+            }
+
+            // Pose-point coupling.
+            const std::int64_t key =
+                static_cast<std::int64_t>(o.poseIdx) * n_points +
+                o.pointIdx;
+            auto it = hpl_index.find(key);
+            if (it == hpl_index.end()) {
+                hpl.push_back({o.poseIdx, o.pointIdx, {}});
+                it = hpl_index.emplace(key, hpl.size() - 1).first;
+            }
+            PlBlock &pl = hpl[it->second];
+            for (int a = 0; a < 6; ++a)
+                for (int b = 0; b < 3; ++b)
+                    pl.m[a][b] += w * (jp[0][a] * jl[0][b] +
+                                       jp[1][a] * jl[1][b]);
+        }
+
+        // LM damping.
+        for (auto &ll : hll)
+            for (int a = 0; a < 3; ++a)
+                ll.add(a, a, lambda);
+        hpp.addToDiagonal(lambda);
+
+        // Invert point blocks.
+        std::vector<Block3> hll_inv = hll;
+        bool ok = true;
+        for (auto &ll : hll_inv) {
+            ++result.pointBlockSolves;
+            if (!ll.invert()) {
+                ok = false;
+                break;
+            }
+        }
+        if (!ok) {
+            lambda *= 10.0;
+            continue;
+        }
+
+        // Schur complement: S = Hpp - sum Hpl Hll^-1 Hlp, and
+        // reduced gradient g = bp - sum Hpl Hll^-1 bl.
+        Matrix s = hpp;
+        std::vector<double> g = bp;
+        // Group Hpl blocks by point for the cross terms.
+        std::vector<std::vector<std::size_t>> by_point(
+            static_cast<std::size_t>(n_points));
+        for (std::size_t i = 0; i < hpl.size(); ++i)
+            by_point[static_cast<std::size_t>(hpl[i].point)]
+                .push_back(i);
+
+        for (int pt = 0; pt < n_points; ++pt) {
+            const auto &blocks =
+                by_point[static_cast<std::size_t>(pt)];
+            if (blocks.empty())
+                continue;
+            const Block3 &inv =
+                hll_inv[static_cast<std::size_t>(pt)];
+            // W_i = Hpl_i * Hll^-1 for each pose block i.
+            for (std::size_t bi : blocks) {
+                const PlBlock &pli = hpl[bi];
+                double w_i[6][3];
+                for (int a = 0; a < 6; ++a) {
+                    for (int b = 0; b < 3; ++b) {
+                        w_i[a][b] = pli.m[a][0] * inv.m[0][b] +
+                                    pli.m[a][1] * inv.m[1][b] +
+                                    pli.m[a][2] * inv.m[2][b];
+                    }
+                }
+                // g -= W_i * bl_pt.
+                for (int a = 0; a < 6; ++a) {
+                    g[static_cast<std::size_t>(6 * pli.pose + a)] -=
+                        w_i[a][0] * bl[static_cast<std::size_t>(
+                                        3 * pt)] +
+                        w_i[a][1] * bl[static_cast<std::size_t>(
+                                        3 * pt + 1)] +
+                        w_i[a][2] * bl[static_cast<std::size_t>(
+                                        3 * pt + 2)];
+                }
+                // S -= W_i * Hlp_j for every pose block j of pt.
+                for (std::size_t bj : blocks) {
+                    const PlBlock &plj = hpl[bj];
+                    for (int a = 0; a < 6; ++a) {
+                        for (int b = 0; b < 6; ++b) {
+                            double v = 0.0;
+                            for (int k = 0; k < 3; ++k)
+                                v += w_i[a][k] * plj.m[b][k];
+                            s(static_cast<std::size_t>(
+                                  6 * pli.pose + a),
+                              static_cast<std::size_t>(
+                                  6 * plj.pose + b)) -= v;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Solve the reduced pose system.
+        std::vector<double> dx_pose;
+        if (n_poses > 0) {
+            if (!s.solveCholesky(g, dx_pose)) {
+                lambda *= 10.0;
+                continue;
+            }
+        }
+
+        // Back-substitute points:
+        // dx_pt = Hll^-1 (bl - Hlp dx_pose).
+        std::vector<double> dx_point(
+            static_cast<std::size_t>(3 * n_points), 0.0);
+        std::vector<double> rhs(static_cast<std::size_t>(3 * n_points));
+        for (int pt = 0; pt < n_points; ++pt)
+            for (int a = 0; a < 3; ++a)
+                rhs[static_cast<std::size_t>(3 * pt + a)] =
+                    bl[static_cast<std::size_t>(3 * pt + a)];
+        for (const PlBlock &pl : hpl) {
+            for (int b = 0; b < 3; ++b) {
+                double v = 0.0;
+                for (int a = 0; a < 6; ++a)
+                    v += pl.m[a][b] *
+                         dx_pose[static_cast<std::size_t>(
+                             6 * pl.pose + a)];
+                rhs[static_cast<std::size_t>(3 * pl.point + b)] -= v;
+            }
+        }
+        for (int pt = 0; pt < n_points; ++pt) {
+            const Block3 &inv =
+                hll_inv[static_cast<std::size_t>(pt)];
+            for (int a = 0; a < 3; ++a) {
+                dx_point[static_cast<std::size_t>(3 * pt + a)] =
+                    inv.m[a][0] *
+                        rhs[static_cast<std::size_t>(3 * pt)] +
+                    inv.m[a][1] *
+                        rhs[static_cast<std::size_t>(3 * pt + 1)] +
+                    inv.m[a][2] *
+                        rhs[static_cast<std::size_t>(3 * pt + 2)];
+            }
+        }
+
+        // Tentatively apply the step.
+        std::vector<Se3> saved_poses;
+        for (int kf = first_free; kf < kf_end; ++kf)
+            saved_poses.push_back(map.keyframe(kf).pose);
+        std::vector<Vec3> saved_points;
+        for (int pt : active_points)
+            saved_points.push_back(map.point(pt).position);
+
+        for (int kf = first_free; kf < kf_end; ++kf) {
+            const int pi = pose_index[kf];
+            const Vec3 omega{
+                dx_pose[static_cast<std::size_t>(6 * pi)],
+                dx_pose[static_cast<std::size_t>(6 * pi + 1)],
+                dx_pose[static_cast<std::size_t>(6 * pi + 2)]};
+            const Vec3 upsilon{
+                dx_pose[static_cast<std::size_t>(6 * pi + 3)],
+                dx_pose[static_cast<std::size_t>(6 * pi + 4)],
+                dx_pose[static_cast<std::size_t>(6 * pi + 5)]};
+            map.keyframe(kf).pose =
+                se3BoxPlus(map.keyframe(kf).pose, omega, upsilon);
+        }
+        for (int pt = 0; pt < n_points; ++pt) {
+            Vec3 &pos =
+                map.point(active_points[static_cast<std::size_t>(pt)])
+                    .position;
+            pos.x += dx_point[static_cast<std::size_t>(3 * pt)];
+            pos.y += dx_point[static_cast<std::size_t>(3 * pt + 1)];
+            pos.z += dx_point[static_cast<std::size_t>(3 * pt + 2)];
+        }
+
+        const double new_chi2 = totalChi2(camera, map, observations,
+                                          active_points,
+                                          config.huberPx);
+        ++result.iterations;
+
+        if (new_chi2 <= chi2) {
+            // Accept: decrease damping.
+            const double rel = (chi2 - new_chi2) / (chi2 + 1e-12);
+            chi2 = new_chi2;
+            lambda = std::max(lambda * 0.3, 1e-9);
+            if (rel < config.relTolerance) {
+                result.converged = true;
+                break;
+            }
+        } else {
+            // Reject: restore and increase damping.
+            std::size_t i = 0;
+            for (int kf = first_free; kf < kf_end; ++kf)
+                map.keyframe(kf).pose = saved_poses[i++];
+            for (std::size_t p = 0; p < active_points.size(); ++p)
+                map.point(active_points[p]).position =
+                    saved_points[p];
+            lambda *= 10.0;
+        }
+    }
+
+    result.finalChi2 = chi2;
+    if (!result.converged)
+        result.converged = chi2 <= result.initialChi2;
+    return result;
+}
+
+BaResult
+globalBundleAdjust(const PinholeCamera &camera, SlamMap &map,
+                   const BaConfig &config)
+{
+    if (map.keyframeCount() < 2) {
+        BaResult r;
+        r.converged = true;
+        return r;
+    }
+    return bundleAdjust(camera, map, 0,
+                        static_cast<int>(map.keyframeCount()), config);
+}
+
+} // namespace dronedse

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Bundle adjustment: Levenberg-Marquardt over keyframe poses and map
+ * points with Schur-complement elimination of the points.
+ *
+ * This is ~90 % of ORB-SLAM's execution time on the RPi baseline
+ * (paper Section 5.2) and exactly the stage the paper's FPGA design
+ * accelerates with "simple modules of dense fixed-size matrix
+ * algebra in a pipeline".
+ */
+
+#ifndef DRONEDSE_SLAM_BA_HH
+#define DRONEDSE_SLAM_BA_HH
+
+#include <cstdint>
+
+#include "slam/camera.hh"
+#include "slam/map.hh"
+
+namespace dronedse {
+
+/** Bundle-adjustment configuration. */
+struct BaConfig
+{
+    int maxIterations = 8;
+    /** Huber kernel width (pixels). */
+    double huberPx = 3.0;
+    /** Initial LM damping. */
+    double lambda = 1e-4;
+    /** Relative chi2 improvement below which we stop. */
+    double relTolerance = 1e-4;
+};
+
+/** Bundle-adjustment result and work accounting. */
+struct BaResult
+{
+    bool converged = false;
+    int iterations = 0;
+    double initialChi2 = 0.0;
+    double finalChi2 = 0.0;
+    /** Residual/Jacobian evaluations. */
+    std::uint64_t jacobianEvals = 0;
+    /** 3x3 point-block inversions (the FPGA pipeline's unit). */
+    std::uint64_t pointBlockSolves = 0;
+    /** Dimension of the reduced (Schur) pose system. */
+    int schurDimension = 0;
+};
+
+/**
+ * Optimize keyframes [kf_begin, kf_end) of the map and every map
+ * point they observe.  Keyframes below kf_begin are fixed anchors
+ * whose observations still constrain the points (standard local-BA
+ * semantics); the first optimized keyframe is held fixed when there
+ * are no anchors (gauge freedom).
+ *
+ * @param camera   Shared intrinsics.
+ * @param map      Map to optimize in place.
+ * @param kf_begin First keyframe id to optimize.
+ * @param kf_end   One past the last keyframe id to optimize.
+ */
+BaResult bundleAdjust(const PinholeCamera &camera, SlamMap &map,
+                      int kf_begin, int kf_end,
+                      const BaConfig &config = {});
+
+/** Global BA: all keyframes, first held fixed. */
+BaResult globalBundleAdjust(const PinholeCamera &camera, SlamMap &map,
+                            const BaConfig &config = {});
+
+} // namespace dronedse
+
+#endif // DRONEDSE_SLAM_BA_HH

@@ -1,0 +1,71 @@
+#include "slam/brief.hh"
+
+#include <bit>
+
+#include "util/rng.hh"
+
+namespace dronedse {
+
+int
+Descriptor::distance(const Descriptor &other) const
+{
+    int d = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i)
+        d += std::popcount(bits[i] ^ other.bits[i]);
+    return d;
+}
+
+BriefExtractor::BriefExtractor(std::uint64_t pattern_seed)
+{
+    Rng rng(pattern_seed);
+    for (auto &pair : pattern_) {
+        for (auto &coord : pair) {
+            coord = static_cast<std::int8_t>(rng.uniformInt(-7, 7));
+        }
+    }
+}
+
+namespace {
+
+/**
+ * 3x3 box mean around a pixel: the classic BRIEF smoothing that
+ * keeps descriptors stable under +-1 px keypoint jitter.
+ */
+int
+boxMean(const Image &image, int x, int y)
+{
+    int sum = 0;
+    for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx)
+            sum += image.atClamped(x + dx, y + dy);
+    return sum / 9;
+}
+
+} // namespace
+
+Descriptor
+BriefExtractor::describe(const Image &image, const Corner &corner) const
+{
+    Descriptor desc;
+    for (std::size_t i = 0; i < pattern_.size(); ++i) {
+        const auto &p = pattern_[i];
+        const int a = boxMean(image, corner.x + p[0], corner.y + p[1]);
+        const int b = boxMean(image, corner.x + p[2], corner.y + p[3]);
+        if (a > b)
+            desc.bits[i / 64] |= 1ULL << (i % 64);
+    }
+    return desc;
+}
+
+std::vector<Feature>
+BriefExtractor::describeAll(const Image &image,
+                            const std::vector<Corner> &corners) const
+{
+    std::vector<Feature> out;
+    out.reserve(corners.size());
+    for (const Corner &c : corners)
+        out.push_back({c, describe(image, c)});
+    return out;
+}
+
+} // namespace dronedse

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * BRIEF-256 binary descriptor with Hamming distance — the descriptor
+ * half of the ORB-style front end.
+ */
+
+#ifndef DRONEDSE_SLAM_BRIEF_HH
+#define DRONEDSE_SLAM_BRIEF_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "slam/fast.hh"
+#include "slam/image.hh"
+
+namespace dronedse {
+
+/** 256-bit binary descriptor. */
+struct Descriptor
+{
+    std::array<std::uint64_t, 4> bits{};
+
+    /** Hamming distance to another descriptor. */
+    int distance(const Descriptor &other) const;
+};
+
+/** A described keypoint. */
+struct Feature
+{
+    Corner corner;
+    Descriptor descriptor;
+};
+
+/** Descriptor extractor with a fixed sampling pattern. */
+class BriefExtractor
+{
+  public:
+    /** The pattern is fixed per seed so descriptors are comparable. */
+    explicit BriefExtractor(std::uint64_t pattern_seed = 42);
+
+    /** Describe one corner (must be >= 12 px from the border). */
+    Descriptor describe(const Image &image, const Corner &corner) const;
+
+    /** Describe a full corner set. */
+    std::vector<Feature> describeAll(const Image &image,
+                                     const std::vector<Corner> &corners)
+        const;
+
+  private:
+    /** 256 point pairs within the 15x15 patch. */
+    std::array<std::array<std::int8_t, 4>, 256> pattern_;
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_SLAM_BRIEF_HH

@@ -1,0 +1,37 @@
+#include "slam/camera.hh"
+
+namespace dronedse {
+
+std::optional<Pixel>
+PinholeCamera::project(const Vec3 &cam) const
+{
+    if (cam.z <= 0.05)
+        return std::nullopt;
+    Pixel px;
+    px.u = fx * cam.x / cam.z + cx;
+    px.v = fy * cam.y / cam.z + cy;
+    if (!inImage(px))
+        return std::nullopt;
+    return px;
+}
+
+std::optional<Pixel>
+PinholeCamera::projectWorld(const Se3 &pose, const Vec3 &world) const
+{
+    return project(pose.apply(world));
+}
+
+Vec3
+PinholeCamera::backProject(const Pixel &px, double depth) const
+{
+    return {(px.u - cx) / fx * depth, (px.v - cy) / fy * depth, depth};
+}
+
+bool
+PinholeCamera::inImage(const Pixel &px, double margin) const
+{
+    return px.u >= margin && px.u < width - margin && px.v >= margin &&
+           px.v < height - margin;
+}
+
+} // namespace dronedse

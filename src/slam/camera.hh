@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Pinhole camera model for the SLAM pipeline (EuRoC-like intrinsics
+ * scaled to the synthetic image size).
+ */
+
+#ifndef DRONEDSE_SLAM_CAMERA_HH
+#define DRONEDSE_SLAM_CAMERA_HH
+
+#include <optional>
+
+#include "slam/se3.hh"
+#include "util/vec3.hh"
+
+namespace dronedse {
+
+/** Pixel coordinates. */
+struct Pixel
+{
+    double u = 0.0;
+    double v = 0.0;
+};
+
+/** Pinhole intrinsics. */
+struct PinholeCamera
+{
+    double fx = 200.0;
+    double fy = 200.0;
+    double cx = 160.0;
+    double cy = 120.0;
+    int width = 320;
+    int height = 240;
+
+    /**
+     * Project a camera-frame point; nullopt when behind the camera
+     * or outside the image.
+     */
+    std::optional<Pixel> project(const Vec3 &cam) const;
+
+    /** Project a world point through a pose. */
+    std::optional<Pixel> projectWorld(const Se3 &pose,
+                                      const Vec3 &world) const;
+
+    /** Back-project a pixel at depth z into the camera frame. */
+    Vec3 backProject(const Pixel &px, double depth) const;
+
+    /** True when a pixel lies inside the image with a margin. */
+    bool inImage(const Pixel &px, double margin = 0.0) const;
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_SLAM_CAMERA_HH

@@ -1,0 +1,124 @@
+#include "slam/fast.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+
+namespace dronedse {
+
+namespace {
+
+/** Bresenham circle of radius 3: the 16 segment-test offsets. */
+constexpr std::array<std::pair<int, int>, 16> kCircle = {{
+    {0, -3}, {1, -3}, {2, -2}, {3, -1}, {3, 0}, {3, 1}, {2, 2},
+    {1, 3}, {0, 3}, {-1, 3}, {-2, 2}, {-3, 1}, {-3, 0}, {-3, -1},
+    {-2, -2}, {-1, -3},
+}};
+
+/**
+ * Segment test: does a contiguous arc of `arc` pixels sit entirely
+ * above center+t or below center-t?  Returns the contrast score
+ * (sum of |diff|-t over the best arc) or 0.
+ */
+int
+segmentTest(const Image &img, int x, int y, int threshold, int arc)
+{
+    const int center = img.at(x, y);
+    std::array<int, 16> diff;
+    for (int i = 0; i < 16; ++i) {
+        diff[static_cast<std::size_t>(i)] =
+            img.at(x + kCircle[static_cast<std::size_t>(i)].first,
+                   y + kCircle[static_cast<std::size_t>(i)].second) -
+            center;
+    }
+
+    auto arc_score = [&](bool bright) {
+        int best = 0, run = 0, run_score = 0;
+        // Walk the circle twice to handle wrap-around runs.
+        for (int i = 0; i < 32; ++i) {
+            const int d = diff[static_cast<std::size_t>(i % 16)];
+            const bool pass = bright ? d > threshold : d < -threshold;
+            if (pass) {
+                ++run;
+                run_score += std::abs(d) - threshold;
+                if (run >= arc)
+                    best = std::max(best, run_score);
+                if (run >= 16)
+                    break; // full circle
+            } else {
+                run = 0;
+                run_score = 0;
+            }
+        }
+        return best;
+    };
+
+    return std::max(arc_score(true), arc_score(false));
+}
+
+} // namespace
+
+std::vector<Corner>
+detectFast(const Image &image, const FastConfig &config, FastWork *work)
+{
+    std::vector<Corner> raw;
+    const int m = std::max(config.margin, 3);
+
+    for (int y = m; y < image.height() - m; ++y) {
+        for (int x = m; x < image.width() - m; ++x) {
+            if (work)
+                ++work->pixelsTested;
+
+            // Cheap pre-test on the 4 compass points: at least 3
+            // must differ strongly for a 9-arc to exist.
+            const int c = image.at(x, y);
+            int extreme = 0;
+            for (int i : {0, 4, 8, 12}) {
+                const int d =
+                    image.at(x + kCircle[static_cast<std::size_t>(i)]
+                                     .first,
+                             y + kCircle[static_cast<std::size_t>(i)]
+                                     .second) -
+                    c;
+                if (d > config.threshold || d < -config.threshold)
+                    ++extreme;
+            }
+            if (extreme < 3)
+                continue;
+
+            const int score = segmentTest(image, x, y,
+                                          config.threshold,
+                                          config.arcLength);
+            if (score > 0)
+                raw.push_back({x, y, score});
+        }
+    }
+    if (work)
+        work->rawCorners += raw.size();
+
+    // Non-maximum suppression: strongest first, blank out a disc.
+    std::sort(raw.begin(), raw.end(),
+              [](const Corner &a, const Corner &b) {
+                  return a.score > b.score;
+              });
+    std::vector<Corner> kept;
+    const int r2 = config.nmsRadius * config.nmsRadius;
+    for (const Corner &c : raw) {
+        bool suppressed = false;
+        for (const Corner &k : kept) {
+            const int dx = c.x - k.x, dy = c.y - k.y;
+            if (dx * dx + dy * dy <= r2) {
+                suppressed = true;
+                break;
+            }
+        }
+        if (!suppressed) {
+            kept.push_back(c);
+            if (static_cast<int>(kept.size()) >= config.maxCorners)
+                break;
+        }
+    }
+    return kept;
+}
+
+} // namespace dronedse

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * FAST-9 corner detector with non-maximum suppression — the feature
+ * extraction front end of the ORB-style pipeline (paper Figure 17's
+ * "Feature Extraction" phase; the eSLAM FPGA design accelerates
+ * exactly this stage).
+ */
+
+#ifndef DRONEDSE_SLAM_FAST_HH
+#define DRONEDSE_SLAM_FAST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "slam/image.hh"
+
+namespace dronedse {
+
+/** A detected corner. */
+struct Corner
+{
+    int x = 0;
+    int y = 0;
+    /** Detector score (arc contrast sum). */
+    int score = 0;
+};
+
+/** Detector configuration. */
+struct FastConfig
+{
+    /** Intensity threshold for the segment test. */
+    int threshold = 22;
+    /** Contiguous arc length required (FAST-9). */
+    int arcLength = 9;
+    /** Border to skip (room for the descriptor patch). */
+    int margin = 12;
+    /** Keep at most this many corners, best score first. */
+    int maxCorners = 500;
+    /** Non-maximum suppression radius (pixels). */
+    int nmsRadius = 3;
+};
+
+/** Work counters for the platform execution models. */
+struct FastWork
+{
+    /** Pixels that entered the segment test. */
+    std::uint64_t pixelsTested = 0;
+    /** Corners before suppression. */
+    std::uint64_t rawCorners = 0;
+};
+
+/**
+ * Detect FAST corners.
+ *
+ * @param image  Input grayscale image.
+ * @param config Detector parameters.
+ * @param work   Optional work counters (accumulated).
+ */
+std::vector<Corner> detectFast(const Image &image,
+                               const FastConfig &config = {},
+                               FastWork *work = nullptr);
+
+} // namespace dronedse
+
+#endif // DRONEDSE_SLAM_FAST_HH

@@ -1,0 +1,19 @@
+#include "slam/image.hh"
+
+namespace dronedse {
+
+Image::Image(int width, int height, std::uint8_t fill)
+    : width_(width), height_(height),
+      data_(static_cast<std::size_t>(width) * height, fill)
+{
+}
+
+std::uint8_t
+Image::atClamped(int x, int y, std::uint8_t fallback) const
+{
+    if (x < 0 || y < 0 || x >= width_ || y >= height_)
+        return fallback;
+    return at(x, y);
+}
+
+} // namespace dronedse

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * 8-bit grayscale image buffer used by the synthetic renderer and
+ * the feature pipeline.
+ */
+
+#ifndef DRONEDSE_SLAM_IMAGE_HH
+#define DRONEDSE_SLAM_IMAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dronedse {
+
+/** Row-major 8-bit grayscale image. */
+class Image
+{
+  public:
+    Image() = default;
+
+    /** width x height image filled with `fill`. */
+    Image(int width, int height, std::uint8_t fill = 0);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    std::uint8_t at(int x, int y) const
+    { return data_[static_cast<std::size_t>(y) * width_ + x]; }
+    std::uint8_t &at(int x, int y)
+    { return data_[static_cast<std::size_t>(y) * width_ + x]; }
+
+    /** Bounds-checked read; returns `fallback` outside the image. */
+    std::uint8_t atClamped(int x, int y,
+                           std::uint8_t fallback = 0) const;
+
+    /** Raw pixel buffer. */
+    const std::vector<std::uint8_t> &data() const { return data_; }
+
+  private:
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<std::uint8_t> data_;
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_SLAM_IMAGE_HH

@@ -1,0 +1,135 @@
+#include "slam/map.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dronedse {
+
+int
+SlamMap::addPoint(const Vec3 &position, const Descriptor &descriptor)
+{
+    MapPoint pt;
+    pt.id = static_cast<int>(points_.size());
+    pt.position = position;
+    pt.descriptor = descriptor;
+    pointIndex_[pt.id] = points_.size();
+    points_.push_back(pt);
+    return points_.back().id;
+}
+
+int
+SlamMap::addKeyframe(Keyframe keyframe)
+{
+    keyframe.id = static_cast<int>(keyframes_.size());
+    for (const auto &obs : keyframe.observations) {
+        if (obs.mapPointId >= 0)
+            ++point(obs.mapPointId).observations;
+    }
+    keyframes_.push_back(std::move(keyframe));
+    return keyframes_.back().id;
+}
+
+void
+SlamMap::addObservation(int kf_id, int pt_id, const Pixel &pixel)
+{
+    keyframe(kf_id).observations.push_back({pt_id, pixel});
+    ++point(pt_id).observations;
+}
+
+MapPoint &
+SlamMap::point(int id)
+{
+    const auto it = pointIndex_.find(id);
+    if (it == pointIndex_.end())
+        panic("SlamMap::point: unknown id " + std::to_string(id));
+    return points_[it->second];
+}
+
+const MapPoint &
+SlamMap::point(int id) const
+{
+    const auto it = pointIndex_.find(id);
+    if (it == pointIndex_.end())
+        panic("SlamMap::point: unknown id " + std::to_string(id));
+    return points_[it->second];
+}
+
+Keyframe &
+SlamMap::keyframe(int id)
+{
+    if (id < 0 || id >= static_cast<int>(keyframes_.size()))
+        panic("SlamMap::keyframe: unknown id " + std::to_string(id));
+    return keyframes_[static_cast<std::size_t>(id)];
+}
+
+const Keyframe &
+SlamMap::keyframe(int id) const
+{
+    if (id < 0 || id >= static_cast<int>(keyframes_.size()))
+        panic("SlamMap::keyframe: unknown id " + std::to_string(id));
+    return keyframes_[static_cast<std::size_t>(id)];
+}
+
+std::size_t
+SlamMap::cullPoints(int min_obs, int before_kf)
+{
+    // Collect weak points.
+    std::vector<int> weak;
+    for (const auto &pt : points_) {
+        if (pt.observations < min_obs)
+            weak.push_back(pt.id);
+    }
+    if (weak.empty())
+        return 0;
+
+    // Only cull points unseen by recent keyframes.
+    std::vector<bool> recent(points_.size(), false);
+    for (const auto &kf : keyframes_) {
+        if (kf.id < before_kf)
+            continue;
+        for (const auto &obs : kf.observations) {
+            if (obs.mapPointId >= 0)
+                recent[pointIndex_[obs.mapPointId]] = true;
+        }
+    }
+
+    std::size_t removed = 0;
+    std::vector<bool> dead(points_.size(), false);
+    for (int id : weak) {
+        const std::size_t idx = pointIndex_[id];
+        if (!recent[idx]) {
+            dead[idx] = true;
+            ++removed;
+        }
+    }
+    if (removed == 0)
+        return 0;
+
+    // Drop observations of dead points.
+    for (auto &kf : keyframes_) {
+        kf.observations.erase(
+            std::remove_if(kf.observations.begin(),
+                           kf.observations.end(),
+                           [&](const KeyframeObservation &o) {
+                               return o.mapPointId >= 0 &&
+                                      dead[pointIndex_[o.mapPointId]];
+                           }),
+            kf.observations.end());
+    }
+
+    // Compact the point array and rebuild the index.
+    std::vector<MapPoint> alive;
+    alive.reserve(points_.size() - removed);
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        if (!dead[i])
+            alive.push_back(points_[i]);
+    }
+    points_ = std::move(alive);
+    pointIndex_.clear();
+    for (std::size_t i = 0; i < points_.size(); ++i)
+        pointIndex_[points_[i].id] = i;
+    return removed;
+}
+
+} // namespace dronedse

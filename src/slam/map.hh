@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The SLAM map: keyframes, map points, and their observations.
+ */
+
+#ifndef DRONEDSE_SLAM_MAP_HH
+#define DRONEDSE_SLAM_MAP_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "slam/brief.hh"
+#include "slam/camera.hh"
+#include "slam/se3.hh"
+
+namespace dronedse {
+
+/** A landmark in the map. */
+struct MapPoint
+{
+    int id = 0;
+    Vec3 position;
+    /** Representative descriptor (from the creating observation). */
+    Descriptor descriptor;
+    /** Number of keyframes observing this point. */
+    int observations = 0;
+};
+
+/** One keyframe observation of a map point. */
+struct KeyframeObservation
+{
+    int mapPointId = -1;
+    Pixel pixel;
+};
+
+/** A keyframe: pose plus its map-point observations. */
+struct Keyframe
+{
+    int id = 0;
+    int frameIndex = 0;
+    Se3 pose;
+    std::vector<KeyframeObservation> observations;
+};
+
+/** The map container. */
+class SlamMap
+{
+  public:
+    /** Insert a new map point; returns its id. */
+    int addPoint(const Vec3 &position, const Descriptor &descriptor);
+
+    /** Insert a keyframe; returns its id. */
+    int addKeyframe(Keyframe keyframe);
+
+    /** Record that keyframe `kf_id` observes point `pt_id`. */
+    void addObservation(int kf_id, int pt_id, const Pixel &pixel);
+
+    MapPoint &point(int id);
+    const MapPoint &point(int id) const;
+    Keyframe &keyframe(int id);
+    const Keyframe &keyframe(int id) const;
+
+    std::size_t pointCount() const { return points_.size(); }
+    std::size_t keyframeCount() const { return keyframes_.size(); }
+
+    const std::vector<MapPoint> &points() const { return points_; }
+    std::vector<MapPoint> &points() { return points_; }
+    const std::vector<Keyframe> &keyframes() const { return keyframes_; }
+    std::vector<Keyframe> &keyframes() { return keyframes_; }
+
+    /**
+     * Cull map points with fewer than `min_obs` observations that
+     * are older than keyframe `before_kf`; returns the number
+     * removed (observations in keyframes are dropped too).
+     */
+    std::size_t cullPoints(int min_obs, int before_kf);
+
+  private:
+    std::vector<MapPoint> points_;
+    std::vector<Keyframe> keyframes_;
+    std::unordered_map<int, std::size_t> pointIndex_;
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_SLAM_MAP_HH

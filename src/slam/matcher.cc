@@ -1,0 +1,65 @@
+#include "slam/matcher.hh"
+
+namespace dronedse {
+
+namespace {
+
+template <typename GetDescriptor>
+std::vector<Match>
+matchImpl(const std::vector<Feature> &query, std::size_t train_size,
+          GetDescriptor get, const MatcherConfig &config,
+          MatchWork *work)
+{
+    std::vector<Match> matches;
+    for (std::size_t qi = 0; qi < query.size(); ++qi) {
+        int best = 1 << 30, second = 1 << 30, best_ti = -1;
+        for (std::size_t ti = 0; ti < train_size; ++ti) {
+            if (work)
+                ++work->comparisons;
+            const int d = query[qi].descriptor.distance(get(ti));
+            if (d < best) {
+                second = best;
+                best = d;
+                best_ti = static_cast<int>(ti);
+            } else if (d < second) {
+                second = d;
+            }
+        }
+        if (best_ti < 0 || best > config.maxDistance)
+            continue;
+        if (second < 1 << 30 &&
+            best >= config.ratio * static_cast<double>(second)) {
+            continue; // ambiguous
+        }
+        matches.push_back({static_cast<int>(qi), best_ti, best});
+    }
+    return matches;
+}
+
+} // namespace
+
+std::vector<Match>
+matchFeatures(const std::vector<Feature> &query,
+              const std::vector<Feature> &train,
+              const MatcherConfig &config, MatchWork *work)
+{
+    return matchImpl(
+        query, train.size(),
+        [&](std::size_t ti) -> const Descriptor & {
+            return train[ti].descriptor;
+        },
+        config, work);
+}
+
+std::vector<Match>
+matchDescriptors(const std::vector<Feature> &query,
+                 const std::vector<Descriptor> &train,
+                 const MatcherConfig &config, MatchWork *work)
+{
+    return matchImpl(
+        query, train.size(),
+        [&](std::size_t ti) -> const Descriptor & { return train[ti]; },
+        config, work);
+}
+
+} // namespace dronedse

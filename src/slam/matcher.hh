@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Brute-force Hamming matching with ratio test (the "Matching" part
+ * of Figure 17's feature extraction/matching phase).
+ */
+
+#ifndef DRONEDSE_SLAM_MATCHER_HH
+#define DRONEDSE_SLAM_MATCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "slam/brief.hh"
+
+namespace dronedse {
+
+/** One correspondence between two feature sets. */
+struct Match
+{
+    int queryIndex = 0;
+    int trainIndex = 0;
+    int distance = 0;
+};
+
+/** Matcher configuration. */
+struct MatcherConfig
+{
+    /** Reject matches above this Hamming distance. */
+    int maxDistance = 64;
+    /** Lowe ratio: best must beat second-best by this factor. */
+    double ratio = 0.8;
+};
+
+/** Work counters for the platform execution models. */
+struct MatchWork
+{
+    /** Descriptor comparisons performed. */
+    std::uint64_t comparisons = 0;
+};
+
+/**
+ * Match query features against train features (best + ratio test,
+ * mutual consistency not enforced).
+ */
+std::vector<Match> matchFeatures(const std::vector<Feature> &query,
+                                 const std::vector<Feature> &train,
+                                 const MatcherConfig &config = {},
+                                 MatchWork *work = nullptr);
+
+/**
+ * Match query features against raw descriptors (used to associate
+ * frame features with map points).
+ */
+std::vector<Match> matchDescriptors(
+    const std::vector<Feature> &query,
+    const std::vector<Descriptor> &train,
+    const MatcherConfig &config = {}, MatchWork *work = nullptr);
+
+} // namespace dronedse
+
+#endif // DRONEDSE_SLAM_MATCHER_HH

@@ -1,0 +1,120 @@
+#include "slam/pnp.hh"
+
+#include <cmath>
+
+#include "util/matrix.hh"
+
+namespace dronedse {
+
+PnpResult
+solvePnp(const PinholeCamera &camera,
+         const std::vector<PnpPoint> &points, const Se3 &initial,
+         const PnpConfig &config)
+{
+    PnpResult result;
+    result.pose = initial;
+    if (points.size() < 4)
+        return result;
+
+    for (int iter = 0; iter < config.maxIterations; ++iter) {
+        Matrix h(6, 6);
+        std::vector<double> b(6, 0.0);
+        double chi2 = 0.0;
+        int used = 0;
+
+        for (const PnpPoint &pt : points) {
+            const Vec3 p = result.pose.apply(pt.world);
+            if (p.z <= 0.05)
+                continue;
+            ++result.jacobianEvals;
+
+            const double iz = 1.0 / p.z;
+            const double u = camera.fx * p.x * iz + camera.cx;
+            const double v = camera.fy * p.y * iz + camera.cy;
+            const double ru = u - pt.pixel.u;
+            const double rv = v - pt.pixel.v;
+            const double err = std::sqrt(ru * ru + rv * rv);
+
+            // Huber weight.
+            double w = 1.0;
+            if (err > config.huberPx)
+                w = config.huberPx / err;
+
+            // d(proj)/dp.
+            const double ju[3] = {camera.fx * iz, 0.0,
+                                  -camera.fx * p.x * iz * iz};
+            const double jv[3] = {0.0, camera.fy * iz,
+                                  -camera.fy * p.y * iz * iz};
+            // dp/d(omega) = -[p]x ; dp/d(upsilon) = I.
+            // Columns: [omega(3), upsilon(3)].
+            double row_u[6], row_v[6];
+            // -[p]x columns: d p/d omega_k.
+            const double skew[3][3] = {{0, p.z, -p.y},
+                                       {-p.z, 0, p.x},
+                                       {p.y, -p.x, 0}};
+            for (int k = 0; k < 3; ++k) {
+                row_u[k] = ju[0] * skew[0][k] + ju[1] * skew[1][k] +
+                           ju[2] * skew[2][k];
+                row_v[k] = jv[0] * skew[0][k] + jv[1] * skew[1][k] +
+                           jv[2] * skew[2][k];
+                row_u[k + 3] = ju[k];
+                row_v[k + 3] = jv[k];
+            }
+
+            for (int r = 0; r < 6; ++r) {
+                for (int c = 0; c < 6; ++c) {
+                    h(static_cast<std::size_t>(r),
+                      static_cast<std::size_t>(c)) +=
+                        w * (row_u[r] * row_u[c] + row_v[r] * row_v[c]);
+                }
+                b[static_cast<std::size_t>(r)] -=
+                    w * (row_u[r] * ru + row_v[r] * rv);
+            }
+            chi2 += w * (ru * ru + rv * rv);
+            ++used;
+        }
+
+        if (used < 4)
+            return result;
+
+        h.addToDiagonal(1e-6);
+        std::vector<double> dx;
+        if (!h.solveCholesky(b, dx))
+            return result;
+
+        result.pose = se3BoxPlus(result.pose, {dx[0], dx[1], dx[2]},
+                                 {dx[3], dx[4], dx[5]});
+        result.iterations = iter + 1;
+
+        double step = 0.0;
+        for (double d : dx)
+            step += d * d;
+        if (std::sqrt(step) < config.epsilon)
+            break;
+        (void)chi2;
+    }
+
+    // Inlier count and RMS at the final pose.
+    double ss = 0.0;
+    int inliers = 0;
+    for (const PnpPoint &pt : points) {
+        const Vec3 p = result.pose.apply(pt.world);
+        if (p.z <= 0.05)
+            continue;
+        const double u = camera.fx * p.x / p.z + camera.cx;
+        const double v = camera.fy * p.y / p.z + camera.cy;
+        const double du = u - pt.pixel.u, dv = v - pt.pixel.v;
+        const double err2 = du * du + dv * dv;
+        if (err2 <= config.outlierPx * config.outlierPx) {
+            ss += err2;
+            ++inliers;
+        }
+    }
+    result.inliers = inliers;
+    result.rmsReprojPx =
+        inliers > 0 ? std::sqrt(ss / static_cast<double>(inliers)) : 0.0;
+    result.converged = inliers >= 4;
+    return result;
+}
+
+} // namespace dronedse

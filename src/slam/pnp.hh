@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Perspective-n-point pose tracking: Gauss-Newton refinement of the
+ * camera pose against 3D-2D correspondences with a Huber robust
+ * kernel (the per-frame "Tracking" work of an ORB-style system).
+ */
+
+#ifndef DRONEDSE_SLAM_PNP_HH
+#define DRONEDSE_SLAM_PNP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "slam/camera.hh"
+#include "slam/se3.hh"
+
+namespace dronedse {
+
+/** One 3D-2D correspondence. */
+struct PnpPoint
+{
+    Vec3 world;
+    Pixel pixel;
+};
+
+/** Solver configuration. */
+struct PnpConfig
+{
+    int maxIterations = 10;
+    /** Huber kernel width (pixels). */
+    double huberPx = 3.0;
+    /** Convergence threshold on the update norm. */
+    double epsilon = 1e-6;
+    /** Reprojection error above which a point is an outlier (px). */
+    double outlierPx = 6.0;
+};
+
+/** Solver result. */
+struct PnpResult
+{
+    Se3 pose;
+    bool converged = false;
+    int iterations = 0;
+    int inliers = 0;
+    /** RMS reprojection error over inliers (pixels). */
+    double rmsReprojPx = 0.0;
+    /** Jacobian evaluations (work accounting). */
+    std::uint64_t jacobianEvals = 0;
+};
+
+/**
+ * Refine `initial` against the correspondences.  Needs >= 4 points;
+ * returns converged=false otherwise or when the normal equations
+ * degenerate.
+ */
+PnpResult solvePnp(const PinholeCamera &camera,
+                   const std::vector<PnpPoint> &points,
+                   const Se3 &initial, const PnpConfig &config = {});
+
+} // namespace dronedse
+
+#endif // DRONEDSE_SLAM_PNP_HH

@@ -1,0 +1,26 @@
+#include "slam/se3.hh"
+
+#include <cmath>
+
+namespace dronedse {
+
+Quaternion
+so3Exp(const Vec3 &omega)
+{
+    const double theta = omega.norm();
+    if (theta < 1e-12)
+        return {1.0, 0.5 * omega.x, 0.5 * omega.y, 0.5 * omega.z};
+    const Vec3 axis = omega / theta;
+    return Quaternion::fromAxisAngle(axis, theta);
+}
+
+Se3
+se3BoxPlus(const Se3 &pose, const Vec3 &omega, const Vec3 &upsilon)
+{
+    Se3 out;
+    out.rotation = (so3Exp(omega) * pose.rotation).normalized();
+    out.translation = so3Exp(omega).rotate(pose.translation) + upsilon;
+    return out;
+}
+
+} // namespace dronedse

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal SE(3) pose type and the exponential-map update used by the
+ * pose optimizers (PnP tracking and bundle adjustment).
+ */
+
+#ifndef DRONEDSE_SLAM_SE3_HH
+#define DRONEDSE_SLAM_SE3_HH
+
+#include "util/mat3.hh"
+#include "util/quaternion.hh"
+#include "util/vec3.hh"
+
+namespace dronedse {
+
+/**
+ * Camera pose as a world-to-camera transform:
+ * x_cam = R * x_world + t.
+ */
+struct Se3
+{
+    Quaternion rotation;
+    Vec3 translation;
+
+    /** Transform a world point into the camera frame. */
+    Vec3
+    apply(const Vec3 &world) const
+    {
+        return rotation.rotate(world) + translation;
+    }
+
+    /** Inverse transform (camera to world). */
+    Vec3
+    applyInverse(const Vec3 &cam) const
+    {
+        return rotation.conjugate().rotate(cam - translation);
+    }
+
+    /** Camera centre in world coordinates. */
+    Vec3 center() const { return applyInverse({0, 0, 0}); }
+
+    /** Composition: (this * other)(x) = this(other(x)). */
+    Se3
+    compose(const Se3 &other) const
+    {
+        Se3 out;
+        out.rotation = (rotation * other.rotation).normalized();
+        out.translation = rotation.rotate(other.translation) +
+                          translation;
+        return out;
+    }
+
+    /** Inverse pose. */
+    Se3
+    inverse() const
+    {
+        Se3 out;
+        out.rotation = rotation.conjugate();
+        out.translation = -(out.rotation.rotate(translation));
+        return out;
+    }
+};
+
+/** SO(3) exponential map: rotation vector to quaternion. */
+Quaternion so3Exp(const Vec3 &omega);
+
+/**
+ * Left-multiplicative SE(3) update used by the optimizers:
+ * pose' = exp([omega, upsilon]) * pose (rotation applied about the
+ * current camera frame, translation added directly).
+ */
+Se3 se3BoxPlus(const Se3 &pose, const Vec3 &omega, const Vec3 &upsilon);
+
+} // namespace dronedse
+
+#endif // DRONEDSE_SLAM_SE3_HH

@@ -1,0 +1,53 @@
+#include "slam/triangulation.hh"
+
+#include <cmath>
+
+namespace dronedse {
+
+std::optional<Vec3>
+triangulate(const PinholeCamera &camera, const Se3 &pose_a,
+            const Pixel &px_a, const Se3 &pose_b, const Pixel &px_b,
+            double min_parallax_rad)
+{
+    // Rays in world coordinates.
+    const Vec3 ca = pose_a.center();
+    const Vec3 cb = pose_b.center();
+    const Vec3 da = (pose_a.applyInverse(camera.backProject(px_a, 1.0)) -
+                     ca)
+                        .normalized();
+    const Vec3 db = (pose_b.applyInverse(camera.backProject(px_b, 1.0)) -
+                     cb)
+                        .normalized();
+
+    // Closest points on the two rays: solve for s, t in
+    //   ca + s*da  ~  cb + t*db.
+    const double d = da.dot(db);
+    const double denom = 1.0 - d * d;
+    if (denom < 1e-8)
+        return std::nullopt; // parallel rays (no baseline)
+
+    // Parallax gate: depth is unobservable for near-parallel rays.
+    if (std::acos(std::min(1.0, std::fabs(d))) < min_parallax_rad)
+        return std::nullopt;
+
+    const Vec3 w = ca - cb;
+    const double s = (d * w.dot(db) - w.dot(da)) / denom;
+    const double t = (w.dot(db) - d * w.dot(da)) / denom;
+    if (s <= 0.0 || t <= 0.0)
+        return std::nullopt; // behind a camera
+
+    const Vec3 pa = ca + da * s;
+    const Vec3 pb = cb + db * t;
+    const Vec3 mid = (pa + pb) * 0.5;
+
+    // The two closest points must agree reasonably.
+    if ((pa - pb).norm() > 0.05 * (s + t))
+        return std::nullopt;
+
+    // Cheirality against both cameras.
+    if (pose_a.apply(mid).z <= 0.05 || pose_b.apply(mid).z <= 0.05)
+        return std::nullopt;
+    return mid;
+}
+
+} // namespace dronedse

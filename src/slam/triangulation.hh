@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Two-view midpoint triangulation used to create new map points from
+ * keyframe pairs.
+ */
+
+#ifndef DRONEDSE_SLAM_TRIANGULATION_HH
+#define DRONEDSE_SLAM_TRIANGULATION_HH
+
+#include <optional>
+
+#include "slam/camera.hh"
+#include "slam/se3.hh"
+
+namespace dronedse {
+
+/**
+ * Triangulate a world point from two observations.
+ *
+ * @param camera Shared intrinsics.
+ * @param pose_a World-to-camera pose of the first view.
+ * @param px_a   Observation in the first view.
+ * @param pose_b World-to-camera pose of the second view.
+ * @param px_b   Observation in the second view.
+ * @param min_parallax_rad Minimum ray angle: below this the depth is
+ *        unobservable (baseline too short for the scene depth).
+ * @return World point, or nullopt for degenerate geometry (parallel
+ *         rays, insufficient parallax, point behind a camera,
+ *         excessive midpoint gap).
+ */
+std::optional<Vec3> triangulate(const PinholeCamera &camera,
+                                const Se3 &pose_a, const Pixel &px_a,
+                                const Se3 &pose_b, const Pixel &px_b,
+                                double min_parallax_rad = 0.012);
+
+} // namespace dronedse
+
+#endif // DRONEDSE_SLAM_TRIANGULATION_HH

@@ -1,0 +1,188 @@
+#include "slam/world.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dronedse {
+
+const std::vector<SequenceSpec> &
+euRocSequences()
+{
+    // Frame counts, room sizes, speeds, and noise levels follow the
+    // real dataset's structure: MH* are large machine-hall sweeps,
+    // V* are small Vicon-room sequences; higher numbers are harder
+    // (faster, shakier, noisier).
+    static const std::vector<SequenceSpec> specs = {
+        {"MH01", 180, 12.0, 6.0, 0.9, 1400, 1.5, 0.03, "easy", 101},
+        {"MH02", 180, 12.0, 6.0, 1.0, 1400, 1.5, 0.03, "easy", 102},
+        {"MH03", 200, 12.0, 6.0, 1.5, 1300, 2.0, 0.05, "medium", 103},
+        {"MH04", 200, 12.0, 6.0, 1.9, 1200, 3.0, 0.07, "difficult",
+         104},
+        {"MH05", 200, 12.0, 6.0, 1.8, 1200, 3.0, 0.07, "difficult",
+         105},
+        {"V101", 150, 5.0, 2.2, 0.7, 900, 1.5, 0.03, "easy", 201},
+        {"V102", 150, 5.0, 2.2, 1.1, 1100, 2.0, 0.05, "medium", 202},
+        {"V103", 150, 5.0, 2.2, 1.3, 1300, 3.0, 0.06, "difficult", 203},
+        {"V201", 150, 5.0, 2.2, 0.8, 900, 1.5, 0.03, "easy", 204},
+        {"V202", 150, 5.0, 2.2, 1.1, 1100, 2.0, 0.05, "medium", 205},
+        {"V203", 160, 5.0, 2.2, 1.3, 1300, 3.0, 0.06, "difficult", 206},
+    };
+    return specs;
+}
+
+const SequenceSpec &
+findSequence(const std::string &name)
+{
+    for (const auto &spec : euRocSequences())
+        if (spec.name == name)
+            return spec;
+    fatal("findSequence: unknown sequence '" + name + "'");
+}
+
+Se3
+lookAtPose(const Vec3 &center, const Vec3 &target, const Vec3 &up)
+{
+    const Vec3 forward = (target - center).normalized();
+    Vec3 right = forward.cross(up);
+    if (right.norm() < 1e-9)
+        right = {1, 0, 0};
+    right = right.normalized();
+    const Vec3 down = forward.cross(right).normalized();
+
+    // Camera convention: x right, y down, z forward.  World-to-cam
+    // rotation rows are the camera axes expressed in world frame.
+    Mat3 r;
+    r(0, 0) = right.x;   r(0, 1) = right.y;   r(0, 2) = right.z;
+    r(1, 0) = down.x;    r(1, 1) = down.y;    r(1, 2) = down.z;
+    r(2, 0) = forward.x; r(2, 1) = forward.y; r(2, 2) = forward.z;
+
+    Se3 pose;
+    pose.rotation = Quaternion::fromRotationMatrix(r);
+    pose.translation = -(pose.rotation.rotate(center));
+    return pose;
+}
+
+SyntheticWorld::SyntheticWorld(SequenceSpec spec)
+    : spec_(std::move(spec)), renderRng_(spec_.seed * 7919 + 13)
+{
+    Rng rng(spec_.seed);
+    landmarks_.reserve(static_cast<std::size_t>(spec_.landmarkCount));
+
+    const double h = spec_.roomHalfM;
+    for (int i = 0; i < spec_.landmarkCount; ++i) {
+        WorldLandmark lm;
+        lm.id = i;
+        lm.patternSeed = spec_.seed * 1000003ULL +
+                         static_cast<std::uint64_t>(i) * 2654435761ULL;
+        // Place on one of the four walls or the ceiling, giving the
+        // circling camera something to look at in every direction.
+        const int face = static_cast<int>(rng.uniformInt(0, 4));
+        const double a = rng.uniform(-h, h);
+        const double b = rng.uniform(0.3, 0.9 * h);
+        switch (face) {
+          case 0: lm.position = {h, a, b}; break;
+          case 1: lm.position = {-h, a, b}; break;
+          case 2: lm.position = {a, h, b}; break;
+          case 3: lm.position = {a, -h, b}; break;
+          default: lm.position = {a, rng.uniform(-h, h), 0.95 * h};
+        }
+        landmarks_.push_back(lm);
+    }
+}
+
+Se3
+SyntheticWorld::truePose(int index) const
+{
+    const double fps = 20.0;
+    const double t = index / fps;
+    const double omega = spec_.speedMps / spec_.pathRadiusM;
+    const double angle = omega * t;
+
+    const double height = 0.45 * spec_.roomHalfM;
+    const Vec3 center{spec_.pathRadiusM * std::cos(angle),
+                      spec_.pathRadiusM * std::sin(angle),
+                      height + 0.3 * std::sin(0.4 * angle)};
+    // Look radially outward at the walls.
+    const Vec3 target{2.0 * spec_.roomHalfM * std::cos(angle),
+                      2.0 * spec_.roomHalfM * std::sin(angle),
+                      height};
+
+    // Difficulty-dependent attitude wobble.
+    const Vec3 up{std::sin(spec_.wobbleRad * std::sin(7.0 * angle)),
+                  std::sin(spec_.wobbleRad * std::cos(5.0 * angle)),
+                  1.0};
+    return lookAtPose(center, target, up.normalized());
+}
+
+SyntheticFrame
+SyntheticWorld::renderFrame(int index)
+{
+    SyntheticFrame frame;
+    frame.index = index;
+    frame.timestamp = index / 20.0;
+    frame.truePose = truePose(index);
+
+    Image img(camera_.width, camera_.height, 0);
+    // Mild background gradient so the detector sees realistic
+    // low-frequency content.
+    for (int y = 0; y < img.height(); ++y) {
+        for (int x = 0; x < img.width(); ++x) {
+            img.at(x, y) = static_cast<std::uint8_t>(
+                90 + (x / 16 + y / 16) % 12);
+        }
+    }
+
+    // Stamp each visible landmark's 7x7 high-contrast pattern.
+    for (const auto &lm : landmarks_) {
+        const auto px = camera_.projectWorld(frame.truePose,
+                                             lm.position);
+        if (!px)
+            continue;
+        Rng pattern(lm.patternSeed);
+        const int cx = static_cast<int>(std::lround(px->u));
+        const int cy = static_cast<int>(std::lround(px->v));
+        for (int dy = -3; dy <= 3; ++dy) {
+            for (int dx = -3; dx <= 3; ++dx) {
+                const int x = cx + dx, y = cy + dy;
+                if (x < 0 || y < 0 || x >= img.width() ||
+                    y >= img.height()) {
+                    pattern.next(); // keep the pattern deterministic
+                    continue;
+                }
+                const bool bright = pattern.bernoulli(0.5);
+                img.at(x, y) =
+                    static_cast<std::uint8_t>(bright ? 235 : 15);
+            }
+        }
+    }
+
+    // Sensor noise.
+    if (spec_.imageNoise > 0.0) {
+        for (int y = 0; y < img.height(); ++y) {
+            for (int x = 0; x < img.width(); ++x) {
+                const double v =
+                    img.at(x, y) +
+                    renderRng_.gaussian(0.0, spec_.imageNoise);
+                img.at(x, y) = static_cast<std::uint8_t>(
+                    std::min(255.0, std::max(0.0, v)));
+            }
+        }
+    }
+
+    frame.image = std::move(img);
+    return frame;
+}
+
+std::vector<std::pair<int, Pixel>>
+SyntheticWorld::visibleLandmarks(const Se3 &pose) const
+{
+    std::vector<std::pair<int, Pixel>> out;
+    for (const auto &lm : landmarks_) {
+        if (const auto px = camera_.projectWorld(pose, lm.position))
+            out.emplace_back(lm.id, *px);
+    }
+    return out;
+}
+
+} // namespace dronedse

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Synthetic EuRoC-like world: a textured room populated with
+ * patterned landmarks, a smooth camera trajectory, and a renderer
+ * that produces the grayscale frames the feature pipeline consumes.
+ *
+ * This replaces the physical EuRoC micro-aerial-vehicle dataset
+ * (paper Section 5): each synthetic sequence keeps the same role —
+ * a camera sweep through a static scene at a named difficulty.
+ */
+
+#ifndef DRONEDSE_SLAM_WORLD_HH
+#define DRONEDSE_SLAM_WORLD_HH
+
+#include <string>
+#include <vector>
+
+#include "slam/camera.hh"
+#include "slam/image.hh"
+#include "slam/se3.hh"
+#include "util/rng.hh"
+
+namespace dronedse {
+
+/** One 3D landmark with a deterministic visual pattern. */
+struct WorldLandmark
+{
+    int id = 0;
+    Vec3 position;
+    /** Seed for the landmark's 7x7 intensity pattern. */
+    std::uint64_t patternSeed = 0;
+};
+
+/** Parameters of one synthetic sequence (EuRoC naming). */
+struct SequenceSpec
+{
+    std::string name;
+    /** Number of frames. */
+    int frames = 150;
+    /** Room half-extent (m); Machine Hall rooms are larger. */
+    double roomHalfM = 10.0;
+    /** Camera path radius (m). */
+    double pathRadiusM = 5.0;
+    /** Linear speed along the path (m/s). */
+    double speedMps = 1.0;
+    /** Landmarks on the room surfaces. */
+    int landmarkCount = 900;
+    /** Image noise sigma (gray levels). */
+    double imageNoise = 2.0;
+    /** Attitude oscillation amplitude (rad) — higher = harder. */
+    double wobbleRad = 0.05;
+    /** Dataset difficulty tag ("easy"/"medium"/"difficult"). */
+    std::string difficulty = "easy";
+    /** World/render seed. */
+    std::uint64_t seed = 1;
+};
+
+/** The eleven EuRoC-style sequences of Figure 17. */
+const std::vector<SequenceSpec> &euRocSequences();
+
+/** Find a sequence by name ("MH01".."V203"); fatal() if absent. */
+const SequenceSpec &findSequence(const std::string &name);
+
+/** One rendered frame with ground truth. */
+struct SyntheticFrame
+{
+    int index = 0;
+    double timestamp = 0.0;
+    Image image;
+    /** World-to-camera ground-truth pose. */
+    Se3 truePose;
+};
+
+/** Camera pose looking from `center` toward `target`. */
+Se3 lookAtPose(const Vec3 &center, const Vec3 &target,
+               const Vec3 &up = {0, 0, 1});
+
+/** The synthetic world and its renderer. */
+class SyntheticWorld
+{
+  public:
+    explicit SyntheticWorld(SequenceSpec spec);
+
+    const SequenceSpec &spec() const { return spec_; }
+    const std::vector<WorldLandmark> &landmarks() const
+    { return landmarks_; }
+    const PinholeCamera &camera() const { return camera_; }
+
+    /** Ground-truth camera pose at frame `index` (20 fps). */
+    Se3 truePose(int index) const;
+
+    /** Render frame `index`. */
+    SyntheticFrame renderFrame(int index);
+
+    /**
+     * Landmarks currently visible from a pose (id and projected
+     * pixel) — ground truth for association tests.
+     */
+    std::vector<std::pair<int, Pixel>> visibleLandmarks(
+        const Se3 &pose) const;
+
+  private:
+    SequenceSpec spec_;
+    PinholeCamera camera_;
+    std::vector<WorldLandmark> landmarks_;
+    Rng renderRng_;
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_SLAM_WORLD_HH

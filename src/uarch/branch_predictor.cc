@@ -1,0 +1,42 @@
+#include "uarch/branch_predictor.hh"
+
+#include "util/logging.hh"
+
+namespace dronedse {
+
+BranchPredictor::BranchPredictor(BranchPredictorConfig config)
+    : config_(config)
+{
+    if (config_.tableBits == 0 || config_.tableBits > 24)
+        fatal("BranchPredictor: tableBits out of range");
+    if (config_.historyBits > config_.tableBits)
+        fatal("BranchPredictor: history longer than table index");
+    table_.assign(1ULL << config_.tableBits, 2); // weakly taken
+}
+
+bool
+BranchPredictor::predictAndTrain(std::uint64_t pc, bool taken)
+{
+    ++branches_;
+    const std::uint64_t mask = (1ULL << config_.tableBits) - 1;
+    const std::uint64_t hist_mask =
+        (1ULL << config_.historyBits) - 1;
+    const std::uint64_t index =
+        ((pc >> 2) ^ (history_ & hist_mask)) & mask;
+
+    std::uint8_t &counter = table_[index];
+    const bool prediction = counter >= 2;
+    const bool correct = prediction == taken;
+    if (!correct)
+        ++mispredicts_;
+
+    if (taken && counter < 3)
+        ++counter;
+    else if (!taken && counter > 0)
+        --counter;
+
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & hist_mask;
+    return correct;
+}
+
+} // namespace dronedse

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Gshare branch predictor: global history XOR PC indexing a table of
+ * 2-bit saturating counters.
+ */
+
+#ifndef DRONEDSE_UARCH_BRANCH_PREDICTOR_HH
+#define DRONEDSE_UARCH_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dronedse {
+
+/** Predictor geometry. */
+struct BranchPredictorConfig
+{
+    /** log2 of the pattern table size. */
+    std::uint32_t tableBits = 12;
+    /** Global history length (<= tableBits). */
+    std::uint32_t historyBits = 12;
+};
+
+/** Gshare predictor. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(BranchPredictorConfig config = {});
+
+    /**
+     * Predict and then train on the actual outcome.
+     * @retval true when the prediction was correct.
+     */
+    bool predictAndTrain(std::uint64_t pc, bool taken);
+
+    std::uint64_t branches() const { return branches_; }
+    std::uint64_t mispredicts() const { return mispredicts_; }
+
+    /** Misprediction rate so far. */
+    double
+    missRate() const
+    {
+        return branches_ > 0 ? static_cast<double>(mispredicts_) /
+                                   static_cast<double>(branches_)
+                             : 0.0;
+    }
+
+  private:
+    BranchPredictorConfig config_;
+    std::vector<std::uint8_t> table_;
+    std::uint64_t history_ = 0;
+    std::uint64_t branches_ = 0;
+    std::uint64_t mispredicts_ = 0;
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_UARCH_BRANCH_PREDICTOR_HH

@@ -1,0 +1,132 @@
+#include "uarch/cache.hh"
+
+#include "uarch/perf_counters.hh"
+#include "util/logging.hh"
+
+namespace dronedse {
+
+PerfCounters &
+PerfCounters::operator+=(const PerfCounters &o)
+{
+    instructions += o.instructions;
+    cycles += o.cycles;
+    l1Accesses += o.l1Accesses;
+    l1Misses += o.l1Misses;
+    llcAccesses += o.llcAccesses;
+    llcMisses += o.llcMisses;
+    tlbAccesses += o.tlbAccesses;
+    tlbMisses += o.tlbMisses;
+    branches += o.branches;
+    branchMispredicts += o.branchMispredicts;
+    return *this;
+}
+
+namespace {
+
+bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+std::uint32_t
+log2u(std::uint64_t v)
+{
+    std::uint32_t n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+Cache::Cache(CacheConfig config)
+    : config_(config)
+{
+    if (!isPowerOfTwo(config_.lineBytes) ||
+        !isPowerOfTwo(config_.sizeBytes)) {
+        fatal("Cache: size and line must be powers of two");
+    }
+    if (config_.ways == 0 ||
+        config_.sizeBytes % (config_.lineBytes * config_.ways) != 0) {
+        fatal("Cache: capacity must divide into ways * lines");
+    }
+    sets_ = static_cast<std::uint32_t>(
+        config_.sizeBytes / (config_.lineBytes * config_.ways));
+    if (!isPowerOfTwo(sets_))
+        fatal("Cache: set count must be a power of two");
+    lineShift_ = log2u(config_.lineBytes);
+    lines_.resize(static_cast<std::size_t>(sets_) * config_.ways);
+}
+
+bool
+Cache::lookup(std::uint64_t line_addr)
+{
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(line_addr & (sets_ - 1));
+    const std::uint64_t tag = line_addr >> log2u(sets_);
+    Line *base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = clock_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Cache::install(std::uint64_t line_addr)
+{
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(line_addr & (sets_ - 1));
+    const std::uint64_t tag = line_addr >> log2u(sets_);
+    Line *base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+    Line *victim = base;
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = clock_;
+            return; // already resident
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = clock_;
+}
+
+bool
+Cache::access(std::uint64_t addr)
+{
+    ++accesses_;
+    ++clock_;
+    const std::uint64_t line_addr = addr >> lineShift_;
+
+    if (lookup(line_addr))
+        return true;
+
+    ++misses_;
+    install(line_addr);
+    if (config_.nextLinePrefetch && !lookup(line_addr + 1)) {
+        install(line_addr + 1);
+        ++prefetches_;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines_)
+        line.valid = false;
+}
+
+} // namespace dronedse

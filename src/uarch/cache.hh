@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement, used for the
+ * private L1 and the shared LLC in the Figure 15 contention study.
+ */
+
+#ifndef DRONEDSE_UARCH_CACHE_HH
+#define DRONEDSE_UARCH_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dronedse {
+
+/** Cache geometry. */
+struct CacheConfig
+{
+    /** Total capacity in bytes. */
+    std::uint64_t sizeBytes = 32 * 1024;
+    /** Line size in bytes (power of two). */
+    std::uint32_t lineBytes = 64;
+    /** Associativity. */
+    std::uint32_t ways = 4;
+    /**
+     * Next-line prefetch on miss: hides the streaming workloads'
+     * sequential misses (the autopilot profile) while doing little
+     * for gather-heavy SLAM — a classic ablation axis for the
+     * Figure 15 study.
+     */
+    bool nextLinePrefetch = false;
+};
+
+/** Set-associative LRU cache. */
+class Cache
+{
+  public:
+    explicit Cache(CacheConfig config = {});
+
+    /**
+     * Access a byte address.
+     * @retval true on hit.
+     */
+    bool access(std::uint64_t addr);
+
+    /** Invalidate all lines. */
+    void flush();
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t misses() const { return misses_; }
+    /** Lines installed by the prefetcher. */
+    std::uint64_t prefetches() const { return prefetches_; }
+    std::uint32_t sets() const { return sets_; }
+
+    /** Miss rate so far. */
+    double
+    missRate() const
+    {
+        return accesses_ > 0 ? static_cast<double>(misses_) /
+                                   static_cast<double>(accesses_)
+                             : 0.0;
+    }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    CacheConfig config_;
+    std::uint32_t sets_ = 0;
+    std::uint32_t lineShift_ = 0;
+    std::vector<Line> lines_;
+    std::uint64_t clock_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t prefetches_ = 0;
+
+    /** Install a line (demand fill or prefetch). */
+    void install(std::uint64_t line_addr);
+    /** True when the line is resident (updates recency on hit). */
+    bool lookup(std::uint64_t line_addr);
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_UARCH_CACHE_HH

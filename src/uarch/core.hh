@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Trace-driven in-order core with a stall-based timing model, plus
+ * the co-scheduler that time-slices two workloads on one core with
+ * shared LLC/TLB/predictor state — the mechanism behind Figure 15's
+ * autopilot-vs-SLAM interference.
+ */
+
+#ifndef DRONEDSE_UARCH_CORE_HH
+#define DRONEDSE_UARCH_CORE_HH
+
+#include <memory>
+
+#include "uarch/branch_predictor.hh"
+#include "uarch/cache.hh"
+#include "uarch/perf_counters.hh"
+#include "uarch/tlb.hh"
+#include "uarch/trace.hh"
+
+namespace dronedse {
+
+/** Stall penalties (cycles), RPi-class in-order core. */
+struct CoreTiming
+{
+    std::uint32_t aluCycles = 1;
+    std::uint32_t l1HitCycles = 2;
+    std::uint32_t llcHitCycles = 14;
+    std::uint32_t memoryCycles = 90;
+    std::uint32_t tlbMissCycles = 38;
+    std::uint32_t branchMispredictCycles = 16;
+};
+
+/** The shared memory-system state of one physical core. */
+struct CorePlatform
+{
+    Cache l1{CacheConfig{32 * 1024, 64, 4}};
+    Cache llc{CacheConfig{1024 * 1024, 64, 16}};
+    Tlb tlb{TlbConfig{48, 4096}};
+    BranchPredictor predictor{};
+    CoreTiming timing{};
+};
+
+/**
+ * Run one workload alone on a fresh platform for `instructions`
+ * events and return its counters.
+ */
+PerfCounters runAlone(TraceGenerator &generator,
+                      std::uint64_t instructions,
+                      CorePlatform &platform);
+
+/**
+ * Execute a single event against the platform, accumulating into
+ * `counters` (shared by runAlone and the co-scheduler).
+ */
+void executeEvent(const TraceEvent &event, CorePlatform &platform,
+                  PerfCounters &counters);
+
+/**
+ * Canonical scheduler quantum (events) for the Figure 15 study: a
+ * preemptive OS switching between the autopilot daemon and SLAM at
+ * millisecond granularity on an RPi-class core.
+ */
+inline constexpr std::uint64_t kDefaultSliceInstructions = 6000;
+
+/** Result of co-running two workloads on one core. */
+struct CoScheduleResult
+{
+    PerfCounters first;
+    PerfCounters second;
+};
+
+/**
+ * Time-slice two workloads on one core (round-robin, `slice`
+ * events per turn).  Shared L1/LLC/TLB/predictor state carries
+ * across slices, producing the interference the paper measures.
+ *
+ * @param instructions_each Events to run per workload.
+ */
+CoScheduleResult coSchedule(TraceGenerator &first,
+                            TraceGenerator &second,
+                            std::uint64_t instructions_each,
+                            std::uint64_t slice,
+                            CorePlatform &platform);
+
+} // namespace dronedse
+
+#endif // DRONEDSE_UARCH_CORE_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Performance counters reported by the trace-driven core model —
+ * the quantities Linux perf reports in the paper's Figure 15 study
+ * (IPC, LLC miss rate, branch miss rate, TLB misses).
+ */
+
+#ifndef DRONEDSE_UARCH_PERF_COUNTERS_HH
+#define DRONEDSE_UARCH_PERF_COUNTERS_HH
+
+#include <cstdint>
+
+namespace dronedse {
+
+/** Aggregated counters for one workload. */
+struct PerfCounters
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t llcAccesses = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t tlbAccesses = 0;
+    std::uint64_t tlbMisses = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t branchMispredicts = 0;
+
+    /** Instructions per cycle. */
+    double
+    ipc() const
+    {
+        return cycles > 0
+                   ? static_cast<double>(instructions) /
+                         static_cast<double>(cycles)
+                   : 0.0;
+    }
+
+    /** LLC miss rate over LLC accesses. */
+    double
+    llcMissRate() const
+    {
+        return llcAccesses > 0
+                   ? static_cast<double>(llcMisses) /
+                         static_cast<double>(llcAccesses)
+                   : 0.0;
+    }
+
+    /** Branch misprediction rate. */
+    double
+    branchMissRate() const
+    {
+        return branches > 0
+                   ? static_cast<double>(branchMispredicts) /
+                         static_cast<double>(branches)
+                   : 0.0;
+    }
+
+    /** TLB miss rate. */
+    double
+    tlbMissRate() const
+    {
+        return tlbAccesses > 0
+                   ? static_cast<double>(tlbMisses) /
+                         static_cast<double>(tlbAccesses)
+                   : 0.0;
+    }
+
+    /** Element-wise accumulation. */
+    PerfCounters &operator+=(const PerfCounters &o);
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_UARCH_PERF_COUNTERS_HH

@@ -1,0 +1,59 @@
+#include "uarch/tlb.hh"
+
+#include "util/logging.hh"
+
+namespace dronedse {
+
+Tlb::Tlb(TlbConfig config)
+    : config_(config)
+{
+    if (config_.entries == 0)
+        fatal("Tlb: need at least one entry");
+    std::uint32_t shift = 0;
+    std::uint32_t page = config_.pageBytes;
+    if (page == 0 || (page & (page - 1)) != 0)
+        fatal("Tlb: page size must be a power of two");
+    while (page > 1) {
+        page >>= 1;
+        ++shift;
+    }
+    pageShift_ = shift;
+    entries_.resize(config_.entries);
+}
+
+bool
+Tlb::access(std::uint64_t addr)
+{
+    ++accesses_;
+    ++clock_;
+    const std::uint64_t page = addr >> pageShift_;
+
+    Entry *victim = &entries_[0];
+    for (auto &entry : entries_) {
+        if (entry.valid && entry.page == page) {
+            entry.lastUse = clock_;
+            return true;
+        }
+        if (!entry.valid) {
+            victim = &entry;
+        } else if (victim->valid &&
+                   entry.lastUse < victim->lastUse) {
+            victim = &entry;
+        }
+    }
+
+    ++misses_;
+    victim->valid = true;
+    victim->page = page;
+    victim->lastUse = clock_;
+    return false;
+}
+
+void
+Tlb::flush()
+{
+    for (auto &entry : entries_)
+        entry.valid = false;
+}
+
+} // namespace dronedse

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * TLB model: a small fully-associative LRU translation cache.  The
+ * paper's headline contention number is SLAM causing 4.5x as many
+ * TLB misses for the autopilot (Section 5.1).
+ */
+
+#ifndef DRONEDSE_UARCH_TLB_HH
+#define DRONEDSE_UARCH_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dronedse {
+
+/** TLB geometry. */
+struct TlbConfig
+{
+    /** Number of entries. */
+    std::uint32_t entries = 48;
+    /** Page size in bytes (power of two). */
+    std::uint32_t pageBytes = 4096;
+};
+
+/** Fully-associative LRU TLB. */
+class Tlb
+{
+  public:
+    explicit Tlb(TlbConfig config = {});
+
+    /** Translate a byte address; @retval true on hit. */
+    bool access(std::uint64_t addr);
+
+    /** Invalidate all entries. */
+    void flush();
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t misses() const { return misses_; }
+
+    /** Miss rate so far. */
+    double
+    missRate() const
+    {
+        return accesses_ > 0 ? static_cast<double>(misses_) /
+                                   static_cast<double>(accesses_)
+                             : 0.0;
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t page = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    TlbConfig config_;
+    std::uint32_t pageShift_ = 12;
+    std::vector<Entry> entries_;
+    std::uint64_t clock_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_UARCH_TLB_HH

@@ -1,0 +1,93 @@
+#include "uarch/trace.hh"
+
+namespace dronedse {
+
+WorkloadProfile
+autopilotProfile()
+{
+    WorkloadProfile p;
+    p.name = "autopilot";
+    // Sensor buffers, EKF matrices, logging ring: a few hundred KB
+    // resident, mostly streamed.
+    p.footprintBytes = 224 * 1024;
+    p.sequentialFraction = 0.98;
+    p.hotRegionBytes = 224 * 1024;
+    p.hotFraction = 1.0;
+    p.memoryFraction = 0.32;
+    p.branchFraction = 0.16;
+    p.loopBranchFraction = 0.97;   // tight control loops
+    p.loopBodyLength = 24;
+    p.addressBase = 0x10000000;
+    p.branchSites = 48;
+    return p;
+}
+
+WorkloadProfile
+slamProfile()
+{
+    WorkloadProfile p;
+    p.name = "slam";
+    // Map + keyframes: tens of MB, traversed via a hot working set
+    // (current frame, local map) plus cold gathers (global map).
+    p.footprintBytes = 24ULL * 1024 * 1024;
+    p.sequentialFraction = 0.45;
+    p.hotRegionBytes = 512 * 1024;
+    p.hotFraction = 0.80;
+    p.memoryFraction = 0.42;
+    p.branchFraction = 0.18;
+    p.loopBranchFraction = 0.70;   // data-dependent tests
+    p.loopBodyLength = 10;
+    p.addressBase = 0x40000000;
+    p.branchSites = 512;
+    return p;
+}
+
+TraceGenerator::TraceGenerator(WorkloadProfile profile,
+                               std::uint64_t seed)
+    : profile_(std::move(profile)), rng_(seed)
+{
+}
+
+TraceEvent
+TraceGenerator::next()
+{
+    TraceEvent ev;
+    const double r = rng_.uniform();
+
+    if (r < profile_.memoryFraction) {
+        ev.kind = rng_.bernoulli(0.3) ? TraceKind::Store
+                                      : TraceKind::Load;
+        if (rng_.bernoulli(profile_.sequentialFraction)) {
+            // Streaming access walking the footprint.
+            cursor_ = (cursor_ + 8) % profile_.footprintBytes;
+            ev.addr = profile_.addressBase + cursor_;
+        } else if (rng_.bernoulli(profile_.hotFraction)) {
+            // Gather within the hot working set.
+            ev.addr = profile_.addressBase +
+                      (rng_.next() % profile_.hotRegionBytes);
+        } else {
+            // Cold gather over the whole footprint.
+            ev.addr = profile_.addressBase +
+                      (rng_.next() % profile_.footprintBytes);
+        }
+    } else if (r < profile_.memoryFraction + profile_.branchFraction) {
+        ev.kind = TraceKind::Branch;
+        const int site = static_cast<int>(
+            rng_.uniformInt(0, profile_.branchSites - 1));
+        ev.pc = profile_.addressBase + 0x1000000 +
+                static_cast<std::uint64_t>(site) * 16;
+        if (rng_.bernoulli(profile_.loopBranchFraction)) {
+            // Loop back-edge: taken except at loop exit.
+            ++loopCounter_;
+            ev.taken = loopCounter_ % profile_.loopBodyLength != 0;
+        } else {
+            // Data-dependent branch.
+            ev.taken = rng_.bernoulli(0.5);
+        }
+    } else {
+        ev.kind = TraceKind::Alu;
+    }
+    return ev;
+}
+
+} // namespace dronedse

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Synthetic instruction traces for the autopilot and SLAM workloads.
+ *
+ * The paper measures the two real programs with Linux perf; here
+ * each workload is characterized by the memory/branch behaviour that
+ * drives those counters:
+ *
+ *  - Autopilot (inner loop): small resident state (sensor buffers,
+ *    PID state, EKF matrices), streaming accesses, loop branches
+ *    that are highly predictable.
+ *  - ORB-SLAM: a multi-megabyte map traversed with data-dependent
+ *    gather patterns (feature matching, covisibility walks) and
+ *    poorly-predictable branches (descriptor comparisons).
+ */
+
+#ifndef DRONEDSE_UARCH_TRACE_HH
+#define DRONEDSE_UARCH_TRACE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.hh"
+
+namespace dronedse {
+
+/** Instruction classes the core model distinguishes. */
+enum class TraceKind
+{
+    Alu,
+    Load,
+    Store,
+    Branch,
+};
+
+/** One trace event. */
+struct TraceEvent
+{
+    TraceKind kind = TraceKind::Alu;
+    /** Data address for loads/stores. */
+    std::uint64_t addr = 0;
+    /** Program counter (for the branch predictor). */
+    std::uint64_t pc = 0;
+    /** Branch outcome. */
+    bool taken = false;
+};
+
+/** Statistical profile of a workload's instruction stream. */
+struct WorkloadProfile
+{
+    std::string name;
+    /** Resident data footprint (bytes). */
+    std::uint64_t footprintBytes = 64 * 1024;
+    /** Fraction of memory ops that stream sequentially. */
+    double sequentialFraction = 0.9;
+    /** Hot-region size for non-sequential (gather) accesses. */
+    std::uint64_t hotRegionBytes = 64 * 1024;
+    /** Fraction of gathers that stay in the hot region. */
+    double hotFraction = 1.0;
+    /** Fraction of instructions that are loads/stores. */
+    double memoryFraction = 0.35;
+    /** Fraction of instructions that are branches. */
+    double branchFraction = 0.15;
+    /** Fraction of branches following a loop pattern (predictable). */
+    double loopBranchFraction = 0.95;
+    /** Loop body length (instructions) for branch patterning. */
+    int loopBodyLength = 24;
+    /** Base of this workload's address space. */
+    std::uint64_t addressBase = 0x10000000;
+    /** Distinct static branch sites. */
+    int branchSites = 64;
+};
+
+/** Inner-loop flight-control profile. */
+WorkloadProfile autopilotProfile();
+
+/** ORB-SLAM profile. */
+WorkloadProfile slamProfile();
+
+/** Generates an endless event stream for one profile. */
+class TraceGenerator
+{
+  public:
+    TraceGenerator(WorkloadProfile profile, std::uint64_t seed);
+
+    /** Produce the next event. */
+    TraceEvent next();
+
+    const WorkloadProfile &profile() const { return profile_; }
+
+  private:
+    WorkloadProfile profile_;
+    Rng rng_;
+    std::uint64_t cursor_ = 0;
+    long loopCounter_ = 0;
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_UARCH_TRACE_HH

@@ -1,0 +1,95 @@
+#include "util/csv.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace dronedse {
+
+namespace {
+
+std::string
+joinRow(const std::vector<std::string> &cells)
+{
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        line += CsvWriter::escape(cells[i]);
+        if (i + 1 < cells.size())
+            line += ',';
+    }
+    return line;
+}
+
+} // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : width_(header.size())
+{
+    if (header.empty())
+        fatal("CsvWriter: header must not be empty");
+    rows_.push_back(joinRow(header));
+}
+
+void
+CsvWriter::addRow(const std::vector<std::string> &cells)
+{
+    if (cells.size() != width_)
+        panic("CsvWriter::addRow: cell count does not match header");
+    rows_.push_back(joinRow(cells));
+}
+
+void
+CsvWriter::addRow(const std::vector<double> &values)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.10g", v);
+        cells.emplace_back(buf);
+    }
+    addRow(cells);
+}
+
+std::string
+CsvWriter::str() const
+{
+    std::string out;
+    // rows_[0] is the header line.
+    for (const auto &row : rows_) {
+        out += row;
+        out += '\n';
+    }
+    return out;
+}
+
+void
+CsvWriter::write(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("CsvWriter::write: cannot open '" + path + "'");
+    const std::string doc = str();
+    const std::size_t written =
+        std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    if (written != doc.size())
+        fatal("CsvWriter::write: short write to '" + path + "'");
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace dronedse

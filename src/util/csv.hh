@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal CSV writer.  The paper's artifact ships the raw data
+ * behind each figure as CSV (/Drone-CSVs); the benches can export
+ * the reproduced series the same way.
+ */
+
+#ifndef DRONEDSE_UTIL_CSV_HH
+#define DRONEDSE_UTIL_CSV_HH
+
+#include <string>
+#include <vector>
+
+namespace dronedse {
+
+/** Accumulates rows and renders/writes RFC-4180-style CSV. */
+class CsvWriter
+{
+  public:
+    /** Construct with the header row. */
+    explicit CsvWriter(std::vector<std::string> header);
+
+    /** Append a row (must match the header width). */
+    void addRow(const std::vector<std::string> &cells);
+
+    /** Append a row of doubles (formatted with %g precision). */
+    void addRow(const std::vector<double> &values);
+
+    /** Render the CSV document. */
+    std::string str() const;
+
+    /** Write to a file; fatal() on I/O failure. */
+    void write(const std::string &path) const;
+
+    /** Number of data rows so far (excluding the header). */
+    std::size_t rowCount() const { return rows_.size() - 1; }
+
+    /**
+     * Quote a cell per RFC 4180 when it contains commas, quotes, or
+     * newlines.
+     */
+    static std::string escape(const std::string &cell);
+
+  private:
+    std::size_t width_;
+    std::vector<std::string> rows_;
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_UTIL_CSV_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 idiom.
+ *
+ * inform() prints normal operating messages; warn() flags suspicious
+ * but survivable conditions; fatal() terminates on user error (bad
+ * configuration or arguments); panic() terminates on internal bugs
+ * (conditions that must never happen regardless of user input).
+ */
+
+#ifndef DRONEDSE_UTIL_LOGGING_HH
+#define DRONEDSE_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace dronedse {
+
+/** Print an informational message to stdout. */
+void inform(const std::string &msg);
+
+/** Print a warning message to stderr. */
+void warn(const std::string &msg);
+
+/**
+ * Terminate with exit(1) for conditions that are the user's fault
+ * (bad configuration, invalid arguments).
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Terminate with abort() for conditions that indicate an internal
+ * bug, i.e. that should never happen regardless of user input.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+} // namespace dronedse
+
+#endif // DRONEDSE_UTIL_LOGGING_HH

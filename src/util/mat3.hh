@@ -1,0 +1,137 @@
+/**
+ * @file
+ * 3x3 matrix for rigid-body dynamics and attitude representation.
+ */
+
+#ifndef DRONEDSE_UTIL_MAT3_HH
+#define DRONEDSE_UTIL_MAT3_HH
+
+#include <array>
+#include <cmath>
+
+#include "util/vec3.hh"
+
+namespace dronedse {
+
+/** Row-major 3x3 matrix of doubles. */
+struct Mat3
+{
+    // m[row][col]
+    std::array<std::array<double, 3>, 3> m{};
+
+    /** Identity matrix. */
+    static constexpr Mat3
+    identity()
+    {
+        Mat3 r;
+        r.m[0][0] = r.m[1][1] = r.m[2][2] = 1.0;
+        return r;
+    }
+
+    /** Diagonal matrix from three values. */
+    static constexpr Mat3
+    diagonal(double a, double b, double c)
+    {
+        Mat3 r;
+        r.m[0][0] = a;
+        r.m[1][1] = b;
+        r.m[2][2] = c;
+        return r;
+    }
+
+    /** Skew-symmetric cross-product matrix of v: skew(v) * w = v x w. */
+    static constexpr Mat3
+    skew(const Vec3 &v)
+    {
+        Mat3 r;
+        r.m[0][1] = -v.z; r.m[0][2] = v.y;
+        r.m[1][0] = v.z;  r.m[1][2] = -v.x;
+        r.m[2][0] = -v.y; r.m[2][1] = v.x;
+        return r;
+    }
+
+    constexpr double operator()(int r, int c) const { return m[r][c]; }
+    constexpr double &operator()(int r, int c) { return m[r][c]; }
+
+    Mat3
+    operator*(const Mat3 &o) const
+    {
+        Mat3 r;
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                for (int k = 0; k < 3; ++k)
+                    r.m[i][j] += m[i][k] * o.m[k][j];
+        return r;
+    }
+
+    Vec3
+    operator*(const Vec3 &v) const
+    {
+        return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+                m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+                m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+    }
+
+    Mat3
+    operator+(const Mat3 &o) const
+    {
+        Mat3 r;
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                r.m[i][j] = m[i][j] + o.m[i][j];
+        return r;
+    }
+
+    Mat3
+    operator*(double s) const
+    {
+        Mat3 r;
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                r.m[i][j] = m[i][j] * s;
+        return r;
+    }
+
+    /** Matrix transpose. */
+    Mat3
+    transpose() const
+    {
+        Mat3 r;
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                r.m[i][j] = m[j][i];
+        return r;
+    }
+
+    /** Determinant. */
+    double
+    determinant() const
+    {
+        return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+               m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+               m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+    }
+
+    /** Matrix inverse via the adjugate (requires det != 0). */
+    Mat3
+    inverse() const
+    {
+        const double det = determinant();
+        const double inv_det = 1.0 / det;
+        Mat3 r;
+        r.m[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv_det;
+        r.m[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv_det;
+        r.m[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv_det;
+        r.m[1][0] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv_det;
+        r.m[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv_det;
+        r.m[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv_det;
+        r.m[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv_det;
+        r.m[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv_det;
+        r.m[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv_det;
+        return r;
+    }
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_UTIL_MAT3_HH

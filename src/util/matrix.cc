@@ -1,0 +1,185 @@
+#include "util/matrix.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dronedse {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+Matrix
+Matrix::operator+(const Matrix &o) const
+{
+    if (rows_ != o.rows_ || cols_ != o.cols_)
+        panic("Matrix::operator+: dimension mismatch");
+    Matrix r(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        r.data_[i] = data_[i] + o.data_[i];
+    return r;
+}
+
+Matrix
+Matrix::operator-(const Matrix &o) const
+{
+    if (rows_ != o.rows_ || cols_ != o.cols_)
+        panic("Matrix::operator-: dimension mismatch");
+    Matrix r(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        r.data_[i] = data_[i] - o.data_[i];
+    return r;
+}
+
+Matrix
+Matrix::operator*(const Matrix &o) const
+{
+    if (cols_ != o.rows_)
+        panic("Matrix::operator*: dimension mismatch");
+    Matrix r(rows_, o.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = (*this)(i, k);
+            if (a == 0.0)
+                continue;
+            for (std::size_t j = 0; j < o.cols_; ++j)
+                r(i, j) += a * o(k, j);
+        }
+    }
+    return r;
+}
+
+Matrix
+Matrix::operator*(double s) const
+{
+    Matrix r(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        r.data_[i] = data_[i] * s;
+    return r;
+}
+
+Matrix
+Matrix::transpose() const
+{
+    Matrix r(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j)
+            r(j, i) = (*this)(i, j);
+    return r;
+}
+
+void
+Matrix::addToDiagonal(double value)
+{
+    const std::size_t n = rows_ < cols_ ? rows_ : cols_;
+    for (std::size_t i = 0; i < n; ++i)
+        (*this)(i, i) += value;
+}
+
+bool
+Matrix::solve(const std::vector<double> &b, std::vector<double> &x) const
+{
+    if (rows_ != cols_ || b.size() != rows_)
+        panic("Matrix::solve: dimension mismatch");
+
+    const std::size_t n = rows_;
+    // Augmented working copy.
+    std::vector<double> a(data_);
+    std::vector<double> rhs(b);
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivoting.
+        std::size_t pivot = col;
+        double best = std::fabs(a[col * n + col]);
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double v = std::fabs(a[r * n + col]);
+            if (v > best) {
+                best = v;
+                pivot = r;
+            }
+        }
+        if (best < 1e-12)
+            return false;
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(a[col * n + c], a[pivot * n + c]);
+            std::swap(rhs[col], rhs[pivot]);
+        }
+        const double inv = 1.0 / a[col * n + col];
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double factor = a[r * n + col] * inv;
+            if (factor == 0.0)
+                continue;
+            for (std::size_t c = col; c < n; ++c)
+                a[r * n + c] -= factor * a[col * n + c];
+            rhs[r] -= factor * rhs[col];
+        }
+    }
+
+    x.assign(n, 0.0);
+    for (std::size_t ri = n; ri-- > 0;) {
+        double sum = rhs[ri];
+        for (std::size_t c = ri + 1; c < n; ++c)
+            sum -= a[ri * n + c] * x[c];
+        x[ri] = sum / a[ri * n + ri];
+    }
+    return true;
+}
+
+bool
+Matrix::solveCholesky(const std::vector<double> &b,
+                      std::vector<double> &x) const
+{
+    if (rows_ != cols_ || b.size() != rows_)
+        panic("Matrix::solveCholesky: dimension mismatch");
+
+    const std::size_t n = rows_;
+    // Lower-triangular factor L with A = L L^T.
+    std::vector<double> l(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double sum = (*this)(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                sum -= l[i * n + k] * l[j * n + k];
+            if (i == j) {
+                if (sum <= 0.0)
+                    return false;
+                l[i * n + j] = std::sqrt(sum);
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+
+    // Forward substitution: L y = b.
+    std::vector<double> y(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double sum = b[i];
+        for (std::size_t k = 0; k < i; ++k)
+            sum -= l[i * n + k] * y[k];
+        y[i] = sum / l[i * n + i];
+    }
+
+    // Back substitution: L^T x = y.
+    x.assign(n, 0.0);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double sum = y[ii];
+        for (std::size_t k = ii + 1; k < n; ++k)
+            sum -= l[k * n + ii] * x[k];
+        x[ii] = sum / l[ii * n + ii];
+    }
+    return true;
+}
+
+} // namespace dronedse

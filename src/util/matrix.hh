@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Dynamically sized dense matrix with the linear solvers needed by
+ * the EKF (small fixed systems) and bundle adjustment (normal
+ * equations of a few hundred unknowns).
+ */
+
+#ifndef DRONEDSE_UTIL_MATRIX_HH
+#define DRONEDSE_UTIL_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace dronedse {
+
+/** Row-major dense matrix of doubles. */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** rows x cols matrix, zero initialized. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** Identity matrix of size n. */
+    static Matrix identity(std::size_t n);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double operator()(std::size_t r, std::size_t c) const
+    { return data_[r * cols_ + c]; }
+    double &operator()(std::size_t r, std::size_t c)
+    { return data_[r * cols_ + c]; }
+
+    Matrix operator+(const Matrix &o) const;
+    Matrix operator-(const Matrix &o) const;
+    Matrix operator*(const Matrix &o) const;
+    Matrix operator*(double s) const;
+
+    /** Matrix transpose. */
+    Matrix transpose() const;
+
+    /** Add `value` to every diagonal element (LM damping). */
+    void addToDiagonal(double value);
+
+    /**
+     * Solve A x = b with partial-pivot Gaussian elimination.
+     *
+     * @param b Right-hand side of length rows().
+     * @param x Receives the solution.
+     * @retval false when the system is numerically singular.
+     */
+    bool solve(const std::vector<double> &b, std::vector<double> &x) const;
+
+    /**
+     * Cholesky solve for symmetric positive-definite A
+     * (normal equations); falls back on failure indicator.
+     *
+     * @retval false when A is not positive definite.
+     */
+    bool
+    solveCholesky(const std::vector<double> &b,
+                  std::vector<double> &x) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_UTIL_MATRIX_HH

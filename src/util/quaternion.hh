@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit quaternion attitude representation.
+ *
+ * Attitude R in SO(3) (paper Section 2.1.3D) is stored as a unit
+ * quaternion and converted to a rotation matrix where the dynamics
+ * need it.
+ */
+
+#ifndef DRONEDSE_UTIL_QUATERNION_HH
+#define DRONEDSE_UTIL_QUATERNION_HH
+
+#include <cmath>
+
+#include "util/mat3.hh"
+#include "util/vec3.hh"
+
+namespace dronedse {
+
+/** Unit quaternion (w, x, y, z) representing a rotation. */
+struct Quaternion
+{
+    double w = 1.0;
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    constexpr Quaternion() = default;
+    constexpr Quaternion(double w_, double x_, double y_, double z_)
+        : w(w_), x(x_), y(y_), z(z_)
+    {}
+
+    /** Rotation of `angle` radians about a (unit) axis. */
+    static Quaternion
+    fromAxisAngle(const Vec3 &axis, double angle)
+    {
+        const Vec3 a = axis.normalized();
+        const double h = angle * 0.5;
+        const double s = std::sin(h);
+        return {std::cos(h), a.x * s, a.y * s, a.z * s};
+    }
+
+    /** From intrinsic roll (x), pitch (y), yaw (z) Euler angles. */
+    static Quaternion
+    fromEuler(double roll, double pitch, double yaw)
+    {
+        const double cr = std::cos(roll * 0.5), sr = std::sin(roll * 0.5);
+        const double cp = std::cos(pitch * 0.5), sp = std::sin(pitch * 0.5);
+        const double cy = std::cos(yaw * 0.5), sy = std::sin(yaw * 0.5);
+        return {cr * cp * cy + sr * sp * sy,
+                sr * cp * cy - cr * sp * sy,
+                cr * sp * cy + sr * cp * sy,
+                cr * cp * sy - sr * sp * cy};
+    }
+
+    /**
+     * From a rotation matrix (Shepperd's method, numerically safe
+     * branch selection).
+     */
+    static Quaternion
+    fromRotationMatrix(const Mat3 &m)
+    {
+        const double trace = m(0, 0) + m(1, 1) + m(2, 2);
+        Quaternion q;
+        if (trace > 0.0) {
+            const double s = std::sqrt(trace + 1.0) * 2.0;
+            q = {0.25 * s, (m(2, 1) - m(1, 2)) / s,
+                 (m(0, 2) - m(2, 0)) / s, (m(1, 0) - m(0, 1)) / s};
+        } else if (m(0, 0) > m(1, 1) && m(0, 0) > m(2, 2)) {
+            const double s =
+                std::sqrt(1.0 + m(0, 0) - m(1, 1) - m(2, 2)) * 2.0;
+            q = {(m(2, 1) - m(1, 2)) / s, 0.25 * s,
+                 (m(0, 1) + m(1, 0)) / s, (m(0, 2) + m(2, 0)) / s};
+        } else if (m(1, 1) > m(2, 2)) {
+            const double s =
+                std::sqrt(1.0 + m(1, 1) - m(0, 0) - m(2, 2)) * 2.0;
+            q = {(m(0, 2) - m(2, 0)) / s, (m(0, 1) + m(1, 0)) / s,
+                 0.25 * s, (m(1, 2) + m(2, 1)) / s};
+        } else {
+            const double s =
+                std::sqrt(1.0 + m(2, 2) - m(0, 0) - m(1, 1)) * 2.0;
+            q = {(m(1, 0) - m(0, 1)) / s, (m(0, 2) + m(2, 0)) / s,
+                 (m(1, 2) + m(2, 1)) / s, 0.25 * s};
+        }
+        return q.normalized();
+    }
+
+    /** Hamilton product. */
+    constexpr Quaternion
+    operator*(const Quaternion &o) const
+    {
+        return {w * o.w - x * o.x - y * o.y - z * o.z,
+                w * o.x + x * o.w + y * o.z - z * o.y,
+                w * o.y - x * o.z + y * o.w + z * o.x,
+                w * o.z + x * o.y - y * o.x + z * o.w};
+    }
+
+    /** Conjugate (inverse for unit quaternions). */
+    constexpr Quaternion conjugate() const { return {w, -x, -y, -z}; }
+
+    /** Quaternion norm. */
+    double norm() const { return std::sqrt(w * w + x * x + y * y + z * z); }
+
+    /** Renormalize to unit length. */
+    Quaternion
+    normalized() const
+    {
+        const double n = norm();
+        return {w / n, x / n, y / n, z / n};
+    }
+
+    /** Rotate a vector by this quaternion. */
+    Vec3
+    rotate(const Vec3 &v) const
+    {
+        const Quaternion p{0.0, v.x, v.y, v.z};
+        const Quaternion r = *this * p * conjugate();
+        return {r.x, r.y, r.z};
+    }
+
+    /** Equivalent rotation matrix (body -> world for attitude). */
+    Mat3
+    toRotationMatrix() const
+    {
+        Mat3 r;
+        r(0, 0) = 1 - 2 * (y * y + z * z);
+        r(0, 1) = 2 * (x * y - w * z);
+        r(0, 2) = 2 * (x * z + w * y);
+        r(1, 0) = 2 * (x * y + w * z);
+        r(1, 1) = 1 - 2 * (x * x + z * z);
+        r(1, 2) = 2 * (y * z - w * x);
+        r(2, 0) = 2 * (x * z - w * y);
+        r(2, 1) = 2 * (y * z + w * x);
+        r(2, 2) = 1 - 2 * (x * x + y * y);
+        return r;
+    }
+
+    /** Roll angle (rotation about body x). */
+    double
+    roll() const
+    {
+        return std::atan2(2 * (w * x + y * z), 1 - 2 * (x * x + y * y));
+    }
+
+    /** Pitch angle (rotation about body y). */
+    double
+    pitch() const
+    {
+        const double s = 2 * (w * y - z * x);
+        if (s >= 1.0)
+            return M_PI / 2;
+        if (s <= -1.0)
+            return -M_PI / 2;
+        return std::asin(s);
+    }
+
+    /** Yaw angle (rotation about body z). */
+    double
+    yaw() const
+    {
+        return std::atan2(2 * (w * z + x * y), 1 - 2 * (y * y + z * z));
+    }
+
+    /**
+     * Integrate body angular velocity omega over dt seconds
+     * (first-order quaternion kinematics, renormalized).
+     */
+    Quaternion
+    integrated(const Vec3 &omega, double dt) const
+    {
+        const Quaternion omega_q{0.0, omega.x, omega.y, omega.z};
+        const Quaternion dq = *this * omega_q;
+        const Quaternion out{w + 0.5 * dq.w * dt, x + 0.5 * dq.x * dt,
+                             y + 0.5 * dq.y * dt, z + 0.5 * dq.z * dt};
+        return out.normalized();
+    }
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_UTIL_QUATERNION_HH

@@ -1,0 +1,99 @@
+#include "util/regression.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dronedse {
+
+LinearFit
+fitLinear(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size())
+        panic("fitLinear: mismatched sample vectors");
+    if (xs.size() < 2)
+        fatal("fitLinear: need at least two samples");
+
+    const double n = static_cast<double>(xs.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    if (std::fabs(denom) < 1e-12)
+        fatal("fitLinear: degenerate abscissae (all x equal)");
+
+    LinearFit fit;
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+    fit.samples = xs.size();
+
+    const double y_mean = sy / n;
+    double ss_res = 0.0, ss_tot = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double pred = fit.at(xs[i]);
+        ss_res += (ys[i] - pred) * (ys[i] - pred);
+        ss_tot += (ys[i] - y_mean) * (ys[i] - y_mean);
+    }
+    fit.rSquared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+    return fit;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    const double m = mean(values);
+    double ss = 0.0;
+    for (double v : values)
+        ss += (v - m) * (v - m);
+    return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            fatal("geomean: all values must be positive");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+minValue(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    return *std::min_element(values.begin(), values.end());
+}
+
+double
+maxValue(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    return *std::max_element(values.begin(), values.end());
+}
+
+} // namespace dronedse

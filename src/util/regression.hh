@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Least-squares line fitting and summary statistics.
+ *
+ * The paper derives its component weight models by fitting lines to
+ * surveyed commercial parts (Figures 7 and 8); this module provides
+ * the fitter plus the aggregate statistics (mean, geometric mean)
+ * used across the evaluation.
+ */
+
+#ifndef DRONEDSE_UTIL_REGRESSION_HH
+#define DRONEDSE_UTIL_REGRESSION_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace dronedse {
+
+/** Result of a univariate least-squares line fit y = slope*x + intercept. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Coefficient of determination of the fit. */
+    double rSquared = 0.0;
+    /** Number of samples the fit was computed from. */
+    std::size_t samples = 0;
+
+    /** Evaluate the fitted line at x. */
+    double at(double x) const { return slope * x + intercept; }
+};
+
+/**
+ * Ordinary least-squares fit of y = slope*x + intercept.
+ *
+ * @param xs Sample abscissae (size >= 2).
+ * @param ys Sample ordinates (same size as xs).
+ */
+LinearFit fitLinear(const std::vector<double> &xs,
+                    const std::vector<double> &ys);
+
+/** Arithmetic mean (0 for empty input). */
+double mean(const std::vector<double> &values);
+
+/** Sample standard deviation (0 for fewer than two samples). */
+double stddev(const std::vector<double> &values);
+
+/** Geometric mean; all values must be positive. */
+double geomean(const std::vector<double> &values);
+
+/** Minimum element (0 for empty input). */
+double minValue(const std::vector<double> &values);
+
+/** Maximum element (0 for empty input). */
+double maxValue(const std::vector<double> &values);
+
+} // namespace dronedse
+
+#endif // DRONEDSE_UTIL_REGRESSION_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fixed-width console table printer used by the benchmark harnesses
+ * to emit the rows/series of the paper's figures and tables.
+ */
+
+#ifndef DRONEDSE_UTIL_TABLE_HH
+#define DRONEDSE_UTIL_TABLE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dronedse {
+
+/**
+ * Accumulates rows of string cells and prints them with aligned
+ * columns and a header rule.
+ */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row (must match the header width). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table to a string. */
+    std::string str() const;
+
+    /** Print the table to stdout. */
+    void print() const;
+
+    /** Number of data rows so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given number of decimals. */
+std::string fmt(double value, int decimals = 2);
+
+/** Format a value as a percentage string, e.g. "12.3%". */
+std::string fmtPercent(double fraction, int decimals = 1);
+
+} // namespace dronedse
+
+#endif // DRONEDSE_UTIL_TABLE_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Physical constants and unit-conversion helpers.
+ *
+ * The design-space model follows the paper's unit conventions:
+ * component weights in grams, battery capacity in mAh, power in
+ * watts, currents in amperes, wheelbase and propeller sizes in
+ * millimetres/inches, flight time in minutes.
+ */
+
+#ifndef DRONEDSE_UTIL_UNITS_HH
+#define DRONEDSE_UTIL_UNITS_HH
+
+namespace dronedse {
+
+/** Standard gravitational acceleration (m/s^2). */
+inline constexpr double kGravity = 9.80665;
+
+/** Sea-level air density (kg/m^3). */
+inline constexpr double kAirDensity = 1.225;
+
+/** Nominal LiPo cell voltage (V/cell), per the paper Section 2.1.2. */
+inline constexpr double kLipoCellVoltage = 3.7;
+
+/**
+ * Safe fraction of LiPo capacity usable in flight
+ * (LiPoDrainLimit, paper Section 2.1.2).
+ */
+inline constexpr double kLipoDrainLimit = 0.85;
+
+/** Metres per inch. */
+inline constexpr double kMetersPerInch = 0.0254;
+
+/** Grams-force per newton: thrust(g) = thrust(N) * kGramsPerNewton. */
+inline constexpr double kGramsPerNewton = 1000.0 / kGravity;
+
+/** Convert grams to kilograms. */
+constexpr double
+gramsToKg(double grams)
+{
+    return grams / 1000.0;
+}
+
+/** Convert kilograms to grams. */
+constexpr double
+kgToGrams(double kg)
+{
+    return kg * 1000.0;
+}
+
+/** Convert inches to metres. */
+constexpr double
+inchesToMeters(double inches)
+{
+    return inches * kMetersPerInch;
+}
+
+/** Convert RPM to revolutions per second. */
+constexpr double
+rpmToRevPerSec(double rpm)
+{
+    return rpm / 60.0;
+}
+
+/** Convert revolutions per second to RPM. */
+constexpr double
+revPerSecToRpm(double rev_per_sec)
+{
+    return rev_per_sec * 60.0;
+}
+
+/** Energy (Wh) stored in a battery of given capacity and voltage. */
+constexpr double
+capacityToWattHours(double capacity_mah, double voltage)
+{
+    return capacity_mah / 1000.0 * voltage;
+}
+
+/** Minutes of runtime for an energy store at constant power draw. */
+constexpr double
+wattHoursToMinutes(double watt_hours, double power_w)
+{
+    return watt_hours / power_w * 60.0;
+}
+
+} // namespace dronedse
+
+#endif // DRONEDSE_UTIL_UNITS_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * 3-component vector used throughout the flight dynamics, control,
+ * and SLAM code.
+ */
+
+#ifndef DRONEDSE_UTIL_VEC3_HH
+#define DRONEDSE_UTIL_VEC3_HH
+
+#include <cmath>
+
+namespace dronedse {
+
+/** A 3-vector of doubles with the usual arithmetic. */
+struct Vec3
+{
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+    constexpr Vec3 operator+(const Vec3 &o) const
+    { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr Vec3 operator-(const Vec3 &o) const
+    { return {x - o.x, y - o.y, z - o.z}; }
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+    constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+
+    Vec3 &operator+=(const Vec3 &o)
+    { x += o.x; y += o.y; z += o.z; return *this; }
+    Vec3 &operator-=(const Vec3 &o)
+    { x -= o.x; y -= o.y; z -= o.z; return *this; }
+    Vec3 &operator*=(double s) { x *= s; y *= s; z *= s; return *this; }
+
+    /** Dot product. */
+    constexpr double dot(const Vec3 &o) const
+    { return x * o.x + y * o.y + z * o.z; }
+
+    /** Cross product. */
+    constexpr Vec3 cross(const Vec3 &o) const
+    {
+        return {y * o.z - z * o.y,
+                z * o.x - x * o.z,
+                x * o.y - y * o.x};
+    }
+
+    /** Euclidean norm. */
+    double norm() const { return std::sqrt(dot(*this)); }
+
+    /** Squared Euclidean norm. */
+    constexpr double squaredNorm() const { return dot(*this); }
+
+    /** Unit vector in the same direction (zero vector maps to zero). */
+    Vec3
+    normalized() const
+    {
+        const double n = norm();
+        return n > 0.0 ? *this / n : Vec3{};
+    }
+};
+
+/** Scalar-first multiplication. */
+constexpr Vec3
+operator*(double s, const Vec3 &v)
+{
+    return v * s;
+}
+
+} // namespace dronedse
+
+#endif // DRONEDSE_UTIL_VEC3_HH

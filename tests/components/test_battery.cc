@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "components/battery.hh"
+#include "util/units.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(Battery, PaperFitCoefficients)
+{
+    // Figure 7 legend values.
+    EXPECT_NEAR(paperBatteryFit(6).slope, 0.116, 1e-9);
+    EXPECT_NEAR(paperBatteryFit(6).intercept, 159.117, 1e-9);
+    EXPECT_NEAR(paperBatteryFit(1).slope, 0.019, 1e-9);
+    EXPECT_NEAR(paperBatteryFit(1).intercept, 4.856, 1e-9);
+    EXPECT_NEAR(paperBatteryFit(3).at(3000.0), 0.074 * 3000 + 16.935,
+                1e-9);
+}
+
+TEST(Battery, RecordDerivedQuantities)
+{
+    BatteryRecord rec;
+    rec.cells = 3;
+    rec.capacityMah = 3000.0;
+    rec.dischargeC = 30.0;
+    EXPECT_NEAR(rec.nominalVoltage(), 11.1, 1e-9);
+    EXPECT_NEAR(rec.energyWh(), 33.3, 1e-9);
+    EXPECT_NEAR(rec.maxContinuousCurrentA(), 90.0, 1e-9);
+}
+
+TEST(Battery, WeightInversion)
+{
+    const double w = batteryWeightG(4, 5000.0);
+    EXPECT_NEAR(batteryCapacityAtWeight(4, w), 5000.0, 1e-6);
+    // Below the intercept no capacity is reachable.
+    EXPECT_EQ(batteryCapacityAtWeight(6, 100.0), 0.0);
+}
+
+TEST(Battery, CatalogReproducesPaperFits)
+{
+    Rng rng(2021);
+    const auto catalog = generateBatteryCatalog(rng);
+    EXPECT_GE(catalog.size(), 250u - 10u);
+
+    for (int cells = kMinCells; cells <= kMaxCells; ++cells) {
+        const LinearFit paper = paperBatteryFit(cells);
+        const LinearFit refit = fitBatteryCatalog(catalog, cells);
+        // The survey -> fit pipeline recovers the published slope
+        // within a few percent.
+        EXPECT_NEAR(refit.slope, paper.slope, 0.10 * paper.slope)
+            << cells << "S slope";
+        EXPECT_GT(refit.rSquared, 0.9) << cells << "S fit quality";
+    }
+}
+
+TEST(Battery, HigherVoltagePacksHaveHigherOverhead)
+{
+    // Figure 7 observation: higher-voltage packs carry more casing
+    // and interconnect overhead at the same capacity.
+    EXPECT_GT(batteryWeightG(6, 4000.0), batteryWeightG(3, 4000.0));
+    EXPECT_GT(batteryWeightG(3, 4000.0), batteryWeightG(1, 4000.0));
+}
+
+TEST(Battery, WeightMonotoneInCapacity)
+{
+    for (int cells = kMinCells; cells <= kMaxCells; ++cells) {
+        EXPECT_LT(batteryWeightG(cells, 1000.0),
+                  batteryWeightG(cells, 8000.0));
+    }
+}
+
+TEST(BatteryDeath, RejectsBadCellCount)
+{
+    EXPECT_EXIT(paperBatteryFit(0), testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(paperBatteryFit(7), testing::ExitedWithCode(1), "");
+}
+
+/** Parameterized: catalog entries stay near their config's fit. */
+class BatteryCatalogPerConfig : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(BatteryCatalogPerConfig, EntriesNearFit)
+{
+    Rng rng(99);
+    const auto catalog = generateBatteryCatalog(rng);
+    const int cells = GetParam();
+    const LinearFit fit = paperBatteryFit(cells);
+    int count = 0;
+    for (const auto &rec : catalog) {
+        if (rec.cells != cells)
+            continue;
+        ++count;
+        const double expect = fit.at(rec.capacityMah);
+        EXPECT_NEAR(rec.weightG, expect, 0.25 * expect + 5.0);
+    }
+    EXPECT_GT(count, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, BatteryCatalogPerConfig,
+                         testing::Range(1, 7));
+
+} // namespace
+} // namespace dronedse

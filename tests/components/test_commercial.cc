@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "components/commercial.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(Commercial, TableContainsPaperDrones)
+{
+    const auto &mavic = findCommercialDrone("DJI MAVIC");
+    EXPECT_EQ(mavic.weightG, 734.0);
+    EXPECT_EQ(mavic.flightTimeMin, 27.0);
+
+    const auto &ours = findCommercialDrone("Our Drone");
+    EXPECT_EQ(ours.weightG, 1071.0);
+    EXPECT_EQ(ours.sizeClass, SizeClass::Medium);
+    // The paper measures 4.56 W for autopilot + SLAM on the RPi.
+    EXPECT_EQ(ours.heavyComputeW, 4.56);
+}
+
+TEST(Commercial, ImpliedHoverPowerIsPlausible)
+{
+    // A Mavic-class drone hovers at roughly 80-120 W.
+    const auto &mavic = findCommercialDrone("DJI MAVIC");
+    const double p = mavic.impliedHoverPowerW();
+    EXPECT_GT(p, 60.0);
+    EXPECT_LT(p, 140.0);
+
+    // Maneuvering multiplies by the load-fraction ratio (> 2x).
+    EXPECT_GT(mavic.impliedManeuverPowerW(), 2.0 * p);
+}
+
+TEST(Commercial, ClassPartitions)
+{
+    const auto small = commercialDronesInClass(SizeClass::Small);
+    const auto medium = commercialDronesInClass(SizeClass::Medium);
+    const auto large = commercialDronesInClass(SizeClass::Large);
+    EXPECT_GE(small.size(), 5u);
+    EXPECT_EQ(medium.size(), 2u);
+    EXPECT_EQ(large.size(), 1u);
+    EXPECT_EQ(small.size() + medium.size() + large.size(),
+              commercialDroneTable().size());
+}
+
+TEST(Commercial, Figure11SetMatchesPaper)
+{
+    const auto f11 = figure11Drones();
+    EXPECT_EQ(f11.size(), 6u);
+    bool has_mambo = false;
+    for (const auto &d : f11)
+        if (d.name == "Parrot Mambo")
+            has_mambo = true;
+    EXPECT_TRUE(has_mambo);
+}
+
+TEST(Commercial, HeavierDronesDrawMorePower)
+{
+    // Within the validation set, implied hover power grows with
+    // weight (the Figure 10 trend the points validate).
+    const auto &mambo = findCommercialDrone("Parrot Mambo");
+    const auto &skydio = findCommercialDrone("SKYDIO 2");
+    const auto &matrice = findCommercialDrone("DJI MATRICE");
+    EXPECT_LT(mambo.impliedHoverPowerW(), skydio.impliedHoverPowerW());
+    EXPECT_LT(skydio.impliedHoverPowerW(), matrice.impliedHoverPowerW());
+}
+
+TEST(CommercialDeath, UnknownDroneIsFatal)
+{
+    EXPECT_EXIT(findCommercialDrone("DJI Unobtainium"),
+                testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace dronedse

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "components/compute_board.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(ComputeBoard, TableMatchesPaperValues)
+{
+    const auto &rpi = findComputeBoard("Raspberry Pi 4");
+    EXPECT_EQ(rpi.weightG, 50.0);
+    EXPECT_EQ(rpi.powerW, 5.0);
+    EXPECT_EQ(rpi.boardClass, BoardClass::Improved);
+
+    const auto &tx2 = findComputeBoard("Nvidia Jetson TX2");
+    EXPECT_EQ(tx2.weightG, 85.0);
+    EXPECT_EQ(tx2.powerW, 10.0);
+
+    const auto &pixhawk = findComputeBoard("Pixhawk 4");
+    EXPECT_EQ(pixhawk.boardClass, BoardClass::Basic);
+    EXPECT_EQ(pixhawk.weightG, 15.8);
+
+    const auto &manifold = findComputeBoard("DJI Manifold");
+    EXPECT_EQ(manifold.powerW, 20.0);
+    EXPECT_EQ(manifold.weightG, 200.0);
+}
+
+TEST(ComputeBoard, TenBoardsAsInTable4)
+{
+    EXPECT_EQ(computeBoardTable().size(), 10u);
+    int basic = 0, improved = 0;
+    for (const auto &rec : computeBoardTable()) {
+        (rec.boardClass == BoardClass::Basic ? basic : improved) += 1;
+        EXPECT_GT(rec.weightG, 0.0);
+        EXPECT_GT(rec.powerW, 0.0);
+    }
+    EXPECT_EQ(basic, 5);
+    EXPECT_EQ(improved, 5);
+}
+
+TEST(ComputeBoard, AbstractChips)
+{
+    EXPECT_EQ(basicChip3W().powerW, 3.0);
+    EXPECT_EQ(advancedChip20W().powerW, 20.0);
+    EXPECT_LT(basicChip3W().weightG, advancedChip20W().weightG);
+}
+
+TEST(ComputeBoardDeath, UnknownBoardIsFatal)
+{
+    EXPECT_EXIT(findComputeBoard("Flux Capacitor"),
+                testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace dronedse

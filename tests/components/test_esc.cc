@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "components/esc.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(Esc, PaperFitCoefficients)
+{
+    const LinearFit lf = paperEscFit(EscClass::LongFlight);
+    EXPECT_NEAR(lf.slope, 4.9678, 1e-9);
+    EXPECT_NEAR(lf.intercept, -15.757, 1e-9);
+    const LinearFit sf = paperEscFit(EscClass::ShortFlight);
+    EXPECT_NEAR(sf.slope, 1.2269, 1e-9);
+    EXPECT_NEAR(sf.intercept, 11.816, 1e-9);
+}
+
+TEST(Esc, ShortFlightEscsAreLighter)
+{
+    // Racing ESCs trade thermal headroom for weight (Figure 8a).
+    for (double current = 20.0; current <= 90.0; current += 10.0) {
+        EXPECT_LT(escSetWeightG(current, EscClass::ShortFlight),
+                  escSetWeightG(current, EscClass::LongFlight))
+            << "at " << current << " A";
+    }
+}
+
+TEST(Esc, WeightClampedForTinyCurrents)
+{
+    // The long-flight fit goes negative below ~3 A; the model clamps.
+    EXPECT_GE(escSetWeightG(1.0, EscClass::LongFlight), 10.0);
+}
+
+TEST(Esc, WeightMonotoneInCurrent)
+{
+    double prev = 0.0;
+    for (double current = 10.0; current <= 90.0; current += 5.0) {
+        const double w = escSetWeightG(current);
+        EXPECT_GE(w, prev);
+        prev = w;
+    }
+}
+
+TEST(Esc, CatalogReproducesFits)
+{
+    Rng rng(7);
+    const auto catalog = generateEscCatalog(rng);
+    EXPECT_EQ(catalog.size(), 40u);
+
+    const LinearFit refit_long = fitEscCatalog(catalog,
+                                               EscClass::LongFlight);
+    EXPECT_NEAR(refit_long.slope, 4.9678, 0.5);
+    const LinearFit refit_short = fitEscCatalog(catalog,
+                                                EscClass::ShortFlight);
+    EXPECT_NEAR(refit_short.slope, 1.2269, 0.3);
+}
+
+} // namespace
+} // namespace dronedse

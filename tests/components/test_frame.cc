@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "components/frame.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(Frame, PaperFitAboveBoundary)
+{
+    EXPECT_NEAR(frameWeightG(450.0), 1.2767 * 450.0 - 167.6, 1e-9);
+    EXPECT_NEAR(frameWeightG(960.0), 1.2767 * 960.0 - 167.6, 1e-9);
+}
+
+TEST(Frame, SmallFramesInPaperBand)
+{
+    // Below 200 mm, Figure 8b shows a 50-200 g band.
+    for (double wb = 60.0; wb <= 200.0; wb += 20.0) {
+        const double w = frameWeightG(wb);
+        EXPECT_GE(w, 50.0) << wb;
+        EXPECT_LE(w, 200.0) << wb;
+    }
+}
+
+TEST(Frame, ContinuousAtBoundary)
+{
+    EXPECT_NEAR(frameWeightG(200.0), frameWeightG(200.01), 0.5);
+}
+
+TEST(Frame, WeightMonotoneInWheelbase)
+{
+    double prev = 0.0;
+    for (double wb = 60.0; wb <= 1100.0; wb += 20.0) {
+        const double w = frameWeightG(wb);
+        EXPECT_GE(w, prev) << wb;
+        prev = w;
+    }
+}
+
+TEST(Frame, PropPairingsMatchFigure9)
+{
+    EXPECT_NEAR(maxPropDiameterIn(50.0), 1.0, 1e-9);
+    EXPECT_NEAR(maxPropDiameterIn(100.0), 2.0, 1e-9);
+    EXPECT_NEAR(maxPropDiameterIn(200.0), 5.0, 1e-9);
+    EXPECT_NEAR(maxPropDiameterIn(450.0), 10.0, 1e-9);
+    EXPECT_NEAR(maxPropDiameterIn(800.0), 20.0, 1e-9);
+}
+
+TEST(Frame, PropInterpolatesAndExtrapolates)
+{
+    // Between anchors: monotone.
+    EXPECT_GT(maxPropDiameterIn(300.0), 5.0);
+    EXPECT_LT(maxPropDiameterIn(300.0), 10.0);
+    // Beyond 800 mm extrapolates upward.
+    EXPECT_GT(maxPropDiameterIn(1000.0), 20.0);
+    // Tiny wheelbase scales toward zero.
+    EXPECT_LT(maxPropDiameterIn(25.0), 1.0);
+}
+
+TEST(Frame, CatalogIncludesNamedFrames)
+{
+    Rng rng(11);
+    const auto catalog = generateFrameCatalog(rng);
+    EXPECT_EQ(catalog.size(), 25u);
+    bool found_f450 = false, found_t960 = false;
+    for (const auto &rec : catalog) {
+        if (rec.name == "Crazepony F450") {
+            found_f450 = true;
+            EXPECT_EQ(rec.wheelbaseMm, 450.0);
+        }
+        if (rec.name == "Tarot T960")
+            found_t960 = true;
+    }
+    EXPECT_TRUE(found_f450);
+    EXPECT_TRUE(found_t960);
+}
+
+TEST(Frame, CatalogRefitNearPaperSlope)
+{
+    Rng rng(12);
+    const auto catalog = generateFrameCatalog(rng, 40);
+    const LinearFit refit = fitFrameCatalog(catalog);
+    EXPECT_NEAR(refit.slope, 1.2767, 0.35);
+}
+
+TEST(FrameDeath, RejectsNonPositiveWheelbase)
+{
+    EXPECT_EXIT(frameWeightG(0.0), testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(maxPropDiameterIn(-5.0), testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace dronedse

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "components/motor.hh"
+#include "util/units.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(Motor, WeightAnchors)
+{
+    // Paper Section 3.1: ~5 g motors on 100 mm drones, ~100 g on
+    // 1000 mm drones; MT2213 (~850 g thrust) weighs ~55 g.
+    EXPECT_NEAR(motorWeightG(75.0), 5.0, 3.0);
+    EXPECT_NEAR(motorWeightG(850.0), 55.0, 10.0);
+    EXPECT_NEAR(motorWeightG(1500.0), 100.0, 15.0);
+}
+
+TEST(Motor, WeightMonotoneInThrust)
+{
+    double prev = 0.0;
+    for (double thrust = 50.0; thrust <= 5000.0; thrust += 100.0) {
+        const double w = motorWeightG(thrust);
+        EXPECT_GT(w, prev);
+        prev = w;
+    }
+}
+
+TEST(Motor, MatchMotorConsistency)
+{
+    const double volts = 3 * kLipoCellVoltage;
+    const MotorRecord rec = matchMotor(600.0, 10.0, volts);
+    EXPECT_GT(rec.kv, 0.0);
+    EXPECT_GT(rec.maxCurrentA, 0.0);
+    EXPECT_NEAR(rec.maxThrustG, 600.0, 1e-12);
+    EXPECT_EQ(rec.propDiameterIn, 10.0);
+    // An MT2213-class match: Kv in the hundreds, current < 20 A.
+    EXPECT_GT(rec.kv, 300.0);
+    EXPECT_LT(rec.kv, 2000.0);
+    EXPECT_LT(rec.maxCurrentA, 20.0);
+}
+
+TEST(Motor, HigherVoltageLowersKvAndCurrent)
+{
+    const MotorRecord m3s = matchMotor(800.0, 10.0,
+                                       3 * kLipoCellVoltage);
+    const MotorRecord m6s = matchMotor(800.0, 10.0,
+                                       6 * kLipoCellVoltage);
+    EXPECT_GT(m3s.kv, m6s.kv);
+    EXPECT_GT(m3s.maxCurrentA, m6s.maxCurrentA);
+}
+
+TEST(Motor, CatalogSpansClasses)
+{
+    Rng rng(5);
+    const auto catalog = generateMotorCatalog(rng);
+    EXPECT_EQ(catalog.size(), 150u);
+
+    // The catalog must include both extreme-Kv micro motors and
+    // low-Kv heavy-lift motors (Figure 9a vs 9d).
+    double min_kv = 1e12, max_kv = 0.0;
+    for (const auto &rec : catalog) {
+        min_kv = std::min(min_kv, rec.kv);
+        max_kv = std::max(max_kv, rec.kv);
+        EXPECT_GT(rec.weightG, 0.0);
+    }
+    EXPECT_LT(min_kv, 1500.0);
+    EXPECT_GT(max_kv, 10000.0);
+}
+
+TEST(MotorDeath, RejectsNonPositiveThrust)
+{
+    EXPECT_EXIT(matchMotor(0.0, 10.0, 11.1),
+                testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(motorWeightG(-1.0), testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace dronedse

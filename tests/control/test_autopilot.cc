@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Closed-loop autopilot tests, including the paper's central
+ * inner-loop claim (Section 2.1.3D): the update frequency of the
+ * inner loop is 50-500 Hz, limited by the physical response of the
+ * drone and not by computation — so raising the rate beyond that
+ * buys nothing, while starving it breaks the loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include "control/autopilot.hh"
+
+namespace dronedse {
+namespace {
+
+std::vector<Waypoint>
+hoverMission()
+{
+    return {{{0, 0, 2}, 0.0, 0.4, 1e9}};
+}
+
+std::vector<Waypoint>
+squareMission()
+{
+    return {{{0, 0, 2}, 0.0, 0.6, 0.0},
+            {{4, 0, 2}, 0.0, 0.6, 0.0},
+            {{4, 4, 2}, 0.0, 0.6, 0.0},
+            {{0, 0, 2}, 0.0, 0.6, 0.0}};
+}
+
+TEST(Autopilot, ClosedLoopHoverWithEstimator)
+{
+    Autopilot ap(QuadrotorParams{}, hoverMission());
+    ap.run(15.0);
+    // GPS-limited accuracy: within ~1 m of the hover point.
+    EXPECT_LT((ap.quad().state().position - Vec3{0, 0, 2}).norm(), 1.2);
+    EXPECT_LT(ap.estimationErrorM(), 1.0);
+    EXPECT_FALSE(ap.quad().upsideDown());
+}
+
+TEST(Autopilot, SensorRatesMatchTable2a)
+{
+    AutopilotConfig cfg;
+    Autopilot ap(QuadrotorParams{}, hoverMission(), cfg);
+    ap.run(10.0);
+    // 200 Hz IMU, 10 Hz GPS, 20 Hz baro, 10 Hz mag over 10 s.
+    // (Counts come through the estimator's consumption, so check
+    // via a standalone suite below instead of private state.)
+    SensorSuite suite(cfg.sensorRates, cfg.noise, 3);
+    RigidBodyState truth;
+    for (int i = 0; i < 10000; ++i) {
+        suite.advance(i * 0.001, truth, {});
+        suite.imu();
+        suite.gps();
+        suite.baro();
+        suite.mag();
+    }
+    EXPECT_NEAR(static_cast<double>(suite.imuCount()), 2000.0, 5.0);
+    EXPECT_NEAR(static_cast<double>(suite.gpsCount()), 100.0, 2.0);
+    EXPECT_NEAR(static_cast<double>(suite.baroCount()), 200.0, 2.0);
+    EXPECT_NEAR(static_cast<double>(suite.magCount()), 100.0, 2.0);
+}
+
+TEST(Autopilot, CompletesSquareMission)
+{
+    Autopilot ap(QuadrotorParams{}, squareMission());
+    ap.run(40.0);
+    EXPECT_TRUE(ap.navigator().missionComplete());
+    EXPECT_EQ(ap.navigator().reachedCount(), 4u);
+}
+
+TEST(Autopilot, SurvivesWindGusts)
+{
+    // Table 1: wind gusts are compensated by the inner loop.
+    AutopilotConfig cfg;
+    cfg.wind.steady = {2.0, 0.0, 0.0};
+    cfg.wind.gustIntensity = 1.5;
+    Autopilot ap(QuadrotorParams{}, hoverMission(), cfg);
+    ap.run(15.0);
+    EXPECT_FALSE(ap.quad().upsideDown());
+    EXPECT_LT((ap.quad().state().position - Vec3{0, 0, 2}).norm(), 2.0);
+}
+
+TEST(Autopilot, FlightLogRecordsPower)
+{
+    Autopilot ap(QuadrotorParams{}, hoverMission());
+    ap.run(5.0);
+    ASSERT_GT(ap.log().size(), 100u);
+    // Hover propulsion power for the 1.07 kg default airframe is in
+    // the ~100-200 W band (Figure 16b context).
+    const FlightSample &last = ap.log().back();
+    EXPECT_GT(last.propulsionPowerW, 50.0);
+    EXPECT_LT(last.propulsionPowerW, 300.0);
+}
+
+/**
+ * The inner-loop frequency ablation (paper Section 2.1.3D):
+ * 50-500 Hz inner loops all hold hover; beyond 500 Hz there is no
+ * measurable improvement because physics, not compute, limits the
+ * response.
+ */
+class InnerLoopFrequency : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(InnerLoopFrequency, HoldsHoverAcrossPaperBand)
+{
+    const double hz = GetParam();
+    AutopilotConfig cfg;
+    cfg.useTruthState = true; // isolate control physics
+    cfg.rates.thrustHz = hz;
+    cfg.rates.attitudeHz = std::min(hz, 200.0);
+    cfg.rates.positionHz = std::min(hz / 2.0, 40.0);
+    Autopilot ap(QuadrotorParams{}, hoverMission(), cfg);
+    ap.run(10.0);
+    EXPECT_FALSE(ap.quad().upsideDown()) << hz << " Hz";
+    EXPECT_LT((ap.quad().state().position - Vec3{0, 0, 2}).norm(), 0.5)
+        << hz << " Hz";
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperBand, InnerLoopFrequency,
+                         testing::Values(100.0, 200.0, 250.0, 500.0,
+                                         1000.0));
+
+TEST(Autopilot, NoBenefitBeyond500Hz)
+{
+    auto tracking_error = [](double hz) {
+        AutopilotConfig cfg;
+        cfg.useTruthState = true;
+        cfg.rates.thrustHz = hz;
+        cfg.rates.attitudeHz = 200.0;
+        cfg.rates.positionHz = 40.0;
+        cfg.wind.gustIntensity = 1.0;
+        Autopilot ap(QuadrotorParams{}, squareMission(), cfg);
+        ap.run(30.0);
+        return ap.meanTrackingErrorM(20.0);
+    };
+    const double err_500 = tracking_error(500.0);
+    const double err_2000 = tracking_error(2000.0);
+    // Quadrupling the rate beyond 500 Hz does not improve tracking
+    // by more than noise (the paper's "not limited by computation").
+    EXPECT_LT(err_2000, err_500 * 1.35 + 0.05);
+    EXPECT_GT(err_2000, err_500 * 0.65 - 0.05);
+}
+
+} // namespace
+} // namespace dronedse

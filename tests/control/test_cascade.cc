@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Plant-in-the-loop tests of the hierarchical cascade, including the
+ * Table 2b response-time bands: thrust (rate) ~50 ms, attitude
+ * ~100 ms, position ~1 s — and the time-scale-separation property.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/cascade.hh"
+#include "sim/quadrotor.hh"
+
+namespace dronedse {
+namespace {
+
+CascadePlant
+plantFor(const QuadrotorParams &p)
+{
+    return {p.massKg, p.inertiaDiag,
+            {p.armLengthM, p.yawTorquePerThrust, p.maxThrustPerMotorN}};
+}
+
+/** Run the loop until predicate(truth) or timeout; returns seconds. */
+template <typename Pred>
+double
+runUntil(Quadrotor &quad, CascadeController &ctrl,
+         const OuterLoopTargets &targets, double timeout, Pred pred)
+{
+    double t = 0.0;
+    while (t < timeout) {
+        quad.commandMotors(ctrl.tick(quad.state(), targets));
+        quad.step(0.001);
+        t += 0.001;
+        if (pred(quad.state()))
+            return t;
+    }
+    return -1.0;
+}
+
+TEST(Cascade, RateStepResponseWithinTable2Band)
+{
+    QuadrotorParams p;
+    Quadrotor quad(p);
+    CascadeController ctrl(plantFor(p));
+    ctrl.overrideRateTarget({1.0, 0.0, 0.0});
+    const double t90 = runUntil(
+        quad, ctrl, {}, 1.0,
+        [](const RigidBodyState &s) { return s.angularVelocity.x >= 0.9; });
+    ASSERT_GT(t90, 0.0) << "rate step never reached 90 %";
+    // Low-level response time ~50 ms (Table 2b).
+    EXPECT_LT(t90, 0.10);
+    EXPECT_GT(t90, 0.01);
+}
+
+TEST(Cascade, AttitudeStepResponseWithinTable2Band)
+{
+    QuadrotorParams p;
+    Quadrotor quad(p);
+    CascadeController ctrl(plantFor(p));
+    ctrl.overrideAttitudeTarget(Quaternion::fromEuler(0.3, 0.0, 0.0));
+    const double t90 = runUntil(
+        quad, ctrl, {}, 2.0,
+        [](const RigidBodyState &s) { return s.attitude.roll() >= 0.27; });
+    ASSERT_GT(t90, 0.0) << "attitude step never reached 90 %";
+    // Mid-level response time ~100 ms (Table 2b).
+    EXPECT_LT(t90, 0.30);
+    EXPECT_GT(t90, 0.04);
+}
+
+TEST(Cascade, PositionStepResponseWithinTable2Band)
+{
+    QuadrotorParams p;
+    Quadrotor quad(p);
+    RigidBodyState s;
+    s.position = {0, 0, 1};
+    quad.setState(s);
+    CascadeController ctrl(plantFor(p));
+    OuterLoopTargets targets;
+    targets.position = {1.0, 0.0, 1.0};
+    const double t90 = runUntil(
+        quad, ctrl, targets, 5.0,
+        [](const RigidBodyState &st) { return st.position.x >= 0.9; });
+    ASSERT_GT(t90, 0.0) << "position step never reached 90 %";
+    // High-level response time ~1 s (Table 2b).
+    EXPECT_LT(t90, 2.5);
+    EXPECT_GT(t90, 0.4);
+}
+
+TEST(Cascade, TimeScaleSeparationOrdering)
+{
+    // Each level must respond slower than the level below it.
+    QuadrotorParams p;
+
+    Quadrotor q1(p);
+    CascadeController c1(plantFor(p));
+    c1.overrideRateTarget({1.0, 0.0, 0.0});
+    const double t_rate = runUntil(
+        q1, c1, {}, 1.0,
+        [](const RigidBodyState &s) { return s.angularVelocity.x >= 0.9; });
+
+    Quadrotor q2(p);
+    CascadeController c2(plantFor(p));
+    c2.overrideAttitudeTarget(Quaternion::fromEuler(0.3, 0.0, 0.0));
+    const double t_att = runUntil(
+        q2, c2, {}, 2.0,
+        [](const RigidBodyState &s) { return s.attitude.roll() >= 0.27; });
+
+    Quadrotor q3(p);
+    RigidBodyState s;
+    s.position = {0, 0, 1};
+    q3.setState(s);
+    CascadeController c3(plantFor(p));
+    OuterLoopTargets targets;
+    targets.position = {1.0, 0.0, 1.0};
+    const double t_pos = runUntil(
+        q3, c3, targets, 5.0,
+        [](const RigidBodyState &st) { return st.position.x >= 0.9; });
+
+    ASSERT_GT(t_rate, 0.0);
+    ASSERT_GT(t_att, 0.0);
+    ASSERT_GT(t_pos, 0.0);
+    EXPECT_LT(t_rate, t_att);
+    EXPECT_LT(t_att, t_pos);
+}
+
+TEST(Cascade, HoldsHoverWithTruthState)
+{
+    QuadrotorParams p;
+    Quadrotor quad(p);
+    RigidBodyState s;
+    s.position = {0, 0, 2};
+    quad.setState(s);
+    CascadeController ctrl(plantFor(p));
+    OuterLoopTargets targets;
+    targets.position = {0, 0, 2};
+    for (int i = 0; i < 10000; ++i) {
+        quad.commandMotors(ctrl.tick(quad.state(), targets));
+        quad.step(0.001);
+    }
+    EXPECT_LT((quad.state().position - targets.position).norm(), 0.05);
+    EXPECT_FALSE(quad.upsideDown());
+}
+
+TEST(Cascade, TracksYawTarget)
+{
+    QuadrotorParams p;
+    Quadrotor quad(p);
+    RigidBodyState s;
+    s.position = {0, 0, 2};
+    quad.setState(s);
+    CascadeController ctrl(plantFor(p));
+    OuterLoopTargets targets;
+    targets.position = {0, 0, 2};
+    targets.yaw = 1.0;
+    for (int i = 0; i < 5000; ++i) {
+        quad.commandMotors(ctrl.tick(quad.state(), targets));
+        quad.step(0.001);
+    }
+    EXPECT_NEAR(quad.state().attitude.yaw(), 1.0, 0.05);
+}
+
+TEST(Cascade, UpdateCountersRespectDividers)
+{
+    QuadrotorParams p;
+    Quadrotor quad(p);
+    CascadeController ctrl(plantFor(p));
+    OuterLoopTargets targets;
+    for (int i = 0; i < 1000; ++i) {
+        quad.commandMotors(ctrl.tick(quad.state(), targets));
+        quad.step(0.001);
+    }
+    // 1 kHz thrust, 200 Hz attitude, 40 Hz position (Table 2b).
+    EXPECT_EQ(ctrl.thrustUpdates(), 1000);
+    EXPECT_EQ(ctrl.attitudeUpdates(), 200);
+    EXPECT_EQ(ctrl.positionUpdates(), 40);
+}
+
+TEST(Cascade, CustomRatesChangeDividers)
+{
+    QuadrotorParams p;
+    Quadrotor quad(p);
+    LoopRates rates;
+    rates.thrustHz = 500.0;
+    rates.attitudeHz = 100.0;
+    rates.positionHz = 20.0;
+    CascadeController ctrl(plantFor(p), rates);
+    OuterLoopTargets targets;
+    for (int i = 0; i < 500; ++i)
+        quad.commandMotors(ctrl.tick(quad.state(), targets));
+    EXPECT_EQ(ctrl.thrustUpdates(), 500);
+    EXPECT_EQ(ctrl.attitudeUpdates(), 100);
+    EXPECT_EQ(ctrl.positionUpdates(), 20);
+}
+
+TEST(CascadeDeath, RejectsInvertedRates)
+{
+    QuadrotorParams p;
+    LoopRates bad;
+    bad.thrustHz = 100.0;
+    bad.attitudeHz = 200.0;
+    EXPECT_EXIT(CascadeController(plantFor(p), bad),
+                testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace dronedse

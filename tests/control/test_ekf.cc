@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/ekf.hh"
+#include "util/rng.hh"
+#include "util/units.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(PositionEkf, ConvergesOnStaticTarget)
+{
+    PositionEkf ekf;
+    Rng rng(5);
+    const Vec3 truth{3.0, -2.0, 10.0};
+    const double initial_unc = ekf.positionUncertainty();
+
+    for (int i = 0; i < 100; ++i) {
+        // 10 Hz GPS with 0.8 m noise; no motion.
+        for (int k = 0; k < 20; ++k)
+            ekf.predict({0, 0, 0}, 0.005);
+        GpsSample gps;
+        gps.position = {truth.x + rng.gaussian(0.0, 0.8),
+                        truth.y + rng.gaussian(0.0, 0.8),
+                        truth.z + rng.gaussian(0.0, 1.2)};
+        gps.velocity = {rng.gaussian(0.0, 0.15),
+                        rng.gaussian(0.0, 0.15),
+                        rng.gaussian(0.0, 0.15)};
+        ekf.updateGps(gps, 0.8, 0.15);
+    }
+    EXPECT_LT((ekf.position() - truth).norm(), 0.6);
+    EXPECT_LT(ekf.velocity().norm(), 0.2);
+    EXPECT_LT(ekf.positionUncertainty(), initial_unc / 10.0);
+}
+
+TEST(PositionEkf, TracksConstantAcceleration)
+{
+    PositionEkf ekf;
+    Rng rng(6);
+    const Vec3 accel{1.0, 0.0, 0.0};
+    Vec3 pos{0, 0, 0}, vel{0, 0, 0};
+    const double dt = 0.005;
+
+    for (int i = 0; i < 2000; ++i) {
+        pos += vel * dt + accel * (0.5 * dt * dt);
+        vel += accel * dt;
+        ekf.predict(accel, dt);
+        if (i % 20 == 19) {
+            GpsSample gps;
+            gps.position = {pos.x + rng.gaussian(0.0, 0.8),
+                            pos.y + rng.gaussian(0.0, 0.8),
+                            pos.z + rng.gaussian(0.0, 1.2)};
+            gps.velocity = {vel.x + rng.gaussian(0.0, 0.15),
+                            vel.y + rng.gaussian(0.0, 0.15),
+                            vel.z + rng.gaussian(0.0, 0.15)};
+            ekf.updateGps(gps, 0.8, 0.15);
+        }
+    }
+    EXPECT_LT((ekf.position() - pos).norm(), 1.0);
+    EXPECT_LT((ekf.velocity() - vel).norm(), 0.3);
+}
+
+TEST(PositionEkf, BaroSharpensAltitude)
+{
+    PositionEkf ekf;
+    Rng rng(7);
+    // Altitude-only information via the barometer.
+    for (int i = 0; i < 200; ++i) {
+        ekf.predict({0, 0, 0}, 0.05);
+        BaroSample baro;
+        baro.altitude = 5.0 + rng.gaussian(0.0, 0.25);
+        ekf.updateBaro(baro, 0.25);
+    }
+    EXPECT_NEAR(ekf.position().z, 5.0, 0.3);
+}
+
+TEST(AttitudeFilter, GyroIntegration)
+{
+    AttitudeFilter filter;
+    // 0.5 rad/s roll for 1 s.
+    for (int i = 0; i < 200; ++i)
+        filter.predict({0.5, 0, 0}, 0.005);
+    EXPECT_NEAR(filter.attitude().roll(), 0.5, 1e-3);
+}
+
+TEST(AttitudeFilter, AccelCorrectsInitialTiltError)
+{
+    AttitudeFilter filter(0.8, 0.05);
+    // Estimate starts wrong by 0.2 rad roll; body actually level.
+    filter.reset(Quaternion::fromEuler(0.2, 0.0, 0.0));
+    // Level body at rest: specific force = +g along body z.
+    for (int i = 0; i < 2000; ++i) {
+        filter.predict({0, 0, 0}, 0.005);
+        filter.correctAccel({0.0, 0.0, kGravity}, 0.005);
+    }
+    EXPECT_NEAR(filter.attitude().roll(), 0.0, 0.02);
+}
+
+TEST(AttitudeFilter, RejectsDynamicAccel)
+{
+    AttitudeFilter filter(0.8, 0.05);
+    filter.reset(Quaternion::fromEuler(0.2, 0.0, 0.0));
+    // Specific force far from 1 g must be ignored.
+    for (int i = 0; i < 1000; ++i)
+        filter.correctAccel({0.0, 0.0, 2.0 * kGravity}, 0.005);
+    EXPECT_NEAR(filter.attitude().roll(), 0.2, 1e-9);
+}
+
+TEST(AttitudeFilter, MagCorrectsYaw)
+{
+    AttitudeFilter filter(0.4, 0.2);
+    filter.reset(Quaternion::fromEuler(0.0, 0.0, 0.5));
+    for (int i = 0; i < 100; ++i)
+        filter.correctMag(0.0);
+    EXPECT_NEAR(filter.attitude().yaw(), 0.0, 0.01);
+}
+
+TEST(AttitudeFilter, MagHandlesWrapAround)
+{
+    AttitudeFilter filter(0.4, 0.2);
+    filter.reset(Quaternion::fromEuler(0.0, 0.0, 3.0));
+    // Target yaw -3.0 rad is close to +3.0 through the wrap.
+    for (int i = 0; i < 200; ++i)
+        filter.correctMag(-3.0);
+    const double err = std::fabs(filter.attitude().yaw()) - 3.0;
+    EXPECT_NEAR(err, 0.0, 0.05);
+}
+
+TEST(StateEstimator, FusedHoverEstimate)
+{
+    StateEstimator est;
+    Rng rng(8);
+    RigidBodyState truth;
+    truth.position = {1.0, 2.0, 5.0};
+
+    double t = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+        t += 0.005;
+        ImuSample imu;
+        imu.timestamp = t;
+        imu.accel = {rng.gaussian(0.0, 0.08), rng.gaussian(0.0, 0.08),
+                     kGravity + rng.gaussian(0.0, 0.08)};
+        imu.gyro = {rng.gaussian(0.0, 0.005),
+                    rng.gaussian(0.0, 0.005),
+                    rng.gaussian(0.0, 0.005)};
+        est.onImu(imu);
+        if (i % 20 == 19) {
+            GpsSample gps;
+            gps.timestamp = t;
+            gps.position = {truth.position.x + rng.gaussian(0.0, 0.8),
+                            truth.position.y + rng.gaussian(0.0, 0.8),
+                            truth.position.z + rng.gaussian(0.0, 1.2)};
+            gps.velocity = {rng.gaussian(0.0, 0.15),
+                            rng.gaussian(0.0, 0.15),
+                            rng.gaussian(0.0, 0.15)};
+            est.onGps(gps);
+        }
+        if (i % 10 == 9)
+            est.onBaro({truth.position.z + rng.gaussian(0.0, 0.25), t});
+        if (i % 20 == 0)
+            est.onMag({rng.gaussian(0.0, 0.02), t});
+    }
+    const RigidBodyState e = est.estimate();
+    EXPECT_LT((e.position - truth.position).norm(), 0.7);
+    EXPECT_LT(e.velocity.norm(), 0.3);
+    EXPECT_NEAR(e.attitude.roll(), 0.0, 0.05);
+    EXPECT_NEAR(e.attitude.pitch(), 0.0, 0.05);
+}
+
+} // namespace
+} // namespace dronedse

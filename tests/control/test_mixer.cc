@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/mixer.hh"
+
+namespace dronedse {
+namespace {
+
+MixerConfig
+config()
+{
+    return {0.225, 0.016, 5.25};
+}
+
+/** Recompose the wrench an output thrust set actually produces. */
+ControlWrench
+recompose(const std::array<double, 4> &f, const MixerConfig &cfg)
+{
+    const double d = cfg.armLengthM / std::sqrt(2.0);
+    ControlWrench w;
+    w.thrustN = f[0] + f[1] + f[2] + f[3];
+    w.tauX = d * (-f[0] + f[1] + f[2] - f[3]);
+    w.tauY = d * (-f[0] + f[1] - f[2] + f[3]);
+    w.tauZ = cfg.yawTorquePerThrust * (f[0] + f[1] - f[2] - f[3]);
+    return w;
+}
+
+TEST(Mixer, PureThrustIsEqual)
+{
+    const auto f = mixWrench({8.0, 0, 0, 0}, config());
+    for (double t : f)
+        EXPECT_NEAR(t, 2.0, 1e-12);
+}
+
+TEST(Mixer, RoundTripsUnsaturatedWrench)
+{
+    const ControlWrench w{10.0, 0.12, -0.08, 0.03};
+    const auto f = mixWrench(w, config());
+    const ControlWrench back = recompose(f, config());
+    EXPECT_NEAR(back.thrustN, w.thrustN, 1e-9);
+    EXPECT_NEAR(back.tauX, w.tauX, 1e-9);
+    EXPECT_NEAR(back.tauY, w.tauY, 1e-9);
+    EXPECT_NEAR(back.tauZ, w.tauZ, 1e-9);
+}
+
+TEST(Mixer, RollTorqueRaisesLeftMotors)
+{
+    // Positive tau_x comes from motors 1 and 2 (left side in the
+    // recomposition above).
+    const auto f = mixWrench({8.0, 0.2, 0, 0}, config());
+    EXPECT_GT(f[1], f[0]);
+    EXPECT_GT(f[2], f[3]);
+}
+
+TEST(Mixer, YawPrioritizedBelowThrustWhenSaturating)
+{
+    MixerConfig cfg = config();
+    // Thrust near the ceiling plus a big yaw demand must not break
+    // the thrust budget: yaw authority is reduced instead.
+    const ControlWrench w{4.0 * cfg.maxThrustPerMotorN * 0.98, 0, 0,
+                          2.0};
+    const auto f = mixWrench(w, cfg);
+    const ControlWrench back = recompose(f, cfg);
+    EXPECT_NEAR(back.thrustN, w.thrustN, 0.3);
+    EXPECT_LT(std::fabs(back.tauZ), std::fabs(w.tauZ));
+    for (double t : f) {
+        EXPECT_GE(t, 0.0);
+        EXPECT_LE(t, cfg.maxThrustPerMotorN + 1e-9);
+    }
+}
+
+TEST(Mixer, NeverCommandsNegativeThrust)
+{
+    const auto f = mixWrench({0.5, 1.0, -1.0, 0.5}, config());
+    for (double t : f)
+        EXPECT_GE(t, 0.0);
+}
+
+} // namespace
+} // namespace dronedse

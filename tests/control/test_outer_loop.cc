@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "control/outer_loop.hh"
+
+namespace dronedse {
+namespace {
+
+std::vector<Waypoint>
+squareMission()
+{
+    return {{{0, 0, 2}, 0.0, 0.5, 0.0},
+            {{5, 0, 2}, 0.0, 0.5, 0.0},
+            {{5, 5, 2}, 1.57, 0.5, 0.0}};
+}
+
+TEST(OuterLoop, TargetsTrackCurrentWaypoint)
+{
+    WaypointNavigator nav(squareMission());
+    const OuterLoopTargets t = nav.update({10, 10, 0}, 0.0);
+    EXPECT_EQ(t.position.x, 0.0);
+    EXPECT_EQ(nav.currentIndex(), 0u);
+}
+
+TEST(OuterLoop, AdvancesOnArrival)
+{
+    WaypointNavigator nav(squareMission());
+    nav.update({0.1, 0.1, 2.0}, 1.0);
+    EXPECT_EQ(nav.currentIndex(), 1u);
+    const OuterLoopTargets t = nav.update({0.1, 0.1, 2.0}, 1.1);
+    EXPECT_EQ(t.position.x, 5.0);
+}
+
+TEST(OuterLoop, HoldTimeDelaysAdvance)
+{
+    std::vector<Waypoint> mission = squareMission();
+    mission[0].holdS = 2.0;
+    WaypointNavigator nav(mission);
+    nav.update({0, 0, 2}, 1.0);
+    EXPECT_EQ(nav.currentIndex(), 0u); // arrived, still holding
+    nav.update({0, 0, 2}, 2.0);
+    EXPECT_EQ(nav.currentIndex(), 0u);
+    nav.update({0, 0, 2}, 3.1);
+    EXPECT_EQ(nav.currentIndex(), 1u);
+}
+
+TEST(OuterLoop, LeavingRadiusResetsHold)
+{
+    std::vector<Waypoint> mission = squareMission();
+    mission[0].holdS = 2.0;
+    WaypointNavigator nav(mission);
+    nav.update({0, 0, 2}, 1.0);   // arrive
+    nav.update({3, 0, 2}, 2.0);   // drift out
+    nav.update({0, 0, 2}, 2.5);   // re-arrive: hold restarts
+    nav.update({0, 0, 2}, 4.0);
+    EXPECT_EQ(nav.currentIndex(), 0u);
+    nav.update({0, 0, 2}, 4.6);
+    EXPECT_EQ(nav.currentIndex(), 1u);
+}
+
+TEST(OuterLoop, MissionCompletionHoldsLastWaypoint)
+{
+    WaypointNavigator nav(squareMission());
+    nav.update({0, 0, 2}, 1.0);
+    nav.update({5, 0, 2}, 2.0);
+    nav.update({5, 5, 2}, 3.0);
+    EXPECT_TRUE(nav.missionComplete());
+    EXPECT_EQ(nav.reachedCount(), 3u);
+    const OuterLoopTargets t = nav.update({9, 9, 9}, 4.0);
+    EXPECT_EQ(t.position.x, 5.0);
+    EXPECT_EQ(t.position.y, 5.0);
+    EXPECT_NEAR(t.yaw, 1.57, 1e-12);
+}
+
+TEST(OuterLoopDeath, EmptyMissionIsFatal)
+{
+    EXPECT_EXIT(WaypointNavigator({}), testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace dronedse

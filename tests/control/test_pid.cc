@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "control/pid.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(Pid, ProportionalAction)
+{
+    Pid pid({2.0, 0.0, 0.0, 0.0, 0.0});
+    EXPECT_DOUBLE_EQ(pid.update(1.0, 0.0, 0.01), 2.0);
+    EXPECT_DOUBLE_EQ(pid.update(1.0, 0.5, 0.01), 1.0);
+    EXPECT_DOUBLE_EQ(pid.update(1.0, 2.0, 0.01), -2.0);
+}
+
+TEST(Pid, IntegralRemovesSteadyStateError)
+{
+    // First-order plant x' = u - 0.5 (constant disturbance); a pure
+    // P controller leaves offset, PI drives it to the setpoint.
+    auto run = [](PidConfig cfg) {
+        Pid pid(cfg);
+        double x = 0.0;
+        const double dt = 0.01;
+        for (int i = 0; i < 20000; ++i) {
+            const double u = pid.update(1.0, x, dt);
+            x += (u - 0.5) * dt;
+        }
+        return x;
+    };
+    const double p_only = run({2.0, 0.0, 0.0, 0.0, 0.0});
+    const double pi = run({2.0, 1.0, 0.0, 0.0, 0.0});
+    EXPECT_NEAR(p_only, 0.75, 0.02); // offset = disturbance / kp
+    EXPECT_NEAR(pi, 1.0, 0.01);
+}
+
+TEST(Pid, DerivativeOnMeasurementAvoidsSetpointKick)
+{
+    Pid pid({1.0, 0.0, 1.0, 0.0, 0.0});
+    // Prime the derivative history.
+    pid.update(0.0, 0.0, 0.01);
+    // A setpoint step with unchanged measurement must not spike the
+    // derivative term.
+    const double out = pid.update(10.0, 0.0, 0.01);
+    EXPECT_DOUBLE_EQ(out, 10.0); // kp * error only
+    // A measurement step does engage the derivative (damping).
+    const double out2 = pid.update(10.0, 1.0, 0.01);
+    EXPECT_LT(out2, 9.0 - 50.0); // 9 - 1/0.01 * kd
+}
+
+TEST(Pid, OutputSaturation)
+{
+    Pid pid({100.0, 0.0, 0.0, 5.0, 0.0});
+    EXPECT_DOUBLE_EQ(pid.update(1.0, 0.0, 0.01), 5.0);
+    EXPECT_DOUBLE_EQ(pid.update(-1.0, 0.0, 0.01), -5.0);
+}
+
+TEST(Pid, IntegralClamp)
+{
+    Pid pid({0.0, 1.0, 0.0, 0.0, 0.5});
+    for (int i = 0; i < 1000; ++i)
+        pid.update(10.0, 0.0, 0.1);
+    EXPECT_NEAR(pid.integral(), 0.5, 1e-12);
+}
+
+TEST(Pid, ResetClearsHistory)
+{
+    Pid pid({1.0, 1.0, 1.0, 0.0, 0.0});
+    pid.update(1.0, 0.0, 0.1);
+    pid.update(1.0, 0.5, 0.1);
+    EXPECT_GT(pid.integral(), 0.0);
+    pid.reset();
+    EXPECT_DOUBLE_EQ(pid.integral(), 0.0);
+}
+
+TEST(PidDeath, RejectsNonPositiveDt)
+{
+    Pid pid;
+    EXPECT_EXIT(pid.update(1.0, 0.0, 0.0), testing::ExitedWithCode(1),
+                "");
+}
+
+} // namespace
+} // namespace dronedse

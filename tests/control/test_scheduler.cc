@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "control/scheduler.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(Scheduler, ExecutesAtDeclaredRates)
+{
+    RateScheduler sched;
+    long fast = 0, slow = 0;
+    sched.addTask("fast", 100.0, 0.0, [&](double) { ++fast; });
+    sched.addTask("slow", 10.0, 0.0, [&](double) { ++slow; });
+    sched.advanceTo(1.0);
+    // Releases at t=0 inclusive.
+    EXPECT_NEAR(static_cast<double>(fast), 100.0, 2.0);
+    EXPECT_NEAR(static_cast<double>(slow), 10.0, 2.0);
+}
+
+TEST(Scheduler, NoMissesWhenCpuIsLight)
+{
+    RateScheduler sched;
+    // Inner-loop-like: 500 Hz with 0.2 ms cost = 10 % utilization.
+    sched.addTask("inner", 500.0, 0.0002, [](double) {});
+    sched.advanceTo(2.0);
+    const auto stats = sched.stats();
+    EXPECT_EQ(stats[0].deadlineMisses, 0);
+    EXPECT_NEAR(sched.utilization(), 0.1, 0.02);
+}
+
+TEST(Scheduler, HeavyTaskCausesDeadlineMisses)
+{
+    // A SLAM-like job that takes longer than its own period misses
+    // deadlines and, sharing the CPU, delays the inner loop too.
+    RateScheduler sched;
+    sched.addTask("inner", 500.0, 0.0005, [](double) {});
+    sched.addTask("slam", 10.0, 0.15, [](double) {});
+    sched.advanceTo(2.0);
+    const auto stats = sched.stats();
+    long slam_misses = 0, inner_misses = 0;
+    for (const auto &s : stats) {
+        if (s.name == "slam")
+            slam_misses = s.deadlineMisses;
+        else
+            inner_misses = s.deadlineMisses;
+    }
+    EXPECT_GT(slam_misses, 0);
+    // With SLAM hogging 150 ms blocks, the 2 ms-period inner loop
+    // inevitably misses (a non-preemptive CPU, the paper's argument
+    // for a dedicated inner-loop processor).
+    EXPECT_GT(inner_misses, 0);
+}
+
+TEST(Scheduler, DedicatedInnerLoopHasNoMisses)
+{
+    // The paper's design point: the inner loop gets its own MCU.
+    RateScheduler inner_cpu;
+    inner_cpu.addTask("inner", 500.0, 0.0005, [](double) {});
+    RateScheduler companion;
+    companion.addTask("slam", 10.0, 0.15, [](double) {});
+    inner_cpu.advanceTo(2.0);
+    companion.advanceTo(2.0);
+    EXPECT_EQ(inner_cpu.stats()[0].deadlineMisses, 0);
+}
+
+TEST(Scheduler, UtilizationAccumulates)
+{
+    RateScheduler sched;
+    sched.addTask("a", 100.0, 0.004, [](double) {});
+    sched.advanceTo(1.0);
+    EXPECT_NEAR(sched.utilization(), 0.4, 0.05);
+}
+
+TEST(Scheduler, StatsCarryNamesAndRates)
+{
+    RateScheduler sched;
+    sched.addTask("ekf", 200.0, 0.0001, [](double) {});
+    sched.addTask("nav", 10.0, 0.001, [](double) {});
+    sched.advanceTo(0.5);
+    const auto stats = sched.stats();
+    ASSERT_EQ(stats.size(), 2u);
+    // Rate-monotonic order: highest rate first.
+    EXPECT_EQ(stats[0].name, "ekf");
+    EXPECT_EQ(stats[0].rateHz, 200.0);
+    EXPECT_EQ(stats[1].name, "nav");
+    EXPECT_GT(stats[0].cpuTimeS, 0.0);
+}
+
+TEST(SchedulerDeath, RejectsInvalidTask)
+{
+    RateScheduler sched;
+    EXPECT_EXIT(sched.addTask("bad", 0.0, 0.0, [](double) {}),
+                testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(sched.addTask("bad", 10.0, -1.0, [](double) {}),
+                testing::ExitedWithCode(1), "");
+}
+
+TEST(SchedulerDeath, TimeMustNotGoBackwards)
+{
+    RateScheduler sched;
+    sched.addTask("a", 10.0, 0.0, [](double) {});
+    sched.advanceTo(1.0);
+    EXPECT_EXIT(sched.advanceTo(0.5), testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace dronedse

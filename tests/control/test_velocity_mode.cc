@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Velocity-target mode (paper Figure 6: the outer loop may dictate
+ * velocity targets instead of positions, e.g. for target-following
+ * applications).
+ */
+
+#include <gtest/gtest.h>
+
+#include "control/cascade.hh"
+#include "sim/quadrotor.hh"
+
+namespace dronedse {
+namespace {
+
+CascadePlant
+plantFor(const QuadrotorParams &p)
+{
+    return {p.massKg, p.inertiaDiag,
+            {p.armLengthM, p.yawTorquePerThrust, p.maxThrustPerMotorN}};
+}
+
+TEST(VelocityMode, TracksCommandedVelocity)
+{
+    QuadrotorParams p;
+    Quadrotor quad(p);
+    RigidBodyState s;
+    s.position = {0, 0, 5};
+    quad.setState(s);
+    CascadeController ctrl(plantFor(p));
+
+    OuterLoopTargets targets;
+    targets.velocityMode = true;
+    targets.velocity = {2.0, 0.0, 0.0};
+    for (int i = 0; i < 5000; ++i) {
+        quad.commandMotors(ctrl.tick(quad.state(), targets));
+        quad.step(0.001);
+    }
+    EXPECT_NEAR(quad.state().velocity.x, 2.0, 0.25);
+    EXPECT_NEAR(quad.state().velocity.y, 0.0, 0.1);
+    EXPECT_NEAR(quad.state().velocity.z, 0.0, 0.15);
+    EXPECT_GT(quad.state().position.x, 5.0);
+}
+
+TEST(VelocityMode, VerticalVelocityClimbs)
+{
+    QuadrotorParams p;
+    Quadrotor quad(p);
+    RigidBodyState s;
+    s.position = {0, 0, 2};
+    quad.setState(s);
+    CascadeController ctrl(plantFor(p));
+
+    OuterLoopTargets targets;
+    targets.velocityMode = true;
+    targets.velocity = {0.0, 0.0, 1.0};
+    for (int i = 0; i < 4000; ++i) {
+        quad.commandMotors(ctrl.tick(quad.state(), targets));
+        quad.step(0.001);
+    }
+    EXPECT_NEAR(quad.state().velocity.z, 1.0, 0.2);
+    EXPECT_GT(quad.state().position.z, 4.0);
+}
+
+TEST(VelocityMode, CommandClampedToMaxVelocity)
+{
+    QuadrotorParams p;
+    Quadrotor quad(p);
+    RigidBodyState s;
+    s.position = {0, 0, 20};
+    quad.setState(s);
+    CascadeGains gains;
+    CascadeController ctrl(plantFor(p), LoopRates{}, gains);
+
+    OuterLoopTargets targets;
+    targets.velocityMode = true;
+    targets.velocity = {50.0, 0.0, 0.0}; // far beyond maxVelocity
+    for (int i = 0; i < 8000; ++i) {
+        quad.commandMotors(ctrl.tick(quad.state(), targets));
+        quad.step(0.001);
+    }
+    // Airspeed settles near (below) the clamp, never at 50.
+    EXPECT_LT(quad.state().velocity.x, gains.maxVelocity + 1.0);
+    EXPECT_GT(quad.state().velocity.x, 2.0);
+    EXPECT_FALSE(quad.upsideDown());
+}
+
+TEST(VelocityMode, ZeroVelocityHolds)
+{
+    QuadrotorParams p;
+    Quadrotor quad(p);
+    RigidBodyState s;
+    s.position = {0, 0, 3};
+    s.velocity = {2.0, 0, 0};
+    quad.setState(s);
+    CascadeController ctrl(plantFor(p));
+
+    OuterLoopTargets targets;
+    targets.velocityMode = true;
+    for (int i = 0; i < 5000; ++i) {
+        quad.commandMotors(ctrl.tick(quad.state(), targets));
+        quad.step(0.001);
+    }
+    EXPECT_LT(quad.state().velocity.norm(), 0.15);
+}
+
+} // namespace
+} // namespace dronedse

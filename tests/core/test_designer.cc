@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "core/designer.hh"
+#include "core/presets.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(Designer, FluentBuilderSetsInputs)
+{
+    DroneDesigner d;
+    d.wheelbase(450.0)
+        .battery(3, 4000.0)
+        .twr(2.5)
+        .payload(100.0)
+        .activity(FlightActivity::Maneuvering)
+        .propeller(9.0);
+    const DesignInputs &in = d.inputs();
+    EXPECT_EQ(in.wheelbaseMm, 450.0);
+    EXPECT_EQ(in.cells, 3);
+    EXPECT_EQ(in.capacityMah, 4000.0);
+    EXPECT_EQ(in.twr, 2.5);
+    EXPECT_EQ(in.payloadG, 100.0);
+    EXPECT_EQ(in.activity, FlightActivity::Maneuvering);
+    EXPECT_EQ(in.propDiameterIn, 9.0);
+}
+
+TEST(Designer, SensorAccumulates)
+{
+    DroneDesigner d;
+    d.sensor(findSensor("RunCam Night Eagle 2"))
+        .sensor(findSensor("Ultra Puck"));
+    EXPECT_NEAR(d.inputs().sensorWeightG, 14.5 + 925.0, 1e-9);
+    // LiDAR self-powered, camera draws 1 W.
+    EXPECT_NEAR(d.inputs().sensorPowerW, 1.0, 1e-9);
+}
+
+TEST(Designer, DesignMatchesSolveDesign)
+{
+    DroneDesigner d(ourDroneInputs());
+    const DesignResult res = d.design();
+    ASSERT_TRUE(res.feasible);
+    EXPECT_GT(res.flightTimeMin, 0.0);
+}
+
+TEST(Designer, ReportHasBothActivities)
+{
+    DroneDesigner d(ourDroneInputs());
+    const DesignReport rep = d.report();
+    ASSERT_TRUE(rep.result.feasible);
+    // Hover fraction exceeds maneuver fraction (Figure 10d-f).
+    EXPECT_GT(rep.computeFractionHover, rep.computeFractionManeuver);
+    EXPECT_GT(rep.maxComputeGainMin, 0.0);
+    EXPECT_FALSE(rep.nearestCommercial.empty());
+    // Our drone's nearest commercial point should be itself.
+    EXPECT_EQ(rep.nearestCommercial, "Our Drone");
+    EXPECT_LT(rep.nearestCommercialDeltaG, 350.0);
+}
+
+TEST(Designer, ReportStringMentionsKeyFields)
+{
+    DroneDesigner d(ourDroneInputs());
+    const std::string s = d.report().str();
+    EXPECT_NE(s.find("flight time"), std::string::npos);
+    EXPECT_NE(s.find("compute share"), std::string::npos);
+    EXPECT_NE(s.find("nearest commercial"), std::string::npos);
+}
+
+TEST(Designer, InfeasibleReportIsSafe)
+{
+    DroneDesigner d;
+    d.wheelbase(450.0).battery(3, -1.0);
+    const DesignReport rep = d.report();
+    EXPECT_FALSE(rep.result.feasible);
+    const std::string s = rep.str();
+    EXPECT_NE(s.find("INFEASIBLE"), std::string::npos);
+}
+
+} // namespace
+} // namespace dronedse

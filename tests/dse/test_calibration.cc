@@ -1,0 +1,164 @@
+/**
+ * @file
+ * End-to-end calibration gates: the model must land in the paper's
+ * published bands for the headline numbers of Section 3.2 and
+ * Figure 10.  These are the acceptance tests for the reproduction;
+ * see EXPERIMENTS.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "components/compute_board.hh"
+#include "dse/sweep.hh"
+#include "dse/weight_closure.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(Calibration, BestFlightTimesMatchPaperValidation)
+{
+    // "...resulting in 23, 19, and 21 minutes for 100, 450, and
+    // 800 mm wheelbases, respectively" (Section 3.2; Figure 10
+    // panels annotate 23/19/22).  Accept +-25 % for the small and
+    // medium classes; the large class gets +-40 % because our
+    // first-principles propulsion model is more efficient at low
+    // disk loading (20" props) than the paper's empirical motor
+    // survey — see EXPERIMENTS.md.
+    for (SizeClass cls :
+         {SizeClass::Small, SizeClass::Medium, SizeClass::Large}) {
+        const auto &spec = classSpec(cls);
+        const double tolerance = cls == SizeClass::Large ? 0.40 : 0.25;
+        const DesignResult best = bestConfiguration(spec, basicChip3W());
+        ASSERT_TRUE(best.feasible);
+        EXPECT_NEAR(best.flightTimeMin, spec.paperBestFlightTimeMin,
+                    tolerance * spec.paperBestFlightTimeMin)
+            << spec.label;
+    }
+}
+
+TEST(Calibration, OurDronePowerNear130W)
+{
+    // Figure 16b: the paper's 450 mm drone averages ~130 W in flight
+    // at ~30 % flying load.  Accept 90-180 W.
+    DesignInputs in;
+    in.wheelbaseMm = 450.0;
+    in.cells = 3;
+    in.capacityMah = 3000.0;
+    in.compute = {"RPi + Navio2", BoardClass::Improved, 73.0, 5.75};
+    in.sensorWeightG = 86.0;
+    in.sensorPowerW = 1.5;
+    const DesignResult res = solveDesign(in);
+    ASSERT_TRUE(res.feasible);
+    EXPECT_GT(res.avgPowerW, 90.0);
+    EXPECT_LT(res.avgPowerW, 180.0);
+}
+
+TEST(Calibration, ComputeShareRange2To30Percent)
+{
+    // Section 1: "the percentage of computation power from total
+    // power widely ranges from 2-30%".  Check both extremes exist
+    // in the swept space.
+    double min_frac = 1.0, max_frac = 0.0;
+    for (SizeClass cls :
+         {SizeClass::Small, SizeClass::Medium, SizeClass::Large}) {
+        const auto &spec = classSpec(cls);
+        for (const ComputeBoardRecord &board :
+             {basicChip3W(), advancedChip20W()}) {
+            for (FlightActivity act : {FlightActivity::Hovering,
+                                       FlightActivity::Maneuvering}) {
+                for (int cells : {1, 3, 6}) {
+                    const auto series = sweepCapacity(
+                        spec, cells, 1000.0, board, act);
+                    for (const auto &res : series) {
+                        if (res.totalWeightG < spec.weightAxisLoG ||
+                            res.totalWeightG > spec.weightAxisHiG) {
+                            continue;
+                        }
+                        min_frac = std::min(min_frac,
+                                            res.computePowerFraction);
+                        max_frac = std::max(max_frac,
+                                            res.computePowerFraction);
+                    }
+                }
+            }
+        }
+    }
+    EXPECT_LT(min_frac, 0.03);
+    EXPECT_GT(max_frac, 0.20);
+    EXPECT_LT(max_frac, 0.45);
+}
+
+TEST(Calibration, SmallDroneHeavyComputeGainBand)
+{
+    // Section 3.2 / Figure 11: on small drones, heavy computation
+    // contributes 10-20 % of hover power, so offloading it gains up
+    // to ~20 % of flight time (around +2-5 minutes).
+    double max_gain = 0.0;
+    for (const auto &drone : figure11Drones()) {
+        const double hover = drone.impliedHoverPowerW();
+        const double frac =
+            drone.heavyComputeW / (hover + drone.heavyComputeW);
+        EXPECT_GT(frac, 0.07) << drone.name;
+        EXPECT_LT(frac, 0.22) << drone.name;
+
+        const double usable = drone.batteryWh * 0.85;
+        const double t_with =
+            usable / (hover + drone.heavyComputeW) * 60.0;
+        const double t_off = usable / hover * 60.0;
+        max_gain = std::max(max_gain, t_off - t_with);
+    }
+    EXPECT_GT(max_gain, 1.8);
+    EXPECT_LT(max_gain, 6.0);
+}
+
+TEST(Calibration, LargeDroneGainAboutTwoMinutes)
+{
+    // Section 3.2: in large/medium drones, max gain from compute
+    // power savings is ~+2 minutes.
+    const auto &spec = classSpec(SizeClass::Large);
+    const DesignResult best = bestConfiguration(spec, advancedChip20W());
+    ASSERT_TRUE(best.feasible);
+    const double new_time =
+        best.usableEnergyWh / (best.avgPowerW - 18.0) * 60.0;
+    const double gain = new_time - best.flightTimeMin;
+    EXPECT_GT(gain, 0.5);
+    EXPECT_LT(gain, 4.0);
+}
+
+TEST(Calibration, CommercialPointsNearModelCurves)
+{
+    // Figure 10 validation: the published commercial drones should
+    // sit near the model's power-vs-weight curves.  For each point,
+    // find the model design of matching weight (best cells) and
+    // compare implied hover power within a factor of two.
+    for (SizeClass cls :
+         {SizeClass::Small, SizeClass::Medium, SizeClass::Large}) {
+        const auto &spec = classSpec(cls);
+        for (const auto &drone : commercialDronesInClass(cls)) {
+            double best_delta = 1e18;
+            double model_power = 0.0;
+            for (int cells : {1, 2, 3, 4, 6}) {
+                const auto series = sweepCapacity(
+                    spec, cells, 250.0, basicChip3W());
+                for (const auto &res : series) {
+                    const double d =
+                        std::fabs(res.totalWeightG - drone.weightG);
+                    if (d < best_delta) {
+                        best_delta = d;
+                        model_power = res.avgPowerW;
+                    }
+                }
+            }
+            if (best_delta > 0.3 * drone.weightG)
+                continue; // point outside this class's model range
+            const double implied = drone.impliedHoverPowerW();
+            EXPECT_LT(model_power, implied * 2.2) << drone.name;
+            EXPECT_GT(model_power, implied / 2.2) << drone.name;
+        }
+    }
+}
+
+} // namespace
+} // namespace dronedse

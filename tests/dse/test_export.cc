@@ -1,0 +1,42 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "components/compute_board.hh"
+#include "dse/export.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(Export, SweepCsvHasOneRowPerDesign)
+{
+    const auto &spec = classSpec(SizeClass::Medium);
+    const auto series = sweepCapacity(spec, 3, 1000.0, basicChip3W());
+    const CsvWriter csv = sweepToCsv(series);
+    EXPECT_EQ(csv.rowCount(), series.size());
+
+    // Header names the key columns.
+    const std::string doc = csv.str();
+    EXPECT_NE(doc.find("capacity_mah"), std::string::npos);
+    EXPECT_NE(doc.find("flight_time_min"), std::string::npos);
+
+    // Row count matches line count (header + rows).
+    std::stringstream ss(doc);
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(ss, line))
+        ++lines;
+    EXPECT_EQ(lines, series.size() + 1);
+}
+
+TEST(Export, MotorCurveCsv)
+{
+    const auto curve = motorCurrentCurve(10.0, 3, 200.0, 1000.0,
+                                         200.0);
+    const CsvWriter csv = motorCurveToCsv(curve);
+    EXPECT_EQ(csv.rowCount(), curve.size());
+    EXPECT_NE(csv.str().find("basic_weight_g"), std::string::npos);
+}
+
+} // namespace
+} // namespace dronedse

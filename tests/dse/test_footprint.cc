@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "components/compute_board.hh"
+#include "dse/footprint.hh"
+#include "dse/sweep.hh"
+#include "dse/weight_closure.hh"
+
+namespace dronedse {
+namespace {
+
+DesignResult
+solved450(const ComputeBoardRecord &board,
+          FlightActivity activity = FlightActivity::Hovering)
+{
+    DesignInputs in;
+    in.wheelbaseMm = 450.0;
+    in.cells = 3;
+    in.capacityMah = 5000.0;
+    in.compute = board;
+    in.activity = activity;
+    const DesignResult res = solveDesign(in);
+    EXPECT_TRUE(res.feasible);
+    return res;
+}
+
+TEST(Footprint, GainExactMatchesEnergyBudget)
+{
+    const DesignResult res = solved450(advancedChip20W());
+    const double gain = gainedFlightTimeMin(res, 10.0);
+    const double expect =
+        res.usableEnergyWh / (res.avgPowerW - 10.0) * 60.0 -
+        res.flightTimeMin;
+    EXPECT_NEAR(gain, expect, 1e-9);
+    EXPECT_GT(gain, 0.0);
+}
+
+TEST(Footprint, NegativeSavingsShrinkFlightTime)
+{
+    const DesignResult res = solved450(basicChip3W());
+    EXPECT_LT(gainedFlightTimeMin(res, -10.0), 0.0);
+}
+
+TEST(Footprint, PaperApproximation)
+{
+    // Section 5.2: saving 10 W on a 140 W drone with 15 min flight
+    // time gains about one minute.
+    const double approx = gainedFlightTimeApproxMin(10.0, 140.0, 15.0);
+    EXPECT_NEAR(approx, 15.0 * 10.0 / 140.0, 1e-12);
+    EXPECT_NEAR(approx, 1.07, 0.05);
+}
+
+TEST(Footprint, ExactAndApproxAgreeForSmallSavings)
+{
+    const DesignResult res = solved450(advancedChip20W());
+    const double exact = gainedFlightTimeMin(res, 2.0);
+    const double approx = gainedFlightTimeApproxMin(
+        2.0, res.avgPowerW, res.flightTimeMin);
+    EXPECT_NEAR(exact, approx, 0.05 * exact + 0.01);
+}
+
+TEST(Footprint, ThreeWattChipUnderFivePercent)
+{
+    // Figure 10d-f: the 3 W chip contributes < 5 % of total power
+    // across medium/large drones.
+    for (SizeClass cls : {SizeClass::Medium, SizeClass::Large}) {
+        const auto &spec = classSpec(cls);
+        const auto series = sweepCapacity(spec, 3, 1000.0,
+                                          basicChip3W());
+        for (const auto &res : series) {
+            if (res.totalWeightG < spec.weightAxisLoG ||
+                res.totalWeightG > spec.weightAxisHiG) {
+                continue;
+            }
+            EXPECT_LT(res.computePowerFraction, 0.05)
+                << "weight " << res.totalWeightG;
+        }
+    }
+}
+
+TEST(Footprint, TwentyWattChipDropsWhenManeuvering)
+{
+    const DesignResult hover = solved450(advancedChip20W());
+    const DesignResult man =
+        solved450(advancedChip20W(), FlightActivity::Maneuvering);
+    EXPECT_GT(hover.computePowerFraction, man.computePowerFraction);
+    // Paper: ~10 % average when the drone moves.
+    EXPECT_LT(man.computePowerFraction, 0.15);
+}
+
+TEST(Footprint, PlatformSwapIncludesWeightFeedback)
+{
+    DesignInputs in;
+    in.wheelbaseMm = 450.0;
+    in.cells = 3;
+    in.capacityMah = 5000.0;
+    in.compute = {"RPi-class", BoardClass::Improved, 50.0, 5.0};
+    const DesignResult base = solveDesign(in);
+    ASSERT_TRUE(base.feasible);
+
+    // RPi -> ASIC (Table 5): -1.98 W and -30 g, both help.
+    const double gain_asic = platformSwapGainMin(in, -1.976, -30.0);
+    EXPECT_GT(gain_asic, 0.0);
+
+    // RPi -> FPGA: saves power but adds 25 g; the weight feedback
+    // (bigger motors, more hover power) must shrink the gain below
+    // the power-only estimate.
+    const double gain_fpga = platformSwapGainMin(in, -1.583, 25.0);
+    const double power_only = gainedFlightTimeMin(base, 1.583);
+    EXPECT_LT(gain_fpga, power_only);
+
+    // RPi -> TX2: heavier and hungrier, loses flight time.
+    EXPECT_LT(platformSwapGainMin(in, 5.0, 35.0), 0.0);
+}
+
+} // namespace
+} // namespace dronedse

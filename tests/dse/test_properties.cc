@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Property-based sweeps over the design-space model: the partial
+ * derivatives the paper's tradeoff discussion relies on must hold
+ * across the whole swept space, not just at spot-checked points.
+ */
+
+#include <gtest/gtest.h>
+
+#include "components/compute_board.hh"
+#include "dse/weight_closure.hh"
+
+namespace dronedse {
+namespace {
+
+DesignInputs
+base(double wheelbase, int cells, double capacity)
+{
+    DesignInputs in;
+    in.wheelbaseMm = wheelbase;
+    in.cells = cells;
+    in.capacityMah = capacity;
+    return in;
+}
+
+/** Sweep axis: (wheelbase, cells). */
+using Axis = std::tuple<double, int>;
+
+class DesignSpaceProperties : public testing::TestWithParam<Axis>
+{
+};
+
+TEST_P(DesignSpaceProperties, WeightMonotoneInCapacity)
+{
+    const auto [wb, cells] = GetParam();
+    double prev = 0.0;
+    for (double cap = 1000.0; cap <= 8000.0; cap += 1000.0) {
+        const DesignResult res = solveDesign(base(wb, cells, cap));
+        if (!res.feasible)
+            continue;
+        EXPECT_GT(res.totalWeightG, prev)
+            << wb << "mm " << cells << "S " << cap << "mAh";
+        prev = res.totalWeightG;
+    }
+}
+
+TEST_P(DesignSpaceProperties, PowerMonotoneInCapacity)
+{
+    const auto [wb, cells] = GetParam();
+    double prev = 0.0;
+    for (double cap = 1000.0; cap <= 8000.0; cap += 1000.0) {
+        const DesignResult res = solveDesign(base(wb, cells, cap));
+        if (!res.feasible)
+            continue;
+        EXPECT_GT(res.avgPowerW, prev);
+        prev = res.avgPowerW;
+    }
+}
+
+TEST_P(DesignSpaceProperties, MoreComputePowerShortensFlight)
+{
+    const auto [wb, cells] = GetParam();
+    DesignInputs light = base(wb, cells, 4000.0);
+    light.compute = basicChip3W();
+    DesignInputs heavy = light;
+    heavy.compute = advancedChip20W();
+    const DesignResult l = solveDesign(light);
+    const DesignResult h = solveDesign(heavy);
+    if (!l.feasible || !h.feasible)
+        GTEST_SKIP() << "infeasible corner of the space";
+    EXPECT_LT(h.flightTimeMin, l.flightTimeMin);
+    EXPECT_GT(h.computePowerFraction, l.computePowerFraction);
+    // The heavier board also raises total weight through closure.
+    EXPECT_GT(h.totalWeightG, l.totalWeightG);
+}
+
+TEST_P(DesignSpaceProperties, ShortFlightEscsAreLighterButEqualPower)
+{
+    const auto [wb, cells] = GetParam();
+    DesignInputs long_esc = base(wb, cells, 3000.0);
+    DesignInputs short_esc = long_esc;
+    short_esc.escClass = EscClass::ShortFlight;
+    const DesignResult l = solveDesign(long_esc);
+    const DesignResult s = solveDesign(short_esc);
+    if (!l.feasible || !s.feasible)
+        GTEST_SKIP() << "infeasible corner of the space";
+    // The two Figure 8a fits cross near ~7.4 A per ESC: racing ESCs
+    // only win on weight above the crossover (tiny ESCs bottom out
+    // on connectors/board mass either way).
+    if (l.motorMaxCurrentA < 8.0)
+        GTEST_SKIP() << "below the Figure 8a fit crossover";
+    EXPECT_LT(s.escSetWeightG, l.escSetWeightG);
+    EXPECT_LT(s.totalWeightG, l.totalWeightG);
+    // Lighter build -> slightly longer flight (Figure 8a's real
+    // tradeoff is thermal endurance, which the closure does not
+    // model).
+    EXPECT_GE(s.flightTimeMin, l.flightTimeMin);
+}
+
+TEST_P(DesignSpaceProperties, EnergyBookkeepingConsistent)
+{
+    const auto [wb, cells] = GetParam();
+    const DesignResult res = solveDesign(base(wb, cells, 5000.0));
+    if (!res.feasible)
+        GTEST_SKIP() << "infeasible corner of the space";
+    // FlightTime * AvgPower == usable energy (Equation 5 inverted).
+    EXPECT_NEAR(res.flightTimeMin / 60.0 * res.avgPowerW,
+                res.usableEnergyWh, 1e-6);
+    // Usable energy is strictly less than nominal pack energy.
+    const double nominal = res.inputs.capacityMah / 1000.0 *
+                           res.inputs.cells * 3.7;
+    EXPECT_LT(res.usableEnergyWh, nominal);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WheelbaseCells, DesignSpaceProperties,
+    testing::Combine(testing::Values(200.0, 450.0, 800.0),
+                     testing::Values(2, 3, 4, 6)));
+
+TEST(DesignSpacePropertiesGlobal, BiggerWheelbaseHeavierDrone)
+{
+    double prev = 0.0;
+    for (double wb : {150.0, 250.0, 450.0, 650.0, 800.0}) {
+        const DesignResult res = solveDesign(base(wb, 4, 4000.0));
+        ASSERT_TRUE(res.feasible) << wb;
+        EXPECT_GT(res.totalWeightG, prev) << wb;
+        prev = res.totalWeightG;
+    }
+}
+
+TEST(DesignSpacePropertiesGlobal, BiggerPropsAreMoreEfficient)
+{
+    // At fixed weight class, a larger prop (lower disk loading)
+    // hovers on less power.
+    DesignInputs small_prop = base(450.0, 3, 4000.0);
+    small_prop.propDiameterIn = 8.0;
+    DesignInputs big_prop = base(450.0, 3, 4000.0);
+    big_prop.propDiameterIn = 11.0;
+    const DesignResult s = solveDesign(small_prop);
+    const DesignResult b = solveDesign(big_prop);
+    ASSERT_TRUE(s.feasible);
+    ASSERT_TRUE(b.feasible);
+    EXPECT_LT(b.avgPowerW, s.avgPowerW);
+    EXPECT_GT(b.flightTimeMin, s.flightTimeMin);
+}
+
+} // namespace
+} // namespace dronedse

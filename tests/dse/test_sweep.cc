@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "components/compute_board.hh"
+#include "dse/sweep.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(Sweep, CapacitySweepProducesSeries)
+{
+    const auto &spec = classSpec(SizeClass::Medium);
+    const auto series = sweepCapacity(spec, 3, 500.0, basicChip3W());
+    EXPECT_GT(series.size(), 10u);
+    // Weight grows monotonically with capacity.
+    for (std::size_t i = 1; i < series.size(); ++i)
+        EXPECT_GT(series[i].totalWeightG, series[i - 1].totalWeightG);
+}
+
+TEST(Sweep, PowerGrowsWithWeight)
+{
+    // The Figure 10a-c trend: heavier designs draw more power.
+    const auto &spec = classSpec(SizeClass::Large);
+    const auto series = sweepCapacity(spec, 6, 500.0, basicChip3W());
+    ASSERT_GT(series.size(), 5u);
+    for (std::size_t i = 1; i < series.size(); ++i)
+        EXPECT_GT(series[i].avgPowerW, series[i - 1].avgPowerW);
+}
+
+TEST(Sweep, FlightTimeHasInteriorOptimum)
+{
+    // Bigger batteries add energy but also weight; over a wide
+    // enough capacity range the best flight time sits strictly
+    // inside the sweep (physically, the optimum battery mass is a
+    // bounded multiple of the rest of the airframe).
+    SizeClassSpec spec = classSpec(SizeClass::Medium);
+    spec.capacityLoMah = 1000.0;
+    spec.capacityHiMah = 40000.0;
+    const auto series = sweepCapacity(spec, 3, 1000.0, basicChip3W());
+    ASSERT_GT(series.size(), 8u);
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < series.size(); ++i)
+        if (series[i].flightTimeMin > series[best].flightTimeMin)
+            best = i;
+    EXPECT_GT(best, 0u);
+    EXPECT_LT(best, series.size() - 1);
+}
+
+TEST(Sweep, BestConfigurationBeatsSeriesMembers)
+{
+    const auto &spec = classSpec(SizeClass::Medium);
+    const DesignResult best = bestConfiguration(spec, basicChip3W());
+    ASSERT_TRUE(best.feasible);
+    for (int cells : {1, 3, 6}) {
+        const auto series = sweepCapacity(spec, cells, 500.0,
+                                          basicChip3W());
+        for (const auto &res : series) {
+            if (withinPracticalLimits(res, spec)) {
+                EXPECT_LE(res.flightTimeMin, best.flightTimeMin + 1e-9);
+            }
+        }
+    }
+}
+
+TEST(Sweep, MotorCurrentCurveShape)
+{
+    // Figure 9: current grows with basic weight; higher voltage
+    // needs less current at the same weight.
+    const auto c3s = motorCurrentCurve(10.0, 3, 200.0, 1800.0, 100.0);
+    const auto c6s = motorCurrentCurve(10.0, 6, 200.0, 1800.0, 100.0);
+    ASSERT_EQ(c3s.size(), c6s.size());
+    ASSERT_GT(c3s.size(), 5u);
+    for (std::size_t i = 0; i < c3s.size(); ++i) {
+        EXPECT_GT(c3s[i].motorCurrentA, c6s[i].motorCurrentA);
+        if (i > 0) {
+            EXPECT_GT(c3s[i].motorCurrentA, c3s[i - 1].motorCurrentA);
+        }
+    }
+}
+
+TEST(Sweep, SmallPropsNeedExtremeKv)
+{
+    // Figure 9a: 1"-2" props on 1S packs hit five-digit Kv ratings.
+    const auto tiny = motorCurrentCurve(2.0, 1, 100.0, 600.0, 100.0);
+    ASSERT_FALSE(tiny.empty());
+    EXPECT_GT(tiny.back().kv, 25000.0);
+
+    // Figure 9d: 20" props on 6S have low Kv ratings.
+    const auto big = motorCurrentCurve(20.0, 6, 1000.0, 2700.0, 200.0);
+    ASSERT_FALSE(big.empty());
+    EXPECT_LT(big.front().kv, 1500.0);
+}
+
+TEST(Sweep, ClassSpecsMatchPaperPanels)
+{
+    EXPECT_EQ(classSpec(SizeClass::Small).paperBestFlightTimeMin, 23.0);
+    EXPECT_EQ(classSpec(SizeClass::Medium).paperBestFlightTimeMin, 19.0);
+    EXPECT_EQ(classSpec(SizeClass::Large).paperBestFlightTimeMin, 22.0);
+    EXPECT_EQ(classSpec(SizeClass::Medium).wheelbaseMm, 450.0);
+    EXPECT_EQ(classSpec(SizeClass::Large).propDiameterIn, 20.0);
+}
+
+/** Parameterized sweep: every class yields a feasible best config. */
+class BestPerClass : public testing::TestWithParam<SizeClass>
+{
+};
+
+TEST_P(BestPerClass, FeasibleWithinWeightEnvelope)
+{
+    const auto &spec = classSpec(GetParam());
+    const DesignResult best = bestConfiguration(spec, basicChip3W());
+    ASSERT_TRUE(best.feasible);
+    EXPECT_LE(best.totalWeightG, spec.weightAxisHiG);
+    EXPECT_GT(best.flightTimeMin, 5.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, BestPerClass,
+                         testing::Values(SizeClass::Small,
+                                         SizeClass::Medium,
+                                         SizeClass::Large));
+
+} // namespace
+} // namespace dronedse

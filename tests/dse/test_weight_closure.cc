@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "dse/weight_closure.hh"
+#include "util/units.hh"
+
+namespace dronedse {
+namespace {
+
+DesignInputs
+medium450()
+{
+    DesignInputs in;
+    in.wheelbaseMm = 450.0;
+    in.cells = 3;
+    in.capacityMah = 5000.0;
+    return in;
+}
+
+TEST(WeightClosure, ConvergesAndAccounts)
+{
+    const DesignResult res = solveDesign(medium450());
+    ASSERT_TRUE(res.feasible) << res.infeasibleReason;
+
+    // The component breakdown must sum to the total.
+    const double sum = res.frameWeightG + res.batteryWeightG +
+                       res.motorSetWeightG + res.escSetWeightG +
+                       res.propSetWeightG + res.wiringWeightG +
+                       res.inputs.compute.weightG +
+                       res.inputs.sensorWeightG + res.inputs.payloadG;
+    EXPECT_NEAR(sum, res.totalWeightG, 0.1);
+
+    // Basic weight excludes battery, ESCs, and motors (Figure 9).
+    EXPECT_NEAR(res.basicWeightG,
+                res.totalWeightG - res.batteryWeightG -
+                    res.motorSetWeightG - res.escSetWeightG,
+                1e-6);
+}
+
+TEST(WeightClosure, FixedPointSelfConsistent)
+{
+    // At the solution, the matched motor must carry exactly
+    // TWR * total / 4 grams.
+    const DesignResult res = solveDesign(medium450());
+    ASSERT_TRUE(res.feasible);
+    EXPECT_NEAR(res.motor.maxThrustG,
+                res.inputs.twr * res.totalWeightG / 4.0, 0.5);
+}
+
+TEST(WeightClosure, A450ClassLandsNearOurDrone)
+{
+    // A 450 mm / 3S design should close near the paper's 1061 g
+    // open-source drone (Figure 14) for a comparable battery.
+    DesignInputs in = medium450();
+    in.capacityMah = 3000.0;
+    in.compute.weightG = 73.0; // RPi + Navio2
+    in.compute.powerW = 5.75;
+    const DesignResult res = solveDesign(in);
+    ASSERT_TRUE(res.feasible);
+    EXPECT_NEAR(res.totalWeightG, 1061.0, 300.0);
+}
+
+TEST(WeightClosure, PowerEquationStructure)
+{
+    const DesignResult res = solveDesign(medium450());
+    ASSERT_TRUE(res.feasible);
+    const double volts = res.inputs.cells * kLipoCellVoltage;
+    EXPECT_NEAR(res.maxPowerW, 4.0 * res.motorMaxCurrentA * volts, 1e-9);
+    EXPECT_NEAR(res.avgPowerW,
+                res.propulsionPowerW + res.computePowerW +
+                    res.sensorPowerW,
+                1e-9);
+    EXPECT_NEAR(res.computePowerFraction,
+                res.computePowerW / res.avgPowerW, 1e-12);
+}
+
+TEST(WeightClosure, ManeuveringDrawsMore)
+{
+    DesignInputs hover = medium450();
+    DesignInputs maneuver = medium450();
+    maneuver.activity = FlightActivity::Maneuvering;
+    const DesignResult h = solveDesign(hover);
+    const DesignResult m = solveDesign(maneuver);
+    ASSERT_TRUE(h.feasible);
+    ASSERT_TRUE(m.feasible);
+    EXPECT_GT(m.avgPowerW, 1.8 * h.avgPowerW);
+    EXPECT_LT(m.flightTimeMin, h.flightTimeMin);
+    // Weight closure is activity-independent.
+    EXPECT_NEAR(m.totalWeightG, h.totalWeightG, 1e-9);
+}
+
+TEST(WeightClosure, HigherTwrCostsFlightTime)
+{
+    DesignInputs low = medium450();
+    DesignInputs high = medium450();
+    high.twr = 4.0;
+    const DesignResult l = solveDesign(low);
+    const DesignResult h = solveDesign(high);
+    ASSERT_TRUE(l.feasible);
+    ASSERT_TRUE(h.feasible);
+    EXPECT_GT(h.totalWeightG, l.totalWeightG);
+    EXPECT_GT(h.avgPowerW, l.avgPowerW);
+    EXPECT_LT(h.flightTimeMin, l.flightTimeMin);
+    EXPECT_LT(h.computePowerFraction, l.computePowerFraction);
+}
+
+TEST(WeightClosure, PayloadShrinksFlightTime)
+{
+    DesignInputs bare = medium450();
+    DesignInputs loaded = medium450();
+    loaded.payloadG = 200.0;
+    const DesignResult b = solveDesign(bare);
+    const DesignResult l = solveDesign(loaded);
+    ASSERT_TRUE(b.feasible);
+    ASSERT_TRUE(l.feasible);
+    EXPECT_GT(l.totalWeightG, b.totalWeightG + 200.0);
+    EXPECT_LT(l.flightTimeMin, b.flightTimeMin);
+}
+
+TEST(WeightClosure, ExtremeKvFlaggedForTinyProps)
+{
+    DesignInputs in;
+    in.wheelbaseMm = 100.0; // strict 2" prop
+    in.cells = 1;
+    in.capacityMah = 1500.0;
+    const DesignResult res = solveDesign(in);
+    if (res.feasible) {
+        EXPECT_TRUE(res.extremeKv);
+    }
+}
+
+TEST(WeightClosure, InvalidInputsAreInfeasible)
+{
+    DesignInputs in = medium450();
+    in.cells = 9;
+    EXPECT_FALSE(solveDesign(in).feasible);
+
+    in = medium450();
+    in.capacityMah = -10.0;
+    EXPECT_FALSE(solveDesign(in).feasible);
+
+    in = medium450();
+    in.twr = 0.5;
+    EXPECT_FALSE(solveDesign(in).feasible);
+}
+
+/** Property sweep over cells: flight time positive, weights close. */
+class ClosurePerCells : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(ClosurePerCells, SolvesAcrossCellCounts)
+{
+    DesignInputs in = medium450();
+    in.cells = GetParam();
+    const DesignResult res = solveDesign(in);
+    ASSERT_TRUE(res.feasible) << res.infeasibleReason;
+    EXPECT_GT(res.flightTimeMin, 0.0);
+    EXPECT_GT(res.totalWeightG, 500.0);
+    EXPECT_LT(res.totalWeightG, 5000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cells, ClosurePerCells, testing::Range(2, 7));
+
+} // namespace
+} // namespace dronedse

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "platform/offload.hh"
+
+namespace dronedse {
+namespace {
+
+std::vector<OffloadAssessment>
+table5()
+{
+    // Paper geomean speedups; the flight-time columns are what we
+    // check here.
+    return assessOffload({1.0, 2.16, 30.7, 23.53});
+}
+
+TEST(Table5, Tx2LosesFlightTime)
+{
+    const auto table = table5();
+    const auto &tx2 = table[static_cast<std::size_t>(
+        PlatformKind::TX2)];
+    // Paper: ~-4 min small, ~-1.5 min large.
+    EXPECT_LT(tx2.gainedSmallMin, -1.0);
+    EXPECT_GT(tx2.gainedSmallMin, -6.0);
+    EXPECT_LT(tx2.gainedLargeMin, -0.3);
+    EXPECT_GT(tx2.gainedLargeMin, -3.0);
+}
+
+TEST(Table5, FpgaGainsMatchPaperBands)
+{
+    const auto table = table5();
+    const auto &fpga = table[static_cast<std::size_t>(
+        PlatformKind::Fpga)];
+    // Paper: ~+2-3 min small, ~+1 min large.
+    EXPECT_GT(fpga.gainedSmallMin, 1.8);
+    EXPECT_LT(fpga.gainedSmallMin, 3.5);
+    EXPECT_GT(fpga.gainedLargeMin, 0.5);
+    EXPECT_LT(fpga.gainedLargeMin, 1.8);
+}
+
+TEST(Table5, AsicBarelyBeatsFpga)
+{
+    // Paper: the ASIC adds only ~20 seconds over the FPGA.
+    const auto table = table5();
+    const auto &fpga = table[static_cast<std::size_t>(
+        PlatformKind::Fpga)];
+    const auto &asic = table[static_cast<std::size_t>(
+        PlatformKind::Asic)];
+    EXPECT_GT(asic.gainedSmallMin, fpga.gainedSmallMin);
+    EXPECT_LT(asic.gainedSmallMin - fpga.gainedSmallMin, 0.8);
+    EXPECT_LT(asic.gainedLargeMin - fpga.gainedLargeMin, 0.5);
+}
+
+TEST(Table5, RpiBaselineHasZeroGain)
+{
+    const auto table = table5();
+    const auto &rpi = table[static_cast<std::size_t>(
+        PlatformKind::RPi)];
+    EXPECT_EQ(rpi.gainedSmallMin, 0.0);
+    EXPECT_EQ(rpi.slamSpeedup, 1.0);
+}
+
+TEST(Table5, FpgaIsTheRecommendation)
+{
+    // The paper's conclusion: FPGA is the most cost-effective
+    // platform for both small and large drones (the ASIC's tiny
+    // extra gain cannot justify its integration/fabrication cost).
+    const auto table = table5();
+    EXPECT_EQ(recommendPlatform(table, true).spec.kind,
+              PlatformKind::Fpga);
+    EXPECT_EQ(recommendPlatform(table, false).spec.kind,
+              PlatformKind::Fpga);
+}
+
+TEST(Table5, SpeedupsCarriedThrough)
+{
+    const auto table = table5();
+    EXPECT_NEAR(table[1].slamSpeedup, 2.16, 1e-9);
+    EXPECT_NEAR(table[2].slamSpeedup, 30.7, 1e-9);
+}
+
+TEST(Table5Death, EmptyTableIsFatal)
+{
+    EXPECT_EXIT(recommendPlatform({}), testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace dronedse

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "platform/exec_model.hh"
+#include "platform/platform.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(Platform, SpecsMatchTable5)
+{
+    const auto &rpi = platformSpec(PlatformKind::RPi);
+    EXPECT_EQ(rpi.powerOverheadW, 2.0);
+    EXPECT_EQ(rpi.weightOverheadG, 50.0);
+    EXPECT_EQ(rpi.integrationCost, CostLevel::Low);
+
+    const auto &tx2 = platformSpec(PlatformKind::TX2);
+    EXPECT_EQ(tx2.powerOverheadW, 10.0);
+    EXPECT_EQ(tx2.weightOverheadG, 85.0);
+
+    const auto &fpga = platformSpec(PlatformKind::Fpga);
+    EXPECT_EQ(fpga.powerOverheadW, 0.417);
+    EXPECT_EQ(fpga.weightOverheadG, 75.0);
+    EXPECT_EQ(fpga.integrationCost, CostLevel::Medium);
+    EXPECT_EQ(fpga.fabricationCost, CostLevel::Medium);
+
+    const auto &asic = platformSpec(PlatformKind::Asic);
+    EXPECT_EQ(asic.powerOverheadW, 0.024);
+    EXPECT_EQ(asic.weightOverheadG, 20.0);
+    EXPECT_EQ(asic.integrationCost, CostLevel::High);
+    EXPECT_EQ(asic.fabricationCost, CostLevel::High);
+
+    EXPECT_EQ(allPlatforms().size(), 4u);
+    EXPECT_STREQ(costLevelName(CostLevel::Medium), "Medium");
+}
+
+TEST(Platform, AcceleratorsNeverSlowerPerPhase)
+{
+    const auto &rpi = platformSpec(PlatformKind::RPi);
+    for (PlatformKind kind :
+         {PlatformKind::TX2, PlatformKind::Fpga, PlatformKind::Asic}) {
+        const auto &spec = platformSpec(kind);
+        for (std::size_t p = 0; p < spec.phaseThroughput.size(); ++p) {
+            EXPECT_GE(spec.phaseThroughput[p],
+                      rpi.phaseThroughput[p])
+                << spec.name << " phase " << p;
+        }
+    }
+}
+
+TEST(Platform, TimeModelIsLinearInWork)
+{
+    std::array<PhaseWork,
+               static_cast<std::size_t>(SlamPhase::NumPhases)>
+        work{};
+    work[0].ops = 1000000;
+    work[3].ops = 4000000;
+    const PlatformTimes once = timeOnPlatform(work, PlatformKind::RPi);
+    for (auto &w : work)
+        w.ops *= 2;
+    const PlatformTimes twice = timeOnPlatform(work,
+                                               PlatformKind::RPi);
+    EXPECT_NEAR(twice.totalSeconds, 2.0 * once.totalSeconds, 1e-12);
+}
+
+TEST(Platform, BaDominatesRpiTime)
+{
+    // The paper: bundle adjustment is ~90 % of ORB-SLAM execution
+    // time on the RPi (Section 5.2).
+    std::array<PhaseWork,
+               static_cast<std::size_t>(SlamPhase::NumPhases)>
+        work{};
+    // Typical easy-sequence op mix (see MH01 measurements).
+    work[static_cast<std::size_t>(SlamPhase::FeatureExtraction)].ops =
+        250'000'000;
+    work[static_cast<std::size_t>(SlamPhase::Matching)].ops =
+        120'000'000;
+    work[static_cast<std::size_t>(SlamPhase::Tracking)].ops =
+        15'000'000;
+    work[static_cast<std::size_t>(SlamPhase::LocalBa)].ops =
+        40'000'000;
+    work[static_cast<std::size_t>(SlamPhase::GlobalBa)].ops =
+        19'000'000;
+    const PlatformTimes rpi = timeOnPlatform(work, PlatformKind::RPi);
+    const double ba =
+        rpi.phaseSeconds[static_cast<std::size_t>(SlamPhase::LocalBa)] +
+        rpi.phaseSeconds[static_cast<std::size_t>(
+            SlamPhase::GlobalBa)];
+    EXPECT_GT(ba / rpi.totalSeconds, 0.85);
+}
+
+TEST(Figure17, GeomeansMatchPaperBands)
+{
+    // Full-length run; the acceptance gate for the Figure 17
+    // reproduction (paper: TX2 2.16x, FPGA 30.7x, ASIC 23.53x).
+    const Figure17Data data = runFigure17();
+    ASSERT_EQ(data.rows.size(), 11u);
+    EXPECT_NEAR(data.geomeanSpeedup[0], 1.0, 1e-9);
+    EXPECT_NEAR(data.geomeanSpeedup[1], 2.16, 0.35);
+    EXPECT_NEAR(data.geomeanSpeedup[2], 30.7, 4.7);
+    EXPECT_NEAR(data.geomeanSpeedup[3], 23.53, 3.6);
+}
+
+TEST(Figure17, OrderingAndBaFractions)
+{
+    const Figure17Data data = runFigure17(80);
+    for (const auto &row : data.rows) {
+        // FPGA fastest, then ASIC, then TX2, then RPi (Table 5).
+        EXPECT_GT(row.speedup[2], row.speedup[3]) << row.sequence;
+        EXPECT_GT(row.speedup[3], row.speedup[1]) << row.sequence;
+        EXPECT_GT(row.speedup[1], 1.0) << row.sequence;
+        EXPECT_GT(row.rpiBaFraction, 0.2) << row.sequence;
+    }
+}
+
+} // namespace
+} // namespace dronedse

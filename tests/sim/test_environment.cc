@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/environment.hh"
+#include "util/regression.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(Environment, NoGustsMeansSteadyWind)
+{
+    WindParams params;
+    params.steady = {3.0, -1.0, 0.0};
+    params.gustIntensity = 0.0;
+    WindField wind(params);
+    for (int i = 0; i < 100; ++i) {
+        const Vec3 w = wind.sample(0.01);
+        EXPECT_NEAR(w.x, 3.0, 1e-9);
+        EXPECT_NEAR(w.y, -1.0, 1e-9);
+        EXPECT_NEAR(w.z, 0.0, 1e-9);
+    }
+}
+
+TEST(Environment, GustRmsMatchesIntensity)
+{
+    WindParams params;
+    params.gustIntensity = 2.0;
+    params.gustCorrelationS = 0.5;
+    WindField wind(params, 3);
+
+    std::vector<double> xs;
+    // Skip the warm-up, then collect samples at spacing comparable
+    // to the correlation time.
+    for (int i = 0; i < 200; ++i)
+        wind.sample(0.01);
+    for (int i = 0; i < 20000; ++i)
+        xs.push_back(wind.sample(0.01).x);
+    const double rms = std::sqrt(
+        mean([&] {
+            std::vector<double> sq;
+            sq.reserve(xs.size());
+            for (double v : xs)
+                sq.push_back(v * v);
+            return sq;
+        }()));
+    EXPECT_NEAR(rms, 2.0, 0.5);
+}
+
+TEST(Environment, DeterministicPerSeed)
+{
+    WindParams params;
+    params.gustIntensity = 1.0;
+    WindField a(params, 42), b(params, 42);
+    for (int i = 0; i < 100; ++i) {
+        const Vec3 wa = a.sample(0.01);
+        const Vec3 wb = b.sample(0.01);
+        EXPECT_EQ(wa.x, wb.x);
+        EXPECT_EQ(wa.y, wb.y);
+    }
+}
+
+TEST(Environment, GustsDecorrelateOverTime)
+{
+    WindParams params;
+    params.gustIntensity = 1.5;
+    params.gustCorrelationS = 0.2;
+    WindField wind(params, 9);
+    for (int i = 0; i < 100; ++i)
+        wind.sample(0.01);
+    const double now = wind.current().x;
+    // After many correlation times the gust should have moved.
+    for (int i = 0; i < 2000; ++i)
+        wind.sample(0.01);
+    EXPECT_NE(now, wind.current().x);
+}
+
+TEST(EnvironmentDeath, RejectsBadCorrelation)
+{
+    WindParams params;
+    params.gustCorrelationS = 0.0;
+    EXPECT_EXIT(WindField{params}, testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace dronedse

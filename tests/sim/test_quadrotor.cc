@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dse/weight_closure.hh"
+#include "sim/quadrotor.hh"
+#include "util/units.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(Quadrotor, HoverEquilibrium)
+{
+    Quadrotor quad;
+    RigidBodyState s;
+    s.position = {0, 0, 5};
+    quad.setState(s);
+    // Default command is exact hover thrust.
+    for (int i = 0; i < 5000; ++i)
+        quad.step(0.001);
+    EXPECT_NEAR(quad.state().position.z, 5.0, 0.01);
+    EXPECT_LT(quad.state().velocity.norm(), 0.01);
+    EXPECT_LT(quad.state().angularVelocity.norm(), 1e-9);
+}
+
+TEST(Quadrotor, FreeFallAtZeroThrust)
+{
+    Quadrotor quad;
+    RigidBodyState s;
+    s.position = {0, 0, 100};
+    quad.setState(s);
+    quad.commandMotors({0, 0, 0, 0});
+    for (int i = 0; i < 1000; ++i)
+        quad.step(0.001);
+    // After 1 s with motor lag spinning down, velocity approaches
+    // -g * t (minus spin-down and drag losses).
+    EXPECT_LT(quad.state().velocity.z, -7.0);
+    EXPECT_GT(quad.state().velocity.z, -kGravity - 0.1);
+}
+
+TEST(Quadrotor, ExcessThrustClimbs)
+{
+    Quadrotor quad;
+    RigidBodyState s;
+    s.position = {0, 0, 2};
+    quad.setState(s);
+    const double hover = quad.params().hoverThrustPerMotorN();
+    quad.commandMotors({1.2 * hover, 1.2 * hover, 1.2 * hover,
+                        1.2 * hover});
+    for (int i = 0; i < 1000; ++i)
+        quad.step(0.001);
+    EXPECT_GT(quad.state().position.z, 2.5);
+    EXPECT_GT(quad.state().velocity.z, 0.5);
+}
+
+TEST(Quadrotor, DifferentialThrustRolls)
+{
+    Quadrotor quad;
+    RigidBodyState s;
+    s.position = {0, 0, 10};
+    quad.setState(s);
+    const double hover = quad.params().hoverThrustPerMotorN();
+    // More thrust on the right side (m0 front-right, m3 back-right)
+    // should roll left: positive tau_x is left-down... with our
+    // layout, raising m1/m2 (left side) produces positive tau_x.
+    quad.commandMotors({hover - 0.2, hover + 0.2, hover + 0.2,
+                        hover - 0.2});
+    for (int i = 0; i < 200; ++i)
+        quad.step(0.001);
+    EXPECT_GT(quad.state().angularVelocity.x, 0.1);
+    EXPECT_NEAR(quad.state().angularVelocity.y, 0.0, 1e-6);
+}
+
+TEST(Quadrotor, ReactionTorqueYaws)
+{
+    Quadrotor quad;
+    RigidBodyState s;
+    s.position = {0, 0, 10};
+    quad.setState(s);
+    const double hover = quad.params().hoverThrustPerMotorN();
+    // CW pair (m0, m1) stronger -> positive yaw reaction.
+    quad.commandMotors({hover + 0.2, hover + 0.2, hover - 0.2,
+                        hover - 0.2});
+    for (int i = 0; i < 200; ++i)
+        quad.step(0.001);
+    EXPECT_GT(quad.state().angularVelocity.z, 0.01);
+    EXPECT_NEAR(quad.state().angularVelocity.x, 0.0, 1e-6);
+    EXPECT_NEAR(quad.state().angularVelocity.y, 0.0, 1e-6);
+}
+
+TEST(Quadrotor, MotorLagTimeConstant)
+{
+    Quadrotor quad;
+    quad.commandMotors({0, 0, 0, 0});
+    for (int i = 0; i < 2000; ++i)
+        quad.step(0.001);
+    // Step the command and check ~63 % at one time constant.
+    const double target = 3.0;
+    quad.commandMotors({target, target, target, target});
+    const int tau_steps = static_cast<int>(
+        quad.params().motorTimeConstantS * 1000.0);
+    for (int i = 0; i < tau_steps; ++i)
+        quad.step(0.001);
+    EXPECT_NEAR(quad.motorThrusts()[0], 0.632 * target, 0.1);
+}
+
+TEST(Quadrotor, CommandsAreClamped)
+{
+    Quadrotor quad;
+    quad.commandMotors({1e6, -5.0, 1.0, 1.0});
+    quad.step(0.001);
+    EXPECT_LE(quad.motorThrusts()[0],
+              quad.params().maxThrustPerMotorN + 1e-9);
+    EXPECT_GE(quad.motorThrusts()[1], 0.0);
+}
+
+TEST(Quadrotor, GroundPlaneStopsDescent)
+{
+    Quadrotor quad;
+    RigidBodyState s;
+    s.position = {0, 0, 0.2};
+    quad.setState(s);
+    quad.commandMotors({0, 0, 0, 0});
+    for (int i = 0; i < 2000; ++i)
+        quad.step(0.001);
+    EXPECT_GE(quad.state().position.z, 0.0);
+    EXPECT_GE(quad.state().velocity.z, -1e-9);
+}
+
+TEST(Quadrotor, DragDecaysHorizontalSpeed)
+{
+    Quadrotor quad;
+    RigidBodyState s;
+    s.position = {0, 0, 50};
+    s.velocity = {8.0, 0.0, 0.0};
+    quad.setState(s);
+    for (int i = 0; i < 3000; ++i)
+        quad.step(0.001);
+    EXPECT_LT(quad.state().velocity.x, 6.0);
+    EXPECT_GT(quad.state().velocity.x, 0.0);
+}
+
+TEST(Quadrotor, WindPushesTheVehicle)
+{
+    Quadrotor quad;
+    RigidBodyState s;
+    s.position = {0, 0, 50};
+    quad.setState(s);
+    for (int i = 0; i < 3000; ++i)
+        quad.step(0.001, {5.0, 0.0, 0.0});
+    EXPECT_GT(quad.state().velocity.x, 0.5);
+    EXPECT_GT(quad.state().position.x, 0.5);
+}
+
+TEST(Quadrotor, UpsideDownDetection)
+{
+    Quadrotor quad;
+    EXPECT_FALSE(quad.upsideDown());
+    RigidBodyState s;
+    s.attitude = Quaternion::fromEuler(M_PI, 0.0, 0.0);
+    quad.setState(s);
+    EXPECT_TRUE(quad.upsideDown());
+}
+
+TEST(Quadrotor, ElectricalPowerTracksThrust)
+{
+    Quadrotor quad;
+    for (int i = 0; i < 500; ++i)
+        quad.step(0.001);
+    const double hover_power = quad.electricalPowerW();
+    EXPECT_GT(hover_power, 30.0);
+    EXPECT_LT(hover_power, 300.0);
+
+    const double max_t = quad.params().maxThrustPerMotorN;
+    quad.commandMotors({max_t, max_t, max_t, max_t});
+    for (int i = 0; i < 500; ++i)
+        quad.step(0.001);
+    EXPECT_GT(quad.electricalPowerW(), 2.0 * hover_power);
+}
+
+TEST(Quadrotor, ParamsFromDesign)
+{
+    DesignInputs in;
+    in.wheelbaseMm = 450.0;
+    in.cells = 3;
+    in.capacityMah = 3000.0;
+    const DesignResult res = solveDesign(in);
+    ASSERT_TRUE(res.feasible);
+    const QuadrotorParams p = QuadrotorParams::fromDesign(res);
+    EXPECT_NEAR(p.massKg, res.totalWeightG / 1000.0, 1e-9);
+    EXPECT_NEAR(p.armLengthM, 0.225, 1e-9);
+    // Max thrust per motor equals TWR * weight / 4.
+    EXPECT_NEAR(p.maxThrustPerMotorN * 4.0,
+                2.0 * p.massKg * kGravity, 0.05 * p.massKg * kGravity);
+}
+
+TEST(QuadrotorDeath, RejectsBadStep)
+{
+    Quadrotor quad;
+    EXPECT_EXIT(quad.step(0.0), testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace dronedse

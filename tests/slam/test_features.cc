@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "slam/brief.hh"
+#include "slam/fast.hh"
+#include "slam/matcher.hh"
+#include "slam/world.hh"
+
+namespace dronedse {
+namespace {
+
+/** Stamp a deterministic high-contrast 7x7 pattern. */
+void
+stampPattern(Image &img, int cx, int cy, std::uint64_t seed)
+{
+    Rng rng(seed);
+    for (int dy = -3; dy <= 3; ++dy)
+        for (int dx = -3; dx <= 3; ++dx)
+            img.at(cx + dx, cy + dy) = rng.bernoulli(0.5) ? 235 : 15;
+}
+
+Image
+flatImage()
+{
+    return Image(160, 120, 100);
+}
+
+TEST(Fast, FlatImageHasNoCorners)
+{
+    const Image img = flatImage();
+    const auto corners = detectFast(img);
+    EXPECT_TRUE(corners.empty());
+}
+
+TEST(Fast, DetectsStampedPatterns)
+{
+    Image img = flatImage();
+    stampPattern(img, 40, 40, 1);
+    stampPattern(img, 100, 60, 2);
+    stampPattern(img, 60, 90, 3);
+    const auto corners = detectFast(img);
+    ASSERT_GE(corners.size(), 3u);
+    // Each stamp yields at least one corner within a few pixels.
+    for (const auto &[sx, sy] :
+         {std::pair{40, 40}, {100, 60}, {60, 90}}) {
+        bool found = false;
+        for (const auto &c : corners) {
+            if (std::abs(c.x - sx) <= 4 && std::abs(c.y - sy) <= 4)
+                found = true;
+        }
+        EXPECT_TRUE(found) << "stamp at " << sx << "," << sy;
+    }
+}
+
+TEST(Fast, RespectsMargin)
+{
+    Image img = flatImage();
+    stampPattern(img, 5, 5, 4); // inside the margin band
+    FastConfig cfg;
+    cfg.margin = 12;
+    const auto corners = detectFast(img, cfg);
+    for (const auto &c : corners) {
+        EXPECT_GE(c.x, cfg.margin);
+        EXPECT_GE(c.y, cfg.margin);
+        EXPECT_LT(c.x, img.width() - cfg.margin);
+        EXPECT_LT(c.y, img.height() - cfg.margin);
+    }
+}
+
+TEST(Fast, NonMaximumSuppressionSpacing)
+{
+    Image img = flatImage();
+    for (int i = 0; i < 6; ++i)
+        stampPattern(img, 40 + 8 * i, 40, 10 + static_cast<unsigned>(i));
+    FastConfig cfg;
+    cfg.nmsRadius = 3;
+    const auto corners = detectFast(img, cfg);
+    for (std::size_t a = 0; a < corners.size(); ++a) {
+        for (std::size_t b = a + 1; b < corners.size(); ++b) {
+            const int dx = corners[a].x - corners[b].x;
+            const int dy = corners[a].y - corners[b].y;
+            EXPECT_GT(dx * dx + dy * dy,
+                      cfg.nmsRadius * cfg.nmsRadius);
+        }
+    }
+}
+
+TEST(Fast, MaxCornersCap)
+{
+    Image img = flatImage();
+    Rng rng(3);
+    for (int i = 0; i < 80; ++i) {
+        stampPattern(img,
+                     static_cast<int>(rng.uniformInt(15, 144)),
+                     static_cast<int>(rng.uniformInt(15, 104)),
+                     static_cast<std::uint64_t>(i) + 100);
+    }
+    FastConfig cfg;
+    cfg.maxCorners = 20;
+    const auto corners = detectFast(img, cfg);
+    EXPECT_LE(corners.size(), 20u);
+    EXPECT_GE(corners.size(), 15u);
+}
+
+TEST(Fast, WorkCountersAccumulate)
+{
+    Image img = flatImage();
+    stampPattern(img, 40, 40, 1);
+    FastWork work;
+    detectFast(img, {}, &work);
+    EXPECT_GT(work.pixelsTested, 10000u);
+}
+
+TEST(Brief, SelfDistanceZeroAndSymmetry)
+{
+    Image img = flatImage();
+    stampPattern(img, 40, 40, 7);
+    BriefExtractor brief;
+    const Descriptor a = brief.describe(img, {40, 40, 0});
+    const Descriptor b = brief.describe(img, {41, 40, 0});
+    EXPECT_EQ(a.distance(a), 0);
+    EXPECT_EQ(a.distance(b), b.distance(a));
+}
+
+TEST(Brief, StableUnderOnePixelShift)
+{
+    // The 3x3 box smoothing must keep a descriptor much closer to
+    // its 1-px-shifted self than to a different pattern.
+    Image img = flatImage();
+    stampPattern(img, 40, 40, 7);
+    stampPattern(img, 100, 60, 8);
+    BriefExtractor brief;
+    const Descriptor self = brief.describe(img, {40, 40, 0});
+    const Descriptor shifted = brief.describe(img, {41, 40, 0});
+    const Descriptor other = brief.describe(img, {100, 60, 0});
+    EXPECT_LT(self.distance(shifted), 50);
+    EXPECT_GT(self.distance(other), 52);
+    EXPECT_LT(self.distance(shifted), self.distance(other));
+}
+
+TEST(Matcher, MatchesIdenticalFeatureSets)
+{
+    Image img = flatImage();
+    Rng rng(5);
+    for (int i = 0; i < 12; ++i) {
+        stampPattern(img, 20 + (i % 4) * 35, 20 + (i / 4) * 35,
+                     static_cast<std::uint64_t>(i) + 50);
+    }
+    BriefExtractor brief;
+    const auto corners = detectFast(img);
+    const auto features = brief.describeAll(img, corners);
+    ASSERT_GE(features.size(), 8u);
+
+    MatchWork work;
+    const auto matches = matchFeatures(features, features, {}, &work);
+    EXPECT_EQ(matches.size(), features.size());
+    for (const auto &m : matches) {
+        EXPECT_EQ(m.queryIndex, m.trainIndex);
+        EXPECT_EQ(m.distance, 0);
+    }
+    EXPECT_EQ(work.comparisons, features.size() * features.size());
+}
+
+TEST(Matcher, RatioTestRejectsAmbiguous)
+{
+    // Two identical train descriptors: best == second, so the ratio
+    // test must reject the match.
+    Image img = flatImage();
+    stampPattern(img, 40, 40, 9);
+    BriefExtractor brief;
+    const Descriptor d = brief.describe(img, {40, 40, 0});
+    Feature f;
+    f.corner = {40, 40, 0};
+    f.descriptor = d;
+    const std::vector<Feature> query{f};
+    const std::vector<Descriptor> train{d, d};
+    const auto matches = matchDescriptors(query, train);
+    EXPECT_TRUE(matches.empty());
+}
+
+TEST(Matcher, DistanceThreshold)
+{
+    Image img = flatImage();
+    stampPattern(img, 40, 40, 9);
+    stampPattern(img, 100, 60, 10);
+    BriefExtractor brief;
+    Feature f;
+    f.corner = {40, 40, 0};
+    f.descriptor = brief.describe(img, {40, 40, 0});
+    const std::vector<Descriptor> train{
+        brief.describe(img, {100, 60, 0})};
+    MatcherConfig cfg;
+    cfg.maxDistance = 10; // far below a random-pattern distance
+    EXPECT_TRUE(matchDescriptors({f}, train, cfg).empty());
+}
+
+} // namespace
+} // namespace dronedse

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Geometric back-end tests: PnP, triangulation, and bundle
+ * adjustment on synthetic configurations with known ground truth.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "slam/ba.hh"
+#include "slam/pnp.hh"
+#include "slam/triangulation.hh"
+#include "util/rng.hh"
+
+namespace dronedse {
+namespace {
+
+PinholeCamera
+camera()
+{
+    return {};
+}
+
+/** Random landmarks in front of the origin. */
+std::vector<Vec3>
+cloud(Rng &rng, int n)
+{
+    std::vector<Vec3> pts;
+    pts.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        pts.push_back({rng.uniform(-3.0, 3.0), rng.uniform(-2.0, 2.0),
+                       rng.uniform(4.0, 10.0)});
+    }
+    return pts;
+}
+
+TEST(Pnp, RecoversPoseFromNoisyProjections)
+{
+    Rng rng(3);
+    const PinholeCamera cam = camera();
+    Se3 truth;
+    truth.rotation = Quaternion::fromEuler(0.05, -0.08, 0.1);
+    truth.translation = {0.2, -0.1, 0.3};
+
+    std::vector<PnpPoint> points;
+    for (const Vec3 &w : cloud(rng, 60)) {
+        const auto px = cam.projectWorld(truth, w);
+        if (!px)
+            continue;
+        points.push_back(
+            {w, {px->u + rng.gaussian(0.0, 0.4),
+                 px->v + rng.gaussian(0.0, 0.4)}});
+    }
+    ASSERT_GE(points.size(), 30u);
+
+    const PnpResult res = solvePnp(cam, points, Se3{});
+    ASSERT_TRUE(res.converged);
+    EXPECT_LT((res.pose.center() - truth.center()).norm(), 0.03);
+    EXPECT_LT(res.rmsReprojPx, 1.0);
+    EXPECT_GT(res.inliers, 25);
+}
+
+TEST(Pnp, RobustToOutliers)
+{
+    Rng rng(4);
+    const PinholeCamera cam = camera();
+    Se3 truth;
+    truth.translation = {0.1, 0.2, 0.0};
+
+    std::vector<PnpPoint> points;
+    int added = 0;
+    for (const Vec3 &w : cloud(rng, 80)) {
+        const auto px = cam.projectWorld(truth, w);
+        if (!px)
+            continue;
+        PnpPoint p{w, {px->u, px->v}};
+        // 20 % gross outliers.
+        if (added % 5 == 0) {
+            p.pixel.u = rng.uniform(0.0, 320.0);
+            p.pixel.v = rng.uniform(0.0, 240.0);
+        }
+        points.push_back(p);
+        ++added;
+    }
+
+    const PnpResult res = solvePnp(cam, points, Se3{});
+    ASSERT_TRUE(res.converged);
+    EXPECT_LT((res.pose.center() - truth.center()).norm(), 0.05);
+}
+
+TEST(Pnp, TooFewPointsFails)
+{
+    const PinholeCamera cam = camera();
+    const std::vector<PnpPoint> points(3);
+    EXPECT_FALSE(solvePnp(cam, points, Se3{}).converged);
+}
+
+TEST(Triangulation, RecoversPointWithBaseline)
+{
+    const PinholeCamera cam = camera();
+    const Vec3 truth{1.0, -0.5, 6.0};
+    const Se3 pose_a; // identity
+    Se3 pose_b;
+    pose_b.translation = {-0.8, 0.0, 0.0}; // 0.8 m baseline
+
+    const auto pa = cam.projectWorld(pose_a, truth);
+    const auto pb = cam.projectWorld(pose_b, truth);
+    ASSERT_TRUE(pa && pb);
+    const auto est = triangulate(cam, pose_a, *pa, pose_b, *pb);
+    ASSERT_TRUE(est.has_value());
+    EXPECT_LT((*est - truth).norm(), 0.02);
+}
+
+TEST(Triangulation, ParallaxGateRejectsShortBaseline)
+{
+    const PinholeCamera cam = camera();
+    const Vec3 truth{0.5, 0.2, 12.0};
+    const Se3 pose_a;
+    Se3 pose_b;
+    pose_b.translation = {-0.01, 0.0, 0.0}; // 1 cm baseline at 12 m
+
+    const auto pa = cam.projectWorld(pose_a, truth);
+    const auto pb = cam.projectWorld(pose_b, truth);
+    ASSERT_TRUE(pa && pb);
+    EXPECT_FALSE(
+        triangulate(cam, pose_a, *pa, pose_b, *pb).has_value());
+}
+
+TEST(Triangulation, RejectsBehindCamera)
+{
+    const PinholeCamera cam = camera();
+    const Se3 pose_a;
+    Se3 pose_b;
+    pose_b.translation = {-0.8, 0.0, 0.0};
+    // Diverging forward rays whose closest approach lies behind the
+    // cameras.
+    const Pixel pa{cam.cx - 80.0, cam.cy};
+    const Pixel pb{cam.cx + 80.0, cam.cy};
+    const auto est = triangulate(cam, pose_a, pa, pose_b, pb);
+    EXPECT_FALSE(est.has_value());
+}
+
+/** Build a small map with noisy poses/points for BA tests. */
+struct BaFixture
+{
+    PinholeCamera cam;
+    SlamMap map;
+    std::vector<Se3> true_poses;
+    std::vector<Vec3> true_points;
+
+    explicit BaFixture(double pose_noise, double point_noise,
+                       int n_kf = 6, int n_pts = 60)
+    {
+        Rng rng(9);
+        for (const Vec3 &p : cloud(rng, n_pts))
+            true_points.push_back(p);
+
+        for (int k = 0; k < n_kf; ++k) {
+            Se3 pose;
+            pose.translation = {-0.3 * k, 0.02 * k, 0.0};
+            true_poses.push_back(pose);
+        }
+
+        // Map points at noisy positions.
+        BriefExtractor brief;
+        for (const Vec3 &p : true_points) {
+            const Vec3 noisy{p.x + rng.gaussian(0.0, point_noise),
+                             p.y + rng.gaussian(0.0, point_noise),
+                             p.z + rng.gaussian(0.0, point_noise)};
+            map.addPoint(noisy, Descriptor{});
+        }
+
+        // Keyframes at noisy poses observing true projections.
+        for (int k = 0; k < n_kf; ++k) {
+            Keyframe kf;
+            kf.frameIndex = k;
+            kf.pose = true_poses[static_cast<std::size_t>(k)];
+            if (k > 0) {
+                kf.pose.translation += {rng.gaussian(0.0, pose_noise),
+                                        rng.gaussian(0.0, pose_noise),
+                                        rng.gaussian(0.0, pose_noise)};
+            }
+            for (std::size_t i = 0; i < true_points.size(); ++i) {
+                const auto px = cam.projectWorld(
+                    true_poses[static_cast<std::size_t>(k)],
+                    true_points[i]);
+                if (px)
+                    kf.observations.push_back(
+                        {static_cast<int>(i), *px});
+            }
+            map.addKeyframe(std::move(kf));
+        }
+    }
+};
+
+TEST(BundleAdjust, ReducesChi2AndRecoversGeometry)
+{
+    BaFixture fx(0.05, 0.08);
+    const BaResult res = globalBundleAdjust(fx.cam, fx.map);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LT(res.finalChi2, 0.05 * res.initialChi2 + 1.0);
+    EXPECT_GT(res.jacobianEvals, 100u);
+    EXPECT_GT(res.pointBlockSolves, 0u);
+
+    // Points move back toward truth.
+    double err = 0.0;
+    for (std::size_t i = 0; i < fx.true_points.size(); ++i) {
+        err += (fx.map.points()[i].position - fx.true_points[i])
+                   .norm();
+    }
+    err /= static_cast<double>(fx.true_points.size());
+    EXPECT_LT(err, 0.03);
+
+    // Poses recover too (first held fixed).
+    for (std::size_t k = 1; k < fx.true_poses.size(); ++k) {
+        EXPECT_LT((fx.map.keyframes()[k].pose.center() -
+                   fx.true_poses[k].center())
+                      .norm(),
+                  0.02)
+            << "keyframe " << k;
+    }
+}
+
+TEST(BundleAdjust, GaugeKeepsFirstPoseFixed)
+{
+    BaFixture fx(0.05, 0.08);
+    const Se3 before = fx.map.keyframes()[0].pose;
+    globalBundleAdjust(fx.cam, fx.map);
+    const Se3 after = fx.map.keyframes()[0].pose;
+    EXPECT_EQ(before.translation.x, after.translation.x);
+    EXPECT_EQ(before.rotation.w, after.rotation.w);
+}
+
+TEST(BundleAdjust, LocalWindowKeepsAnchorsFixed)
+{
+    BaFixture fx(0.05, 0.08);
+    const Se3 anchor_before = fx.map.keyframes()[1].pose;
+    const BaResult res = bundleAdjust(fx.cam, fx.map, 3, 6);
+    EXPECT_TRUE(res.converged);
+    // Keyframes outside the window are untouched.
+    EXPECT_EQ(fx.map.keyframes()[1].pose.translation.x,
+              anchor_before.translation.x);
+    // The Schur system covers exactly the window poses.
+    EXPECT_EQ(res.schurDimension, 6 * 3);
+}
+
+TEST(BundleAdjust, CleanDataStaysPut)
+{
+    BaFixture fx(0.0, 0.0);
+    const BaResult res = globalBundleAdjust(fx.cam, fx.map);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LT(res.finalChi2, 1e-6);
+}
+
+TEST(BundleAdjustDeath, RejectsBadWindow)
+{
+    BaFixture fx(0.01, 0.01);
+    EXPECT_EXIT(bundleAdjust(fx.cam, fx.map, 4, 2),
+                testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace dronedse

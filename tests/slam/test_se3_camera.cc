@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "slam/camera.hh"
+#include "slam/se3.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(Se3, ApplyInverseRoundTrip)
+{
+    Se3 pose;
+    pose.rotation = Quaternion::fromEuler(0.2, -0.3, 0.9);
+    pose.translation = {1.0, -2.0, 3.0};
+    const Vec3 world{4.0, 5.0, -1.0};
+    const Vec3 cam = pose.apply(world);
+    const Vec3 back = pose.applyInverse(cam);
+    EXPECT_NEAR(back.x, world.x, 1e-12);
+    EXPECT_NEAR(back.y, world.y, 1e-12);
+    EXPECT_NEAR(back.z, world.z, 1e-12);
+}
+
+TEST(Se3, CenterIsCameraOrigin)
+{
+    Se3 pose;
+    pose.rotation = Quaternion::fromEuler(0.5, 0.1, -0.4);
+    pose.translation = {2.0, 0.0, -1.0};
+    const Vec3 c = pose.center();
+    const Vec3 at_origin = pose.apply(c);
+    EXPECT_NEAR(at_origin.norm(), 0.0, 1e-12);
+}
+
+TEST(Se3, ComposeMatchesSequentialApply)
+{
+    Se3 a, b;
+    a.rotation = Quaternion::fromEuler(0.1, 0.2, 0.3);
+    a.translation = {1, 2, 3};
+    b.rotation = Quaternion::fromEuler(-0.2, 0.4, 0.0);
+    b.translation = {-1, 0, 2};
+    const Vec3 x{0.5, -0.5, 4.0};
+    const Vec3 via_compose = a.compose(b).apply(x);
+    const Vec3 via_sequential = a.apply(b.apply(x));
+    EXPECT_NEAR(via_compose.x, via_sequential.x, 1e-12);
+    EXPECT_NEAR(via_compose.y, via_sequential.y, 1e-12);
+    EXPECT_NEAR(via_compose.z, via_sequential.z, 1e-12);
+}
+
+TEST(Se3, InverseComposesToIdentity)
+{
+    Se3 a;
+    a.rotation = Quaternion::fromEuler(0.7, -0.1, 0.2);
+    a.translation = {3, -4, 5};
+    const Se3 id = a.compose(a.inverse());
+    EXPECT_NEAR(id.translation.norm(), 0.0, 1e-12);
+    EXPECT_NEAR(std::fabs(id.rotation.w), 1.0, 1e-12);
+}
+
+TEST(Se3, ExpMapSmallAngle)
+{
+    const Quaternion q = so3Exp({1e-8, 0, 0});
+    EXPECT_NEAR(q.w, 1.0, 1e-12);
+    EXPECT_NEAR(q.x, 5e-9, 1e-12);
+
+    const Quaternion q2 = so3Exp({0, 0, M_PI / 2});
+    EXPECT_NEAR(q2.yaw(), M_PI / 2, 1e-12);
+}
+
+TEST(Se3, BoxPlusMatchesLinearization)
+{
+    Se3 pose;
+    pose.rotation = Quaternion::fromEuler(0.1, 0.0, 0.0);
+    pose.translation = {1, 0, 0};
+    const Vec3 x{2, 3, 4};
+    const Vec3 p = pose.apply(x);
+
+    const Vec3 omega{1e-4, -2e-4, 3e-4};
+    const Vec3 upsilon{5e-4, 0, -1e-4};
+    const Vec3 p_new = se3BoxPlus(pose, omega, upsilon).apply(x);
+    // First-order prediction; the gap is the second-order term.
+    const Vec3 predicted = p + omega.cross(p) + upsilon;
+    EXPECT_NEAR(p_new.x, predicted.x, 5e-6);
+    EXPECT_NEAR(p_new.y, predicted.y, 5e-6);
+    EXPECT_NEAR(p_new.z, predicted.z, 5e-6);
+}
+
+TEST(Camera, ProjectBackProjectRoundTrip)
+{
+    PinholeCamera cam;
+    const Vec3 p{0.5, -0.3, 4.0};
+    const auto px = cam.project(p);
+    ASSERT_TRUE(px.has_value());
+    const Vec3 back = cam.backProject(*px, 4.0);
+    EXPECT_NEAR(back.x, p.x, 1e-12);
+    EXPECT_NEAR(back.y, p.y, 1e-12);
+    EXPECT_NEAR(back.z, p.z, 1e-12);
+}
+
+TEST(Camera, RejectsBehindCamera)
+{
+    PinholeCamera cam;
+    EXPECT_FALSE(cam.project({0, 0, -1}).has_value());
+    EXPECT_FALSE(cam.project({0, 0, 0.01}).has_value());
+}
+
+TEST(Camera, RejectsOutsideImage)
+{
+    PinholeCamera cam;
+    // Steep lateral angle lands outside 320x240.
+    EXPECT_FALSE(cam.project({10.0, 0.0, 1.0}).has_value());
+    EXPECT_TRUE(cam.inImage({5, 5}, 0.0));
+    EXPECT_FALSE(cam.inImage({5, 5}, 10.0));
+}
+
+TEST(Camera, PrincipalPointProjectsToCenter)
+{
+    PinholeCamera cam;
+    const auto px = cam.project({0, 0, 2.0});
+    ASSERT_TRUE(px.has_value());
+    EXPECT_NEAR(px->u, cam.cx, 1e-12);
+    EXPECT_NEAR(px->v, cam.cy, 1e-12);
+}
+
+} // namespace
+} // namespace dronedse

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "slam/pipeline.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(TrajectoryExport, TumFormatShape)
+{
+    std::vector<Se3> poses(3);
+    poses[1].translation = {1.0, 2.0, 3.0};
+    poses[2].rotation = Quaternion::fromEuler(0.0, 0.0, 0.5);
+
+    const std::string tum =
+        SlamPipeline::trajectoryToTum(poses, 20.0);
+    std::stringstream ss(tum);
+    std::string line;
+    int lines = 0;
+    while (std::getline(ss, line)) {
+        std::stringstream ls(line);
+        double v;
+        int fields = 0;
+        while (ls >> v)
+            ++fields;
+        EXPECT_EQ(fields, 8) << line;
+        ++lines;
+    }
+    EXPECT_EQ(lines, 3);
+}
+
+TEST(TrajectoryExport, TimestampsFollowFps)
+{
+    std::vector<Se3> poses(3);
+    const std::string tum =
+        SlamPipeline::trajectoryToTum(poses, 10.0);
+    std::stringstream ss(tum);
+    double t0, t1;
+    std::string rest;
+    ss >> t0;
+    std::getline(ss, rest);
+    ss >> t1;
+    EXPECT_NEAR(t0, 0.0, 1e-9);
+    EXPECT_NEAR(t1, 0.1, 1e-9);
+}
+
+TEST(TrajectoryExport, StoresCameraCenters)
+{
+    // The exported translation is the camera centre in the world
+    // frame (camera-to-world convention).
+    Se3 pose;
+    pose.rotation = Quaternion::fromEuler(0.1, -0.2, 0.7);
+    pose.translation = {3.0, -1.0, 2.0};
+    const Vec3 centre = pose.center();
+
+    const std::string tum = SlamPipeline::trajectoryToTum({pose});
+    std::stringstream ss(tum);
+    double t, x, y, z;
+    ss >> t >> x >> y >> z;
+    EXPECT_NEAR(x, centre.x, 1e-5);
+    EXPECT_NEAR(y, centre.y, 1e-5);
+    EXPECT_NEAR(z, centre.z, 1e-5);
+}
+
+TEST(TrajectoryExportDeath, RejectsBadFps)
+{
+    EXPECT_EXIT(SlamPipeline::trajectoryToTum({}, 0.0),
+                testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace dronedse

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "slam/map.hh"
+#include "slam/pipeline.hh"
+#include "slam/world.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(World, ElevenEuRocSequences)
+{
+    const auto &specs = euRocSequences();
+    EXPECT_EQ(specs.size(), 11u);
+    EXPECT_EQ(specs.front().name, "MH01");
+    EXPECT_EQ(specs.back().name, "V203");
+    EXPECT_EQ(findSequence("V101").difficulty, "easy");
+    EXPECT_EQ(findSequence("MH04").difficulty, "difficult");
+    // Machine-hall rooms are larger than Vicon rooms.
+    EXPECT_GT(findSequence("MH01").roomHalfM,
+              findSequence("V101").roomHalfM);
+}
+
+TEST(World, LookAtPoseGeometry)
+{
+    const Vec3 center{1.0, 2.0, 3.0};
+    const Vec3 target{5.0, 2.0, 3.0};
+    const Se3 pose = lookAtPose(center, target);
+    // Camera centre maps to the origin of the camera frame.
+    EXPECT_NEAR(pose.apply(center).norm(), 0.0, 1e-12);
+    // The target sits on the +z (optical) axis.
+    const Vec3 t = pose.apply(target);
+    EXPECT_NEAR(t.x, 0.0, 1e-12);
+    EXPECT_NEAR(t.y, 0.0, 1e-12);
+    EXPECT_GT(t.z, 0.0);
+}
+
+TEST(World, RenderingIsDeterministic)
+{
+    const auto &spec = findSequence("V101");
+    SyntheticWorld a(spec), b(spec);
+    const SyntheticFrame fa = a.renderFrame(5);
+    const SyntheticFrame fb = b.renderFrame(5);
+    EXPECT_EQ(fa.image.data(), fb.image.data());
+}
+
+TEST(World, ManyLandmarksVisiblePerFrame)
+{
+    SyntheticWorld world(findSequence("MH01"));
+    for (int i = 0; i < 50; i += 10) {
+        const auto visible =
+            world.visibleLandmarks(world.truePose(i));
+        EXPECT_GT(visible.size(), 40u) << "frame " << i;
+    }
+}
+
+TEST(World, TrajectoryIsSmooth)
+{
+    SyntheticWorld world(findSequence("MH01"));
+    for (int i = 1; i < 40; ++i) {
+        const double step = (world.truePose(i).center() -
+                             world.truePose(i - 1).center())
+                                .norm();
+        // ~speed/fps metres per frame.
+        EXPECT_LT(step, 0.2);
+        EXPECT_GT(step, 0.005);
+    }
+}
+
+TEST(Map, AddAndRetrieve)
+{
+    SlamMap map;
+    const int p0 = map.addPoint({1, 2, 3}, Descriptor{});
+    const int p1 = map.addPoint({4, 5, 6}, Descriptor{});
+    EXPECT_EQ(map.pointCount(), 2u);
+    EXPECT_EQ(map.point(p1).position.y, 5.0);
+
+    Keyframe kf;
+    kf.observations.push_back({p0, {10, 20}});
+    const int k0 = map.addKeyframe(std::move(kf));
+    EXPECT_EQ(map.point(p0).observations, 1);
+    map.addObservation(k0, p1, {30, 40});
+    EXPECT_EQ(map.point(p1).observations, 1);
+    EXPECT_EQ(map.keyframe(k0).observations.size(), 2u);
+}
+
+TEST(Map, CullsWeakOldPoints)
+{
+    SlamMap map;
+    const int weak = map.addPoint({0, 0, 5}, Descriptor{});
+    const int strong = map.addPoint({1, 0, 5}, Descriptor{});
+
+    Keyframe kf0;
+    kf0.observations.push_back({weak, {10, 10}});
+    kf0.observations.push_back({strong, {20, 20}});
+    map.addKeyframe(std::move(kf0));
+
+    Keyframe kf1;
+    kf1.observations.push_back({strong, {21, 21}});
+    map.addKeyframe(std::move(kf1));
+
+    // Cull points with < 2 observations not seen since keyframe 1.
+    const std::size_t removed = map.cullPoints(2, 1);
+    EXPECT_EQ(removed, 1u);
+    EXPECT_EQ(map.pointCount(), 1u);
+    EXPECT_EQ(map.points()[0].id, strong);
+    // The dead point's observations are gone from keyframe 0.
+    EXPECT_EQ(map.keyframe(0).observations.size(), 1u);
+}
+
+TEST(Pipeline, BootstrapSeedsMap)
+{
+    const auto &spec = findSequence("MH01");
+    SyntheticWorld world(spec);
+    SlamPipeline pipeline(world.camera());
+    pipeline.bootstrap(world.renderFrame(0), world.renderFrame(15));
+    EXPECT_GT(pipeline.map().pointCount(), 80u);
+    EXPECT_EQ(pipeline.map().keyframeCount(), 2u);
+    EXPECT_EQ(pipeline.trajectory().size(), 2u);
+}
+
+TEST(Pipeline, TracksEasySequencePrefix)
+{
+    const auto &spec = findSequence("MH01");
+    SyntheticWorld world(spec);
+    SlamPipeline pipeline(world.camera());
+
+    std::vector<Se3> truth;
+    const SyntheticFrame f0 = world.renderFrame(0);
+    const SyntheticFrame f1 = world.renderFrame(15);
+    truth.push_back(f0.truePose);
+    truth.push_back(f1.truePose);
+    pipeline.bootstrap(f0, f1);
+
+    int tracked = 0;
+    const int until = 80;
+    for (int i = 16; i < until; ++i) {
+        const SyntheticFrame frame = world.renderFrame(i);
+        truth.push_back(frame.truePose);
+        if (pipeline.processFrame(frame).tracked)
+            ++tracked;
+    }
+    EXPECT_GT(tracked, (until - 16) * 8 / 10);
+    EXPECT_LT(pipeline.ateRmseM(truth), 1.5);
+}
+
+TEST(Pipeline, WorkCountersPopulated)
+{
+    SequenceSpec spec = findSequence("V101");
+    spec.frames = 60; // short run for test speed
+    const SequenceStats stats = SlamPipeline::runSequence(spec);
+    const auto &work = stats.work;
+    EXPECT_GT(work[static_cast<std::size_t>(
+                       SlamPhase::FeatureExtraction)]
+                  .ops,
+              0u);
+    EXPECT_GT(work[static_cast<std::size_t>(SlamPhase::Matching)].ops,
+              0u);
+    EXPECT_GT(work[static_cast<std::size_t>(SlamPhase::Tracking)].ops,
+              0u);
+    EXPECT_GT(work[static_cast<std::size_t>(SlamPhase::LocalBa)].ops,
+              0u);
+    EXPECT_GT(work[static_cast<std::size_t>(SlamPhase::GlobalBa)].ops,
+              0u);
+    EXPECT_GT(stats.keyframes, 2);
+    EXPECT_GT(stats.mapPoints, 100);
+}
+
+TEST(Pipeline, PhaseNames)
+{
+    EXPECT_STREQ(slamPhaseName(SlamPhase::FeatureExtraction),
+                 "feature-extraction");
+    EXPECT_STREQ(slamPhaseName(SlamPhase::GlobalBa), "global-ba");
+}
+
+TEST(PipelineDeath, ProcessBeforeBootstrap)
+{
+    SlamPipeline pipeline(PinholeCamera{});
+    SyntheticWorld world(findSequence("V101"));
+    EXPECT_EXIT(pipeline.processFrame(world.renderFrame(0)),
+                testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace dronedse

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "uarch/branch_predictor.hh"
+#include "uarch/cache.hh"
+#include "uarch/tlb.hh"
+#include "util/rng.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(Cache, HitsAfterFill)
+{
+    Cache cache({1024, 64, 2});
+    EXPECT_FALSE(cache.access(0x1000)); // cold miss
+    EXPECT_TRUE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1008)); // same line
+    EXPECT_EQ(cache.accesses(), 3u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 1 KiB, 64 B lines, 2-way: 8 sets.  Three lines mapping to the
+    // same set exceed the ways; the least recently used is evicted.
+    Cache cache({1024, 64, 2});
+    const std::uint64_t stride = 64 * 8; // same set
+    cache.access(0 * stride);
+    cache.access(1 * stride);
+    cache.access(0 * stride);            // refresh line 0
+    EXPECT_FALSE(cache.access(2 * stride)); // evicts line 1
+    EXPECT_TRUE(cache.access(0 * stride));
+    EXPECT_FALSE(cache.access(1 * stride)); // was evicted
+}
+
+TEST(Cache, WorkingSetLargerThanCapacityThrashes)
+{
+    Cache cache({4096, 64, 4});
+    // Stream 64 KiB repeatedly: everything misses after warmup.
+    for (int pass = 0; pass < 3; ++pass)
+        for (std::uint64_t a = 0; a < 64 * 1024; a += 64)
+            cache.access(a);
+    EXPECT_GT(cache.missRate(), 0.95);
+}
+
+TEST(Cache, WorkingSetWithinCapacityHits)
+{
+    Cache cache({64 * 1024, 64, 4});
+    for (int pass = 0; pass < 4; ++pass)
+        for (std::uint64_t a = 0; a < 16 * 1024; a += 64)
+            cache.access(a);
+    // Only the first pass misses.
+    EXPECT_LT(cache.missRate(), 0.3);
+}
+
+TEST(Cache, FlushInvalidates)
+{
+    Cache cache({1024, 64, 2});
+    cache.access(0x40);
+    cache.flush();
+    EXPECT_FALSE(cache.access(0x40));
+}
+
+TEST(CacheDeath, RejectsBadGeometry)
+{
+    EXPECT_EXIT(Cache({1000, 64, 2}), testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(Cache({1024, 60, 2}), testing::ExitedWithCode(1), "");
+}
+
+TEST(Tlb, CoversSmallFootprint)
+{
+    Tlb tlb({48, 4096});
+    // 32 pages touched repeatedly fit in 48 entries.
+    for (int pass = 0; pass < 4; ++pass)
+        for (std::uint64_t p = 0; p < 32; ++p)
+            tlb.access(p * 4096);
+    EXPECT_EQ(tlb.misses(), 32u); // cold only
+}
+
+TEST(Tlb, ThrashesBeyondReach)
+{
+    Tlb tlb({16, 4096});
+    for (int pass = 0; pass < 3; ++pass)
+        for (std::uint64_t p = 0; p < 64; ++p)
+            tlb.access(p * 4096);
+    EXPECT_GT(tlb.missRate(), 0.9);
+}
+
+TEST(Tlb, FlushForcesRefill)
+{
+    Tlb tlb({48, 4096});
+    tlb.access(0x5000);
+    EXPECT_TRUE(tlb.access(0x5000));
+    tlb.flush();
+    EXPECT_FALSE(tlb.access(0x5000));
+}
+
+TEST(BranchPredictor, LearnsLoopPattern)
+{
+    BranchPredictor bp;
+    // Taken 15 times, not-taken once: a classic loop back edge.
+    long correct = 0, total = 0;
+    for (int iter = 0; iter < 200; ++iter) {
+        const bool taken = iter % 16 != 15;
+        if (bp.predictAndTrain(0x400100, taken))
+            ++correct;
+        ++total;
+    }
+    EXPECT_GT(static_cast<double>(correct) / total, 0.8);
+}
+
+TEST(BranchPredictor, RandomBranchesNearChance)
+{
+    BranchPredictor bp;
+    Rng rng(13);
+    for (int i = 0; i < 20000; ++i)
+        bp.predictAndTrain(0x400000 + (i % 7) * 16, rng.bernoulli(0.5));
+    EXPECT_GT(bp.missRate(), 0.4);
+    EXPECT_LT(bp.missRate(), 0.6);
+}
+
+TEST(BranchPredictor, BiasedBranchesBeatChance)
+{
+    BranchPredictor bp;
+    Rng rng(14);
+    for (int i = 0; i < 20000; ++i)
+        bp.predictAndTrain(0x400200, rng.bernoulli(0.9));
+    EXPECT_LT(bp.missRate(), 0.2);
+}
+
+TEST(BranchPredictorDeath, RejectsBadConfig)
+{
+    EXPECT_EXIT(BranchPredictor({0, 0}), testing::ExitedWithCode(1),
+                "");
+    EXPECT_EXIT(BranchPredictor({8, 12}), testing::ExitedWithCode(1),
+                "");
+}
+
+} // namespace
+} // namespace dronedse

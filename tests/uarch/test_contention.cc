@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The Figure 15 reproduction gates: co-running SLAM with the
+ * autopilot on one core raises the autopilot's TLB misses ~4.5x,
+ * drops its IPC ~1.7x, and raises its LLC and branch miss rates
+ * (paper Section 5.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/core.hh"
+
+namespace dronedse {
+namespace {
+
+constexpr std::uint64_t kInstructions = 1500000;
+
+struct Figure15Data
+{
+    PerfCounters autopilotAlone;
+    PerfCounters slamAlone;
+    PerfCounters autopilotCoRun;
+    PerfCounters slamCoRun;
+};
+
+const Figure15Data &
+figure15()
+{
+    static const Figure15Data data = [] {
+        Figure15Data d;
+        {
+            CorePlatform p;
+            TraceGenerator g(autopilotProfile(), 1);
+            d.autopilotAlone = runAlone(g, kInstructions, p);
+        }
+        {
+            CorePlatform p;
+            TraceGenerator g(slamProfile(), 2);
+            d.slamAlone = runAlone(g, kInstructions, p);
+        }
+        {
+            CorePlatform p;
+            TraceGenerator a(autopilotProfile(), 1);
+            TraceGenerator s(slamProfile(), 2);
+            const CoScheduleResult r =
+                coSchedule(a, s, kInstructions,
+                           kDefaultSliceInstructions, p);
+            d.autopilotCoRun = r.first;
+            d.slamCoRun = r.second;
+        }
+        return d;
+    }();
+    return data;
+}
+
+TEST(Figure15, TlbMissesRiseAboutFourAndAHalfTimes)
+{
+    const auto &d = figure15();
+    const double ratio =
+        static_cast<double>(d.autopilotCoRun.tlbMisses) /
+        static_cast<double>(d.autopilotAlone.tlbMisses);
+    EXPECT_GT(ratio, 3.0);
+    EXPECT_LT(ratio, 7.0);
+}
+
+TEST(Figure15, AutopilotIpcDropsAboutOnePointSeven)
+{
+    const auto &d = figure15();
+    const double ratio =
+        d.autopilotAlone.ipc() / d.autopilotCoRun.ipc();
+    EXPECT_GT(ratio, 1.35);
+    EXPECT_LT(ratio, 2.1);
+}
+
+TEST(Figure15, LlcMissRateRisesWithSlam)
+{
+    const auto &d = figure15();
+    EXPECT_GT(d.autopilotCoRun.llcMissRate(),
+              2.0 * d.autopilotAlone.llcMissRate());
+}
+
+TEST(Figure15, BranchMissRateRisesWithSlam)
+{
+    const auto &d = figure15();
+    EXPECT_GT(d.autopilotCoRun.branchMissRate(),
+              d.autopilotAlone.branchMissRate());
+}
+
+TEST(Figure15, SlamIsTheHeavierWorkload)
+{
+    const auto &d = figure15();
+    EXPECT_GT(d.slamAlone.llcMissRate(),
+              d.autopilotAlone.llcMissRate());
+    EXPECT_GT(d.slamAlone.branchMissRate(),
+              d.autopilotAlone.branchMissRate());
+    EXPECT_GT(d.slamAlone.tlbMissRate(),
+              d.autopilotAlone.tlbMissRate());
+    EXPECT_LT(d.slamAlone.ipc(), d.autopilotAlone.ipc());
+}
+
+TEST(Figure15, InstructionsAccounted)
+{
+    const auto &d = figure15();
+    EXPECT_EQ(d.autopilotAlone.instructions, kInstructions);
+    EXPECT_EQ(d.autopilotCoRun.instructions, kInstructions);
+    EXPECT_EQ(d.slamCoRun.instructions, kInstructions);
+}
+
+TEST(Core, EventTimingBreakdown)
+{
+    CorePlatform platform;
+    PerfCounters counters;
+
+    // ALU op: one cycle.
+    executeEvent({TraceKind::Alu, 0, 0, false}, platform, counters);
+    EXPECT_EQ(counters.cycles, platform.timing.aluCycles);
+
+    // Cold load: TLB miss + L1 miss + LLC miss.
+    const std::uint64_t before = counters.cycles;
+    executeEvent({TraceKind::Load, 0x123450, 0, false}, platform,
+                 counters);
+    EXPECT_EQ(counters.cycles - before,
+              platform.timing.tlbMissCycles +
+                  platform.timing.memoryCycles);
+    EXPECT_EQ(counters.llcMisses, 1u);
+    EXPECT_EQ(counters.tlbMisses, 1u);
+
+    // Warm load to the same line: L1 hit, TLB hit.
+    const std::uint64_t before2 = counters.cycles;
+    executeEvent({TraceKind::Load, 0x123458, 0, false}, platform,
+                 counters);
+    EXPECT_EQ(counters.cycles - before2,
+              platform.timing.l1HitCycles);
+}
+
+TEST(Core, CountersAccumulate)
+{
+    PerfCounters a, b;
+    a.instructions = 10;
+    a.cycles = 30;
+    a.tlbMisses = 2;
+    b.instructions = 5;
+    b.cycles = 10;
+    b.tlbMisses = 1;
+    a += b;
+    EXPECT_EQ(a.instructions, 15u);
+    EXPECT_EQ(a.cycles, 40u);
+    EXPECT_EQ(a.tlbMisses, 3u);
+}
+
+TEST(Core, DeterministicPerSeed)
+{
+    CorePlatform p1, p2;
+    TraceGenerator g1(autopilotProfile(), 99);
+    TraceGenerator g2(autopilotProfile(), 99);
+    const PerfCounters c1 = runAlone(g1, 100000, p1);
+    const PerfCounters c2 = runAlone(g2, 100000, p2);
+    EXPECT_EQ(c1.cycles, c2.cycles);
+    EXPECT_EQ(c1.tlbMisses, c2.tlbMisses);
+}
+
+TEST(CoreDeath, RejectsZeroSlice)
+{
+    CorePlatform p;
+    TraceGenerator a(autopilotProfile(), 1);
+    TraceGenerator s(slamProfile(), 2);
+    EXPECT_EXIT(coSchedule(a, s, 100, 0, p),
+                testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace dronedse

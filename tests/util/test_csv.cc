@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(Csv, HeaderAndRows)
+{
+    CsvWriter csv({"a", "b"});
+    csv.addRow({std::vector<std::string>{"1", "2"}});
+    csv.addRow(std::vector<double>{3.5, 4.25});
+    EXPECT_EQ(csv.rowCount(), 2u);
+    EXPECT_EQ(csv.str(), "a,b\n1,2\n3.5,4.25\n");
+}
+
+TEST(Csv, EscapingPerRfc4180)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("with,comma"), "\"with,comma\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+
+    CsvWriter csv({"x"});
+    csv.addRow({std::vector<std::string>{"a,b"}});
+    EXPECT_EQ(csv.str(), "x\n\"a,b\"\n");
+}
+
+TEST(Csv, WriteRoundTrip)
+{
+    const std::string path = "/tmp/dronedse_csv_test.csv";
+    CsvWriter csv({"k", "v"});
+    csv.addRow({std::vector<std::string>{"answer", "42"}});
+    csv.write(path);
+
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), "k,v\nanswer,42\n");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, DoubleFormatting)
+{
+    CsvWriter csv({"v"});
+    csv.addRow(std::vector<double>{0.1234567890123});
+    // %.10g keeps ten significant digits.
+    EXPECT_EQ(csv.str(), "v\n0.123456789\n");
+}
+
+TEST(CsvDeath, MismatchedRowPanics)
+{
+    CsvWriter csv({"a", "b"});
+    EXPECT_DEATH(csv.addRow({std::vector<std::string>{"only"}}), "");
+}
+
+TEST(CsvDeath, EmptyHeaderIsFatal)
+{
+    EXPECT_EXIT(CsvWriter({}), testing::ExitedWithCode(1), "");
+}
+
+TEST(CsvDeath, UnwritablePathIsFatal)
+{
+    CsvWriter csv({"a"});
+    EXPECT_EXIT(csv.write("/nonexistent-dir/out.csv"),
+                testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace dronedse

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/matrix.hh"
+#include "util/rng.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(Matrix, IdentityMultiplication)
+{
+    Matrix a(3, 3);
+    a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+    a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+    a(2, 0) = 7; a(2, 1) = 8; a(2, 2) = 10;
+
+    const Matrix i = Matrix::identity(3);
+    const Matrix prod = a * i;
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(prod(r, c), a(r, c));
+}
+
+TEST(Matrix, TransposeInvolution)
+{
+    Matrix a(2, 3);
+    a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+    a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+    const Matrix t = a.transpose();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+    const Matrix tt = t.transpose();
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(tt(r, c), a(r, c));
+}
+
+TEST(Matrix, SolveSimpleSystem)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 2; a(0, 1) = 1;
+    a(1, 0) = 1; a(1, 1) = 3;
+    std::vector<double> x;
+    ASSERT_TRUE(a.solve({5.0, 10.0}, x));
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Matrix, SolveDetectsSingular)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1; a(0, 1) = 2;
+    a(1, 0) = 2; a(1, 1) = 4;
+    std::vector<double> x;
+    EXPECT_FALSE(a.solve({1.0, 2.0}, x));
+}
+
+TEST(Matrix, SolveNeedsPivoting)
+{
+    // Zero on the initial pivot position forces a row swap.
+    Matrix a(2, 2);
+    a(0, 0) = 0; a(0, 1) = 1;
+    a(1, 0) = 1; a(1, 1) = 0;
+    std::vector<double> x;
+    ASSERT_TRUE(a.solve({2.0, 3.0}, x));
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Matrix, CholeskySolvesSpdSystem)
+{
+    // A = B^T B + eps*I is SPD for any B.
+    Rng rng(7);
+    const std::size_t n = 8;
+    Matrix b(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            b(r, c) = rng.gaussian();
+    Matrix a = b.transpose() * b;
+    a.addToDiagonal(0.5);
+
+    std::vector<double> truth(n);
+    for (std::size_t i = 0; i < n; ++i)
+        truth[i] = rng.uniform(-2.0, 2.0);
+
+    // rhs = A * truth.
+    std::vector<double> rhs(n, 0.0);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            rhs[r] += a(r, c) * truth[c];
+
+    std::vector<double> x;
+    ASSERT_TRUE(a.solveCholesky(rhs, x));
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i], truth[i], 1e-9);
+}
+
+TEST(Matrix, CholeskyRejectsIndefinite)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1; a(0, 1) = 0;
+    a(1, 0) = 0; a(1, 1) = -1;
+    std::vector<double> x;
+    EXPECT_FALSE(a.solveCholesky({1.0, 1.0}, x));
+}
+
+TEST(Matrix, AddToDiagonal)
+{
+    Matrix a(3, 3);
+    a.addToDiagonal(2.5);
+    EXPECT_DOUBLE_EQ(a(0, 0), 2.5);
+    EXPECT_DOUBLE_EQ(a(1, 1), 2.5);
+    EXPECT_DOUBLE_EQ(a(2, 2), 2.5);
+    EXPECT_DOUBLE_EQ(a(0, 1), 0.0);
+}
+
+TEST(Matrix, GaussianAndCholeskyAgree)
+{
+    Rng rng(11);
+    const std::size_t n = 12;
+    Matrix b(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            b(r, c) = rng.gaussian();
+    Matrix a = b.transpose() * b;
+    a.addToDiagonal(1.0);
+
+    std::vector<double> rhs(n);
+    for (auto &v : rhs)
+        v = rng.uniform(-1.0, 1.0);
+
+    std::vector<double> x1, x2;
+    ASSERT_TRUE(a.solve(rhs, x1));
+    ASSERT_TRUE(a.solveCholesky(rhs, x2));
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x1[i], x2[i], 1e-9);
+}
+
+} // namespace
+} // namespace dronedse

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/quaternion.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(Quaternion, IdentityRotatesNothing)
+{
+    const Quaternion q;
+    const Vec3 v{1, 2, 3};
+    const Vec3 r = q.rotate(v);
+    EXPECT_NEAR(r.x, 1.0, 1e-12);
+    EXPECT_NEAR(r.y, 2.0, 1e-12);
+    EXPECT_NEAR(r.z, 3.0, 1e-12);
+}
+
+TEST(Quaternion, AxisAngleQuarterTurn)
+{
+    const auto q = Quaternion::fromAxisAngle({0, 0, 1}, M_PI / 2);
+    const Vec3 r = q.rotate({1, 0, 0});
+    EXPECT_NEAR(r.x, 0.0, 1e-12);
+    EXPECT_NEAR(r.y, 1.0, 1e-12);
+    EXPECT_NEAR(r.z, 0.0, 1e-12);
+}
+
+TEST(Quaternion, EulerRoundTrip)
+{
+    const double roll = 0.3, pitch = -0.2, yaw = 1.1;
+    const auto q = Quaternion::fromEuler(roll, pitch, yaw);
+    EXPECT_NEAR(q.roll(), roll, 1e-10);
+    EXPECT_NEAR(q.pitch(), pitch, 1e-10);
+    EXPECT_NEAR(q.yaw(), yaw, 1e-10);
+}
+
+TEST(Quaternion, RotationMatrixMatchesRotate)
+{
+    const auto q = Quaternion::fromEuler(0.5, 0.1, -0.7);
+    const Vec3 v{0.3, -1.2, 2.0};
+    const Vec3 via_q = q.rotate(v);
+    const Vec3 via_m = q.toRotationMatrix() * v;
+    EXPECT_NEAR(via_q.x, via_m.x, 1e-12);
+    EXPECT_NEAR(via_q.y, via_m.y, 1e-12);
+    EXPECT_NEAR(via_q.z, via_m.z, 1e-12);
+}
+
+TEST(Quaternion, RotationMatrixIsOrthonormal)
+{
+    const auto q = Quaternion::fromEuler(0.9, -0.4, 0.2);
+    const Mat3 r = q.toRotationMatrix();
+    const Mat3 should_be_identity = r * r.transpose();
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            EXPECT_NEAR(should_be_identity(i, j), i == j ? 1.0 : 0.0,
+                        1e-12);
+    EXPECT_NEAR(r.determinant(), 1.0, 1e-12);
+}
+
+TEST(Quaternion, ComposedRotation)
+{
+    const auto qa = Quaternion::fromAxisAngle({0, 0, 1}, M_PI / 4);
+    const auto qb = Quaternion::fromAxisAngle({0, 0, 1}, M_PI / 4);
+    const auto q = qa * qb;
+    const Vec3 r = q.rotate({1, 0, 0});
+    EXPECT_NEAR(r.x, 0.0, 1e-12);
+    EXPECT_NEAR(r.y, 1.0, 1e-12);
+}
+
+TEST(Quaternion, IntegrationApproximatesRotation)
+{
+    // Integrate a constant yaw rate for one second in small steps;
+    // should be close to the closed-form rotation.
+    Quaternion q;
+    const Vec3 omega{0, 0, 1.0};
+    const double dt = 1e-3;
+    for (int i = 0; i < 1000; ++i)
+        q = q.integrated(omega, dt);
+    EXPECT_NEAR(q.yaw(), 1.0, 1e-3);
+    EXPECT_NEAR(q.norm(), 1.0, 1e-12);
+}
+
+TEST(Quaternion, ConjugateInvertsRotation)
+{
+    const auto q = Quaternion::fromEuler(0.2, 0.3, 0.4);
+    const Vec3 v{1, 2, 3};
+    const Vec3 back = q.conjugate().rotate(q.rotate(v));
+    EXPECT_NEAR(back.x, v.x, 1e-12);
+    EXPECT_NEAR(back.y, v.y, 1e-12);
+    EXPECT_NEAR(back.z, v.z, 1e-12);
+}
+
+} // namespace
+} // namespace dronedse

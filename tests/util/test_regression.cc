@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/regression.hh"
+#include "util/rng.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(Regression, ExactLine)
+{
+    const std::vector<double> xs = {0, 1, 2, 3, 4};
+    std::vector<double> ys;
+    for (double x : xs)
+        ys.push_back(2.5 * x + 1.0);
+    const LinearFit fit = fitLinear(xs, ys);
+    EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(fit.rSquared, 1.0, 1e-12);
+    EXPECT_EQ(fit.samples, 5u);
+    EXPECT_NEAR(fit.at(10.0), 26.0, 1e-12);
+}
+
+TEST(Regression, NoisyLineRecoversCoefficients)
+{
+    Rng rng(17);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 2000; ++i) {
+        const double x = rng.uniform(0.0, 100.0);
+        xs.push_back(x);
+        ys.push_back(0.7 * x - 3.0 + rng.gaussian(0.0, 1.0));
+    }
+    const LinearFit fit = fitLinear(xs, ys);
+    EXPECT_NEAR(fit.slope, 0.7, 0.01);
+    EXPECT_NEAR(fit.intercept, -3.0, 0.5);
+    EXPECT_GT(fit.rSquared, 0.99);
+}
+
+TEST(Regression, MeanStddev)
+{
+    const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(v), 5.0);
+    // Sample stddev of this classic set is sqrt(32/7).
+    EXPECT_NEAR(stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_EQ(mean({}), 0.0);
+    EXPECT_EQ(stddev({1.0}), 0.0);
+}
+
+TEST(Regression, Geomean)
+{
+    EXPECT_NEAR(geomean({1.0, 100.0}), 10.0, 1e-9);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-9);
+    EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(Regression, MinMax)
+{
+    const std::vector<double> v = {3.0, -1.0, 7.0};
+    EXPECT_EQ(minValue(v), -1.0);
+    EXPECT_EQ(maxValue(v), 7.0);
+    EXPECT_EQ(minValue({}), 0.0);
+}
+
+TEST(RegressionDeath, GeomeanRejectsNonPositive)
+{
+    EXPECT_EXIT(geomean({1.0, 0.0}), testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace dronedse

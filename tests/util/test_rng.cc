@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/regression.hh"
+#include "util/rng.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniform(5.0, 7.0);
+        EXPECT_GE(v, 5.0);
+        EXPECT_LT(v, 7.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(4);
+    std::vector<int> seen(6, 0);
+    for (int i = 0; i < 6000; ++i) {
+        const auto v = rng.uniformInt(0, 5);
+        ASSERT_GE(v, 0);
+        ASSERT_LE(v, 5);
+        ++seen[static_cast<std::size_t>(v)];
+    }
+    for (int count : seen)
+        EXPECT_GT(count, 800); // ~1000 expected per bucket
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(5);
+    std::vector<double> samples;
+    samples.reserve(50000);
+    for (int i = 0; i < 50000; ++i)
+        samples.push_back(rng.gaussian(10.0, 2.0));
+    EXPECT_NEAR(mean(samples), 10.0, 0.05);
+    EXPECT_NEAR(stddev(samples), 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(6);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        if (rng.bernoulli(0.3))
+            ++hits;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+} // namespace
+} // namespace dronedse

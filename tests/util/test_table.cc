@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "util/table.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "22"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("long-name"), std::string::npos);
+    // Every line has the same length (aligned columns).
+    std::size_t pos = 0, prev_len = 0;
+    int lines = 0;
+    while (pos < s.size()) {
+        const std::size_t nl = s.find('\n', pos);
+        const std::size_t len = nl - pos;
+        if (lines > 0) {
+            EXPECT_EQ(len, prev_len);
+        }
+        prev_len = len;
+        pos = nl + 1;
+        ++lines;
+    }
+    EXPECT_EQ(lines, 4); // header + rule + 2 rows
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, Formatting)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+    EXPECT_EQ(fmtPercent(0.123, 1), "12.3%");
+    EXPECT_EQ(fmtPercent(1.0, 0), "100%");
+}
+
+TEST(TableDeath, RejectsWrongCellCount)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "");
+}
+
+} // namespace
+} // namespace dronedse

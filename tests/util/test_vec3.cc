@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "util/vec3.hh"
+
+namespace dronedse {
+namespace {
+
+TEST(Vec3, DefaultIsZero)
+{
+    Vec3 v;
+    EXPECT_EQ(v.x, 0.0);
+    EXPECT_EQ(v.y, 0.0);
+    EXPECT_EQ(v.z, 0.0);
+    EXPECT_EQ(v.norm(), 0.0);
+}
+
+TEST(Vec3, Arithmetic)
+{
+    const Vec3 a{1, 2, 3}, b{4, 5, 6};
+    const Vec3 sum = a + b;
+    EXPECT_EQ(sum.x, 5.0);
+    EXPECT_EQ(sum.y, 7.0);
+    EXPECT_EQ(sum.z, 9.0);
+
+    const Vec3 diff = b - a;
+    EXPECT_EQ(diff.x, 3.0);
+    EXPECT_EQ(diff.y, 3.0);
+    EXPECT_EQ(diff.z, 3.0);
+
+    const Vec3 scaled = a * 2.0;
+    EXPECT_EQ(scaled.z, 6.0);
+    const Vec3 scaled2 = 2.0 * a;
+    EXPECT_EQ(scaled2.z, 6.0);
+    EXPECT_EQ((a / 2.0).x, 0.5);
+}
+
+TEST(Vec3, CompoundAssignment)
+{
+    Vec3 v{1, 1, 1};
+    v += Vec3{1, 2, 3};
+    EXPECT_EQ(v.y, 3.0);
+    v -= Vec3{0, 1, 0};
+    EXPECT_EQ(v.y, 2.0);
+    v *= 3.0;
+    EXPECT_EQ(v.x, 6.0);
+}
+
+TEST(Vec3, DotAndCross)
+{
+    const Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+    EXPECT_EQ(x.dot(y), 0.0);
+    EXPECT_EQ(x.dot(x), 1.0);
+
+    const Vec3 c = x.cross(y);
+    EXPECT_EQ(c.x, z.x);
+    EXPECT_EQ(c.y, z.y);
+    EXPECT_EQ(c.z, z.z);
+
+    // Anti-commutativity.
+    const Vec3 c2 = y.cross(x);
+    EXPECT_EQ(c2.z, -1.0);
+}
+
+TEST(Vec3, NormAndNormalize)
+{
+    const Vec3 v{3, 4, 0};
+    EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+    EXPECT_DOUBLE_EQ(v.squaredNorm(), 25.0);
+
+    const Vec3 n = v.normalized();
+    EXPECT_DOUBLE_EQ(n.norm(), 1.0);
+    EXPECT_DOUBLE_EQ(n.x, 0.6);
+
+    // Zero vector stays zero instead of producing NaN.
+    const Vec3 zn = Vec3{}.normalized();
+    EXPECT_EQ(zn.norm(), 0.0);
+}
+
+TEST(Vec3, CrossIsOrthogonal)
+{
+    const Vec3 a{1.5, -2.0, 0.7}, b{-0.3, 4.0, 2.2};
+    const Vec3 c = a.cross(b);
+    EXPECT_NEAR(c.dot(a), 0.0, 1e-12);
+    EXPECT_NEAR(c.dot(b), 0.0, 1e-12);
+}
+
+} // namespace
+} // namespace dronedse
