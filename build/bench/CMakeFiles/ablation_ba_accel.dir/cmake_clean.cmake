@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ba_accel.dir/ablation_ba_accel.cc.o"
+  "CMakeFiles/ablation_ba_accel.dir/ablation_ba_accel.cc.o.d"
+  "ablation_ba_accel"
+  "ablation_ba_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ba_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

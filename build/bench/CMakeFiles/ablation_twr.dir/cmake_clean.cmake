@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_twr.dir/ablation_twr.cc.o"
+  "CMakeFiles/ablation_twr.dir/ablation_twr.cc.o.d"
+  "ablation_twr"
+  "ablation_twr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_twr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_battery_weight.dir/fig07_battery_weight.cc.o"
+  "CMakeFiles/fig07_battery_weight.dir/fig07_battery_weight.cc.o.d"
+  "fig07_battery_weight"
+  "fig07_battery_weight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_battery_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_esc_frame.dir/fig08_esc_frame.cc.o"
+  "CMakeFiles/fig08_esc_frame.dir/fig08_esc_frame.cc.o.d"
+  "fig08_esc_frame"
+  "fig08_esc_frame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_esc_frame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

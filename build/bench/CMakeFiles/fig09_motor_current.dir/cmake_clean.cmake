@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_motor_current.dir/fig09_motor_current.cc.o"
+  "CMakeFiles/fig09_motor_current.dir/fig09_motor_current.cc.o.d"
+  "fig09_motor_current"
+  "fig09_motor_current.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_motor_current.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_power_footprint.dir/fig10_power_footprint.cc.o"
+  "CMakeFiles/fig10_power_footprint.dir/fig10_power_footprint.cc.o.d"
+  "fig10_power_footprint"
+  "fig10_power_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_power_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_small_drones.dir/fig11_small_drones.cc.o"
+  "CMakeFiles/fig11_small_drones.dir/fig11_small_drones.cc.o.d"
+  "fig11_small_drones"
+  "fig11_small_drones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_small_drones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

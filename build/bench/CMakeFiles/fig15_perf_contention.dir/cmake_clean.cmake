@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_perf_contention.dir/fig15_perf_contention.cc.o"
+  "CMakeFiles/fig15_perf_contention.dir/fig15_perf_contention.cc.o.d"
+  "fig15_perf_contention"
+  "fig15_perf_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_perf_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_control_rates.dir/table2_control_rates.cc.o"
+  "CMakeFiles/table2_control_rates.dir/table2_control_rates.cc.o.d"
+  "table2_control_rates"
+  "table2_control_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_control_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_boards.dir/table4_boards.cc.o"
+  "CMakeFiles/table4_boards.dir/table4_boards.cc.o.d"
+  "table4_boards"
+  "table4_boards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_boards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

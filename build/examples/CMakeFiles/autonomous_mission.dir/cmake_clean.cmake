@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonomous_mission.dir/autonomous_mission.cc.o"
+  "CMakeFiles/autonomous_mission.dir/autonomous_mission.cc.o.d"
+  "autonomous_mission"
+  "autonomous_mission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonomous_mission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

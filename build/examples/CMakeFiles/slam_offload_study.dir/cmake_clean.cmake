@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slam_offload_study.dir/slam_offload_study.cc.o"
+  "CMakeFiles/slam_offload_study.dir/slam_offload_study.cc.o.d"
+  "slam_offload_study"
+  "slam_offload_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slam_offload_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/components/battery.cc" "src/components/CMakeFiles/dronedse_components.dir/battery.cc.o" "gcc" "src/components/CMakeFiles/dronedse_components.dir/battery.cc.o.d"
+  "/root/repo/src/components/commercial.cc" "src/components/CMakeFiles/dronedse_components.dir/commercial.cc.o" "gcc" "src/components/CMakeFiles/dronedse_components.dir/commercial.cc.o.d"
+  "/root/repo/src/components/compute_board.cc" "src/components/CMakeFiles/dronedse_components.dir/compute_board.cc.o" "gcc" "src/components/CMakeFiles/dronedse_components.dir/compute_board.cc.o.d"
+  "/root/repo/src/components/esc.cc" "src/components/CMakeFiles/dronedse_components.dir/esc.cc.o" "gcc" "src/components/CMakeFiles/dronedse_components.dir/esc.cc.o.d"
+  "/root/repo/src/components/frame.cc" "src/components/CMakeFiles/dronedse_components.dir/frame.cc.o" "gcc" "src/components/CMakeFiles/dronedse_components.dir/frame.cc.o.d"
+  "/root/repo/src/components/motor.cc" "src/components/CMakeFiles/dronedse_components.dir/motor.cc.o" "gcc" "src/components/CMakeFiles/dronedse_components.dir/motor.cc.o.d"
+  "/root/repo/src/components/propeller.cc" "src/components/CMakeFiles/dronedse_components.dir/propeller.cc.o" "gcc" "src/components/CMakeFiles/dronedse_components.dir/propeller.cc.o.d"
+  "/root/repo/src/components/sensor.cc" "src/components/CMakeFiles/dronedse_components.dir/sensor.cc.o" "gcc" "src/components/CMakeFiles/dronedse_components.dir/sensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dronedse_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/dronedse_physics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

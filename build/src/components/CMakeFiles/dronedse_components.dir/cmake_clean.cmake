@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dronedse_components.dir/battery.cc.o"
+  "CMakeFiles/dronedse_components.dir/battery.cc.o.d"
+  "CMakeFiles/dronedse_components.dir/commercial.cc.o"
+  "CMakeFiles/dronedse_components.dir/commercial.cc.o.d"
+  "CMakeFiles/dronedse_components.dir/compute_board.cc.o"
+  "CMakeFiles/dronedse_components.dir/compute_board.cc.o.d"
+  "CMakeFiles/dronedse_components.dir/esc.cc.o"
+  "CMakeFiles/dronedse_components.dir/esc.cc.o.d"
+  "CMakeFiles/dronedse_components.dir/frame.cc.o"
+  "CMakeFiles/dronedse_components.dir/frame.cc.o.d"
+  "CMakeFiles/dronedse_components.dir/motor.cc.o"
+  "CMakeFiles/dronedse_components.dir/motor.cc.o.d"
+  "CMakeFiles/dronedse_components.dir/propeller.cc.o"
+  "CMakeFiles/dronedse_components.dir/propeller.cc.o.d"
+  "CMakeFiles/dronedse_components.dir/sensor.cc.o"
+  "CMakeFiles/dronedse_components.dir/sensor.cc.o.d"
+  "libdronedse_components.a"
+  "libdronedse_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dronedse_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

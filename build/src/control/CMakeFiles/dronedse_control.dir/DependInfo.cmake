@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/autopilot.cc" "src/control/CMakeFiles/dronedse_control.dir/autopilot.cc.o" "gcc" "src/control/CMakeFiles/dronedse_control.dir/autopilot.cc.o.d"
+  "/root/repo/src/control/cascade.cc" "src/control/CMakeFiles/dronedse_control.dir/cascade.cc.o" "gcc" "src/control/CMakeFiles/dronedse_control.dir/cascade.cc.o.d"
+  "/root/repo/src/control/ekf.cc" "src/control/CMakeFiles/dronedse_control.dir/ekf.cc.o" "gcc" "src/control/CMakeFiles/dronedse_control.dir/ekf.cc.o.d"
+  "/root/repo/src/control/mixer.cc" "src/control/CMakeFiles/dronedse_control.dir/mixer.cc.o" "gcc" "src/control/CMakeFiles/dronedse_control.dir/mixer.cc.o.d"
+  "/root/repo/src/control/outer_loop.cc" "src/control/CMakeFiles/dronedse_control.dir/outer_loop.cc.o" "gcc" "src/control/CMakeFiles/dronedse_control.dir/outer_loop.cc.o.d"
+  "/root/repo/src/control/pid.cc" "src/control/CMakeFiles/dronedse_control.dir/pid.cc.o" "gcc" "src/control/CMakeFiles/dronedse_control.dir/pid.cc.o.d"
+  "/root/repo/src/control/scheduler.cc" "src/control/CMakeFiles/dronedse_control.dir/scheduler.cc.o" "gcc" "src/control/CMakeFiles/dronedse_control.dir/scheduler.cc.o.d"
+  "/root/repo/src/control/sensors.cc" "src/control/CMakeFiles/dronedse_control.dir/sensors.cc.o" "gcc" "src/control/CMakeFiles/dronedse_control.dir/sensors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dronedse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/dronedse_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dronedse_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/dronedse_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/CMakeFiles/dronedse_components.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dronedse_control.dir/autopilot.cc.o"
+  "CMakeFiles/dronedse_control.dir/autopilot.cc.o.d"
+  "CMakeFiles/dronedse_control.dir/cascade.cc.o"
+  "CMakeFiles/dronedse_control.dir/cascade.cc.o.d"
+  "CMakeFiles/dronedse_control.dir/ekf.cc.o"
+  "CMakeFiles/dronedse_control.dir/ekf.cc.o.d"
+  "CMakeFiles/dronedse_control.dir/mixer.cc.o"
+  "CMakeFiles/dronedse_control.dir/mixer.cc.o.d"
+  "CMakeFiles/dronedse_control.dir/outer_loop.cc.o"
+  "CMakeFiles/dronedse_control.dir/outer_loop.cc.o.d"
+  "CMakeFiles/dronedse_control.dir/pid.cc.o"
+  "CMakeFiles/dronedse_control.dir/pid.cc.o.d"
+  "CMakeFiles/dronedse_control.dir/scheduler.cc.o"
+  "CMakeFiles/dronedse_control.dir/scheduler.cc.o.d"
+  "CMakeFiles/dronedse_control.dir/sensors.cc.o"
+  "CMakeFiles/dronedse_control.dir/sensors.cc.o.d"
+  "libdronedse_control.a"
+  "libdronedse_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dronedse_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dronedse_core.dir/designer.cc.o"
+  "CMakeFiles/dronedse_core.dir/designer.cc.o.d"
+  "CMakeFiles/dronedse_core.dir/presets.cc.o"
+  "CMakeFiles/dronedse_core.dir/presets.cc.o.d"
+  "libdronedse_core.a"
+  "libdronedse_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dronedse_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dse/export.cc" "src/dse/CMakeFiles/dronedse_dse.dir/export.cc.o" "gcc" "src/dse/CMakeFiles/dronedse_dse.dir/export.cc.o.d"
+  "/root/repo/src/dse/footprint.cc" "src/dse/CMakeFiles/dronedse_dse.dir/footprint.cc.o" "gcc" "src/dse/CMakeFiles/dronedse_dse.dir/footprint.cc.o.d"
+  "/root/repo/src/dse/sweep.cc" "src/dse/CMakeFiles/dronedse_dse.dir/sweep.cc.o" "gcc" "src/dse/CMakeFiles/dronedse_dse.dir/sweep.cc.o.d"
+  "/root/repo/src/dse/weight_closure.cc" "src/dse/CMakeFiles/dronedse_dse.dir/weight_closure.cc.o" "gcc" "src/dse/CMakeFiles/dronedse_dse.dir/weight_closure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/components/CMakeFiles/dronedse_components.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/dronedse_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dronedse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

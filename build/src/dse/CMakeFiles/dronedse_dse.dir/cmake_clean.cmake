@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dronedse_dse.dir/export.cc.o"
+  "CMakeFiles/dronedse_dse.dir/export.cc.o.d"
+  "CMakeFiles/dronedse_dse.dir/footprint.cc.o"
+  "CMakeFiles/dronedse_dse.dir/footprint.cc.o.d"
+  "CMakeFiles/dronedse_dse.dir/sweep.cc.o"
+  "CMakeFiles/dronedse_dse.dir/sweep.cc.o.d"
+  "CMakeFiles/dronedse_dse.dir/weight_closure.cc.o"
+  "CMakeFiles/dronedse_dse.dir/weight_closure.cc.o.d"
+  "libdronedse_dse.a"
+  "libdronedse_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dronedse_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

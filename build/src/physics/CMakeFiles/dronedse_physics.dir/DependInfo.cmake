@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/physics/lipo.cc" "src/physics/CMakeFiles/dronedse_physics.dir/lipo.cc.o" "gcc" "src/physics/CMakeFiles/dronedse_physics.dir/lipo.cc.o.d"
+  "/root/repo/src/physics/propeller_aero.cc" "src/physics/CMakeFiles/dronedse_physics.dir/propeller_aero.cc.o" "gcc" "src/physics/CMakeFiles/dronedse_physics.dir/propeller_aero.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dronedse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dronedse_physics.dir/lipo.cc.o"
+  "CMakeFiles/dronedse_physics.dir/lipo.cc.o.d"
+  "CMakeFiles/dronedse_physics.dir/propeller_aero.cc.o"
+  "CMakeFiles/dronedse_physics.dir/propeller_aero.cc.o.d"
+  "libdronedse_physics.a"
+  "libdronedse_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dronedse_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

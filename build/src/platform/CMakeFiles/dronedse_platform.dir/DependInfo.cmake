@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/exec_model.cc" "src/platform/CMakeFiles/dronedse_platform.dir/exec_model.cc.o" "gcc" "src/platform/CMakeFiles/dronedse_platform.dir/exec_model.cc.o.d"
+  "/root/repo/src/platform/offload.cc" "src/platform/CMakeFiles/dronedse_platform.dir/offload.cc.o" "gcc" "src/platform/CMakeFiles/dronedse_platform.dir/offload.cc.o.d"
+  "/root/repo/src/platform/platform.cc" "src/platform/CMakeFiles/dronedse_platform.dir/platform.cc.o" "gcc" "src/platform/CMakeFiles/dronedse_platform.dir/platform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/slam/CMakeFiles/dronedse_slam.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/dronedse_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dronedse_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/CMakeFiles/dronedse_components.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/dronedse_physics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

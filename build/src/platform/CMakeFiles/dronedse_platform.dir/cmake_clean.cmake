@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dronedse_platform.dir/exec_model.cc.o"
+  "CMakeFiles/dronedse_platform.dir/exec_model.cc.o.d"
+  "CMakeFiles/dronedse_platform.dir/offload.cc.o"
+  "CMakeFiles/dronedse_platform.dir/offload.cc.o.d"
+  "CMakeFiles/dronedse_platform.dir/platform.cc.o"
+  "CMakeFiles/dronedse_platform.dir/platform.cc.o.d"
+  "libdronedse_platform.a"
+  "libdronedse_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dronedse_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dronedse_power.dir/board_power.cc.o"
+  "CMakeFiles/dronedse_power.dir/board_power.cc.o.d"
+  "CMakeFiles/dronedse_power.dir/drone_power.cc.o"
+  "CMakeFiles/dronedse_power.dir/drone_power.cc.o.d"
+  "libdronedse_power.a"
+  "libdronedse_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dronedse_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/environment.cc" "src/sim/CMakeFiles/dronedse_sim.dir/environment.cc.o" "gcc" "src/sim/CMakeFiles/dronedse_sim.dir/environment.cc.o.d"
+  "/root/repo/src/sim/quadrotor.cc" "src/sim/CMakeFiles/dronedse_sim.dir/quadrotor.cc.o" "gcc" "src/sim/CMakeFiles/dronedse_sim.dir/quadrotor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dse/CMakeFiles/dronedse_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/dronedse_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dronedse_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/CMakeFiles/dronedse_components.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dronedse_sim.dir/environment.cc.o"
+  "CMakeFiles/dronedse_sim.dir/environment.cc.o.d"
+  "CMakeFiles/dronedse_sim.dir/quadrotor.cc.o"
+  "CMakeFiles/dronedse_sim.dir/quadrotor.cc.o.d"
+  "libdronedse_sim.a"
+  "libdronedse_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dronedse_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slam/ba.cc" "src/slam/CMakeFiles/dronedse_slam.dir/ba.cc.o" "gcc" "src/slam/CMakeFiles/dronedse_slam.dir/ba.cc.o.d"
+  "/root/repo/src/slam/brief.cc" "src/slam/CMakeFiles/dronedse_slam.dir/brief.cc.o" "gcc" "src/slam/CMakeFiles/dronedse_slam.dir/brief.cc.o.d"
+  "/root/repo/src/slam/camera.cc" "src/slam/CMakeFiles/dronedse_slam.dir/camera.cc.o" "gcc" "src/slam/CMakeFiles/dronedse_slam.dir/camera.cc.o.d"
+  "/root/repo/src/slam/fast.cc" "src/slam/CMakeFiles/dronedse_slam.dir/fast.cc.o" "gcc" "src/slam/CMakeFiles/dronedse_slam.dir/fast.cc.o.d"
+  "/root/repo/src/slam/image.cc" "src/slam/CMakeFiles/dronedse_slam.dir/image.cc.o" "gcc" "src/slam/CMakeFiles/dronedse_slam.dir/image.cc.o.d"
+  "/root/repo/src/slam/map.cc" "src/slam/CMakeFiles/dronedse_slam.dir/map.cc.o" "gcc" "src/slam/CMakeFiles/dronedse_slam.dir/map.cc.o.d"
+  "/root/repo/src/slam/matcher.cc" "src/slam/CMakeFiles/dronedse_slam.dir/matcher.cc.o" "gcc" "src/slam/CMakeFiles/dronedse_slam.dir/matcher.cc.o.d"
+  "/root/repo/src/slam/pipeline.cc" "src/slam/CMakeFiles/dronedse_slam.dir/pipeline.cc.o" "gcc" "src/slam/CMakeFiles/dronedse_slam.dir/pipeline.cc.o.d"
+  "/root/repo/src/slam/pnp.cc" "src/slam/CMakeFiles/dronedse_slam.dir/pnp.cc.o" "gcc" "src/slam/CMakeFiles/dronedse_slam.dir/pnp.cc.o.d"
+  "/root/repo/src/slam/se3.cc" "src/slam/CMakeFiles/dronedse_slam.dir/se3.cc.o" "gcc" "src/slam/CMakeFiles/dronedse_slam.dir/se3.cc.o.d"
+  "/root/repo/src/slam/triangulation.cc" "src/slam/CMakeFiles/dronedse_slam.dir/triangulation.cc.o" "gcc" "src/slam/CMakeFiles/dronedse_slam.dir/triangulation.cc.o.d"
+  "/root/repo/src/slam/world.cc" "src/slam/CMakeFiles/dronedse_slam.dir/world.cc.o" "gcc" "src/slam/CMakeFiles/dronedse_slam.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dronedse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dronedse_slam.dir/ba.cc.o"
+  "CMakeFiles/dronedse_slam.dir/ba.cc.o.d"
+  "CMakeFiles/dronedse_slam.dir/brief.cc.o"
+  "CMakeFiles/dronedse_slam.dir/brief.cc.o.d"
+  "CMakeFiles/dronedse_slam.dir/camera.cc.o"
+  "CMakeFiles/dronedse_slam.dir/camera.cc.o.d"
+  "CMakeFiles/dronedse_slam.dir/fast.cc.o"
+  "CMakeFiles/dronedse_slam.dir/fast.cc.o.d"
+  "CMakeFiles/dronedse_slam.dir/image.cc.o"
+  "CMakeFiles/dronedse_slam.dir/image.cc.o.d"
+  "CMakeFiles/dronedse_slam.dir/map.cc.o"
+  "CMakeFiles/dronedse_slam.dir/map.cc.o.d"
+  "CMakeFiles/dronedse_slam.dir/matcher.cc.o"
+  "CMakeFiles/dronedse_slam.dir/matcher.cc.o.d"
+  "CMakeFiles/dronedse_slam.dir/pipeline.cc.o"
+  "CMakeFiles/dronedse_slam.dir/pipeline.cc.o.d"
+  "CMakeFiles/dronedse_slam.dir/pnp.cc.o"
+  "CMakeFiles/dronedse_slam.dir/pnp.cc.o.d"
+  "CMakeFiles/dronedse_slam.dir/se3.cc.o"
+  "CMakeFiles/dronedse_slam.dir/se3.cc.o.d"
+  "CMakeFiles/dronedse_slam.dir/triangulation.cc.o"
+  "CMakeFiles/dronedse_slam.dir/triangulation.cc.o.d"
+  "CMakeFiles/dronedse_slam.dir/world.cc.o"
+  "CMakeFiles/dronedse_slam.dir/world.cc.o.d"
+  "libdronedse_slam.a"
+  "libdronedse_slam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dronedse_slam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdronedse_slam.a"
+)

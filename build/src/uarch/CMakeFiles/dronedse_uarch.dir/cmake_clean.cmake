@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dronedse_uarch.dir/branch_predictor.cc.o"
+  "CMakeFiles/dronedse_uarch.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/dronedse_uarch.dir/cache.cc.o"
+  "CMakeFiles/dronedse_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/dronedse_uarch.dir/core.cc.o"
+  "CMakeFiles/dronedse_uarch.dir/core.cc.o.d"
+  "CMakeFiles/dronedse_uarch.dir/tlb.cc.o"
+  "CMakeFiles/dronedse_uarch.dir/tlb.cc.o.d"
+  "CMakeFiles/dronedse_uarch.dir/trace.cc.o"
+  "CMakeFiles/dronedse_uarch.dir/trace.cc.o.d"
+  "libdronedse_uarch.a"
+  "libdronedse_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dronedse_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

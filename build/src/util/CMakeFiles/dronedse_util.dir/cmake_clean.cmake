@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dronedse_util.dir/csv.cc.o"
+  "CMakeFiles/dronedse_util.dir/csv.cc.o.d"
+  "CMakeFiles/dronedse_util.dir/logging.cc.o"
+  "CMakeFiles/dronedse_util.dir/logging.cc.o.d"
+  "CMakeFiles/dronedse_util.dir/matrix.cc.o"
+  "CMakeFiles/dronedse_util.dir/matrix.cc.o.d"
+  "CMakeFiles/dronedse_util.dir/regression.cc.o"
+  "CMakeFiles/dronedse_util.dir/regression.cc.o.d"
+  "CMakeFiles/dronedse_util.dir/rng.cc.o"
+  "CMakeFiles/dronedse_util.dir/rng.cc.o.d"
+  "CMakeFiles/dronedse_util.dir/table.cc.o"
+  "CMakeFiles/dronedse_util.dir/table.cc.o.d"
+  "libdronedse_util.a"
+  "libdronedse_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dronedse_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

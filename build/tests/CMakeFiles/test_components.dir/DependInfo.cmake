@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/components/test_battery.cc" "tests/CMakeFiles/test_components.dir/components/test_battery.cc.o" "gcc" "tests/CMakeFiles/test_components.dir/components/test_battery.cc.o.d"
+  "/root/repo/tests/components/test_commercial.cc" "tests/CMakeFiles/test_components.dir/components/test_commercial.cc.o" "gcc" "tests/CMakeFiles/test_components.dir/components/test_commercial.cc.o.d"
+  "/root/repo/tests/components/test_compute_board.cc" "tests/CMakeFiles/test_components.dir/components/test_compute_board.cc.o" "gcc" "tests/CMakeFiles/test_components.dir/components/test_compute_board.cc.o.d"
+  "/root/repo/tests/components/test_esc.cc" "tests/CMakeFiles/test_components.dir/components/test_esc.cc.o" "gcc" "tests/CMakeFiles/test_components.dir/components/test_esc.cc.o.d"
+  "/root/repo/tests/components/test_frame.cc" "tests/CMakeFiles/test_components.dir/components/test_frame.cc.o" "gcc" "tests/CMakeFiles/test_components.dir/components/test_frame.cc.o.d"
+  "/root/repo/tests/components/test_motor.cc" "tests/CMakeFiles/test_components.dir/components/test_motor.cc.o" "gcc" "tests/CMakeFiles/test_components.dir/components/test_motor.cc.o.d"
+  "/root/repo/tests/components/test_propeller.cc" "tests/CMakeFiles/test_components.dir/components/test_propeller.cc.o" "gcc" "tests/CMakeFiles/test_components.dir/components/test_propeller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dronedse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/dronedse_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/CMakeFiles/dronedse_components.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/dronedse_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dronedse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_components.dir/components/test_battery.cc.o"
+  "CMakeFiles/test_components.dir/components/test_battery.cc.o.d"
+  "CMakeFiles/test_components.dir/components/test_commercial.cc.o"
+  "CMakeFiles/test_components.dir/components/test_commercial.cc.o.d"
+  "CMakeFiles/test_components.dir/components/test_compute_board.cc.o"
+  "CMakeFiles/test_components.dir/components/test_compute_board.cc.o.d"
+  "CMakeFiles/test_components.dir/components/test_esc.cc.o"
+  "CMakeFiles/test_components.dir/components/test_esc.cc.o.d"
+  "CMakeFiles/test_components.dir/components/test_frame.cc.o"
+  "CMakeFiles/test_components.dir/components/test_frame.cc.o.d"
+  "CMakeFiles/test_components.dir/components/test_motor.cc.o"
+  "CMakeFiles/test_components.dir/components/test_motor.cc.o.d"
+  "CMakeFiles/test_components.dir/components/test_propeller.cc.o"
+  "CMakeFiles/test_components.dir/components/test_propeller.cc.o.d"
+  "test_components"
+  "test_components.pdb"
+  "test_components[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/control/test_autopilot.cc" "tests/CMakeFiles/test_control.dir/control/test_autopilot.cc.o" "gcc" "tests/CMakeFiles/test_control.dir/control/test_autopilot.cc.o.d"
+  "/root/repo/tests/control/test_cascade.cc" "tests/CMakeFiles/test_control.dir/control/test_cascade.cc.o" "gcc" "tests/CMakeFiles/test_control.dir/control/test_cascade.cc.o.d"
+  "/root/repo/tests/control/test_ekf.cc" "tests/CMakeFiles/test_control.dir/control/test_ekf.cc.o" "gcc" "tests/CMakeFiles/test_control.dir/control/test_ekf.cc.o.d"
+  "/root/repo/tests/control/test_failure_injection.cc" "tests/CMakeFiles/test_control.dir/control/test_failure_injection.cc.o" "gcc" "tests/CMakeFiles/test_control.dir/control/test_failure_injection.cc.o.d"
+  "/root/repo/tests/control/test_mixer.cc" "tests/CMakeFiles/test_control.dir/control/test_mixer.cc.o" "gcc" "tests/CMakeFiles/test_control.dir/control/test_mixer.cc.o.d"
+  "/root/repo/tests/control/test_outer_loop.cc" "tests/CMakeFiles/test_control.dir/control/test_outer_loop.cc.o" "gcc" "tests/CMakeFiles/test_control.dir/control/test_outer_loop.cc.o.d"
+  "/root/repo/tests/control/test_pid.cc" "tests/CMakeFiles/test_control.dir/control/test_pid.cc.o" "gcc" "tests/CMakeFiles/test_control.dir/control/test_pid.cc.o.d"
+  "/root/repo/tests/control/test_scheduler.cc" "tests/CMakeFiles/test_control.dir/control/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/test_control.dir/control/test_scheduler.cc.o.d"
+  "/root/repo/tests/control/test_velocity_mode.cc" "tests/CMakeFiles/test_control.dir/control/test_velocity_mode.cc.o" "gcc" "tests/CMakeFiles/test_control.dir/control/test_velocity_mode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dronedse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/dronedse_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dronedse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/dronedse_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/CMakeFiles/dronedse_components.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/dronedse_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dronedse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

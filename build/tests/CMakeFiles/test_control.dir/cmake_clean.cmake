@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control.dir/control/test_autopilot.cc.o"
+  "CMakeFiles/test_control.dir/control/test_autopilot.cc.o.d"
+  "CMakeFiles/test_control.dir/control/test_cascade.cc.o"
+  "CMakeFiles/test_control.dir/control/test_cascade.cc.o.d"
+  "CMakeFiles/test_control.dir/control/test_ekf.cc.o"
+  "CMakeFiles/test_control.dir/control/test_ekf.cc.o.d"
+  "CMakeFiles/test_control.dir/control/test_failure_injection.cc.o"
+  "CMakeFiles/test_control.dir/control/test_failure_injection.cc.o.d"
+  "CMakeFiles/test_control.dir/control/test_mixer.cc.o"
+  "CMakeFiles/test_control.dir/control/test_mixer.cc.o.d"
+  "CMakeFiles/test_control.dir/control/test_outer_loop.cc.o"
+  "CMakeFiles/test_control.dir/control/test_outer_loop.cc.o.d"
+  "CMakeFiles/test_control.dir/control/test_pid.cc.o"
+  "CMakeFiles/test_control.dir/control/test_pid.cc.o.d"
+  "CMakeFiles/test_control.dir/control/test_scheduler.cc.o"
+  "CMakeFiles/test_control.dir/control/test_scheduler.cc.o.d"
+  "CMakeFiles/test_control.dir/control/test_velocity_mode.cc.o"
+  "CMakeFiles/test_control.dir/control/test_velocity_mode.cc.o.d"
+  "test_control"
+  "test_control.pdb"
+  "test_control[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

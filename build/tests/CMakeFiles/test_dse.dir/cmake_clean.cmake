@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dse.dir/dse/test_calibration.cc.o"
+  "CMakeFiles/test_dse.dir/dse/test_calibration.cc.o.d"
+  "CMakeFiles/test_dse.dir/dse/test_export.cc.o"
+  "CMakeFiles/test_dse.dir/dse/test_export.cc.o.d"
+  "CMakeFiles/test_dse.dir/dse/test_footprint.cc.o"
+  "CMakeFiles/test_dse.dir/dse/test_footprint.cc.o.d"
+  "CMakeFiles/test_dse.dir/dse/test_properties.cc.o"
+  "CMakeFiles/test_dse.dir/dse/test_properties.cc.o.d"
+  "CMakeFiles/test_dse.dir/dse/test_sweep.cc.o"
+  "CMakeFiles/test_dse.dir/dse/test_sweep.cc.o.d"
+  "CMakeFiles/test_dse.dir/dse/test_weight_closure.cc.o"
+  "CMakeFiles/test_dse.dir/dse/test_weight_closure.cc.o.d"
+  "test_dse"
+  "test_dse.pdb"
+  "test_dse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

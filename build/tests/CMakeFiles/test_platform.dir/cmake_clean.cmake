@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platform.dir/platform/test_offload.cc.o"
+  "CMakeFiles/test_platform.dir/platform/test_offload.cc.o.d"
+  "CMakeFiles/test_platform.dir/platform/test_platform.cc.o"
+  "CMakeFiles/test_platform.dir/platform/test_platform.cc.o.d"
+  "test_platform"
+  "test_platform.pdb"
+  "test_platform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/slam/test_features.cc" "tests/CMakeFiles/test_slam.dir/slam/test_features.cc.o" "gcc" "tests/CMakeFiles/test_slam.dir/slam/test_features.cc.o.d"
+  "/root/repo/tests/slam/test_geometry.cc" "tests/CMakeFiles/test_slam.dir/slam/test_geometry.cc.o" "gcc" "tests/CMakeFiles/test_slam.dir/slam/test_geometry.cc.o.d"
+  "/root/repo/tests/slam/test_se3_camera.cc" "tests/CMakeFiles/test_slam.dir/slam/test_se3_camera.cc.o" "gcc" "tests/CMakeFiles/test_slam.dir/slam/test_se3_camera.cc.o.d"
+  "/root/repo/tests/slam/test_sequences.cc" "tests/CMakeFiles/test_slam.dir/slam/test_sequences.cc.o" "gcc" "tests/CMakeFiles/test_slam.dir/slam/test_sequences.cc.o.d"
+  "/root/repo/tests/slam/test_trajectory_export.cc" "tests/CMakeFiles/test_slam.dir/slam/test_trajectory_export.cc.o" "gcc" "tests/CMakeFiles/test_slam.dir/slam/test_trajectory_export.cc.o.d"
+  "/root/repo/tests/slam/test_world_pipeline.cc" "tests/CMakeFiles/test_slam.dir/slam/test_world_pipeline.cc.o" "gcc" "tests/CMakeFiles/test_slam.dir/slam/test_world_pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dronedse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/slam/CMakeFiles/dronedse_slam.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/dronedse_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/CMakeFiles/dronedse_components.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/dronedse_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dronedse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

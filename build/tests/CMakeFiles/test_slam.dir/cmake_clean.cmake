@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slam.dir/slam/test_features.cc.o"
+  "CMakeFiles/test_slam.dir/slam/test_features.cc.o.d"
+  "CMakeFiles/test_slam.dir/slam/test_geometry.cc.o"
+  "CMakeFiles/test_slam.dir/slam/test_geometry.cc.o.d"
+  "CMakeFiles/test_slam.dir/slam/test_se3_camera.cc.o"
+  "CMakeFiles/test_slam.dir/slam/test_se3_camera.cc.o.d"
+  "CMakeFiles/test_slam.dir/slam/test_sequences.cc.o"
+  "CMakeFiles/test_slam.dir/slam/test_sequences.cc.o.d"
+  "CMakeFiles/test_slam.dir/slam/test_trajectory_export.cc.o"
+  "CMakeFiles/test_slam.dir/slam/test_trajectory_export.cc.o.d"
+  "CMakeFiles/test_slam.dir/slam/test_world_pipeline.cc.o"
+  "CMakeFiles/test_slam.dir/slam/test_world_pipeline.cc.o.d"
+  "test_slam"
+  "test_slam.pdb"
+  "test_slam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

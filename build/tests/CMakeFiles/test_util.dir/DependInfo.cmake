@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_csv.cc" "tests/CMakeFiles/test_util.dir/util/test_csv.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_csv.cc.o.d"
+  "/root/repo/tests/util/test_matrix.cc" "tests/CMakeFiles/test_util.dir/util/test_matrix.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_matrix.cc.o.d"
+  "/root/repo/tests/util/test_quaternion.cc" "tests/CMakeFiles/test_util.dir/util/test_quaternion.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_quaternion.cc.o.d"
+  "/root/repo/tests/util/test_regression.cc" "tests/CMakeFiles/test_util.dir/util/test_regression.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_regression.cc.o.d"
+  "/root/repo/tests/util/test_rng.cc" "tests/CMakeFiles/test_util.dir/util/test_rng.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_rng.cc.o.d"
+  "/root/repo/tests/util/test_table.cc" "tests/CMakeFiles/test_util.dir/util/test_table.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_table.cc.o.d"
+  "/root/repo/tests/util/test_vec3.cc" "tests/CMakeFiles/test_util.dir/util/test_vec3.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_vec3.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dronedse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/dronedse_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/CMakeFiles/dronedse_components.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/dronedse_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dronedse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
