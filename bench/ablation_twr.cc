@@ -14,6 +14,7 @@
 #include "util/table.hh"
 
 using namespace dronedse;
+using namespace dronedse::unit_literals;
 
 int
 main()
@@ -28,14 +29,14 @@ main()
     bool monotone = true;
     for (double twr = 2.0; twr <= 4.0 + 1e-9; twr += 0.5) {
         const DesignResult best =
-            bestConfiguration(spec, advancedChip20W(), 250.0, twr);
+            bestConfiguration(spec, advancedChip20W(), 250.0_mah, twr);
         // Re-evaluate the same configuration while maneuvering.
         DesignInputs man = best.inputs;
         man.activity = FlightActivity::Maneuvering;
         const DesignResult man_res = solveDesign(man);
 
-        t.addRow({fmt(twr, 1), fmt(best.flightTimeMin, 1),
-                  fmt(best.avgPowerW, 0),
+        t.addRow({fmt(twr, 1), fmt(best.flightTimeMin.value(), 1),
+                  fmt(best.avgPowerW.value(), 0),
                   fmtPercent(best.computePowerFraction),
                   fmtPercent(man_res.computePowerFraction)});
 

@@ -11,6 +11,7 @@
 #include "util/table.hh"
 
 using namespace dronedse;
+using namespace dronedse::unit_literals;
 
 int
 main()
@@ -41,7 +42,10 @@ main()
     for (double cap = 1000.0; cap <= 10000.0; cap += 1000.0) {
         std::vector<std::string> row{fmt(cap, 0)};
         for (int cells = kMinCells; cells <= kMaxCells; ++cells)
-            row.push_back(fmt(batteryWeightG(cells, cap), 0));
+            row.push_back(fmt(
+                batteryWeightG(cells, Quantity<MilliampHours>(cap))
+                    .value(),
+                0));
         series.addRow(row);
     }
     series.print();

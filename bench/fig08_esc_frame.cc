@@ -39,10 +39,12 @@ main()
     Table esc({"max current (A)", "long-flight 4x (g)",
                "short-flight 4x (g)"});
     for (double current = 10.0; current <= 90.0; current += 10.0) {
-        esc.addRow({fmt(current, 0),
-                    fmt(escSetWeightG(current, EscClass::LongFlight), 0),
-                    fmt(escSetWeightG(current, EscClass::ShortFlight),
-                        0)});
+        const Quantity<Amperes> amps(current);
+        esc.addRow(
+            {fmt(current, 0),
+             fmt(escSetWeightG(amps, EscClass::LongFlight).value(), 0),
+             fmt(escSetWeightG(amps, EscClass::ShortFlight).value(),
+                 0)});
     }
     esc.print();
 
@@ -58,8 +60,10 @@ main()
     Table frames({"wheelbase (mm)", "frame weight (g)", "max prop (in)"});
     for (double wb : {50.0, 100.0, 150.0, 200.0, 300.0, 450.0, 600.0,
                       800.0, 1000.0}) {
-        frames.addRow({fmt(wb, 0), fmt(frameWeightG(wb), 0),
-                       fmt(maxPropDiameterIn(wb), 1)});
+        const Quantity<Millimeters> wheelbase(wb);
+        frames.addRow(
+            {fmt(wb, 0), fmt(frameWeightG(wheelbase).value(), 0),
+             fmt(maxPropDiameterIn(wheelbase).value(), 1)});
     }
     frames.print();
 

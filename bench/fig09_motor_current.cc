@@ -35,10 +35,14 @@ printPanel(const Panel &panel)
          basic += panel.step) {
         std::vector<std::string> row{fmt(basic, 0)};
         for (int cells = 1; cells <= 6; ++cells) {
-            const auto curve = motorCurrentCurve(panel.propIn, cells,
-                                                 basic, basic, 1.0);
-            row.push_back(curve.empty() ? "-"
-                                        : fmt(curve[0].motorCurrentA, 1));
+            const auto curve = motorCurrentCurve(
+                Quantity<Inches>(panel.propIn), cells,
+                Quantity<Grams>(basic), Quantity<Grams>(basic),
+                Quantity<Grams>(1.0));
+            row.push_back(
+                curve.empty()
+                    ? "-"
+                    : fmt(curve[0].motorCurrentA.value(), 1));
         }
         t.addRow(row);
     }
@@ -48,8 +52,9 @@ printPanel(const Panel &panel)
     std::printf("matched Kv at mid-weight: ");
     const double mid = 0.5 * (panel.basicLo + panel.basicHi);
     for (int cells = 1; cells <= 6; ++cells) {
-        const auto curve =
-            motorCurrentCurve(panel.propIn, cells, mid, mid, 1.0);
+        const auto curve = motorCurrentCurve(
+            Quantity<Inches>(panel.propIn), cells, Quantity<Grams>(mid),
+            Quantity<Grams>(mid), Quantity<Grams>(1.0));
         if (!curve.empty())
             std::printf("%dS=%.0fKv ", cells, curve[0].kv);
     }

@@ -17,6 +17,7 @@
 #include "util/table.hh"
 
 using namespace dronedse;
+using namespace dronedse::unit_literals;
 
 namespace {
 
@@ -29,20 +30,22 @@ printPowerPanel(SizeClass cls)
     Table t({"weight (g)", "1S power (W)", "3S power (W)",
              "6S power (W)"});
     // Collect per-cells series and bucket them on the weight axis.
-    const double bucket = (spec.weightAxisHiG - spec.weightAxisLoG) / 12.0;
-    for (double w = spec.weightAxisLoG; w <= spec.weightAxisHiG + 1e-9;
-         w += bucket) {
+    const double axis_lo = spec.weightAxisLoG.value();
+    const double axis_hi = spec.weightAxisHiG.value();
+    const double bucket = (axis_hi - axis_lo) / 12.0;
+    for (double w = axis_lo; w <= axis_hi + 1e-9; w += bucket) {
         std::vector<std::string> row{fmt(w, 0)};
         for (int cells : {1, 3, 6}) {
             const auto series =
-                sweepCapacity(spec, cells, 100.0, basicChip3W());
+                sweepCapacity(spec, cells, 100.0_mah, basicChip3W());
             std::string cell = "-";
             double best_delta = bucket / 2.0;
             for (const auto &res : series) {
-                const double d = std::abs(res.totalWeightG - w);
+                const double d =
+                    std::abs(res.totalWeightG.value() - w);
                 if (d < best_delta) {
                     best_delta = d;
-                    cell = fmt(res.avgPowerW, 0);
+                    cell = fmt(res.avgPowerW.value(), 0);
                 }
             }
             row.push_back(cell);
@@ -54,16 +57,17 @@ printPowerPanel(SizeClass cls)
     const DesignResult best = bestConfiguration(spec, basicChip3W());
     std::printf("Best configuration: %.0f mAh %dS, %.0f g -> "
                 "%.1f min flight time (paper: %.0f min)\n",
-                best.inputs.capacityMah, best.inputs.cells,
-                best.totalWeightG, best.flightTimeMin,
-                spec.paperBestFlightTimeMin);
+                best.inputs.capacityMah.value(), best.inputs.cells,
+                best.totalWeightG.value(), best.flightTimeMin.value(),
+                spec.paperBestFlightTimeMin.value());
 
     std::printf("Commercial validation points:\n");
     for (const auto &drone : commercialDronesInClass(cls)) {
         std::printf("  %-15s %6.0f g  implied hover %.0f W, "
                     "%.0f min\n",
                     drone.name.c_str(), drone.weightG,
-                    drone.impliedHoverPowerW(), drone.flightTimeMin);
+                    drone.impliedHoverPowerW().value(),
+                    drone.flightTimeMin);
     }
     std::printf("\n");
 }
@@ -77,9 +81,10 @@ printFootprintPanel(SizeClass cls)
 
     Table t({"weight (g)", "20W @hover", "20W @maneuver", "3W @hover",
              "3W @maneuver"});
-    const double bucket = (spec.weightAxisHiG - spec.weightAxisLoG) / 10.0;
-    for (double w = spec.weightAxisLoG; w <= spec.weightAxisHiG + 1e-9;
-         w += bucket) {
+    const double axis_lo = spec.weightAxisLoG.value();
+    const double axis_hi = spec.weightAxisHiG.value();
+    const double bucket = (axis_hi - axis_lo) / 10.0;
+    for (double w = axis_lo; w <= axis_hi + 1e-9; w += bucket) {
         std::vector<std::string> row{fmt(w, 0)};
         for (const auto &board : {advancedChip20W(), basicChip3W()}) {
             for (FlightActivity act : {FlightActivity::Hovering,
@@ -89,13 +94,13 @@ printFootprintPanel(SizeClass cls)
                 // procedure.
                 double best_frac = -1.0, best_power = 1e18;
                 for (int cells : {1, 2, 3, 4, 5, 6}) {
-                    const auto series =
-                        sweepCapacity(spec, cells, 100.0, board, act);
+                    const auto series = sweepCapacity(
+                        spec, cells, 100.0_mah, board, act);
                     for (const auto &res : series) {
-                        if (std::abs(res.totalWeightG - w) <
+                        if (std::abs(res.totalWeightG.value() - w) <
                                 bucket / 2.0 &&
-                            res.avgPowerW < best_power) {
-                            best_power = res.avgPowerW;
+                            res.avgPowerW.value() < best_power) {
+                            best_power = res.avgPowerW.value();
                             best_frac = res.computePowerFraction;
                         }
                     }

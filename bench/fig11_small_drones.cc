@@ -23,13 +23,14 @@ main()
 
     double min_frac = 1.0, max_frac = 0.0;
     for (const auto &drone : figure11Drones()) {
-        const double hover = drone.impliedHoverPowerW();
+        const double hover = drone.impliedHoverPowerW().value();
         const double heavy = drone.heavyComputeW;
         const double frac = heavy / (hover + heavy);
         min_frac = std::min(min_frac, frac);
         max_frac = std::max(max_frac, frac);
         t.addRow({drone.name, fmt(drone.weightG, 0), fmt(hover, 0),
-                  fmt(drone.impliedManeuverPowerW(), 0), fmt(heavy, 1),
+                  fmt(drone.impliedManeuverPowerW().value(), 0),
+                  fmt(heavy, 1),
                   fmtPercent(frac), fmt(drone.flightTimeMin, 0)});
     }
     t.print();
@@ -42,7 +43,7 @@ main()
     // drone stretches the hover endurance by up to ~20 %.
     std::printf("\nPotential gain from offloading heavy compute:\n");
     for (const auto &drone : figure11Drones()) {
-        const double hover = drone.impliedHoverPowerW();
+        const double hover = drone.impliedHoverPowerW().value();
         const double heavy = drone.heavyComputeW;
         const double t_with = drone.batteryWh * 0.85 /
                               (hover + heavy) * 60.0;

@@ -27,8 +27,8 @@ main()
                               ? board.phases[i + 1].first
                               : board.samples.back().t;
         a.addRow({board.phases[i].second, fmt(t0, 0),
-                  fmt(board.meanW(t0, t1), 2),
-                  fmt(board.maxW(t0, t1), 2)});
+                  fmt(board.meanW(t0, t1).value(), 2),
+                  fmt(board.maxW(t0, t1).value(), 2)});
     }
     a.print();
     std::printf("\nPaper measurements: autopilot 3.39 W; +SLAM idle "
@@ -43,12 +43,12 @@ main()
     b.print();
 
     std::printf("\nflight mean: %.0f W (paper: ~130 W average)\n",
-                flight.flightMeanW);
-    std::printf("hover mean:  %.0f W\n", flight.hoverMeanW);
+                flight.flightMeanW.value());
+    std::printf("hover mean:  %.0f W\n", flight.hoverMeanW.value());
     std::printf("maneuver peak: %.0f W (paper: up to ~250 W)\n",
-                flight.maneuverPeakW);
+                flight.maneuverPeakW.value());
     std::printf("energy drawn: %.1f Wh, final SoC %.0f%%, stable=%s\n",
-                flight.energyDrawnWh, 100.0 * flight.finalSoc,
+                flight.energyDrawnWh.value(), 100.0 * flight.finalSoc,
                 flight.stableFlight ? "yes" : "NO");
 
     // A coarse ASCII strip chart of the whole-drone trace.

@@ -19,13 +19,15 @@
 namespace dronedse {
 namespace {
 
+using namespace unit_literals;
+
 void
 BM_DesignClosure(benchmark::State &state)
 {
     DesignInputs in;
-    in.wheelbaseMm = 450.0;
+    in.wheelbaseMm = 450.0_mm;
     in.cells = 3;
-    in.capacityMah = 5000.0;
+    in.capacityMah = 5000.0_mah;
     for (auto _ : state) {
         benchmark::DoNotOptimize(solveDesign(in));
     }
@@ -38,7 +40,7 @@ BM_ClassSweep(benchmark::State &state)
     const auto &spec = classSpec(SizeClass::Medium);
     for (auto _ : state) {
         benchmark::DoNotOptimize(
-            sweepCapacity(spec, 3, 500.0, basicChip3W()));
+            sweepCapacity(spec, 3, 500.0_mah, basicChip3W()));
     }
 }
 BENCHMARK(BM_ClassSweep);

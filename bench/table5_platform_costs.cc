@@ -15,6 +15,7 @@
 #include "util/table.hh"
 
 using namespace dronedse;
+using namespace dronedse::unit_literals;
 
 int
 main()
@@ -58,17 +59,19 @@ main()
     std::printf("\nWeight-aware cross-check (450 mm drone, DSE "
                 "closure):\n");
     DesignInputs in;
-    in.wheelbaseMm = 450.0;
+    in.wheelbaseMm = 450.0_mm;
     in.cells = 3;
-    in.capacityMah = 5000.0;
+    in.capacityMah = 5000.0_mah;
     in.compute = {"TX2-class CPU/GPU", BoardClass::Improved, 85.0,
                   10.0};
     for (const auto &a : table) {
         if (a.spec.kind == PlatformKind::TX2)
             continue;
-        const double gain = platformSwapGainMin(
-            in, a.spec.powerOverheadW - 10.0,
-            a.spec.weightOverheadG - 85.0);
+        const double gain =
+            platformSwapGainMin(
+                in, Quantity<Watts>(a.spec.powerOverheadW - 10.0),
+                Quantity<Grams>(a.spec.weightOverheadG - 85.0))
+                .value();
         std::printf("  CPU/GPU -> %-4s : %+6.2f min (weight feedback "
                     "included)\n",
                     a.spec.name.c_str(), gain);

@@ -34,8 +34,8 @@ main()
     const QuadrotorParams airframe = QuadrotorParams::fromDesign(design);
     std::printf("airframe: %.0f g, %.1f N max thrust/motor, "
                 "flight-time budget %.1f min\n\n",
-                design.totalWeightG, airframe.maxThrustPerMotorN,
-                design.flightTimeMin);
+                design.totalWeightG.value(), airframe.maxThrustPerMotorN,
+                design.flightTimeMin.value());
 
     // Survey mission: a 12 m square at 3 m altitude with a yaw turn
     // at each corner, under gusty wind.
@@ -57,18 +57,20 @@ main()
     int slam_frame = 16;
     int slam_tracked = 0;
 
-    LipoPack pack(3, 3000.0);
-    const double compute_w =
-        boardStateMeanW(BoardState::AutopilotSlamFlying) + 2.25;
+    LipoPack pack(3, Quantity<MilliampHours>(3000.0));
+    const Quantity<Watts> compute_w =
+        boardStateMeanW(BoardState::AutopilotSlamFlying) +
+        Quantity<Watts>(2.25);
 
     std::printf("t(s)  waypoint  position              est.err  "
                 "power(W)  SoC    SLAM\n");
     const double mission_s = 90.0;
     for (double t = 0.0; t < mission_s; t += 1.0) {
         autopilot.run(1.0);
-        const double power =
-            autopilot.quad().electricalPowerW() + compute_w;
-        pack.discharge(power, 1.0);
+        const Quantity<Watts> power =
+            Quantity<Watts>(autopilot.quad().electricalPowerW()) +
+            compute_w;
+        pack.discharge(power, Quantity<Seconds>(1.0));
 
         // SLAM consumes ~20 camera frames per second of flight; we
         // process a few per printed tick to keep the example quick.
@@ -86,7 +88,7 @@ main()
                         "%5.2f m  %7.1f  %4.0f%%  %d kf / %zu pts\n",
                         t, autopilot.navigator().currentIndex(), pos.x,
                         pos.y, pos.z, autopilot.estimationErrorM(),
-                        power, 100.0 * pack.stateOfCharge(),
+                        power.value(), 100.0 * pack.stateOfCharge(),
                         static_cast<int>(slam.map().keyframeCount()),
                         slam.map().pointCount());
         }
@@ -104,7 +106,7 @@ main()
                 slam_tracked, slam.map().keyframeCount(),
                 slam.map().pointCount());
     std::printf("energy drawn: %.1f Wh of %.1f Wh\n",
-                pack.drawnEnergyWh(), pack.totalEnergyWh());
+                pack.drawnEnergyWh().value(), pack.totalEnergyWh().value());
     std::printf("stable flight: %s\n",
                 autopilot.quad().upsideDown() ? "NO" : "yes");
     return 0;

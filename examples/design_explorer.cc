@@ -13,9 +13,11 @@
 #include "components/compute_board.hh"
 #include "dse/sweep.hh"
 #include "dse/weight_closure.hh"
+#include "util/quantity.hh"
 #include "util/table.hh"
 
 using namespace dronedse;
+using namespace dronedse::unit_literals;
 
 int
 main()
@@ -28,7 +30,7 @@ main()
              {SizeClass::Small, SizeClass::Medium, SizeClass::Large}) {
             const auto &spec = classSpec(cls);
             const DesignResult best =
-                bestConfiguration(spec, board, 500.0);
+                bestConfiguration(spec, board, 500.0_mah);
             points.push_back(best);
         }
     }
@@ -38,7 +40,7 @@ main()
     for (const auto &p : points) {
         bool dominated = false;
         for (const auto &q : points) {
-            if (q.flightTimeMin > p.flightTimeMin + 1e-9 &&
+            if (q.flightTimeMin.value() > p.flightTimeMin.value() + 1e-9 &&
                 q.inputs.compute.powerW >= p.inputs.compute.powerW) {
                 dominated = true;
                 break;
@@ -51,11 +53,12 @@ main()
     Table t({"frontier design", "compute board", "compute (W)",
              "weight (g)", "flight time (min)"});
     for (const auto *p : pareto) {
-        t.addRow({fmt(p->inputs.wheelbaseMm, 0) + "mm " +
+        t.addRow({fmt(p->inputs.wheelbaseMm.value(), 0) + "mm " +
                       std::to_string(p->inputs.cells) + "S " +
-                      fmt(p->inputs.capacityMah, 0) + "mAh",
+                      fmt(p->inputs.capacityMah.value(), 0) + "mAh",
                   p->inputs.compute.name, fmt(p->inputs.compute.powerW, 1),
-                  fmt(p->totalWeightG, 0), fmt(p->flightTimeMin, 1)});
+                  fmt(p->totalWeightG.value(), 0),
+                  fmt(p->flightTimeMin.value(), 1)});
     }
     t.print();
 

@@ -13,8 +13,10 @@
 #include "components/compute_board.hh"
 #include "core/designer.hh"
 #include "dse/footprint.hh"
+#include "util/quantity.hh"
 
 using namespace dronedse;
+using namespace dronedse::unit_literals;
 
 int
 main()
@@ -22,10 +24,10 @@ main()
     // Step 1 (Figure 12): pick a frame for the application and add
     // the compute the mission needs.
     DroneDesigner designer;
-    designer.wheelbase(450.0)
-        .battery(3, 4000.0)
+    designer.wheelbase(450.0_mm)
+        .battery(3, 4000.0_mah)
         .compute(findComputeBoard("Raspberry Pi 4"))
-        .payload(100.0); // mission payload, e.g. a camera gimbal
+        .payload(100.0_g); // mission payload, e.g. a camera gimbal
 
     // Step 2: close the weight loop and evaluate power/flight time.
     const DesignReport report = designer.report();
@@ -37,14 +39,15 @@ main()
     // additionally resolve the weight feedback (a heavier platform
     // needs bigger motors).
     const DesignResult base = designer.design();
-    const double paper_style = gainedFlightTimeApproxMin(
-        4.6, base.avgPowerW, base.flightTimeMin);
-    const double exact = platformSwapGainMin(designer.inputs(),
-                                             /*delta_power_w=*/-4.6,
-                                             /*delta_weight_g=*/25.0);
+    const Quantity<Minutes> paper_style = gainedFlightTimeApproxMin(
+        4.6_w, base.avgPowerW, base.flightTimeMin);
+    const Quantity<Minutes> exact =
+        platformSwapGainMin(designer.inputs(),
+                            /*delta_power=*/-4.6_w,
+                            /*delta_weight=*/25.0_g);
     std::printf("Offloading the RPi workload to an FPGA accelerator:\n"
                 "  power-only estimate (paper's method): %+.2f min\n"
                 "  with weight feedback (+25 g platform): %+.2f min\n",
-                paper_style, exact);
+                paper_style.value(), exact.value());
     return 0;
 }

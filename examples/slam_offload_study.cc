@@ -16,6 +16,7 @@
 #include "util/table.hh"
 
 using namespace dronedse;
+using namespace dronedse::unit_literals;
 
 int
 main()
@@ -54,22 +55,22 @@ main()
     std::printf("\nflight-time impact on a 450 mm drone (DSE "
                 "closure, weight feedback included):\n");
     DesignInputs in;
-    in.wheelbaseMm = 450.0;
+    in.wheelbaseMm = 450.0_mm;
     in.cells = 3;
-    in.capacityMah = 5000.0;
+    in.capacityMah = 5000.0_mah;
     in.compute = {"CPU/GPU (TX2-class)", BoardClass::Improved, 85.0,
                   10.0};
     const DesignResult base = solveDesign(in);
-    std::printf("  baseline: %.1f min at %.0f W\n", base.flightTimeMin,
-                base.avgPowerW);
+    std::printf("  baseline: %.1f min at %.0f W\n",
+                base.flightTimeMin.value(), base.avgPowerW.value());
     for (const auto &spec_p : allPlatforms()) {
         if (spec_p.kind == PlatformKind::TX2)
             continue;
-        const double gain = platformSwapGainMin(
-            in, spec_p.powerOverheadW - 10.0,
-            spec_p.weightOverheadG - 85.0);
+        const Quantity<Minutes> gain = platformSwapGainMin(
+            in, Quantity<Watts>(spec_p.powerOverheadW - 10.0),
+            Quantity<Grams>(spec_p.weightOverheadG - 85.0));
         std::printf("  offload to %-4s : %+5.2f min\n",
-                    spec_p.name.c_str(), gain);
+                    spec_p.name.c_str(), gain.value());
     }
 
     // 4. The recommendation, per the paper's Table 5 logic.

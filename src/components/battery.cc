@@ -7,22 +7,36 @@
 
 namespace dronedse {
 
-double
+Quantity<MilliampHours>
+BatteryRecord::capacity() const
+{
+    return Quantity<MilliampHours>(capacityMah);
+}
+
+Quantity<Grams>
+BatteryRecord::weight() const
+{
+    return Quantity<Grams>(weightG);
+}
+
+Quantity<Volts>
 BatteryRecord::nominalVoltage() const
 {
-    return cells * kLipoCellVoltage;
+    return lipoPackVoltage(cells);
 }
 
-double
+Quantity<WattHours>
 BatteryRecord::energyWh() const
 {
-    return capacityToWattHours(capacityMah, nominalVoltage());
+    return capacityToWattHours(capacity(), nominalVoltage());
 }
 
-double
+Quantity<Amperes>
 BatteryRecord::maxContinuousCurrentA() const
 {
-    return capacityMah / 1000.0 * dischargeC;
+    // C rating multiplies the one-hour discharge current (C * Ah).
+    return (capacity() * dischargeC / Quantity<Hours>(1.0))
+        .to<Amperes>();
 }
 
 namespace {
@@ -59,19 +73,20 @@ paperBatteryFit(int cells)
     return fit;
 }
 
-double
-batteryWeightG(int cells, double capacity_mah)
+Quantity<Grams>
+batteryWeightG(int cells, Quantity<MilliampHours> capacity)
 {
-    return paperBatteryFit(cells).at(capacity_mah);
+    return Quantity<Grams>(paperBatteryFit(cells).at(capacity.value()));
 }
 
-double
-batteryCapacityAtWeight(int cells, double weight_g)
+Quantity<MilliampHours>
+batteryCapacityAtWeight(int cells, Quantity<Grams> weight)
 {
     const LinearFit fit = paperBatteryFit(cells);
-    if (weight_g <= fit.intercept)
-        return 0.0;
-    return (weight_g - fit.intercept) / fit.slope;
+    if (weight.value() <= fit.intercept)
+        return Quantity<MilliampHours>(0.0);
+    return Quantity<MilliampHours>((weight.value() - fit.intercept) /
+                                   fit.slope);
 }
 
 std::vector<BatteryRecord>

@@ -15,12 +15,18 @@
 #include <string>
 #include <vector>
 
+#include "util/quantity.hh"
 #include "util/regression.hh"
 #include "util/rng.hh"
 
 namespace dronedse {
 
-/** One commercial LiPo battery pack. */
+/**
+ * One commercial LiPo battery pack.  The data fields stay raw
+ * doubles — catalog records are the survey/CSV boundary and feed the
+ * unit-agnostic regression fitter — but every derived quantity is
+ * typed.
+ */
 struct BatteryRecord
 {
     std::string name;
@@ -33,14 +39,20 @@ struct BatteryRecord
     /** Discharge C rating (max continuous current = C * Ah). */
     double dischargeC = 25.0;
 
+    /** Capacity as a typed quantity. */
+    Quantity<MilliampHours> capacity() const;
+
+    /** Pack weight as a typed quantity. */
+    Quantity<Grams> weight() const;
+
     /** Nominal pack voltage (3.7 V/cell). */
-    double nominalVoltage() const;
+    Quantity<Volts> nominalVoltage() const;
 
-    /** Stored energy in watt-hours at nominal voltage. */
-    double energyWh() const;
+    /** Stored energy at nominal voltage. */
+    Quantity<WattHours> energyWh() const;
 
-    /** Maximum continuous discharge current in amperes. */
-    double maxContinuousCurrentA() const;
+    /** Maximum continuous discharge current. */
+    Quantity<Amperes> maxContinuousCurrentA() const;
 };
 
 /** Smallest and largest cell counts covered by the survey. */
@@ -54,17 +66,18 @@ inline constexpr int kMaxCells = 6;
 LinearFit paperBatteryFit(int cells);
 
 /**
- * Weight (g) of the lightest commercial pack of the given capacity
- * and cell count, from the published fit.
+ * Weight of the lightest commercial pack of the given capacity and
+ * cell count, from the published fit.
  */
-double batteryWeightG(int cells, double capacity_mah);
+Quantity<Grams> batteryWeightG(int cells, Quantity<MilliampHours> capacity);
 
 /**
- * Battery capacity (mAh) reachable at a given pack weight for a cell
+ * Battery capacity reachable at a given pack weight for a cell
  * count (the fit inverted); returns 0 when the weight is below the
  * fit's intercept.
  */
-double batteryCapacityAtWeight(int cells, double weight_g);
+Quantity<MilliampHours> batteryCapacityAtWeight(int cells,
+                                                Quantity<Grams> weight);
 
 /**
  * Synthesize a catalog of commercial packs scattered around the

@@ -6,13 +6,14 @@
 
 namespace dronedse {
 
-double
+Quantity<Watts>
 CommercialDrone::impliedHoverPowerW() const
 {
-    return batteryWh * kLipoDrainLimit / flightTimeMin * 60.0;
+    return ((batteryEnergy() * kLipoDrainLimit) / flightTime())
+        .to<Watts>();
 }
 
-double
+Quantity<Watts>
 CommercialDrone::impliedManeuverPowerW() const
 {
     return impliedHoverPowerW() * kManeuverLoadFraction /

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "util/quantity.hh"
+
 namespace dronedse {
 
 /** Size class a commercial drone is plotted against in Figure 10. */
@@ -51,14 +53,29 @@ struct CommercialDrone
      */
     double heavyComputeW = 0.0;
 
+    /** All-up weight as a typed quantity. */
+    Quantity<Grams> weight() const { return Quantity<Grams>(weightG); }
+
+    /** Spec-sheet battery energy as a typed quantity. */
+    Quantity<WattHours> batteryEnergy() const
+    {
+        return Quantity<WattHours>(batteryWh);
+    }
+
+    /** Advertised hover flight time as a typed quantity. */
+    Quantity<Minutes> flightTime() const
+    {
+        return Quantity<Minutes>(flightTimeMin);
+    }
+
     /**
-     * Average hover power (W) implied by the spec sheet:
-     * usable energy over advertised flight time.
+     * Average hover power implied by the spec sheet: usable energy
+     * over advertised flight time.
      */
-    double impliedHoverPowerW() const;
+    Quantity<Watts> impliedHoverPowerW() const;
 
     /** Maneuvering power estimate (paper's 60-70 % vs 20-30 % load). */
-    double impliedManeuverPowerW() const;
+    Quantity<Watts> impliedManeuverPowerW() const;
 };
 
 /** All commercial validation points used in Figures 10 and 11. */

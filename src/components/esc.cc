@@ -19,12 +19,12 @@ paperEscFit(EscClass esc_class)
     return fit;
 }
 
-double
-escSetWeightG(double max_current_a, EscClass esc_class)
+Quantity<Grams>
+escSetWeightG(Quantity<Amperes> max_current, EscClass esc_class)
 {
-    const double w = paperEscFit(esc_class).at(max_current_a);
+    const double w = paperEscFit(esc_class).at(max_current.value());
     // Tiny ESCs bottom out around 10 g for the set of four.
-    return std::max(w, 10.0);
+    return Quantity<Grams>(std::max(w, 10.0));
 }
 
 std::vector<EscRecord>

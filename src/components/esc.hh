@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "util/quantity.hh"
 #include "util/regression.hh"
 #include "util/rng.hh"
 
@@ -47,11 +48,11 @@ struct EscRecord
 LinearFit paperEscFit(EscClass esc_class);
 
 /**
- * Weight (g) of four ESCs rated for the given per-ESC continuous
+ * Weight of four ESCs rated for the given per-ESC continuous
  * current, from the published fit (clamped to be non-negative).
  */
-double escSetWeightG(double max_current_a,
-                     EscClass esc_class = EscClass::LongFlight);
+Quantity<Grams> escSetWeightG(Quantity<Amperes> max_current,
+                              EscClass esc_class = EscClass::LongFlight);
 
 /** Synthesize a catalog of ~40 ESCs scattered around the fits. */
 std::vector<EscRecord> generateEscCatalog(Rng &rng, int per_class = 20);

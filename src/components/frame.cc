@@ -17,27 +17,29 @@ paperFrameFit()
     return fit;
 }
 
-double
-frameWeightG(double wheelbase_mm)
+Quantity<Grams>
+frameWeightG(Quantity<Millimeters> wheelbase)
 {
+    const double wheelbase_mm = wheelbase.value();
     if (wheelbase_mm <= 0.0)
         fatal("frameWeightG: wheelbase must be positive");
 
     const LinearFit fit = paperFrameFit();
     if (wheelbase_mm > 200.0)
-        return fit.at(wheelbase_mm);
+        return Quantity<Grams>(fit.at(wheelbase_mm));
 
     // Below 200 mm the survey shows a 50-200 g band rather than the
     // main fit; ramp linearly from 50 g at 50 mm to the fit value at
     // the 200 mm boundary so the model is continuous.
     const double boundary = fit.at(200.0);
     const double t = std::clamp((wheelbase_mm - 50.0) / 150.0, 0.0, 1.0);
-    return 50.0 + t * (boundary - 50.0);
+    return Quantity<Grams>(50.0 + t * (boundary - 50.0));
 }
 
-double
-maxPropDiameterIn(double wheelbase_mm)
+Quantity<Inches>
+maxPropDiameterIn(Quantity<Millimeters> wheelbase)
 {
+    const double wheelbase_mm = wheelbase.value();
     if (wheelbase_mm <= 0.0)
         fatal("maxPropDiameterIn: wheelbase must be positive");
 
@@ -48,19 +50,21 @@ maxPropDiameterIn(double wheelbase_mm)
     }};
 
     if (wheelbase_mm <= points.front().first)
-        return points.front().second * wheelbase_mm / points.front().first;
+        return Quantity<Inches>(points.front().second * wheelbase_mm /
+                                points.front().first);
     for (std::size_t i = 1; i < points.size(); ++i) {
         if (wheelbase_mm <= points[i].first) {
             const auto &[x0, y0] = points[i - 1];
             const auto &[x1, y1] = points[i];
             const double t = (wheelbase_mm - x0) / (x1 - x0);
-            return y0 + t * (y1 - y0);
+            return Quantity<Inches>(y0 + t * (y1 - y0));
         }
     }
     // Extrapolate with the last segment's slope.
     const auto &[x0, y0] = points[points.size() - 2];
     const auto &[x1, y1] = points.back();
-    return y1 + (wheelbase_mm - x1) * (y1 - y0) / (x1 - x0);
+    return Quantity<Inches>(y1 + (wheelbase_mm - x1) * (y1 - y0) /
+                            (x1 - x0));
 }
 
 std::vector<FrameRecord>
@@ -79,7 +83,8 @@ generateFrameCatalog(Rng &rng, int extra)
         FrameRecord rec;
         rec.wheelbaseMm = rng.uniform(80.0, 1100.0);
         rec.weightG = std::max(
-            frameWeightG(rec.wheelbaseMm) * (1.0 + rng.gaussian(0.0, 0.08)),
+            frameWeightG(Quantity<Millimeters>(rec.wheelbaseMm)).value() *
+                (1.0 + rng.gaussian(0.0, 0.08)),
             40.0);
         rec.name = "Frame-" +
                    std::to_string(static_cast<int>(rec.wheelbaseMm)) + "mm";

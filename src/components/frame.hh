@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "util/quantity.hh"
 #include "util/regression.hh"
 #include "util/rng.hh"
 
@@ -33,17 +34,17 @@ struct FrameRecord
 LinearFit paperFrameFit();
 
 /**
- * Frame weight (g) at a given wheelbase: the published fit above
+ * Frame weight at a given wheelbase: the published fit above
  * 200 mm, a linear ramp through the paper's 50-200 g band below it.
  */
-double frameWeightG(double wheelbase_mm);
+Quantity<Grams> frameWeightG(Quantity<Millimeters> wheelbase);
 
 /**
- * Largest propeller diameter (inches) a frame of the given wheelbase
- * can swing.  Matches the Figure 9 pairings: 50 mm -> 1", 100 mm ->
+ * Largest propeller diameter a frame of the given wheelbase can
+ * swing.  Matches the Figure 9 pairings: 50 mm -> 1", 100 mm ->
  * 2", 200 mm -> 5", 450 mm -> 10", 800 mm -> 20".
  */
-double maxPropDiameterIn(double wheelbase_mm);
+Quantity<Inches> maxPropDiameterIn(Quantity<Millimeters> wheelbase);
 
 /**
  * Synthesize a catalog of ~25 frames, including the named frames in

@@ -6,33 +6,35 @@
 
 namespace dronedse {
 
-double
-motorWeightG(double max_thrust_g)
+Quantity<Grams>
+motorWeightG(Quantity<GramsForce> max_thrust)
 {
-    if (max_thrust_g < 0.0)
+    if (max_thrust.value() < 0.0)
         fatal("motorWeightG: thrust must be non-negative");
     // Stator mass scales with torque demand, which scales with max
     // thrust for a matched propeller.  Anchors: MT2213 (~55 g for
     // ~850 g thrust), 100 mm-class (~5 g), 1000 mm-class (~100 g).
-    return 2.0 + max_thrust_g / 15.0;
+    return Quantity<Grams>(2.0 + max_thrust.value() / 15.0);
 }
 
 MotorRecord
-matchMotor(double required_thrust_g, double prop_diameter_in,
-           double supply_voltage)
+matchMotor(Quantity<GramsForce> required_thrust,
+           Quantity<Inches> prop_diameter, Quantity<Volts> supply_voltage)
 {
-    if (required_thrust_g <= 0.0)
+    if (required_thrust.value() <= 0.0)
         fatal("matchMotor: required thrust must be positive");
 
     MotorRecord rec;
-    rec.maxThrustG = required_thrust_g;
-    rec.propDiameterIn = prop_diameter_in;
-    rec.kv = requiredKv(required_thrust_g, prop_diameter_in, supply_voltage);
+    rec.maxThrustG = required_thrust.value();
+    rec.propDiameterIn = prop_diameter.value();
+    rec.kv = requiredKv(required_thrust, prop_diameter, supply_voltage);
     rec.maxCurrentA =
-        motorCurrentA(required_thrust_g, prop_diameter_in, supply_voltage);
-    rec.weightG = motorWeightG(required_thrust_g);
+        motorCurrentA(required_thrust, prop_diameter, supply_voltage)
+            .value();
+    rec.weightG = motorWeightG(required_thrust).value();
     rec.name = "BLDC-" + std::to_string(static_cast<int>(rec.kv)) + "Kv-" +
-               std::to_string(static_cast<int>(prop_diameter_in)) + "in";
+               std::to_string(static_cast<int>(prop_diameter.value())) +
+               "in";
     return rec;
 }
 
@@ -54,10 +56,12 @@ generateMotorCatalog(Rng &rng, int per_class)
                     static_cast<std::size_t>(per_class));
     for (const auto &cls : classes) {
         for (int i = 0; i < per_class; ++i) {
-            const double thrust = rng.uniform(cls.thrust_lo, cls.thrust_hi);
+            const Quantity<GramsForce> thrust(
+                rng.uniform(cls.thrust_lo, cls.thrust_hi));
             const int cells = static_cast<int>(rng.uniformInt(1, 6));
-            const double volts = cells * kLipoCellVoltage;
-            MotorRecord rec = matchMotor(thrust, cls.prop_in, volts);
+            MotorRecord rec = matchMotor(
+                thrust, Quantity<Inches>(cls.prop_in),
+                lipoPackVoltage(cells));
             // Manufacturing spread around the ideal match.
             rec.weightG *= 1.0 + rng.gaussian(0.0, 0.08);
             rec.kv *= 1.0 + rng.gaussian(0.0, 0.05);

@@ -15,11 +15,15 @@
 #include <string>
 #include <vector>
 
+#include "util/quantity.hh"
 #include "util/rng.hh"
 
 namespace dronedse {
 
-/** One BLDC motor model. */
+/**
+ * One BLDC motor model.  Data fields stay raw doubles (catalog
+ * boundary); typed accessors cover the quantities the solver uses.
+ */
 struct MotorRecord
 {
     std::string name;
@@ -33,28 +37,44 @@ struct MotorRecord
     double maxThrustG = 0.0;
     /** Matched propeller diameter (inches). */
     double propDiameterIn = 0.0;
+
+    /** Motor weight as a typed quantity. */
+    Quantity<Grams> weight() const { return Quantity<Grams>(weightG); }
+
+    /** Max continuous current as a typed quantity. */
+    Quantity<Amperes> maxCurrent() const
+    {
+        return Quantity<Amperes>(maxCurrentA);
+    }
+
+    /** Max thrust as a typed quantity. */
+    Quantity<GramsForce> maxThrust() const
+    {
+        return Quantity<GramsForce>(maxThrustG);
+    }
 };
 
 /**
- * Motor weight (g) as a function of the max thrust it must produce.
+ * Motor weight as a function of the max thrust it must produce.
  *
  * Calibrated to the paper's observations: an MT2213-class motor
  * (~55 g) lifts ~850 g with a 10" prop; 100 mm-class motors weigh
  * ~5 g; 1000 mm-class motors ~100 g.
  */
-double motorWeightG(double max_thrust_g);
+Quantity<Grams> motorWeightG(Quantity<GramsForce> max_thrust);
 
 /**
  * Build the motor matched to a thrust requirement at a supply
  * voltage, using the propulsion physics to derive Kv and current.
  *
- * @param required_thrust_g Max thrust per motor (g), i.e.
+ * @param required_thrust   Max thrust per motor, i.e.
  *        TWR * weight / 4.
- * @param prop_diameter_in  Propeller diameter the frame allows.
+ * @param prop_diameter     Propeller diameter the frame allows.
  * @param supply_voltage    Battery nominal voltage.
  */
-MotorRecord matchMotor(double required_thrust_g, double prop_diameter_in,
-                       double supply_voltage);
+MotorRecord matchMotor(Quantity<GramsForce> required_thrust,
+                       Quantity<Inches> prop_diameter,
+                       Quantity<Volts> supply_voltage);
 
 /**
  * Synthesize a motor catalog across wheelbase classes, mimicking the

@@ -5,8 +5,9 @@
 namespace dronedse {
 
 PropellerRecord
-makePropeller(double diameter_in)
+makePropeller(Quantity<Inches> diameter)
 {
+    const double diameter_in = diameter.value();
     if (diameter_in <= 0.0)
         fatal("makePropeller: diameter must be positive");
 
@@ -23,10 +24,10 @@ makePropeller(double diameter_in)
     return rec;
 }
 
-double
-propellerSetWeightG(double diameter_in)
+Quantity<Grams>
+propellerSetWeightG(Quantity<Inches> diameter)
 {
-    return 4.0 * makePropeller(diameter_in).weightG;
+    return Quantity<Grams>(4.0 * makePropeller(diameter).weightG);
 }
 
 } // namespace dronedse

@@ -12,6 +12,8 @@
 
 #include <string>
 
+#include "util/quantity.hh"
+
 namespace dronedse {
 
 /** One propeller model. */
@@ -31,10 +33,10 @@ struct PropellerRecord
  * (typical multirotor props such as the 1045), weight scales with
  * blade area.
  */
-PropellerRecord makePropeller(double diameter_in);
+PropellerRecord makePropeller(Quantity<Inches> diameter);
 
-/** Weight (g) of a set of four propellers of the given diameter. */
-double propellerSetWeightG(double diameter_in);
+/** Weight of a set of four propellers of the given diameter. */
+Quantity<Grams> propellerSetWeightG(Quantity<Inches> diameter);
 
 } // namespace dronedse
 

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "util/quantity.hh"
+
 namespace dronedse {
 
 /** Sensor category in Table 4. */
@@ -33,8 +35,14 @@ struct SensorRecord
     /** True when the unit carries its own battery (Table 4 LiDARs). */
     bool selfPowered = false;
 
+    /** Sensor weight as a typed quantity. */
+    Quantity<Grams> weight() const { return Quantity<Grams>(weightG); }
+
     /** Power drawn from the drone's main pack. */
-    double mainPackPowerW() const { return selfPowered ? 0.0 : powerW; }
+    Quantity<Watts> mainPackPowerW() const
+    {
+        return Quantity<Watts>(selfPowered ? 0.0 : powerW);
+    }
 };
 
 /** The Table 4 external sensor database. */

@@ -13,25 +13,28 @@ std::string
 DesignReport::str() const
 {
     std::string out;
-    out += "Design: " + fmt(result.inputs.wheelbaseMm, 0) +
+    out += "Design: " + fmt(result.inputs.wheelbaseMm.value(), 0) +
            " mm wheelbase, " + std::to_string(result.inputs.cells) +
-           "S " + fmt(result.inputs.capacityMah, 0) + " mAh\n";
+           "S " + fmt(result.inputs.capacityMah.value(), 0) + " mAh\n";
     if (!result.feasible) {
         out += "  INFEASIBLE: " + result.infeasibleReason + "\n";
         return out;
     }
-    out += "  all-up weight:    " + fmt(result.totalWeightG, 0) + " g\n";
+    out += "  all-up weight:    " + fmt(result.totalWeightG.value(), 0) +
+           " g\n";
     out += "  motor:            " + result.motor.name + " (" +
-           fmt(result.motorMaxCurrentA, 1) + " A max)\n";
-    out += "  avg power:        " + fmt(result.avgPowerW, 1) + " W\n";
-    out += "  flight time:      " + fmt(result.flightTimeMin, 1) +
-           " min\n";
+           fmt(result.motorMaxCurrentA.value(), 1) + " A max)\n";
+    out += "  avg power:        " + fmt(result.avgPowerW.value(), 1) +
+           " W\n";
+    out += "  flight time:      " +
+           fmt(result.flightTimeMin.value(), 1) + " min\n";
     out += "  compute share:    " + fmtPercent(computeFractionHover) +
            " hover / " + fmtPercent(computeFractionManeuver) +
            " maneuver\n";
-    out += "  max compute gain: +" + fmt(maxComputeGainMin, 1) + " min\n";
+    out += "  max compute gain: +" + fmt(maxComputeGainMin.value(), 1) +
+           " min\n";
     out += "  nearest commercial: " + nearestCommercial + " (" +
-           fmt(nearestCommercialDeltaG, 0) + " g away)\n";
+           fmt(nearestCommercialDeltaG.value(), 0) + " g away)\n";
     return out;
 }
 
@@ -41,17 +44,17 @@ DroneDesigner::DroneDesigner(DesignInputs inputs)
 }
 
 DroneDesigner &
-DroneDesigner::wheelbase(double mm)
+DroneDesigner::wheelbase(Quantity<Millimeters> wheelbase_mm)
 {
-    inputs_.wheelbaseMm = mm;
+    inputs_.wheelbaseMm = wheelbase_mm;
     return *this;
 }
 
 DroneDesigner &
-DroneDesigner::battery(int cells, double capacity_mah)
+DroneDesigner::battery(int cells, Quantity<MilliampHours> capacity)
 {
     inputs_.cells = cells;
-    inputs_.capacityMah = capacity_mah;
+    inputs_.capacityMah = capacity;
     return *this;
 }
 
@@ -79,13 +82,13 @@ DroneDesigner::compute(const ComputeBoardRecord &board)
 DroneDesigner &
 DroneDesigner::sensor(const SensorRecord &record)
 {
-    inputs_.sensorWeightG += record.weightG;
+    inputs_.sensorWeightG += record.weight();
     inputs_.sensorPowerW += record.mainPackPowerW();
     return *this;
 }
 
 DroneDesigner &
-DroneDesigner::payload(double grams)
+DroneDesigner::payload(Quantity<Grams> grams)
 {
     inputs_.payloadG += grams;
     return *this;
@@ -99,9 +102,9 @@ DroneDesigner::activity(FlightActivity activity)
 }
 
 DroneDesigner &
-DroneDesigner::propeller(double diameter_in)
+DroneDesigner::propeller(Quantity<Inches> diameter)
 {
-    inputs_.propDiameterIn = diameter_in;
+    inputs_.propDiameterIn = diameter;
     return *this;
 }
 
@@ -136,14 +139,14 @@ DroneDesigner::report() const
 
     double best_delta = std::numeric_limits<double>::max();
     for (const auto &drone : commercialDroneTable()) {
-        const double delta =
-            std::fabs(drone.weightG - rep.result.totalWeightG);
+        const double delta = std::fabs(
+            (drone.weight() - rep.result.totalWeightG).value());
         if (delta < best_delta) {
             best_delta = delta;
             rep.nearestCommercial = drone.name;
         }
     }
-    rep.nearestCommercialDeltaG = best_delta;
+    rep.nearestCommercialDeltaG = Quantity<Grams>(best_delta);
     return rep;
 }
 

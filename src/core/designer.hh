@@ -28,12 +28,12 @@ struct DesignReport
     double computeFractionHover = 0.0;
     /** Compute power as % of total, maneuvering. */
     double computeFractionManeuver = 0.0;
-    /** Flight time (min) if compute power were fully eliminated. */
-    double maxComputeGainMin = 0.0;
+    /** Flight time gained if compute power were fully eliminated. */
+    Quantity<Minutes> maxComputeGainMin{};
     /** Closest commercial drone by weight, for validation. */
     std::string nearestCommercial;
-    /** Weight distance to that drone (g). */
-    double nearestCommercialDeltaG = 0.0;
+    /** Weight distance to that drone. */
+    Quantity<Grams> nearestCommercialDeltaG{};
 
     /** Multi-line human-readable summary. */
     std::string str() const;
@@ -48,17 +48,18 @@ class DroneDesigner
     /** Start from an existing input set (e.g. a preset). */
     explicit DroneDesigner(DesignInputs inputs);
 
-    DroneDesigner &wheelbase(double mm);
-    DroneDesigner &battery(int cells, double capacity_mah);
+    DroneDesigner &wheelbase(Quantity<Millimeters> wheelbase_mm);
+    DroneDesigner &battery(int cells,
+                           Quantity<MilliampHours> capacity);
     DroneDesigner &twr(double ratio);
     DroneDesigner &escClass(EscClass esc_class);
     DroneDesigner &compute(const ComputeBoardRecord &board);
     /** Add an external sensor (Table 4 semantics: LiDARs self-power). */
     DroneDesigner &sensor(const SensorRecord &record);
-    DroneDesigner &payload(double grams);
+    DroneDesigner &payload(Quantity<Grams> grams);
     DroneDesigner &activity(FlightActivity activity);
     /** Override the propeller instead of the wheelbase maximum. */
-    DroneDesigner &propeller(double diameter_in);
+    DroneDesigner &propeller(Quantity<Inches> diameter);
 
     /** Current inputs (for inspection or sweeps). */
     const DesignInputs &inputs() const { return inputs_; }

@@ -29,22 +29,24 @@ ourDroneWeightBreakdown()
     return out;
 }
 
-double
+Quantity<Grams>
 ourDroneTotalWeightG()
 {
-    double total = 0.0;
+    Quantity<Grams> total{};
     for (const auto &slice : ourDroneWeightBreakdown())
-        total += slice.weightG;
+        total += slice.weight();
     return total;
 }
 
 DesignInputs
 ourDroneInputs()
 {
+    using namespace unit_literals;
+
     DesignInputs in;
-    in.wheelbaseMm = 450.0;
+    in.wheelbaseMm = 450.0_mm;
     in.cells = 3;
-    in.capacityMah = 3000.0;
+    in.capacityMah = 3000.0_mah;
     in.twr = 2.0;
     in.escClass = EscClass::LongFlight;
     // Raspberry Pi (autopilot + SLAM host) plus the Navio2 HAT.
@@ -54,18 +56,20 @@ ourDroneInputs()
                   rpi.weightG + navio.weightG, rpi.powerW + navio.powerW};
     // GPS, RC receiver, telemetry, power module, PPM encoder
     // (Figure 14 support electronics).
-    in.sensorWeightG = 30.0 + 17.0 + 15.0 + 15.0 + 9.0;
-    in.sensorPowerW = 1.5;
+    in.sensorWeightG = Quantity<Grams>(30.0 + 17.0 + 15.0 + 15.0 + 9.0);
+    in.sensorPowerW = 1.5_w;
     return in;
 }
 
 DesignInputs
 racer220Inputs()
 {
+    using namespace unit_literals;
+
     DesignInputs in;
-    in.wheelbaseMm = 220.0;
+    in.wheelbaseMm = 220.0_mm;
     in.cells = 4;
-    in.capacityMah = 1500.0;
+    in.capacityMah = 1500.0_mah;
     in.twr = 4.0;
     in.escClass = EscClass::ShortFlight;
     in.compute = findComputeBoard("iFlight SucceX-E F4");
@@ -75,14 +79,16 @@ racer220Inputs()
 DesignInputs
 mapper800Inputs()
 {
+    using namespace unit_literals;
+
     DesignInputs in;
-    in.wheelbaseMm = 800.0;
+    in.wheelbaseMm = 800.0_mm;
     in.cells = 6;
-    in.capacityMah = 8000.0;
+    in.capacityMah = 8000.0_mah;
     in.twr = 2.0;
     in.compute = findComputeBoard("Nvidia Jetson TX2");
     const auto &lidar = findSensor("Ultra Puck");
-    in.sensorWeightG = lidar.weightG;
+    in.sensorWeightG = lidar.weight();
     in.sensorPowerW = lidar.mainPackPowerW();
     return in;
 }

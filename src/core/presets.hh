@@ -20,9 +20,12 @@ namespace dronedse {
 struct WeightSlice
 {
     std::string component;
+    /** Published gram value (raw table data; see weight()). */
     double weightG = 0.0;
     /** Fraction of the total weight. */
     double fraction = 0.0;
+
+    Quantity<Grams> weight() const { return Quantity<Grams>(weightG); }
 };
 
 /**
@@ -31,8 +34,8 @@ struct WeightSlice
  */
 std::vector<WeightSlice> ourDroneWeightBreakdown();
 
-/** Total weight (g) of the open-source drone. */
-double ourDroneTotalWeightG();
+/** Total weight of the open-source drone. */
+Quantity<Grams> ourDroneTotalWeightG();
 
 /**
  * Design inputs describing the open-source drone: Crazepony F450

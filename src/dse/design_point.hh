@@ -5,7 +5,10 @@
  * A design point fixes the free variables of the paper's model
  * (wheelbase, battery configuration, compute board, TWR, activity)
  * and the solver (Equations 1-7, Section 3.2) resolves the coupled
- * weight/power/flight-time quantities.
+ * weight/power/flight-time quantities.  Every dimensioned field is a
+ * `Quantity`, so mixing up grams, watts, mAh, and minutes between
+ * equations is a compile error; use `.value()` only at the CSV /
+ * export boundary.
  */
 
 #ifndef DRONEDSE_DSE_DESIGN_POINT_HH
@@ -17,18 +20,19 @@
 #include "components/esc.hh"
 #include "components/motor.hh"
 #include "physics/loads.hh"
+#include "util/quantity.hh"
 
 namespace dronedse {
 
 /** Free variables of a design point. */
 struct DesignInputs
 {
-    /** Frame wheelbase (mm); fixes frame weight and max propeller. */
-    double wheelbaseMm = 450.0;
+    /** Frame wheelbase; fixes frame weight and max propeller. */
+    Quantity<Millimeters> wheelbaseMm{450.0};
     /** LiPo series cell count (1-6). */
     int cells = 3;
-    /** Battery capacity (mAh). */
-    double capacityMah = 3000.0;
+    /** Battery capacity. */
+    Quantity<MilliampHours> capacityMah{3000.0};
     /**
      * Target thrust-to-weight ratio.  The paper uses the minimum
      * flyable value of 2 to bound the computation power contribution
@@ -36,21 +40,21 @@ struct DesignInputs
      */
     double twr = 2.0;
     /**
-     * Propeller diameter (inches); 0 selects the largest the
-     * wheelbase allows (the paper's procedure).
+     * Propeller diameter; 0 selects the largest the wheelbase allows
+     * (the paper's procedure).
      */
-    double propDiameterIn = 0.0;
+    Quantity<Inches> propDiameterIn{0.0};
     /** ESC market segment (long-flight unless studying racers). */
     EscClass escClass = EscClass::LongFlight;
     /** Compute board (weight and power). */
     ComputeBoardRecord compute{"Basic 3W chip", BoardClass::Basic, 20.0,
                                3.0};
-    /** External sensor weight carried (g). */
-    double sensorWeightG = 0.0;
-    /** External sensor power drawn from the main pack (W). */
-    double sensorPowerW = 0.0;
-    /** Additional payload (g). */
-    double payloadG = 0.0;
+    /** External sensor weight carried. */
+    Quantity<Grams> sensorWeightG{};
+    /** External sensor power drawn from the main pack. */
+    Quantity<Watts> sensorPowerW{};
+    /** Additional payload. */
+    Quantity<Grams> payloadG{};
     /** Activity regime for the average-power equation. */
     FlightActivity activity = FlightActivity::Hovering;
 };
@@ -67,45 +71,45 @@ struct DesignResult
     DesignInputs inputs;
 
     // -- Equation 1: weight closure --------------------------------
-    /** All-up weight (g). */
-    double totalWeightG = 0.0;
+    /** All-up weight. */
+    Quantity<Grams> totalWeightG{};
     /**
-     * Basic weight (g): total minus battery, ESCs, and motors
+     * Basic weight: total minus battery, ESCs, and motors
      * (the Figure 9 definition).
      */
-    double basicWeightG = 0.0;
-    double frameWeightG = 0.0;
-    double batteryWeightG = 0.0;
-    double motorSetWeightG = 0.0;
-    double escSetWeightG = 0.0;
-    double propSetWeightG = 0.0;
-    double wiringWeightG = 0.0;
+    Quantity<Grams> basicWeightG{};
+    Quantity<Grams> frameWeightG{};
+    Quantity<Grams> batteryWeightG{};
+    Quantity<Grams> motorSetWeightG{};
+    Quantity<Grams> escSetWeightG{};
+    Quantity<Grams> propSetWeightG{};
+    Quantity<Grams> wiringWeightG{};
 
     // -- Equation 2: motor matching --------------------------------
     /** Matched motor (Kv, weight, max current). */
     MotorRecord motor;
-    /** Max continuous current per motor (A). */
-    double motorMaxCurrentA = 0.0;
+    /** Max continuous current per motor. */
+    Quantity<Amperes> motorMaxCurrentA{};
     /** Flag for the Figure 9/10 "extremely high Kv" region. */
     bool extremeKv = false;
 
     // -- Equations 3-4: power and energy ---------------------------
-    /** Max electrical propulsion power, 4 * I_max * V (W). */
-    double maxPowerW = 0.0;
-    /** Propulsion power at the activity's flying load (W). */
-    double propulsionPowerW = 0.0;
-    /** Compute board power (W). */
-    double computePowerW = 0.0;
-    /** Sensor power from the main pack (W). */
-    double sensorPowerW = 0.0;
-    /** Average total power (W), Equation 3. */
-    double avgPowerW = 0.0;
-    /** Usable battery energy (Wh), Equation 4. */
-    double usableEnergyWh = 0.0;
+    /** Max electrical propulsion power, 4 * I_max * V. */
+    Quantity<Watts> maxPowerW{};
+    /** Propulsion power at the activity's flying load. */
+    Quantity<Watts> propulsionPowerW{};
+    /** Compute board power. */
+    Quantity<Watts> computePowerW{};
+    /** Sensor power from the main pack. */
+    Quantity<Watts> sensorPowerW{};
+    /** Average total power, Equation 3. */
+    Quantity<Watts> avgPowerW{};
+    /** Usable battery energy, Equation 4. */
+    Quantity<WattHours> usableEnergyWh{};
 
     // -- Equations 5-6: flight time and footprint ------------------
-    /** Flight time (min), Equation 5. */
-    double flightTimeMin = 0.0;
+    /** Flight time, Equation 5. */
+    Quantity<Minutes> flightTimeMin{};
     /** Fraction of total power consumed by compute, Equation 6. */
     double computePowerFraction = 0.0;
 };

@@ -2,6 +2,10 @@
 
 namespace dronedse {
 
+// CSV export is the raw-`double` boundary of the typed model: every
+// quantity is unwrapped with `.value()` exactly here, and the column
+// headers carry the unit instead.
+
 CsvWriter
 sweepToCsv(const std::vector<DesignResult> &series)
 {
@@ -11,11 +15,11 @@ sweepToCsv(const std::vector<DesignResult> &series)
                    "motor_kv"});
     for (const auto &res : series) {
         csv.addRow(std::vector<double>{
-            res.inputs.capacityMah,
-            static_cast<double>(res.inputs.cells), res.totalWeightG,
-            res.avgPowerW, res.flightTimeMin,
-            res.computePowerFraction, res.motorMaxCurrentA,
-            res.motor.kv});
+            res.inputs.capacityMah.value(),
+            static_cast<double>(res.inputs.cells),
+            res.totalWeightG.value(), res.avgPowerW.value(),
+            res.flightTimeMin.value(), res.computePowerFraction,
+            res.motorMaxCurrentA.value(), res.motor.kv});
     }
     return csv;
 }
@@ -26,9 +30,10 @@ motorCurveToCsv(const std::vector<MotorCurrentPoint> &curve)
     CsvWriter csv({"basic_weight_g", "motor_current_a", "kv",
                    "motor_weight_g"});
     for (const auto &point : curve) {
-        csv.addRow(std::vector<double>{point.basicWeightG,
-                                       point.motorCurrentA, point.kv,
-                                       point.motorWeightG});
+        csv.addRow(std::vector<double>{point.basicWeightG.value(),
+                                       point.motorCurrentA.value(),
+                                       point.kv,
+                                       point.motorWeightG.value()});
     }
     return csv;
 }

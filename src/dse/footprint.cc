@@ -5,38 +5,41 @@
 
 namespace dronedse {
 
-double
-gainedFlightTimeMin(const DesignResult &result, double saved_power_w)
+Quantity<Minutes>
+gainedFlightTimeMin(const DesignResult &result,
+                    Quantity<Watts> saved_power)
 {
     if (!result.feasible)
         fatal("gainedFlightTimeMin: design point is infeasible");
-    const double new_power = result.avgPowerW - saved_power_w;
-    if (new_power <= 0.0)
+    const Quantity<Watts> new_power = result.avgPowerW - saved_power;
+    if (new_power.value() <= 0.0)
         fatal("gainedFlightTimeMin: savings exceed total power");
-    const double new_time = result.usableEnergyWh / new_power * 60.0;
+    const Quantity<Minutes> new_time =
+        (result.usableEnergyWh / new_power).to<Minutes>();
     return new_time - result.flightTimeMin;
 }
 
-double
-gainedFlightTimeApproxMin(double saved_power_w, double total_power_w,
-                          double flight_time_min)
+Quantity<Minutes>
+gainedFlightTimeApproxMin(Quantity<Watts> saved_power,
+                          Quantity<Watts> total_power,
+                          Quantity<Minutes> flight_time)
 {
-    if (total_power_w <= 0.0)
+    if (total_power.value() <= 0.0)
         fatal("gainedFlightTimeApproxMin: total power must be positive");
-    return saved_power_w / total_power_w * flight_time_min;
+    return flight_time * (saved_power / total_power);
 }
 
-double
-platformSwapGainMin(const DesignInputs &inputs, double delta_power_w,
-                    double delta_weight_g)
+Quantity<Minutes>
+platformSwapGainMin(const DesignInputs &inputs, Quantity<Watts> delta_power,
+                    Quantity<Grams> delta_weight)
 {
     const DesignResult base = solveDesign(inputs);
     if (!base.feasible)
         fatal("platformSwapGainMin: baseline design infeasible");
 
     DesignInputs swapped = inputs;
-    swapped.compute.powerW += delta_power_w;
-    swapped.compute.weightG += delta_weight_g;
+    swapped.compute.powerW += delta_power.value();
+    swapped.compute.weightG += delta_weight.value();
     const DesignResult after = solveDesign(swapped);
     if (!after.feasible)
         fatal("platformSwapGainMin: swapped design infeasible");

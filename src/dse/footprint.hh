@@ -9,51 +9,53 @@
 #define DRONEDSE_DSE_FOOTPRINT_HH
 
 #include "dse/design_point.hh"
+#include "util/quantity.hh"
 
 namespace dronedse {
 
 /**
- * Exact flight time gained (min) by reducing average power draw by
- * `saved_power_w` watts (Equation 7): the battery energy is fixed,
- * so t_new = E / (P - dP).
+ * Exact flight time gained by reducing average power draw by
+ * `saved_power` (Equation 7): the battery energy is fixed, so
+ * t_new = E / (P - dP).
  *
- * @param result        A feasible design point.
- * @param saved_power_w Power saved; may be negative (added power,
+ * @param result      A feasible design point.
+ * @param saved_power Power saved; may be negative (added power,
  *        e.g. a heavier platform), yielding a negative gain.
  */
-double gainedFlightTimeMin(const DesignResult &result,
-                           double saved_power_w);
+Quantity<Minutes> gainedFlightTimeMin(const DesignResult &result,
+                                      Quantity<Watts> saved_power);
 
 /**
  * The paper's linearized form of Equation 7 used in Section 5.2:
  * gain ~= dP / P * t (e.g. "10/140 x 15 min").
  */
-double gainedFlightTimeApproxMin(double saved_power_w,
-                                 double total_power_w,
-                                 double flight_time_min);
+Quantity<Minutes> gainedFlightTimeApproxMin(Quantity<Watts> saved_power,
+                                            Quantity<Watts> total_power,
+                                            Quantity<Minutes> flight_time);
 
 /**
- * Flight time gained (min) when a platform swap changes both power
- * and weight: the design is re-solved with the new payload so the
+ * Flight time gained when a platform swap changes both power and
+ * weight: the design is re-solved with the new payload so the
  * weight feedback (heavier platform -> bigger motors -> more power)
  * is captured.
  *
- * @param inputs            Baseline design inputs.
- * @param delta_power_w     Platform power change (positive = more).
- * @param delta_weight_g    Platform weight change (positive = more).
+ * @param inputs        Baseline design inputs.
+ * @param delta_power   Platform power change (positive = more).
+ * @param delta_weight  Platform weight change (positive = more).
  */
-double platformSwapGainMin(const DesignInputs &inputs,
-                           double delta_power_w, double delta_weight_g);
+Quantity<Minutes> platformSwapGainMin(const DesignInputs &inputs,
+                                      Quantity<Watts> delta_power,
+                                      Quantity<Grams> delta_weight);
 
 /** One row of the Figure 10d-f footprint series. */
 struct FootprintPoint
 {
-    double totalWeightG = 0.0;
-    double computePowerW = 0.0;
+    Quantity<Grams> totalWeightG{};
+    Quantity<Watts> computePowerW{};
     FlightActivity activity = FlightActivity::Hovering;
     /** Compute power as a fraction of total (Equation 6). */
     double fraction = 0.0;
-    double flightTimeMin = 0.0;
+    Quantity<Minutes> flightTimeMin{};
 };
 
 } // namespace dronedse

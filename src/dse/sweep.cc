@@ -10,18 +10,20 @@
 
 namespace dronedse {
 
+using namespace unit_literals;
+
 const SizeClassSpec &
 classSpec(SizeClass size_class)
 {
     static const SizeClassSpec small{
-        SizeClass::Small, "100mm (small consumer)", 200.0, 5.0,
-        500.0, 4500.0, 200.0, 1700.0, 23.0};
+        SizeClass::Small, "100mm (small consumer)", 200.0_mm, 5.0_in,
+        500.0_mah, 4500.0_mah, 200.0_g, 1700.0_g, 23.0_min};
     static const SizeClassSpec medium{
-        SizeClass::Medium, "450mm", 450.0, 10.0,
-        1000.0, 8000.0, 400.0, 2000.0, 19.0};
+        SizeClass::Medium, "450mm", 450.0_mm, 10.0_in,
+        1000.0_mah, 8000.0_mah, 400.0_g, 2000.0_g, 19.0_min};
     static const SizeClassSpec large{
-        SizeClass::Large, "800mm", 800.0, 20.0,
-        1000.0, 8000.0, 1200.0, 3200.0, 22.0};
+        SizeClass::Large, "800mm", 800.0_mm, 20.0_in,
+        1000.0_mah, 8000.0_mah, 1200.0_g, 3200.0_g, 22.0_min};
 
     switch (size_class) {
       case SizeClass::Small:
@@ -35,16 +37,18 @@ classSpec(SizeClass size_class)
 }
 
 std::vector<DesignResult>
-sweepCapacity(const SizeClassSpec &spec, int cells, double step_mah,
+sweepCapacity(const SizeClassSpec &spec, int cells,
+              Quantity<MilliampHours> step,
               const ComputeBoardRecord &compute, FlightActivity activity,
               double twr)
 {
-    if (step_mah <= 0.0)
+    if (step.value() <= 0.0)
         fatal("sweepCapacity: step must be positive");
 
     std::vector<DesignResult> out;
-    for (double cap = spec.capacityLoMah; cap <= spec.capacityHiMah + 1e-9;
-         cap += step_mah) {
+    for (Quantity<MilliampHours> cap = spec.capacityLoMah;
+         cap <= spec.capacityHiMah + Quantity<MilliampHours>(1e-9);
+         cap += step) {
         DesignInputs in;
         in.wheelbaseMm = spec.wheelbaseMm;
         in.propDiameterIn = spec.propDiameterIn;
@@ -74,12 +78,12 @@ withinPracticalLimits(const DesignResult &result,
 
 DesignResult
 bestConfiguration(const SizeClassSpec &spec,
-                  const ComputeBoardRecord &compute, double step_mah,
-                  double twr)
+                  const ComputeBoardRecord &compute,
+                  Quantity<MilliampHours> step, double twr)
 {
     DesignResult best;
     for (int cells = kMinCells; cells <= kMaxCells; ++cells) {
-        const auto series = sweepCapacity(spec, cells, step_mah, compute,
+        const auto series = sweepCapacity(spec, cells, step, compute,
                                           FlightActivity::Hovering, twr);
         for (const auto &res : series) {
             // Stay within the class's practical envelope so a 100 mm
@@ -98,27 +102,30 @@ bestConfiguration(const SizeClassSpec &spec,
 }
 
 std::vector<MotorCurrentPoint>
-motorCurrentCurve(double prop_diameter_in, int cells, double basic_lo_g,
-                  double basic_hi_g, double step_g, double twr)
+motorCurrentCurve(Quantity<Inches> prop_diameter, int cells,
+                  Quantity<Grams> basic_lo, Quantity<Grams> basic_hi,
+                  Quantity<Grams> step, double twr)
 {
-    if (step_g <= 0.0 || basic_hi_g < basic_lo_g)
+    if (step.value() <= 0.0 || basic_hi < basic_lo)
         fatal("motorCurrentCurve: invalid weight range");
 
-    const double voltage = cells * kLipoCellVoltage;
+    const Quantity<Volts> voltage = lipoPackVoltage(cells);
     std::vector<MotorCurrentPoint> out;
-    for (double basic = basic_lo_g; basic <= basic_hi_g + 1e-9;
-         basic += step_g) {
+    for (Quantity<Grams> basic = basic_lo;
+         basic <= basic_hi + Quantity<Grams>(1e-9); basic += step) {
         // Closure over motor and ESC mass only (battery excluded,
         // per the figure's basic-weight definition).
-        double total = basic;
+        Quantity<Grams> total = basic;
         MotorRecord motor;
         bool converged = false;
         for (int iter = 0; iter < 60; ++iter) {
-            const double thrust = twr * total / 4.0;
-            motor = matchMotor(thrust, prop_diameter_in, voltage);
-            const double esc_w = escSetWeightG(motor.maxCurrentA);
-            const double new_total = basic + 4.0 * motor.weightG + esc_w;
-            if (std::fabs(new_total - total) < 0.01) {
+            const Quantity<GramsForce> thrust =
+                weightForce(total) * (twr / 4.0);
+            motor = matchMotor(thrust, prop_diameter, voltage);
+            const Quantity<Grams> esc_w = escSetWeightG(motor.maxCurrent());
+            const Quantity<Grams> new_total =
+                basic + 4.0 * motor.weight() + esc_w;
+            if (std::fabs((new_total - total).value()) < 0.01) {
                 converged = true;
                 break;
             }
@@ -126,7 +133,8 @@ motorCurrentCurve(double prop_diameter_in, int cells, double basic_lo_g,
         }
         if (!converged)
             continue;
-        out.push_back({basic, motor.maxCurrentA, motor.kv, motor.weightG});
+        out.push_back({basic, motor.maxCurrent(), motor.kv,
+                       motor.weight()});
     }
     return out;
 }

@@ -19,23 +19,23 @@ struct SizeClassSpec
 {
     SizeClass sizeClass = SizeClass::Medium;
     const char *label = "";
-    /** Representative wheelbase (mm). */
-    double wheelbaseMm = 450.0;
+    /** Representative wheelbase. */
+    Quantity<Millimeters> wheelbaseMm{450.0};
     /**
-     * Propeller diameter (inches).  For the small consumer class the
-     * paper's validation points (Mavic, Spark, ...) fly folding ~5"
-     * props that overlap the arms, so the class prop exceeds the
-     * strict wheelbase cap; see EXPERIMENTS.md.
+     * Propeller diameter.  For the small consumer class the paper's
+     * validation points (Mavic, Spark, ...) fly folding ~5" props
+     * that overlap the arms, so the class prop exceeds the strict
+     * wheelbase cap; see EXPERIMENTS.md.
      */
-    double propDiameterIn = 10.0;
-    /** Capacity sweep bounds (mAh), Section 3.2 procedure. */
-    double capacityLoMah = 1000.0;
-    double capacityHiMah = 8000.0;
-    /** Weight axis of the corresponding Figure 10 panel (g). */
-    double weightAxisLoG = 200.0;
-    double weightAxisHiG = 1700.0;
-    /** Paper's validated best-configuration flight time (min). */
-    double paperBestFlightTimeMin = 23.0;
+    Quantity<Inches> propDiameterIn{10.0};
+    /** Capacity sweep bounds, Section 3.2 procedure. */
+    Quantity<MilliampHours> capacityLoMah{1000.0};
+    Quantity<MilliampHours> capacityHiMah{8000.0};
+    /** Weight axis of the corresponding Figure 10 panel. */
+    Quantity<Grams> weightAxisLoG{200.0};
+    Quantity<Grams> weightAxisHiG{1700.0};
+    /** Paper's validated best-configuration flight time. */
+    Quantity<Minutes> paperBestFlightTimeMin{23.0};
 };
 
 /** The three Figure 10 classes (small/medium/large). */
@@ -64,7 +64,8 @@ bool withinPracticalLimits(const DesignResult &result,
  * Infeasible points are omitted.
  */
 std::vector<DesignResult>
-sweepCapacity(const SizeClassSpec &spec, int cells, double step_mah,
+sweepCapacity(const SizeClassSpec &spec, int cells,
+              Quantity<MilliampHours> step,
               const ComputeBoardRecord &compute,
               FlightActivity activity = FlightActivity::Hovering,
               double twr = 2.0);
@@ -73,21 +74,22 @@ sweepCapacity(const SizeClassSpec &spec, int cells, double step_mah,
  * Best configuration of a class: the max-flight-time design over
  * cell counts {1..6} and the class's capacity range.
  */
-DesignResult bestConfiguration(const SizeClassSpec &spec,
-                               const ComputeBoardRecord &compute,
-                               double step_mah = 250.0, double twr = 2.0);
+DesignResult bestConfiguration(
+    const SizeClassSpec &spec, const ComputeBoardRecord &compute,
+    Quantity<MilliampHours> step = Quantity<MilliampHours>(250.0),
+    double twr = 2.0);
 
 /** One point of a Figure 9 series. */
 struct MotorCurrentPoint
 {
-    /** Basic weight (g): no battery, ESCs, or motors. */
-    double basicWeightG = 0.0;
-    /** Minimum required max current draw per motor (A). */
-    double motorCurrentA = 0.0;
+    /** Basic weight: no battery, ESCs, or motors. */
+    Quantity<Grams> basicWeightG{};
+    /** Minimum required max current draw per motor. */
+    Quantity<Amperes> motorCurrentA{};
     /** Kv rating of the matched motor. */
     double kv = 0.0;
-    /** Matched motor weight (g). */
-    double motorWeightG = 0.0;
+    /** Matched motor weight. */
+    Quantity<Grams> motorWeightG{};
 };
 
 /**
@@ -99,9 +101,9 @@ struct MotorCurrentPoint
  * computing the thrust requirement.
  */
 std::vector<MotorCurrentPoint>
-motorCurrentCurve(double prop_diameter_in, int cells,
-                  double basic_lo_g, double basic_hi_g, double step_g,
-                  double twr = 2.0);
+motorCurrentCurve(Quantity<Inches> prop_diameter, int cells,
+                  Quantity<Grams> basic_lo, Quantity<Grams> basic_hi,
+                  Quantity<Grams> step, double twr = 2.0);
 
 } // namespace dronedse
 

@@ -12,10 +12,10 @@
 
 namespace dronedse {
 
-double
-wiringWeightG(double frame_weight_g)
+Quantity<Grams>
+wiringWeightG(Quantity<Grams> frame_weight)
 {
-    return 20.0 + 0.15 * frame_weight_g;
+    return Quantity<Grams>(20.0) + 0.15 * frame_weight;
 }
 
 DesignResult
@@ -28,45 +28,47 @@ solveDesign(const DesignInputs &inputs)
         res.infeasibleReason = "cell count out of range";
         return res;
     }
-    if (inputs.capacityMah <= 0.0 || inputs.twr < 1.0 ||
-        inputs.wheelbaseMm <= 0.0) {
+    if (inputs.capacityMah.value() <= 0.0 || inputs.twr < 1.0 ||
+        inputs.wheelbaseMm.value() <= 0.0) {
         res.infeasibleReason = "invalid capacity, TWR, or wheelbase";
         return res;
     }
 
-    const double prop_in = inputs.propDiameterIn > 0.0
-                               ? inputs.propDiameterIn
-                               : maxPropDiameterIn(inputs.wheelbaseMm);
-    const double voltage = inputs.cells * kLipoCellVoltage;
+    const Quantity<Inches> prop = inputs.propDiameterIn.value() > 0.0
+                                      ? inputs.propDiameterIn
+                                      : maxPropDiameterIn(inputs.wheelbaseMm);
+    const Quantity<Volts> voltage = lipoPackVoltage(inputs.cells);
 
     // Weight components independent of the thrust requirement.
     res.frameWeightG = frameWeightG(inputs.wheelbaseMm);
     res.batteryWeightG = batteryWeightG(inputs.cells, inputs.capacityMah);
-    res.propSetWeightG = propellerSetWeightG(prop_in);
+    res.propSetWeightG = propellerSetWeightG(prop);
     res.wiringWeightG = wiringWeightG(res.frameWeightG);
-    const double fixed_weight =
+    const Quantity<Grams> fixed_weight =
         res.frameWeightG + res.batteryWeightG + res.propSetWeightG +
-        res.wiringWeightG + inputs.compute.weightG + inputs.sensorWeightG +
-        inputs.payloadG;
+        res.wiringWeightG + Quantity<Grams>(inputs.compute.weightG) +
+        inputs.sensorWeightG + inputs.payloadG;
 
     // Equation 1/2 fixed point: motor and ESC weights depend on the
     // thrust requirement, which depends on total weight.
-    double total = fixed_weight;
+    Quantity<Grams> total = fixed_weight;
     MotorRecord motor;
-    double esc_w = 0.0;
+    Quantity<Grams> esc_w{};
     bool converged = false;
     for (int iter = 0; iter < 60; ++iter) {
-        const double thrust_per_motor = inputs.twr * total / 4.0;
-        motor = matchMotor(thrust_per_motor, prop_in, voltage);
-        esc_w = escSetWeightG(motor.maxCurrentA, inputs.escClass);
-        const double new_total = fixed_weight + 4.0 * motor.weightG + esc_w;
-        if (std::fabs(new_total - total) < 0.01) {
+        const Quantity<GramsForce> thrust_per_motor =
+            weightForce(total) * (inputs.twr / 4.0);
+        motor = matchMotor(thrust_per_motor, prop, voltage);
+        esc_w = escSetWeightG(motor.maxCurrent(), inputs.escClass);
+        const Quantity<Grams> new_total =
+            fixed_weight + 4.0 * motor.weight() + esc_w;
+        if (std::fabs((new_total - total).value()) < 0.01) {
             total = new_total;
             converged = true;
             break;
         }
         total = new_total;
-        if (total > 1.0e6)
+        if (total.value() > 1.0e6)
             break;
     }
     if (!converged) {
@@ -76,8 +78,8 @@ solveDesign(const DesignInputs &inputs)
 
     res.totalWeightG = total;
     res.motor = motor;
-    res.motorMaxCurrentA = motor.maxCurrentA;
-    res.motorSetWeightG = 4.0 * motor.weightG;
+    res.motorMaxCurrentA = motor.maxCurrent();
+    res.motorSetWeightG = 4.0 * motor.weight();
     res.escSetWeightG = esc_w;
     res.basicWeightG = total - res.batteryWeightG - res.motorSetWeightG -
                        res.escSetWeightG;
@@ -85,9 +87,9 @@ solveDesign(const DesignInputs &inputs)
 
     // Equation 3: average power from the flying load fraction.
     const double load = flyingLoadFraction(inputs.activity);
-    res.maxPowerW = 4.0 * motor.maxCurrentA * voltage;
+    res.maxPowerW = 4.0 * (motor.maxCurrent() * voltage);
     res.propulsionPowerW = res.maxPowerW * load;
-    res.computePowerW = inputs.compute.powerW;
+    res.computePowerW = Quantity<Watts>(inputs.compute.powerW);
     res.sensorPowerW = inputs.sensorPowerW;
     res.avgPowerW =
         res.propulsionPowerW + res.computePowerW + res.sensorPowerW;
@@ -103,11 +105,12 @@ solveDesign(const DesignInputs &inputs)
     res.computePowerFraction = res.computePowerW / res.avgPowerW;
 
     // Sanity: the battery must be able to deliver the max current.
-    const double max_current_needed = 4.0 * motor.maxCurrentA;
-    const double capacity_ah = inputs.capacityMah / 1000.0;
+    const Quantity<Amperes> max_current_needed = 4.0 * motor.maxCurrent();
     // High-C packs reach ~80C continuous; beyond that no pack of
     // this capacity can feed the motors.
-    if (capacity_ah * 80.0 < max_current_needed) {
+    const Quantity<Amperes> pack_limit =
+        (inputs.capacityMah * 80.0 / Quantity<Hours>(1.0)).to<Amperes>();
+    if (pack_limit < max_current_needed) {
         res.infeasibleReason = "battery C-rating cannot supply max draw";
         return res;
     }

@@ -28,7 +28,7 @@ inline constexpr double kExtremeKvThreshold = 20000.0;
  * function of frame weight; anchored to the paper's 450 mm drone
  * (Figure 14: ~60 g of wiring/misc on a 272 g frame).
  */
-double wiringWeightG(double frame_weight_g);
+Quantity<Grams> wiringWeightG(Quantity<Grams> frame_weight);
 
 /**
  * Resolve a design point: close the weight loop (Equations 1-2),

@@ -7,34 +7,34 @@
 
 namespace dronedse {
 
-double
-usableEnergyWh(double capacity_mah, double voltage)
+Quantity<WattHours>
+usableEnergyWh(Quantity<MilliampHours> capacity, Quantity<Volts> voltage)
 {
-    return capacityToWattHours(capacity_mah, voltage) * kLipoDrainLimit *
+    return capacityToWattHours(capacity, voltage) * kLipoDrainLimit *
            kPowerDeliveryEfficiency;
 }
 
-LipoPack::LipoPack(int cells, double capacity_mah)
-    : cells_(cells), capacityMah_(capacity_mah)
+LipoPack::LipoPack(int cells, Quantity<MilliampHours> capacity)
+    : cells_(cells), capacity_(capacity)
 {
     if (cells < 1 || cells > 12)
         fatal("LipoPack: cell count out of range");
-    if (capacity_mah <= 0.0)
+    if (capacity.value() <= 0.0)
         fatal("LipoPack: capacity must be positive");
 }
 
-double
+Quantity<Volts>
 LipoPack::nominalVoltage() const
 {
-    return cells_ * kLipoCellVoltage;
+    return lipoPackVoltage(cells_);
 }
 
-double
+Quantity<Volts>
 LipoPack::terminalVoltage() const
 {
     // 4.2 V/cell full, ~3.3 V/cell at the drain limit; linear in SoC.
     const double per_cell = 3.3 + (4.2 - 3.3) * soc_;
-    return cells_ * per_cell;
+    return Quantity<Volts>(cells_ * per_cell);
 }
 
 bool
@@ -44,19 +44,19 @@ LipoPack::depleted() const
 }
 
 void
-LipoPack::discharge(double power_w, double dt_s)
+LipoPack::discharge(Quantity<Watts> power, Quantity<Seconds> dt)
 {
-    if (power_w < 0.0 || dt_s < 0.0)
+    if (power.value() < 0.0 || dt.value() < 0.0)
         fatal("LipoPack::discharge: negative power or time");
-    const double drawn = power_w * dt_s / 3600.0; // Wh
-    drawn_wh_ += drawn;
+    const Quantity<WattHours> drawn = (power * dt).to<WattHours>();
+    drawn_ += drawn;
     soc_ = std::max(0.0, soc_ - drawn / totalEnergyWh());
 }
 
-double
+Quantity<WattHours>
 LipoPack::totalEnergyWh() const
 {
-    return capacityToWattHours(capacityMah_, nominalVoltage());
+    return capacityToWattHours(capacity_, nominalVoltage());
 }
 
 } // namespace dronedse

@@ -8,17 +8,20 @@
 #ifndef DRONEDSE_PHYSICS_LIPO_HH
 #define DRONEDSE_PHYSICS_LIPO_HH
 
+#include "util/quantity.hh"
+
 namespace dronedse {
 
 /** Power-delivery efficiency (wiring, PDB, ESC switching losses). */
 inline constexpr double kPowerDeliveryEfficiency = 0.95;
 
 /**
- * Usable energy (Wh) of a pack: nominal energy derated by the
+ * Usable energy of a pack: nominal energy derated by the
  * LiPoDrainLimit (85 %, paper Section 2.1.2) and power-delivery
  * efficiency (%PowerEff in Equation 4).
  */
-double usableEnergyWh(double capacity_mah, double voltage);
+Quantity<WattHours> usableEnergyWh(Quantity<MilliampHours> capacity,
+                                   Quantity<Volts> voltage);
 
 /**
  * Stateful pack for time-domain simulation: integrates energy draw
@@ -27,17 +30,17 @@ double usableEnergyWh(double capacity_mah, double voltage);
 class LipoPack
 {
   public:
-    /** Construct a pack of `cells` cells and `capacity_mah` mAh. */
-    LipoPack(int cells, double capacity_mah);
+    /** Construct a pack of `cells` cells and the given capacity. */
+    LipoPack(int cells, Quantity<MilliampHours> capacity);
 
     /** Nominal voltage (3.7 V/cell). */
-    double nominalVoltage() const;
+    Quantity<Volts> nominalVoltage() const;
 
     /**
      * Terminal voltage under the present state of charge: full packs
      * sit ~14 % above nominal, empty packs ~11 % below.
      */
-    double terminalVoltage() const;
+    Quantity<Volts> terminalVoltage() const;
 
     /** Remaining fraction of total capacity in [0, 1]. */
     double stateOfCharge() const { return soc_; }
@@ -46,22 +49,21 @@ class LipoPack
     bool depleted() const;
 
     /**
-     * Draw `power_w` watts for `dt_s` seconds; state of charge never
-     * goes below zero.
+     * Draw `power` for `dt`; state of charge never goes below zero.
      */
-    void discharge(double power_w, double dt_s);
+    void discharge(Quantity<Watts> power, Quantity<Seconds> dt);
 
-    /** Total nominal energy (Wh). */
-    double totalEnergyWh() const;
+    /** Total nominal energy. */
+    Quantity<WattHours> totalEnergyWh() const;
 
-    /** Energy drawn so far (Wh). */
-    double drawnEnergyWh() const { return drawn_wh_; }
+    /** Energy drawn so far. */
+    Quantity<WattHours> drawnEnergyWh() const { return drawn_; }
 
   private:
     int cells_;
-    double capacityMah_;
+    Quantity<MilliampHours> capacity_;
     double soc_ = 1.0;
-    double drawn_wh_ = 0.0;
+    Quantity<WattHours> drawn_;
 };
 
 } // namespace dronedse

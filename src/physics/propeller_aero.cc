@@ -7,66 +7,73 @@
 
 namespace dronedse {
 
-double
-propThrustN(double n_rev_s, double d_m)
+Quantity<Newtons>
+propThrustN(Quantity<RevPerSec> n, Quantity<Meters> d)
 {
-    return kThrustCoefficient * kAirDensity * n_rev_s * n_rev_s *
-           d_m * d_m * d_m * d_m;
+    const double n_rev_s = n.value();
+    const double d_m = d.value();
+    return Quantity<Newtons>(kThrustCoefficient * kAirDensity * n_rev_s *
+                             n_rev_s * d_m * d_m * d_m * d_m);
 }
 
-double
-propThrustG(double n_rev_s, double d_m)
+Quantity<GramsForce>
+propThrustG(Quantity<RevPerSec> n, Quantity<Meters> d)
 {
-    return propThrustN(n_rev_s, d_m) * kGramsPerNewton;
+    return propThrustN(n, d).to<GramsForce>();
 }
 
-double
-propShaftPowerW(double n_rev_s, double d_m)
+Quantity<Watts>
+propShaftPowerW(Quantity<RevPerSec> n, Quantity<Meters> d)
 {
-    return kPowerCoefficient * kAirDensity * n_rev_s * n_rev_s * n_rev_s *
-           d_m * d_m * d_m * d_m * d_m;
+    const double n_rev_s = n.value();
+    const double d_m = d.value();
+    return Quantity<Watts>(kPowerCoefficient * kAirDensity * n_rev_s *
+                           n_rev_s * n_rev_s * d_m * d_m * d_m * d_m *
+                           d_m);
 }
 
-double
-revsForThrust(double thrust_g, double d_in)
+Quantity<RevPerSec>
+revsForThrust(Quantity<GramsForce> thrust, Quantity<Inches> d)
 {
-    if (thrust_g < 0.0 || d_in <= 0.0)
+    if (thrust.value() < 0.0 || d.value() <= 0.0)
         fatal("revsForThrust: invalid thrust or diameter");
-    const double d_m = inchesToMeters(d_in);
-    const double thrust_n = thrust_g / kGramsPerNewton;
+    const double d_m = inchesToMeters(d).value();
+    const double thrust_n = thrust.to<Newtons>().value();
     const double denom =
         kThrustCoefficient * kAirDensity * d_m * d_m * d_m * d_m;
-    return std::sqrt(thrust_n / denom);
+    return Quantity<RevPerSec>(std::sqrt(thrust_n / denom));
 }
 
-double
-rpmForThrust(double thrust_g, double d_in)
+Quantity<Rpm>
+rpmForThrust(Quantity<GramsForce> thrust, Quantity<Inches> d)
 {
-    return revPerSecToRpm(revsForThrust(thrust_g, d_in));
+    return revPerSecToRpm(revsForThrust(thrust, d));
 }
 
-double
-electricalPowerW(double thrust_g, double d_in)
+Quantity<Watts>
+electricalPowerW(Quantity<GramsForce> thrust, Quantity<Inches> d)
 {
-    const double n = revsForThrust(thrust_g, d_in);
-    const double d_m = inchesToMeters(d_in);
-    return propShaftPowerW(n, d_m) / kMotorEfficiency;
+    const Quantity<RevPerSec> n = revsForThrust(thrust, d);
+    return propShaftPowerW(n, inchesToMeters(d)) / kMotorEfficiency;
 }
 
-double
-motorCurrentA(double thrust_g, double d_in, double voltage)
+Quantity<Amperes>
+motorCurrentA(Quantity<GramsForce> thrust, Quantity<Inches> d,
+              Quantity<Volts> voltage)
 {
-    if (voltage <= 0.0)
+    if (voltage.value() <= 0.0)
         fatal("motorCurrentA: voltage must be positive");
-    return electricalPowerW(thrust_g, d_in) / voltage;
+    return (electricalPowerW(thrust, d) / voltage).to<Amperes>();
 }
 
 double
-requiredKv(double thrust_g, double d_in, double voltage)
+requiredKv(Quantity<GramsForce> thrust, Quantity<Inches> d,
+           Quantity<Volts> voltage)
 {
-    if (voltage <= 0.0)
+    if (voltage.value() <= 0.0)
         fatal("requiredKv: voltage must be positive");
-    return rpmForThrust(thrust_g, d_in) / (kLoadedRpmFraction * voltage);
+    return rpmForThrust(thrust, d).value() /
+           (kLoadedRpmFraction * voltage.value());
 }
 
 } // namespace dronedse

@@ -15,6 +15,8 @@
 #ifndef DRONEDSE_PHYSICS_PROPELLER_AERO_HH
 #define DRONEDSE_PHYSICS_PROPELLER_AERO_HH
 
+#include "util/quantity.hh"
+
 namespace dronedse {
 
 /** Thrust coefficient for typical multirotor props (pitch ~0.45 D). */
@@ -32,39 +34,47 @@ inline constexpr double kMotorEfficiency = 0.75;
  */
 inline constexpr double kLoadedRpmFraction = 0.75;
 
-/** Thrust (N) of a propeller at n rev/s with diameter d_m metres. */
-double propThrustN(double n_rev_s, double d_m);
+/** Thrust of a propeller at rotation rate `n`, diameter `d`. */
+Quantity<Newtons> propThrustN(Quantity<RevPerSec> n, Quantity<Meters> d);
 
 /** Thrust in grams-force. */
-double propThrustG(double n_rev_s, double d_m);
+Quantity<GramsForce> propThrustG(Quantity<RevPerSec> n,
+                                 Quantity<Meters> d);
 
-/** Shaft power (W) at n rev/s with diameter d_m metres. */
-double propShaftPowerW(double n_rev_s, double d_m);
+/** Shaft power at rotation rate `n`, diameter `d`. */
+Quantity<Watts> propShaftPowerW(Quantity<RevPerSec> n,
+                                Quantity<Meters> d);
 
-/** Rotation speed (rev/s) needed to produce a thrust in grams. */
-double revsForThrust(double thrust_g, double d_in);
+/** Rotation speed needed to produce a thrust with a given prop. */
+Quantity<RevPerSec> revsForThrust(Quantity<GramsForce> thrust,
+                                  Quantity<Inches> d);
 
-/** Rotation speed in RPM needed to produce a thrust in grams. */
-double rpmForThrust(double thrust_g, double d_in);
-
-/**
- * Electrical power (W) a motor draws to produce `thrust_g` grams of
- * thrust with a `d_in`-inch propeller.
- */
-double electricalPowerW(double thrust_g, double d_in);
+/** Rotation speed in RPM needed to produce a thrust. */
+Quantity<Rpm> rpmForThrust(Quantity<GramsForce> thrust,
+                           Quantity<Inches> d);
 
 /**
- * Motor current (A) to produce `thrust_g` grams of thrust with a
- * `d_in`-inch propeller at the given supply voltage.
+ * Electrical power a motor draws to produce `thrust` with a
+ * `d`-diameter propeller.
  */
-double motorCurrentA(double thrust_g, double d_in, double voltage);
+Quantity<Watts> electricalPowerW(Quantity<GramsForce> thrust,
+                                 Quantity<Inches> d);
+
+/**
+ * Motor current to produce `thrust` with a `d`-diameter propeller at
+ * the given supply voltage.
+ */
+Quantity<Amperes> motorCurrentA(Quantity<GramsForce> thrust,
+                                Quantity<Inches> d,
+                                Quantity<Volts> voltage);
 
 /**
  * Kv rating (RPM/V) a motor needs so that its loaded full-throttle
- * speed produces `thrust_g` grams with a `d_in`-inch propeller at
- * the given supply voltage.
+ * speed produces `thrust` with a `d`-diameter propeller at the given
+ * supply voltage.
  */
-double requiredKv(double thrust_g, double d_in, double voltage);
+double requiredKv(Quantity<GramsForce> thrust, Quantity<Inches> d,
+                  Quantity<Volts> voltage);
 
 } // namespace dronedse
 

@@ -25,8 +25,11 @@ gainMin(const PlatformSpec &spec, const OffloadScenario &sc,
         replaced_w = platformSpec(PlatformKind::RPi).powerOverheadW;
     }
     const double power_saved = replaced_w - spec.powerOverheadW;
-    return gainedFlightTimeApproxMin(power_saved, total_power_w,
-                                     sc.baselineFlightMin);
+    return gainedFlightTimeApproxMin(
+               Quantity<Watts>(power_saved),
+               Quantity<Watts>(total_power_w),
+               Quantity<Minutes>(sc.baselineFlightMin))
+        .value();
 }
 
 int

@@ -25,26 +25,26 @@ boardStateName(BoardState state)
     panic("boardStateName: invalid state");
 }
 
-double
+Quantity<Watts>
 boardStateMeanW(BoardState state)
 {
     // Section 5.1 measurements.
     switch (state) {
       case BoardState::Disconnected:
-        return 0.0;
+        return Quantity<Watts>(0.0);
       case BoardState::Autopilot:
-        return 3.39;
+        return Quantity<Watts>(3.39);
       case BoardState::AutopilotSlamIdle:
-        return 4.05;
+        return Quantity<Watts>(4.05);
       case BoardState::AutopilotSlamFlying:
-        return 4.56;
+        return Quantity<Watts>(4.56);
       case BoardState::Shutdown:
-        return 1.1; // Navio2 + telemetry still on the rail
+        return Quantity<Watts>(1.1); // Navio2 + telemetry on the rail
     }
     panic("boardStateMeanW: invalid state");
 }
 
-double
+Quantity<Watts>
 PowerTrace::meanW(double t0, double t1) const
 {
     double sum = 0.0;
@@ -55,34 +55,37 @@ PowerTrace::meanW(double t0, double t1) const
             ++count;
         }
     }
-    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    return Quantity<Watts>(
+        count > 0 ? sum / static_cast<double>(count) : 0.0);
 }
 
-double
+Quantity<Watts>
 PowerTrace::maxW(double t0, double t1) const
 {
     double best = 0.0;
     for (const auto &s : samples)
         if (s.t >= t0 && s.t < t1)
             best = std::max(best, s.powerW);
-    return best;
+    return Quantity<Watts>(best);
 }
 
-double
+Quantity<WattHours>
 PowerTrace::energyWh() const
 {
-    double wh = 0.0;
+    Quantity<WattHours> wh{};
     for (std::size_t i = 1; i < samples.size(); ++i) {
-        const double dt = samples[i].t - samples[i - 1].t;
-        wh += samples[i - 1].powerW * dt / 3600.0;
+        const Quantity<Seconds> dt(samples[i].t - samples[i - 1].t);
+        wh += (Quantity<Watts>(samples[i - 1].powerW) * dt)
+                  .to<WattHours>();
     }
     return wh;
 }
 
 PowerTrace
-boardPowerTrace(const std::vector<BoardPhase> &script, double rate_hz,
-                std::uint64_t seed)
+boardPowerTrace(const std::vector<BoardPhase> &script,
+                Quantity<Hertz> sample_rate, std::uint64_t seed)
 {
+    const double rate_hz = sample_rate.value();
     if (rate_hz <= 0.0)
         fatal("boardPowerTrace: rate must be positive");
 
@@ -92,7 +95,7 @@ boardPowerTrace(const std::vector<BoardPhase> &script, double rate_hz,
     const double dt = 1.0 / rate_hz;
     for (const auto &phase : script) {
         trace.phases.emplace_back(t, boardStateName(phase.state));
-        const double mean = boardStateMeanW(phase.state);
+        const double mean = boardStateMeanW(phase.state).value();
         const long steps =
             std::lround(phase.durationS * rate_hz);
         for (long i = 0; i < steps; ++i) {

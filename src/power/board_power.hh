@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "util/quantity.hh"
 #include "util/rng.hh"
 
 namespace dronedse {
@@ -33,11 +34,11 @@ enum class BoardState
 const char *boardStateName(BoardState state);
 
 /**
- * Mean power (W) of a state — the paper's measured averages:
+ * Mean power of a state — the paper's measured averages:
  * autopilot 3.39 W, +SLAM idle 4.05 W, +SLAM flying 4.56 W (peaks
  * to ~5 W).
  */
-double boardStateMeanW(BoardState state);
+Quantity<Watts> boardStateMeanW(BoardState state);
 
 /** One phase of a scripted board timeline. */
 struct BoardPhase
@@ -53,29 +54,32 @@ struct PowerSample
     double powerW = 0.0;
 };
 
-/** A sampled power trace with phase annotations. */
+/**
+ * A sampled power trace with phase annotations.  Raw samples are the
+ * trace/CSV boundary; the aggregate queries are typed.
+ */
 struct PowerTrace
 {
     std::vector<PowerSample> samples;
     /** (start time, label) per phase. */
     std::vector<std::pair<double, std::string>> phases;
 
-    /** Mean power between t0 and t1. */
-    double meanW(double t0, double t1) const;
+    /** Mean power between t0 and t1 (seconds on the trace axis). */
+    Quantity<Watts> meanW(double t0, double t1) const;
 
-    /** Max power between t0 and t1. */
-    double maxW(double t0, double t1) const;
+    /** Max power between t0 and t1 (seconds on the trace axis). */
+    Quantity<Watts> maxW(double t0, double t1) const;
 
-    /** Energy (Wh) integrated over the whole trace. */
-    double energyWh() const;
+    /** Energy integrated over the whole trace. */
+    Quantity<WattHours> energyWh() const;
 };
 
 /**
  * Generate the Figure 16a RPi trace for a phase script, sampled at
- * `rate_hz` with measured-looking fluctuation.
+ * `sample_rate` with measured-looking fluctuation.
  */
 PowerTrace boardPowerTrace(const std::vector<BoardPhase> &script,
-                           double rate_hz = 2.0,
+                           Quantity<Hertz> sample_rate = Quantity<Hertz>(2.0),
                            std::uint64_t seed = 5);
 
 /** The paper's Figure 16a phase script. */

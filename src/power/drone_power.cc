@@ -8,12 +8,12 @@ FlightPowerResult
 flyMeasurementFlight(const FlightPowerConfig &config)
 {
     FlightPowerResult result;
-    const double electronics =
+    const Quantity<Watts> electronics =
         config.computePowerW + config.supportPowerW;
 
     // Mission: climb to 2 m, hover, fly an aggressive box, return,
     // land (descend to 0.2 m and hold).
-    const double hold = config.hoverS;
+    const double hold = config.hoverS.value();
     std::vector<Waypoint> mission = {
         {{0, 0, 2}, 0.0, 0.4, hold},
         {{6, 0, 2.5}, 0.0, 0.6, 0.0},
@@ -32,11 +32,11 @@ flyMeasurementFlight(const FlightPowerConfig &config)
 
     // Idle on the ground: motors off, electronics on.
     double t = 0.0;
-    const double sample_dt = 0.1;
+    const Quantity<Seconds> sample_dt(0.1);
     result.trace.phases.emplace_back(t, "idle (motors off)");
-    for (; t < config.idleS; t += sample_dt) {
+    for (; t < config.idleS.value(); t += sample_dt.value()) {
         pack.discharge(electronics, sample_dt);
-        result.trace.samples.push_back({t, electronics});
+        result.trace.samples.push_back({t, electronics.value()});
     }
 
     // Flight: run the closed loop, sampling power every 100 ms.
@@ -45,14 +45,17 @@ flyMeasurementFlight(const FlightPowerConfig &config)
     double hover_sum = 0.0, flight_sum = 0.0;
     long hover_n = 0, flight_n = 0;
 
-    const double flight_duration = config.idleS + hold +
-                                   config.maneuverS + 45.0;
+    const double flight_duration = config.idleS.value() + hold +
+                                   config.maneuverS.value() + 45.0;
     while (t < flight_duration) {
-        autopilot.run(sample_dt);
-        const double power =
-            autopilot.quad().electricalPowerW() + electronics;
+        autopilot.run(sample_dt.value());
+        // The rigid-body simulator works in raw doubles; wrap its
+        // electrical power at this boundary.
+        const Quantity<Watts> power =
+            Quantity<Watts>(autopilot.quad().electricalPowerW()) +
+            electronics;
         pack.discharge(power, sample_dt);
-        result.trace.samples.push_back({t, power});
+        result.trace.samples.push_back({t, power.value()});
 
         const std::size_t wp = autopilot.navigator().currentIndex();
         if (wp >= 1 && wp <= 3) {
@@ -64,24 +67,24 @@ flyMeasurementFlight(const FlightPowerConfig &config)
                 std::max(result.maneuverPeakW, power);
         } else if (wp == 0 &&
                    autopilot.quad().state().position.z > 1.5) {
-            hover_sum += power;
+            hover_sum += power.value();
             ++hover_n;
         }
         if (autopilot.quad().state().position.z > 0.5) {
-            flight_sum += power;
+            flight_sum += power.value();
             ++flight_n;
         }
         if (autopilot.quad().upsideDown())
             result.stableFlight = false;
-        t += sample_dt;
+        t += sample_dt.value();
     }
     result.trace.phases.emplace_back(t, "landed");
 
-    result.hoverMeanW =
-        hover_n > 0 ? hover_sum / static_cast<double>(hover_n) : 0.0;
-    result.flightMeanW =
+    result.hoverMeanW = Quantity<Watts>(
+        hover_n > 0 ? hover_sum / static_cast<double>(hover_n) : 0.0);
+    result.flightMeanW = Quantity<Watts>(
         flight_n > 0 ? flight_sum / static_cast<double>(flight_n)
-                     : 0.0;
+                     : 0.0);
     result.finalSoc = pack.stateOfCharge();
     result.energyDrawnWh = pack.drawnEnergyWh();
     return result;

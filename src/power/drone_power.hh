@@ -22,17 +22,17 @@ struct FlightPowerConfig
     QuadrotorParams airframe{};
     /** Battery (3S 3000 mAh, the open-source drone's pack). */
     int cells = 3;
-    double capacityMah = 3000.0;
-    /** Compute-board power added on top of propulsion (W). */
-    double computePowerW = 4.56 + 0.75; // RPi w/ SLAM + Navio2
-    /** Support electronics (telemetry, RC, GPS) (W). */
-    double supportPowerW = 1.5;
-    /** Idle-on-ground time before takeoff (s). */
-    double idleS = 10.0;
-    /** Hover segment duration (s). */
-    double hoverS = 30.0;
-    /** Maneuver segment duration (s). */
-    double maneuverS = 20.0;
+    Quantity<MilliampHours> capacityMah{3000.0};
+    /** Compute-board power added on top of propulsion. */
+    Quantity<Watts> computePowerW{4.56 + 0.75}; // RPi w/ SLAM + Navio2
+    /** Support electronics (telemetry, RC, GPS). */
+    Quantity<Watts> supportPowerW{1.5};
+    /** Idle-on-ground time before takeoff. */
+    Quantity<Seconds> idleS{10.0};
+    /** Hover segment duration. */
+    Quantity<Seconds> hoverS{30.0};
+    /** Maneuver segment duration. */
+    Quantity<Seconds> maneuverS{20.0};
     /** Wind gusts during the flight (m/s RMS). */
     double gustIntensity = 0.8;
 };
@@ -41,16 +41,16 @@ struct FlightPowerConfig
 struct FlightPowerResult
 {
     PowerTrace trace;
-    /** Mean total power while airborne (W). */
-    double flightMeanW = 0.0;
-    /** Peak power during the maneuver segment (W). */
-    double maneuverPeakW = 0.0;
-    /** Mean power while hovering (W). */
-    double hoverMeanW = 0.0;
+    /** Mean total power while airborne. */
+    Quantity<Watts> flightMeanW{};
+    /** Peak power during the maneuver segment. */
+    Quantity<Watts> maneuverPeakW{};
+    /** Mean power while hovering. */
+    Quantity<Watts> hoverMeanW{};
     /** Battery state of charge at the end. */
     double finalSoc = 1.0;
-    /** Energy drawn (Wh). */
-    double energyDrawnWh = 0.0;
+    /** Energy drawn. */
+    Quantity<WattHours> energyDrawnWh{};
     /** True if the vehicle stayed upright throughout. */
     bool stableFlight = true;
 };

@@ -21,12 +21,14 @@ QuadrotorParams::fromDesign(const DesignResult &design)
     if (!design.feasible)
         fatal("QuadrotorParams::fromDesign: design is infeasible");
 
+    // The rigid-body simulator state is raw doubles; unwrap the typed
+    // design here.
     QuadrotorParams p;
-    p.massKg = gramsToKg(design.totalWeightG);
-    p.armLengthM = design.inputs.wheelbaseMm / 1000.0 / 2.0;
+    p.massKg = gramsToKg(design.totalWeightG).value();
+    p.armLengthM = design.inputs.wheelbaseMm.to<Meters>().value() / 2.0;
     p.propDiameterIn = design.motor.propDiameterIn;
     p.maxThrustPerMotorN =
-        design.motor.maxThrustG / kGramsPerNewton;
+        design.motor.maxThrust().to<Newtons>().value();
     // Inertia scales like m * L^2 for a cross airframe.
     const double i_xy = 0.22 * p.massKg * p.armLengthM * p.armLengthM;
     p.inertiaDiag = {i_xy, i_xy, 1.9 * i_xy};
@@ -140,10 +142,12 @@ Quadrotor::electricalPowerW() const
 {
     double power = 0.0;
     for (double thrust_n : actual_) {
-        const double thrust_g = thrust_n * kGramsPerNewton;
-        if (thrust_g > 1.0) {
-            power += dronedse::electricalPowerW(thrust_g,
-                                                params_.propDiameterIn);
+        const auto thrust =
+            Quantity<Newtons>(thrust_n).to<GramsForce>();
+        if (thrust.value() > 1.0) {
+            power += dronedse::electricalPowerW(
+                         thrust, Quantity<Inches>(params_.propDiameterIn))
+                         .value();
         }
     }
     return power;

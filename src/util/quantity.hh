@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Compile-time dimensional analysis for the design-space model.
+ *
+ * The paper's equations chain quantities in mixed units — component
+ * weights in grams, thrust in grams-force, capacity in mAh, power in
+ * watts, flight time in minutes — and a swapped argument between any
+ * two of them compiles silently when everything is a raw `double`.
+ * `Quantity<Unit>` makes the unit part of the type:
+ *
+ *   - `+`/`-` require the *same* unit (Grams + Kilograms is a
+ *     compile error until one side is explicitly converted),
+ *   - `*`/`/` between quantities combine dimensions and scales, so
+ *     `Volts{11.1} * Amperes{20}` *is* a `Quantity<Watts>`, and
+ *     `WattHours / Watts` is a `Quantity<Hours>`,
+ *   - dividing or multiplying into a fully cancelled dimension
+ *     collapses to a plain `double` (with the residual scale folded
+ *     in, so `Quantity<Minutes>(1) / Quantity<Seconds>(60) == 1.0`),
+ *   - cross-unit conversion is explicit via `.to<Other>()` and only
+ *     compiles when the dimensions match.
+ *
+ * A unit is a dimension (exponents over mass, length, time, current)
+ * plus a `std::ratio` scale to coherent SI, so unit identities such
+ * as mAh * V = mWh and gf = g * g0 are checked by the compiler
+ * rather than by convention.  The wrapper is a single `double` —
+ * trivially copyable, fully `constexpr`, zero overhead.
+ */
+
+#ifndef DRONEDSE_UTIL_QUANTITY_HH
+#define DRONEDSE_UTIL_QUANTITY_HH
+
+#include <ratio>
+#include <type_traits>
+
+namespace dronedse {
+
+/** Exponents of one derived dimension over the SI base set we use. */
+template <int MassExp, int LengthExp, int TimeExp, int CurrentExp>
+struct Dimension
+{
+    static constexpr int mass = MassExp;
+    static constexpr int length = LengthExp;
+    static constexpr int time = TimeExp;
+    static constexpr int current = CurrentExp;
+};
+
+template <typename A, typename B>
+using DimProduct = Dimension<A::mass + B::mass, A::length + B::length,
+                             A::time + B::time, A::current + B::current>;
+
+template <typename A, typename B>
+using DimQuotient = Dimension<A::mass - B::mass, A::length - B::length,
+                              A::time - B::time, A::current - B::current>;
+
+using Dimensionless = Dimension<0, 0, 0, 0>;
+using MassDim = Dimension<1, 0, 0, 0>;
+using LengthDim = Dimension<0, 1, 0, 0>;
+using TimeDim = Dimension<0, 0, 1, 0>;
+using CurrentDim = Dimension<0, 0, 0, 1>;
+using FrequencyDim = Dimension<0, 0, -1, 0>;
+using ForceDim = Dimension<1, 1, -2, 0>;
+using EnergyDim = Dimension<1, 2, -2, 0>;
+using PowerDim = Dimension<1, 2, -3, 0>;
+using VoltageDim = Dimension<1, 2, -3, -1>;
+using ChargeDim = Dimension<0, 0, 1, 1>;
+
+/**
+ * A unit: a dimension plus the `std::ratio` scale that converts one
+ * stored unit into coherent SI (value_SI = value * Scale).
+ */
+template <typename D, typename Scale = std::ratio<1>>
+struct Unit
+{
+    using Dim = D;
+    using ScaleToSi = Scale;
+};
+
+// -- The model's unit vocabulary -----------------------------------
+using Scalar = Unit<Dimensionless>;
+using Kilograms = Unit<MassDim>;
+using Grams = Unit<MassDim, std::milli>;
+using Meters = Unit<LengthDim>;
+using Millimeters = Unit<LengthDim, std::milli>;
+/**
+ * 1 in = 0.0254 m exactly.  All scale ratios below are written in
+ * lowest terms: `std::ratio<36, 10>` and `std::ratio<18, 5>` are
+ * *different types* even though they compare equal, and unit-product
+ * types (built from the always-reduced `std::ratio_multiply`) must
+ * land exactly on these named units.
+ */
+using Inches = Unit<LengthDim, std::ratio<127, 5000>>;
+using Seconds = Unit<TimeDim>;
+using Minutes = Unit<TimeDim, std::ratio<60>>;
+using Hours = Unit<TimeDim, std::ratio<3600>>;
+using Hertz = Unit<FrequencyDim>;
+/** Rotation rate in revolutions per second (same dimension as Hz). */
+using RevPerSec = Hertz;
+using Rpm = Unit<FrequencyDim, std::ratio<1, 60>>;
+using Amperes = Unit<CurrentDim>;
+using Newtons = Unit<ForceDim>;
+/**
+ * Grams-force, the paper's thrust unit: 1 gf = 1 g * g0 =
+ * 0.00980665 N exactly (standard gravity).
+ */
+using GramsForce = Unit<ForceDim, std::ratio<196133, 20000000>>;
+using Joules = Unit<EnergyDim>;
+using WattHours = Unit<EnergyDim, std::ratio<3600>>;
+using MilliwattHours = Unit<EnergyDim, std::ratio<18, 5>>;
+using Watts = Unit<PowerDim>;
+using Volts = Unit<VoltageDim>;
+using Coulombs = Unit<ChargeDim>;
+/** 1 mAh = 3.6 C, so mAh * V lands on mWh, not Wh. */
+using MilliampHours = Unit<ChargeDim, std::ratio<18, 5>>;
+
+namespace detail {
+
+template <typename D>
+inline constexpr bool is_dimensionless =
+    std::is_same_v<D, Dimensionless>;
+
+template <typename Ratio>
+constexpr double
+ratioAsDouble()
+{
+    return static_cast<double>(Ratio::num) /
+           static_cast<double>(Ratio::den);
+}
+
+} // namespace detail
+
+/** A `double` whose unit is part of the type. */
+template <typename U>
+class Quantity
+{
+  public:
+    using UnitType = U;
+    using Dim = typename U::Dim;
+
+    constexpr Quantity() = default;
+    constexpr explicit Quantity(double v) : v_(v) {}
+
+    /** Raw magnitude in this quantity's own unit. */
+    constexpr double value() const { return v_; }
+
+    /** Convert to another unit of the same dimension (checked). */
+    template <typename To>
+    constexpr Quantity<To>
+    to() const
+    {
+        static_assert(std::is_same_v<Dim, typename To::Dim>,
+                      "Quantity::to<>: dimensions do not match");
+        using Factor = std::ratio_divide<typename U::ScaleToSi,
+                                         typename To::ScaleToSi>;
+        return Quantity<To>(v_ * detail::ratioAsDouble<Factor>());
+    }
+
+    /** Magnitude expressed in another unit of the same dimension. */
+    template <typename To>
+    constexpr double
+    in() const
+    {
+        return to<To>().value();
+    }
+
+    constexpr Quantity operator-() const { return Quantity(-v_); }
+
+    constexpr Quantity &
+    operator+=(Quantity other)
+    {
+        v_ += other.v_;
+        return *this;
+    }
+
+    constexpr Quantity &
+    operator-=(Quantity other)
+    {
+        v_ -= other.v_;
+        return *this;
+    }
+
+    constexpr Quantity &
+    operator*=(double s)
+    {
+        v_ *= s;
+        return *this;
+    }
+
+    constexpr Quantity &
+    operator/=(double s)
+    {
+        v_ /= s;
+        return *this;
+    }
+
+    friend constexpr Quantity
+    operator+(Quantity a, Quantity b)
+    {
+        return Quantity(a.v_ + b.v_);
+    }
+
+    friend constexpr Quantity
+    operator-(Quantity a, Quantity b)
+    {
+        return Quantity(a.v_ - b.v_);
+    }
+
+    friend constexpr Quantity
+    operator*(Quantity q, double s)
+    {
+        return Quantity(q.v_ * s);
+    }
+
+    friend constexpr Quantity
+    operator*(double s, Quantity q)
+    {
+        return Quantity(s * q.v_);
+    }
+
+    friend constexpr Quantity
+    operator/(Quantity q, double s)
+    {
+        return Quantity(q.v_ / s);
+    }
+
+    friend constexpr auto operator<=>(Quantity, Quantity) = default;
+
+  private:
+    double v_ = 0.0;
+};
+
+/**
+ * Product of two quantities: dimensions add, scales multiply.  When
+ * the dimensions fully cancel the result collapses to a plain
+ * `double` with the residual scale folded in.
+ */
+template <typename U1, typename U2>
+constexpr auto
+operator*(Quantity<U1> a, Quantity<U2> b)
+{
+    using D = DimProduct<typename U1::Dim, typename U2::Dim>;
+    using S = std::ratio_multiply<typename U1::ScaleToSi,
+                                  typename U2::ScaleToSi>;
+    if constexpr (detail::is_dimensionless<D>)
+        return a.value() * b.value() * detail::ratioAsDouble<S>();
+    else
+        return Quantity<Unit<D, S>>(a.value() * b.value());
+}
+
+/**
+ * Quotient of two quantities: dimensions subtract, scales divide.
+ * Same-dimension division yields the plain `double` ratio (scale
+ * difference folded in), so `Quantity<Minutes>(1) /
+ * Quantity<Seconds>(60) == 1.0`.
+ */
+template <typename U1, typename U2>
+constexpr auto
+operator/(Quantity<U1> a, Quantity<U2> b)
+{
+    using D = DimQuotient<typename U1::Dim, typename U2::Dim>;
+    using S = std::ratio_divide<typename U1::ScaleToSi,
+                                typename U2::ScaleToSi>;
+    if constexpr (detail::is_dimensionless<D>)
+        return a.value() / b.value() * detail::ratioAsDouble<S>();
+    else
+        return Quantity<Unit<D, S>>(a.value() / b.value());
+}
+
+// -- The paper's mass <-> thrust identity --------------------------
+
+/**
+ * Weight force of a mass under standard gravity: X g of mass weighs
+ * X gf.  This is the only sanctioned bridge between the mass and
+ * force dimensions (Equation 2's `TWR * Weight`).
+ */
+constexpr Quantity<GramsForce>
+weightForce(Quantity<Grams> mass)
+{
+    return Quantity<GramsForce>(mass.value());
+}
+
+/** Mass a thrust can hold against standard gravity (inverse). */
+constexpr Quantity<Grams>
+liftableMass(Quantity<GramsForce> thrust)
+{
+    return Quantity<Grams>(thrust.value());
+}
+
+// -- Literals ------------------------------------------------------
+
+namespace unit_literals {
+
+// clang-format off
+constexpr Quantity<Grams>          operator""_g(long double v)   { return Quantity<Grams>(static_cast<double>(v)); }
+constexpr Quantity<Grams>          operator""_g(unsigned long long v)   { return Quantity<Grams>(static_cast<double>(v)); }
+constexpr Quantity<Kilograms>      operator""_kg(long double v)  { return Quantity<Kilograms>(static_cast<double>(v)); }
+constexpr Quantity<Kilograms>      operator""_kg(unsigned long long v)  { return Quantity<Kilograms>(static_cast<double>(v)); }
+constexpr Quantity<Newtons>        operator""_n(long double v)   { return Quantity<Newtons>(static_cast<double>(v)); }
+constexpr Quantity<Newtons>        operator""_n(unsigned long long v)   { return Quantity<Newtons>(static_cast<double>(v)); }
+constexpr Quantity<GramsForce>     operator""_gf(long double v)  { return Quantity<GramsForce>(static_cast<double>(v)); }
+constexpr Quantity<GramsForce>     operator""_gf(unsigned long long v)  { return Quantity<GramsForce>(static_cast<double>(v)); }
+constexpr Quantity<Watts>          operator""_w(long double v)   { return Quantity<Watts>(static_cast<double>(v)); }
+constexpr Quantity<Watts>          operator""_w(unsigned long long v)   { return Quantity<Watts>(static_cast<double>(v)); }
+constexpr Quantity<WattHours>      operator""_wh(long double v)  { return Quantity<WattHours>(static_cast<double>(v)); }
+constexpr Quantity<WattHours>      operator""_wh(unsigned long long v)  { return Quantity<WattHours>(static_cast<double>(v)); }
+constexpr Quantity<MilliampHours>  operator""_mah(long double v) { return Quantity<MilliampHours>(static_cast<double>(v)); }
+constexpr Quantity<MilliampHours>  operator""_mah(unsigned long long v) { return Quantity<MilliampHours>(static_cast<double>(v)); }
+constexpr Quantity<Volts>          operator""_v(long double v)   { return Quantity<Volts>(static_cast<double>(v)); }
+constexpr Quantity<Volts>          operator""_v(unsigned long long v)   { return Quantity<Volts>(static_cast<double>(v)); }
+constexpr Quantity<Amperes>        operator""_a(long double v)   { return Quantity<Amperes>(static_cast<double>(v)); }
+constexpr Quantity<Amperes>        operator""_a(unsigned long long v)   { return Quantity<Amperes>(static_cast<double>(v)); }
+constexpr Quantity<Minutes>        operator""_min(long double v) { return Quantity<Minutes>(static_cast<double>(v)); }
+constexpr Quantity<Minutes>        operator""_min(unsigned long long v) { return Quantity<Minutes>(static_cast<double>(v)); }
+constexpr Quantity<Seconds>        operator""_s(long double v)   { return Quantity<Seconds>(static_cast<double>(v)); }
+constexpr Quantity<Seconds>        operator""_s(unsigned long long v)   { return Quantity<Seconds>(static_cast<double>(v)); }
+constexpr Quantity<Meters>         operator""_m(long double v)   { return Quantity<Meters>(static_cast<double>(v)); }
+constexpr Quantity<Meters>         operator""_m(unsigned long long v)   { return Quantity<Meters>(static_cast<double>(v)); }
+constexpr Quantity<Millimeters>    operator""_mm(long double v)  { return Quantity<Millimeters>(static_cast<double>(v)); }
+constexpr Quantity<Millimeters>    operator""_mm(unsigned long long v)  { return Quantity<Millimeters>(static_cast<double>(v)); }
+constexpr Quantity<Inches>         operator""_in(long double v)  { return Quantity<Inches>(static_cast<double>(v)); }
+constexpr Quantity<Inches>         operator""_in(unsigned long long v)  { return Quantity<Inches>(static_cast<double>(v)); }
+constexpr Quantity<Rpm>            operator""_rpm(long double v) { return Quantity<Rpm>(static_cast<double>(v)); }
+constexpr Quantity<Rpm>            operator""_rpm(unsigned long long v) { return Quantity<Rpm>(static_cast<double>(v)); }
+constexpr Quantity<Hertz>          operator""_hz(long double v)  { return Quantity<Hertz>(static_cast<double>(v)); }
+constexpr Quantity<Hertz>          operator""_hz(unsigned long long v)  { return Quantity<Hertz>(static_cast<double>(v)); }
+// clang-format on
+
+} // namespace unit_literals
+
+// -- Compile-time unit-algebra self-checks -------------------------
+
+static_assert(sizeof(Quantity<Watts>) == sizeof(double),
+              "Quantity must stay a zero-overhead double wrapper");
+static_assert(std::is_trivially_copyable_v<Quantity<Grams>>);
+static_assert(
+    std::is_same_v<decltype(Quantity<Volts>(1.0) * Quantity<Amperes>(1.0)),
+                   Quantity<Watts>>,
+    "V * A must be exactly W");
+static_assert(
+    std::is_same_v<decltype(Quantity<Watts>(1.0) * Quantity<Hours>(1.0)),
+                   Quantity<WattHours>>,
+    "W * h must be exactly Wh");
+static_assert(
+    std::is_same_v<decltype(Quantity<WattHours>(1.0) / Quantity<Watts>(1.0)),
+                   Quantity<Hours>>,
+    "Wh / W must be exactly h");
+static_assert(
+    std::is_same_v<decltype(Quantity<MilliampHours>(1.0) *
+                            Quantity<Volts>(1.0)),
+                   Quantity<MilliwattHours>>,
+    "mAh * V must land on mWh (the classic 1000x trap)");
+static_assert(Quantity<Minutes>(64.0) / Quantity<Seconds>(2.0) == 1920.0,
+              "same-dimension division folds the scale in");
+static_assert(Quantity<Grams>(1500.0).to<Kilograms>().value() == 1.5);
+static_assert(weightForce(Quantity<Grams>(850.0)).value() == 850.0);
+
+} // namespace dronedse
+
+#endif // DRONEDSE_UTIL_QUANTITY_HH

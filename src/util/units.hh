@@ -5,11 +5,15 @@
  * The design-space model follows the paper's unit conventions:
  * component weights in grams, battery capacity in mAh, power in
  * watts, currents in amperes, wheelbase and propeller sizes in
- * millimetres/inches, flight time in minutes.
+ * millimetres/inches, flight time in minutes.  The conversion
+ * helpers are typed (see util/quantity.hh), so a caller cannot feed
+ * watts where mAh are expected: the mismatch is a compile error.
  */
 
 #ifndef DRONEDSE_UTIL_UNITS_HH
 #define DRONEDSE_UTIL_UNITS_HH
+
+#include "util/quantity.hh"
 
 namespace dronedse {
 
@@ -34,53 +38,65 @@ inline constexpr double kMetersPerInch = 0.0254;
 /** Grams-force per newton: thrust(g) = thrust(N) * kGramsPerNewton. */
 inline constexpr double kGramsPerNewton = 1000.0 / kGravity;
 
-/** Convert grams to kilograms. */
-constexpr double
-gramsToKg(double grams)
+/** Nominal pack voltage of a LiPo of `cells` series cells. */
+constexpr Quantity<Volts>
+lipoPackVoltage(int cells)
 {
-    return grams / 1000.0;
+    return Quantity<Volts>(cells * kLipoCellVoltage);
+}
+
+/** Convert grams to kilograms. */
+constexpr Quantity<Kilograms>
+gramsToKg(Quantity<Grams> grams)
+{
+    return grams.to<Kilograms>();
 }
 
 /** Convert kilograms to grams. */
-constexpr double
-kgToGrams(double kg)
+constexpr Quantity<Grams>
+kgToGrams(Quantity<Kilograms> kg)
 {
-    return kg * 1000.0;
+    return kg.to<Grams>();
 }
 
 /** Convert inches to metres. */
-constexpr double
-inchesToMeters(double inches)
+constexpr Quantity<Meters>
+inchesToMeters(Quantity<Inches> inches)
 {
-    return inches * kMetersPerInch;
+    return inches.to<Meters>();
 }
 
 /** Convert RPM to revolutions per second. */
-constexpr double
-rpmToRevPerSec(double rpm)
+constexpr Quantity<RevPerSec>
+rpmToRevPerSec(Quantity<Rpm> rpm)
 {
-    return rpm / 60.0;
+    return rpm.to<RevPerSec>();
 }
 
 /** Convert revolutions per second to RPM. */
-constexpr double
-revPerSecToRpm(double rev_per_sec)
+constexpr Quantity<Rpm>
+revPerSecToRpm(Quantity<RevPerSec> rev_per_sec)
 {
-    return rev_per_sec * 60.0;
+    return rev_per_sec.to<Rpm>();
 }
 
-/** Energy (Wh) stored in a battery of given capacity and voltage. */
-constexpr double
-capacityToWattHours(double capacity_mah, double voltage)
+/**
+ * Energy stored in a battery of given capacity and voltage.  The
+ * mAh * V product lands on milliwatt-hours; the conversion to Wh is
+ * part of the checked unit algebra (the classic 1000x trap).
+ */
+constexpr Quantity<WattHours>
+capacityToWattHours(Quantity<MilliampHours> capacity,
+                    Quantity<Volts> voltage)
 {
-    return capacity_mah / 1000.0 * voltage;
+    return (capacity * voltage).to<WattHours>();
 }
 
 /** Minutes of runtime for an energy store at constant power draw. */
-constexpr double
-wattHoursToMinutes(double watt_hours, double power_w)
+constexpr Quantity<Minutes>
+wattHoursToMinutes(Quantity<WattHours> energy, Quantity<Watts> power)
 {
-    return watt_hours / power_w * 60.0;
+    return (energy / power).to<Minutes>();
 }
 
 } // namespace dronedse

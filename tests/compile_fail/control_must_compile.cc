@@ -1,0 +1,13 @@
+// Positive control for the negative-compile harness: this file uses
+// the same include path and flags as the must-fail snippets and MUST
+// compile.  If it fails, the harness is broken (e.g. a bad include
+// dir), and the "expected failures" above prove nothing.
+#include "util/quantity.hh"
+
+int
+main()
+{
+    using namespace dronedse;
+    const auto p = Quantity<Volts>(11.1) * Quantity<Amperes>(2.0);
+    return p.value() > 0.0 ? 0 : 1;
+}

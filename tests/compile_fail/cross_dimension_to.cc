@@ -1,0 +1,12 @@
+// MUST NOT COMPILE: .to<>() converts between units of the *same*
+// dimension only; watt-hours are not minutes.
+#include "util/quantity.hh"
+
+int
+main()
+{
+    using namespace dronedse;
+    auto bad = Quantity<WattHours>(1.0).to<Minutes>();
+    (void)bad;
+    return 0;
+}

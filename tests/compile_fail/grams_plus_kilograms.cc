@@ -1,0 +1,13 @@
+// MUST NOT COMPILE: same dimension, different unit — adding grams to
+// kilograms without an explicit .to<>() conversion is the silent
+// 1000x bug the type system exists to stop.
+#include "util/quantity.hh"
+
+int
+main()
+{
+    using namespace dronedse;
+    auto bad = Quantity<Grams>(1.0) + Quantity<Kilograms>(1.0);
+    (void)bad;
+    return 0;
+}

@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: adding a mass to a power mixes dimensions.
+#include "util/quantity.hh"
+
+int
+main()
+{
+    using namespace dronedse;
+    auto bad = Quantity<Grams>(1.0) + Quantity<Watts>(1.0);
+    (void)bad;
+    return 0;
+}

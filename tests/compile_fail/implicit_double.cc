@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: Quantity's constructor is explicit, so a raw
+// double cannot silently become a typed value.
+#include "util/quantity.hh"
+
+int
+main()
+{
+    dronedse::Quantity<dronedse::Watts> p = 4.5;
+    (void)p;
+    return 0;
+}

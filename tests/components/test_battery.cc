@@ -6,6 +6,8 @@
 namespace dronedse {
 namespace {
 
+using namespace unit_literals;
+
 TEST(Battery, PaperFitCoefficients)
 {
     // Figure 7 legend values.
@@ -23,17 +25,17 @@ TEST(Battery, RecordDerivedQuantities)
     rec.cells = 3;
     rec.capacityMah = 3000.0;
     rec.dischargeC = 30.0;
-    EXPECT_NEAR(rec.nominalVoltage(), 11.1, 1e-9);
-    EXPECT_NEAR(rec.energyWh(), 33.3, 1e-9);
-    EXPECT_NEAR(rec.maxContinuousCurrentA(), 90.0, 1e-9);
+    EXPECT_NEAR(rec.nominalVoltage().value(), 11.1, 1e-9);
+    EXPECT_NEAR(rec.energyWh().value(), 33.3, 1e-9);
+    EXPECT_NEAR(rec.maxContinuousCurrentA().value(), 90.0, 1e-9);
 }
 
 TEST(Battery, WeightInversion)
 {
-    const double w = batteryWeightG(4, 5000.0);
-    EXPECT_NEAR(batteryCapacityAtWeight(4, w), 5000.0, 1e-6);
+    const Quantity<Grams> w = batteryWeightG(4, 5000.0_mah);
+    EXPECT_NEAR(batteryCapacityAtWeight(4, w).value(), 5000.0, 1e-6);
     // Below the intercept no capacity is reachable.
-    EXPECT_EQ(batteryCapacityAtWeight(6, 100.0), 0.0);
+    EXPECT_EQ(batteryCapacityAtWeight(6, 100.0_g).value(), 0.0);
 }
 
 TEST(Battery, CatalogReproducesPaperFits)
@@ -57,15 +59,17 @@ TEST(Battery, HigherVoltagePacksHaveHigherOverhead)
 {
     // Figure 7 observation: higher-voltage packs carry more casing
     // and interconnect overhead at the same capacity.
-    EXPECT_GT(batteryWeightG(6, 4000.0), batteryWeightG(3, 4000.0));
-    EXPECT_GT(batteryWeightG(3, 4000.0), batteryWeightG(1, 4000.0));
+    EXPECT_GT(batteryWeightG(6, 4000.0_mah),
+              batteryWeightG(3, 4000.0_mah));
+    EXPECT_GT(batteryWeightG(3, 4000.0_mah),
+              batteryWeightG(1, 4000.0_mah));
 }
 
 TEST(Battery, WeightMonotoneInCapacity)
 {
     for (int cells = kMinCells; cells <= kMaxCells; ++cells) {
-        EXPECT_LT(batteryWeightG(cells, 1000.0),
-                  batteryWeightG(cells, 8000.0));
+        EXPECT_LT(batteryWeightG(cells, 1000.0_mah),
+                  batteryWeightG(cells, 8000.0_mah));
     }
 }
 

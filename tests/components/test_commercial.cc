@@ -22,12 +22,12 @@ TEST(Commercial, ImpliedHoverPowerIsPlausible)
 {
     // A Mavic-class drone hovers at roughly 80-120 W.
     const auto &mavic = findCommercialDrone("DJI MAVIC");
-    const double p = mavic.impliedHoverPowerW();
+    const double p = mavic.impliedHoverPowerW().value();
     EXPECT_GT(p, 60.0);
     EXPECT_LT(p, 140.0);
 
     // Maneuvering multiplies by the load-fraction ratio (> 2x).
-    EXPECT_GT(mavic.impliedManeuverPowerW(), 2.0 * p);
+    EXPECT_GT(mavic.impliedManeuverPowerW().value(), 2.0 * p);
 }
 
 TEST(Commercial, ClassPartitions)

@@ -5,6 +5,8 @@
 namespace dronedse {
 namespace {
 
+using namespace unit_literals;
+
 TEST(Esc, PaperFitCoefficients)
 {
     const LinearFit lf = paperEscFit(EscClass::LongFlight);
@@ -19,8 +21,10 @@ TEST(Esc, ShortFlightEscsAreLighter)
 {
     // Racing ESCs trade thermal headroom for weight (Figure 8a).
     for (double current = 20.0; current <= 90.0; current += 10.0) {
-        EXPECT_LT(escSetWeightG(current, EscClass::ShortFlight),
-                  escSetWeightG(current, EscClass::LongFlight))
+        EXPECT_LT(escSetWeightG(Quantity<Amperes>(current),
+                                EscClass::ShortFlight),
+                  escSetWeightG(Quantity<Amperes>(current),
+                                EscClass::LongFlight))
             << "at " << current << " A";
     }
 }
@@ -28,14 +32,14 @@ TEST(Esc, ShortFlightEscsAreLighter)
 TEST(Esc, WeightClampedForTinyCurrents)
 {
     // The long-flight fit goes negative below ~3 A; the model clamps.
-    EXPECT_GE(escSetWeightG(1.0, EscClass::LongFlight), 10.0);
+    EXPECT_GE(escSetWeightG(1.0_a, EscClass::LongFlight).value(), 10.0);
 }
 
 TEST(Esc, WeightMonotoneInCurrent)
 {
     double prev = 0.0;
     for (double current = 10.0; current <= 90.0; current += 5.0) {
-        const double w = escSetWeightG(current);
+        const double w = escSetWeightG(Quantity<Amperes>(current)).value();
         EXPECT_GE(w, prev);
         prev = w;
     }

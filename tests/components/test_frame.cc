@@ -5,17 +5,21 @@
 namespace dronedse {
 namespace {
 
+using namespace unit_literals;
+
 TEST(Frame, PaperFitAboveBoundary)
 {
-    EXPECT_NEAR(frameWeightG(450.0), 1.2767 * 450.0 - 167.6, 1e-9);
-    EXPECT_NEAR(frameWeightG(960.0), 1.2767 * 960.0 - 167.6, 1e-9);
+    EXPECT_NEAR(frameWeightG(450.0_mm).value(),
+                1.2767 * 450.0 - 167.6, 1e-9);
+    EXPECT_NEAR(frameWeightG(960.0_mm).value(),
+                1.2767 * 960.0 - 167.6, 1e-9);
 }
 
 TEST(Frame, SmallFramesInPaperBand)
 {
     // Below 200 mm, Figure 8b shows a 50-200 g band.
     for (double wb = 60.0; wb <= 200.0; wb += 20.0) {
-        const double w = frameWeightG(wb);
+        const double w = frameWeightG(Quantity<Millimeters>(wb)).value();
         EXPECT_GE(w, 50.0) << wb;
         EXPECT_LE(w, 200.0) << wb;
     }
@@ -23,14 +27,15 @@ TEST(Frame, SmallFramesInPaperBand)
 
 TEST(Frame, ContinuousAtBoundary)
 {
-    EXPECT_NEAR(frameWeightG(200.0), frameWeightG(200.01), 0.5);
+    EXPECT_NEAR(frameWeightG(200.0_mm).value(),
+                frameWeightG(200.01_mm).value(), 0.5);
 }
 
 TEST(Frame, WeightMonotoneInWheelbase)
 {
     double prev = 0.0;
     for (double wb = 60.0; wb <= 1100.0; wb += 20.0) {
-        const double w = frameWeightG(wb);
+        const double w = frameWeightG(Quantity<Millimeters>(wb)).value();
         EXPECT_GE(w, prev) << wb;
         prev = w;
     }
@@ -38,22 +43,22 @@ TEST(Frame, WeightMonotoneInWheelbase)
 
 TEST(Frame, PropPairingsMatchFigure9)
 {
-    EXPECT_NEAR(maxPropDiameterIn(50.0), 1.0, 1e-9);
-    EXPECT_NEAR(maxPropDiameterIn(100.0), 2.0, 1e-9);
-    EXPECT_NEAR(maxPropDiameterIn(200.0), 5.0, 1e-9);
-    EXPECT_NEAR(maxPropDiameterIn(450.0), 10.0, 1e-9);
-    EXPECT_NEAR(maxPropDiameterIn(800.0), 20.0, 1e-9);
+    EXPECT_NEAR(maxPropDiameterIn(50.0_mm).value(), 1.0, 1e-9);
+    EXPECT_NEAR(maxPropDiameterIn(100.0_mm).value(), 2.0, 1e-9);
+    EXPECT_NEAR(maxPropDiameterIn(200.0_mm).value(), 5.0, 1e-9);
+    EXPECT_NEAR(maxPropDiameterIn(450.0_mm).value(), 10.0, 1e-9);
+    EXPECT_NEAR(maxPropDiameterIn(800.0_mm).value(), 20.0, 1e-9);
 }
 
 TEST(Frame, PropInterpolatesAndExtrapolates)
 {
     // Between anchors: monotone.
-    EXPECT_GT(maxPropDiameterIn(300.0), 5.0);
-    EXPECT_LT(maxPropDiameterIn(300.0), 10.0);
+    EXPECT_GT(maxPropDiameterIn(300.0_mm).value(), 5.0);
+    EXPECT_LT(maxPropDiameterIn(300.0_mm).value(), 10.0);
     // Beyond 800 mm extrapolates upward.
-    EXPECT_GT(maxPropDiameterIn(1000.0), 20.0);
+    EXPECT_GT(maxPropDiameterIn(1000.0_mm).value(), 20.0);
     // Tiny wheelbase scales toward zero.
-    EXPECT_LT(maxPropDiameterIn(25.0), 1.0);
+    EXPECT_LT(maxPropDiameterIn(25.0_mm).value(), 1.0);
 }
 
 TEST(Frame, CatalogIncludesNamedFrames)
@@ -84,8 +89,9 @@ TEST(Frame, CatalogRefitNearPaperSlope)
 
 TEST(FrameDeath, RejectsNonPositiveWheelbase)
 {
-    EXPECT_EXIT(frameWeightG(0.0), testing::ExitedWithCode(1), "");
-    EXPECT_EXIT(maxPropDiameterIn(-5.0), testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(frameWeightG(0.0_mm), testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(maxPropDiameterIn(-5.0_mm), testing::ExitedWithCode(1),
+                "");
 }
 
 } // namespace

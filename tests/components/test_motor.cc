@@ -6,20 +6,22 @@
 namespace dronedse {
 namespace {
 
+using namespace unit_literals;
+
 TEST(Motor, WeightAnchors)
 {
     // Paper Section 3.1: ~5 g motors on 100 mm drones, ~100 g on
     // 1000 mm drones; MT2213 (~850 g thrust) weighs ~55 g.
-    EXPECT_NEAR(motorWeightG(75.0), 5.0, 3.0);
-    EXPECT_NEAR(motorWeightG(850.0), 55.0, 10.0);
-    EXPECT_NEAR(motorWeightG(1500.0), 100.0, 15.0);
+    EXPECT_NEAR(motorWeightG(75.0_gf).value(), 5.0, 3.0);
+    EXPECT_NEAR(motorWeightG(850.0_gf).value(), 55.0, 10.0);
+    EXPECT_NEAR(motorWeightG(1500.0_gf).value(), 100.0, 15.0);
 }
 
 TEST(Motor, WeightMonotoneInThrust)
 {
     double prev = 0.0;
     for (double thrust = 50.0; thrust <= 5000.0; thrust += 100.0) {
-        const double w = motorWeightG(thrust);
+        const double w = motorWeightG(Quantity<GramsForce>(thrust)).value();
         EXPECT_GT(w, prev);
         prev = w;
     }
@@ -27,8 +29,8 @@ TEST(Motor, WeightMonotoneInThrust)
 
 TEST(Motor, MatchMotorConsistency)
 {
-    const double volts = 3 * kLipoCellVoltage;
-    const MotorRecord rec = matchMotor(600.0, 10.0, volts);
+    const Quantity<Volts> volts = lipoPackVoltage(3);
+    const MotorRecord rec = matchMotor(600.0_gf, 10.0_in, volts);
     EXPECT_GT(rec.kv, 0.0);
     EXPECT_GT(rec.maxCurrentA, 0.0);
     EXPECT_NEAR(rec.maxThrustG, 600.0, 1e-12);
@@ -41,10 +43,10 @@ TEST(Motor, MatchMotorConsistency)
 
 TEST(Motor, HigherVoltageLowersKvAndCurrent)
 {
-    const MotorRecord m3s = matchMotor(800.0, 10.0,
-                                       3 * kLipoCellVoltage);
-    const MotorRecord m6s = matchMotor(800.0, 10.0,
-                                       6 * kLipoCellVoltage);
+    const MotorRecord m3s = matchMotor(800.0_gf, 10.0_in,
+                                       lipoPackVoltage(3));
+    const MotorRecord m6s = matchMotor(800.0_gf, 10.0_in,
+                                       lipoPackVoltage(6));
     EXPECT_GT(m3s.kv, m6s.kv);
     EXPECT_GT(m3s.maxCurrentA, m6s.maxCurrentA);
 }
@@ -69,9 +71,9 @@ TEST(Motor, CatalogSpansClasses)
 
 TEST(MotorDeath, RejectsNonPositiveThrust)
 {
-    EXPECT_EXIT(matchMotor(0.0, 10.0, 11.1),
+    EXPECT_EXIT(matchMotor(0.0_gf, 10.0_in, 11.1_v),
                 testing::ExitedWithCode(1), "");
-    EXPECT_EXIT(motorWeightG(-1.0), testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(motorWeightG(-1.0_gf), testing::ExitedWithCode(1), "");
 }
 
 } // namespace

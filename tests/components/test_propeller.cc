@@ -5,28 +5,30 @@
 namespace dronedse {
 namespace {
 
+using namespace unit_literals;
+
 TEST(Propeller, TenInchMatchesOurDrone)
 {
     // Figure 14: four 1045 props weigh 40 g.
-    EXPECT_NEAR(propellerSetWeightG(10.0), 40.0, 2.0);
+    EXPECT_NEAR(propellerSetWeightG(10.0_in).value(), 40.0, 2.0);
 }
 
 TEST(Propeller, PitchIsFractionOfDiameter)
 {
-    const PropellerRecord rec = makePropeller(10.0);
+    const PropellerRecord rec = makePropeller(10.0_in);
     EXPECT_NEAR(rec.pitchIn, 4.5, 0.1);
 }
 
 TEST(Propeller, WeightScalesWithArea)
 {
-    const double w5 = propellerSetWeightG(5.0);
-    const double w10 = propellerSetWeightG(10.0);
+    const double w5 = propellerSetWeightG(5.0_in).value();
+    const double w10 = propellerSetWeightG(10.0_in).value();
     EXPECT_NEAR(w10 / w5, 4.0, 1e-9);
 }
 
 TEST(PropellerDeath, RejectsNonPositiveDiameter)
 {
-    EXPECT_EXIT(makePropeller(0.0), testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(makePropeller(0.0_in), testing::ExitedWithCode(1), "");
 }
 
 } // namespace

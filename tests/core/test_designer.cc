@@ -6,23 +6,25 @@
 namespace dronedse {
 namespace {
 
+using namespace unit_literals;
+
 TEST(Designer, FluentBuilderSetsInputs)
 {
     DroneDesigner d;
-    d.wheelbase(450.0)
-        .battery(3, 4000.0)
+    d.wheelbase(450.0_mm)
+        .battery(3, 4000.0_mah)
         .twr(2.5)
-        .payload(100.0)
+        .payload(100.0_g)
         .activity(FlightActivity::Maneuvering)
-        .propeller(9.0);
+        .propeller(9.0_in);
     const DesignInputs &in = d.inputs();
-    EXPECT_EQ(in.wheelbaseMm, 450.0);
+    EXPECT_EQ(in.wheelbaseMm, 450.0_mm);
     EXPECT_EQ(in.cells, 3);
-    EXPECT_EQ(in.capacityMah, 4000.0);
+    EXPECT_EQ(in.capacityMah, 4000.0_mah);
     EXPECT_EQ(in.twr, 2.5);
-    EXPECT_EQ(in.payloadG, 100.0);
+    EXPECT_EQ(in.payloadG, 100.0_g);
     EXPECT_EQ(in.activity, FlightActivity::Maneuvering);
-    EXPECT_EQ(in.propDiameterIn, 9.0);
+    EXPECT_EQ(in.propDiameterIn, 9.0_in);
 }
 
 TEST(Designer, SensorAccumulates)
@@ -30,9 +32,9 @@ TEST(Designer, SensorAccumulates)
     DroneDesigner d;
     d.sensor(findSensor("RunCam Night Eagle 2"))
         .sensor(findSensor("Ultra Puck"));
-    EXPECT_NEAR(d.inputs().sensorWeightG, 14.5 + 925.0, 1e-9);
+    EXPECT_NEAR(d.inputs().sensorWeightG.value(), 14.5 + 925.0, 1e-9);
     // LiDAR self-powered, camera draws 1 W.
-    EXPECT_NEAR(d.inputs().sensorPowerW, 1.0, 1e-9);
+    EXPECT_NEAR(d.inputs().sensorPowerW.value(), 1.0, 1e-9);
 }
 
 TEST(Designer, DesignMatchesSolveDesign)
@@ -40,7 +42,7 @@ TEST(Designer, DesignMatchesSolveDesign)
     DroneDesigner d(ourDroneInputs());
     const DesignResult res = d.design();
     ASSERT_TRUE(res.feasible);
-    EXPECT_GT(res.flightTimeMin, 0.0);
+    EXPECT_GT(res.flightTimeMin.value(), 0.0);
 }
 
 TEST(Designer, ReportHasBothActivities)
@@ -50,11 +52,11 @@ TEST(Designer, ReportHasBothActivities)
     ASSERT_TRUE(rep.result.feasible);
     // Hover fraction exceeds maneuver fraction (Figure 10d-f).
     EXPECT_GT(rep.computeFractionHover, rep.computeFractionManeuver);
-    EXPECT_GT(rep.maxComputeGainMin, 0.0);
+    EXPECT_GT(rep.maxComputeGainMin.value(), 0.0);
     EXPECT_FALSE(rep.nearestCommercial.empty());
     // Our drone's nearest commercial point should be itself.
     EXPECT_EQ(rep.nearestCommercial, "Our Drone");
-    EXPECT_LT(rep.nearestCommercialDeltaG, 350.0);
+    EXPECT_LT(rep.nearestCommercialDeltaG, 350.0_g);
 }
 
 TEST(Designer, ReportStringMentionsKeyFields)
@@ -69,7 +71,7 @@ TEST(Designer, ReportStringMentionsKeyFields)
 TEST(Designer, InfeasibleReportIsSafe)
 {
     DroneDesigner d;
-    d.wheelbase(450.0).battery(3, -1.0);
+    d.wheelbase(450.0_mm).battery(3, -1.0_mah);
     const DesignReport rep = d.report();
     EXPECT_FALSE(rep.result.feasible);
     const std::string s = rep.str();

@@ -6,10 +6,12 @@
 namespace dronedse {
 namespace {
 
+using namespace unit_literals;
+
 TEST(Presets, Figure14BreakdownSumsTo1071)
 {
     // The thirteen Figure 14 components sum to 1071 g.
-    EXPECT_NEAR(ourDroneTotalWeightG(), 1071.0, 1e-9);
+    EXPECT_NEAR(ourDroneTotalWeightG().value(), 1071.0, 1e-9);
     const auto slices = ourDroneWeightBreakdown();
     EXPECT_EQ(slices.size(), 13u);
     double frac = 0.0;
@@ -37,10 +39,10 @@ TEST(Presets, OurDroneDesignCloses)
     const DesignResult res = solveDesign(ourDroneInputs());
     ASSERT_TRUE(res.feasible) << res.infeasibleReason;
     // Model total should land near the real 1071 g build.
-    EXPECT_NEAR(res.totalWeightG, 1071.0, 330.0);
+    EXPECT_NEAR(res.totalWeightG.value(), 1071.0, 330.0);
     // Flight time in the paper's ~15 min ballpark.
-    EXPECT_GT(res.flightTimeMin, 8.0);
-    EXPECT_LT(res.flightTimeMin, 22.0);
+    EXPECT_GT(res.flightTimeMin, 8.0_min);
+    EXPECT_LT(res.flightTimeMin, 22.0_min);
 }
 
 TEST(Presets, RacerIsShortFlight)
@@ -57,12 +59,12 @@ TEST(Presets, RacerIsShortFlight)
 TEST(Presets, MapperCarriesLidar)
 {
     const DesignInputs in = mapper800Inputs();
-    EXPECT_GT(in.sensorWeightG, 900.0);
+    EXPECT_GT(in.sensorWeightG, 900.0_g);
     // Ultra Puck is self-powered: no draw from the main pack.
-    EXPECT_EQ(in.sensorPowerW, 0.0);
+    EXPECT_EQ(in.sensorPowerW, 0.0_w);
     const DesignResult res = solveDesign(in);
     ASSERT_TRUE(res.feasible);
-    EXPECT_GT(res.totalWeightG, 2500.0);
+    EXPECT_GT(res.totalWeightG, 2500.0_g);
 }
 
 } // namespace

@@ -17,6 +17,8 @@
 namespace dronedse {
 namespace {
 
+using namespace unit_literals;
+
 TEST(Calibration, BestFlightTimesMatchPaperValidation)
 {
     // "...resulting in 23, 19, and 21 minutes for 100, 450, and
@@ -32,8 +34,9 @@ TEST(Calibration, BestFlightTimesMatchPaperValidation)
         const double tolerance = cls == SizeClass::Large ? 0.40 : 0.25;
         const DesignResult best = bestConfiguration(spec, basicChip3W());
         ASSERT_TRUE(best.feasible);
-        EXPECT_NEAR(best.flightTimeMin, spec.paperBestFlightTimeMin,
-                    tolerance * spec.paperBestFlightTimeMin)
+        EXPECT_NEAR(best.flightTimeMin.value(),
+                    spec.paperBestFlightTimeMin.value(),
+                    tolerance * spec.paperBestFlightTimeMin.value())
             << spec.label;
     }
 }
@@ -43,16 +46,16 @@ TEST(Calibration, OurDronePowerNear130W)
     // Figure 16b: the paper's 450 mm drone averages ~130 W in flight
     // at ~30 % flying load.  Accept 90-180 W.
     DesignInputs in;
-    in.wheelbaseMm = 450.0;
+    in.wheelbaseMm = 450.0_mm;
     in.cells = 3;
-    in.capacityMah = 3000.0;
+    in.capacityMah = 3000.0_mah;
     in.compute = {"RPi + Navio2", BoardClass::Improved, 73.0, 5.75};
-    in.sensorWeightG = 86.0;
-    in.sensorPowerW = 1.5;
+    in.sensorWeightG = 86.0_g;
+    in.sensorPowerW = 1.5_w;
     const DesignResult res = solveDesign(in);
     ASSERT_TRUE(res.feasible);
-    EXPECT_GT(res.avgPowerW, 90.0);
-    EXPECT_LT(res.avgPowerW, 180.0);
+    EXPECT_GT(res.avgPowerW, 90.0_w);
+    EXPECT_LT(res.avgPowerW, 180.0_w);
 }
 
 TEST(Calibration, ComputeShareRange2To30Percent)
@@ -70,7 +73,7 @@ TEST(Calibration, ComputeShareRange2To30Percent)
                                        FlightActivity::Maneuvering}) {
                 for (int cells : {1, 3, 6}) {
                     const auto series = sweepCapacity(
-                        spec, cells, 1000.0, board, act);
+                        spec, cells, 1000.0_mah, board, act);
                     for (const auto &res : series) {
                         if (res.totalWeightG < spec.weightAxisLoG ||
                             res.totalWeightG > spec.weightAxisHiG) {
@@ -97,7 +100,7 @@ TEST(Calibration, SmallDroneHeavyComputeGainBand)
     // to ~20 % of flight time (around +2-5 minutes).
     double max_gain = 0.0;
     for (const auto &drone : figure11Drones()) {
-        const double hover = drone.impliedHoverPowerW();
+        const double hover = drone.impliedHoverPowerW().value();
         const double frac =
             drone.heavyComputeW / (hover + drone.heavyComputeW);
         EXPECT_GT(frac, 0.07) << drone.name;
@@ -120,9 +123,9 @@ TEST(Calibration, LargeDroneGainAboutTwoMinutes)
     const auto &spec = classSpec(SizeClass::Large);
     const DesignResult best = bestConfiguration(spec, advancedChip20W());
     ASSERT_TRUE(best.feasible);
-    const double new_time =
-        best.usableEnergyWh / (best.avgPowerW - 18.0) * 60.0;
-    const double gain = new_time - best.flightTimeMin;
+    const double new_time = best.usableEnergyWh.value() /
+                            (best.avgPowerW.value() - 18.0) * 60.0;
+    const double gain = new_time - best.flightTimeMin.value();
     EXPECT_GT(gain, 0.5);
     EXPECT_LT(gain, 4.0);
 }
@@ -141,19 +144,19 @@ TEST(Calibration, CommercialPointsNearModelCurves)
             double model_power = 0.0;
             for (int cells : {1, 2, 3, 4, 6}) {
                 const auto series = sweepCapacity(
-                    spec, cells, 250.0, basicChip3W());
+                    spec, cells, 250.0_mah, basicChip3W());
                 for (const auto &res : series) {
-                    const double d =
-                        std::fabs(res.totalWeightG - drone.weightG);
+                    const double d = std::fabs(
+                        (res.totalWeightG - drone.weight()).value());
                     if (d < best_delta) {
                         best_delta = d;
-                        model_power = res.avgPowerW;
+                        model_power = res.avgPowerW.value();
                     }
                 }
             }
             if (best_delta > 0.3 * drone.weightG)
                 continue; // point outside this class's model range
-            const double implied = drone.impliedHoverPowerW();
+            const double implied = drone.impliedHoverPowerW().value();
             EXPECT_LT(model_power, implied * 2.2) << drone.name;
             EXPECT_GT(model_power, implied / 2.2) << drone.name;
         }

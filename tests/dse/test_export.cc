@@ -8,10 +8,13 @@
 namespace dronedse {
 namespace {
 
+using namespace unit_literals;
+
 TEST(Export, SweepCsvHasOneRowPerDesign)
 {
     const auto &spec = classSpec(SizeClass::Medium);
-    const auto series = sweepCapacity(spec, 3, 1000.0, basicChip3W());
+    const auto series =
+        sweepCapacity(spec, 3, 1000.0_mah, basicChip3W());
     const CsvWriter csv = sweepToCsv(series);
     EXPECT_EQ(csv.rowCount(), series.size());
 
@@ -31,8 +34,8 @@ TEST(Export, SweepCsvHasOneRowPerDesign)
 
 TEST(Export, MotorCurveCsv)
 {
-    const auto curve = motorCurrentCurve(10.0, 3, 200.0, 1000.0,
-                                         200.0);
+    const auto curve = motorCurrentCurve(10.0_in, 3, 200.0_g,
+                                         1000.0_g, 200.0_g);
     const CsvWriter csv = motorCurveToCsv(curve);
     EXPECT_EQ(csv.rowCount(), curve.size());
     EXPECT_NE(csv.str().find("basic_weight_g"), std::string::npos);

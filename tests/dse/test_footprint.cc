@@ -8,14 +8,16 @@
 namespace dronedse {
 namespace {
 
+using namespace unit_literals;
+
 DesignResult
 solved450(const ComputeBoardRecord &board,
           FlightActivity activity = FlightActivity::Hovering)
 {
     DesignInputs in;
-    in.wheelbaseMm = 450.0;
+    in.wheelbaseMm = 450.0_mm;
     in.cells = 3;
-    in.capacityMah = 5000.0;
+    in.capacityMah = 5000.0_mah;
     in.compute = board;
     in.activity = activity;
     const DesignResult res = solveDesign(in);
@@ -26,10 +28,10 @@ solved450(const ComputeBoardRecord &board,
 TEST(Footprint, GainExactMatchesEnergyBudget)
 {
     const DesignResult res = solved450(advancedChip20W());
-    const double gain = gainedFlightTimeMin(res, 10.0);
-    const double expect =
-        res.usableEnergyWh / (res.avgPowerW - 10.0) * 60.0 -
-        res.flightTimeMin;
+    const double gain = gainedFlightTimeMin(res, 10.0_w).value();
+    const double expect = res.usableEnergyWh.value() /
+                              (res.avgPowerW.value() - 10.0) * 60.0 -
+                          res.flightTimeMin.value();
     EXPECT_NEAR(gain, expect, 1e-9);
     EXPECT_GT(gain, 0.0);
 }
@@ -37,14 +39,15 @@ TEST(Footprint, GainExactMatchesEnergyBudget)
 TEST(Footprint, NegativeSavingsShrinkFlightTime)
 {
     const DesignResult res = solved450(basicChip3W());
-    EXPECT_LT(gainedFlightTimeMin(res, -10.0), 0.0);
+    EXPECT_LT(gainedFlightTimeMin(res, -10.0_w).value(), 0.0);
 }
 
 TEST(Footprint, PaperApproximation)
 {
     // Section 5.2: saving 10 W on a 140 W drone with 15 min flight
     // time gains about one minute.
-    const double approx = gainedFlightTimeApproxMin(10.0, 140.0, 15.0);
+    const double approx =
+        gainedFlightTimeApproxMin(10.0_w, 140.0_w, 15.0_min).value();
     EXPECT_NEAR(approx, 15.0 * 10.0 / 140.0, 1e-12);
     EXPECT_NEAR(approx, 1.07, 0.05);
 }
@@ -52,9 +55,11 @@ TEST(Footprint, PaperApproximation)
 TEST(Footprint, ExactAndApproxAgreeForSmallSavings)
 {
     const DesignResult res = solved450(advancedChip20W());
-    const double exact = gainedFlightTimeMin(res, 2.0);
-    const double approx = gainedFlightTimeApproxMin(
-        2.0, res.avgPowerW, res.flightTimeMin);
+    const double exact = gainedFlightTimeMin(res, 2.0_w).value();
+    const double approx =
+        gainedFlightTimeApproxMin(2.0_w, res.avgPowerW,
+                                  res.flightTimeMin)
+            .value();
     EXPECT_NEAR(exact, approx, 0.05 * exact + 0.01);
 }
 
@@ -64,7 +69,7 @@ TEST(Footprint, ThreeWattChipUnderFivePercent)
     // across medium/large drones.
     for (SizeClass cls : {SizeClass::Medium, SizeClass::Large}) {
         const auto &spec = classSpec(cls);
-        const auto series = sweepCapacity(spec, 3, 1000.0,
+        const auto series = sweepCapacity(spec, 3, 1000.0_mah,
                                           basicChip3W());
         for (const auto &res : series) {
             if (res.totalWeightG < spec.weightAxisLoG ||
@@ -72,7 +77,7 @@ TEST(Footprint, ThreeWattChipUnderFivePercent)
                 continue;
             }
             EXPECT_LT(res.computePowerFraction, 0.05)
-                << "weight " << res.totalWeightG;
+                << "weight " << res.totalWeightG.value();
         }
     }
 }
@@ -90,26 +95,30 @@ TEST(Footprint, TwentyWattChipDropsWhenManeuvering)
 TEST(Footprint, PlatformSwapIncludesWeightFeedback)
 {
     DesignInputs in;
-    in.wheelbaseMm = 450.0;
+    in.wheelbaseMm = 450.0_mm;
     in.cells = 3;
-    in.capacityMah = 5000.0;
+    in.capacityMah = 5000.0_mah;
     in.compute = {"RPi-class", BoardClass::Improved, 50.0, 5.0};
     const DesignResult base = solveDesign(in);
     ASSERT_TRUE(base.feasible);
 
     // RPi -> ASIC (Table 5): -1.98 W and -30 g, both help.
-    const double gain_asic = platformSwapGainMin(in, -1.976, -30.0);
+    const double gain_asic =
+        platformSwapGainMin(in, Quantity<Watts>(-1.976), -30.0_g)
+            .value();
     EXPECT_GT(gain_asic, 0.0);
 
     // RPi -> FPGA: saves power but adds 25 g; the weight feedback
     // (bigger motors, more hover power) must shrink the gain below
     // the power-only estimate.
-    const double gain_fpga = platformSwapGainMin(in, -1.583, 25.0);
-    const double power_only = gainedFlightTimeMin(base, 1.583);
+    const Quantity<Minutes> gain_fpga =
+        platformSwapGainMin(in, Quantity<Watts>(-1.583), 25.0_g);
+    const Quantity<Minutes> power_only =
+        gainedFlightTimeMin(base, 1.583_w);
     EXPECT_LT(gain_fpga, power_only);
 
     // RPi -> TX2: heavier and hungrier, loses flight time.
-    EXPECT_LT(platformSwapGainMin(in, 5.0, 35.0), 0.0);
+    EXPECT_LT(platformSwapGainMin(in, 5.0_w, 35.0_g).value(), 0.0);
 }
 
 } // namespace

@@ -9,17 +9,20 @@
 
 #include "components/compute_board.hh"
 #include "dse/weight_closure.hh"
+#include "util/units.hh"
 
 namespace dronedse {
 namespace {
+
+using namespace unit_literals;
 
 DesignInputs
 base(double wheelbase, int cells, double capacity)
 {
     DesignInputs in;
-    in.wheelbaseMm = wheelbase;
+    in.wheelbaseMm = Quantity<Millimeters>(wheelbase);
     in.cells = cells;
-    in.capacityMah = capacity;
+    in.capacityMah = Quantity<MilliampHours>(capacity);
     return in;
 }
 
@@ -38,9 +41,9 @@ TEST_P(DesignSpaceProperties, WeightMonotoneInCapacity)
         const DesignResult res = solveDesign(base(wb, cells, cap));
         if (!res.feasible)
             continue;
-        EXPECT_GT(res.totalWeightG, prev)
+        EXPECT_GT(res.totalWeightG.value(), prev)
             << wb << "mm " << cells << "S " << cap << "mAh";
-        prev = res.totalWeightG;
+        prev = res.totalWeightG.value();
     }
 }
 
@@ -52,8 +55,8 @@ TEST_P(DesignSpaceProperties, PowerMonotoneInCapacity)
         const DesignResult res = solveDesign(base(wb, cells, cap));
         if (!res.feasible)
             continue;
-        EXPECT_GT(res.avgPowerW, prev);
-        prev = res.avgPowerW;
+        EXPECT_GT(res.avgPowerW.value(), prev);
+        prev = res.avgPowerW.value();
     }
 }
 
@@ -87,7 +90,7 @@ TEST_P(DesignSpaceProperties, ShortFlightEscsAreLighterButEqualPower)
     // The two Figure 8a fits cross near ~7.4 A per ESC: racing ESCs
     // only win on weight above the crossover (tiny ESCs bottom out
     // on connectors/board mass either way).
-    if (l.motorMaxCurrentA < 8.0)
+    if (l.motorMaxCurrentA < 8.0_a)
         GTEST_SKIP() << "below the Figure 8a fit crossover";
     EXPECT_LT(s.escSetWeightG, l.escSetWeightG);
     EXPECT_LT(s.totalWeightG, l.totalWeightG);
@@ -104,11 +107,14 @@ TEST_P(DesignSpaceProperties, EnergyBookkeepingConsistent)
     if (!res.feasible)
         GTEST_SKIP() << "infeasible corner of the space";
     // FlightTime * AvgPower == usable energy (Equation 5 inverted).
-    EXPECT_NEAR(res.flightTimeMin / 60.0 * res.avgPowerW,
-                res.usableEnergyWh, 1e-6);
+    EXPECT_NEAR((res.flightTimeMin.to<Hours>() * res.avgPowerW)
+                    .to<WattHours>()
+                    .value(),
+                res.usableEnergyWh.value(), 1e-6);
     // Usable energy is strictly less than nominal pack energy.
-    const double nominal = res.inputs.capacityMah / 1000.0 *
-                           res.inputs.cells * 3.7;
+    const Quantity<WattHours> nominal =
+        (res.inputs.capacityMah * lipoPackVoltage(res.inputs.cells))
+            .to<WattHours>();
     EXPECT_LT(res.usableEnergyWh, nominal);
 }
 
@@ -123,8 +129,8 @@ TEST(DesignSpacePropertiesGlobal, BiggerWheelbaseHeavierDrone)
     for (double wb : {150.0, 250.0, 450.0, 650.0, 800.0}) {
         const DesignResult res = solveDesign(base(wb, 4, 4000.0));
         ASSERT_TRUE(res.feasible) << wb;
-        EXPECT_GT(res.totalWeightG, prev) << wb;
-        prev = res.totalWeightG;
+        EXPECT_GT(res.totalWeightG.value(), prev) << wb;
+        prev = res.totalWeightG.value();
     }
 }
 
@@ -133,9 +139,9 @@ TEST(DesignSpacePropertiesGlobal, BiggerPropsAreMoreEfficient)
     // At fixed weight class, a larger prop (lower disk loading)
     // hovers on less power.
     DesignInputs small_prop = base(450.0, 3, 4000.0);
-    small_prop.propDiameterIn = 8.0;
+    small_prop.propDiameterIn = 8.0_in;
     DesignInputs big_prop = base(450.0, 3, 4000.0);
-    big_prop.propDiameterIn = 11.0;
+    big_prop.propDiameterIn = 11.0_in;
     const DesignResult s = solveDesign(small_prop);
     const DesignResult b = solveDesign(big_prop);
     ASSERT_TRUE(s.feasible);

@@ -6,10 +6,13 @@
 namespace dronedse {
 namespace {
 
+using namespace unit_literals;
+
 TEST(Sweep, CapacitySweepProducesSeries)
 {
     const auto &spec = classSpec(SizeClass::Medium);
-    const auto series = sweepCapacity(spec, 3, 500.0, basicChip3W());
+    const auto series =
+        sweepCapacity(spec, 3, 500.0_mah, basicChip3W());
     EXPECT_GT(series.size(), 10u);
     // Weight grows monotonically with capacity.
     for (std::size_t i = 1; i < series.size(); ++i)
@@ -20,7 +23,8 @@ TEST(Sweep, PowerGrowsWithWeight)
 {
     // The Figure 10a-c trend: heavier designs draw more power.
     const auto &spec = classSpec(SizeClass::Large);
-    const auto series = sweepCapacity(spec, 6, 500.0, basicChip3W());
+    const auto series =
+        sweepCapacity(spec, 6, 500.0_mah, basicChip3W());
     ASSERT_GT(series.size(), 5u);
     for (std::size_t i = 1; i < series.size(); ++i)
         EXPECT_GT(series[i].avgPowerW, series[i - 1].avgPowerW);
@@ -33,9 +37,10 @@ TEST(Sweep, FlightTimeHasInteriorOptimum)
     // inside the sweep (physically, the optimum battery mass is a
     // bounded multiple of the rest of the airframe).
     SizeClassSpec spec = classSpec(SizeClass::Medium);
-    spec.capacityLoMah = 1000.0;
-    spec.capacityHiMah = 40000.0;
-    const auto series = sweepCapacity(spec, 3, 1000.0, basicChip3W());
+    spec.capacityLoMah = 1000.0_mah;
+    spec.capacityHiMah = 40000.0_mah;
+    const auto series =
+        sweepCapacity(spec, 3, 1000.0_mah, basicChip3W());
     ASSERT_GT(series.size(), 8u);
     std::size_t best = 0;
     for (std::size_t i = 0; i < series.size(); ++i)
@@ -51,11 +56,13 @@ TEST(Sweep, BestConfigurationBeatsSeriesMembers)
     const DesignResult best = bestConfiguration(spec, basicChip3W());
     ASSERT_TRUE(best.feasible);
     for (int cells : {1, 3, 6}) {
-        const auto series = sweepCapacity(spec, cells, 500.0,
+        const auto series = sweepCapacity(spec, cells, 500.0_mah,
                                           basicChip3W());
         for (const auto &res : series) {
             if (withinPracticalLimits(res, spec)) {
-                EXPECT_LE(res.flightTimeMin, best.flightTimeMin + 1e-9);
+                EXPECT_LE(res.flightTimeMin,
+                          best.flightTimeMin +
+                              Quantity<Minutes>(1e-9));
             }
         }
     }
@@ -65,8 +72,10 @@ TEST(Sweep, MotorCurrentCurveShape)
 {
     // Figure 9: current grows with basic weight; higher voltage
     // needs less current at the same weight.
-    const auto c3s = motorCurrentCurve(10.0, 3, 200.0, 1800.0, 100.0);
-    const auto c6s = motorCurrentCurve(10.0, 6, 200.0, 1800.0, 100.0);
+    const auto c3s = motorCurrentCurve(10.0_in, 3, 200.0_g, 1800.0_g,
+                                       100.0_g);
+    const auto c6s = motorCurrentCurve(10.0_in, 6, 200.0_g, 1800.0_g,
+                                       100.0_g);
     ASSERT_EQ(c3s.size(), c6s.size());
     ASSERT_GT(c3s.size(), 5u);
     for (std::size_t i = 0; i < c3s.size(); ++i) {
@@ -80,23 +89,28 @@ TEST(Sweep, MotorCurrentCurveShape)
 TEST(Sweep, SmallPropsNeedExtremeKv)
 {
     // Figure 9a: 1"-2" props on 1S packs hit five-digit Kv ratings.
-    const auto tiny = motorCurrentCurve(2.0, 1, 100.0, 600.0, 100.0);
+    const auto tiny =
+        motorCurrentCurve(2.0_in, 1, 100.0_g, 600.0_g, 100.0_g);
     ASSERT_FALSE(tiny.empty());
     EXPECT_GT(tiny.back().kv, 25000.0);
 
     // Figure 9d: 20" props on 6S have low Kv ratings.
-    const auto big = motorCurrentCurve(20.0, 6, 1000.0, 2700.0, 200.0);
+    const auto big = motorCurrentCurve(20.0_in, 6, 1000.0_g, 2700.0_g,
+                                       200.0_g);
     ASSERT_FALSE(big.empty());
     EXPECT_LT(big.front().kv, 1500.0);
 }
 
 TEST(Sweep, ClassSpecsMatchPaperPanels)
 {
-    EXPECT_EQ(classSpec(SizeClass::Small).paperBestFlightTimeMin, 23.0);
-    EXPECT_EQ(classSpec(SizeClass::Medium).paperBestFlightTimeMin, 19.0);
-    EXPECT_EQ(classSpec(SizeClass::Large).paperBestFlightTimeMin, 22.0);
-    EXPECT_EQ(classSpec(SizeClass::Medium).wheelbaseMm, 450.0);
-    EXPECT_EQ(classSpec(SizeClass::Large).propDiameterIn, 20.0);
+    EXPECT_EQ(classSpec(SizeClass::Small).paperBestFlightTimeMin,
+              23.0_min);
+    EXPECT_EQ(classSpec(SizeClass::Medium).paperBestFlightTimeMin,
+              19.0_min);
+    EXPECT_EQ(classSpec(SizeClass::Large).paperBestFlightTimeMin,
+              22.0_min);
+    EXPECT_EQ(classSpec(SizeClass::Medium).wheelbaseMm, 450.0_mm);
+    EXPECT_EQ(classSpec(SizeClass::Large).propDiameterIn, 20.0_in);
 }
 
 /** Parameterized sweep: every class yields a feasible best config. */
@@ -110,7 +124,7 @@ TEST_P(BestPerClass, FeasibleWithinWeightEnvelope)
     const DesignResult best = bestConfiguration(spec, basicChip3W());
     ASSERT_TRUE(best.feasible);
     EXPECT_LE(best.totalWeightG, spec.weightAxisHiG);
-    EXPECT_GT(best.flightTimeMin, 5.0);
+    EXPECT_GT(best.flightTimeMin, 5.0_min);
 }
 
 INSTANTIATE_TEST_SUITE_P(Classes, BestPerClass,

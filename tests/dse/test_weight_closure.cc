@@ -6,13 +6,15 @@
 namespace dronedse {
 namespace {
 
+using namespace unit_literals;
+
 DesignInputs
 medium450()
 {
     DesignInputs in;
-    in.wheelbaseMm = 450.0;
+    in.wheelbaseMm = 450.0_mm;
     in.cells = 3;
-    in.capacityMah = 5000.0;
+    in.capacityMah = 5000.0_mah;
     return in;
 }
 
@@ -22,17 +24,18 @@ TEST(WeightClosure, ConvergesAndAccounts)
     ASSERT_TRUE(res.feasible) << res.infeasibleReason;
 
     // The component breakdown must sum to the total.
-    const double sum = res.frameWeightG + res.batteryWeightG +
-                       res.motorSetWeightG + res.escSetWeightG +
-                       res.propSetWeightG + res.wiringWeightG +
-                       res.inputs.compute.weightG +
-                       res.inputs.sensorWeightG + res.inputs.payloadG;
-    EXPECT_NEAR(sum, res.totalWeightG, 0.1);
+    const Quantity<Grams> sum =
+        res.frameWeightG + res.batteryWeightG + res.motorSetWeightG +
+        res.escSetWeightG + res.propSetWeightG + res.wiringWeightG +
+        Quantity<Grams>(res.inputs.compute.weightG) +
+        res.inputs.sensorWeightG + res.inputs.payloadG;
+    EXPECT_NEAR(sum.value(), res.totalWeightG.value(), 0.1);
 
     // Basic weight excludes battery, ESCs, and motors (Figure 9).
-    EXPECT_NEAR(res.basicWeightG,
-                res.totalWeightG - res.batteryWeightG -
-                    res.motorSetWeightG - res.escSetWeightG,
+    EXPECT_NEAR(res.basicWeightG.value(),
+                (res.totalWeightG - res.batteryWeightG -
+                 res.motorSetWeightG - res.escSetWeightG)
+                    .value(),
                 1e-6);
 }
 
@@ -43,7 +46,7 @@ TEST(WeightClosure, FixedPointSelfConsistent)
     const DesignResult res = solveDesign(medium450());
     ASSERT_TRUE(res.feasible);
     EXPECT_NEAR(res.motor.maxThrustG,
-                res.inputs.twr * res.totalWeightG / 4.0, 0.5);
+                res.inputs.twr * res.totalWeightG.value() / 4.0, 0.5);
 }
 
 TEST(WeightClosure, A450ClassLandsNearOurDrone)
@@ -51,23 +54,25 @@ TEST(WeightClosure, A450ClassLandsNearOurDrone)
     // A 450 mm / 3S design should close near the paper's 1061 g
     // open-source drone (Figure 14) for a comparable battery.
     DesignInputs in = medium450();
-    in.capacityMah = 3000.0;
+    in.capacityMah = 3000.0_mah;
     in.compute.weightG = 73.0; // RPi + Navio2
     in.compute.powerW = 5.75;
     const DesignResult res = solveDesign(in);
     ASSERT_TRUE(res.feasible);
-    EXPECT_NEAR(res.totalWeightG, 1061.0, 300.0);
+    EXPECT_NEAR(res.totalWeightG.value(), 1061.0, 300.0);
 }
 
 TEST(WeightClosure, PowerEquationStructure)
 {
     const DesignResult res = solveDesign(medium450());
     ASSERT_TRUE(res.feasible);
-    const double volts = res.inputs.cells * kLipoCellVoltage;
-    EXPECT_NEAR(res.maxPowerW, 4.0 * res.motorMaxCurrentA * volts, 1e-9);
-    EXPECT_NEAR(res.avgPowerW,
-                res.propulsionPowerW + res.computePowerW +
-                    res.sensorPowerW,
+    const Quantity<Volts> volts = lipoPackVoltage(res.inputs.cells);
+    EXPECT_NEAR(res.maxPowerW.value(),
+                4.0 * (res.motorMaxCurrentA * volts).value(), 1e-9);
+    EXPECT_NEAR(res.avgPowerW.value(),
+                (res.propulsionPowerW + res.computePowerW +
+                 res.sensorPowerW)
+                    .value(),
                 1e-9);
     EXPECT_NEAR(res.computePowerFraction,
                 res.computePowerW / res.avgPowerW, 1e-12);
@@ -85,7 +90,7 @@ TEST(WeightClosure, ManeuveringDrawsMore)
     EXPECT_GT(m.avgPowerW, 1.8 * h.avgPowerW);
     EXPECT_LT(m.flightTimeMin, h.flightTimeMin);
     // Weight closure is activity-independent.
-    EXPECT_NEAR(m.totalWeightG, h.totalWeightG, 1e-9);
+    EXPECT_NEAR(m.totalWeightG.value(), h.totalWeightG.value(), 1e-9);
 }
 
 TEST(WeightClosure, HigherTwrCostsFlightTime)
@@ -107,21 +112,21 @@ TEST(WeightClosure, PayloadShrinksFlightTime)
 {
     DesignInputs bare = medium450();
     DesignInputs loaded = medium450();
-    loaded.payloadG = 200.0;
+    loaded.payloadG = 200.0_g;
     const DesignResult b = solveDesign(bare);
     const DesignResult l = solveDesign(loaded);
     ASSERT_TRUE(b.feasible);
     ASSERT_TRUE(l.feasible);
-    EXPECT_GT(l.totalWeightG, b.totalWeightG + 200.0);
+    EXPECT_GT(l.totalWeightG, b.totalWeightG + 200.0_g);
     EXPECT_LT(l.flightTimeMin, b.flightTimeMin);
 }
 
 TEST(WeightClosure, ExtremeKvFlaggedForTinyProps)
 {
     DesignInputs in;
-    in.wheelbaseMm = 100.0; // strict 2" prop
+    in.wheelbaseMm = 100.0_mm; // strict 2" prop
     in.cells = 1;
-    in.capacityMah = 1500.0;
+    in.capacityMah = 1500.0_mah;
     const DesignResult res = solveDesign(in);
     if (res.feasible) {
         EXPECT_TRUE(res.extremeKv);
@@ -135,7 +140,7 @@ TEST(WeightClosure, InvalidInputsAreInfeasible)
     EXPECT_FALSE(solveDesign(in).feasible);
 
     in = medium450();
-    in.capacityMah = -10.0;
+    in.capacityMah = -10.0_mah;
     EXPECT_FALSE(solveDesign(in).feasible);
 
     in = medium450();
@@ -154,9 +159,9 @@ TEST_P(ClosurePerCells, SolvesAcrossCellCounts)
     in.cells = GetParam();
     const DesignResult res = solveDesign(in);
     ASSERT_TRUE(res.feasible) << res.infeasibleReason;
-    EXPECT_GT(res.flightTimeMin, 0.0);
-    EXPECT_GT(res.totalWeightG, 500.0);
-    EXPECT_LT(res.totalWeightG, 5000.0);
+    EXPECT_GT(res.flightTimeMin.value(), 0.0);
+    EXPECT_GT(res.totalWeightG, 500.0_g);
+    EXPECT_LT(res.totalWeightG, 5000.0_g);
 }
 
 INSTANTIATE_TEST_SUITE_P(Cells, ClosurePerCells, testing::Range(2, 7));

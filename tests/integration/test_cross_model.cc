@@ -18,6 +18,8 @@
 namespace dronedse {
 namespace {
 
+using namespace unit_literals;
+
 TEST(CrossModel, SimulatedHoverPowerMatchesAeroModel)
 {
     // The simulator's hover power must equal the propeller model
@@ -31,10 +33,13 @@ TEST(CrossModel, SimulatedHoverPowerMatchesAeroModel)
     ap.run(10.0);
     const double sim_power = ap.quad().electricalPowerW();
 
-    const double hover_thrust_g = design.totalWeightG / 4.0;
+    const Quantity<GramsForce> hover_thrust =
+        weightForce(design.totalWeightG) / 4.0;
     const double analytic =
-        4.0 * electricalPowerW(hover_thrust_g,
-                               design.motor.propDiameterIn);
+        4.0 * electricalPowerW(
+                  hover_thrust,
+                  Quantity<Inches>(design.motor.propDiameterIn))
+                  .value();
     EXPECT_NEAR(sim_power, analytic, 0.15 * analytic);
 }
 
@@ -51,7 +56,7 @@ TEST(CrossModel, DseLoadFractionBracketsSimulatedHover)
                  AutopilotConfig{});
     ap.run(10.0);
     const double fraction =
-        ap.quad().electricalPowerW() / design.maxPowerW;
+        ap.quad().electricalPowerW() / design.maxPowerW.value();
     EXPECT_GT(fraction, 0.20);
     EXPECT_LT(fraction, 0.45);
 }
@@ -69,16 +74,17 @@ TEST(CrossModel, SimulatedEnduranceTracksDseFlightTime)
     Autopilot ap(params, {{{0, 0, 2}, 0.0, 0.4, 1e9}},
                  AutopilotConfig{});
     ap.run(8.0);
-    const double hover_power = ap.quad().electricalPowerW() +
-                               design.computePowerW +
-                               design.sensorPowerW;
+    const Quantity<Watts> hover_power =
+        Quantity<Watts>(ap.quad().electricalPowerW()) +
+        design.computePowerW + design.sensorPowerW;
 
-    const double endurance_min =
-        usableEnergyWh(inputs.capacityMah,
-                       inputs.cells * kLipoCellVoltage) /
-        hover_power * 60.0;
-    EXPECT_NEAR(endurance_min, design.flightTimeMin,
-                0.35 * design.flightTimeMin);
+    const Quantity<Minutes> endurance =
+        (usableEnergyWh(inputs.capacityMah,
+                        lipoPackVoltage(inputs.cells)) /
+         hover_power)
+            .to<Minutes>();
+    EXPECT_NEAR(endurance.value(), design.flightTimeMin.value(),
+                0.35 * design.flightTimeMin.value());
 }
 
 TEST(CrossModel, TwrHeadroomIsRealInTheSimulator)
@@ -116,9 +122,9 @@ TEST(CrossModel, PresetAirframeFliesItsMission)
                      AutopilotConfig{});
         ap.run(20.0);
         EXPECT_FALSE(ap.quad().upsideDown())
-            << inputs.wheelbaseMm << " mm";
+            << inputs.wheelbaseMm.value() << " mm";
         EXPECT_GE(ap.navigator().reachedCount(), 1u)
-            << inputs.wheelbaseMm << " mm";
+            << inputs.wheelbaseMm.value() << " mm";
     }
 }
 

@@ -6,11 +6,13 @@
 namespace dronedse {
 namespace {
 
+using namespace unit_literals;
+
 TEST(Lipo, UsableEnergyAppliesDerating)
 {
     // 3000 mAh at 11.1 V is 33.3 Wh nominal; usable applies the 85 %
     // drain limit and delivery efficiency.
-    const double usable = usableEnergyWh(3000.0, 11.1);
+    const double usable = usableEnergyWh(3000.0_mah, 11.1_v).value();
     EXPECT_NEAR(usable, 33.3 * kLipoDrainLimit * kPowerDeliveryEfficiency,
                 1e-9);
     EXPECT_LT(usable, 33.3);
@@ -18,55 +20,56 @@ TEST(Lipo, UsableEnergyAppliesDerating)
 
 TEST(Lipo, PackVoltage)
 {
-    LipoPack pack(3, 3000.0);
-    EXPECT_NEAR(pack.nominalVoltage(), 11.1, 1e-9);
+    LipoPack pack(3, 3000.0_mah);
+    EXPECT_NEAR(pack.nominalVoltage().value(), 11.1, 1e-9);
     // Full pack sits above nominal (4.2 V/cell).
-    EXPECT_NEAR(pack.terminalVoltage(), 12.6, 1e-9);
+    EXPECT_NEAR(pack.terminalVoltage().value(), 12.6, 1e-9);
 }
 
 TEST(Lipo, DischargeTracksEnergy)
 {
-    LipoPack pack(3, 3000.0);
-    const double total = pack.totalEnergyWh();
+    LipoPack pack(3, 3000.0_mah);
+    const double total = pack.totalEnergyWh().value();
     EXPECT_NEAR(total, 33.3, 1e-9);
 
     // Draw 100 W for 6 minutes = 10 Wh.
-    pack.discharge(100.0, 360.0);
-    EXPECT_NEAR(pack.drawnEnergyWh(), 10.0, 1e-9);
+    pack.discharge(100.0_w, 360.0_s);
+    EXPECT_NEAR(pack.drawnEnergyWh().value(), 10.0, 1e-9);
     EXPECT_NEAR(pack.stateOfCharge(), 1.0 - 10.0 / 33.3, 1e-9);
     EXPECT_FALSE(pack.depleted());
 }
 
 TEST(Lipo, DepletesAtDrainLimit)
 {
-    LipoPack pack(2, 1000.0);
-    const double total = pack.totalEnergyWh();
+    LipoPack pack(2, 1000.0_mah);
+    const double total = pack.totalEnergyWh().value();
     // Drain 86 % of the pack.
-    pack.discharge(total * 0.86, 3600.0);
+    pack.discharge(Quantity<Watts>(total * 0.86), 3600.0_s);
     EXPECT_TRUE(pack.depleted());
 }
 
 TEST(Lipo, VoltageSagsWithDischarge)
 {
-    LipoPack pack(4, 2000.0);
-    const double v_full = pack.terminalVoltage();
-    pack.discharge(pack.totalEnergyWh() * 0.5, 3600.0);
-    const double v_half = pack.terminalVoltage();
+    LipoPack pack(4, 2000.0_mah);
+    const double v_full = pack.terminalVoltage().value();
+    pack.discharge(Quantity<Watts>(pack.totalEnergyWh().value() * 0.5),
+                   3600.0_s);
+    const double v_half = pack.terminalVoltage().value();
     EXPECT_LT(v_half, v_full);
     EXPECT_GT(v_half, 4 * 3.3);
 }
 
 TEST(Lipo, SocNeverNegative)
 {
-    LipoPack pack(1, 500.0);
-    pack.discharge(1e6, 3600.0);
+    LipoPack pack(1, 500.0_mah);
+    pack.discharge(Quantity<Watts>(1e6), 3600.0_s);
     EXPECT_GE(pack.stateOfCharge(), 0.0);
 }
 
 TEST(LipoDeath, RejectsBadConstruction)
 {
-    EXPECT_EXIT(LipoPack(0, 1000.0), testing::ExitedWithCode(1), "");
-    EXPECT_EXIT(LipoPack(3, -5.0), testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(LipoPack(0, 1000.0_mah), testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(LipoPack(3, -5.0_mah), testing::ExitedWithCode(1), "");
 }
 
 } // namespace

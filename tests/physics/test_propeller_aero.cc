@@ -8,27 +8,30 @@
 namespace dronedse {
 namespace {
 
+using namespace unit_literals;
+
 TEST(PropellerAero, ThrustScalesWithSpeedSquared)
 {
-    const double d = inchesToMeters(10.0);
-    const double t1 = propThrustN(100.0, d);
-    const double t2 = propThrustN(200.0, d);
+    const Quantity<Meters> d = inchesToMeters(10.0_in);
+    const double t1 = propThrustN(100.0_hz, d).value();
+    const double t2 = propThrustN(200.0_hz, d).value();
     EXPECT_NEAR(t2 / t1, 4.0, 1e-12);
 }
 
 TEST(PropellerAero, PowerScalesWithSpeedCubed)
 {
-    const double d = inchesToMeters(10.0);
-    const double p1 = propShaftPowerW(100.0, d);
-    const double p2 = propShaftPowerW(200.0, d);
+    const Quantity<Meters> d = inchesToMeters(10.0_in);
+    const double p1 = propShaftPowerW(100.0_hz, d).value();
+    const double p2 = propShaftPowerW(200.0_hz, d).value();
     EXPECT_NEAR(p2 / p1, 8.0, 1e-12);
 }
 
 TEST(PropellerAero, RevsForThrustInvertsThrust)
 {
-    const double thrust_g = 600.0;
-    const double n = revsForThrust(thrust_g, 10.0);
-    EXPECT_NEAR(propThrustG(n, inchesToMeters(10.0)), thrust_g, 1e-9);
+    const Quantity<GramsForce> thrust = 600.0_gf;
+    const Quantity<RevPerSec> n = revsForThrust(thrust, 10.0_in);
+    EXPECT_NEAR(propThrustG(n, inchesToMeters(10.0_in)).value(),
+                thrust.value(), 1e-9);
 }
 
 TEST(PropellerAero, Mt2213Calibration)
@@ -36,20 +39,20 @@ TEST(PropellerAero, Mt2213Calibration)
     // An MT2213-class motor with a 10x4.5 prop on 3S produces ~850 g
     // max thrust at ~160 W electrical; the model should land within
     // ~25 % on power for that operating point.
-    const double volts = 3 * kLipoCellVoltage;
-    const double p = electricalPowerW(850.0, 10.0);
+    const Quantity<Volts> volts = lipoPackVoltage(3);
+    const double p = electricalPowerW(850.0_gf, 10.0_in).value();
     EXPECT_GT(p, 120.0);
     EXPECT_LT(p, 230.0);
-    const double i = motorCurrentA(850.0, 10.0, volts);
-    EXPECT_NEAR(i, p / volts, 1e-12);
+    const double i = motorCurrentA(850.0_gf, 10.0_in, volts).value();
+    EXPECT_NEAR(i, p / volts.value(), 1e-12);
 }
 
 TEST(PropellerAero, LargerPropIsMoreEfficient)
 {
     // Same thrust with a larger disk needs less power (momentum
     // theory: disk loading drives induced power).
-    const double p_small = electricalPowerW(400.0, 5.0);
-    const double p_large = electricalPowerW(400.0, 10.0);
+    const Quantity<Watts> p_small = electricalPowerW(400.0_gf, 5.0_in);
+    const Quantity<Watts> p_large = electricalPowerW(400.0_gf, 10.0_in);
     EXPECT_LT(p_large, p_small);
 }
 
@@ -58,27 +61,29 @@ TEST(PropellerAero, SmallPropsNeedExtremeKv)
     // The Figure 9a observation: 1"-2" props on low-voltage packs
     // require five-digit Kv ratings (the figure annotates 25000Kv
     // for the 2" class and 51000Kv for the 1" class).
-    const double kv_2in = requiredKv(100.0, 2.0, 1 * kLipoCellVoltage);
+    const double kv_2in = requiredKv(100.0_gf, 2.0_in, lipoPackVoltage(1));
     EXPECT_GT(kv_2in, 20000.0);
-    const double kv_1in = requiredKv(100.0, 1.0, 1 * kLipoCellVoltage);
+    const double kv_1in = requiredKv(100.0_gf, 1.0_in, lipoPackVoltage(1));
     EXPECT_GT(kv_1in, 45000.0);
-    const double kv_large = requiredKv(1500.0, 20.0, 6 * kLipoCellVoltage);
+    const double kv_large =
+        requiredKv(1500.0_gf, 20.0_in, lipoPackVoltage(6));
     EXPECT_LT(kv_large, 1000.0);
 }
 
 TEST(PropellerAero, KvDecreasesWithVoltage)
 {
-    const double kv_2s = requiredKv(300.0, 5.0, 2 * kLipoCellVoltage);
-    const double kv_6s = requiredKv(300.0, 5.0, 6 * kLipoCellVoltage);
+    const double kv_2s = requiredKv(300.0_gf, 5.0_in, lipoPackVoltage(2));
+    const double kv_6s = requiredKv(300.0_gf, 5.0_in, lipoPackVoltage(6));
     EXPECT_NEAR(kv_2s / kv_6s, 3.0, 1e-9);
 }
 
 TEST(PropellerAeroDeath, RejectsBadArguments)
 {
-    EXPECT_EXIT(revsForThrust(100.0, 0.0), testing::ExitedWithCode(1), "");
-    EXPECT_EXIT(motorCurrentA(100.0, 5.0, 0.0),
+    EXPECT_EXIT(revsForThrust(100.0_gf, 0.0_in),
                 testing::ExitedWithCode(1), "");
-    EXPECT_EXIT(requiredKv(100.0, 5.0, -1.0),
+    EXPECT_EXIT(motorCurrentA(100.0_gf, 5.0_in, 0.0_v),
+                testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(requiredKv(100.0_gf, 5.0_in, -1.0_v),
                 testing::ExitedWithCode(1), "");
 }
 
@@ -90,10 +95,10 @@ class CurrentVsCells : public testing::TestWithParam<int>
 TEST_P(CurrentVsCells, MoreCellsLessCurrent)
 {
     const int cells = GetParam();
-    const double i_lo = motorCurrentA(800.0, 10.0,
-                                      cells * kLipoCellVoltage);
-    const double i_hi = motorCurrentA(800.0, 10.0,
-                                      (cells + 1) * kLipoCellVoltage);
+    const Quantity<Amperes> i_lo =
+        motorCurrentA(800.0_gf, 10.0_in, lipoPackVoltage(cells));
+    const Quantity<Amperes> i_hi =
+        motorCurrentA(800.0_gf, 10.0_in, lipoPackVoltage(cells + 1));
     EXPECT_GT(i_lo, i_hi);
 }
 

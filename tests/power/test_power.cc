@@ -6,13 +6,16 @@
 namespace dronedse {
 namespace {
 
+using namespace unit_literals;
+
 TEST(BoardPower, StateMeansMatchMeasurements)
 {
     // Paper Section 5.1.
-    EXPECT_EQ(boardStateMeanW(BoardState::Autopilot), 3.39);
-    EXPECT_EQ(boardStateMeanW(BoardState::AutopilotSlamIdle), 4.05);
-    EXPECT_EQ(boardStateMeanW(BoardState::AutopilotSlamFlying), 4.56);
-    EXPECT_EQ(boardStateMeanW(BoardState::Disconnected), 0.0);
+    EXPECT_EQ(boardStateMeanW(BoardState::Autopilot), 3.39_w);
+    EXPECT_EQ(boardStateMeanW(BoardState::AutopilotSlamIdle), 4.05_w);
+    EXPECT_EQ(boardStateMeanW(BoardState::AutopilotSlamFlying),
+              4.56_w);
+    EXPECT_EQ(boardStateMeanW(BoardState::Disconnected), 0.0_w);
 }
 
 TEST(BoardPower, Figure16aTraceShape)
@@ -26,12 +29,12 @@ TEST(BoardPower, Figure16aTraceShape)
     const double t_idle = trace.phases[2].first;
     const double t_fly = trace.phases[3].first;
     const double t_off = trace.phases[4].first;
-    EXPECT_NEAR(trace.meanW(t_ap, t_idle), 3.39, 0.1);
-    EXPECT_NEAR(trace.meanW(t_idle, t_fly), 4.05, 0.1);
-    EXPECT_NEAR(trace.meanW(t_fly, t_off), 4.56, 0.25);
+    EXPECT_NEAR(trace.meanW(t_ap, t_idle).value(), 3.39, 0.1);
+    EXPECT_NEAR(trace.meanW(t_idle, t_fly).value(), 4.05, 0.1);
+    EXPECT_NEAR(trace.meanW(t_fly, t_off).value(), 4.56, 0.25);
     // Peaks approach but never exceed 5 W.
-    EXPECT_GT(trace.maxW(t_fly, t_off), 4.7);
-    EXPECT_LE(trace.maxW(t_fly, t_off), 5.0);
+    EXPECT_GT(trace.maxW(t_fly, t_off), 4.7_w);
+    EXPECT_LE(trace.maxW(t_fly, t_off), 5.0_w);
     // Monotone ordering of the operating states.
     EXPECT_LT(trace.meanW(t_ap, t_idle), trace.meanW(t_idle, t_fly));
     EXPECT_LT(trace.meanW(t_idle, t_fly), trace.meanW(t_fly, t_off));
@@ -41,50 +44,52 @@ TEST(BoardPower, TraceStatsHelpers)
 {
     PowerTrace trace;
     trace.samples = {{0.0, 2.0}, {1.0, 4.0}, {2.0, 6.0}};
-    EXPECT_NEAR(trace.meanW(0.0, 2.0), 3.0, 1e-12);
-    EXPECT_NEAR(trace.maxW(0.0, 3.0), 6.0, 1e-12);
+    EXPECT_NEAR(trace.meanW(0.0, 2.0).value(), 3.0, 1e-12);
+    EXPECT_NEAR(trace.maxW(0.0, 3.0).value(), 6.0, 1e-12);
     // 2 W for 1 s + 4 W for 1 s = 6 Ws.
-    EXPECT_NEAR(trace.energyWh(), 6.0 / 3600.0, 1e-12);
+    EXPECT_NEAR(trace.energyWh().value(), 6.0 / 3600.0, 1e-12);
 }
 
 TEST(BoardPowerDeath, RejectsBadRate)
 {
-    EXPECT_EXIT(boardPowerTrace(figure16aScript(), 0.0),
+    EXPECT_EXIT(boardPowerTrace(figure16aScript(), 0.0_hz),
                 testing::ExitedWithCode(1), "");
 }
 
 TEST(DronePower, Figure16bFlight)
 {
     FlightPowerConfig config;
-    config.hoverS = 12.0;
-    config.maneuverS = 10.0;
+    config.hoverS = 12.0_s;
+    config.maneuverS = 10.0_s;
     const FlightPowerResult result = flyMeasurementFlight(config);
 
     EXPECT_TRUE(result.stableFlight);
     // Paper Figure 16b: ~130 W average in flight for the 450 mm
     // drone; accept 90-190 W.
-    EXPECT_GT(result.flightMeanW, 90.0);
-    EXPECT_LT(result.flightMeanW, 190.0);
+    EXPECT_GT(result.flightMeanW, 90.0_w);
+    EXPECT_LT(result.flightMeanW, 190.0_w);
     // Maneuvering spikes well above hover (paper: up to ~250 W).
     EXPECT_GT(result.maneuverPeakW, 1.2 * result.hoverMeanW);
     // Battery drained but far from empty in a two-minute flight.
     EXPECT_LT(result.finalSoc, 1.0);
     EXPECT_GT(result.finalSoc, 0.5);
-    EXPECT_GT(result.energyDrawnWh, 1.0);
+    EXPECT_GT(result.energyDrawnWh, 1.0_wh);
     // Idle phase draws only electronics (~7 W).
-    EXPECT_LT(result.trace.meanW(0.0, 5.0), 10.0);
+    EXPECT_LT(result.trace.meanW(0.0, 5.0), 10.0_w);
     EXPECT_GE(result.trace.phases.size(), 3u);
 }
 
 TEST(DronePower, HeavierComputeRaisesTotalPower)
 {
     FlightPowerConfig light;
-    light.hoverS = 8.0;
-    light.maneuverS = 6.0;
+    light.hoverS = 8.0_s;
+    light.maneuverS = 6.0_s;
     FlightPowerConfig heavy = light;
-    heavy.computePowerW += 15.0; // TX2-class system
-    const double p_light = flyMeasurementFlight(light).flightMeanW;
-    const double p_heavy = flyMeasurementFlight(heavy).flightMeanW;
+    heavy.computePowerW += 15.0_w; // TX2-class system
+    const double p_light =
+        flyMeasurementFlight(light).flightMeanW.value();
+    const double p_heavy =
+        flyMeasurementFlight(heavy).flightMeanW.value();
     EXPECT_NEAR(p_heavy - p_light, 15.0, 4.0);
 }
 

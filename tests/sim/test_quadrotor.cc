@@ -9,6 +9,8 @@
 namespace dronedse {
 namespace {
 
+using namespace unit_literals;
+
 TEST(Quadrotor, HoverEquilibrium)
 {
     Quadrotor quad;
@@ -181,13 +183,13 @@ TEST(Quadrotor, ElectricalPowerTracksThrust)
 TEST(Quadrotor, ParamsFromDesign)
 {
     DesignInputs in;
-    in.wheelbaseMm = 450.0;
+    in.wheelbaseMm = 450.0_mm;
     in.cells = 3;
-    in.capacityMah = 3000.0;
+    in.capacityMah = 3000.0_mah;
     const DesignResult res = solveDesign(in);
     ASSERT_TRUE(res.feasible);
     const QuadrotorParams p = QuadrotorParams::fromDesign(res);
-    EXPECT_NEAR(p.massKg, res.totalWeightG / 1000.0, 1e-9);
+    EXPECT_NEAR(p.massKg, res.totalWeightG.in<Kilograms>(), 1e-9);
     EXPECT_NEAR(p.armLengthM, 0.225, 1e-9);
     // Max thrust per motor equals TWR * weight / 4.
     EXPECT_NEAR(p.maxThrustPerMotorN * 4.0,

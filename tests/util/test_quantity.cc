@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit-algebra tests for Quantity: the compile-time identities the
+ * design-space model leans on, plus runtime conversion round-trips.
+ * The negative space (Grams + Watts must NOT compile) is covered by
+ * the try_compile test in tests/compile_fail/.
+ */
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "util/quantity.hh"
+#include "util/units.hh"
+
+namespace dronedse {
+namespace {
+
+using namespace unit_literals;
+
+// -- Compile-time: type identities ---------------------------------
+
+// Same dimension, different scale: distinct types, so + is rejected
+// until one side converts.
+static_assert(!std::is_same_v<Quantity<Grams>, Quantity<Kilograms>>);
+static_assert(!std::is_same_v<Quantity<Newtons>, Quantity<GramsForce>>);
+
+// The electrical chain: V * A = W, W * h = Wh, Wh / W = h.
+static_assert(std::is_same_v<decltype(12.0_v * 3.0_a), Quantity<Watts>>);
+static_assert(std::is_same_v<decltype(5.0_w * Quantity<Hours>(2.0)),
+                             Quantity<WattHours>>);
+static_assert(std::is_same_v<decltype(30.0_wh / 10.0_w),
+                             Quantity<Hours>>);
+
+// The battery-energy trap: mAh * V is *milli*watt-hours.  Landing on
+// Wh directly would silently reintroduce the paper models' classic
+// 1000x capacity bug.
+static_assert(std::is_same_v<decltype(3000.0_mah * 11.1_v),
+                             Quantity<MilliwattHours>>);
+static_assert(!std::is_same_v<decltype(3000.0_mah * 11.1_v),
+                              Quantity<WattHours>>);
+
+// Same-dimension ratios collapse to plain double.
+static_assert(std::is_same_v<decltype(1.0_min / 1.0_s), double>);
+static_assert(std::is_same_v<decltype(1.0_g / 1.0_kg), double>);
+static_assert(std::is_same_v<decltype(1.0_wh / 1.0_wh), double>);
+
+// -- Compile-time: constexpr arithmetic ----------------------------
+
+static_assert((2.0_g + 3.0_g).value() == 5.0);
+static_assert((10.0_w - 4.0_w).value() == 6.0);
+static_assert((3.0_v * 2.0).value() == 6.0);
+static_assert((2.0 * 3.0_v).value() == 6.0);
+static_assert((8.0_a / 2.0).value() == 4.0);
+static_assert((-(1.5_n)).value() == -1.5);
+static_assert(2.0_min / 30.0_s == 4.0);
+static_assert(1.0_kg / 1.0_g == 1000.0);
+
+// Comparison is defaulted <=> on the stored double.
+static_assert(2.0_g < 3.0_g);
+static_assert(Quantity<Minutes>(5.0) == Quantity<Minutes>(5.0));
+
+// -- Runtime: conversion round-trips -------------------------------
+
+TEST(Quantity, MassConversionsRoundTrip)
+{
+    EXPECT_DOUBLE_EQ((1500.0_g).in<Kilograms>(), 1.5);
+    EXPECT_DOUBLE_EQ((1.5_kg).in<Grams>(), 1500.0);
+    EXPECT_DOUBLE_EQ((0.75_kg).to<Grams>().to<Kilograms>().value(),
+                     0.75);
+}
+
+TEST(Quantity, LengthConversionsExact)
+{
+    EXPECT_DOUBLE_EQ((450.0_mm).in<Meters>(), 0.45);
+    // 1 in = 25.4 mm exactly.
+    EXPECT_DOUBLE_EQ((10.0_in).in<Millimeters>(), 254.0);
+    EXPECT_DOUBLE_EQ((25.4_mm).in<Inches>(), 1.0);
+}
+
+TEST(Quantity, TimeConversions)
+{
+    EXPECT_DOUBLE_EQ((90.0_s).in<Minutes>(), 1.5);
+    EXPECT_DOUBLE_EQ((1.5_min).in<Seconds>(), 90.0);
+    EXPECT_DOUBLE_EQ(Quantity<Hours>(0.5).in<Minutes>(), 30.0);
+    // 2400 rpm = 40 rev/s.
+    EXPECT_DOUBLE_EQ((2400.0_rpm).in<RevPerSec>(), 40.0);
+}
+
+TEST(Quantity, ForceConversions)
+{
+    // 1 kgf = 9.80665 N (standard gravity, exact by definition).
+    EXPECT_DOUBLE_EQ((1000.0_gf).in<Newtons>(), 9.80665);
+    EXPECT_NEAR((9.80665_n).in<GramsForce>(), 1000.0, 1e-9);
+}
+
+TEST(Quantity, EnergyChainMatchesHandCalculation)
+{
+    // 3S 3000 mAh at 11.1 V nominal: 33.3 Wh.
+    const auto mwh = 3000.0_mah * 11.1_v;
+    EXPECT_NEAR(mwh.to<WattHours>().value(), 33.3, 1e-9);
+    // Discharging at 100 W: 0.333 h = ~20 min.
+    const Quantity<Hours> t = mwh.to<WattHours>() / 100.0_w;
+    EXPECT_NEAR(t.to<Minutes>().value(), 19.98, 1e-9);
+}
+
+TEST(Quantity, PowerProductIsExactWatts)
+{
+    const Quantity<Watts> p = 11.1_v * 20.0_a;
+    EXPECT_DOUBLE_EQ(p.value(), 222.0);
+}
+
+TEST(Quantity, WeightForceBridge)
+{
+    // X grams of mass weighs X grams-force: the identity Equation 2
+    // relies on ("thrust = TWR * weight").
+    const Quantity<GramsForce> f = weightForce(1061.0_g);
+    EXPECT_DOUBLE_EQ(f.value(), 1061.0);
+    EXPECT_DOUBLE_EQ(liftableMass(f).value(), 1061.0);
+    // Round-trip through Newtons agrees with m * g0.
+    EXPECT_NEAR(f.in<Newtons>(), 1.061 * 9.80665, 1e-12);
+}
+
+TEST(Quantity, CompoundAssignmentAndAccumulation)
+{
+    Quantity<Grams> total{};
+    for (double w : {272.0, 248.0, 220.0, 112.0})
+        total += Quantity<Grams>(w);
+    EXPECT_DOUBLE_EQ(total.value(), 852.0);
+    total -= 52.0_g;
+    total *= 2.0;
+    EXPECT_DOUBLE_EQ(total.value(), 1600.0);
+    total /= 4.0;
+    EXPECT_DOUBLE_EQ(total.value(), 400.0);
+}
+
+TEST(Quantity, UnitsHelpersAreTyped)
+{
+    // lipoPackVoltage: 3.7 V per cell nominal.
+    EXPECT_DOUBLE_EQ(lipoPackVoltage(3).value(), 11.1);
+    EXPECT_DOUBLE_EQ(lipoPackVoltage(6).value(), 22.2);
+    // gramsToKg / kg round trip.
+    EXPECT_DOUBLE_EQ(gramsToKg(Quantity<Grams>(850.0)).value(), 0.85);
+}
+
+} // namespace
+} // namespace dronedse

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Enforce the typed-quantity convention in public interfaces.
+
+A function parameter declared as a raw ``double`` whose name carries a
+unit suffix (``weightG``, ``capacityMah``, ``total_power_w``, ...) is a
+value the type system should be checking: it must be a
+``Quantity<Unit>`` instead.  This linter scans the headers under
+``src/`` and fails on any such parameter outside the allowlist.
+
+The allowlist is intentionally tiny (the build treats >10 entries as a
+policy failure): the raw-double simulation/estimation layers keep
+untyped numerics by design and are bridged with explicit ``Quantity``
+wraps at their call sites.
+
+Struct *fields* are not checked: catalog record structs store raw
+published table data and expose typed accessors (see
+DESIGN.md, "Static guarantees").
+
+Usage: check_units.py [repo_root]
+"""
+
+import pathlib
+import re
+import sys
+
+# Directory prefixes (relative to the repo root) whose headers may
+# keep raw-double unit-suffixed parameters.  Keep this list short —
+# every entry is a hole in the compile-time unit checking.
+ALLOWLIST = (
+    "src/control/",   # cascaded-controller internals: raw SI doubles
+    "src/sim/",       # rigid-body state: raw SI doubles
+    "src/slam/",      # vision pipeline: pixels and raw SI doubles
+    "src/uarch/",     # microarchitecture model: cycles, not SI units
+    "src/platform/",  # Table 5 record structs and their plumbing
+)
+MAX_ALLOWLIST_ENTRIES = 10
+
+# A parameter name "ends in a unit" when it has one of these suffixes
+# after a lowercase letter or digit (camelCase: weightG, maxCurrentA)
+# or with a snake separator (total_power_w, thrust_n).
+UNIT_SUFFIXES = (
+    "g", "kg", "mm", "m", "in", "gf", "n",
+    "w", "wh", "mwh", "mah", "a", "v", "kv",
+    "s", "min", "h", "hz", "rpm",
+)
+
+PARAM_RE = re.compile(r"\bdouble\s+[&*]?\s*([A-Za-z_]\w*)")
+
+# Identifiers that merely *look* unit-suffixed: dimensionless or
+# non-physical names the suffix heuristic would otherwise flag.
+NAME_EXCEPTIONS = frozenset({
+    "dim",     # matrix dimension
+    "origin",  # coordinate origin
+    "gain",    # controller gain (dimensionless)
+})
+
+
+def strip_comments(text: str) -> str:
+    """Blank out // and /* */ comments, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i)
+            j = n if j < 0 else j + 2
+            out.append("".join(c if c == "\n" else " "
+                               for c in text[i:j]))
+            i = j
+        elif text[i] in "\"'":
+            quote = text[i]
+            out.append(quote)
+            i += 1
+            while i < n and text[i] != quote:
+                out.append(" " if text[i] != "\n" else "\n")
+                i += 2 if text[i] == "\\" else 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def has_unit_suffix(name: str) -> bool:
+    if name.lower() in NAME_EXCEPTIONS:
+        return False
+    lower = name.lower()
+    for suffix in UNIT_SUFFIXES:
+        if lower.endswith("_" + suffix):
+            return True
+        # camelCase boundary: ...tG, ...tMah — the suffix must be
+        # capitalized in the original and preceded by a lowercase
+        # letter or digit.
+        if (len(name) > len(suffix)
+                and name.endswith(suffix.capitalize())
+                and (name[-len(suffix) - 1].islower()
+                     or name[-len(suffix) - 1].isdigit())):
+            return True
+    return False
+
+
+def paren_segments(text: str):
+    """Yield (line_number, text) for characters inside parentheses."""
+    depth = 0
+    line = 1
+    buf = []
+    buf_line = 1
+    for ch in text:
+        if ch == "\n":
+            line += 1
+        if ch == "(":
+            if depth == 0:
+                buf = []
+                buf_line = line
+            else:
+                buf.append(ch)
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0 and buf:
+                yield buf_line, "".join(buf)
+            elif depth > 0:
+                buf.append(ch)
+            depth = max(depth, 0)
+        elif depth > 0:
+            buf.append(ch)
+
+
+def check_header(path: pathlib.Path, rel: str):
+    violations = []
+    text = strip_comments(path.read_text())
+    for line, segment in paren_segments(text):
+        for match in PARAM_RE.finditer(segment):
+            name = match.group(1)
+            if has_unit_suffix(name):
+                violations.append(
+                    f"{rel}:{line}: raw `double {name}` parameter "
+                    f"carries a unit suffix — use Quantity<...> "
+                    f"(see src/util/quantity.hh)")
+    return violations
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+    if len(ALLOWLIST) > MAX_ALLOWLIST_ENTRIES:
+        print(f"check_units: allowlist has {len(ALLOWLIST)} entries, "
+              f"max {MAX_ALLOWLIST_ENTRIES} — shrink it, do not grow "
+              f"it", file=sys.stderr)
+        return 1
+
+    violations = []
+    scanned = 0
+    for path in sorted((root / "src").rglob("*.hh")):
+        rel = path.relative_to(root).as_posix()
+        if any(rel.startswith(prefix) for prefix in ALLOWLIST):
+            continue
+        scanned += 1
+        violations.extend(check_header(path, rel))
+
+    if violations:
+        print("\n".join(violations), file=sys.stderr)
+        print(f"\ncheck_units: {len(violations)} violation(s) in "
+              f"{scanned} scanned headers", file=sys.stderr)
+        return 1
+    print(f"check_units: OK ({scanned} headers scanned, "
+          f"{len(ALLOWLIST)} allowlisted prefixes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the library sources using the checked-in
+.clang-tidy config and a build tree's compile_commands.json.
+
+Usage: run_clang_tidy.py <clang-tidy-exe> <build-dir> <src-dir>
+
+Exits non-zero if clang-tidy reports any diagnostic (warnings are
+errors here: the config's check set is the project gate).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    tidy, build_dir, src_dir = sys.argv[1:4]
+
+    if not (pathlib.Path(build_dir) / "compile_commands.json").exists():
+        print(f"run_clang_tidy: no compile_commands.json in "
+              f"{build_dir} (configure with "
+              f"CMAKE_EXPORT_COMPILE_COMMANDS=ON)", file=sys.stderr)
+        return 2
+
+    files = sorted(str(p) for p in pathlib.Path(src_dir).rglob("*.cc"))
+    if not files:
+        print(f"run_clang_tidy: no sources under {src_dir}",
+              file=sys.stderr)
+        return 2
+
+    result = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet",
+         "--warnings-as-errors=*", *files])
+    if result.returncode == 0:
+        print(f"run_clang_tidy: OK ({len(files)} sources)")
+    return result.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())
