@@ -2,15 +2,21 @@
  * @file
  * Figure 11 reproduction: commercial small drones' hovering and
  * maneuvering power, the contribution of heavy computation (SLAM,
- * recognition, HD video) to hover power, and flight time.
+ * recognition, HD video) to hover power, and flight time — plus a
+ * model cross-check of the small class through the same shared
+ * `classSweepSpec` grid the Figure 10 panels use.
  */
 
 #include <cstdio>
 
 #include "components/commercial.hh"
+#include "components/compute_board.hh"
+#include "dse/sweep.hh"
+#include "engine/engine.hh"
 #include "util/table.hh"
 
 using namespace dronedse;
+using namespace dronedse::unit_literals;
 
 int
 main()
@@ -54,5 +60,23 @@ main()
     }
     std::printf("\nPaper claim: optimizing heavy computations in small "
                 "drones can gain up to ~20%% / +5 min flight time.\n");
+
+    // Model cross-check: sweep the small class through the shared
+    // Figure 10 grid builder and compare the model's best
+    // configuration against the commercial field above.
+    engine::SweepEngine eng;
+    const auto &small = classSpec(SizeClass::Small);
+    const engine::SweepResult swept = eng.run(classSweepSpec(
+        small, {1, 2, 3, 4, 5, 6}, 100.0_mah, basicChip3W()));
+    const DesignResult best = eng.bestConfiguration(small, basicChip3W());
+    std::printf("\nModel cross-check (%s grid, %zu points, %zu "
+                "feasible):\n  best config %.0f mAh %dS -> %.0f g, "
+                "hover %.0f W, %.1f min (paper best: %.0f min)\n",
+                small.label, swept.stats.gridPoints,
+                swept.stats.feasiblePoints,
+                best.inputs.capacityMah.value(), best.inputs.cells,
+                best.totalWeightG.value(), best.avgPowerW.value(),
+                best.flightTimeMin.value(),
+                small.paperBestFlightTimeMin.value());
     return 0;
 }

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Sweep-engine throughput bench: serial reference vs `SweepEngine`
+ * at 1/2/4/8 threads on the Figure 10 footprint grids (all three
+ * size classes, both chips, both activities, cells 1-6).
+ *
+ * Emits machine-readable results — points/s, cache hit rates,
+ * speedups, and a serial-vs-engine CSV identity check — as
+ * `BENCH_sweep.json` (path overridable via argv[1]), seeding the
+ * repo's performance trajectory.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "components/compute_board.hh"
+#include "dse/export.hh"
+#include "dse/sweep.hh"
+#include "engine/engine.hh"
+#include "util/logging.hh"
+
+using namespace dronedse;
+using namespace dronedse::unit_literals;
+
+namespace {
+
+std::vector<SweepSpec>
+fig10Grids()
+{
+    std::vector<SweepSpec> specs;
+    for (SizeClass cls :
+         {SizeClass::Small, SizeClass::Medium, SizeClass::Large}) {
+        SweepSpec spec = classSweepSpec(classSpec(cls),
+                                        {1, 2, 3, 4, 5, 6}, 100.0_mah,
+                                        basicChip3W());
+        spec.boards = {advancedChip20W(), basicChip3W()};
+        spec.activities = {FlightActivity::Hovering,
+                           FlightActivity::Maneuvering};
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+double
+now_seconds_since(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Feasible-only CSV of a full solved grid (the serial contract). */
+std::string
+feasibleCsv(const std::vector<DesignResult> &points)
+{
+    std::vector<DesignResult> feasible;
+    for (const auto &res : points) {
+        if (res.feasible)
+            feasible.push_back(res);
+    }
+    return sweepToCsv(feasible).str();
+}
+
+std::string
+num(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return std::string(buf);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_sweep.json";
+    const std::vector<SweepSpec> specs = fig10Grids();
+
+    std::size_t grid_points = 0;
+    for (const auto &spec : specs)
+        grid_points += spec.pointCount();
+    std::printf("=== Sweep engine throughput (Fig 10 grids, %zu "
+                "points) ===\n\n",
+                grid_points);
+
+    // Serial reference: plain solveDesign over the expanded grids.
+    const auto serial_start = std::chrono::steady_clock::now();
+    std::string serial_csv;
+    for (const auto &spec : specs)
+        serial_csv += feasibleCsv(runSweepSerial(spec));
+    const double serial_seconds = now_seconds_since(serial_start);
+    const double serial_pps =
+        static_cast<double>(grid_points) / serial_seconds;
+    std::printf("serial          %8.3f s   %9.0f points/s\n",
+                serial_seconds, serial_pps);
+
+    std::string json = "{\"bench\": \"sweep_throughput\"";
+    json += ", \"grid_points\": " + std::to_string(grid_points);
+    json += ", \"serial\": {\"wall_seconds\": " + num(serial_seconds);
+    json += ", \"points_per_second\": " + num(serial_pps) + "}";
+    json += ", \"engine\": [";
+
+    bool first = true;
+    for (int threads : {1, 2, 4, 8}) {
+        engine::SweepEngine eng{
+            engine::EngineOptions{.threads = threads}};
+
+        // Cold pass: every point is a miss and a real solve.
+        const auto cold_start = std::chrono::steady_clock::now();
+        std::string engine_csv;
+        for (const auto &spec : specs)
+            engine_csv += feasibleCsv(eng.run(spec).points);
+        const double cold_seconds = now_seconds_since(cold_start);
+        const engine::CacheCounters cold_cache = eng.cacheCounters();
+
+        // Warm pass: the same grids again; the closure is all hits.
+        const auto warm_start = std::chrono::steady_clock::now();
+        for (const auto &spec : specs)
+            eng.run(spec);
+        const double warm_seconds = now_seconds_since(warm_start);
+        const engine::CacheCounters total_cache = eng.cacheCounters();
+        const std::uint64_t warm_hits =
+            total_cache.hits - cold_cache.hits;
+        const std::uint64_t warm_misses =
+            total_cache.misses - cold_cache.misses;
+        const double warm_hit_rate =
+            warm_hits + warm_misses == 0
+                ? 0.0
+                : static_cast<double>(warm_hits) /
+                      static_cast<double>(warm_hits + warm_misses);
+
+        const bool identical = engine_csv == serial_csv;
+        const double cold_pps =
+            static_cast<double>(grid_points) / cold_seconds;
+        const double warm_pps =
+            static_cast<double>(grid_points) / warm_seconds;
+        std::printf("engine %2d thr   %8.3f s   %9.0f points/s cold   "
+                    "%8.3f s %9.0f points/s warm   csv %s\n",
+                    threads, cold_seconds, cold_pps, warm_seconds,
+                    warm_pps, identical ? "identical" : "DIVERGED");
+
+        if (!first)
+            json += ", ";
+        first = false;
+        json += "{\"threads\": " + std::to_string(threads);
+        json += ", \"cold\": {\"wall_seconds\": " + num(cold_seconds);
+        json += ", \"points_per_second\": " + num(cold_pps);
+        json += ", \"cache_hit_rate\": " + num(cold_cache.hitRate()) +
+                "}";
+        json += ", \"warm\": {\"wall_seconds\": " + num(warm_seconds);
+        json += ", \"points_per_second\": " + num(warm_pps);
+        json += ", \"cache_hit_rate\": " + num(warm_hit_rate) + "}";
+        json += ", \"speedup_vs_serial\": " +
+                num(serial_seconds / cold_seconds);
+        json += ", \"csv_identical\": ";
+        json += identical ? "true" : "false";
+        json += "}";
+    }
+    json += "]}\n";
+
+    std::ofstream out(out_path);
+    if (!out)
+        fatal("sweep_throughput: cannot write " + out_path);
+    out << json;
+    out.close();
+    std::printf("\nWrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -1,71 +1,130 @@
 /**
  * @file
- * Design explorer: sweep wheelbase x battery x compute board and
- * print the Pareto frontier of flight time vs onboard compute power.
+ * Design explorer: sweep size class x battery x compute board
+ * through the batch engine and print the Pareto frontier of flight
+ * time vs compute capability vs all-up weight.
  *
- * A point is Pareto-optimal when no other design offers both more
- * flight time and more compute capability.
+ * Usage: design_explorer [--jobs N] [--csv PATH]
+ *   --jobs N   worker threads for the sweep (default: hardware)
+ *   --csv PATH write every feasible design point as CSV
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "components/compute_board.hh"
+#include "dse/export.hh"
 #include "dse/sweep.hh"
-#include "dse/weight_closure.hh"
-#include "util/quantity.hh"
+#include "engine/engine.hh"
+#include "engine/pareto.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 
 using namespace dronedse;
 using namespace dronedse::unit_literals;
 
-int
-main()
+namespace {
+
+struct Options
 {
+    int jobs = 0; // 0 = hardware concurrency
+    std::string csvPath;
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            opts.jobs = std::atoi(argv[++i]);
+            if (opts.jobs < 1)
+                fatal("design_explorer: --jobs expects a positive "
+                      "integer");
+        } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+            opts.csvPath = argv[++i];
+        } else {
+            fatal(std::string("design_explorer: unknown argument '") +
+                  argv[i] + "' (usage: design_explorer [--jobs N] "
+                            "[--csv PATH])");
+        }
+    }
+    return opts;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseArgs(argc, argv);
+
     std::printf("=== Design explorer: flight time vs compute ===\n\n");
 
+    engine::SweepEngine eng{engine::EngineOptions{.threads = opts.jobs}};
+
+    // One sweep per size class (their capacity axes differ), every
+    // compute board and battery family in each.
     std::vector<DesignResult> points;
-    for (const auto &board : computeBoardTable()) {
-        for (SizeClass cls :
-             {SizeClass::Small, SizeClass::Medium, SizeClass::Large}) {
-            const auto &spec = classSpec(cls);
-            const DesignResult best =
-                bestConfiguration(spec, board, 500.0_mah);
-            points.push_back(best);
+    double wall_seconds = 0.0;
+    for (SizeClass cls :
+         {SizeClass::Small, SizeClass::Medium, SizeClass::Large}) {
+        SweepSpec spec = classSweepSpec(classSpec(cls),
+                                        {1, 2, 3, 4, 5, 6}, 500.0_mah,
+                                        basicChip3W());
+        spec.boards = computeBoardTable();
+        const engine::SweepResult swept = eng.run(spec);
+        wall_seconds += swept.stats.wallSeconds;
+        for (std::size_t i : swept.feasible) {
+            if (withinPracticalLimits(swept.points[i], classSpec(cls)))
+                points.push_back(swept.points[i]);
         }
     }
 
-    // Pareto filter: maximize (flightTimeMin, compute.powerW).
-    std::vector<const DesignResult *> pareto;
-    for (const auto &p : points) {
-        bool dominated = false;
-        for (const auto &q : points) {
-            if (q.flightTimeMin.value() > p.flightTimeMin.value() + 1e-9 &&
-                q.inputs.compute.powerW >= p.inputs.compute.powerW) {
-                dominated = true;
-                break;
-            }
-        }
-        if (!dominated)
-            pareto.push_back(&p);
-    }
+    const auto frontier = engine::paretoFrontier(points);
 
     Table t({"frontier design", "compute board", "compute (W)",
              "weight (g)", "flight time (min)"});
-    for (const auto *p : pareto) {
-        t.addRow({fmt(p->inputs.wheelbaseMm.value(), 0) + "mm " +
-                      std::to_string(p->inputs.cells) + "S " +
-                      fmt(p->inputs.capacityMah.value(), 0) + "mAh",
-                  p->inputs.compute.name, fmt(p->inputs.compute.powerW, 1),
-                  fmt(p->totalWeightG.value(), 0),
-                  fmt(p->flightTimeMin.value(), 1)});
+    for (std::size_t idx : frontier) {
+        const DesignResult &p = points[idx];
+        t.addRow({fmt(p.inputs.wheelbaseMm.value(), 0) + "mm " +
+                      std::to_string(p.inputs.cells) + "S " +
+                      fmt(p.inputs.capacityMah.value(), 0) + "mAh",
+                  p.inputs.compute.name,
+                  fmt(p.inputs.compute.powerW, 1),
+                  fmt(p.totalWeightG.value(), 0),
+                  fmt(p.flightTimeMin.value(), 1)});
     }
     t.print();
 
-    std::printf("\n%zu candidate designs, %zu on the frontier.\n"
+    std::printf("\n%zu practical designs, %zu on the frontier.\n"
                 "Reading: each extra watt of onboard compute costs "
                 "flight time;\nthe frontier shows the best achievable "
                 "trade at every capability level.\n",
-                points.size(), pareto.size());
+                points.size(), frontier.size());
+
+    if (!opts.csvPath.empty()) {
+        sweepToCsv(points).write(opts.csvPath);
+        std::printf("\nWrote %zu design points to %s\n", points.size(),
+                    opts.csvPath.c_str());
+    }
+
+    const engine::CacheCounters cache = eng.cacheCounters();
+    std::printf("\nEngine stats: %d thread(s), %.0f points/s, "
+                "cache %llu hits / %llu misses (%.0f%% hit rate), "
+                "%llu evictions\n",
+                eng.threadCount(),
+                wall_seconds > 0.0
+                    ? static_cast<double>(cache.hits + cache.misses) /
+                          wall_seconds
+                    : 0.0,
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                100.0 * cache.hitRate(),
+                static_cast<unsigned long long>(cache.evictions));
+    std::printf("Last sweep: %s\n", eng.lastRunStats().toJson().c_str());
     return 0;
 }

@@ -1,6 +1,7 @@
 #include "dse/sweep.hh"
 
 #include <cmath>
+#include <utility>
 
 #include "components/battery.hh"
 #include "components/esc.hh"
@@ -36,6 +37,106 @@ classSpec(SizeClass size_class)
     panic("classSpec: unreachable size class");
 }
 
+namespace {
+
+/** Capacity axis values, accumulated exactly like the serial loop. */
+std::vector<Quantity<MilliampHours>>
+capacityAxis(const SweepSpec &spec)
+{
+    std::vector<Quantity<MilliampHours>> out;
+    for (Quantity<MilliampHours> cap = spec.capacityLoMah;
+         cap <= spec.capacityHiMah + Quantity<MilliampHours>(1e-9);
+         cap += spec.capacityStepMah) {
+        out.push_back(cap);
+    }
+    return out;
+}
+
+} // namespace
+
+std::size_t
+SweepSpec::pointCount() const
+{
+    std::size_t caps = 0;
+    for (Quantity<MilliampHours> cap = capacityLoMah;
+         cap <= capacityHiMah + Quantity<MilliampHours>(1e-9);
+         cap += capacityStepMah) {
+        ++caps;
+    }
+    return airframes.size() * boards.size() * activities.size() *
+           cells.size() * caps;
+}
+
+SweepSpec
+classSweepSpec(const SizeClassSpec &spec, std::vector<int> cells,
+               Quantity<MilliampHours> step,
+               const ComputeBoardRecord &compute,
+               FlightActivity activity, double twr)
+{
+    SweepSpec out;
+    out.airframes = {{spec.wheelbaseMm, spec.propDiameterIn}};
+    out.boards = {compute};
+    out.activities = {activity};
+    out.cells = std::move(cells);
+    out.capacityLoMah = spec.capacityLoMah;
+    out.capacityHiMah = spec.capacityHiMah;
+    out.capacityStepMah = step;
+    out.twr = twr;
+    return out;
+}
+
+std::vector<DesignInputs>
+expandGrid(const SweepSpec &spec)
+{
+    if (spec.capacityStepMah.value() <= 0.0)
+        fatal("expandGrid: capacity step must be positive");
+    if (spec.airframes.empty() || spec.boards.empty() ||
+        spec.activities.empty() || spec.cells.empty()) {
+        fatal("expandGrid: every axis needs at least one value");
+    }
+
+    const auto caps = capacityAxis(spec);
+    std::vector<DesignInputs> out;
+    out.reserve(spec.airframes.size() * spec.boards.size() *
+                spec.activities.size() * spec.cells.size() *
+                caps.size());
+    for (const auto &airframe : spec.airframes) {
+        for (const auto &board : spec.boards) {
+            for (FlightActivity activity : spec.activities) {
+                for (int cells : spec.cells) {
+                    for (Quantity<MilliampHours> cap : caps) {
+                        DesignInputs in;
+                        in.wheelbaseMm = airframe.wheelbaseMm;
+                        in.propDiameterIn = airframe.propDiameterIn;
+                        in.cells = cells;
+                        in.capacityMah = cap;
+                        in.twr = spec.twr;
+                        in.escClass = spec.escClass;
+                        in.compute = board;
+                        in.sensorWeightG = spec.sensorWeightG;
+                        in.sensorPowerW = spec.sensorPowerW;
+                        in.payloadG = spec.payloadG;
+                        in.activity = activity;
+                        out.push_back(std::move(in));
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<DesignResult>
+runSweepSerial(const SweepSpec &spec)
+{
+    std::vector<DesignResult> out;
+    const auto grid = expandGrid(spec);
+    out.reserve(grid.size());
+    for (const auto &in : grid)
+        out.push_back(solveDesign(in));
+    return out;
+}
+
 std::vector<DesignResult>
 sweepCapacity(const SizeClassSpec &spec, int cells,
               Quantity<MilliampHours> step,
@@ -45,21 +146,12 @@ sweepCapacity(const SizeClassSpec &spec, int cells,
     if (step.value() <= 0.0)
         fatal("sweepCapacity: step must be positive");
 
+    const auto solved = runSweepSerial(
+        classSweepSpec(spec, {cells}, step, compute, activity, twr));
     std::vector<DesignResult> out;
-    for (Quantity<MilliampHours> cap = spec.capacityLoMah;
-         cap <= spec.capacityHiMah + Quantity<MilliampHours>(1e-9);
-         cap += step) {
-        DesignInputs in;
-        in.wheelbaseMm = spec.wheelbaseMm;
-        in.propDiameterIn = spec.propDiameterIn;
-        in.cells = cells;
-        in.capacityMah = cap;
-        in.twr = twr;
-        in.compute = compute;
-        in.activity = activity;
-        DesignResult res = solveDesign(in);
+    for (const auto &res : solved) {
         if (res.feasible)
-            out.push_back(std::move(res));
+            out.push_back(res);
     }
     return out;
 }

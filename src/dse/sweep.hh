@@ -1,7 +1,15 @@
 /**
  * @file
- * Design-space sweeps: the loops that generate the series in
- * Figures 9 and 10 and locate each size class's best configuration.
+ * Design-space sweeps: the grid descriptions and serial reference
+ * loops that generate the series in Figures 9 and 10 and locate each
+ * size class's best configuration.
+ *
+ * `SweepSpec` is the shared grid vocabulary: it names the axes of a
+ * sweep (airframe x board x activity x cells x capacity) and expands
+ * to a deterministic, ordered list of `DesignInputs`.  The serial
+ * loops here and the parallel `engine::SweepEngine` both consume the
+ * same expansion, which is what makes the parallel results
+ * bit-identical to the serial reference.
  */
 
 #ifndef DRONEDSE_DSE_SWEEP_HH
@@ -56,6 +64,71 @@ inline constexpr double kMaxBatteryMassFraction = 0.35;
  */
 bool withinPracticalLimits(const DesignResult &result,
                            const SizeClassSpec &spec);
+
+/** One airframe of a sweep grid: a wheelbase plus its propeller. */
+struct SweepAirframe
+{
+    Quantity<Millimeters> wheelbaseMm{450.0};
+    /** 0 selects the largest the wheelbase allows. */
+    Quantity<Inches> propDiameterIn{0.0};
+};
+
+/**
+ * Declarative description of a design-space grid: the cross product
+ * airframe x board x activity x cells x capacity, plus the shared
+ * scalar inputs (TWR, ESC class, sensors, payload).
+ *
+ * Expansion order is fixed (capacity innermost) so every consumer —
+ * the serial loops below, the parallel engine, and the CSV exporters
+ * — sees the identical point sequence.
+ */
+struct SweepSpec
+{
+    std::vector<SweepAirframe> airframes{SweepAirframe{}};
+    std::vector<ComputeBoardRecord> boards;
+    std::vector<FlightActivity> activities{FlightActivity::Hovering};
+    std::vector<int> cells{3};
+    Quantity<MilliampHours> capacityLoMah{1000.0};
+    Quantity<MilliampHours> capacityHiMah{8000.0};
+    Quantity<MilliampHours> capacityStepMah{250.0};
+    double twr = 2.0;
+    EscClass escClass = EscClass::LongFlight;
+    Quantity<Grams> sensorWeightG{};
+    Quantity<Watts> sensorPowerW{};
+    Quantity<Grams> payloadG{};
+
+    /** Number of grid points the spec expands to. */
+    std::size_t pointCount() const;
+};
+
+/**
+ * The shared Figure 10/11 builder: one size class's capacity grid
+ * for a set of battery families on one board and activity.  Both
+ * figure benches and the engine-backed best-configuration search
+ * route through this so the size-class loop bodies exist once.
+ */
+SweepSpec classSweepSpec(const SizeClassSpec &spec,
+                         std::vector<int> cells,
+                         Quantity<MilliampHours> step,
+                         const ComputeBoardRecord &compute,
+                         FlightActivity activity = FlightActivity::Hovering,
+                         double twr = 2.0);
+
+/**
+ * Expand a spec to its ordered list of design points (airframe, then
+ * board, then activity, then cells, with capacity innermost).  The
+ * capacity axis accumulates `lo + step + step + ...` exactly as the
+ * original serial loop did, so expansion reproduces the historical
+ * floating-point grid bit-for-bit.
+ */
+std::vector<DesignInputs> expandGrid(const SweepSpec &spec);
+
+/**
+ * Serial reference execution of a spec: `solveDesign` over
+ * `expandGrid` in order.  The engine's determinism contract is
+ * defined against this function's output.
+ */
+std::vector<DesignResult> runSweepSerial(const SweepSpec &spec);
 
 /**
  * Sweep battery capacity for one class and cell count, solving each

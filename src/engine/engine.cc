@@ -1,0 +1,115 @@
+#include "engine/engine.hh"
+
+#include <chrono>
+
+#include "components/battery.hh"
+#include "engine/pareto.hh"
+#include "util/logging.hh"
+
+namespace dronedse::engine {
+
+std::vector<DesignResult>
+SweepResult::feasibleSeries() const
+{
+    std::vector<DesignResult> out;
+    out.reserve(feasible.size());
+    for (std::size_t i : feasible)
+        out.push_back(points[i]);
+    return out;
+}
+
+SweepEngine::SweepEngine(EngineOptions options)
+    : options_(options), pool_(options.threads),
+      cache_(options.cacheCapacity)
+{
+}
+
+SweepResult
+SweepEngine::run(const SweepSpec &spec)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const CacheCounters before = cache_.counters();
+
+    const std::vector<DesignInputs> grid = expandGrid(spec);
+
+    SweepResult result;
+    result.points.resize(grid.size());
+    // Each worker writes only the slot of the index it was handed,
+    // so the reduction is order-independent by construction.
+    pool_.parallelFor(grid.size(), options_.chunkSize,
+                      [&](std::size_t i, int) {
+                          result.points[i] = cache_.solve(grid[i]);
+                      });
+
+    for (std::size_t i = 0; i < result.points.size(); ++i) {
+        if (result.points[i].feasible)
+            result.feasible.push_back(i);
+    }
+    result.frontier = paretoFrontier(result.points);
+
+    const CacheCounters after = cache_.counters();
+    SweepStats &stats = result.stats;
+    stats.gridPoints = grid.size();
+    stats.feasiblePoints = result.feasible.size();
+    stats.frontierPoints = result.frontier.size();
+    stats.wallSeconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    stats.pointsPerSecond =
+        stats.wallSeconds > 0.0
+            ? static_cast<double>(grid.size()) / stats.wallSeconds
+            : 0.0;
+    stats.threads = pool_.threadCount();
+    stats.cache.hits = after.hits - before.hits;
+    stats.cache.misses = after.misses - before.misses;
+    stats.cache.evictions = after.evictions - before.evictions;
+    stats.perThread = pool_.lastRunStats();
+    lastStats_ = stats;
+    return result;
+}
+
+DesignResult
+SweepEngine::solve(const DesignInputs &inputs)
+{
+    return cache_.solve(inputs);
+}
+
+DesignResult
+SweepEngine::bestConfiguration(const SizeClassSpec &spec,
+                               const ComputeBoardRecord &compute,
+                               Quantity<MilliampHours> step, double twr)
+{
+    std::vector<int> cells;
+    for (int c = kMinCells; c <= kMaxCells; ++c)
+        cells.push_back(c);
+    const SweepResult swept = run(classSweepSpec(
+        spec, cells, step, compute, FlightActivity::Hovering, twr));
+
+    // Same scan order as the serial search: cells ascending with
+    // capacity innermost is exactly the grid order, so "strictly
+    // greater flight time wins" breaks ties identically.
+    DesignResult best;
+    for (std::size_t i : swept.feasible) {
+        const DesignResult &res = swept.points[i];
+        if (!withinPracticalLimits(res, spec))
+            continue;
+        if (!best.feasible || res.flightTimeMin > best.flightTimeMin)
+            best = res;
+    }
+    if (!best.feasible)
+        fatal("SweepEngine::bestConfiguration: no feasible design in "
+              "class sweep");
+    return best;
+}
+
+SweepEngine &
+sharedEngine()
+{
+    // Single-threaded: the shared instance exists for its memo cache
+    // (single solves, designer reports); parallel sweep drivers own
+    // their engine and pick a thread count explicitly.
+    static SweepEngine engine{EngineOptions{.threads = 1}};
+    return engine;
+}
+
+} // namespace dronedse::engine

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * SweepEngine: the batch query API over the DSE model.
+ *
+ * Submit a `SweepSpec` (axis ranges, see dse/sweep.hh), get back a
+ * `SweepResult`: every grid point solved, the feasible envelope, and
+ * the exact Pareto frontier of flight time vs compute capability vs
+ * all-up weight, plus a `SweepStats` instrumentation record.
+ *
+ * Determinism contract: `run(spec).points` is element-wise identical
+ * to `runSweepSerial(spec)` at any thread count.  This holds because
+ * (1) both paths expand the identical `expandGrid` point sequence,
+ * (2) each worker writes its result into the slot indexed by grid
+ * position, and (3) `solveDesign` is a pure function of its inputs,
+ * so a memo hit returns exactly what a fresh solve would.
+ */
+
+#ifndef DRONEDSE_ENGINE_ENGINE_HH
+#define DRONEDSE_ENGINE_ENGINE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "dse/sweep.hh"
+#include "engine/memo_cache.hh"
+#include "engine/stats.hh"
+#include "engine/thread_pool.hh"
+
+namespace dronedse::engine {
+
+/** Tuning knobs of one engine instance. */
+struct EngineOptions
+{
+    /** Worker count, caller included; 0 = hardware concurrency. */
+    int threads = 0;
+    /** Total memo-cache entries across shards. */
+    std::size_t cacheCapacity = 1 << 20;
+    /** Grid indices per work chunk; 0 = ~4 chunks per worker. */
+    std::size_t chunkSize = 0;
+};
+
+/** Everything `run` produces for one spec. */
+struct SweepResult
+{
+    /** One solved result per grid point, in `expandGrid` order. */
+    std::vector<DesignResult> points;
+    /** Indices into `points` of the feasible envelope, ascending. */
+    std::vector<std::size_t> feasible;
+    /** Indices into `points` of the Pareto frontier, ascending. */
+    std::vector<std::size_t> frontier;
+    /** Throughput / cache / utilization record of this run. */
+    SweepStats stats;
+
+    /** The feasible results only, in grid order (the serial
+     *  `sweepCapacity` contract). */
+    std::vector<DesignResult> feasibleSeries() const;
+};
+
+/**
+ * The engine: a work-stealing pool plus a memo cache, reusable
+ * across many sweeps.  The cache persists between `run` calls, so
+ * overlapping specs (the Figure 10 panels re-reading each battery
+ * family per weight bucket) pay for each distinct point once.
+ *
+ * Thread-safe for concurrent `solve` calls; `run` is exclusive (one
+ * sweep at a time per engine).
+ */
+class SweepEngine
+{
+  public:
+    explicit SweepEngine(EngineOptions options = {});
+
+    /** Solve a whole spec; see the determinism contract above. */
+    SweepResult run(const SweepSpec &spec);
+
+    /** Memoized single-point solve through the engine's cache. */
+    DesignResult solve(const DesignInputs &inputs);
+
+    /**
+     * Engine-backed best configuration of a size class: max flight
+     * time over cells {1..6} x capacity within the practical
+     * envelope.  Identical scan order (and therefore identical
+     * tie-breaking) to the serial `bestConfiguration`.
+     */
+    DesignResult bestConfiguration(
+        const SizeClassSpec &spec, const ComputeBoardRecord &compute,
+        Quantity<MilliampHours> step = Quantity<MilliampHours>(250.0),
+        double twr = 2.0);
+
+    int threadCount() const { return pool_.threadCount(); }
+
+    /** Lifetime cache counters (across all runs of this engine). */
+    CacheCounters cacheCounters() const { return cache_.counters(); }
+
+    /** Stats of the most recent `run`. */
+    const SweepStats &lastRunStats() const { return lastStats_; }
+
+  private:
+    EngineOptions options_;
+    ThreadPool pool_;
+    MemoCache cache_;
+    SweepStats lastStats_;
+};
+
+/**
+ * Process-wide shared engine (lazy, thread-safe construction) used
+ * by the `core` facade so repeated `DroneDesigner` reports and
+ * figure benches share one memo cache.
+ */
+SweepEngine &sharedEngine();
+
+} // namespace dronedse::engine
+
+#endif // DRONEDSE_ENGINE_ENGINE_HH

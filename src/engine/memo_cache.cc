@@ -1,0 +1,167 @@
+#include "engine/memo_cache.hh"
+
+#include <cmath>
+
+#include "dse/weight_closure.hh"
+#include "util/logging.hh"
+
+namespace dronedse::engine {
+
+namespace {
+
+/**
+ * Quantization grid: 1e-6 of the field's own unit.  Sweep axes step
+ * in whole mAh/mm/grams, so distinct grid points sit ~1e6 quanta
+ * apart — aliasing across a feasibility boundary would need two
+ * inputs closer than any sweep ever generates.
+ */
+constexpr double kQuantaPerUnit = 1e6;
+
+std::int64_t
+quantize(double value)
+{
+    return static_cast<std::int64_t>(
+        std::llround(value * kQuantaPerUnit));
+}
+
+} // namespace
+
+DesignKey
+quantizeInputs(const DesignInputs &inputs)
+{
+    DesignKey key;
+    key.wheelbaseUm = quantize(inputs.wheelbaseMm.value());
+    key.propDiameterUin = quantize(inputs.propDiameterIn.value());
+    key.capacityUmah = quantize(inputs.capacityMah.value());
+    key.twrMicro = quantize(inputs.twr);
+    key.boardWeightUg = quantize(inputs.compute.weightG);
+    key.boardPowerUw = quantize(inputs.compute.powerW);
+    key.sensorWeightUg = quantize(inputs.sensorWeightG.value());
+    key.sensorPowerUw = quantize(inputs.sensorPowerW.value());
+    key.payloadUg = quantize(inputs.payloadG.value());
+    key.cells = inputs.cells;
+    key.escClass = static_cast<int>(inputs.escClass);
+    key.boardClass = static_cast<int>(inputs.compute.boardClass);
+    key.activity = static_cast<int>(inputs.activity);
+    key.boardName = inputs.compute.name;
+    return key;
+}
+
+std::size_t
+hashKey(const DesignKey &key)
+{
+    // FNV-1a over the integer fields, then fold in the name hash.
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v) {
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= (v >> (byte * 8)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    };
+    mix(static_cast<std::uint64_t>(key.wheelbaseUm));
+    mix(static_cast<std::uint64_t>(key.propDiameterUin));
+    mix(static_cast<std::uint64_t>(key.capacityUmah));
+    mix(static_cast<std::uint64_t>(key.twrMicro));
+    mix(static_cast<std::uint64_t>(key.boardWeightUg));
+    mix(static_cast<std::uint64_t>(key.boardPowerUw));
+    mix(static_cast<std::uint64_t>(key.sensorWeightUg));
+    mix(static_cast<std::uint64_t>(key.sensorPowerUw));
+    mix(static_cast<std::uint64_t>(key.payloadUg));
+    mix(static_cast<std::uint64_t>(key.cells));
+    mix(static_cast<std::uint64_t>(key.escClass));
+    mix(static_cast<std::uint64_t>(key.boardClass));
+    mix(static_cast<std::uint64_t>(key.activity));
+    mix(std::hash<std::string>{}(key.boardName));
+    return static_cast<std::size_t>(h);
+}
+
+MemoCache::MemoCache(std::size_t capacity)
+{
+    if (capacity < kShards)
+        capacity = kShards;
+    shardCapacity_ = capacity / kShards;
+}
+
+MemoCache::Shard &
+MemoCache::shardFor(const DesignKey &, std::size_t hash)
+{
+    // The low bits feed the map's bucket index; pick the shard from
+    // the high bits so the two selections stay independent.
+    return shards_[(hash >> 48) % kShards];
+}
+
+std::optional<DesignResult>
+MemoCache::lookup(const DesignKey &key)
+{
+    const std::size_t hash = hashKey(key);
+    Shard &shard = shardFor(key, hash);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+}
+
+void
+MemoCache::insert(const DesignKey &key, const DesignResult &result)
+{
+    const std::size_t hash = hashKey(key);
+    Shard &shard = shardFor(key, hash);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto [it, inserted] = shard.entries.try_emplace(key, result);
+    if (!inserted)
+        return;
+    shard.order.push_back(key);
+    while (shard.entries.size() > shardCapacity_) {
+        shard.entries.erase(shard.order.front());
+        shard.order.pop_front();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+DesignResult
+MemoCache::solve(const DesignInputs &inputs)
+{
+    const DesignKey key = quantizeInputs(inputs);
+    if (auto cached = lookup(key))
+        return *std::move(cached);
+    DesignResult result = solveDesign(inputs);
+    insert(key, result);
+    return result;
+}
+
+CacheCounters
+MemoCache::counters() const
+{
+    CacheCounters out;
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.evictions = evictions_.load(std::memory_order_relaxed);
+    return out;
+}
+
+std::size_t
+MemoCache::size() const
+{
+    std::size_t total = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        total += shard.entries.size();
+    }
+    return total;
+}
+
+void
+MemoCache::clear()
+{
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.entries.clear();
+        shard.order.clear();
+    }
+}
+
+} // namespace dronedse::engine

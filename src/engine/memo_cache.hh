@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Sharded, thread-safe memo cache for `solveDesign`.
+ *
+ * The Equation 1-2 weight-closure fixed point dominates every sweep
+ * (`bench/kernels_micro`), and the figure generators re-solve the
+ * same series repeatedly — Figure 10 alone resolves each battery
+ * family once per weight bucket.  The cache keys on a *quantized*
+ * `DesignInputs` (every dimensioned field rounded to a fixed 1e-6
+ * grid in its own unit) so bitwise-jittery but physically identical
+ * inputs hit, while any two grid points of a real sweep — whose axes
+ * step far coarser than the quantum — can never alias.
+ *
+ * Sharding: the key hash picks one of `kShards` independently locked
+ * maps, so concurrent workers rarely contend.  Each shard evicts its
+ * oldest entry (FIFO) at capacity.  Hit/miss/eviction counters are
+ * lock-free atomics.
+ */
+
+#ifndef DRONEDSE_ENGINE_MEMO_CACHE_HH
+#define DRONEDSE_ENGINE_MEMO_CACHE_HH
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "dse/design_point.hh"
+
+namespace dronedse::engine {
+
+/**
+ * A `DesignInputs` rounded onto the cache's quantization grid.
+ * Dimensioned fields are stored as integer multiples of 1e-6 of
+ * their own unit (micro-grams, micro-mAh, ...), enums as integers,
+ * and the board name verbatim (two boards with equal physics but
+ * different names must not share a cached result echo).
+ */
+struct DesignKey
+{
+    std::int64_t wheelbaseUm = 0;
+    std::int64_t propDiameterUin = 0;
+    std::int64_t capacityUmah = 0;
+    std::int64_t twrMicro = 0;
+    std::int64_t boardWeightUg = 0;
+    std::int64_t boardPowerUw = 0;
+    std::int64_t sensorWeightUg = 0;
+    std::int64_t sensorPowerUw = 0;
+    std::int64_t payloadUg = 0;
+    int cells = 0;
+    int escClass = 0;
+    int boardClass = 0;
+    int activity = 0;
+    std::string boardName;
+
+    bool operator==(const DesignKey &) const = default;
+};
+
+/** Quantize a full input set onto the cache grid. */
+DesignKey quantizeInputs(const DesignInputs &inputs);
+
+/** FNV-1a style hash over every key field. */
+std::size_t hashKey(const DesignKey &key);
+
+struct DesignKeyHash
+{
+    std::size_t operator()(const DesignKey &key) const
+    {
+        return hashKey(key);
+    }
+};
+
+/** Monotonic hit/miss/eviction counters of one cache. */
+struct CacheCounters
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+
+    double hitRate() const
+    {
+        const std::uint64_t total = hits + misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(total);
+    }
+};
+
+/**
+ * The cache itself.  `lookup` and `insert` are safe from any number
+ * of threads; a hit returns a copy of the exact `DesignResult` that
+ * was inserted (including its echoed inputs).
+ */
+class MemoCache
+{
+  public:
+    static constexpr std::size_t kShards = 16;
+
+    /** Capacity is total entries across all shards. */
+    explicit MemoCache(std::size_t capacity = 1 << 20);
+
+    std::optional<DesignResult> lookup(const DesignKey &key);
+    void insert(const DesignKey &key, const DesignResult &result);
+
+    /** Memoized `solveDesign`: lookup, else solve and insert. */
+    DesignResult solve(const DesignInputs &inputs);
+
+    CacheCounters counters() const;
+    std::size_t size() const;
+    void clear();
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<DesignKey, DesignResult, DesignKeyHash>
+            entries;
+        /** Insertion order for FIFO eviction. */
+        std::deque<DesignKey> order;
+    };
+
+    Shard &shardFor(const DesignKey &key, std::size_t hash);
+
+    std::size_t shardCapacity_;
+    std::array<Shard, kShards> shards_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+};
+
+} // namespace dronedse::engine
+
+#endif // DRONEDSE_ENGINE_MEMO_CACHE_HH

@@ -1,0 +1,41 @@
+#include "engine/pareto.hh"
+
+namespace dronedse::engine {
+
+bool
+dominates(const DesignResult &a, const DesignResult &b)
+{
+    if (!a.feasible || !b.feasible)
+        return false;
+    const bool no_worse =
+        a.flightTimeMin >= b.flightTimeMin &&
+        a.computePowerW >= b.computePowerW &&
+        a.totalWeightG <= b.totalWeightG;
+    if (!no_worse)
+        return false;
+    return a.flightTimeMin > b.flightTimeMin ||
+           a.computePowerW > b.computePowerW ||
+           a.totalWeightG < b.totalWeightG;
+}
+
+std::vector<std::size_t>
+paretoFrontier(const std::vector<DesignResult> &points)
+{
+    std::vector<std::size_t> frontier;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (!points[i].feasible)
+            continue;
+        bool dominated = false;
+        for (std::size_t j = 0; j < points.size(); ++j) {
+            if (j != i && dominates(points[j], points[i])) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            frontier.push_back(i);
+    }
+    return frontier;
+}
+
+} // namespace dronedse::engine

@@ -1,0 +1,165 @@
+#include "engine/thread_pool.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/logging.hh"
+
+namespace dronedse::engine {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads < 0)
+        fatal("ThreadPool: thread count must be >= 0");
+    if (threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw == 0 ? 1 : static_cast<int>(hw);
+    }
+
+    queues_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+        queues_.push_back(std::make_unique<WorkQueue>());
+    stats_.resize(static_cast<std::size_t>(threads));
+
+    // Worker 0 is the calling thread; spawn the rest.
+    workers_.reserve(static_cast<std::size_t>(threads - 1));
+    for (int i = 1; i < threads; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(jobMutex_);
+        shutdown_ = true;
+    }
+    jobReady_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::parallelFor(std::size_t count, std::size_t chunk_size,
+                        const std::function<void(std::size_t, int)> &body)
+{
+    const auto n_workers = queues_.size();
+    for (auto &stat : stats_)
+        stat = WorkerStats{};
+    if (count == 0)
+        return;
+
+    if (chunk_size == 0) {
+        // ~4 chunks per worker keeps the steal queues busy without
+        // drowning the run in locking.
+        chunk_size = std::max<std::size_t>(1, count / (n_workers * 4));
+    }
+
+    // Deal chunks round-robin so every worker starts with a share of
+    // the grid; stealing rebalances whatever the deal got wrong.
+    std::size_t next_queue = 0;
+    for (std::size_t begin = 0; begin < count; begin += chunk_size) {
+        const std::size_t end = std::min(count, begin + chunk_size);
+        auto &queue = *queues_[next_queue];
+        std::lock_guard<std::mutex> lock(queue.mutex);
+        queue.chunks.push_back({begin, end});
+        next_queue = (next_queue + 1) % n_workers;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(jobMutex_);
+        body_ = &body;
+        activeWorkers_ = static_cast<int>(n_workers);
+        ++generation_;
+    }
+    jobReady_.notify_all();
+
+    runWorker(0);
+
+    std::unique_lock<std::mutex> lock(jobMutex_);
+    if (--activeWorkers_ == 0)
+        jobDone_.notify_all();
+    jobDone_.wait(lock, [this] { return activeWorkers_ == 0; });
+    body_ = nullptr;
+}
+
+void
+ThreadPool::workerLoop(int worker)
+{
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(jobMutex_);
+            jobReady_.wait(lock, [this, seen_generation] {
+                return shutdown_ || generation_ != seen_generation;
+            });
+            if (shutdown_)
+                return;
+            seen_generation = generation_;
+        }
+        runWorker(worker);
+        {
+            std::lock_guard<std::mutex> lock(jobMutex_);
+            if (--activeWorkers_ == 0)
+                jobDone_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::runWorker(int worker)
+{
+    auto &stat = stats_[static_cast<std::size_t>(worker)];
+    Chunk chunk;
+    while (popLocal(worker, chunk) || steal(worker, chunk)) {
+        const auto start = std::chrono::steady_clock::now();
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i)
+            (*body_)(i, worker);
+        stat.busySeconds += secondsSince(start);
+        stat.itemsProcessed += chunk.end - chunk.begin;
+    }
+}
+
+bool
+ThreadPool::popLocal(int worker, Chunk &out)
+{
+    auto &queue = *queues_[static_cast<std::size_t>(worker)];
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    if (queue.chunks.empty())
+        return false;
+    out = queue.chunks.front();
+    queue.chunks.pop_front();
+    return true;
+}
+
+bool
+ThreadPool::steal(int worker, Chunk &out)
+{
+    const auto n = queues_.size();
+    for (std::size_t offset = 1; offset < n; ++offset) {
+        const std::size_t victim =
+            (static_cast<std::size_t>(worker) + offset) % n;
+        auto &queue = *queues_[victim];
+        std::lock_guard<std::mutex> lock(queue.mutex);
+        if (queue.chunks.empty())
+            continue;
+        out = queue.chunks.back();
+        queue.chunks.pop_back();
+        stats_[static_cast<std::size_t>(worker)].chunksStolen += 1;
+        return true;
+    }
+    return false;
+}
+
+} // namespace dronedse::engine

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Work-stealing thread pool for batch design-space sweeps.
+ *
+ * The pool owns N-1 persistent workers; the caller participates as
+ * worker 0, so a single-threaded pool runs entirely inline and a
+ * sweep on a one-core host costs no context switches.  `parallelFor`
+ * partitions an index range into chunks, deals them round-robin onto
+ * per-worker deques, and lets idle workers steal from the back of a
+ * victim's deque.  Because callers write results into pre-allocated
+ * slots indexed by grid position, the steal order never affects the
+ * output — that is the engine's determinism contract (DESIGN.md §9).
+ *
+ * This is pool plumbing, not model code: indices and timings are raw
+ * integers/doubles by design; typed `Quantity` stops at the engine's
+ * public API.
+ */
+
+#ifndef DRONEDSE_ENGINE_THREAD_POOL_HH
+#define DRONEDSE_ENGINE_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dronedse::engine {
+
+/** Per-worker accounting of one `parallelFor` run. */
+struct WorkerStats
+{
+    /** Grid points this worker solved. */
+    std::uint64_t itemsProcessed = 0;
+    /** Chunks stolen from other workers' deques. */
+    std::uint64_t chunksStolen = 0;
+    /** Time spent inside the loop body, seconds. */
+    double busySeconds = 0.0;
+};
+
+/**
+ * A fixed-size work-stealing pool.  Safe to reuse across many
+ * `parallelFor` calls; the workers sleep between jobs.
+ */
+class ThreadPool
+{
+  public:
+    /** 0 threads means hardware concurrency (at least 1). */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int threadCount() const { return static_cast<int>(workers_.size()) + 1; }
+
+    /**
+     * Run `body(index, worker)` for every index in [0, count),
+     * blocking until all indices are done.  Chunks of `chunk_size`
+     * consecutive indices are dealt round-robin across workers;
+     * `chunk_size` 0 picks a size that gives each worker ~4 chunks.
+     *
+     * The body must be safe to call concurrently from different
+     * workers on different indices.  Per-worker stats for this run
+     * are available from `lastRunStats()` afterwards.
+     */
+    void parallelFor(std::size_t count, std::size_t chunk_size,
+                     const std::function<void(std::size_t, int)> &body);
+
+    /** Stats of the most recent `parallelFor`, one entry per worker. */
+    const std::vector<WorkerStats> &lastRunStats() const
+    {
+        return stats_;
+    }
+
+  private:
+    struct Chunk
+    {
+        std::size_t begin = 0;
+        std::size_t end = 0;
+    };
+
+    /** One worker's chunk deque; owner pops front, thieves pop back. */
+    struct WorkQueue
+    {
+        std::mutex mutex;
+        std::deque<Chunk> chunks;
+    };
+
+    void workerLoop(int worker);
+    void runWorker(int worker);
+    bool popLocal(int worker, Chunk &out);
+    bool steal(int worker, Chunk &out);
+
+    std::vector<std::thread> workers_;
+    std::vector<std::unique_ptr<WorkQueue>> queues_;
+    std::vector<WorkerStats> stats_;
+
+    // Job hand-off: generation bumps when a new job is published;
+    // workers wake, drain the queues, and the last one to finish
+    // signals completion.
+    std::mutex jobMutex_;
+    std::condition_variable jobReady_;
+    std::condition_variable jobDone_;
+    std::uint64_t generation_ = 0;
+    int activeWorkers_ = 0;
+    bool shutdown_ = false;
+    const std::function<void(std::size_t, int)> *body_ = nullptr;
+};
+
+} // namespace dronedse::engine
+
+#endif // DRONEDSE_ENGINE_THREAD_POOL_HH

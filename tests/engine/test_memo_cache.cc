@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "components/compute_board.hh"
+#include "dse/weight_closure.hh"
+#include "engine/memo_cache.hh"
+
+namespace dronedse {
+namespace {
+
+using namespace unit_literals;
+using engine::CacheCounters;
+using engine::DesignKey;
+using engine::MemoCache;
+using engine::quantizeInputs;
+
+DesignInputs
+mediumInputs()
+{
+    DesignInputs in;
+    in.wheelbaseMm = 450.0_mm;
+    in.cells = 3;
+    in.capacityMah = 3000.0_mah;
+    return in;
+}
+
+TEST(MemoCache, HitReturnsTheExactCachedResult)
+{
+    MemoCache cache;
+    const DesignInputs in = mediumInputs();
+
+    const DesignResult first = cache.solve(in);
+    CacheCounters counters = cache.counters();
+    EXPECT_EQ(counters.hits, 0u);
+    EXPECT_EQ(counters.misses, 1u);
+
+    const DesignResult second = cache.solve(in);
+    counters = cache.counters();
+    EXPECT_EQ(counters.hits, 1u);
+    EXPECT_EQ(counters.misses, 1u);
+    EXPECT_EQ(second.feasible, first.feasible);
+    EXPECT_EQ(second.totalWeightG, first.totalWeightG);
+    EXPECT_EQ(second.flightTimeMin, first.flightTimeMin);
+    EXPECT_EQ(second.avgPowerW, first.avgPowerW);
+}
+
+TEST(MemoCache, HitBypassesTheSolverEntirely)
+{
+    // Plant a sentinel result under a key: a later lookup must hand
+    // back that exact object, proving hits never re-solve.
+    MemoCache cache;
+    const DesignInputs in = mediumInputs();
+    const DesignKey key = quantizeInputs(in);
+
+    DesignResult sentinel = solveDesign(in);
+    sentinel.totalWeightG = Quantity<Grams>(-12345.0);
+    cache.insert(key, sentinel);
+
+    const auto found = cache.lookup(key);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->totalWeightG, Quantity<Grams>(-12345.0));
+    const DesignResult solved = cache.solve(in);
+    EXPECT_EQ(solved.totalWeightG, Quantity<Grams>(-12345.0));
+}
+
+TEST(MemoCache, SubQuantumJitterSharesAKey)
+{
+    // Inputs closer than the 1e-6 quantum are deliberately treated
+    // as the same design point.
+    DesignInputs a = mediumInputs();
+    DesignInputs b = mediumInputs();
+    b.capacityMah = a.capacityMah + Quantity<MilliampHours>(1e-8);
+    EXPECT_EQ(quantizeInputs(a), quantizeInputs(b));
+}
+
+TEST(MemoCache, QuantizationNeverAliasesAcrossFeasibilityBoundary)
+{
+    // Bisect the capacity axis down to millimAh resolution to find
+    // an adjacent feasible/infeasible pair (the battery C-rating
+    // boundary), then assert the two sides quantize to different
+    // keys and each side returns its own result through the cache.
+    DesignInputs in = mediumInputs();
+    in.cells = 6;
+    const auto feasibleAt = [&in](double cap_mah) {
+        DesignInputs probe = in;
+        probe.capacityMah = Quantity<MilliampHours>(cap_mah);
+        return solveDesign(probe).feasible;
+    };
+    double lo = 1.0, hi = 3000.0;
+    ASSERT_FALSE(feasibleAt(lo));
+    ASSERT_TRUE(feasibleAt(hi));
+    while (hi - lo > 0.001) {
+        const double mid = 0.5 * (lo + hi);
+        (feasibleAt(mid) ? hi : lo) = mid;
+    }
+
+    DesignInputs feas = in;
+    feas.capacityMah = Quantity<MilliampHours>(hi);
+    DesignInputs infeas = in;
+    infeas.capacityMah = Quantity<MilliampHours>(lo);
+    ASSERT_NE(quantizeInputs(feas), quantizeInputs(infeas));
+
+    MemoCache cache;
+    EXPECT_TRUE(cache.solve(feas).feasible);
+    EXPECT_FALSE(cache.solve(infeas).feasible);
+    // Both sides cached independently; replay preserves each.
+    EXPECT_TRUE(cache.solve(feas).feasible);
+    EXPECT_FALSE(cache.solve(infeas).feasible);
+    EXPECT_EQ(cache.counters().hits, 2u);
+}
+
+TEST(MemoCache, DistinctBoardNamesDoNotShareAnEntry)
+{
+    // Two boards with identical physics still differ in the echoed
+    // inputs, so the cache must keep them apart.
+    DesignInputs a = mediumInputs();
+    a.compute = {"Board A", BoardClass::Basic, 20.0, 3.0};
+    DesignInputs b = a;
+    b.compute.name = "Board B";
+    EXPECT_NE(quantizeInputs(a), quantizeInputs(b));
+
+    MemoCache cache;
+    EXPECT_EQ(cache.solve(a).inputs.compute.name, "Board A");
+    EXPECT_EQ(cache.solve(b).inputs.compute.name, "Board B");
+    EXPECT_EQ(cache.solve(a).inputs.compute.name, "Board A");
+}
+
+TEST(MemoCache, EvictsOldestWhenOverCapacity)
+{
+    // Tiny cache: one entry per shard.
+    MemoCache cache(MemoCache::kShards);
+    DesignInputs in = mediumInputs();
+    for (int i = 0; i < 100; ++i) {
+        in.capacityMah = Quantity<MilliampHours>(1000.0 + 10.0 * i);
+        cache.solve(in);
+    }
+    EXPECT_LE(cache.size(), MemoCache::kShards);
+    const CacheCounters counters = cache.counters();
+    EXPECT_EQ(counters.misses, 100u);
+    EXPECT_GT(counters.evictions, 0u);
+}
+
+TEST(MemoCache, ConcurrentSolvesAccountEveryCall)
+{
+    MemoCache cache;
+    constexpr int kThreads = 8;
+    constexpr int kCallsPerThread = 200;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&cache] {
+            DesignInputs in = mediumInputs();
+            for (int i = 0; i < kCallsPerThread; ++i) {
+                // 20 distinct points, hammered from every thread.
+                in.capacityMah =
+                    Quantity<MilliampHours>(2000.0 + 100.0 * (i % 20));
+                const DesignResult res = cache.solve(in);
+                ASSERT_TRUE(res.feasible);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    const CacheCounters counters = cache.counters();
+    EXPECT_EQ(counters.hits + counters.misses,
+              static_cast<std::uint64_t>(kThreads) * kCallsPerThread);
+    EXPECT_GE(counters.hits,
+              static_cast<std::uint64_t>(kThreads) * kCallsPerThread -
+                  8 * 20);
+}
+
+} // namespace
+} // namespace dronedse

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "engine/pareto.hh"
+
+namespace dronedse {
+namespace {
+
+using engine::dominates;
+using engine::paretoFrontier;
+
+DesignResult
+point(double flight_min, double compute_w, double weight_g,
+      bool feasible = true)
+{
+    DesignResult res;
+    res.feasible = feasible;
+    res.flightTimeMin = Quantity<Minutes>(flight_min);
+    res.computePowerW = Quantity<Watts>(compute_w);
+    res.totalWeightG = Quantity<Grams>(weight_g);
+    return res;
+}
+
+TEST(Pareto, DominanceRequiresStrictImprovementSomewhere)
+{
+    const DesignResult a = point(20.0, 3.0, 1000.0);
+    EXPECT_FALSE(dominates(a, a));
+
+    // Better on one axis, equal elsewhere: dominates.
+    EXPECT_TRUE(dominates(point(21.0, 3.0, 1000.0), a));
+    EXPECT_TRUE(dominates(point(20.0, 4.0, 1000.0), a));
+    EXPECT_TRUE(dominates(point(20.0, 3.0, 900.0), a));
+
+    // A tradeoff (better one axis, worse another) never dominates.
+    EXPECT_FALSE(dominates(point(25.0, 1.0, 1000.0), a));
+    EXPECT_FALSE(dominates(a, point(25.0, 1.0, 1000.0)));
+
+    // Infeasible points neither dominate nor get dominated.
+    EXPECT_FALSE(dominates(point(99.0, 99.0, 1.0, false), a));
+    EXPECT_FALSE(dominates(a, point(1.0, 1.0, 9999.0, false)));
+}
+
+TEST(Pareto, HandComputedSixPointFrontier)
+{
+    // Objectives: flight time up, compute power up, weight down.
+    const std::vector<DesignResult> points{
+        point(20.0, 3.0, 1000.0),        // 0: on frontier
+        point(18.0, 20.0, 1200.0),       // 1: on frontier
+        point(20.0, 3.0, 1100.0),        // 2: dominated by 0
+        point(25.0, 1.0, 900.0),         // 3: on frontier
+        point(17.0, 15.0, 1250.0),       // 4: dominated by 1
+        point(30.0, 50.0, 500.0, false), // 5: infeasible, excluded
+    };
+    const std::vector<std::size_t> expected{0, 1, 3};
+    EXPECT_EQ(paretoFrontier(points), expected);
+}
+
+TEST(Pareto, DuplicatePointsAllStayOnTheFrontier)
+{
+    const std::vector<DesignResult> points{
+        point(20.0, 3.0, 1000.0),
+        point(20.0, 3.0, 1000.0),
+        point(10.0, 3.0, 1500.0),
+    };
+    const std::vector<std::size_t> expected{0, 1};
+    EXPECT_EQ(paretoFrontier(points), expected);
+}
+
+TEST(Pareto, EmptyAndAllInfeasibleInputs)
+{
+    EXPECT_TRUE(paretoFrontier({}).empty());
+    const std::vector<DesignResult> infeasible{
+        point(20.0, 3.0, 1000.0, false),
+        point(25.0, 5.0, 900.0, false),
+    };
+    EXPECT_TRUE(paretoFrontier(infeasible).empty());
+}
+
+TEST(Pareto, SingleFeasiblePointIsTheFrontier)
+{
+    const std::vector<DesignResult> points{point(15.0, 2.0, 800.0)};
+    const std::vector<std::size_t> expected{0};
+    EXPECT_EQ(paretoFrontier(points), expected);
+}
+
+} // namespace
+} // namespace dronedse

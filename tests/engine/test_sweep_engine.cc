@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "components/compute_board.hh"
+#include "dse/export.hh"
+#include "dse/sweep.hh"
+#include "dse/weight_closure.hh"
+#include "engine/engine.hh"
+
+namespace dronedse {
+namespace {
+
+using namespace unit_literals;
+using engine::EngineOptions;
+using engine::SweepEngine;
+using engine::SweepResult;
+
+/** The Figure 10 footprint grid of the medium class. */
+SweepSpec
+fig10MediumGrid()
+{
+    SweepSpec spec = classSweepSpec(classSpec(SizeClass::Medium),
+                                    {1, 2, 3, 4, 5, 6}, 250.0_mah,
+                                    basicChip3W());
+    spec.boards = {advancedChip20W(), basicChip3W()};
+    spec.activities = {FlightActivity::Hovering,
+                       FlightActivity::Maneuvering};
+    return spec;
+}
+
+void
+expectIdenticalResults(const DesignResult &a, const DesignResult &b)
+{
+    ASSERT_EQ(a.feasible, b.feasible);
+    EXPECT_EQ(a.infeasibleReason, b.infeasibleReason);
+    EXPECT_EQ(a.inputs.capacityMah, b.inputs.capacityMah);
+    EXPECT_EQ(a.inputs.cells, b.inputs.cells);
+    EXPECT_EQ(a.inputs.compute.name, b.inputs.compute.name);
+    EXPECT_EQ(a.inputs.activity, b.inputs.activity);
+    // Bitwise-identical solved quantities, not just approximately
+    // equal: the determinism contract is exact.
+    EXPECT_EQ(a.totalWeightG, b.totalWeightG);
+    EXPECT_EQ(a.basicWeightG, b.basicWeightG);
+    EXPECT_EQ(a.avgPowerW, b.avgPowerW);
+    EXPECT_EQ(a.flightTimeMin, b.flightTimeMin);
+    EXPECT_EQ(a.computePowerFraction, b.computePowerFraction);
+    EXPECT_EQ(a.motorMaxCurrentA, b.motorMaxCurrentA);
+    EXPECT_EQ(a.motor.kv, b.motor.kv);
+}
+
+class SweepEngineThreads : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(SweepEngineThreads, ElementwiseIdenticalToSerial)
+{
+    const SweepSpec spec = fig10MediumGrid();
+    const std::vector<DesignResult> serial = runSweepSerial(spec);
+
+    SweepEngine eng{EngineOptions{.threads = GetParam()}};
+    const SweepResult swept = eng.run(spec);
+
+    ASSERT_EQ(swept.points.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectIdenticalResults(swept.points[i], serial[i]);
+
+    // And again from a warm cache: hits must be exact replays.
+    const SweepResult rerun = eng.run(spec);
+    ASSERT_EQ(rerun.points.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectIdenticalResults(rerun.points[i], serial[i]);
+}
+
+TEST_P(SweepEngineThreads, CsvExportByteIdenticalToSerial)
+{
+    const auto &spec = classSpec(SizeClass::Medium);
+    std::string serial_csv;
+    for (int cells : {1, 3, 6}) {
+        serial_csv += sweepToCsv(sweepCapacity(spec, cells, 100.0_mah,
+                                               basicChip3W()))
+                          .str();
+    }
+
+    SweepEngine eng{EngineOptions{.threads = GetParam()}};
+    std::string engine_csv;
+    for (int cells : {1, 3, 6}) {
+        const SweepResult swept = eng.run(classSweepSpec(
+            spec, {cells}, 100.0_mah, basicChip3W()));
+        engine_csv += sweepToCsv(swept.feasibleSeries()).str();
+    }
+    EXPECT_EQ(engine_csv, serial_csv);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, SweepEngineThreads,
+                         testing::Values(1, 2, 8));
+
+TEST(SweepEngine, BestConfigurationMatchesSerial)
+{
+    for (SizeClass cls :
+         {SizeClass::Small, SizeClass::Medium, SizeClass::Large}) {
+        const auto &spec = classSpec(cls);
+        const DesignResult serial =
+            bestConfiguration(spec, basicChip3W());
+        SweepEngine eng{EngineOptions{.threads = 4}};
+        const DesignResult parallel =
+            eng.bestConfiguration(spec, basicChip3W());
+        expectIdenticalResults(parallel, serial);
+    }
+}
+
+TEST(SweepEngine, FeasibleEnvelopeMatchesPointFlags)
+{
+    SweepEngine eng{EngineOptions{.threads = 2}};
+    const SweepResult swept = eng.run(fig10MediumGrid());
+    std::size_t feasible_count = 0;
+    for (std::size_t i = 0; i < swept.points.size(); ++i) {
+        if (swept.points[i].feasible)
+            ++feasible_count;
+    }
+    EXPECT_EQ(swept.feasible.size(), feasible_count);
+    for (std::size_t idx : swept.feasible)
+        EXPECT_TRUE(swept.points[idx].feasible);
+    for (std::size_t idx : swept.frontier)
+        EXPECT_TRUE(swept.points[idx].feasible);
+}
+
+TEST(SweepEngine, StatsAccountForEveryPoint)
+{
+    const SweepSpec spec = fig10MediumGrid();
+    SweepEngine eng{EngineOptions{.threads = 2}};
+
+    const SweepResult cold = eng.run(spec);
+    EXPECT_EQ(cold.stats.gridPoints, spec.pointCount());
+    EXPECT_EQ(cold.stats.threads, 2);
+    EXPECT_GT(cold.stats.pointsPerSecond, 0.0);
+    // Cold run: every point misses once.
+    EXPECT_EQ(cold.stats.cache.hits, 0u);
+    EXPECT_EQ(cold.stats.cache.misses, spec.pointCount());
+    std::uint64_t items = 0;
+    for (const auto &worker : cold.stats.perThread)
+        items += worker.itemsProcessed;
+    EXPECT_EQ(items, spec.pointCount());
+
+    // Warm run: every point hits.
+    const SweepResult warm = eng.run(spec);
+    EXPECT_EQ(warm.stats.cache.hits, spec.pointCount());
+    EXPECT_EQ(warm.stats.cache.misses, 0u);
+
+    const std::string json = warm.stats.toJson();
+    EXPECT_NE(json.find("\"points_per_second\""), std::string::npos);
+    EXPECT_NE(json.find("\"hit_rate\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"per_thread\""), std::string::npos);
+}
+
+TEST(SweepEngine, SharedEngineSolveMatchesSolveDesign)
+{
+    DesignInputs in;
+    in.wheelbaseMm = 450.0_mm;
+    in.cells = 3;
+    in.capacityMah = 3000.0_mah;
+    const DesignResult direct = solveDesign(in);
+    const DesignResult cached = engine::sharedEngine().solve(in);
+    expectIdenticalResults(cached, direct);
+    expectIdenticalResults(engine::sharedEngine().solve(in), direct);
+}
+
+} // namespace
+} // namespace dronedse

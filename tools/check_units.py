@@ -35,6 +35,21 @@ ALLOWLIST = (
 )
 MAX_ALLOWLIST_ENTRIES = 10
 
+# Directory prefixes that must ALWAYS be scanned: adding one of these
+# to the allowlist is a policy failure, not a config change.  The
+# batch engine is listed explicitly because its internals (thread
+# pool, cache shards) are legitimately raw-double/raw-integer code —
+# the typed `Quantity` contract applies to its *headers* (the API
+# boundary), which is exactly what this linter checks.
+REQUIRED_SCANNED = (
+    "src/components/",
+    "src/physics/",
+    "src/power/",
+    "src/dse/",
+    "src/engine/",
+    "src/core/",
+)
+
 # A parameter name "ends in a unit" when it has one of these suffixes
 # after a lowercase letter or digit (camelCase: weightG, maxCurrentA)
 # or with a snake separator (total_power_w, thrust_n).
@@ -151,6 +166,12 @@ def main() -> int:
               f"max {MAX_ALLOWLIST_ENTRIES} — shrink it, do not grow "
               f"it", file=sys.stderr)
         return 1
+    for prefix in REQUIRED_SCANNED:
+        if any(prefix.startswith(allowed) for allowed in ALLOWLIST):
+            print(f"check_units: {prefix} is a typed-API module and "
+                  f"must stay scanned — remove it from the allowlist",
+                  file=sys.stderr)
+            return 1
 
     violations = []
     scanned = 0
