@@ -5,11 +5,13 @@
  * size classes, both chips, both activities, cells 1-6).
  *
  * Emits machine-readable results — points/s, cache hit rates,
- * speedups, and a serial-vs-engine CSV identity check — as
- * `BENCH_sweep.json` (path overridable via argv[1]), seeding the
- * repo's performance trajectory.
+ * speedups, a serial-vs-engine CSV identity check, and the span
+ * tracer's overhead on the sweep (runtime-enabled vs disabled;
+ * budget <3%) — as `BENCH_sweep.json` (path overridable via
+ * argv[1]), seeding the repo's performance trajectory.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -20,6 +22,7 @@
 #include "dse/export.hh"
 #include "dse/sweep.hh"
 #include "engine/engine.hh"
+#include "obs/tracer.hh"
 #include "util/logging.hh"
 
 using namespace dronedse;
@@ -161,7 +164,56 @@ main(int argc, char **argv)
         json += identical ? "true" : "false";
         json += "}";
     }
-    json += "]}\n";
+    json += "]";
+
+    // Tracer overhead on the Fig 10 sweep: cold passes on a fresh
+    // engine (so every point is a real solve), best-of-N to shave
+    // scheduler noise, tracer runtime-off vs runtime-on.  The
+    // compiled-out configuration (-DDRONEDSE_TRACING=OFF) is proven
+    // by the CI `obs` job; a single binary can only compare runtime
+    // states.
+    constexpr int kOverheadReps = 5;
+    constexpr int kOverheadThreads = 4;
+    const auto cold_sweep_seconds = [&specs] {
+        engine::SweepEngine eng{
+            engine::EngineOptions{.threads = kOverheadThreads}};
+        const auto start = std::chrono::steady_clock::now();
+        for (const auto &spec : specs)
+            eng.run(spec);
+        return now_seconds_since(start);
+    };
+    double off_seconds = 1e300, on_seconds = 1e300;
+    std::size_t spans_recorded = 0;
+    obs::tracer().setEnabled(false);
+    for (int rep = 0; rep < kOverheadReps; ++rep)
+        off_seconds = std::min(off_seconds, cold_sweep_seconds());
+    obs::tracer().setEnabled(true);
+    for (int rep = 0; rep < kOverheadReps; ++rep) {
+        obs::tracer().clear();
+        on_seconds = std::min(on_seconds, cold_sweep_seconds());
+        spans_recorded = obs::tracer().snapshot().size();
+    }
+    obs::tracer().setEnabled(false);
+    obs::tracer().clear();
+    const double overhead_pct =
+        off_seconds > 0.0
+            ? 100.0 * (on_seconds - off_seconds) / off_seconds
+            : 0.0;
+    const bool compiled_in = DRONEDSE_TRACING != 0;
+    std::printf("\ntracer overhead (%d thr, best of %d): off %.3f s, "
+                "on %.3f s -> %+.2f%% (%zu spans, budget <3%%)\n",
+                kOverheadThreads, kOverheadReps, off_seconds,
+                on_seconds, overhead_pct, spans_recorded);
+
+    json += ", \"tracing\": {\"compiled_in\": ";
+    json += compiled_in ? "true" : "false";
+    json += ", \"threads\": " + std::to_string(kOverheadThreads);
+    json += ", \"disabled_wall_seconds\": " + num(off_seconds);
+    json += ", \"enabled_wall_seconds\": " + num(on_seconds);
+    json += ", \"overhead_pct\": " + num(overhead_pct);
+    json += ", \"spans_recorded\": " + std::to_string(spans_recorded);
+    json += ", \"budget_pct\": 3}";
+    json += "}\n";
 
     std::ofstream out(out_path);
     if (!out)

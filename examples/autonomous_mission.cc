@@ -5,22 +5,49 @@
  * inner loop, waypoint navigation in the outer loop, wind gusts, a
  * battery draining in real time, and a SLAM pipeline digesting the
  * camera stream on the companion computer.
+ *
+ * Usage: autonomous_mission [--trace PATH] [--metrics PATH]
+ *   --trace PATH   per-tick and SLAM-phase spans as chrome://tracing
+ *                  JSON
+ *   --metrics PATH obs metrics-registry snapshot as JSON
  */
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "control/autopilot.hh"
 #include "core/presets.hh"
 #include "dse/weight_closure.hh"
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
 #include "physics/lipo.hh"
 #include "power/board_power.hh"
 #include "slam/pipeline.hh"
+#include "util/logging.hh"
 
 using namespace dronedse;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string trace_path, metrics_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--metrics") == 0 &&
+                   i + 1 < argc) {
+            metrics_path = argv[++i];
+        } else {
+            fatal(std::string("autonomous_mission: unknown argument "
+                              "'") +
+                  argv[i] + "' (usage: autonomous_mission "
+                            "[--trace PATH] [--metrics PATH])");
+        }
+    }
+    if (!trace_path.empty())
+        obs::tracer().setEnabled(true);
+
     std::printf("=== Autonomous mission on the open-source drone "
                 "===\n\n");
 
@@ -66,6 +93,8 @@ main()
                 "power(W)  SoC    SLAM\n");
     const double mission_s = 90.0;
     for (double t = 0.0; t < mission_s; t += 1.0) {
+        obs::ScopedSpan tick_span("sim.tick", "sim");
+        obs::metrics().counter("sim.mission.ticks").add(1);
         autopilot.run(1.0);
         const Quantity<Watts> power =
             Quantity<Watts>(autopilot.quad().electricalPowerW()) +
@@ -109,5 +138,16 @@ main()
                 pack.drawnEnergyWh().value(), pack.totalEnergyWh().value());
     std::printf("stable flight: %s\n",
                 autopilot.quad().upsideDown() ? "NO" : "yes");
+
+    if (!trace_path.empty()) {
+        obs::tracer().writeChromeJson(trace_path);
+        std::printf("wrote trace to %s (open in chrome://tracing)\n",
+                    trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+        obs::metrics().writeJson(metrics_path);
+        std::printf("wrote metrics snapshot to %s\n",
+                    metrics_path.c_str());
+    }
     return 0;
 }

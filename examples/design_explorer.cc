@@ -4,9 +4,12 @@
  * through the batch engine and print the Pareto frontier of flight
  * time vs compute capability vs all-up weight.
  *
- * Usage: design_explorer [--jobs N] [--csv PATH]
- *   --jobs N   worker threads for the sweep (default: hardware)
- *   --csv PATH write every feasible design point as CSV
+ * Usage: design_explorer [--jobs N] [--csv PATH] [--trace PATH]
+ *                        [--metrics PATH]
+ *   --jobs N       worker threads for the sweep (default: hardware)
+ *   --csv PATH     write every feasible design point as CSV
+ *   --trace PATH   capture engine spans, write chrome://tracing JSON
+ *   --metrics PATH write the obs metrics-registry snapshot as JSON
  */
 
 #include <cstdio>
@@ -20,6 +23,8 @@
 #include "dse/sweep.hh"
 #include "engine/engine.hh"
 #include "engine/pareto.hh"
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -32,6 +37,8 @@ struct Options
 {
     int jobs = 0; // 0 = hardware concurrency
     std::string csvPath;
+    std::string tracePath;
+    std::string metricsPath;
 };
 
 Options
@@ -46,10 +53,17 @@ parseArgs(int argc, char **argv)
                       "integer");
         } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
             opts.csvPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace") == 0 &&
+                   i + 1 < argc) {
+            opts.tracePath = argv[++i];
+        } else if (std::strcmp(argv[i], "--metrics") == 0 &&
+                   i + 1 < argc) {
+            opts.metricsPath = argv[++i];
         } else {
             fatal(std::string("design_explorer: unknown argument '") +
                   argv[i] + "' (usage: design_explorer [--jobs N] "
-                            "[--csv PATH])");
+                            "[--csv PATH] [--trace PATH] "
+                            "[--metrics PATH])");
         }
     }
     return opts;
@@ -61,6 +75,8 @@ int
 main(int argc, char **argv)
 {
     const Options opts = parseArgs(argc, argv);
+    if (!opts.tracePath.empty())
+        obs::tracer().setEnabled(true);
 
     std::printf("=== Design explorer: flight time vs compute ===\n\n");
 
@@ -126,5 +142,16 @@ main(int argc, char **argv)
                 100.0 * cache.hitRate(),
                 static_cast<unsigned long long>(cache.evictions));
     std::printf("Last sweep: %s\n", eng.lastRunStats().toJson().c_str());
+
+    if (!opts.tracePath.empty()) {
+        obs::tracer().writeChromeJson(opts.tracePath);
+        std::printf("Wrote trace to %s (open in chrome://tracing)\n",
+                    opts.tracePath.c_str());
+    }
+    if (!opts.metricsPath.empty()) {
+        obs::metrics().writeJson(opts.metricsPath);
+        std::printf("Wrote metrics snapshot to %s\n",
+                    opts.metricsPath.c_str());
+    }
     return 0;
 }

@@ -4,23 +4,50 @@
  * time it on every Table 5 platform, convert the power deltas into
  * flight time with the DSE model, and pick a platform — the
  * decision procedure of the paper's Section 5.
+ *
+ * Usage: slam_offload_study [--trace PATH] [--metrics PATH]
+ *   --trace PATH   SLAM-phase spans as chrome://tracing JSON (the
+ *                  Figure 17 phase breakdown, read off the trace)
+ *   --metrics PATH obs metrics-registry snapshot as JSON
  */
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "dse/footprint.hh"
 #include "dse/weight_closure.hh"
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
 #include "platform/exec_model.hh"
 #include "platform/offload.hh"
 #include "slam/pipeline.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 
 using namespace dronedse;
 using namespace dronedse::unit_literals;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string trace_path, metrics_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--metrics") == 0 &&
+                   i + 1 < argc) {
+            metrics_path = argv[++i];
+        } else {
+            fatal(std::string("slam_offload_study: unknown argument "
+                              "'") +
+                  argv[i] + "' (usage: slam_offload_study "
+                            "[--trace PATH] [--metrics PATH])");
+        }
+    }
+    if (!trace_path.empty())
+        obs::tracer().setEnabled(true);
+
     std::printf("=== SLAM offload study ===\n\n");
 
     // 1. Run the actual pipeline on one sequence and measure work.
@@ -81,5 +108,17 @@ main()
     std::printf("(paper: FPGA — the ASIC's extra seconds cannot "
                 "justify fabrication cost,\nand the TX2 costs "
                 "flight time outright)\n");
+
+    if (!trace_path.empty()) {
+        obs::tracer().writeChromeJson(trace_path);
+        std::printf("\nwrote trace to %s (open in chrome://tracing)"
+                    "\n",
+                    trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+        obs::metrics().writeJson(metrics_path);
+        std::printf("wrote metrics snapshot to %s\n",
+                    metrics_path.c_str());
+    }
     return 0;
 }

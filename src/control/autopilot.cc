@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
 
@@ -100,10 +102,14 @@ Autopilot::step()
 void
 Autopilot::run(double duration)
 {
+    obs::ScopedSpan span("control.autopilot.run", "control");
     const long steps =
         static_cast<long>(std::lround(duration / config_.simDt));
     for (long i = 0; i < steps; ++i)
         step();
+    obs::metrics()
+        .counter("control.autopilot.steps")
+        .add(static_cast<std::uint64_t>(std::max(0L, steps)));
 }
 
 double

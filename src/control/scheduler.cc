@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
 #include "util/logging.hh"
 
 namespace dronedse {
@@ -53,13 +55,26 @@ RateScheduler::advanceTo(double t)
         const double start = std::max(release, cpuBusyUntil_);
         const double finish = start + next->costS;
         // Deadline: the next release of the same task.
-        if (finish > release + next->periodS + 1e-12)
+        if (finish > release + next->periodS + 1e-12) {
             ++next->stats.deadlineMisses;
+            obs::metrics()
+                .counter("control.scheduler.deadline_misses")
+                .add(1);
+        }
 
         cpuBusyUntil_ = finish;
         totalCpuS_ += next->costS;
         ++next->stats.executions;
         next->stats.cpuTimeS += next->costS;
+        obs::metrics().counter("control.scheduler.executions").add(1);
+        // Scheduler time is the mission clock, not wall time: the
+        // span lands on the simulated-time track.
+        if (obs::tracer().enabled()) {
+            obs::tracer().recordManual(next->stats.name.c_str(),
+                                       "control", obs::kSimTrack,
+                                       start * 1e6,
+                                       next->costS * 1e6);
+        }
         next->fn(release);
         next->nextRelease = release + next->periodS;
     }

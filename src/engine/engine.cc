@@ -4,6 +4,8 @@
 
 #include "components/battery.hh"
 #include "engine/pareto.hh"
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
 #include "util/logging.hh"
 
 namespace dronedse::engine {
@@ -27,6 +29,7 @@ SweepEngine::SweepEngine(EngineOptions options)
 SweepResult
 SweepEngine::run(const SweepSpec &spec)
 {
+    obs::ScopedSpan sweep_span("engine.sweep", "engine");
     const auto start = std::chrono::steady_clock::now();
     const CacheCounters before = cache_.counters();
 
@@ -65,6 +68,28 @@ SweepEngine::run(const SweepSpec &spec)
     stats.cache.evictions = after.evictions - before.evictions;
     stats.perThread = pool_.lastRunStats();
     lastStats_ = stats;
+
+    // The per-sweep counters are rebased onto the obs registry: the
+    // bespoke SweepStats struct stays as the per-run view (its JSON
+    // shape is pinned by DESIGN.md §9), while the registry is the
+    // process-wide aggregation every sweep accumulates into.
+    obs::MetricsRegistry &registry = obs::metrics();
+    registry.counter("engine.sweeps").add(1);
+    registry.counter("engine.grid_points").add(stats.gridPoints);
+    registry.counter("engine.feasible_points")
+        .add(stats.feasiblePoints);
+    registry.counter("engine.frontier_points")
+        .add(stats.frontierPoints);
+    registry.counter("engine.cache.hits").add(stats.cache.hits);
+    registry.counter("engine.cache.misses").add(stats.cache.misses);
+    registry.counter("engine.cache.evictions")
+        .add(stats.cache.evictions);
+    registry.gauge("engine.sweep.points_per_second")
+        .set(stats.pointsPerSecond);
+    registry
+        .histogram("engine.sweep.wall_seconds",
+                   {0.001, 0.01, 0.1, 1.0, 10.0, 100.0})
+        .record(stats.wallSeconds);
     return result;
 }
 

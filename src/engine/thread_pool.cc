@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/tracer.hh"
 #include "util/logging.hh"
 
 namespace dronedse::engine {
@@ -124,8 +125,11 @@ ThreadPool::runWorker(int worker)
     Chunk chunk;
     while (popLocal(worker, chunk) || steal(worker, chunk)) {
         const auto start = std::chrono::steady_clock::now();
-        for (std::size_t i = chunk.begin; i < chunk.end; ++i)
-            (*body_)(i, worker);
+        {
+            obs::ScopedSpan span("engine.chunk", "engine");
+            for (std::size_t i = chunk.begin; i < chunk.end; ++i)
+                (*body_)(i, worker);
+        }
         stat.busySeconds += secondsSince(start);
         stat.itemsProcessed += chunk.end - chunk.begin;
     }
@@ -157,6 +161,7 @@ ThreadPool::steal(int worker, Chunk &out)
         out = queue.chunks.back();
         queue.chunks.pop_back();
         stats_[static_cast<std::size_t>(worker)].chunksStolen += 1;
+        obs::instant("engine.steal", "engine");
         return true;
     }
     return false;

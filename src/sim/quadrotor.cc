@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hh"
 #include "physics/propeller_aero.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
@@ -75,6 +76,11 @@ Quadrotor::step(double dt, const Vec3 &wind)
 {
     if (dt <= 0.0)
         fatal("Quadrotor::step: dt must be positive");
+    // One registration per process, then a relaxed add per step —
+    // the 1 kHz physics loop must not walk the registry map.
+    static obs::Counter &steps =
+        obs::metrics().counter("sim.quadrotor.steps");
+    steps.add(1);
 
     // Motor first-order lag toward the (possibly derated) command.
     const double alpha =

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/tracer.hh"
 #include "slam/triangulation.hh"
 #include "util/logging.hh"
 
@@ -11,12 +12,40 @@ namespace dronedse {
 
 namespace {
 
-/** Scoped wall-clock accumulator. */
+/** Trace-span name of each phase (string literals: spans keep the
+ *  pointer until capture). */
+const char *
+slamPhaseSpanName(SlamPhase phase)
+{
+    switch (phase) {
+      case SlamPhase::FeatureExtraction:
+        return "slam.feature-extraction";
+      case SlamPhase::Matching:
+        return "slam.matching";
+      case SlamPhase::Tracking:
+        return "slam.tracking";
+      case SlamPhase::LocalBa:
+        return "slam.local-ba";
+      case SlamPhase::GlobalBa:
+        return "slam.global-ba";
+      case SlamPhase::NumPhases:
+        break;
+    }
+    panic("slamPhaseSpanName: invalid phase");
+}
+
+/**
+ * Scoped wall-clock accumulator.  The same two clock readings feed
+ * the bespoke per-phase totals and the obs span, so a trace's
+ * per-phase span sums reproduce the Figure 17 work accounting
+ * exactly (asserted in tests/obs/test_slam_trace.cc).
+ */
 class PhaseTimer
 {
   public:
-    explicit PhaseTimer(PhaseWork &work)
-        : work_(work), start_(std::chrono::steady_clock::now())
+    PhaseTimer(PhaseWork &work, SlamPhase phase)
+        : work_(work), phase_(phase),
+          start_(std::chrono::steady_clock::now())
     {
     }
 
@@ -25,10 +54,13 @@ class PhaseTimer
         const auto end = std::chrono::steady_clock::now();
         work_.seconds +=
             std::chrono::duration<double>(end - start_).count();
+        obs::tracer().recordSpan(slamPhaseSpanName(phase_), "slam",
+                                 start_, end);
     }
 
   private:
     PhaseWork &work_;
+    SlamPhase phase_;
     std::chrono::steady_clock::time_point start_;
 };
 
@@ -62,7 +94,7 @@ SlamPipeline::SlamPipeline(PinholeCamera camera, SlamConfig config)
 std::vector<Feature>
 SlamPipeline::extractFeatures(const Image &image)
 {
-    PhaseTimer timer(phase(SlamPhase::FeatureExtraction));
+    PhaseTimer timer(phase(SlamPhase::FeatureExtraction), SlamPhase::FeatureExtraction);
     FastWork fast_work;
     const auto corners = detectFast(image, config_.fast, &fast_work);
     const auto features = brief_.describeAll(image, corners);
@@ -85,7 +117,7 @@ SlamPipeline::bootstrap(const SyntheticFrame &f0,
 
     std::vector<Match> matches;
     {
-        PhaseTimer timer(phase(SlamPhase::Matching));
+        PhaseTimer timer(phase(SlamPhase::Matching), SlamPhase::Matching);
         MatchWork mw;
         matches = matchFeatures(feat0, feat1, config_.matcher, &mw);
         phase(SlamPhase::Matching).ops += mw.comparisons;
@@ -167,7 +199,7 @@ SlamPipeline::processFrame(const SyntheticFrame &frame)
 
     std::vector<Match> matches;
     {
-        PhaseTimer timer(phase(SlamPhase::Matching));
+        PhaseTimer timer(phase(SlamPhase::Matching), SlamPhase::Matching);
         MatchWork mw;
         matches = matchDescriptors(features, local_descriptors,
                                    config_.matcher, &mw);
@@ -197,7 +229,7 @@ SlamPipeline::processFrame(const SyntheticFrame &frame)
 
     PnpResult pnp;
     {
-        PhaseTimer timer(phase(SlamPhase::Tracking));
+        PhaseTimer timer(phase(SlamPhase::Tracking), SlamPhase::Tracking);
         const Se3 predicted = lastPose_.compose(velocity_);
         pnp = solvePnp(camera_, pnp_points, predicted, config_.pnp);
         phase(SlamPhase::Tracking).ops +=
@@ -215,7 +247,7 @@ SlamPipeline::processFrame(const SyntheticFrame &frame)
         // with a wider solver budget.
         std::vector<Match> reloc_matches;
         {
-            PhaseTimer timer(phase(SlamPhase::Matching));
+            PhaseTimer timer(phase(SlamPhase::Matching), SlamPhase::Matching);
             MatchWork mw;
             std::vector<Descriptor> all;
             all.reserve(map_.pointCount());
@@ -243,7 +275,7 @@ SlamPipeline::processFrame(const SyntheticFrame &frame)
         wide.maxIterations = 25;
         PnpResult reloc;
         {
-            PhaseTimer timer(phase(SlamPhase::Tracking));
+            PhaseTimer timer(phase(SlamPhase::Tracking), SlamPhase::Tracking);
             reloc = solvePnp(camera_, reloc_points, lastPose_, wide);
             phase(SlamPhase::Tracking).ops +=
                 reloc.jacobianEvals * 60;
@@ -327,7 +359,7 @@ SlamPipeline::maybeCreateKeyframe(const SyntheticFrame &frame,
             loose.push_back(features[i]);
     }
     {
-        PhaseTimer timer(phase(SlamPhase::Matching));
+        PhaseTimer timer(phase(SlamPhase::Matching), SlamPhase::Matching);
         MatchWork mw;
         const auto new_matches = matchFeatures(
             loose, lastKeyframeLoose_, config_.matcher, &mw);
@@ -376,7 +408,7 @@ SlamPipeline::maybeCreateKeyframe(const SyntheticFrame &frame,
 
     // Local bundle adjustment over the recent window.
     {
-        PhaseTimer timer(phase(SlamPhase::LocalBa));
+        PhaseTimer timer(phase(SlamPhase::LocalBa), SlamPhase::LocalBa);
         const int kf_count = static_cast<int>(map_.keyframeCount());
         const int from = std::max(0, kf_count - config_.localWindow);
         std::vector<Se3> before;
@@ -410,7 +442,7 @@ SlamPipeline::maybeCreateKeyframe(const SyntheticFrame &frame,
     if (config_.globalBaEveryKeyframes > 0 &&
         lastKeyframeId_ > 0 &&
         lastKeyframeId_ % config_.globalBaEveryKeyframes == 0) {
-        PhaseTimer timer(phase(SlamPhase::GlobalBa));
+        PhaseTimer timer(phase(SlamPhase::GlobalBa), SlamPhase::GlobalBa);
         const BaResult ba = globalBundleAdjust(camera_, map_,
                                                config_.globalBa);
         phase(SlamPhase::GlobalBa).ops +=
@@ -431,7 +463,7 @@ SlamPipeline::finish()
 {
     if (!config_.globalBaAtEnd || map_.keyframeCount() < 3)
         return;
-    PhaseTimer timer(phase(SlamPhase::GlobalBa));
+    PhaseTimer timer(phase(SlamPhase::GlobalBa), SlamPhase::GlobalBa);
     const BaResult ba = globalBundleAdjust(camera_, map_,
                                            config_.globalBa);
     phase(SlamPhase::GlobalBa).ops +=

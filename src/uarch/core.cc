@@ -1,8 +1,35 @@
 #include "uarch/core.hh"
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace dronedse {
+
+namespace {
+
+/** Publish one workload's counters under `uarch.<workload>.*`. */
+void
+publishCounters(const char *workload, const PerfCounters &counters)
+{
+    obs::MetricsRegistry &registry = obs::metrics();
+    const std::string prefix = std::string("uarch.") + workload;
+    registry.counter(prefix + ".instructions")
+        .add(counters.instructions);
+    registry.counter(prefix + ".cycles").add(counters.cycles);
+    registry.counter(prefix + ".llc_misses").add(counters.llcMisses);
+    registry.counter(prefix + ".tlb_misses").add(counters.tlbMisses);
+    registry.counter(prefix + ".branch_mispredicts")
+        .add(counters.branchMispredicts);
+    registry.gauge(prefix + ".ipc").set(counters.ipc());
+    registry.gauge(prefix + ".llc_miss_rate")
+        .set(counters.llcMissRate());
+    registry.gauge(prefix + ".tlb_miss_rate")
+        .set(counters.tlbMissRate());
+    registry.gauge(prefix + ".branch_miss_rate")
+        .set(counters.branchMissRate());
+}
+
+} // namespace
 
 void
 executeEvent(const TraceEvent &event, CorePlatform &platform,
@@ -88,6 +115,13 @@ coSchedule(TraceGenerator &first, TraceGenerator &second,
             executeEvent(second.next(), platform, result.second);
         }
     }
+
+    // The Figure 15 quantities (miss rates of co-scheduled
+    // workloads) go through the registry so an experiment reads one
+    // metrics snapshot instead of the bespoke PerfCounters structs.
+    obs::metrics().counter("uarch.coschedule.runs").add(1);
+    publishCounters("coschedule.first", result.first);
+    publishCounters("coschedule.second", result.second);
     return result;
 }
 

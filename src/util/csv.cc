@@ -80,7 +80,7 @@ CsvWriter::write(const std::string &path) const
 std::string
 CsvWriter::escape(const std::string &cell)
 {
-    if (cell.find_first_of(",\"\n") == std::string::npos)
+    if (cell.find_first_of(",\"\n\r") == std::string::npos)
         return cell;
     std::string out = "\"";
     for (char c : cell) {
@@ -90,6 +90,82 @@ CsvWriter::escape(const std::string &cell)
     }
     out += '"';
     return out;
+}
+
+std::vector<std::vector<std::string>>
+parseCsv(const std::string &text)
+{
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> row;
+    std::string cell;
+    bool in_quotes = false;    // inside an open quoted cell
+    bool cell_started = false; // current cell has consumed input
+    bool was_quoted = false;   // current cell closed its quotes
+
+    const auto end_cell = [&] {
+        row.push_back(std::move(cell));
+        cell.clear();
+        cell_started = false;
+        was_quoted = false;
+    };
+    const auto end_row = [&] {
+        end_cell();
+        rows.push_back(std::move(row));
+        row.clear();
+    };
+
+    const std::size_t n = text.size();
+    std::size_t i = 0;
+    while (i < n) {
+        const char c = text[i];
+        if (in_quotes) {
+            if (c == '"') {
+                if (i + 1 < n && text[i + 1] == '"') {
+                    cell += '"'; // escaped quote
+                    i += 2;
+                    continue;
+                }
+                in_quotes = false;
+                was_quoted = true;
+                ++i;
+                continue;
+            }
+            cell += c;
+            ++i;
+            continue;
+        }
+        if (c == ',') {
+            end_cell();
+            ++i;
+            continue;
+        }
+        if (c == '\n' ||
+            (c == '\r' && i + 1 < n && text[i + 1] == '\n')) {
+            end_row();
+            i += c == '\r' ? 2 : 1;
+            continue;
+        }
+        if (was_quoted)
+            fatal("parseCsv: garbage after a closing quote");
+        if (c == '"') {
+            if (cell_started)
+                fatal("parseCsv: quote inside an unquoted cell");
+            in_quotes = true;
+            cell_started = true;
+            ++i;
+            continue;
+        }
+        cell += c;
+        cell_started = true;
+        ++i;
+    }
+    if (in_quotes)
+        fatal("parseCsv: unclosed quote at end of input");
+    // A document either ends with the row terminator (the writer's
+    // format) or mid-row; only flush a final row that has content.
+    if (cell_started || !cell.empty() || !row.empty())
+        end_row();
+    return rows;
 }
 
 } // namespace dronedse

@@ -1,8 +1,10 @@
 /**
  * @file
- * Minimal CSV writer.  The paper's artifact ships the raw data
- * behind each figure as CSV (/Drone-CSVs); the benches can export
- * the reproduced series the same way.
+ * Minimal CSV writer and RFC-4180 parser.  The paper's artifact
+ * ships the raw data behind each figure as CSV (/Drone-CSVs); the
+ * benches export the reproduced series the same way, and the parser
+ * closes the loop so exported tables can be read back (trace CSVs,
+ * round-trip tests).
  */
 
 #ifndef DRONEDSE_UTIL_CSV_HH
@@ -36,8 +38,9 @@ class CsvWriter
     std::size_t rowCount() const { return rows_.size() - 1; }
 
     /**
-     * Quote a cell per RFC 4180 when it contains commas, quotes, or
-     * newlines.
+     * Quote a cell per RFC 4180 when it contains commas, quotes,
+     * newlines, or carriage returns (a bare CR would be ambiguous
+     * with a CRLF row terminator on read-back).
      */
     static std::string escape(const std::string &cell);
 
@@ -45,6 +48,16 @@ class CsvWriter
     std::size_t width_;
     std::vector<std::string> rows_;
 };
+
+/**
+ * Parse an RFC-4180-style CSV document (the format `CsvWriter`
+ * emits: LF row terminators, double-quote escaping) into rows of
+ * cells, header row included.  Quoted cells may contain commas,
+ * quotes, CRs, and newlines.  fatal() on malformed input (unclosed
+ * quote, garbage after a closing quote).
+ */
+std::vector<std::vector<std::string>>
+parseCsv(const std::string &text);
 
 } // namespace dronedse
 

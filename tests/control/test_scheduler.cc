@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include "control/scheduler.hh"
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
 
 namespace dronedse {
 namespace {
@@ -85,6 +87,75 @@ TEST(Scheduler, StatsCarryNamesAndRates)
     EXPECT_EQ(stats[1].name, "nav");
     EXPECT_GT(stats[0].cpuTimeS, 0.0);
 }
+
+TEST(Scheduler, ObsCountersTrackMissesWhileTheInnerRateHolds)
+{
+    // The paper's split-CPU design point, now observable: the
+    // companion runs an outer-loop task costing more than its
+    // period (guaranteed misses), the inner loop owns its MCU and
+    // holds rate; the registry's deadline-miss counter must account
+    // exactly for the companion's misses.
+    obs::Counter &misses =
+        obs::metrics().counter("control.scheduler.deadline_misses");
+    obs::Counter &execs =
+        obs::metrics().counter("control.scheduler.executions");
+    const std::uint64_t misses_before = misses.value();
+    const std::uint64_t execs_before = execs.value();
+
+    RateScheduler inner_cpu;
+    long inner_runs = 0;
+    inner_cpu.addTask("inner", 400.0, 0.0005,
+                      [&](double) { ++inner_runs; });
+    RateScheduler companion;
+    companion.addTask("slam", 10.0, 0.15, [](double) {});
+    inner_cpu.advanceTo(2.0);
+    companion.advanceTo(2.0);
+
+    // Inner-loop rate holds on its dedicated CPU.
+    EXPECT_EQ(inner_cpu.stats()[0].deadlineMisses, 0);
+    EXPECT_NEAR(static_cast<double>(inner_runs), 800.0, 2.0);
+
+    // An over-budget task misses on (nearly) every release, and the
+    // registry saw exactly the misses the schedulers reported.
+    long reported_misses = 0, reported_execs = 0;
+    for (const auto *sched : {&inner_cpu, &companion}) {
+        for (const auto &s : sched->stats()) {
+            reported_misses += s.deadlineMisses;
+            reported_execs += s.executions;
+        }
+    }
+    EXPECT_GT(reported_misses, 0);
+    EXPECT_EQ(misses.value() - misses_before,
+              static_cast<std::uint64_t>(reported_misses));
+    EXPECT_EQ(execs.value() - execs_before,
+              static_cast<std::uint64_t>(reported_execs));
+}
+
+#if DRONEDSE_TRACING
+TEST(Scheduler, TaskExecutionsLandOnTheSimTrack)
+{
+    obs::tracer().clear();
+    obs::tracer().setEnabled(true);
+    RateScheduler sched;
+    sched.addTask("nav", 10.0, 0.001, [](double) {});
+    sched.advanceTo(1.0);
+    obs::tracer().setEnabled(false);
+
+    const auto spans = obs::tracer().snapshot();
+    obs::tracer().clear();
+    long nav_spans = 0;
+    for (const auto &span : spans) {
+        if (span.name != "nav")
+            continue;
+        ++nav_spans;
+        // Scheduler time is the simulated mission clock, so its
+        // spans live on the sim track, in microseconds.
+        EXPECT_EQ(span.track, obs::kSimTrack);
+        EXPECT_DOUBLE_EQ(span.durUs, 1000.0);
+    }
+    EXPECT_NEAR(static_cast<double>(nav_spans), 10.0, 2.0);
+}
+#endif // DRONEDSE_TRACING
 
 TEST(SchedulerDeath, RejectsInvalidTask)
 {

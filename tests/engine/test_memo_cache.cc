@@ -171,5 +171,72 @@ TEST(MemoCache, ConcurrentSolvesAccountEveryCall)
                   8 * 20);
 }
 
+TEST(MemoCache, EvictionStressReconcilesAndReSolvesIdentically)
+{
+    // Small capacity + more distinct keys than slots + 8 threads:
+    // constant eviction under contention (run under TSan in CI).
+    MemoCache cache(MemoCache::kShards * 2);
+    const std::uint64_t capacity = MemoCache::kShards * 2;
+
+    // Solve one probe point first and snapshot its result; by the
+    // end of the stress it will have been evicted and must re-solve
+    // to the bitwise-identical answer.
+    DesignInputs probe = mediumInputs();
+    probe.capacityMah = Quantity<MilliampHours>(1234.0);
+    const DesignResult first = cache.solve(probe);
+
+    constexpr int kThreads = 8;
+    constexpr int kCallsPerThread = 400;
+    constexpr int kDistinctPoints = 160;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&cache, t] {
+            DesignInputs in = mediumInputs();
+            for (int i = 0; i < kCallsPerThread; ++i) {
+                const int point = (i + 37 * t) % kDistinctPoints;
+                in.capacityMah = Quantity<MilliampHours>(
+                    2000.0 + 10.0 * point);
+                cache.solve(in);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    // Counters reconcile exactly even while evicting.
+    const CacheCounters counters = cache.counters();
+    EXPECT_EQ(counters.hits + counters.misses,
+              static_cast<std::uint64_t>(kThreads) * kCallsPerThread +
+                  1u);
+    EXPECT_GT(counters.evictions, 0u);
+    EXPECT_LE(cache.size(), capacity);
+    // Every resident entry and every eviction came from a miss that
+    // inserted (concurrent duplicate inserts are no-ops).
+    EXPECT_LE(cache.size() + counters.evictions, counters.misses);
+
+    // Flood with fresh keys until the probe's shard has evicted it,
+    // then re-solve: the evicted key must come back as a miss with
+    // the exact result.
+    DesignInputs flood = mediumInputs();
+    for (int i = 0; i < 4096; ++i) {
+        if (!cache.lookup(quantizeInputs(probe)).has_value())
+            break;
+        flood.capacityMah =
+            Quantity<MilliampHours>(9000.0 + 10.0 * i);
+        cache.solve(flood);
+    }
+    ASSERT_FALSE(cache.lookup(quantizeInputs(probe)).has_value());
+
+    const std::uint64_t misses_before = cache.counters().misses;
+    const DesignResult again = cache.solve(probe);
+    EXPECT_EQ(cache.counters().misses, misses_before + 1);
+    EXPECT_EQ(again.feasible, first.feasible);
+    EXPECT_EQ(again.totalWeightG, first.totalWeightG);
+    EXPECT_EQ(again.flightTimeMin, first.flightTimeMin);
+    EXPECT_EQ(again.avgPowerW, first.avgPowerW);
+    EXPECT_EQ(again.computePowerW, first.computePowerW);
+}
+
 } // namespace
 } // namespace dronedse

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validate an exported chrome://tracing JSON trace.
+
+Usage: check_trace.py TRACE.json [--min-events N]
+
+Schema checked (the subset of the Trace Event Format the obs tracer
+emits, and the contract chrome://tracing needs to render the file):
+
+  - top level: object with "traceEvents" (list); optional
+    "displayTimeUnit" must be "ms" or "ns"
+  - every event: object with string "name", string "cat", "ph" of
+    "X" (complete span) or "i" (instant), numeric "ts" >= 0, and
+    integer "pid"/"tid" >= 0
+  - "X" events additionally need numeric "dur" >= 0
+  - "i" events need scope "s" of "t", "p", or "g" and no "dur"
+  - pids stay within the tracer's declared tracks (1 wall, 2 sim)
+
+Exit status 0 when the trace validates, 1 with a per-event message
+otherwise.  CI runs this against a trace freshly emitted by an
+example binary so the export path stays loadable in the browser.
+"""
+
+import argparse
+import json
+import numbers
+import sys
+
+KNOWN_TRACKS = (1, 2)  # obs::kWallTrack, obs::kSimTrack
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: {msg}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check_event(i: int, ev: object) -> None:
+    where = f"traceEvents[{i}]"
+    if not isinstance(ev, dict):
+        fail(f"{where}: not an object")
+    for key in ("name", "cat"):
+        if not isinstance(ev.get(key), str) or not ev[key]:
+            fail(f"{where}: missing or empty string '{key}'")
+    ph = ev.get("ph")
+    if ph not in ("X", "i"):
+        fail(f"{where} ({ev['name']}): ph must be 'X' or 'i', "
+             f"got {ph!r}")
+    ts = ev.get("ts")
+    if not isinstance(ts, numbers.Real) or ts < 0:
+        fail(f"{where} ({ev['name']}): ts must be a number >= 0")
+    for key in ("pid", "tid"):
+        v = ev.get(key)
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            fail(f"{where} ({ev['name']}): {key} must be an "
+                 f"integer >= 0")
+    if ev["pid"] not in KNOWN_TRACKS:
+        fail(f"{where} ({ev['name']}): pid {ev['pid']} is not a "
+             f"known track {KNOWN_TRACKS}")
+    if ph == "X":
+        dur = ev.get("dur")
+        if not isinstance(dur, numbers.Real) or dur < 0:
+            fail(f"{where} ({ev['name']}): complete span needs "
+                 f"numeric dur >= 0")
+    else:
+        if "dur" in ev:
+            fail(f"{where} ({ev['name']}): instant must not carry "
+                 f"dur")
+        if ev.get("s") not in ("t", "p", "g"):
+            fail(f"{where} ({ev['name']}): instant scope 's' must "
+                 f"be 't', 'p', or 'g'")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="chrome://tracing JSON file")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="fail when fewer events are present "
+                             "(default: 1)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"{args.trace}: {exc}")
+
+    if not isinstance(doc, dict):
+        fail("top level must be an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("missing 'traceEvents' list")
+    if "displayTimeUnit" in doc and \
+            doc["displayTimeUnit"] not in ("ms", "ns"):
+        fail(f"displayTimeUnit must be 'ms' or 'ns', got "
+             f"{doc['displayTimeUnit']!r}")
+    if len(events) < args.min_events:
+        fail(f"only {len(events)} events, expected at least "
+             f"{args.min_events}")
+
+    for i, ev in enumerate(events):
+        check_event(i, ev)
+
+    spans = sum(1 for ev in events if ev["ph"] == "X")
+    instants = len(events) - spans
+    print(f"check_trace: {args.trace} OK — {spans} spans, "
+          f"{instants} instants across "
+          f"{len({ev['pid'] for ev in events})} track(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

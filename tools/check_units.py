@@ -48,6 +48,7 @@ REQUIRED_SCANNED = (
     "src/dse/",
     "src/engine/",
     "src/core/",
+    "src/obs/",
 )
 
 # A parameter name "ends in a unit" when it has one of these suffixes
