@@ -74,13 +74,11 @@ Autopilot::step()
     if (auto mag = sensors_.mag())
         estimator_.onMag(*mag);
 
-    // Outer loop: waypoint navigation at navRateHz.
-    if (stepCount_ % navDivider_ == 0) {
-        const Vec3 nav_pos = config_.useTruthState
-                                 ? quad_.state().position
-                                 : estimator_.estimate().position;
-        targets_ = navigator_.update(nav_pos, t_);
-    }
+    // Outer loop: waypoint navigation at navRateHz — unless the
+    // degradation policy has commanded a land-safe descent, which
+    // pins the target under the vehicle and rides it to the ground.
+    if (stepCount_ % navDivider_ == 0 && !landSafe_)
+        targets_ = navigator_.update(navPosition(), t_);
 
     // Inner loop at thrustHz.
     if (stepCount_ % controlDivider_ == 0) {
@@ -110,6 +108,32 @@ Autopilot::run(double duration)
     obs::metrics()
         .counter("control.autopilot.steps")
         .add(static_cast<std::uint64_t>(std::max(0L, steps)));
+}
+
+Vec3
+Autopilot::navPosition() const
+{
+    return config_.useTruthState ? quad_.state().position
+                                 : estimator_.estimate().position;
+}
+
+void
+Autopilot::commandLandSafe()
+{
+    if (landSafe_)
+        return;
+    landSafe_ = true;
+
+    // Descend at a fixed slow rate in velocity mode.  Velocity
+    // commands survive what position commands cannot: with GPS out
+    // the position estimate drifts without bound, but the velocity
+    // estimate drifts slowly, so a -0.5 m/s descent stays a gentle
+    // descent — the least-demanding trajectory a degraded vehicle
+    // can fly.
+    targets_.velocity = {0.0, 0.0, -0.5};
+    targets_.velocityMode = true;
+    obs::metrics().counter("control.autopilot.land_safe").add(1);
+    obs::instant("control.autopilot.land_safe", "control");
 }
 
 double

@@ -78,6 +78,16 @@ class Autopilot
     /** Flight log sampled at ~50 Hz. */
     const std::vector<FlightSample> &log() const { return log_; }
 
+    /**
+     * Abort the mission and descend at the current estimated
+     * position — the DegradationPolicy's terminal land-safe action.
+     * The waypoint navigator is bypassed from now on.
+     */
+    void commandLandSafe();
+
+    /** True once land-safe has been commanded. */
+    bool landSafeActive() const { return landSafe_; }
+
     /** Position error (m) between estimate and truth right now. */
     double estimationErrorM() const;
 
@@ -85,6 +95,9 @@ class Autopilot
     double meanTrackingErrorM(double window) const;
 
   private:
+    /** Position fed to the outer loop (estimate or truth). */
+    Vec3 navPosition() const;
+
     AutopilotConfig config_;
     Quadrotor quad_;
     WindField wind_;
@@ -94,6 +107,7 @@ class Autopilot
     WaypointNavigator navigator_;
 
     OuterLoopTargets targets_;
+    bool landSafe_ = false;
     double t_ = 0.0;
     long stepCount_ = 0;
     int controlDivider_ = 1;

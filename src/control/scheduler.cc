@@ -51,9 +51,11 @@ RateScheduler::advanceTo(double t)
             break;
 
         const double release = next->nextRelease;
-        // The CPU starts this job when it is free.
+        // The CPU starts this job when it is free; contention
+        // inflates the job's cost by the current scale.
+        const double cost = next->costS * costScale_;
         const double start = std::max(release, cpuBusyUntil_);
-        const double finish = start + next->costS;
+        const double finish = start + cost;
         // Deadline: the next release of the same task.
         if (finish > release + next->periodS + 1e-12) {
             ++next->stats.deadlineMisses;
@@ -63,22 +65,91 @@ RateScheduler::advanceTo(double t)
         }
 
         cpuBusyUntil_ = finish;
-        totalCpuS_ += next->costS;
+        totalCpuS_ += cost;
         ++next->stats.executions;
-        next->stats.cpuTimeS += next->costS;
+        next->stats.cpuTimeS += cost;
         obs::metrics().counter("control.scheduler.executions").add(1);
         // Scheduler time is the mission clock, not wall time: the
         // span lands on the simulated-time track.
         if (obs::tracer().enabled()) {
             obs::tracer().recordManual(next->stats.name.c_str(),
                                        "control", obs::kSimTrack,
-                                       start * 1e6,
-                                       next->costS * 1e6);
+                                       start * 1e6, cost * 1e6);
         }
         next->fn(release);
         next->nextRelease = release + next->periodS;
     }
     now_ = t;
+}
+
+void
+RateScheduler::setCostScale(double scale)
+{
+    if (scale <= 0.0)
+        fatal("RateScheduler::setCostScale: scale must be > 0");
+    costScale_ = scale;
+}
+
+RateScheduler::Task &
+RateScheduler::findTask(const std::string &name)
+{
+    for (auto &task : tasks_) {
+        if (task.stats.name == name)
+            return task;
+    }
+    fatal("RateScheduler: no task named '" + name + "'");
+}
+
+const RateScheduler::Task &
+RateScheduler::findTask(const std::string &name) const
+{
+    return const_cast<RateScheduler *>(this)->findTask(name);
+}
+
+void
+RateScheduler::setTaskRate(const std::string &name, double rate_hz)
+{
+    if (rate_hz <= 0.0)
+        fatal("RateScheduler::setTaskRate: rate must be > 0");
+
+    Task &task = findTask(name);
+    task.stats.rateHz = rate_hz;
+    task.periodS = 1.0 / rate_hz;
+
+    // Priorities are rate-monotonic; a re-rated task re-sorts.
+    std::stable_sort(tasks_.begin(), tasks_.end(),
+                     [](const Task &a, const Task &b) {
+                         return a.stats.rateHz > b.stats.rateHz;
+                     });
+}
+
+double
+RateScheduler::taskRate(const std::string &name) const
+{
+    return findTask(name).stats.rateHz;
+}
+
+void
+RateScheduler::setTaskCost(const std::string &name, double cost_s)
+{
+    if (cost_s < 0.0)
+        fatal("RateScheduler::setTaskCost: cost must be >= 0");
+    findTask(name).costS = cost_s;
+}
+
+double
+RateScheduler::taskCost(const std::string &name) const
+{
+    return findTask(name).costS;
+}
+
+long
+RateScheduler::totalDeadlineMisses() const
+{
+    long total = 0;
+    for (const auto &task : tasks_)
+        total += task.stats.deadlineMisses;
+    return total;
 }
 
 std::vector<TaskStats>

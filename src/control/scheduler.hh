@@ -63,6 +63,39 @@ class RateScheduler
     /** Simulated CPU utilization in [0, 1] so far. */
     double utilization() const;
 
+    /**
+     * Global execution-cost multiplier — how a compute-contention
+     * burst (a co-runner polluting the shared cache, paper Fig 15)
+     * lands on the scheduler: every task's cost is scaled by
+     * `scale` until reset to 1.
+     */
+    void setCostScale(double scale);
+
+    /** Current cost multiplier. */
+    double costScale() const { return costScale_; }
+
+    /**
+     * Re-rate a registered task (outer-loop rate shedding).  The
+     * task's future releases use the new period; fatal() when no
+     * task has that name.
+     */
+    void setTaskRate(const std::string &name, double rate_hz);
+
+    /** Current rate of a registered task (Hz). */
+    double taskRate(const std::string &name) const;
+
+    /**
+     * Re-cost a registered task — how a workload migrates between
+     * hosts (offloaded SLAM cheap on the drone, onboard SLAM not).
+     */
+    void setTaskCost(const std::string &name, double cost_s);
+
+    /** Current per-invocation cost of a registered task (s). */
+    double taskCost(const std::string &name) const;
+
+    /** Deadline misses summed over every task. */
+    long totalDeadlineMisses() const;
+
   private:
     struct Task
     {
@@ -73,10 +106,14 @@ class RateScheduler
         std::function<void(double)> fn;
     };
 
+    Task &findTask(const std::string &name);
+    const Task &findTask(const std::string &name) const;
+
     std::vector<Task> tasks_;
     double now_ = 0.0;
     double cpuBusyUntil_ = 0.0;
     double totalCpuS_ = 0.0;
+    double costScale_ = 1.0;
 };
 
 } // namespace dronedse

@@ -1,5 +1,6 @@
 #include "control/sensors.hh"
 
+#include "util/logging.hh"
 #include "util/units.hh"
 
 namespace dronedse {
@@ -11,6 +12,14 @@ SensorSuite::SensorSuite(SensorRates rates, SensorNoise noise,
     gyroBias_ = {rng_.gaussian(0.0, noise_.gyroBias),
                  rng_.gaussian(0.0, noise_.gyroBias),
                  rng_.gaussian(0.0, noise_.gyroBias)};
+}
+
+void
+SensorSuite::setNoiseScale(double scale)
+{
+    if (scale < 0.0)
+        fatal("SensorSuite::setNoiseScale: scale must be >= 0");
+    noiseScale_ = scale;
 }
 
 void
@@ -38,15 +47,15 @@ SensorSuite::imu()
         accelWorld_ - Vec3{0.0, 0.0, -kGravity};
     const Vec3 body =
         truth_.attitude.conjugate().rotate(specific_world);
-    s.accel = {body.x + rng_.gaussian(0.0, noise_.accelStd),
-               body.y + rng_.gaussian(0.0, noise_.accelStd),
-               body.z + rng_.gaussian(0.0, noise_.accelStd)};
+    s.accel = {body.x + rng_.gaussian(0.0, noiseScale_ * noise_.accelStd),
+               body.y + rng_.gaussian(0.0, noiseScale_ * noise_.accelStd),
+               body.z + rng_.gaussian(0.0, noiseScale_ * noise_.accelStd)};
     s.gyro = {truth_.angularVelocity.x + gyroBias_.x +
-                  rng_.gaussian(0.0, noise_.gyroStd),
+                  rng_.gaussian(0.0, noiseScale_ * noise_.gyroStd),
               truth_.angularVelocity.y + gyroBias_.y +
-                  rng_.gaussian(0.0, noise_.gyroStd),
+                  rng_.gaussian(0.0, noiseScale_ * noise_.gyroStd),
               truth_.angularVelocity.z + gyroBias_.z +
-                  rng_.gaussian(0.0, noise_.gyroStd)};
+                  rng_.gaussian(0.0, noiseScale_ * noise_.gyroStd)};
     return s;
 }
 
@@ -62,14 +71,15 @@ SensorSuite::gps()
 
     GpsSample s;
     s.timestamp = now_;
-    s.position = {truth_.position.x + rng_.gaussian(0.0, noise_.gpsStd),
-                  truth_.position.y + rng_.gaussian(0.0, noise_.gpsStd),
+    const double pos_std = noiseScale_ * noise_.gpsStd;
+    s.position = {truth_.position.x + rng_.gaussian(0.0, pos_std),
+                  truth_.position.y + rng_.gaussian(0.0, pos_std),
                   truth_.position.z +
-                      rng_.gaussian(0.0, 1.5 * noise_.gpsStd)};
+                      rng_.gaussian(0.0, 1.5 * pos_std)};
     s.velocity = {
-        truth_.velocity.x + rng_.gaussian(0.0, noise_.gpsVelStd),
-        truth_.velocity.y + rng_.gaussian(0.0, noise_.gpsVelStd),
-        truth_.velocity.z + rng_.gaussian(0.0, noise_.gpsVelStd)};
+        truth_.velocity.x + rng_.gaussian(0.0, noiseScale_ * noise_.gpsVelStd),
+        truth_.velocity.y + rng_.gaussian(0.0, noiseScale_ * noise_.gpsVelStd),
+        truth_.velocity.z + rng_.gaussian(0.0, noiseScale_ * noise_.gpsVelStd)};
     return s;
 }
 
@@ -82,7 +92,9 @@ SensorSuite::baro()
     ++baroCount_;
 
     return BaroSample{
-        truth_.position.z + rng_.gaussian(0.0, noise_.baroStd), now_};
+        truth_.position.z +
+            rng_.gaussian(0.0, noiseScale_ * noise_.baroStd),
+        now_};
 }
 
 std::optional<MagSample>
@@ -94,7 +106,8 @@ SensorSuite::mag()
     ++magCount_;
 
     return MagSample{
-        truth_.attitude.yaw() + rng_.gaussian(0.0, noise_.magStd),
+        truth_.attitude.yaw() +
+            rng_.gaussian(0.0, noiseScale_ * noise_.magStd),
         now_};
 }
 

@@ -98,6 +98,17 @@ class SensorSuite
     /** True while GPS fixes are being produced. */
     bool gpsAvailable() const { return gpsAvailable_; }
 
+    /**
+     * Inject a noise spike (vibration, EMI): every sensor's noise
+     * standard deviation is multiplied by `scale` until reset to 1.
+     * Draw counts are unchanged, so toggling the scale mid-flight
+     * does not shift the RNG stream.
+     */
+    void setNoiseScale(double scale);
+
+    /** Current noise multiplier. */
+    double noiseScale() const { return noiseScale_; }
+
     /** IMU sample if due this step. */
     std::optional<ImuSample> imu();
     /** GPS sample if due this step. */
@@ -126,6 +137,7 @@ class SensorSuite
     double nextImu_ = 0.0, nextGps_ = 0.0, nextBaro_ = 0.0,
            nextMag_ = 0.0;
     bool gpsAvailable_ = true;
+    double noiseScale_ = 1.0;
     long imuCount_ = 0, gpsCount_ = 0, baroCount_ = 0, magCount_ = 0;
 };
 

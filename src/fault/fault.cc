@@ -1,0 +1,280 @@
+#include "fault/fault.hh"
+
+#include <array>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace dronedse::fault {
+
+namespace {
+
+constexpr std::array<const char *,
+                     static_cast<std::size_t>(FaultKind::NumKinds)>
+    kKindNames{
+        "gps_dropout",        "imu_noise_spike",
+        "camera_frame_loss",  "motor_derate",
+        "offload_link_down",  "offload_latency_spike",
+        "compute_contention",
+    };
+
+/** Effectively-forever duration for permanent faults. */
+constexpr double kForever = 1e9;
+
+FaultEvent
+event(FaultKind kind, double start, double duration,
+      double magnitude = 1.0, int index = 0)
+{
+    FaultEvent e;
+    e.kind = kind;
+    e.startS = start;
+    e.durationS = duration;
+    e.magnitude = magnitude;
+    e.index = index;
+    return e;
+}
+
+std::vector<FaultScenario>
+buildCatalog()
+{
+    using K = FaultKind;
+    std::vector<FaultScenario> list;
+
+    list.push_back(
+        {"nominal", "no faults: the control run every study needs",
+         {}});
+
+    list.push_back({"gps_outage_midway",
+                    "GPS denied for 18 s while between waypoints; "
+                    "the EKF coasts on IMU + baro",
+                    {event(K::GpsDropout, 18.0, 18.0)}});
+
+    list.push_back({"gps_outage_imu_noise",
+                    "GPS denied while vibration inflates IMU noise "
+                    "12x: the estimate runs away without a policy",
+                    {event(K::GpsDropout, 12.0, kForever),
+                     event(K::ImuNoiseSpike, 12.0, kForever, 12.0)}});
+
+    list.push_back({"link_flap",
+                    "offload link drops three times (3 s, 6 s, 4 s): "
+                    "backoff retries and SLAM fallback churn",
+                    {event(K::OffloadLinkDown, 10.0, 3.0),
+                     event(K::OffloadLinkDown, 20.0, 6.0),
+                     event(K::OffloadLinkDown, 32.0, 4.0)}});
+
+    list.push_back({"link_loss_permanent",
+                    "offload link never comes back: onboard SLAM at "
+                    "reduced keyframe rate for the rest of the flight",
+                    {event(K::OffloadLinkDown, 15.0, kForever)}});
+
+    list.push_back({"latency_spike",
+                    "round-trip inflated +180 ms for 20 s: the link "
+                    "is up but useless for deadline-bound offload",
+                    {event(K::OffloadLatencySpike, 14.0, 20.0,
+                           180.0)}});
+
+    list.push_back({"motor_derate_mild",
+                    "motor 0 at 70 % for the whole flight: the "
+                    "inner-loop integrators trim it out",
+                    {event(K::MotorDerate, 10.0, kForever, 0.7, 0)}});
+
+    list.push_back({"motor_derate_deep",
+                    "motor 2 collapses to 30 %: thrust and attitude "
+                    "authority go together; land or crash",
+                    {event(K::MotorDerate, 16.0, kForever, 0.3, 2)}});
+
+    list.push_back({"contention_burst",
+                    "co-runner inflates outer-loop task cost 8x for "
+                    "12 s during the mission's loop-closure window",
+                    {event(K::ComputeContention, 22.0, 12.0, 8.0)}});
+
+    list.push_back({"camera_blackout",
+                    "camera frames lost for 15 s: SLAM starves while "
+                    "the state estimator keeps flying the drone",
+                    {event(K::CameraFrameLoss, 20.0, 15.0)}});
+
+    list.push_back({"kitchen_sink",
+                    "link loss, then contention burst, then GPS "
+                    "dropout with noisy IMU: compounding degradation",
+                    {event(K::OffloadLinkDown, 10.0, kForever),
+                     event(K::ComputeContention, 18.0, 14.0, 6.0),
+                     event(K::GpsDropout, 30.0, 20.0),
+                     event(K::ImuNoiseSpike, 30.0, 20.0, 6.0)}});
+
+    return list;
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    const auto i = static_cast<std::size_t>(kind);
+    if (i >= kKindNames.size())
+        panic("faultKindName: invalid kind");
+    return kKindNames[i];
+}
+
+std::optional<FaultKind>
+faultKindFromName(const std::string &name)
+{
+    for (std::size_t i = 0; i < kKindNames.size(); ++i) {
+        if (name == kKindNames[i])
+            return static_cast<FaultKind>(i);
+    }
+    return std::nullopt;
+}
+
+FaultScenario
+parseScenario(const std::string &name, const std::string &text)
+{
+    FaultScenario scenario;
+    scenario.name = name;
+
+    std::istringstream lines(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(lines, line)) {
+        ++line_no;
+        // Strip comments and surrounding whitespace.
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        std::string kind_name;
+        if (!(fields >> kind_name))
+            continue; // blank line
+
+        const auto kind = faultKindFromName(kind_name);
+        if (!kind) {
+            fatal("parseScenario: " + name + " line " +
+                  std::to_string(line_no) + ": unknown fault kind '" +
+                  kind_name + "'");
+        }
+
+        FaultEvent e;
+        e.kind = *kind;
+        bool have_start = false, have_dur = false;
+        std::string field;
+        while (fields >> field) {
+            const auto eq = field.find('=');
+            if (eq == std::string::npos) {
+                fatal("parseScenario: " + name + " line " +
+                      std::to_string(line_no) +
+                      ": expected key=value, got '" + field + "'");
+            }
+            const std::string key = field.substr(0, eq);
+            const std::string value = field.substr(eq + 1);
+            char *end = nullptr;
+            const double v = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0') {
+                fatal("parseScenario: " + name + " line " +
+                      std::to_string(line_no) + ": bad number '" +
+                      value + "'");
+            }
+            if (key == "start") {
+                e.startS = v;
+                have_start = true;
+            } else if (key == "dur") {
+                e.durationS = v;
+                have_dur = true;
+            } else if (key == "mag") {
+                e.magnitude = v;
+            } else if (key == "index") {
+                e.index = static_cast<int>(v);
+            } else {
+                fatal("parseScenario: " + name + " line " +
+                      std::to_string(line_no) + ": unknown key '" +
+                      key + "'");
+            }
+        }
+        if (!have_start || !have_dur) {
+            fatal("parseScenario: " + name + " line " +
+                  std::to_string(line_no) +
+                  ": start= and dur= are required");
+        }
+        scenario.events.push_back(e);
+    }
+    return scenario;
+}
+
+std::string
+scenarioToText(const FaultScenario &scenario)
+{
+    std::string out;
+    if (!scenario.description.empty())
+        out += "# " + scenario.description + "\n";
+    char buf[160];
+    for (const auto &e : scenario.events) {
+        std::snprintf(buf, sizeof buf,
+                      "%s start=%.17g dur=%.17g mag=%.17g index=%d\n",
+                      faultKindName(e.kind), e.startS, e.durationS,
+                      e.magnitude, e.index);
+        out += buf;
+    }
+    return out;
+}
+
+const std::vector<FaultScenario> &
+scenarioCatalog()
+{
+    static const std::vector<FaultScenario> catalog = buildCatalog();
+    return catalog;
+}
+
+const FaultScenario &
+findScenario(const std::string &name)
+{
+    for (const auto &s : scenarioCatalog()) {
+        if (s.name == name)
+            return s;
+    }
+    fatal("findScenario: no scenario named '" + name + "'");
+}
+
+FaultScenario
+randomScenario(std::uint64_t seed, double duration, int max_events)
+{
+    if (duration <= 0.0 || max_events < 0)
+        fatal("randomScenario: invalid duration or event count");
+
+    Rng rng(seed);
+    FaultScenario scenario;
+    scenario.name = "random_" + std::to_string(seed);
+    scenario.description = "seeded random trace (property tests)";
+
+    const auto count =
+        static_cast<int>(rng.uniformInt(0, max_events));
+    for (int i = 0; i < count; ++i) {
+        FaultEvent e;
+        e.kind = static_cast<FaultKind>(rng.uniformInt(
+            0,
+            static_cast<std::int64_t>(FaultKind::NumKinds) - 1));
+        e.startS = rng.uniform(0.0, duration);
+        e.durationS = rng.uniform(1.0, duration / 2.0);
+        switch (e.kind) {
+        case FaultKind::ImuNoiseSpike:
+            e.magnitude = rng.uniform(2.0, 16.0);
+            break;
+        case FaultKind::MotorDerate:
+            e.magnitude = rng.uniform(0.4, 0.95);
+            e.index = static_cast<int>(rng.uniformInt(0, 3));
+            break;
+        case FaultKind::OffloadLatencySpike:
+            e.magnitude = rng.uniform(20.0, 250.0);
+            break;
+        case FaultKind::ComputeContention:
+            e.magnitude = rng.uniform(1.5, 10.0);
+            break;
+        default:
+            e.magnitude = 1.0;
+            break;
+        }
+        scenario.events.push_back(e);
+    }
+    return scenario;
+}
+
+} // namespace dronedse::fault

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Fault taxonomy and scripted fault timelines.
+ *
+ * The paper's reliability argument (Sections 4-5) is that autonomy
+ * survives because the hard-real-time inner loop is isolated from
+ * the deadline-bound outer loop; proving that requires injecting the
+ * failures the isolation is supposed to contain.  A `FaultScenario`
+ * scripts faults on the mission clock — sensor dropouts and noise
+ * spikes, motor/ESC derating, offload-link loss and latency spikes,
+ * and compute-contention bursts — so every resilience experiment is
+ * a deterministic replay, not a flaky chaos test.
+ *
+ * Scenario text format (DESIGN.md section 11): one event per line,
+ *
+ *     <kind> start=<s> dur=<s> [mag=<x>] [index=<i>]
+ *
+ * with `#` comments and blank lines ignored.  `kind` is the
+ * lower_snake name from `faultKindName`.
+ */
+
+#ifndef DRONEDSE_FAULT_FAULT_HH
+#define DRONEDSE_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dronedse::fault {
+
+/** The injectable failure classes. */
+enum class FaultKind
+{
+    /** GPS fixes stop (jamming, canyon, indoor). */
+    GpsDropout = 0,
+    /** IMU noise inflated by `magnitude` (vibration, EMI). */
+    ImuNoiseSpike,
+    /** Camera frames dropped; SLAM sees no input. */
+    CameraFrameLoss,
+    /** Motor `index` thrust scaled by `magnitude` (ESC derating). */
+    MotorDerate,
+    /** Offload link to the companion/edge compute is down. */
+    OffloadLinkDown,
+    /** Offload round-trip inflated by `magnitude` ms. */
+    OffloadLatencySpike,
+    /** Outer-loop task cost inflated by `magnitude` (co-runner). */
+    ComputeContention,
+    NumKinds,
+};
+
+/** lower_snake name of a fault kind (stable, used in scenarios). */
+const char *faultKindName(FaultKind kind);
+
+/** Inverse of `faultKindName`; nullopt for unknown names. */
+std::optional<FaultKind> faultKindFromName(const std::string &name);
+
+/** One scripted fault on the mission timeline. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::GpsDropout;
+    /** Mission time the fault begins (s). */
+    double startS = 0.0;
+    /** Duration (s); use a large value for a permanent fault. */
+    double durationS = 0.0;
+    /**
+     * Kind-specific intensity: noise multiplier (ImuNoiseSpike),
+     * remaining effectiveness in [0,1] (MotorDerate), added latency
+     * in ms (OffloadLatencySpike), cost multiplier
+     * (ComputeContention).  Unused by the pure dropout kinds.
+     */
+    double magnitude = 1.0;
+    /** Sub-target, e.g. the motor number for MotorDerate. */
+    int index = 0;
+
+    /** True while the event is in effect at mission time `t`. */
+    bool activeAt(double t) const
+    {
+        return t >= startS && t < startS + durationS;
+    }
+};
+
+/** A named, ordered fault timeline. */
+struct FaultScenario
+{
+    std::string name;
+    /** One-line description for reports. */
+    std::string description;
+    std::vector<FaultEvent> events;
+};
+
+/**
+ * Parse the scenario text format described above; fatal() on a
+ * malformed line (scenarios are configuration, not user data).
+ */
+FaultScenario parseScenario(const std::string &name,
+                            const std::string &text);
+
+/** Render a scenario back to the text format (round-trips). */
+std::string scenarioToText(const FaultScenario &scenario);
+
+/**
+ * The built-in regression scenarios — the battery
+ * `tests/fault/test_scenarios.cc` pins golden outcomes for.
+ * At least eight, covering every `FaultKind` and combined faults.
+ */
+const std::vector<FaultScenario> &scenarioCatalog();
+
+/** Look up a catalog scenario by name; fatal() when absent. */
+const FaultScenario &findScenario(const std::string &name);
+
+/**
+ * Deterministic pseudo-random scenario for property tests: up to
+ * `max_events` events drawn from all kinds, uniformly placed over
+ * [0, duration) seconds.  Same seed, same scenario.
+ */
+FaultScenario randomScenario(std::uint64_t seed, double duration,
+                             int max_events = 6);
+
+} // namespace dronedse::fault
+
+#endif // DRONEDSE_FAULT_FAULT_HH

@@ -1,0 +1,73 @@
+#include "fault/injector.hh"
+
+#include <algorithm>
+
+namespace dronedse::fault {
+
+FaultInjector::FaultInjector(FaultScenario scenario)
+    : scenario_(std::move(scenario))
+{
+}
+
+bool
+FaultInjector::active(FaultKind kind, double t) const
+{
+    for (const auto &e : scenario_.events) {
+        if (e.kind == kind && e.activeAt(t))
+            return true;
+    }
+    return false;
+}
+
+int
+FaultInjector::activeCount(double t) const
+{
+    int count = 0;
+    for (const auto &e : scenario_.events)
+        count += e.activeAt(t) ? 1 : 0;
+    return count;
+}
+
+double
+FaultInjector::magnitude(FaultKind kind, double t, double neutral) const
+{
+    const bool take_min = kind == FaultKind::MotorDerate;
+    bool any = false;
+    double strongest = neutral;
+    for (const auto &e : scenario_.events) {
+        if (e.kind != kind || !e.activeAt(t))
+            continue;
+        if (!any) {
+            strongest = e.magnitude;
+            any = true;
+        } else {
+            strongest = take_min ? std::min(strongest, e.magnitude)
+                                 : std::max(strongest, e.magnitude);
+        }
+    }
+    return strongest;
+}
+
+double
+FaultInjector::motorEffectiveness(int index, double t) const
+{
+    double eff = 1.0;
+    for (const auto &e : scenario_.events) {
+        if (e.kind == FaultKind::MotorDerate && e.index == index &&
+            e.activeAt(t)) {
+            eff = std::min(eff, e.magnitude);
+        }
+    }
+    return std::clamp(eff, 0.0, 1.0);
+}
+
+double
+FaultInjector::lastEventEnd() const
+{
+    double end = 0.0;
+    for (const auto &e : scenario_.events)
+        end = std::max(end, e.startS + e.durationS);
+    return end;
+}
+
+} // namespace dronedse::fault

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic fault injector: a pure, replayable view over a
+ * scripted `FaultScenario`.
+ *
+ * The injector answers "what is failing at mission time t" — it owns
+ * no randomness and mutates nothing, so the mission harness can
+ * apply the same scenario to the sensor suite, plant, scheduler, and
+ * offload link every tick and two runs of one scenario are
+ * bit-identical regardless of host thread count.
+ */
+
+#ifndef DRONEDSE_FAULT_INJECTOR_HH
+#define DRONEDSE_FAULT_INJECTOR_HH
+
+#include "fault/fault.hh"
+
+namespace dronedse::fault {
+
+/** Replayable query interface over one scenario. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultScenario scenario);
+
+    const FaultScenario &scenario() const { return scenario_; }
+
+    /** True while any event of `kind` is in effect at time `t`. */
+    bool active(FaultKind kind, double t) const;
+
+    /** Number of events (any kind) in effect at time `t`. */
+    int activeCount(double t) const;
+
+    /**
+     * Strongest magnitude among active events of `kind` at `t`;
+     * `neutral` when none are active.  "Strongest" is
+     * kind-dependent: the minimum for MotorDerate (least remaining
+     * effectiveness wins), the maximum for everything else.
+     */
+    double magnitude(FaultKind kind, double t, double neutral) const;
+
+    /**
+     * Effectiveness of motor `index` at time `t`: the lowest
+     * active MotorDerate magnitude targeting that motor, 1.0 when
+     * healthy.
+     */
+    double motorEffectiveness(int index, double t) const;
+
+    /** Mission time of the last event's end (0 for no events). */
+    double lastEventEnd() const;
+
+  private:
+    FaultScenario scenario_;
+};
+
+} // namespace dronedse::fault
+
+#endif // DRONEDSE_FAULT_INJECTOR_HH

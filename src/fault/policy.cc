@@ -1,0 +1,238 @@
+#include "fault/policy.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
+#include "util/logging.hh"
+
+namespace dronedse::fault {
+
+namespace {
+
+/** Instant-marker name per mode (span names must be literals). */
+const char *
+modeSpanName(FlightMode mode)
+{
+    switch (mode) {
+    case FlightMode::Nominal:
+        return "fault.policy.nominal";
+    case FlightMode::DegradedSlam:
+        return "fault.policy.degraded_slam";
+    case FlightMode::RateShed:
+        return "fault.policy.rate_shed";
+    case FlightMode::LandSafe:
+        return "fault.policy.land_safe";
+    }
+    return "fault.policy.unknown";
+}
+
+} // namespace
+
+const char *
+flightModeName(FlightMode mode)
+{
+    switch (mode) {
+    case FlightMode::Nominal:
+        return "nominal";
+    case FlightMode::DegradedSlam:
+        return "degraded_slam";
+    case FlightMode::RateShed:
+        return "rate_shed";
+    case FlightMode::LandSafe:
+        return "land_safe";
+    }
+    return "unknown";
+}
+
+const char *
+outcomeTierName(OutcomeTier tier)
+{
+    switch (tier) {
+    case OutcomeTier::Crashed:
+        return "crashed";
+    case OutcomeTier::LandedSafe:
+        return "landed_safe";
+    case OutcomeTier::SurvivedDegraded:
+        return "survived_degraded";
+    case OutcomeTier::Completed:
+        return "completed";
+    }
+    return "unknown";
+}
+
+DegradationPolicy::DegradationPolicy(PolicyConfig config)
+    : config_(config), backoffS_(config.backoffMinS)
+{
+    if (config_.backoffMinS <= 0.0 ||
+        config_.backoffMaxS < config_.backoffMinS ||
+        config_.backoffFactor < 1.0)
+        fatal("DegradationPolicy: invalid backoff configuration");
+    if (config_.missHalfLifeS <= 0.0 || config_.recoveryHoldS < 0.0)
+        fatal("DegradationPolicy: invalid timing configuration");
+}
+
+FlightMode
+DegradationPolicy::demandedMode(const HealthSnapshot &health,
+                                std::string &reason) const
+{
+    // LandSafe triggers: conditions the outer loop cannot out-fly.
+    if (health.stateOfCharge <= config_.socLandFraction) {
+        reason = "battery_floor";
+        return FlightMode::LandSafe;
+    }
+    if (health.minMotorEffectiveness <
+        config_.motorEffLandFraction) {
+        reason = "motor_health";
+        return FlightMode::LandSafe;
+    }
+    if (health.estErrM >= config_.estErrLandM) {
+        reason = "estimation_runaway";
+        return FlightMode::LandSafe;
+    }
+    if (gpsDownSince_ >= 0.0 &&
+        health.t - gpsDownSince_ >= config_.gpsDenialLandS) {
+        reason = "gps_denial_timeout";
+        return FlightMode::LandSafe;
+    }
+
+    // RateShed triggers: the outer loop is starving the inner loop.
+    if (missLevel_ >= config_.missShedLevel) {
+        reason = "deadline_misses";
+        return FlightMode::RateShed;
+    }
+    if (health.estErrM >= config_.estErrShedM) {
+        reason = "estimation_error";
+        return FlightMode::RateShed;
+    }
+
+    // DegradedSlam triggers: an input the mission planned on is gone.
+    if (!health.linkUp) {
+        reason = "offload_link_down";
+        return FlightMode::DegradedSlam;
+    }
+    if (!health.gpsAvailable) {
+        reason = "gps_denied";
+        return FlightMode::DegradedSlam;
+    }
+
+    reason = "clear";
+    return FlightMode::Nominal;
+}
+
+FlightMode
+DegradationPolicy::update(const HealthSnapshot &health)
+{
+    if (haveLast_ && health.t < lastT_ - 1e-12)
+        fatal("DegradationPolicy::update: time went backwards");
+
+    const double dt = haveLast_ ? std::max(0.0, health.t - lastT_)
+                                : 0.0;
+
+    // Leaky deadline-miss accumulator: decay, then add new misses.
+    const long new_misses =
+        haveLast_ ? std::max(0L, health.deadlineMisses - lastMisses_)
+                  : health.deadlineMisses;
+    missLevel_ = missLevel_ *
+                     std::exp2(-dt / config_.missHalfLifeS) +
+                 static_cast<double>(new_misses);
+
+    // Continuous GPS-denial clock.
+    if (health.gpsAvailable) {
+        gpsDownSince_ = -1.0;
+    } else if (gpsDownSince_ < 0.0) {
+        gpsDownSince_ = health.t;
+    }
+
+    // Offload retry bookkeeping: a fresh outage schedules the first
+    // retry; a healthy link resets the backoff.
+    if (!health.linkUp && !linkDown_) {
+        linkDown_ = true;
+        backoffS_ = config_.backoffMinS;
+        nextRetryT_ = health.t + backoffS_;
+        retryIntervals_.push_back(backoffS_);
+    } else if (health.linkUp && linkDown_) {
+        linkDown_ = false;
+        backoffS_ = config_.backoffMinS;
+    }
+
+    haveLast_ = true;
+    lastT_ = health.t;
+    lastMisses_ = health.deadlineMisses;
+
+    std::string reason;
+    const FlightMode demanded = demandedMode(health, reason);
+
+    if (mode_ == FlightMode::LandSafe) {
+        // Terminal: once the policy decides to land, it lands.
+        return mode_;
+    }
+
+    if (demanded > mode_) {
+        // Escalation is immediate.
+        transitionTo(demanded, health.t, reason);
+        lastElevatedT_ = health.t;
+    } else if (demanded == mode_) {
+        lastElevatedT_ = health.t;
+    } else if (health.t - lastElevatedT_ >= config_.recoveryHoldS) {
+        // De-escalate only after the triggers have stayed clear.
+        transitionTo(demanded, health.t, "recovered");
+        lastElevatedT_ = health.t;
+    }
+    return mode_;
+}
+
+void
+DegradationPolicy::transitionTo(FlightMode to, double t,
+                                const std::string &reason)
+{
+    transitions_.push_back({t, mode_, to, reason});
+    mode_ = to;
+    worst_ = std::max(worst_, to);
+
+    obs::metrics().counter("fault.policy.transitions").add(1);
+    obs::metrics()
+        .gauge("fault.policy.mode")
+        .set(static_cast<double>(static_cast<int>(to)));
+    obs::instant(modeSpanName(to), "fault");
+}
+
+bool
+DegradationPolicy::offloadRetryDue(double t) const
+{
+    return linkDown_ && t + 1e-12 >= nextRetryT_;
+}
+
+void
+DegradationPolicy::onRetryResult(double t, bool success)
+{
+    obs::metrics().counter("fault.policy.link_retries").add(1);
+    if (success) {
+        backoffS_ = config_.backoffMinS;
+        linkDown_ = false;
+        return;
+    }
+    backoffS_ = std::min(backoffS_ * config_.backoffFactor,
+                         config_.backoffMaxS);
+    nextRetryT_ = t + backoffS_;
+    retryIntervals_.push_back(backoffS_);
+}
+
+OutcomeTier
+DegradationPolicy::outcomeFor(bool crashed, bool mission_complete,
+                              FlightMode worst)
+{
+    if (crashed)
+        return OutcomeTier::Crashed;
+    if (mission_complete) {
+        return worst == FlightMode::Nominal
+                   ? OutcomeTier::Completed
+                   : OutcomeTier::SurvivedDegraded;
+    }
+    return worst == FlightMode::LandSafe
+               ? OutcomeTier::LandedSafe
+               : OutcomeTier::SurvivedDegraded;
+}
+
+} // namespace dronedse::fault

@@ -67,6 +67,50 @@ assessOffload(const std::array<double, 4> &speedups,
     return table;
 }
 
+OffloadLink::OffloadLink(OffloadLinkConfig config)
+    : config_(config)
+{
+    if (config_.baseLatencyMs < 0.0 ||
+        config_.usableLatencyMs < config_.baseLatencyMs)
+        fatal("OffloadLink: invalid latency configuration");
+}
+
+void
+OffloadLink::setDown(bool down)
+{
+    down_ = down;
+}
+
+void
+OffloadLink::setLatencySpikeMs(double add_on)
+{
+    if (add_on < 0.0)
+        fatal("OffloadLink::setLatencySpikeMs: must be >= 0");
+    spikeMs_ = add_on;
+}
+
+double
+OffloadLink::roundTripMs() const
+{
+    return config_.baseLatencyMs + spikeMs_;
+}
+
+bool
+OffloadLink::usable() const
+{
+    return !down_ && roundTripMs() <= config_.usableLatencyMs;
+}
+
+bool
+OffloadLink::attempt()
+{
+    ++attempts_;
+    if (usable())
+        return true;
+    ++failures_;
+    return false;
+}
+
 const OffloadAssessment &
 recommendPlatform(const std::vector<OffloadAssessment> &table,
                   bool small_drone, double tie_margin_min)

@@ -67,6 +67,64 @@ recommendPlatform(const std::vector<OffloadAssessment> &table,
                   bool small_drone = true,
                   double tie_margin_min = 0.5);
 
+/** Link model parameters. */
+struct OffloadLinkConfig
+{
+    /** Healthy round-trip latency (ms). */
+    double baseLatencyMs = 5.0;
+    /**
+     * Latency past which an offloaded result misses its outer-loop
+     * deadline and the link counts as unusable (ms).
+     */
+    double usableLatencyMs = 60.0;
+};
+
+/**
+ * The wireless/tether link a drone offloads SLAM over.  Table 5
+ * prices the *steady-state* benefit of offload; this model adds the
+ * failure dimension — outages and latency spikes the degradation
+ * policy must react to.  State changes come from the fault injector;
+ * `attempt` is how the policy's backoff retries probe for recovery.
+ */
+class OffloadLink
+{
+  public:
+    explicit OffloadLink(OffloadLinkConfig config = {});
+
+    /** Take the link down / bring it back (fault injection). */
+    void setDown(bool down);
+
+    /** Add-on round-trip latency (ms); 0 restores the base. */
+    void setLatencySpikeMs(double add_on);
+
+    /** Link carrier present. */
+    bool up() const { return !down_; }
+
+    /** Current round-trip (ms); meaningless while down. */
+    double roundTripMs() const;
+
+    /** Up and fast enough to make offload deadlines. */
+    bool usable() const;
+
+    /**
+     * Probe the link (a policy backoff retry): succeeds iff the
+     * link is currently usable.  Counts attempts and failures.
+     */
+    bool attempt();
+
+    long attempts() const { return attempts_; }
+    long failures() const { return failures_; }
+
+    const OffloadLinkConfig &config() const { return config_; }
+
+  private:
+    OffloadLinkConfig config_;
+    bool down_ = false;
+    double spikeMs_ = 0.0;
+    long attempts_ = 0;
+    long failures_ = 0;
+};
+
 } // namespace dronedse
 
 #endif // DRONEDSE_PLATFORM_OFFLOAD_HH

@@ -135,12 +135,22 @@ Quadrotor::step(double dt, const Vec3 &wind)
     state_.attitude = state_.attitude.integrated(state_.angularVelocity,
                                                  dt);
 
-    // Ground plane: the drone rests at z = 0.
+    // Ground plane: the drone rests at z = 0, remembering how hard
+    // it arrived.
     if (state_.position.z < 0.0) {
         state_.position.z = 0.0;
-        if (state_.velocity.z < 0.0)
+        if (state_.velocity.z < 0.0) {
+            maxImpactSpeed_ =
+                std::max(maxImpactSpeed_, -state_.velocity.z);
             state_.velocity.z = 0.0;
+        }
     }
+}
+
+bool
+Quadrotor::onGround() const
+{
+    return state_.position.z <= 1e-9;
 }
 
 double

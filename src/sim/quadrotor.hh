@@ -102,12 +102,23 @@ class Quadrotor
     /** True when the attitude has departed controlled flight. */
     bool upsideDown() const;
 
+    /** True while resting on the ground plane (z = 0). */
+    bool onGround() const;
+
+    /**
+     * Fastest descent speed at any ground contact so far (m/s).
+     * A soft touchdown stays under ~1 m/s; a ballistic arrival does
+     * not — how the resilience harness tells a landing from a crash.
+     */
+    double maxImpactSpeed() const { return maxImpactSpeed_; }
+
   private:
     QuadrotorParams params_;
     RigidBodyState state_;
     std::array<double, 4> commanded_{};
     std::array<double, 4> actual_{};
     std::array<double, 4> effectiveness_{1.0, 1.0, 1.0, 1.0};
+    double maxImpactSpeed_ = 0.0;
 };
 
 } // namespace dronedse

@@ -1,23 +1,114 @@
 #include "util/logging.hh"
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
 namespace dronedse {
+
+namespace {
+
+/**
+ * The filter floor is a lock-free atomic so the hot path (a debug()
+ * call that is filtered out) costs one relaxed load.  The sink is
+ * behind a mutex: swaps are rare, and emitting under the lock keeps
+ * concurrent messages from interleaving mid-line.
+ */
+std::atomic<LogLevel> g_min_level{LogLevel::Info};
+std::mutex g_sink_mutex;
+LogSink g_sink; // empty = the stdio default
+
+/** Prefixes keep the historical "info:"/"warn:" output stable. */
+const char *
+prefixFor(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug:
+        return "debug";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Error:
+        return "error";
+    }
+    return "log";
+}
+
+void
+emit(LogLevel level, const std::string &msg)
+{
+    if (level < g_min_level.load(std::memory_order_relaxed))
+        return;
+
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    if (g_sink) {
+        g_sink(level, msg);
+        return;
+    }
+    std::FILE *stream = level >= LogLevel::Warn ? stderr : stdout;
+    std::fprintf(stream, "%s: %s\n", prefixFor(level), msg.c_str());
+}
+
+} // namespace
+
+const char *
+logLevelName(LogLevel level)
+{
+    return prefixFor(level);
+}
+
+void
+setLogMinLevel(LogLevel level)
+{
+    g_min_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logMinLevel()
+{
+    return g_min_level.load(std::memory_order_relaxed);
+}
+
+LogSink
+setLogSink(LogSink sink)
+{
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    LogSink previous = std::move(g_sink);
+    g_sink = std::move(sink);
+    return previous;
+}
+
+void
+debug(const std::string &msg)
+{
+    emit(LogLevel::Debug, msg);
+}
 
 void
 inform(const std::string &msg)
 {
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    emit(LogLevel::Info, msg);
 }
 
 void
 warn(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emit(LogLevel::Warn, msg);
 }
 
 void
 fatal(const std::string &msg)
 {
+    // Always hits stderr — death tests and crash triage must see the
+    // message even when a sink has captured normal output.
     std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    {
+        std::lock_guard<std::mutex> lock(g_sink_mutex);
+        if (g_sink)
+            g_sink(LogLevel::Error, msg);
+    }
     std::exit(1);
 }
 
@@ -25,6 +116,11 @@ void
 panic(const std::string &msg)
 {
     std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    {
+        std::lock_guard<std::mutex> lock(g_sink_mutex);
+        if (g_sink)
+            g_sink(LogLevel::Error, msg);
+    }
     std::abort();
 }
 

@@ -2,20 +2,64 @@
  * @file
  * Status and error reporting helpers in the gem5 idiom.
  *
- * inform() prints normal operating messages; warn() flags suspicious
- * but survivable conditions; fatal() terminates on user error (bad
+ * debug() traces detail that is normally filtered out; inform()
+ * prints normal operating messages; warn() flags suspicious but
+ * survivable conditions; fatal() terminates on user error (bad
  * configuration or arguments); panic() terminates on internal bugs
  * (conditions that must never happen regardless of user input).
+ *
+ * Messages below the minimum level (default Info) are dropped.
+ * Non-terminating messages go to an optional redirectable sink;
+ * fatal() and panic() always write stderr as well, so death-test
+ * expectations and crash triage see them regardless of redirection.
+ * Level filtering and sink redirection are thread-safe.
  */
 
 #ifndef DRONEDSE_UTIL_LOGGING_HH
 #define DRONEDSE_UTIL_LOGGING_HH
 
-#include <cstdio>
-#include <cstdlib>
+#include <functional>
 #include <string>
 
 namespace dronedse {
+
+/** Message severities, least severe first. */
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    /** fatal()/panic(); never filtered. */
+    Error = 3,
+};
+
+/** The level's lowercase name ("debug", "info", ...). */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Drop messages below `level` from now on.  Applies to debug(),
+ * inform(), and warn(); fatal() and panic() are never filtered.
+ */
+void setLogMinLevel(LogLevel level);
+
+/** The current filter floor. */
+LogLevel logMinLevel();
+
+/**
+ * Receives every formatted line that passes the filter (without a
+ * trailing newline), tagged with its severity.
+ */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/**
+ * Redirect log output to `sink` and return the previous sink.  An
+ * empty sink restores the default (stdout for Debug/Info, stderr
+ * for Warn/Error).
+ */
+LogSink setLogSink(LogSink sink);
+
+/** Print a trace message (filtered out at the default level). */
+void debug(const std::string &msg);
 
 /** Print an informational message to stdout. */
 void inform(const std::string &msg);

@@ -125,5 +125,48 @@ TEST(FailureInjection, StrongGustsWithinTable1Envelope)
               3.0);
 }
 
+TEST(FailureInjection, SensorNoiseScaleDegradesEstimate)
+{
+    // The same seed flown twice: inflating the noise scale (an IMU
+    // noise-spike fault) must not improve the estimate.
+    Autopilot clean(QuadrotorParams{}, hoverMission(),
+                    AutopilotConfig{});
+    clean.run(10.0);
+
+    Autopilot noisy(QuadrotorParams{}, hoverMission(),
+                    AutopilotConfig{});
+    noisy.sensors().setNoiseScale(8.0);
+    EXPECT_DOUBLE_EQ(noisy.sensors().noiseScale(), 8.0);
+    noisy.run(10.0);
+
+    EXPECT_GT(noisy.estimationErrorM(), clean.estimationErrorM());
+    EXPECT_EXIT(noisy.sensors().setNoiseScale(-1.0),
+                testing::ExitedWithCode(1), "");
+}
+
+TEST(FailureInjection, LandSafeDescendsAndStaysDown)
+{
+    Autopilot ap(QuadrotorParams{}, hoverMission(), AutopilotConfig{});
+    ap.run(6.0);
+    EXPECT_FALSE(ap.landSafeActive());
+    EXPECT_GT(ap.quad().state().position.z, 1.5);
+
+    ap.commandLandSafe();
+    EXPECT_TRUE(ap.landSafeActive());
+    // Commanding it again is idempotent.
+    ap.commandLandSafe();
+
+    // A -0.5 m/s descent from 2 m needs ~4 s plus settling.
+    ap.run(10.0);
+    EXPECT_TRUE(ap.quad().onGround());
+    EXPECT_FALSE(ap.quad().upsideDown());
+    // Touchdown must be gentle: well under the 1.8 m/s crash limit.
+    EXPECT_LT(ap.quad().maxImpactSpeed(), 1.2);
+
+    // The navigator is bypassed for good: still on the ground later.
+    ap.run(5.0);
+    EXPECT_TRUE(ap.quad().onGround());
+}
+
 } // namespace
 } // namespace dronedse

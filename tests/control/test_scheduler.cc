@@ -174,5 +174,78 @@ TEST(SchedulerDeath, TimeMustNotGoBackwards)
     EXPECT_EXIT(sched.advanceTo(0.5), testing::ExitedWithCode(1), "");
 }
 
+TEST(SchedulerFault, CostScaleInflatesMisses)
+{
+    // At scale 1 the task set fits; a contention burst makes every
+    // job overrun its period.
+    RateScheduler sched;
+    sched.addTask("heavy", 10.0, 0.06, [](double) {});
+    sched.advanceTo(2.0);
+    EXPECT_EQ(sched.totalDeadlineMisses(), 0);
+
+    sched.setCostScale(8.0);
+    sched.advanceTo(4.0);
+    EXPECT_GT(sched.totalDeadlineMisses(), 0);
+
+    // After the burst the CPU still has a queue of inflated jobs;
+    // misses continue until the backlog drains, then stop.
+    const long during_burst = sched.totalDeadlineMisses();
+    sched.setCostScale(1.0);
+    sched.advanceTo(25.0);
+    const long after_drain = sched.totalDeadlineMisses();
+    sched.advanceTo(30.0);
+    EXPECT_EQ(sched.totalDeadlineMisses(), after_drain);
+    EXPECT_GE(after_drain, during_burst);
+}
+
+TEST(SchedulerFault, RateSheddingRelievesOverload)
+{
+    RateScheduler sched;
+    sched.addTask("nav", 10.0, 0.05, [](double) {});
+    sched.addTask("slam", 10.0, 0.08, [](double) {});
+    sched.advanceTo(2.0);
+    // 1.3x utilization demanded: misses pile up.
+    const long overloaded = sched.totalDeadlineMisses();
+    EXPECT_GT(overloaded, 0);
+
+    // Shed to 0.65x demanded: once the backlog drains, no new
+    // misses.
+    sched.setTaskRate("nav", 5.0);
+    sched.setTaskRate("slam", 5.0);
+    EXPECT_DOUBLE_EQ(sched.taskRate("nav"), 5.0);
+    sched.advanceTo(6.0);
+    const long after_drain = sched.totalDeadlineMisses();
+    sched.advanceTo(10.0);
+    EXPECT_EQ(sched.totalDeadlineMisses(), after_drain);
+}
+
+TEST(SchedulerFault, TaskCostCanMigrate)
+{
+    RateScheduler sched;
+    sched.addTask("slam", 10.0, 0.012, [](double) {});
+    EXPECT_DOUBLE_EQ(sched.taskCost("slam"), 0.012);
+    sched.setTaskCost("slam", 0.045);
+    EXPECT_DOUBLE_EQ(sched.taskCost("slam"), 0.045);
+    // Releases at t = 0, 0.1, ..., 1.0 inclusive: 11 executions.
+    sched.advanceTo(1.0);
+    const auto stats = sched.stats();
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_NEAR(stats[0].cpuTimeS, 11 * 0.045, 1e-9);
+}
+
+TEST(SchedulerFaultDeath, MutatorsValidate)
+{
+    RateScheduler sched;
+    sched.addTask("a", 10.0, 0.0, [](double) {});
+    EXPECT_EXIT(sched.setCostScale(0.0), testing::ExitedWithCode(1),
+                "");
+    EXPECT_EXIT(sched.setTaskRate("a", -1.0),
+                testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(sched.setTaskRate("missing", 5.0),
+                testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(sched.setTaskCost("a", -0.1),
+                testing::ExitedWithCode(1), "");
+}
+
 } // namespace
 } // namespace dronedse

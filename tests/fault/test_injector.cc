@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Fault taxonomy, scenario parsing, and injector query tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fault/fault.hh"
+#include "fault/injector.hh"
+
+using namespace dronedse::fault;
+
+TEST(FaultTaxonomy, NamesRoundTripForEveryKind)
+{
+    for (int k = 0; k < static_cast<int>(FaultKind::NumKinds); ++k) {
+        const auto kind = static_cast<FaultKind>(k);
+        const auto back = faultKindFromName(faultKindName(kind));
+        ASSERT_TRUE(back.has_value()) << faultKindName(kind);
+        EXPECT_EQ(*back, kind);
+    }
+}
+
+TEST(FaultTaxonomy, UnknownNameIsRejected)
+{
+    EXPECT_FALSE(faultKindFromName("warp_core_breach").has_value());
+    EXPECT_FALSE(faultKindFromName("").has_value());
+}
+
+TEST(FaultEventTest, ActiveWindowIsHalfOpen)
+{
+    const FaultEvent e{FaultKind::GpsDropout, 10.0, 5.0, 1.0, 0};
+    EXPECT_FALSE(e.activeAt(9.999));
+    EXPECT_TRUE(e.activeAt(10.0));
+    EXPECT_TRUE(e.activeAt(14.999));
+    EXPECT_FALSE(e.activeAt(15.0));
+}
+
+TEST(ScenarioParse, ParsesEventsCommentsAndBlanks)
+{
+    const FaultScenario sc = parseScenario("demo", R"(
+# a comment
+gps_dropout start=5 dur=10
+
+motor_derate start=2 dur=30 mag=0.6 index=3
+)");
+    ASSERT_EQ(sc.events.size(), 2u);
+    EXPECT_EQ(sc.events[0].kind, FaultKind::GpsDropout);
+    EXPECT_DOUBLE_EQ(sc.events[0].startS, 5.0);
+    EXPECT_DOUBLE_EQ(sc.events[0].durationS, 10.0);
+    EXPECT_EQ(sc.events[1].kind, FaultKind::MotorDerate);
+    EXPECT_DOUBLE_EQ(sc.events[1].magnitude, 0.6);
+    EXPECT_EQ(sc.events[1].index, 3);
+}
+
+TEST(ScenarioParse, TextRoundTripsThroughSerializer)
+{
+    for (const auto &sc : scenarioCatalog()) {
+        const FaultScenario back =
+            parseScenario(sc.name, scenarioToText(sc));
+        ASSERT_EQ(back.events.size(), sc.events.size()) << sc.name;
+        for (std::size_t i = 0; i < sc.events.size(); ++i) {
+            EXPECT_EQ(back.events[i].kind, sc.events[i].kind);
+            EXPECT_DOUBLE_EQ(back.events[i].startS,
+                             sc.events[i].startS);
+            EXPECT_DOUBLE_EQ(back.events[i].durationS,
+                             sc.events[i].durationS);
+            EXPECT_DOUBLE_EQ(back.events[i].magnitude,
+                             sc.events[i].magnitude);
+            EXPECT_EQ(back.events[i].index, sc.events[i].index);
+        }
+    }
+}
+
+TEST(ScenarioParse, MalformedLinesAreFatal)
+{
+    EXPECT_EXIT(parseScenario("bad", "warp_core start=1 dur=2"),
+                testing::ExitedWithCode(1), "unknown fault kind");
+    EXPECT_EXIT(parseScenario("bad", "gps_dropout start=1"),
+                testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(parseScenario("bad", "gps_dropout bogus=1 dur=2"),
+                testing::ExitedWithCode(1), "");
+}
+
+TEST(ScenarioCatalog, HasAtLeastEightUniquelyNamedScenarios)
+{
+    const auto &catalog = scenarioCatalog();
+    EXPECT_GE(catalog.size(), 8u);
+    std::set<std::string> names;
+    for (const auto &sc : catalog) {
+        EXPECT_FALSE(sc.name.empty());
+        EXPECT_FALSE(sc.description.empty()) << sc.name;
+        EXPECT_TRUE(names.insert(sc.name).second)
+            << "duplicate scenario name " << sc.name;
+    }
+}
+
+TEST(ScenarioCatalog, CoversEveryFaultKind)
+{
+    std::set<FaultKind> seen;
+    for (const auto &sc : scenarioCatalog())
+        for (const auto &e : sc.events)
+            seen.insert(e.kind);
+    EXPECT_EQ(seen.size(),
+              static_cast<std::size_t>(FaultKind::NumKinds));
+}
+
+TEST(ScenarioCatalog, FindByNameWorksAndUnknownIsFatal)
+{
+    EXPECT_EQ(findScenario("nominal").events.size(), 0u);
+    EXPECT_EXIT(findScenario("definitely_not_a_scenario"),
+                testing::ExitedWithCode(1), "");
+}
+
+TEST(RandomScenario, SameSeedSameScenario)
+{
+    const FaultScenario a = randomScenario(42, 60.0);
+    const FaultScenario b = randomScenario(42, 60.0);
+    EXPECT_EQ(scenarioToText(a), scenarioToText(b));
+    // A different seed (nearly always) draws a different timeline.
+    const FaultScenario c = randomScenario(43, 60.0);
+    EXPECT_NE(scenarioToText(a), scenarioToText(c));
+}
+
+TEST(RandomScenario, MagnitudesAreWithinKindRanges)
+{
+    for (std::uint64_t seed = 0; seed < 50; ++seed) {
+        const FaultScenario sc = randomScenario(seed, 60.0);
+        for (const auto &e : sc.events) {
+            EXPECT_GE(e.startS, 0.0);
+            EXPECT_LT(e.startS, 60.0);
+            EXPECT_GT(e.durationS, 0.0);
+            if (e.kind == FaultKind::MotorDerate) {
+                EXPECT_GE(e.magnitude, 0.0);
+                EXPECT_LE(e.magnitude, 1.0);
+                EXPECT_GE(e.index, 0);
+                EXPECT_LE(e.index, 3);
+            }
+        }
+    }
+}
+
+TEST(InjectorTest, ActiveAndCountFollowTheTimeline)
+{
+    FaultScenario sc;
+    sc.name = "t";
+    sc.events.push_back({FaultKind::GpsDropout, 10.0, 5.0, 1.0, 0});
+    sc.events.push_back({FaultKind::ComputeContention, 12.0, 2.0,
+                         4.0, 0});
+    const FaultInjector inj(sc);
+
+    EXPECT_FALSE(inj.active(FaultKind::GpsDropout, 9.0));
+    EXPECT_TRUE(inj.active(FaultKind::GpsDropout, 10.0));
+    EXPECT_EQ(inj.activeCount(9.0), 0u);
+    EXPECT_EQ(inj.activeCount(13.0), 2u);
+    EXPECT_EQ(inj.activeCount(14.5), 1u);
+    EXPECT_DOUBLE_EQ(inj.lastEventEnd(), 15.0);
+}
+
+TEST(InjectorTest, MagnitudeCombinesWorstCase)
+{
+    FaultScenario sc;
+    sc.name = "t";
+    // Two overlapping contention bursts: the worse (max) one rules.
+    sc.events.push_back({FaultKind::ComputeContention, 0.0, 10.0,
+                         3.0, 0});
+    sc.events.push_back({FaultKind::ComputeContention, 2.0, 4.0,
+                         8.0, 0});
+    // Two deratings of the same motor: the worse (min) one rules.
+    sc.events.push_back({FaultKind::MotorDerate, 0.0, 10.0, 0.8, 1});
+    sc.events.push_back({FaultKind::MotorDerate, 2.0, 4.0, 0.3, 1});
+    const FaultInjector inj(sc);
+
+    EXPECT_DOUBLE_EQ(inj.magnitude(FaultKind::ComputeContention, 1.0,
+                                   1.0),
+                     3.0);
+    EXPECT_DOUBLE_EQ(inj.magnitude(FaultKind::ComputeContention, 3.0,
+                                   1.0),
+                     8.0);
+    EXPECT_DOUBLE_EQ(inj.magnitude(FaultKind::ComputeContention,
+                                   20.0, 1.0),
+                     1.0);
+    EXPECT_DOUBLE_EQ(inj.motorEffectiveness(1, 1.0), 0.8);
+    EXPECT_DOUBLE_EQ(inj.motorEffectiveness(1, 3.0), 0.3);
+    EXPECT_DOUBLE_EQ(inj.motorEffectiveness(0, 3.0), 1.0);
+    EXPECT_DOUBLE_EQ(inj.motorEffectiveness(1, 20.0), 1.0);
+}

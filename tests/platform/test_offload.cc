@@ -83,5 +83,51 @@ TEST(Table5Death, EmptyTableIsFatal)
     EXPECT_EXIT(recommendPlatform({}), testing::ExitedWithCode(1), "");
 }
 
+TEST(OffloadLinkTest, HealthyLinkIsUsable)
+{
+    OffloadLink link;
+    EXPECT_TRUE(link.up());
+    EXPECT_TRUE(link.usable());
+    EXPECT_DOUBLE_EQ(link.roundTripMs(), 5.0);
+    EXPECT_TRUE(link.attempt());
+    EXPECT_EQ(link.attempts(), 1);
+    EXPECT_EQ(link.failures(), 0);
+}
+
+TEST(OffloadLinkTest, OutageMakesAttemptsFail)
+{
+    OffloadLink link;
+    link.setDown(true);
+    EXPECT_FALSE(link.up());
+    EXPECT_FALSE(link.usable());
+    EXPECT_FALSE(link.attempt());
+    link.setDown(false);
+    EXPECT_TRUE(link.attempt());
+    EXPECT_EQ(link.attempts(), 2);
+    EXPECT_EQ(link.failures(), 1);
+}
+
+TEST(OffloadLinkTest, LatencySpikePastBudgetIsUnusableButUp)
+{
+    OffloadLink link;
+    link.setLatencySpikeMs(100.0);
+    EXPECT_TRUE(link.up());
+    EXPECT_DOUBLE_EQ(link.roundTripMs(), 105.0);
+    EXPECT_FALSE(link.usable());
+    link.setLatencySpikeMs(0.0);
+    EXPECT_TRUE(link.usable());
+}
+
+TEST(OffloadLinkDeath, RejectsInvalidConfigAndSpike)
+{
+    EXPECT_EXIT(OffloadLink({-1.0, 60.0}),
+                testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(OffloadLink({10.0, 5.0}),
+                testing::ExitedWithCode(1), "");
+    OffloadLink link;
+    EXPECT_EXIT(link.setLatencySpikeMs(-0.1),
+                testing::ExitedWithCode(1), "");
+}
+
 } // namespace
 } // namespace dronedse

@@ -202,5 +202,28 @@ TEST(QuadrotorDeath, RejectsBadStep)
     EXPECT_EXIT(quad.step(0.0), testing::ExitedWithCode(1), "");
 }
 
+TEST(QuadrotorTest, GroundContactRecordsPeakImpactSpeed)
+{
+    // Drop from 2 m with motors off: the clamp must record the
+    // touchdown speed (v = sqrt(2 g h) ~ 6.3 m/s) and report ground
+    // contact.
+    Quadrotor quad;
+    RigidBodyState s = quad.state();
+    s.position.z = 2.0;
+    quad.setState(s);
+    quad.commandMotors({0.0, 0.0, 0.0, 0.0});
+    EXPECT_FALSE(quad.onGround());
+    EXPECT_DOUBLE_EQ(quad.maxImpactSpeed(), 0.0);
+
+    for (int i = 0; i < 2000 && !quad.onGround(); ++i)
+        quad.step(0.001);
+
+    EXPECT_TRUE(quad.onGround());
+    // Slightly below sqrt(2 g h) = 6.26 m/s: the hover thrust decays
+    // through the motor lag during the first few tens of ms.
+    EXPECT_GT(quad.maxImpactSpeed(), 4.5);
+    EXPECT_LT(quad.maxImpactSpeed(), std::sqrt(2.0 * 9.81 * 2.0));
+}
+
 } // namespace
 } // namespace dronedse

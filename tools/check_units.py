@@ -49,6 +49,7 @@ REQUIRED_SCANNED = (
     "src/engine/",
     "src/core/",
     "src/obs/",
+    "src/fault/",
 )
 
 # A parameter name "ends in a unit" when it has one of these suffixes
