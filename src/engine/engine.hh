@@ -19,6 +19,7 @@
 #define DRONEDSE_ENGINE_ENGINE_HH
 
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 #include "dse/sweep.hh"
@@ -62,8 +63,12 @@ struct SweepResult
  * overlapping specs (the Figure 10 panels re-reading each battery
  * family per weight bucket) pay for each distinct point once.
  *
- * Thread-safe for concurrent `solve` calls; `run` is exclusive (one
- * sweep at a time per engine).
+ * Thread-safe for concurrent `solve` calls.  Concurrent `run`
+ * calls are safe too: they serialize on an internal mutex (one
+ * sweep at a time per engine), which is the batching hook the
+ * serve layer leans on — server workers submit whole coalesced
+ * batches from many threads and the engine orders them while the
+ * shared memo cache deduplicates their overlapping points.
  */
 class SweepEngine
 {
@@ -99,6 +104,8 @@ class SweepEngine
     EngineOptions options_;
     ThreadPool pool_;
     MemoCache cache_;
+    /** Serializes `run` (and `lastStats_` updates) across callers. */
+    std::mutex runMutex_;
     SweepStats lastStats_;
 };
 

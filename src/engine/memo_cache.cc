@@ -98,10 +98,10 @@ MemoCache::lookup(const DesignKey &key)
     std::lock_guard<std::mutex> lock(shard.mutex);
     const auto it = shard.entries.find(key);
     if (it == shard.entries.end()) {
-        misses_.fetch_add(1, std::memory_order_relaxed);
+        ++shard.counters.misses;
         return std::nullopt;
     }
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    ++shard.counters.hits;
     return it->second;
 }
 
@@ -118,7 +118,7 @@ MemoCache::insert(const DesignKey &key, const DesignResult &result)
     while (shard.entries.size() > shardCapacity_) {
         shard.entries.erase(shard.order.front());
         shard.order.pop_front();
-        evictions_.fetch_add(1, std::memory_order_relaxed);
+        ++shard.counters.evictions;
     }
 }
 
@@ -136,10 +136,18 @@ MemoCache::solve(const DesignInputs &inputs)
 CacheCounters
 MemoCache::counters() const
 {
+    // Hold every shard lock at once (ascending index, so concurrent
+    // snapshots cannot deadlock) and sum: the triple is a single
+    // consistent cut across the cache, not three racing reads.
+    std::array<std::unique_lock<std::mutex>, kShards> locks;
+    for (std::size_t i = 0; i < kShards; ++i)
+        locks[i] = std::unique_lock<std::mutex>(shards_[i].mutex);
     CacheCounters out;
-    out.hits = hits_.load(std::memory_order_relaxed);
-    out.misses = misses_.load(std::memory_order_relaxed);
-    out.evictions = evictions_.load(std::memory_order_relaxed);
+    for (const auto &shard : shards_) {
+        out.hits += shard.counters.hits;
+        out.misses += shard.counters.misses;
+        out.evictions += shard.counters.evictions;
+    }
     return out;
 }
 

@@ -13,15 +13,17 @@
  *
  * Sharding: the key hash picks one of `kShards` independently locked
  * maps, so concurrent workers rarely contend.  Each shard evicts its
- * oldest entry (FIFO) at capacity.  Hit/miss/eviction counters are
- * lock-free atomics.
+ * oldest entry (FIFO) at capacity.  Hit/miss/eviction counters live
+ * per shard under the shard mutex; `counters()` locks every shard at
+ * once, so the triple it returns is one consistent snapshot — a hit
+ * recorded concurrently can never appear without the insert that
+ * preceded it (no torn counter triples).
  */
 
 #ifndef DRONEDSE_ENGINE_MEMO_CACHE_HH
 #define DRONEDSE_ENGINE_MEMO_CACHE_HH
 
 #include <array>
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -110,6 +112,7 @@ class MemoCache
     /** Memoized `solveDesign`: lookup, else solve and insert. */
     DesignResult solve(const DesignInputs &inputs);
 
+    /** One consistent snapshot (all shards locked together). */
     CacheCounters counters() const;
     std::size_t size() const;
     void clear();
@@ -122,15 +125,14 @@ class MemoCache
             entries;
         /** Insertion order for FIFO eviction. */
         std::deque<DesignKey> order;
+        /** Counters of this shard, guarded by `mutex`. */
+        CacheCounters counters;
     };
 
     Shard &shardFor(const DesignKey &key, std::size_t hash);
 
     std::size_t shardCapacity_;
     std::array<Shard, kShards> shards_;
-    std::atomic<std::uint64_t> hits_{0};
-    std::atomic<std::uint64_t> misses_{0};
-    std::atomic<std::uint64_t> evictions_{0};
 };
 
 } // namespace dronedse::engine

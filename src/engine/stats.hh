@@ -13,12 +13,12 @@
 #define DRONEDSE_ENGINE_STATS_HH
 
 #include <cstddef>
-#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "engine/memo_cache.hh"
 #include "engine/thread_pool.hh"
+#include "util/json.hh"
 
 namespace dronedse::engine {
 
@@ -53,11 +53,7 @@ struct SweepStats
     /** One JSON object, schema documented in DESIGN.md §9. */
     std::string toJson() const
     {
-        const auto num = [](double v) {
-            char buf[64];
-            std::snprintf(buf, sizeof buf, "%.6g", v);
-            return std::string(buf);
-        };
+        const auto num = [](double v) { return jsonNumber(v, 6); };
         std::string out = "{";
         out += "\"grid_points\": " + std::to_string(gridPoints);
         out += ", \"feasible_points\": " +

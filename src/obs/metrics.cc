@@ -3,32 +3,25 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace dronedse::obs {
 
 namespace {
 
+// Snapshot spellings are pinned by the util/json canonical writer:
+// %.17g doubles (round-trip exact) and the shared string escape.
 std::string
 num(double v)
 {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    return std::string(buf);
+    return jsonNumber(v);
 }
 
-/** JSON string escape for metric names (quotes and backslashes). */
 std::string
 quoted(const std::string &s)
 {
-    std::string out = "\"";
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-    out += '"';
-    return out;
+    return jsonQuote(s);
 }
 
 void

@@ -1,0 +1,254 @@
+#include "serve/planner.hh"
+
+#include <cmath>
+
+#include "components/battery.hh"
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
+
+namespace dronedse::serve {
+
+namespace {
+
+bool
+invalid(ErrorReply &err, const std::string &message)
+{
+    err.code = ErrorCode::InvalidRequest;
+    err.message = message;
+    return false;
+}
+
+bool
+finitePositive(double v)
+{
+    return std::isfinite(v) && v > 0.0;
+}
+
+bool
+finiteNonNegative(double v)
+{
+    return std::isfinite(v) && v >= 0.0;
+}
+
+} // namespace
+
+QueryPlanner::QueryPlanner(engine::SweepEngine &engine,
+                           PlannerLimits limits)
+    : engine_(engine), limits_(limits)
+{
+}
+
+bool
+QueryPlanner::validate(const Request &request, ErrorReply &err) const
+{
+    const auto check_board = [&](const ComputeBoardRecord &board) {
+        if (!finiteNonNegative(board.weightG) ||
+            !finiteNonNegative(board.powerW))
+            return invalid(err,
+                           "board weight/power must be finite and "
+                           ">= 0");
+        return true;
+    };
+    const auto check_cells = [&](int cells) {
+        if (cells < kMinCells || cells > kMaxCells)
+            return invalid(err,
+                           "cells must be in [" +
+                               std::to_string(kMinCells) + ", " +
+                               std::to_string(kMaxCells) + "]");
+        return true;
+    };
+    const auto check_twr = [&](double twr) {
+        if (!std::isfinite(twr) || twr < limits_.minTwr ||
+            twr > limits_.maxTwr)
+            return invalid(err, "twr out of accepted range");
+        return true;
+    };
+    const auto check_wheelbase = [&](Quantity<Millimeters> wb) {
+        if (!finitePositive(wb.value()) ||
+            wb.value() > limits_.maxWheelbaseMm.value())
+            return invalid(err, "wheelbase_mm out of accepted range");
+        return true;
+    };
+    const auto check_aux = [&](const char *what, double v) {
+        if (!finiteNonNegative(v))
+            return invalid(err, std::string(what) +
+                                    " must be finite and >= 0");
+        return true;
+    };
+
+    if (request.kind == QueryKind::Design) {
+        const DesignInputs &point = request.point;
+        if (!check_wheelbase(point.wheelbaseMm) ||
+            !check_cells(point.cells) || !check_twr(point.twr))
+            return false;
+        if (!finitePositive(point.capacityMah.value()))
+            return invalid(err, "capacity_mah must be > 0");
+        return check_aux("prop_diameter_in",
+                         point.propDiameterIn.value()) &&
+               check_board(point.compute) &&
+               check_aux("sensor_weight_g",
+                         point.sensorWeightG.value()) &&
+               check_aux("sensor_power_w",
+                         point.sensorPowerW.value()) &&
+               check_aux("payload_g", point.payloadG.value());
+    }
+
+    const SweepSpec &spec = request.spec;
+    if (spec.airframes.empty() || spec.boards.empty() ||
+        spec.activities.empty() || spec.cells.empty())
+        return invalid(err,
+                       "spec axes (airframes, boards, activities, "
+                       "cells) must be non-empty");
+    if (spec.airframes.size() > limits_.maxAxisEntries ||
+        spec.boards.size() > limits_.maxAxisEntries ||
+        spec.activities.size() > limits_.maxAxisEntries ||
+        spec.cells.size() > limits_.maxAxisEntries)
+        return invalid(err, "spec axis exceeds max entries");
+    for (const SweepAirframe &airframe : spec.airframes) {
+        if (!check_wheelbase(airframe.wheelbaseMm) ||
+            !check_aux("prop_diameter_in",
+                       airframe.propDiameterIn.value()))
+            return false;
+    }
+    for (const ComputeBoardRecord &board : spec.boards) {
+        if (!check_board(board))
+            return false;
+    }
+    for (int cells : spec.cells) {
+        if (!check_cells(cells))
+            return false;
+    }
+    if (!check_twr(spec.twr))
+        return false;
+    if (!finitePositive(spec.capacityLoMah.value()) ||
+        !finitePositive(spec.capacityHiMah.value()) ||
+        spec.capacityHiMah.value() < spec.capacityLoMah.value())
+        return invalid(err,
+                       "capacity range must satisfy 0 < lo <= hi");
+    if (!std::isfinite(spec.capacityStepMah.value()) ||
+        spec.capacityStepMah.value() <
+            limits_.minCapacityStepMah.value())
+        return invalid(err, "capacity_step_mah below minimum");
+    if (!check_aux("sensor_weight_g", spec.sensorWeightG.value()) ||
+        !check_aux("sensor_power_w", spec.sensorPowerW.value()) ||
+        !check_aux("payload_g", spec.payloadG.value()))
+        return false;
+    // Bound the capacity axis analytically before pointCount()
+    // walks it — a hostile hi/step pair must not stall validation.
+    const double capacity_steps =
+        (spec.capacityHiMah.value() - spec.capacityLoMah.value()) /
+        spec.capacityStepMah.value();
+    if (capacity_steps > static_cast<double>(limits_.maxGridPoints))
+        return invalid(err, "capacity axis exceeds the grid cap");
+    if (spec.pointCount() > limits_.maxGridPoints)
+        return invalid(err,
+                       "grid expands to " +
+                           std::to_string(spec.pointCount()) +
+                           " points, cap is " +
+                           std::to_string(limits_.maxGridPoints));
+    return true;
+}
+
+std::shared_ptr<engine::SweepResult>
+QueryPlanner::runCoalesced(const SweepSpec &spec)
+{
+    // The canonical spec serialization is the coalescing key: two
+    // requests whose specs serialize identically expand to the
+    // identical grid.
+    Request key_request;
+    key_request.kind = QueryKind::Sweep;
+    key_request.spec = spec;
+    const std::string key = serializeRequest(key_request);
+
+    std::shared_ptr<InFlight> flight;
+    bool leader = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto &slot = inflight_[key];
+        if (!slot) {
+            slot = std::make_shared<InFlight>();
+            leader = true;
+        }
+        flight = slot;
+        if (leader)
+            ++stats_.batchesLed;
+        else
+            ++stats_.coalesced;
+    }
+
+    if (leader) {
+        obs::ScopedSpan span("serve.batch", "serve");
+        auto result = std::make_shared<engine::SweepResult>(
+            engine_.run(spec));
+        {
+            std::lock_guard<std::mutex> lock(flight->mutex);
+            flight->result = result;
+            flight->done = true;
+        }
+        flight->cv.notify_all();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            inflight_.erase(key);
+        }
+        obs::metrics().counter("serve.batches.led").add(1);
+        return result;
+    }
+
+    obs::metrics().counter("serve.batches.coalesced").add(1);
+    std::unique_lock<std::mutex> lock(flight->mutex);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    return flight->result;
+}
+
+std::string
+QueryPlanner::execute(const Request &request)
+{
+    obs::ScopedSpan span("serve.execute", "serve");
+    ErrorReply err;
+    if (!validate(request, err)) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.invalid;
+        }
+        obs::metrics().counter("serve.queries.invalid").add(1);
+        return serializeErrorReply(request.id, err);
+    }
+
+    std::string reply;
+    switch (request.kind) {
+    case QueryKind::Design:
+        reply = serializeDesignReply(request.id,
+                                     engine_.solve(request.point));
+        break;
+    case QueryKind::Sweep: {
+        const std::shared_ptr<engine::SweepResult> result =
+            runCoalesced(request.spec);
+        reply = serializeSweepReply(request.id, result->points,
+                                    result->feasible.size(),
+                                    result->frontier);
+        break;
+    }
+    case QueryKind::Pareto: {
+        const std::shared_ptr<engine::SweepResult> result =
+            runCoalesced(request.spec);
+        reply = serializeParetoReply(request.id, result->points,
+                                     result->frontier);
+        break;
+    }
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.executed;
+    }
+    obs::metrics().counter("serve.queries.executed").add(1);
+    return reply;
+}
+
+PlannerStats
+QueryPlanner::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace dronedse::serve

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * QueryPlanner: validation and execution of admitted queries.
+ *
+ * Validation is the semantic half of request checking (the parser
+ * owns types and spellings): axis values must be physical, cell
+ * counts within the LiPo range, the capacity grid finite, and the
+ * expanded grid under a hard point cap so one query cannot wedge
+ * the service.
+ *
+ * Execution routes through one shared `engine::SweepEngine`, so
+ * every query — and every *concurrent* query — is memoized through
+ * the engine's sharded cache.  Identical concurrent sweep/pareto
+ * specs are additionally coalesced single-flight: the first caller
+ * becomes the leader and runs the batch, followers block on the
+ * leader's result and share it (the canonical spec serialization is
+ * the coalescing key, so a sweep and a pareto over the same spec
+ * share one engine run).  Overlapping-but-distinct specs still
+ * share work point-by-point through the memo cache.
+ */
+
+#ifndef DRONEDSE_SERVE_PLANNER_HH
+#define DRONEDSE_SERVE_PLANNER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "engine/engine.hh"
+#include "serve/request.hh"
+
+namespace dronedse::serve {
+
+/** Hard bounds a valid query must respect. */
+struct PlannerLimits
+{
+    /** Max grid points one sweep/pareto query may expand to. */
+    std::size_t maxGridPoints = 200000;
+    /** Max entries per spec axis array. */
+    std::size_t maxAxisEntries = 256;
+    /** Smallest accepted capacity step (mAh). */
+    Quantity<MilliampHours> minCapacityStepMah{1.0};
+    /** Largest accepted wheelbase (mm). */
+    Quantity<Millimeters> maxWheelbaseMm{2000.0};
+    /** Accepted TWR range. */
+    double minTwr = 1.0;
+    double maxTwr = 10.0;
+};
+
+/** Monotonic planner counters. */
+struct PlannerStats
+{
+    std::uint64_t executed = 0;
+    std::uint64_t invalid = 0;
+    /** Queries that ran a fresh engine batch as leader. */
+    std::uint64_t batchesLed = 0;
+    /** Queries that joined an in-flight identical batch. */
+    std::uint64_t coalesced = 0;
+};
+
+class QueryPlanner
+{
+  public:
+    explicit QueryPlanner(engine::SweepEngine &engine,
+                          PlannerLimits limits = {});
+
+    /**
+     * Semantic validation; fills `err` (InvalidRequest) and returns
+     * false on violation.  Touches no engine state.
+     */
+    bool validate(const Request &request, ErrorReply &err) const;
+
+    /**
+     * Validate + execute + serialize: the whole worker-side
+     * pipeline for one admitted request.  Always returns exactly
+     * one reply frame; thread-safe for any number of concurrent
+     * callers.
+     */
+    std::string execute(const Request &request);
+
+    PlannerStats stats() const;
+
+    engine::SweepEngine &engine() { return engine_; }
+
+  private:
+    struct InFlight
+    {
+        std::mutex mutex;
+        std::condition_variable cv;
+        bool done = false;
+        std::shared_ptr<engine::SweepResult> result;
+    };
+
+    /** Run a spec single-flight (see file comment). */
+    std::shared_ptr<engine::SweepResult>
+    runCoalesced(const SweepSpec &spec);
+
+    engine::SweepEngine &engine_;
+    PlannerLimits limits_;
+
+    mutable std::mutex mutex_;
+    PlannerStats stats_;
+    std::unordered_map<std::string, std::shared_ptr<InFlight>>
+        inflight_;
+};
+
+} // namespace dronedse::serve
+
+#endif // DRONEDSE_SERVE_PLANNER_HH

@@ -1,0 +1,585 @@
+#include "serve/request.hh"
+
+#include <cmath>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace dronedse::serve {
+
+namespace {
+
+/** Largest id that survives the double-typed JSON number channel. */
+constexpr double kMaxId = 9007199254740992.0; // 2^53
+
+bool
+invalid(ErrorReply &err, const std::string &message)
+{
+    err.code = ErrorCode::InvalidRequest;
+    err.message = message;
+    return false;
+}
+
+/**
+ * Read an optional member of `obj`: absent keeps the caller's
+ * default and succeeds; present-but-wrong-type fails.
+ */
+bool
+readDouble(const JsonValue &obj, const char *key, double &out,
+           ErrorReply &err)
+{
+    const JsonValue *value = obj.find(key);
+    if (!value)
+        return true;
+    if (!value->isNumber())
+        return invalid(err, std::string(key) + " must be a number");
+    out = value->asNumber();
+    return true;
+}
+
+bool
+readInt(const JsonValue &obj, const char *key, int &out,
+        ErrorReply &err)
+{
+    const JsonValue *value = obj.find(key);
+    if (!value)
+        return true;
+    if (!value->isNumber())
+        return invalid(err, std::string(key) + " must be a number");
+    const double v = value->asNumber();
+    if (std::floor(v) != v || v < -1e9 || v > 1e9)
+        return invalid(err, std::string(key) + " must be an integer");
+    out = static_cast<int>(v);
+    return true;
+}
+
+bool
+readString(const JsonValue &obj, const char *key, std::string &out,
+           ErrorReply &err)
+{
+    const JsonValue *value = obj.find(key);
+    if (!value)
+        return true;
+    if (!value->isString())
+        return invalid(err, std::string(key) + " must be a string");
+    out = value->asString();
+    return true;
+}
+
+bool
+parseEscClass(const std::string &name, EscClass &out, ErrorReply &err)
+{
+    if (name == "short_flight")
+        out = EscClass::ShortFlight;
+    else if (name == "long_flight")
+        out = EscClass::LongFlight;
+    else
+        return invalid(err, "unknown esc_class '" + name + "'");
+    return true;
+}
+
+const char *
+escClassName(EscClass esc)
+{
+    return esc == EscClass::ShortFlight ? "short_flight"
+                                        : "long_flight";
+}
+
+bool
+parseActivity(const std::string &name, FlightActivity &out,
+              ErrorReply &err)
+{
+    if (name == "hovering")
+        out = FlightActivity::Hovering;
+    else if (name == "maneuvering")
+        out = FlightActivity::Maneuvering;
+    else
+        return invalid(err, "unknown activity '" + name + "'");
+    return true;
+}
+
+const char *
+activityName(FlightActivity activity)
+{
+    return activity == FlightActivity::Hovering ? "hovering"
+                                                : "maneuvering";
+}
+
+bool
+parseBoardClass(const std::string &name, BoardClass &out,
+                ErrorReply &err)
+{
+    if (name == "basic")
+        out = BoardClass::Basic;
+    else if (name == "improved")
+        out = BoardClass::Improved;
+    else
+        return invalid(err, "unknown board class '" + name + "'");
+    return true;
+}
+
+const char *
+boardClassName(BoardClass cls)
+{
+    return cls == BoardClass::Basic ? "basic" : "improved";
+}
+
+bool
+parseBoard(const JsonValue &value, ComputeBoardRecord &out,
+           ErrorReply &err)
+{
+    if (!value.isObject())
+        return invalid(err, "board must be an object");
+    std::string cls_name;
+    if (!readString(value, "name", out.name, err) ||
+        !readString(value, "class", cls_name, err) ||
+        !readDouble(value, "weight_g", out.weightG, err) ||
+        !readDouble(value, "power_w", out.powerW, err))
+        return false;
+    if (!cls_name.empty() &&
+        !parseBoardClass(cls_name, out.boardClass, err))
+        return false;
+    return true;
+}
+
+std::string
+serializeBoard(const ComputeBoardRecord &board)
+{
+    std::string out = "{";
+    out += "\"name\": " + jsonQuote(board.name);
+    out += ", \"class\": " +
+           jsonQuote(boardClassName(board.boardClass));
+    out += ", \"weight_g\": " + jsonNumber(board.weightG);
+    out += ", \"power_w\": " + jsonNumber(board.powerW);
+    out += "}";
+    return out;
+}
+
+bool
+parsePoint(const JsonValue &value, DesignInputs &out, ErrorReply &err)
+{
+    if (!value.isObject())
+        return invalid(err, "point must be an object");
+    double wheelbase = out.wheelbaseMm.value();
+    double capacity = out.capacityMah.value();
+    double prop = out.propDiameterIn.value();
+    double sensor_weight = out.sensorWeightG.value();
+    double sensor_power = out.sensorPowerW.value();
+    double payload = out.payloadG.value();
+    std::string esc_name;
+    std::string activity_name_in;
+    if (!readDouble(value, "wheelbase_mm", wheelbase, err) ||
+        !readInt(value, "cells", out.cells, err) ||
+        !readDouble(value, "capacity_mah", capacity, err) ||
+        !readDouble(value, "twr", out.twr, err) ||
+        !readDouble(value, "prop_diameter_in", prop, err) ||
+        !readString(value, "esc_class", esc_name, err) ||
+        !readDouble(value, "sensor_weight_g", sensor_weight, err) ||
+        !readDouble(value, "sensor_power_w", sensor_power, err) ||
+        !readDouble(value, "payload_g", payload, err) ||
+        !readString(value, "activity", activity_name_in, err))
+        return false;
+    if (!esc_name.empty() &&
+        !parseEscClass(esc_name, out.escClass, err))
+        return false;
+    if (!activity_name_in.empty() &&
+        !parseActivity(activity_name_in, out.activity, err))
+        return false;
+    if (const JsonValue *board = value.find("board")) {
+        if (!parseBoard(*board, out.compute, err))
+            return false;
+    }
+    out.wheelbaseMm = Quantity<Millimeters>(wheelbase);
+    out.capacityMah = Quantity<MilliampHours>(capacity);
+    out.propDiameterIn = Quantity<Inches>(prop);
+    out.sensorWeightG = Quantity<Grams>(sensor_weight);
+    out.sensorPowerW = Quantity<Watts>(sensor_power);
+    out.payloadG = Quantity<Grams>(payload);
+    return true;
+}
+
+std::string
+serializePoint(const DesignInputs &point)
+{
+    std::string out = "{";
+    out += "\"wheelbase_mm\": " +
+           jsonNumber(point.wheelbaseMm.value());
+    out += ", \"cells\": " + std::to_string(point.cells);
+    out += ", \"capacity_mah\": " +
+           jsonNumber(point.capacityMah.value());
+    out += ", \"twr\": " + jsonNumber(point.twr);
+    out += ", \"prop_diameter_in\": " +
+           jsonNumber(point.propDiameterIn.value());
+    out += ", \"esc_class\": " +
+           jsonQuote(escClassName(point.escClass));
+    out += ", \"board\": " + serializeBoard(point.compute);
+    out += ", \"sensor_weight_g\": " +
+           jsonNumber(point.sensorWeightG.value());
+    out += ", \"sensor_power_w\": " +
+           jsonNumber(point.sensorPowerW.value());
+    out += ", \"payload_g\": " + jsonNumber(point.payloadG.value());
+    out += ", \"activity\": " +
+           jsonQuote(activityName(point.activity));
+    out += "}";
+    return out;
+}
+
+bool
+parseSpec(const JsonValue &value, SweepSpec &out, ErrorReply &err)
+{
+    if (!value.isObject())
+        return invalid(err, "spec must be an object");
+    if (const JsonValue *airframes = value.find("airframes")) {
+        if (!airframes->isArray())
+            return invalid(err, "airframes must be an array");
+        out.airframes.clear();
+        for (const JsonValue &entry : airframes->items()) {
+            if (!entry.isObject())
+                return invalid(err,
+                               "airframes entries must be objects");
+            double wheelbase = 450.0;
+            double prop = 0.0;
+            if (!readDouble(entry, "wheelbase_mm", wheelbase, err) ||
+                !readDouble(entry, "prop_diameter_in", prop, err))
+                return false;
+            out.airframes.push_back(
+                SweepAirframe{Quantity<Millimeters>(wheelbase),
+                              Quantity<Inches>(prop)});
+        }
+    }
+    if (const JsonValue *boards = value.find("boards")) {
+        if (!boards->isArray())
+            return invalid(err, "boards must be an array");
+        out.boards.clear();
+        for (const JsonValue &entry : boards->items()) {
+            ComputeBoardRecord board;
+            if (!parseBoard(entry, board, err))
+                return false;
+            out.boards.push_back(std::move(board));
+        }
+    }
+    if (const JsonValue *activities = value.find("activities")) {
+        if (!activities->isArray())
+            return invalid(err, "activities must be an array");
+        out.activities.clear();
+        for (const JsonValue &entry : activities->items()) {
+            if (!entry.isString())
+                return invalid(err,
+                               "activities entries must be strings");
+            FlightActivity activity = FlightActivity::Hovering;
+            if (!parseActivity(entry.asString(), activity, err))
+                return false;
+            out.activities.push_back(activity);
+        }
+    }
+    if (const JsonValue *cells = value.find("cells")) {
+        if (!cells->isArray())
+            return invalid(err, "cells must be an array");
+        out.cells.clear();
+        for (const JsonValue &entry : cells->items()) {
+            if (!entry.isNumber() ||
+                std::floor(entry.asNumber()) != entry.asNumber())
+                return invalid(err,
+                               "cells entries must be integers");
+            out.cells.push_back(static_cast<int>(entry.asNumber()));
+        }
+    }
+    double lo = out.capacityLoMah.value();
+    double hi = out.capacityHiMah.value();
+    double step = out.capacityStepMah.value();
+    double sensor_weight = out.sensorWeightG.value();
+    double sensor_power = out.sensorPowerW.value();
+    double payload = out.payloadG.value();
+    std::string esc_name;
+    if (!readDouble(value, "capacity_lo_mah", lo, err) ||
+        !readDouble(value, "capacity_hi_mah", hi, err) ||
+        !readDouble(value, "capacity_step_mah", step, err) ||
+        !readDouble(value, "twr", out.twr, err) ||
+        !readString(value, "esc_class", esc_name, err) ||
+        !readDouble(value, "sensor_weight_g", sensor_weight, err) ||
+        !readDouble(value, "sensor_power_w", sensor_power, err) ||
+        !readDouble(value, "payload_g", payload, err))
+        return false;
+    if (!esc_name.empty() &&
+        !parseEscClass(esc_name, out.escClass, err))
+        return false;
+    out.capacityLoMah = Quantity<MilliampHours>(lo);
+    out.capacityHiMah = Quantity<MilliampHours>(hi);
+    out.capacityStepMah = Quantity<MilliampHours>(step);
+    out.sensorWeightG = Quantity<Grams>(sensor_weight);
+    out.sensorPowerW = Quantity<Watts>(sensor_power);
+    out.payloadG = Quantity<Grams>(payload);
+    return true;
+}
+
+std::string
+serializeSpec(const SweepSpec &spec)
+{
+    std::string out = "{\"airframes\": [";
+    for (std::size_t i = 0; i < spec.airframes.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += "{\"wheelbase_mm\": " +
+               jsonNumber(spec.airframes[i].wheelbaseMm.value());
+        out += ", \"prop_diameter_in\": " +
+               jsonNumber(spec.airframes[i].propDiameterIn.value());
+        out += "}";
+    }
+    out += "], \"boards\": [";
+    for (std::size_t i = 0; i < spec.boards.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += serializeBoard(spec.boards[i]);
+    }
+    out += "], \"activities\": [";
+    for (std::size_t i = 0; i < spec.activities.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += jsonQuote(activityName(spec.activities[i]));
+    }
+    out += "], \"cells\": [";
+    for (std::size_t i = 0; i < spec.cells.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += std::to_string(spec.cells[i]);
+    }
+    out += "], \"capacity_lo_mah\": " +
+           jsonNumber(spec.capacityLoMah.value());
+    out += ", \"capacity_hi_mah\": " +
+           jsonNumber(spec.capacityHiMah.value());
+    out += ", \"capacity_step_mah\": " +
+           jsonNumber(spec.capacityStepMah.value());
+    out += ", \"twr\": " + jsonNumber(spec.twr);
+    out += ", \"esc_class\": " +
+           jsonQuote(escClassName(spec.escClass));
+    out += ", \"sensor_weight_g\": " +
+           jsonNumber(spec.sensorWeightG.value());
+    out += ", \"sensor_power_w\": " +
+           jsonNumber(spec.sensorPowerW.value());
+    out += ", \"payload_g\": " + jsonNumber(spec.payloadG.value());
+    out += "}";
+    return out;
+}
+
+std::string
+serializeResult(const DesignResult &result)
+{
+    if (!result.feasible) {
+        return "{\"feasible\": false, \"reason\": " +
+               jsonQuote(result.infeasibleReason) + "}";
+    }
+    std::string out = "{\"feasible\": true";
+    out += ", \"total_weight_g\": " +
+           jsonNumber(result.totalWeightG.value());
+    out += ", \"basic_weight_g\": " +
+           jsonNumber(result.basicWeightG.value());
+    out += ", \"battery_weight_g\": " +
+           jsonNumber(result.batteryWeightG.value());
+    out += ", \"motor_kv\": " + jsonNumber(result.motor.kv);
+    out += ", \"max_power_w\": " +
+           jsonNumber(result.maxPowerW.value());
+    out += ", \"avg_power_w\": " +
+           jsonNumber(result.avgPowerW.value());
+    out += ", \"usable_energy_wh\": " +
+           jsonNumber(result.usableEnergyWh.value());
+    out += ", \"flight_time_min\": " +
+           jsonNumber(result.flightTimeMin.value());
+    out += ", \"compute_power_fraction\": " +
+           jsonNumber(result.computePowerFraction);
+    out += "}";
+    return out;
+}
+
+std::string
+replyHead(std::uint64_t id, bool ok, const char *kind)
+{
+    std::string out = "{\"id\": " + std::to_string(id);
+    out += ok ? ", \"ok\": true" : ", \"ok\": false";
+    if (kind) {
+        out += ", \"kind\": ";
+        out += jsonQuote(kind);
+    }
+    return out;
+}
+
+} // namespace
+
+const char *
+queryKindName(QueryKind kind)
+{
+    switch (kind) {
+    case QueryKind::Design: return "design";
+    case QueryKind::Sweep: return "sweep";
+    case QueryKind::Pareto: return "pareto";
+    }
+    panic("queryKindName: corrupt kind");
+    return "";
+}
+
+const char *
+queryClassName(QueryClass cls)
+{
+    return cls == QueryClass::Interactive ? "interactive" : "batch";
+}
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+    case ErrorCode::ParseError: return "parse_error";
+    case ErrorCode::InvalidRequest: return "invalid_request";
+    case ErrorCode::TooLarge: return "too_large";
+    case ErrorCode::RateLimited: return "rate_limited";
+    case ErrorCode::Overloaded: return "overloaded";
+    case ErrorCode::Internal: return "internal";
+    }
+    panic("errorCodeName: corrupt code");
+    return "";
+}
+
+bool
+parseRequest(const std::string &frame, Request &out, ErrorReply &err)
+{
+    out = Request{};
+    std::string parse_error;
+    const std::optional<JsonValue> doc =
+        parseJson(frame, &parse_error);
+    if (!doc) {
+        err.code = ErrorCode::ParseError;
+        err.message = parse_error;
+        return false;
+    }
+    if (!doc->isObject()) {
+        err.code = ErrorCode::ParseError;
+        err.message = "request frame must be a JSON object";
+        return false;
+    }
+
+    // Pull the id first so every later error can echo it.
+    const JsonValue *id = doc->find("id");
+    if (!id || !id->isNumber())
+        return invalid(err, "id must be a number");
+    const double id_value = id->asNumber();
+    if (std::floor(id_value) != id_value || id_value < 0.0 ||
+        id_value > kMaxId)
+        return invalid(err,
+                       "id must be a non-negative integer < 2^53");
+    out.id = static_cast<std::uint64_t>(id_value);
+
+    const JsonValue *kind = doc->find("kind");
+    if (!kind || !kind->isString())
+        return invalid(err, "kind must be a string");
+    const std::string &kind_name = kind->asString();
+    if (kind_name == "design")
+        out.kind = QueryKind::Design;
+    else if (kind_name == "sweep")
+        out.kind = QueryKind::Sweep;
+    else if (kind_name == "pareto")
+        out.kind = QueryKind::Pareto;
+    else
+        return invalid(err, "unknown query kind '" + kind_name + "'");
+
+    std::string cls_name;
+    if (!readString(*doc, "class", cls_name, err))
+        return false;
+    if (cls_name.empty() || cls_name == "interactive")
+        out.cls = QueryClass::Interactive;
+    else if (cls_name == "batch")
+        out.cls = QueryClass::Batch;
+    else
+        return invalid(err, "unknown class '" + cls_name + "'");
+
+    if (out.kind == QueryKind::Design) {
+        const JsonValue *point = doc->find("point");
+        if (!point)
+            return invalid(err, "design query requires a point");
+        return parsePoint(*point, out.point, err);
+    }
+    const JsonValue *spec = doc->find("spec");
+    if (!spec)
+        return invalid(err, "sweep/pareto query requires a spec");
+    return parseSpec(*spec, out.spec, err);
+}
+
+std::string
+serializeRequest(const Request &request)
+{
+    std::string out = "{\"id\": " + std::to_string(request.id);
+    out += ", \"kind\": " + jsonQuote(queryKindName(request.kind));
+    out +=
+        ", \"class\": " + jsonQuote(queryClassName(request.cls));
+    if (request.kind == QueryKind::Design)
+        out += ", \"point\": " + serializePoint(request.point);
+    else
+        out += ", \"spec\": " + serializeSpec(request.spec);
+    out += "}";
+    return out;
+}
+
+std::string
+serializeErrorReply(std::uint64_t id, const ErrorReply &err)
+{
+    std::string out = replyHead(id, false, nullptr);
+    out += ", \"error\": {\"code\": " +
+           jsonQuote(errorCodeName(err.code));
+    out += ", \"message\": " + jsonQuote(err.message) + "}}";
+    return out;
+}
+
+std::string
+serializeDesignReply(std::uint64_t id, const DesignResult &result)
+{
+    std::string out = replyHead(id, true, "design");
+    out += ", \"result\": " + serializeResult(result) + "}";
+    return out;
+}
+
+std::string
+serializeSweepReply(std::uint64_t id,
+                    const std::vector<DesignResult> &points,
+                    std::size_t feasible_count,
+                    const std::vector<std::size_t> &frontier)
+{
+    std::string out = replyHead(id, true, "sweep");
+    out += ", \"grid_points\": " + std::to_string(points.size());
+    out += ", \"feasible_count\": " + std::to_string(feasible_count);
+    out += ", \"frontier\": [";
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += std::to_string(frontier[i]);
+    }
+    out += "], \"results\": [";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += serializeResult(points[i]);
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+serializeParetoReply(std::uint64_t id,
+                     const std::vector<DesignResult> &points,
+                     const std::vector<std::size_t> &frontier)
+{
+    std::string out = replyHead(id, true, "pareto");
+    out += ", \"grid_points\": " + std::to_string(points.size());
+    out += ", \"frontier\": [";
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += std::to_string(frontier[i]);
+    }
+    out += "], \"results\": [";
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += serializeResult(points[frontier[i]]);
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace dronedse::serve

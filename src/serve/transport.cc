@@ -1,0 +1,70 @@
+#include "serve/transport.hh"
+
+namespace dronedse::serve {
+
+LocalTransport::LocalTransport(Service &service, double service_time)
+    : service_(service), serviceTime_(service_time)
+{
+}
+
+void
+LocalTransport::advance(double dt)
+{
+    if (dt > 0.0)
+        now_ += dt;
+}
+
+void
+LocalTransport::submit(const std::string &frame, std::uint64_t conn)
+{
+    const IngestOutcome outcome = service_.ingest(frame, conn, now_);
+    if (!outcome.queued)
+        exchanges_.push_back(
+            LocalExchange{conn, outcome.reply, now_, true});
+}
+
+std::size_t
+LocalTransport::drain(std::size_t max_items)
+{
+    std::size_t processed = 0;
+    while (processed < max_items) {
+        // The service time is charged before the dequeue, so the
+        // popped item's recorded wait includes the execution of
+        // the query ahead of it — the closed-loop discipline a
+        // single-worker server exhibits.
+        auto completed = service_.processOne(now_);
+        if (!completed)
+            break;
+        now_ += serviceTime_;
+        exchanges_.push_back(LocalExchange{completed->first,
+                                           completed->second, now_,
+                                           false});
+        ++processed;
+    }
+    return processed;
+}
+
+std::vector<std::string>
+LocalTransport::replies() const
+{
+    std::vector<std::string> out;
+    out.reserve(exchanges_.size());
+    for (const LocalExchange &exchange : exchanges_)
+        out.push_back(exchange.reply);
+    return out;
+}
+
+std::string
+LocalTransport::roundTrip(const std::string &frame,
+                          std::uint64_t conn)
+{
+    const std::size_t before = exchanges_.size();
+    submit(frame, conn);
+    // A rejection completed inside submit; otherwise the frame is
+    // queued and one drain step produces its reply.
+    if (exchanges_.size() == before)
+        drain(1);
+    return exchanges_.back().reply;
+}
+
+} // namespace dronedse::serve

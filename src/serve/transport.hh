@@ -1,0 +1,93 @@
+/**
+ * @file
+ * LocalTransport: a virtual-time, in-process stand-in for the TCP
+ * server.
+ *
+ * Drives the exact `Service::ingest` / `Service::processOne`
+ * pipeline the socket server runs, but against a manual clock and a
+ * simulated per-query service time, so protocol, planner, and
+ * admission behaviour — including overload shedding, which depends
+ * on queue-wait distributions — are reproducible to the byte in
+ * tests.  The overload acceptance test (ISSUE 5) models a closed
+ * service loop at 2x capacity with this class: arrivals outpace the
+ * drain, the bounded queue fills, waits cross the p95 shed
+ * threshold, and the controller must shed instead of letting p99
+ * wait grow without bound.
+ */
+
+#ifndef DRONEDSE_SERVE_TRANSPORT_HH
+#define DRONEDSE_SERVE_TRANSPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/service.hh"
+
+namespace dronedse::serve {
+
+/** One completed exchange, in completion order. */
+struct LocalExchange
+{
+    std::uint64_t conn = 0;
+    std::string reply;
+    /** Virtual time the reply was produced. */
+    double t = 0.0;
+    /** True when the reply came straight from ingest (rejected). */
+    bool rejected = false;
+};
+
+class LocalTransport
+{
+  public:
+    /**
+     * `service_time` is the simulated execution cost (virtual
+     * seconds) charged to the clock per dequeued query — the knob
+     * that sets the server's modelled capacity.
+     */
+    explicit LocalTransport(Service &service,
+                            double service_time = 0.0);
+
+    /** Advance the virtual clock. */
+    void advance(double dt);
+    double now() const { return now_; }
+
+    /**
+     * Submit one frame at the current virtual time from connection
+     * `conn`.  Rejections complete immediately; admitted frames
+     * wait in the service queue for `drain`.
+     */
+    void submit(const std::string &frame, std::uint64_t conn = 0);
+
+    /**
+     * Dequeue and execute up to `max_items` queued queries,
+     * advancing the clock by the service time for each.  Returns
+     * the number executed.
+     */
+    std::size_t drain(std::size_t max_items = SIZE_MAX);
+
+    /** Submit + drain one frame; returns its reply. */
+    std::string roundTrip(const std::string &frame,
+                          std::uint64_t conn = 0);
+
+    /** Every completed exchange so far, in completion order. */
+    const std::vector<LocalExchange> &exchanges() const
+    {
+        return exchanges_;
+    }
+
+    /** Replies only (convenience for byte comparisons). */
+    std::vector<std::string> replies() const;
+
+    Service &service() { return service_; }
+
+  private:
+    Service &service_;
+    double serviceTime_;
+    double now_ = 0.0;
+    std::vector<LocalExchange> exchanges_;
+};
+
+} // namespace dronedse::serve
+
+#endif // DRONEDSE_SERVE_TRANSPORT_HH

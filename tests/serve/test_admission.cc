@@ -1,0 +1,242 @@
+#include "serve/admission.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace dronedse::serve;
+
+namespace {
+
+QueuedItem
+item(QueryClass cls)
+{
+    QueuedItem out;
+    out.request.cls = cls;
+    return out;
+}
+
+/** Config with wide-open buckets so only the knob under test acts. */
+AdmissionConfig
+openConfig()
+{
+    AdmissionConfig config;
+    config.interactive = {1e9, 1e9};
+    config.batch = {1e9, 1e9};
+    return config;
+}
+
+} // namespace
+
+TEST(ServeAdmission, TokenBucketEnforcesBurstThenRate)
+{
+    AdmissionConfig config = openConfig();
+    config.interactive = {10.0, 5.0}; // 10/s sustained, burst of 5
+    AdmissionController admission{config};
+
+    // The burst admits 5 back-to-back at t=0, then the bucket is dry.
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(admission.submit(item(QueryClass::Interactive), 0.0),
+                  AdmitDecision::Admit)
+            << i;
+    EXPECT_EQ(admission.submit(item(QueryClass::Interactive), 0.0),
+              AdmitDecision::RateLimited);
+
+    // 0.5 s refills 5 tokens.
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(admission.submit(item(QueryClass::Interactive), 0.5),
+                  AdmitDecision::Admit)
+            << i;
+    EXPECT_EQ(admission.submit(item(QueryClass::Interactive), 0.5),
+              AdmitDecision::RateLimited);
+    EXPECT_EQ(admission.stats().rateLimited, 2u);
+}
+
+TEST(ServeAdmission, ClassBucketsAreIndependent)
+{
+    AdmissionConfig config = openConfig();
+    config.interactive = {10.0, 1.0};
+    AdmissionController admission{config};
+
+    EXPECT_EQ(admission.submit(item(QueryClass::Interactive), 0.0),
+              AdmitDecision::Admit);
+    EXPECT_EQ(admission.submit(item(QueryClass::Interactive), 0.0),
+              AdmitDecision::RateLimited);
+    // Batch has its own (open) bucket.
+    EXPECT_EQ(admission.submit(item(QueryClass::Batch), 0.0),
+              AdmitDecision::Admit);
+}
+
+TEST(ServeAdmission, BoundedQueueRejectsWhenFull)
+{
+    AdmissionConfig config = openConfig();
+    config.queueCapacity = 3;
+    AdmissionController admission{config};
+
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(admission.submit(item(QueryClass::Interactive), 0.0),
+                  AdmitDecision::Admit);
+    EXPECT_EQ(admission.submit(item(QueryClass::Interactive), 0.0),
+              AdmitDecision::QueueFull);
+    EXPECT_EQ(admission.depth(), 3u);
+
+    QueuedItem out;
+    ASSERT_TRUE(admission.pop(0.0, out));
+    EXPECT_EQ(admission.submit(item(QueryClass::Interactive), 0.0),
+              AdmitDecision::Admit);
+}
+
+TEST(ServeAdmission, PopIsFifoAndRecordsWaits)
+{
+    AdmissionController admission{openConfig()};
+    QueuedItem first = item(QueryClass::Interactive);
+    first.request.id = 1;
+    QueuedItem second = item(QueryClass::Interactive);
+    second.request.id = 2;
+    EXPECT_EQ(admission.submit(first, 0.0), AdmitDecision::Admit);
+    EXPECT_EQ(admission.submit(second, 0.0), AdmitDecision::Admit);
+
+    QueuedItem out;
+    ASSERT_TRUE(admission.pop(0.25, out));
+    EXPECT_EQ(out.request.id, 1u);
+    ASSERT_TRUE(admission.pop(0.25, out));
+    EXPECT_EQ(out.request.id, 2u);
+    EXPECT_FALSE(admission.pop(0.25, out));
+}
+
+namespace {
+
+/** Push `n` items through with a fixed queue wait per item. */
+void
+pumpWindow(AdmissionController &admission, double &t, double wait,
+           int n = AdmissionController::kP95WindowSamples)
+{
+    for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(admission.submit(item(QueryClass::Interactive), t),
+                  AdmitDecision::Admit);
+        t += wait;
+        QueuedItem out;
+        ASSERT_TRUE(admission.pop(t, out));
+    }
+}
+
+} // namespace
+
+TEST(ServeAdmission, SlowWindowsEscalateToShedThenReject)
+{
+    AdmissionConfig config = openConfig();
+    config.waitP95ShedS = 0.05;
+    config.waitP95RejectS = 10.0; // out of reach: test the +1 path
+    config.shedLevel = 3.0;
+    config.rejectLevel = 9.0;
+    config.overloadHalfLifeS = 0.0; // no decay: count windows
+    AdmissionController admission{config};
+
+    double t = 0.0;
+    // Two slow windows: level 2, still Nominal.
+    pumpWindow(admission, t, 0.1);
+    pumpWindow(admission, t, 0.1);
+    EXPECT_EQ(admission.state(), ShedState::Nominal);
+    EXPECT_GE(admission.lastWindowP95S(), 0.05);
+
+    // Third slow window crosses shedLevel.
+    pumpWindow(admission, t, 0.1);
+    EXPECT_EQ(admission.state(), ShedState::ShedLowPriority);
+
+    // Batch is now shed, interactive still admitted.
+    EXPECT_EQ(admission.submit(item(QueryClass::Batch), t),
+              AdmitDecision::ShedClass);
+    EXPECT_EQ(admission.submit(item(QueryClass::Interactive), t),
+              AdmitDecision::Admit);
+    QueuedItem out;
+    ASSERT_TRUE(admission.pop(t, out));
+
+    // Realign to the 32-dequeue window boundary (the pop above is
+    // one extra sample), then five more slow windows cross
+    // rejectLevel: everything is shed.
+    pumpWindow(admission, t, 0.1, 31);
+    for (int i = 0; i < 5; ++i)
+        pumpWindow(admission, t, 0.1);
+    EXPECT_EQ(admission.state(), ShedState::RejectAll);
+    EXPECT_EQ(admission.submit(item(QueryClass::Interactive), t),
+              AdmitDecision::ShedAll);
+    EXPECT_EQ(admission.submit(item(QueryClass::Batch), t),
+              AdmitDecision::ShedAll);
+}
+
+TEST(ServeAdmission, RejectThresholdEscalatesThreeTimesAsFast)
+{
+    AdmissionConfig config = openConfig();
+    config.waitP95ShedS = 0.05;
+    config.waitP95RejectS = 0.5;
+    config.overloadHalfLifeS = 0.0;
+    AdmissionController admission{config};
+
+    // One window past the reject threshold feeds the accumulator
+    // +3 — straight to ShedLowPriority (shedLevel = 3).
+    double t = 0.0;
+    pumpWindow(admission, t, 1.0);
+    EXPECT_EQ(admission.state(), ShedState::ShedLowPriority);
+}
+
+TEST(ServeAdmission, RecoversAfterHoldWithHysteresis)
+{
+    AdmissionConfig config = openConfig();
+    config.waitP95ShedS = 0.01;
+    config.waitP95RejectS = 0.05; // 0.1 s waits feed +3 per window
+    config.shedLevel = 3.0;
+    config.rejectLevel = 9.0;
+    config.overloadHalfLifeS = 0.5;
+    config.recoveryHoldS = 1.0;
+    AdmissionController admission{config};
+
+    double t = 0.0;
+    for (int i = 0;
+         i < 10 && admission.state() != ShedState::ShedLowPriority;
+         ++i)
+        pumpWindow(admission, t, 0.1);
+    ASSERT_EQ(admission.state(), ShedState::ShedLowPriority);
+
+    // 0.6 s later the level has decayed below shedLevel, but the
+    // recovery hold has not elapsed: still shedding (hysteresis).
+    t += 0.6;
+    EXPECT_EQ(admission.submit(item(QueryClass::Batch), t),
+              AdmitDecision::ShedClass);
+    EXPECT_EQ(admission.state(), ShedState::ShedLowPriority);
+
+    // After the hold elapses with the level decayed, Nominal again.
+    t += 5.0;
+    EXPECT_EQ(admission.submit(item(QueryClass::Batch), t),
+              AdmitDecision::Admit);
+    EXPECT_EQ(admission.state(), ShedState::Nominal);
+
+    // The transition log recorded the round trip.
+    const std::vector<ShedTransition> transitions =
+        admission.transitions();
+    ASSERT_EQ(transitions.size(), 2u);
+    EXPECT_EQ(transitions[0].to, ShedState::ShedLowPriority);
+    EXPECT_EQ(transitions[1].to, ShedState::Nominal);
+    EXPECT_EQ(transitions[1].reason, "recovered");
+    QueuedItem out;
+    ASSERT_TRUE(admission.pop(t, out));
+}
+
+TEST(ServeAdmission, RejectionMapsToTypedErrors)
+{
+    EXPECT_EQ(admitError(AdmitDecision::RateLimited).code,
+              ErrorCode::RateLimited);
+    EXPECT_EQ(admitError(AdmitDecision::QueueFull).code,
+              ErrorCode::Overloaded);
+    EXPECT_EQ(admitError(AdmitDecision::ShedClass).code,
+              ErrorCode::Overloaded);
+    EXPECT_EQ(admitError(AdmitDecision::ShedAll).code,
+              ErrorCode::Overloaded);
+}
+
+TEST(ServeAdmission, StateNamesAreStable)
+{
+    EXPECT_STREQ(shedStateName(ShedState::Nominal), "nominal");
+    EXPECT_STREQ(shedStateName(ShedState::ShedLowPriority),
+                 "shed_low_priority");
+    EXPECT_STREQ(shedStateName(ShedState::RejectAll), "reject_all");
+}

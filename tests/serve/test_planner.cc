@@ -1,0 +1,208 @@
+#include "serve/planner.hh"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hh"
+
+using namespace dronedse;
+using namespace dronedse::serve;
+
+namespace {
+
+Request
+validSweep(std::uint64_t id)
+{
+    Request request;
+    request.id = id;
+    request.kind = QueryKind::Sweep;
+    request.spec.boards = {ComputeBoardRecord{
+        "Basic 3W chip", BoardClass::Basic, 20.0, 3.0}};
+    request.spec.cells = {3, 4};
+    request.spec.capacityLoMah = Quantity<MilliampHours>(2000.0);
+    request.spec.capacityHiMah = Quantity<MilliampHours>(4000.0);
+    request.spec.capacityStepMah = Quantity<MilliampHours>(500.0);
+    return request;
+}
+
+Request
+validDesign(std::uint64_t id)
+{
+    Request request;
+    request.id = id;
+    request.kind = QueryKind::Design;
+    return request;
+}
+
+} // namespace
+
+TEST(ServePlanner, AcceptsValidQueries)
+{
+    engine::SweepEngine engine{engine::EngineOptions{.threads = 1}};
+    QueryPlanner planner{engine};
+    ErrorReply err;
+    EXPECT_TRUE(planner.validate(validDesign(1), err)) << err.message;
+    EXPECT_TRUE(planner.validate(validSweep(2), err)) << err.message;
+}
+
+TEST(ServePlanner, RejectsSemanticViolations)
+{
+    engine::SweepEngine engine{engine::EngineOptions{.threads = 1}};
+    QueryPlanner planner{engine};
+
+    const auto rejected = [&](const Request &request) {
+        ErrorReply err;
+        EXPECT_FALSE(planner.validate(request, err));
+        EXPECT_EQ(err.code, ErrorCode::InvalidRequest);
+        return err.message;
+    };
+
+    Request r = validDesign(1);
+    r.point.cells = 9;
+    rejected(r);
+
+    r = validDesign(2);
+    r.point.wheelbaseMm = Quantity<Millimeters>(-10.0);
+    rejected(r);
+
+    r = validDesign(3);
+    r.point.twr = 50.0;
+    rejected(r);
+
+    r = validSweep(4);
+    r.spec.boards.clear();
+    rejected(r);
+
+    r = validSweep(5);
+    r.spec.capacityHiMah = Quantity<MilliampHours>(100.0);
+    rejected(r); // hi < lo
+
+    r = validSweep(6);
+    r.spec.capacityStepMah = Quantity<MilliampHours>(0.1);
+    rejected(r); // below minimum step
+
+    // A hostile capacity axis must be rejected analytically, fast,
+    // without walking the axis.
+    r = validSweep(7);
+    r.spec.capacityHiMah = Quantity<MilliampHours>(1e300);
+    r.spec.capacityStepMah = Quantity<MilliampHours>(1.0);
+    rejected(r);
+
+    // Over the grid cap.
+    r = validSweep(8);
+    r.spec.capacityLoMah = Quantity<MilliampHours>(1.0);
+    r.spec.capacityHiMah = Quantity<MilliampHours>(300001.0);
+    r.spec.capacityStepMah = Quantity<MilliampHours>(1.0);
+    rejected(r);
+
+    EXPECT_EQ(planner.stats().executed, 0u);
+}
+
+TEST(ServePlanner, ExecuteMatchesEngineRun)
+{
+    engine::SweepEngine engine{engine::EngineOptions{.threads = 1}};
+    QueryPlanner planner{engine};
+    const Request request = validSweep(21);
+
+    const engine::SweepResult expected = engine.run(request.spec);
+    const std::string reply = planner.execute(request);
+    EXPECT_EQ(reply,
+              serializeSweepReply(request.id, expected.points,
+                                  expected.feasible.size(),
+                                  expected.frontier));
+}
+
+TEST(ServePlanner, SweepAndParetoShareOneCoalescingKey)
+{
+    engine::SweepEngine engine{engine::EngineOptions{.threads = 1}};
+    QueryPlanner planner{engine};
+
+    // Same spec, different kind: pareto reuses the sweep's batch via
+    // the memo cache (serial here, so the second run is all hits).
+    Request sweep = validSweep(1);
+    Request pareto = validSweep(2);
+    pareto.kind = QueryKind::Pareto;
+
+    planner.execute(sweep);
+    const engine::CacheCounters after_sweep =
+        engine.cacheCounters();
+    planner.execute(pareto);
+    const engine::CacheCounters after_pareto =
+        engine.cacheCounters();
+    EXPECT_EQ(after_pareto.misses, after_sweep.misses)
+        << "pareto over the same spec re-solved points";
+}
+
+TEST(ServePlanner, ConcurrentIdenticalSweepsCoalesce)
+{
+    engine::SweepEngine engine{engine::EngineOptions{.threads = 2}};
+    QueryPlanner planner{engine};
+    const Request request = validSweep(33);
+    constexpr int kCallers = 8;
+
+    std::vector<std::string> replies(kCallers);
+    std::vector<std::thread> threads;
+    threads.reserve(kCallers);
+    for (int i = 0; i < kCallers; ++i)
+        threads.emplace_back([&, i] {
+            replies[static_cast<std::size_t>(i)] =
+                planner.execute(request);
+        });
+    for (std::thread &t : threads)
+        t.join();
+
+    for (int i = 1; i < kCallers; ++i)
+        EXPECT_EQ(replies[static_cast<std::size_t>(i)], replies[0]);
+
+    const PlannerStats stats = planner.stats();
+    EXPECT_EQ(stats.executed, static_cast<std::uint64_t>(kCallers));
+    EXPECT_GE(stats.batchesLed, 1u);
+    EXPECT_EQ(stats.batchesLed + stats.coalesced,
+              static_cast<std::uint64_t>(kCallers));
+    // The race is real, so followers are not guaranteed, but points
+    // were solved exactly once: every batch after the first is pure
+    // cache hits.
+    const engine::CacheCounters cache = engine.cacheCounters();
+    EXPECT_EQ(cache.misses, request.spec.pointCount());
+}
+
+TEST(ServePlanner, ConcurrentRunsAreSerializedByTheEngine)
+{
+    // Distinct specs from many threads: the engine's internal run
+    // mutex must order them without torn results.
+    engine::SweepEngine engine{engine::EngineOptions{.threads = 2}};
+    QueryPlanner planner{engine};
+    constexpr int kCallers = 6;
+
+    std::vector<std::string> replies(kCallers);
+    std::vector<std::string> expected(kCallers);
+    std::vector<Request> requests;
+    for (int i = 0; i < kCallers; ++i) {
+        Request request = validSweep(static_cast<std::uint64_t>(i));
+        request.spec.capacityLoMah =
+            Quantity<MilliampHours>(1500.0 + 100.0 * i);
+        requests.push_back(request);
+    }
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kCallers; ++i)
+        threads.emplace_back([&, i] {
+            replies[static_cast<std::size_t>(i)] = planner.execute(
+                requests[static_cast<std::size_t>(i)]);
+        });
+    for (std::thread &t : threads)
+        t.join();
+
+    for (int i = 0; i < kCallers; ++i) {
+        const Request &request =
+            requests[static_cast<std::size_t>(i)];
+        const engine::SweepResult oracle = engine.run(request.spec);
+        EXPECT_EQ(replies[static_cast<std::size_t>(i)],
+                  serializeSweepReply(request.id, oracle.points,
+                                      oracle.feasible.size(),
+                                      oracle.frontier))
+            << "caller " << i;
+    }
+}

@@ -1,0 +1,193 @@
+#include "util/json.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+using namespace dronedse;
+
+TEST(Json, EscapeAndQuote)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonQuote("plain"), "\"plain\"");
+    EXPECT_EQ(jsonQuote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    EXPECT_EQ(jsonQuote(std::string("tab\there\nnl")),
+              "\"tab\\there\\nnl\"");
+}
+
+TEST(Json, NumberFormatting)
+{
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(1.5), "1.5");
+    EXPECT_EQ(jsonNumber(2.5, 6), "2.5");
+    // Non-finite values have no JSON spelling.
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::quiet_NaN()),
+              "null");
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()),
+              "null");
+}
+
+TEST(Json, ParseScalars)
+{
+    EXPECT_TRUE(parseJson("null")->isNull());
+    EXPECT_EQ(parseJson("true")->asBool(), true);
+    EXPECT_EQ(parseJson("false")->asBool(), false);
+    EXPECT_DOUBLE_EQ(parseJson("-12.75e1")->asNumber(), -127.5);
+    EXPECT_EQ(parseJson("\"hi\"")->asString(), "hi");
+}
+
+TEST(Json, ParseContainers)
+{
+    const auto doc =
+        parseJson("{\"a\": [1, 2, 3], \"b\": {\"c\": \"d\"}}");
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->isObject());
+    const JsonValue *a = doc->find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->isArray());
+    ASSERT_EQ(a->items().size(), 3u);
+    EXPECT_DOUBLE_EQ(a->items()[1].asNumber(), 2.0);
+    const JsonValue *b = doc->find("b");
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->find("c")->asString(), "d");
+    EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(Json, ObjectsPreserveMemberOrder)
+{
+    const auto doc = parseJson("{\"z\": 1, \"a\": 2, \"m\": 3}");
+    ASSERT_TRUE(doc.has_value());
+    const auto &members = doc->members();
+    ASSERT_EQ(members.size(), 3u);
+    EXPECT_EQ(members[0].first, "z");
+    EXPECT_EQ(members[1].first, "a");
+    EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(Json, UnicodeEscapes)
+{
+    const auto doc = parseJson("\"\\u0041\\u00e9\\ud83d\\ude00\"");
+    ASSERT_TRUE(doc.has_value());
+    // A, e-acute (2 UTF-8 bytes), grinning-face (4 bytes).
+    EXPECT_EQ(doc->asString(),
+              std::string("A\xc3\xa9\xf0\x9f\x98\x80"));
+}
+
+TEST(Json, RejectsMalformedDocuments)
+{
+    const std::vector<std::string> bad = {
+        "",
+        "{",
+        "[1, 2",
+        "{\"a\": }",
+        "{\"a\" 1}",
+        "tru",
+        "01",
+        "1.",
+        "+1",
+        "NaN",
+        "Infinity",
+        "-Infinity",
+        "\"unterminated",
+        "\"bad \\x escape\"",
+        "\"\\ud800\"", // lone high surrogate
+        "{\"a\": 1} trailing",
+        "{\"a\": 1,}",
+        "[1,]",
+        "'single'",
+        "\"raw\tcontrol\"",
+    };
+    for (const std::string &text : bad) {
+        std::string error;
+        EXPECT_FALSE(parseJson(text, &error).has_value())
+            << "accepted: " << text;
+        EXPECT_FALSE(error.empty()) << "no diagnostic for: " << text;
+    }
+}
+
+TEST(Json, RejectsOverDeepNesting)
+{
+    std::string deep;
+    for (int i = 0; i < 200; ++i)
+        deep += '[';
+    for (int i = 0; i < 200; ++i)
+        deep += ']';
+    EXPECT_FALSE(parseJson(deep).has_value());
+}
+
+TEST(Json, DumpParseDumpFixedPoint)
+{
+    const std::vector<std::string> canonical = {
+        "null",
+        "true",
+        "[1, 2.5, \"three\"]",
+        "{\"a\": [], \"b\": {}, \"c\": \"\\\"quoted\\\"\"}",
+    };
+    for (const std::string &text : canonical) {
+        const auto doc = parseJson(text);
+        ASSERT_TRUE(doc.has_value()) << text;
+        EXPECT_EQ(doc->dump(), text);
+    }
+}
+
+namespace {
+
+JsonValue
+randomValue(Rng &rng, int depth)
+{
+    const int kind = depth >= 4 ? rng.uniformInt(0, 3)
+                                : rng.uniformInt(0, 5);
+    switch (kind) {
+    case 0: return JsonValue();
+    case 1: return JsonValue::boolean(rng.uniform() < 0.5);
+    case 2:
+        return JsonValue::number(
+            std::round(rng.uniform(-1e6, 1e6) * 1e3) / 1e3);
+    case 3: {
+        std::string s;
+        const int len = rng.uniformInt(0, 12);
+        for (int i = 0; i < len; ++i)
+            s += static_cast<char>(rng.uniformInt(32, 126));
+        return JsonValue::string(std::move(s));
+    }
+    case 4: {
+        std::vector<JsonValue> items;
+        const int len = rng.uniformInt(0, 4);
+        for (int i = 0; i < len; ++i)
+            items.push_back(randomValue(rng, depth + 1));
+        return JsonValue::array(std::move(items));
+    }
+    default: {
+        std::vector<JsonValue::Member> members;
+        const int len = rng.uniformInt(0, 4);
+        for (int i = 0; i < len; ++i)
+            members.emplace_back("k" + std::to_string(i),
+                                 randomValue(rng, depth + 1));
+        return JsonValue::object(std::move(members));
+    }
+    }
+}
+
+} // namespace
+
+TEST(Json, FuzzRoundTrip)
+{
+    // Seeded, so failures reproduce: dump -> parse -> dump must be a
+    // byte-identical fixed point for arbitrary generated values.
+    Rng rng(20260805);
+    for (int trial = 0; trial < 500; ++trial) {
+        const JsonValue value = randomValue(rng, 0);
+        const std::string once = value.dump();
+        std::string error;
+        const auto reparsed = parseJson(once, &error);
+        ASSERT_TRUE(reparsed.has_value())
+            << "trial " << trial << ": " << error << "\n"
+            << once;
+        EXPECT_EQ(reparsed->dump(), once) << "trial " << trial;
+    }
+}

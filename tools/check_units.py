@@ -50,6 +50,7 @@ REQUIRED_SCANNED = (
     "src/core/",
     "src/obs/",
     "src/fault/",
+    "src/serve/",
 )
 
 # A parameter name "ends in a unit" when it has one of these suffixes
