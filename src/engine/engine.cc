@@ -33,7 +33,7 @@ SweepEngine::run(const SweepSpec &spec)
     // one at a time while the shared cache carries overlap between
     // them.  bestConfiguration() calls run() from outside the lock,
     // so the guard lives here and only here.
-    std::lock_guard<std::mutex> run_lock(runMutex_);
+    util::MutexLock run_lock(runMutex_);
     obs::ScopedSpan sweep_span("engine.sweep", "engine");
     const auto start = std::chrono::steady_clock::now();
     const CacheCounters before = cache_.counters();

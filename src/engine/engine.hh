@@ -19,13 +19,13 @@
 #define DRONEDSE_ENGINE_ENGINE_HH
 
 #include <cstddef>
-#include <mutex>
 #include <vector>
 
 #include "dse/sweep.hh"
 #include "engine/memo_cache.hh"
 #include "engine/stats.hh"
 #include "engine/thread_pool.hh"
+#include "util/thread_annotations.hh"
 
 namespace dronedse::engine {
 
@@ -76,7 +76,7 @@ class SweepEngine
     explicit SweepEngine(EngineOptions options = {});
 
     /** Solve a whole spec; see the determinism contract above. */
-    SweepResult run(const SweepSpec &spec);
+    SweepResult run(const SweepSpec &spec) DDSE_EXCLUDES(runMutex_);
 
     /** Memoized single-point solve through the engine's cache. */
     DesignResult solve(const DesignInputs &inputs);
@@ -90,23 +90,31 @@ class SweepEngine
     DesignResult bestConfiguration(
         const SizeClassSpec &spec, const ComputeBoardRecord &compute,
         Quantity<MilliampHours> step = Quantity<MilliampHours>(250.0),
-        double twr = 2.0);
+        double twr = 2.0) DDSE_EXCLUDES(runMutex_);
 
     int threadCount() const { return pool_.threadCount(); }
 
     /** Lifetime cache counters (across all runs of this engine). */
     CacheCounters cacheCounters() const { return cache_.counters(); }
 
-    /** Stats of the most recent `run`. */
-    const SweepStats &lastRunStats() const { return lastStats_; }
+    /**
+     * Stats of the most recent `run`, as one consistent copy taken
+     * under the run mutex (a concurrent `run` may be rewriting the
+     * stats while a caller reads them).
+     */
+    SweepStats lastRunStats() const DDSE_EXCLUDES(runMutex_)
+    {
+        util::MutexLock lock(runMutex_);
+        return lastStats_;
+    }
 
   private:
     EngineOptions options_;
     ThreadPool pool_;
     MemoCache cache_;
     /** Serializes `run` (and `lastStats_` updates) across callers. */
-    std::mutex runMutex_;
-    SweepStats lastStats_;
+    mutable util::Mutex runMutex_;
+    SweepStats lastStats_ DDSE_GUARDED_BY(runMutex_);
 };
 
 /**

@@ -27,12 +27,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "dse/design_point.hh"
+#include "util/thread_annotations.hh"
 
 namespace dronedse::engine {
 
@@ -112,7 +112,12 @@ class MemoCache
     /** Memoized `solveDesign`: lookup, else solve and insert. */
     DesignResult solve(const DesignInputs &inputs);
 
-    /** One consistent snapshot (all shards locked together). */
+    /**
+     * One consistent snapshot (all shards locked together).  Locks
+     * a variable set of mutexes in a loop — a pattern capability
+     * analysis cannot express, hence the explicit opt-out on the
+     * definition.
+     */
     CacheCounters counters() const;
     std::size_t size() const;
     void clear();
@@ -120,17 +125,18 @@ class MemoCache
   private:
     struct Shard
     {
-        mutable std::mutex mutex;
+        mutable util::Mutex mutex;
         std::unordered_map<DesignKey, DesignResult, DesignKeyHash>
-            entries;
+            entries DDSE_GUARDED_BY(mutex);
         /** Insertion order for FIFO eviction. */
-        std::deque<DesignKey> order;
-        /** Counters of this shard, guarded by `mutex`. */
-        CacheCounters counters;
+        std::deque<DesignKey> order DDSE_GUARDED_BY(mutex);
+        /** Counters of this shard. */
+        CacheCounters counters DDSE_GUARDED_BY(mutex);
     };
 
     Shard &shardFor(const DesignKey &key, std::size_t hash);
 
+    /** Per-shard entry cap; set once in the ctor, then read-only. */
     std::size_t shardCapacity_;
     std::array<Shard, kShards> shards_;
 };

@@ -43,10 +43,10 @@ ThreadPool::ThreadPool(int threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(jobMutex_);
+        util::MutexLock lock(jobMutex_);
         shutdown_ = true;
     }
-    jobReady_.notify_all();
+    jobReady_.notifyAll();
     for (auto &worker : workers_)
         worker.join();
 }
@@ -73,26 +73,29 @@ ThreadPool::parallelFor(std::size_t count, std::size_t chunk_size,
     for (std::size_t begin = 0; begin < count; begin += chunk_size) {
         const std::size_t end = std::min(count, begin + chunk_size);
         auto &queue = *queues_[next_queue];
-        std::lock_guard<std::mutex> lock(queue.mutex);
+        util::MutexLock lock(queue.mutex);
         queue.chunks.push_back({begin, end});
         next_queue = (next_queue + 1) % n_workers;
     }
 
     {
-        std::lock_guard<std::mutex> lock(jobMutex_);
+        util::MutexLock lock(jobMutex_);
         body_ = &body;
         activeWorkers_ = static_cast<int>(n_workers);
         ++generation_;
     }
-    jobReady_.notify_all();
+    jobReady_.notifyAll();
 
-    runWorker(0);
+    runWorker(0, body);
 
-    std::unique_lock<std::mutex> lock(jobMutex_);
-    if (--activeWorkers_ == 0)
-        jobDone_.notify_all();
-    jobDone_.wait(lock, [this] { return activeWorkers_ == 0; });
-    body_ = nullptr;
+    {
+        util::MutexLock lock(jobMutex_);
+        if (--activeWorkers_ == 0)
+            jobDone_.notifyAll();
+        while (activeWorkers_ != 0)
+            jobDone_.wait(jobMutex_);
+        body_ = nullptr;
+    }
 }
 
 void
@@ -100,26 +103,31 @@ ThreadPool::workerLoop(int worker)
 {
     std::uint64_t seen_generation = 0;
     for (;;) {
+        const Body *body = nullptr;
         {
-            std::unique_lock<std::mutex> lock(jobMutex_);
-            jobReady_.wait(lock, [this, seen_generation] {
-                return shutdown_ || generation_ != seen_generation;
-            });
+            util::MutexLock lock(jobMutex_);
+            while (!shutdown_ && generation_ == seen_generation)
+                jobReady_.wait(jobMutex_);
             if (shutdown_)
                 return;
             seen_generation = generation_;
+            // Snapshot the published body while the mutex is held —
+            // the pointer stays valid until parallelFor observes
+            // activeWorkers_ == 0, which cannot happen before this
+            // worker's runWorker returns.
+            body = body_;
         }
-        runWorker(worker);
+        runWorker(worker, *body);
         {
-            std::lock_guard<std::mutex> lock(jobMutex_);
+            util::MutexLock lock(jobMutex_);
             if (--activeWorkers_ == 0)
-                jobDone_.notify_all();
+                jobDone_.notifyAll();
         }
     }
 }
 
 void
-ThreadPool::runWorker(int worker)
+ThreadPool::runWorker(int worker, const Body &body)
 {
     auto &stat = stats_[static_cast<std::size_t>(worker)];
     Chunk chunk;
@@ -128,7 +136,7 @@ ThreadPool::runWorker(int worker)
         {
             obs::ScopedSpan span("engine.chunk", "engine");
             for (std::size_t i = chunk.begin; i < chunk.end; ++i)
-                (*body_)(i, worker);
+                body(i, worker);
         }
         stat.busySeconds += secondsSince(start);
         stat.itemsProcessed += chunk.end - chunk.begin;
@@ -139,7 +147,7 @@ bool
 ThreadPool::popLocal(int worker, Chunk &out)
 {
     auto &queue = *queues_[static_cast<std::size_t>(worker)];
-    std::lock_guard<std::mutex> lock(queue.mutex);
+    util::MutexLock lock(queue.mutex);
     if (queue.chunks.empty())
         return false;
     out = queue.chunks.front();
@@ -155,7 +163,7 @@ ThreadPool::steal(int worker, Chunk &out)
         const std::size_t victim =
             (static_cast<std::size_t>(worker) + offset) % n;
         auto &queue = *queues_[victim];
-        std::lock_guard<std::mutex> lock(queue.mutex);
+        util::MutexLock lock(queue.mutex);
         if (queue.chunks.empty())
             continue;
         out = queue.chunks.back();

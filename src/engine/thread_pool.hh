@@ -19,15 +19,15 @@
 #ifndef DRONEDSE_ENGINE_THREAD_POOL_HH
 #define DRONEDSE_ENGINE_THREAD_POOL_HH
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hh"
 
 namespace dronedse::engine {
 
@@ -71,7 +71,13 @@ class ThreadPool
     void parallelFor(std::size_t count, std::size_t chunk_size,
                      const std::function<void(std::size_t, int)> &body);
 
-    /** Stats of the most recent `parallelFor`, one entry per worker. */
+    /**
+     * Stats of the most recent `parallelFor`, one entry per worker.
+     * Only meaningful between jobs: each slot is written exclusively
+     * by its owning worker during a run (indexed-slot discipline,
+     * not a mutex), and `parallelFor` does not return until every
+     * worker has quiesced.
+     */
     const std::vector<WorkerStats> &lastRunStats() const
     {
         return stats_;
@@ -87,29 +93,33 @@ class ThreadPool
     /** One worker's chunk deque; owner pops front, thieves pop back. */
     struct WorkQueue
     {
-        std::mutex mutex;
-        std::deque<Chunk> chunks;
+        util::Mutex mutex;
+        std::deque<Chunk> chunks DDSE_GUARDED_BY(mutex);
     };
 
-    void workerLoop(int worker);
-    void runWorker(int worker);
+    using Body = std::function<void(std::size_t, int)>;
+
+    void workerLoop(int worker) DDSE_EXCLUDES(jobMutex_);
+    /** Drain chunks with an explicit body: no racy `body_` reads. */
+    void runWorker(int worker, const Body &body);
     bool popLocal(int worker, Chunk &out);
     bool steal(int worker, Chunk &out);
 
     std::vector<std::thread> workers_;
     std::vector<std::unique_ptr<WorkQueue>> queues_;
+    /** Per-worker slots, owned by their worker during a run. */
     std::vector<WorkerStats> stats_;
 
     // Job hand-off: generation bumps when a new job is published;
-    // workers wake, drain the queues, and the last one to finish
-    // signals completion.
-    std::mutex jobMutex_;
-    std::condition_variable jobReady_;
-    std::condition_variable jobDone_;
-    std::uint64_t generation_ = 0;
-    int activeWorkers_ = 0;
-    bool shutdown_ = false;
-    const std::function<void(std::size_t, int)> *body_ = nullptr;
+    // workers wake, snapshot `body_` under the mutex, drain the
+    // queues, and the last one to finish signals completion.
+    util::Mutex jobMutex_;
+    util::CondVar jobReady_;
+    util::CondVar jobDone_;
+    std::uint64_t generation_ DDSE_GUARDED_BY(jobMutex_) = 0;
+    int activeWorkers_ DDSE_GUARDED_BY(jobMutex_) = 0;
+    bool shutdown_ DDSE_GUARDED_BY(jobMutex_) = false;
+    const Body *body_ DDSE_GUARDED_BY(jobMutex_) = nullptr;
 };
 
 } // namespace dronedse::engine

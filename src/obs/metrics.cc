@@ -73,7 +73,7 @@ Histogram::sum() const
 Counter &
 MetricsRegistry::counter(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto &slot = counters_[name];
     if (!slot)
         slot = std::make_unique<Counter>();
@@ -83,7 +83,7 @@ MetricsRegistry::counter(const std::string &name)
 Gauge &
 MetricsRegistry::gauge(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto &slot = gauges_[name];
     if (!slot)
         slot = std::make_unique<Gauge>();
@@ -94,7 +94,7 @@ Histogram &
 MetricsRegistry::histogram(const std::string &name,
                            std::vector<double> bounds)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto &slot = histograms_[name];
     if (!slot)
         slot = std::make_unique<Histogram>(std::move(bounds));
@@ -104,7 +104,7 @@ MetricsRegistry::histogram(const std::string &name,
 std::string
 MetricsRegistry::toJson() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     std::string out = "{\"counters\": {";
     bool first = true;
     for (const auto &[name, counter] : counters_) {
@@ -161,7 +161,7 @@ MetricsRegistry::writeJson(const std::string &path) const
 void
 MetricsRegistry::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     counters_.clear();
     gauges_.clear();
     histograms_.clear();

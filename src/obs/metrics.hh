@@ -23,9 +23,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.hh"
 
 namespace dronedse::obs {
 
@@ -101,11 +102,13 @@ class Histogram
 class MetricsRegistry
 {
   public:
-    Counter &counter(const std::string &name);
-    Gauge &gauge(const std::string &name);
+    Counter &counter(const std::string &name)
+        DDSE_EXCLUDES(mutex_);
+    Gauge &gauge(const std::string &name) DDSE_EXCLUDES(mutex_);
     /** `bounds` only applies on first registration of `name`. */
     Histogram &histogram(const std::string &name,
-                         std::vector<double> bounds);
+                         std::vector<double> bounds)
+        DDSE_EXCLUDES(mutex_);
 
     /**
      * One JSON object:
@@ -114,19 +117,22 @@ class MetricsRegistry
      *                        "count": n, "sum": v}}}
      * Keys are sorted, so equal states serialize identically.
      */
-    std::string toJson() const;
+    std::string toJson() const DDSE_EXCLUDES(mutex_);
 
     /** Write the snapshot to a file; fatal() on I/O failure. */
     void writeJson(const std::string &path) const;
 
     /** Drop every metric (tests; snapshots are cheap, prefer those). */
-    void clear();
+    void clear() DDSE_EXCLUDES(mutex_);
 
   private:
-    mutable std::mutex mutex_;
-    std::map<std::string, std::unique_ptr<Counter>> counters_;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    mutable util::Mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_
+        DDSE_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_
+        DDSE_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_
+        DDSE_GUARDED_BY(mutex_);
 };
 
 /** The process-wide registry every instrument publishes through. */

@@ -77,7 +77,7 @@ Tracer::localBuffer()
     if (!buffer || owner != this) {
         buffer = std::make_shared<ThreadBuffer>();
         owner = this;
-        std::lock_guard<std::mutex> lock(buffersMutex_);
+        util::MutexLock lock(buffersMutex_);
         buffer->thread = static_cast<std::uint32_t>(buffers_.size());
         buffers_.push_back(buffer);
     }
@@ -89,7 +89,7 @@ Tracer::append(SpanRecord record)
 {
     ThreadBuffer &buffer = localBuffer();
     record.thread = buffer.thread;
-    std::lock_guard<std::mutex> lock(buffer.mutex);
+    util::MutexLock lock(buffer.mutex);
     buffer.spans.push_back(std::move(record));
 }
 
@@ -170,12 +170,12 @@ Tracer::snapshot() const
 {
     std::vector<std::shared_ptr<ThreadBuffer>> buffers;
     {
-        std::lock_guard<std::mutex> lock(buffersMutex_);
+        util::MutexLock lock(buffersMutex_);
         buffers = buffers_;
     }
     std::vector<SpanRecord> out;
     for (const auto &buffer : buffers) {
-        std::lock_guard<std::mutex> lock(buffer->mutex);
+        util::MutexLock lock(buffer->mutex);
         out.insert(out.end(), buffer->spans.begin(),
                    buffer->spans.end());
     }
@@ -193,11 +193,11 @@ Tracer::clear()
 {
     std::vector<std::shared_ptr<ThreadBuffer>> buffers;
     {
-        std::lock_guard<std::mutex> lock(buffersMutex_);
+        util::MutexLock lock(buffersMutex_);
         buffers = buffers_;
     }
     for (const auto &buffer : buffers) {
-        std::lock_guard<std::mutex> lock(buffer->mutex);
+        util::MutexLock lock(buffer->mutex);
         buffer->spans.clear();
     }
 }

@@ -27,9 +27,10 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.hh"
 
 #ifndef DRONEDSE_TRACING
 #define DRONEDSE_TRACING 1
@@ -122,18 +123,21 @@ class Tracer
   private:
     struct ThreadBuffer
     {
-        mutable std::mutex mutex;
+        mutable util::Mutex mutex;
+        /** Written once at registration (under `buffersMutex_`),
+         *  read-only afterwards — not guarded by `mutex`. */
         std::uint32_t thread = 0;
-        std::vector<SpanRecord> spans;
+        std::vector<SpanRecord> spans DDSE_GUARDED_BY(mutex);
     };
 
-    ThreadBuffer &localBuffer();
+    ThreadBuffer &localBuffer() DDSE_EXCLUDES(buffersMutex_);
     void append(SpanRecord record);
 
     std::chrono::steady_clock::time_point epoch_;
     std::atomic<bool> enabled_{false};
-    mutable std::mutex buffersMutex_;
-    std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+    mutable util::Mutex buffersMutex_;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers_
+        DDSE_GUARDED_BY(buffersMutex_);
 };
 
 /** The process-wide tracer every instrument records through. */

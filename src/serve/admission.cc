@@ -166,7 +166,7 @@ AdmitDecision
 AdmissionController::submit(QueuedItem item, double t)
 {
     obs::MetricsRegistry &registry = obs::metrics();
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     advanceState(t);
 
     AdmitDecision decision = AdmitDecision::Admit;
@@ -212,7 +212,7 @@ AdmissionController::submit(QueuedItem item, double t)
 bool
 AdmissionController::pop(double t, QueuedItem &out)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (queue_.empty())
         return false;
     out = std::move(queue_.front());
@@ -240,42 +240,42 @@ AdmissionController::pop(double t, QueuedItem &out)
 std::size_t
 AdmissionController::depth() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return queue_.size();
 }
 
 ShedState
 AdmissionController::state() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return state_;
 }
 
 AdmissionStats
 AdmissionController::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return stats_;
 }
 
 double
 AdmissionController::overloadLevel() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return overloadLevel_;
 }
 
 double
 AdmissionController::lastWindowP95S() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return lastWindowP95S_;
 }
 
 std::vector<ShedTransition>
 AdmissionController::transitions() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return transitions_;
 }
 

@@ -35,12 +35,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hh"
 #include "serve/request.hh"
+#include "util/thread_annotations.hh"
 
 namespace dronedse::serve {
 
@@ -159,25 +159,27 @@ class AdmissionController
      * queued; every other decision leaves all queue state untouched
      * and maps to a typed error via `admitError`.
      */
-    AdmitDecision submit(QueuedItem item, double t);
+    AdmitDecision submit(QueuedItem item, double t)
+        DDSE_EXCLUDES(mutex_);
 
     /**
      * Pop the oldest queued item at time `t`.  Records the item's
      * queue wait into the histogram (driving the shed machine) and
      * returns false when the queue is empty.
      */
-    bool pop(double t, QueuedItem &out);
+    bool pop(double t, QueuedItem &out) DDSE_EXCLUDES(mutex_);
 
-    std::size_t depth() const;
-    ShedState state() const;
-    AdmissionStats stats() const;
+    std::size_t depth() const DDSE_EXCLUDES(mutex_);
+    ShedState state() const DDSE_EXCLUDES(mutex_);
+    AdmissionStats stats() const DDSE_EXCLUDES(mutex_);
 
     /** Overload accumulator level (diagnostics / tests). */
-    double overloadLevel() const;
+    double overloadLevel() const DDSE_EXCLUDES(mutex_);
     /** p95 bucket edge of the last completed window (s). */
-    double lastWindowP95S() const;
+    double lastWindowP95S() const DDSE_EXCLUDES(mutex_);
     /** Every shed-state change, in order. */
-    std::vector<ShedTransition> transitions() const;
+    std::vector<ShedTransition> transitions() const
+        DDSE_EXCLUDES(mutex_);
 
     const AdmissionConfig &config() const { return config_; }
 
@@ -191,36 +193,42 @@ class AdmissionController
 
     /** Refill at time t, then try to take one token. */
     bool takeToken(Bucket &bucket, const TokenBucketConfig &config,
-                   double t);
+                   double t) DDSE_REQUIRES(mutex_);
     /** Decay the accumulator and resolve hysteresis at time t. */
-    void advanceState(double t);
+    void advanceState(double t) DDSE_REQUIRES(mutex_);
     void transitionTo(ShedState to, double t,
-                      const std::string &reason);
+                      const std::string &reason)
+        DDSE_REQUIRES(mutex_);
     /** Fold one completed p95 window into the accumulator. */
-    void closeWindow();
+    void closeWindow() DDSE_REQUIRES(mutex_);
 
     AdmissionConfig config_;
 
-    mutable std::mutex mutex_;
-    std::deque<QueuedItem> queue_;
-    Bucket interactiveBucket_;
-    Bucket batchBucket_;
+    mutable util::Mutex mutex_;
+    std::deque<QueuedItem> queue_ DDSE_GUARDED_BY(mutex_);
+    Bucket interactiveBucket_ DDSE_GUARDED_BY(mutex_);
+    Bucket batchBucket_ DDSE_GUARDED_BY(mutex_);
 
-    obs::Histogram waitHist_;
+    /** Recorded and window-scanned only under `mutex_` (its own
+     *  atomics make `record` safe, but the p95 window arithmetic
+     *  needs count deltas from one consistent cut). */
+    obs::Histogram waitHist_ DDSE_GUARDED_BY(mutex_);
     /** Histogram bucket counts at the last window close. */
-    std::vector<std::uint64_t> windowBaseCounts_;
-    std::uint64_t samplesInWindow_ = 0;
-    double lastWindowP95S_ = 0.0;
+    std::vector<std::uint64_t> windowBaseCounts_
+        DDSE_GUARDED_BY(mutex_);
+    std::uint64_t samplesInWindow_ DDSE_GUARDED_BY(mutex_) = 0;
+    double lastWindowP95S_ DDSE_GUARDED_BY(mutex_) = 0.0;
 
-    ShedState state_ = ShedState::Nominal;
-    double overloadLevel_ = 0.0;
-    bool haveLevelT_ = false;
-    double levelT_ = 0.0;
+    ShedState state_ DDSE_GUARDED_BY(mutex_) = ShedState::Nominal;
+    double overloadLevel_ DDSE_GUARDED_BY(mutex_) = 0.0;
+    bool haveLevelT_ DDSE_GUARDED_BY(mutex_) = false;
+    double levelT_ DDSE_GUARDED_BY(mutex_) = 0.0;
     /** Last time the demanded state was >= the current state. */
-    double lastElevatedT_ = 0.0;
-    std::vector<ShedTransition> transitions_;
+    double lastElevatedT_ DDSE_GUARDED_BY(mutex_) = 0.0;
+    std::vector<ShedTransition> transitions_
+        DDSE_GUARDED_BY(mutex_);
 
-    AdmissionStats stats_;
+    AdmissionStats stats_ DDSE_GUARDED_BY(mutex_);
 };
 
 } // namespace dronedse::serve

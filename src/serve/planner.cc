@@ -163,7 +163,7 @@ QueryPlanner::runCoalesced(const SweepSpec &spec)
     std::shared_ptr<InFlight> flight;
     bool leader = false;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         auto &slot = inflight_[key];
         if (!slot) {
             slot = std::make_shared<InFlight>();
@@ -181,13 +181,13 @@ QueryPlanner::runCoalesced(const SweepSpec &spec)
         auto result = std::make_shared<engine::SweepResult>(
             engine_.run(spec));
         {
-            std::lock_guard<std::mutex> lock(flight->mutex);
+            util::MutexLock lock(flight->mutex);
             flight->result = result;
             flight->done = true;
         }
-        flight->cv.notify_all();
+        flight->cv.notifyAll();
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            util::MutexLock lock(mutex_);
             inflight_.erase(key);
         }
         obs::metrics().counter("serve.batches.led").add(1);
@@ -195,8 +195,9 @@ QueryPlanner::runCoalesced(const SweepSpec &spec)
     }
 
     obs::metrics().counter("serve.batches.coalesced").add(1);
-    std::unique_lock<std::mutex> lock(flight->mutex);
-    flight->cv.wait(lock, [&] { return flight->done; });
+    util::MutexLock lock(flight->mutex);
+    while (!flight->done)
+        flight->cv.wait(flight->mutex);
     return flight->result;
 }
 
@@ -207,7 +208,7 @@ QueryPlanner::execute(const Request &request)
     ErrorReply err;
     if (!validate(request, err)) {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            util::MutexLock lock(mutex_);
             ++stats_.invalid;
         }
         obs::metrics().counter("serve.queries.invalid").add(1);
@@ -237,7 +238,7 @@ QueryPlanner::execute(const Request &request)
     }
     }
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         ++stats_.executed;
     }
     obs::metrics().counter("serve.queries.executed").add(1);
@@ -247,7 +248,7 @@ QueryPlanner::execute(const Request &request)
 PlannerStats
 QueryPlanner::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return stats_;
 }
 

@@ -22,15 +22,14 @@
 #ifndef DRONEDSE_SERVE_PLANNER_HH
 #define DRONEDSE_SERVE_PLANNER_HH
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "engine/engine.hh"
 #include "serve/request.hh"
+#include "util/thread_annotations.hh"
 
 namespace dronedse::serve {
 
@@ -79,32 +78,34 @@ class QueryPlanner
      * one reply frame; thread-safe for any number of concurrent
      * callers.
      */
-    std::string execute(const Request &request);
+    std::string execute(const Request &request)
+        DDSE_EXCLUDES(mutex_);
 
-    PlannerStats stats() const;
+    PlannerStats stats() const DDSE_EXCLUDES(mutex_);
 
     engine::SweepEngine &engine() { return engine_; }
 
   private:
     struct InFlight
     {
-        std::mutex mutex;
-        std::condition_variable cv;
-        bool done = false;
-        std::shared_ptr<engine::SweepResult> result;
+        util::Mutex mutex;
+        util::CondVar cv;
+        bool done DDSE_GUARDED_BY(mutex) = false;
+        std::shared_ptr<engine::SweepResult> result
+            DDSE_GUARDED_BY(mutex);
     };
 
     /** Run a spec single-flight (see file comment). */
     std::shared_ptr<engine::SweepResult>
-    runCoalesced(const SweepSpec &spec);
+    runCoalesced(const SweepSpec &spec) DDSE_EXCLUDES(mutex_);
 
     engine::SweepEngine &engine_;
     PlannerLimits limits_;
 
-    mutable std::mutex mutex_;
-    PlannerStats stats_;
+    mutable util::Mutex mutex_;
+    PlannerStats stats_ DDSE_GUARDED_BY(mutex_);
     std::unordered_map<std::string, std::shared_ptr<InFlight>>
-        inflight_;
+        inflight_ DDSE_GUARDED_BY(mutex_);
 };
 
 } // namespace dronedse::serve

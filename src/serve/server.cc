@@ -114,7 +114,7 @@ Server::stop()
         return;
     stopping_.store(true);
     wakeEventLoop();
-    workCv_.notify_all();
+    workCv_.notifyAll();
     if (eventThread_.joinable())
         eventThread_.join();
     for (std::thread &worker : workerThreads_) {
@@ -154,17 +154,20 @@ Server::workerLoop()
         const auto completed = service_.processOne(monotonicNow());
         if (completed) {
             {
-                std::lock_guard<std::mutex> lock(replyMutex_);
+                util::MutexLock lock(replyMutex_);
                 replyQueue_.push_back(*completed);
             }
             wakeEventLoop();
             continue;
         }
-        std::unique_lock<std::mutex> lock(workMutex_);
-        workCv_.wait_for(lock, std::chrono::milliseconds(50), [this] {
-            return stopping_.load() ||
-                   service_.admission().depth() > 0;
-        });
+        util::MutexLock lock(workMutex_);
+        // The predicate touches no workMutex_-guarded state (see the
+        // member comment), so it is safe inside the timed wait.
+        workCv_.waitFor(workMutex_, std::chrono::milliseconds(50),
+                        [this] {
+                            return stopping_.load() ||
+                                   service_.admission().depth() > 0;
+                        });
     }
 }
 
@@ -180,7 +183,7 @@ Server::drainReplyQueue()
 {
     std::deque<std::pair<std::uint64_t, std::string>> pending;
     {
-        std::lock_guard<std::mutex> lock(replyMutex_);
+        util::MutexLock lock(replyMutex_);
         pending.swap(replyQueue_);
     }
     for (auto &[conn_id, reply] : pending) {
@@ -266,7 +269,7 @@ Server::readClient(std::uint64_t conn_id)
         conn.closeAfterFlush = true;
     }
     if (queued_any)
-        workCv_.notify_all();
+        workCv_.notifyAll();
 }
 
 void

@@ -26,16 +26,15 @@
 #define DRONEDSE_SERVE_SERVER_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "serve/service.hh"
+#include "util/thread_annotations.hh"
 
 namespace dronedse::serve {
 
@@ -88,7 +87,7 @@ class Server
     };
 
     void eventLoop();
-    void workerLoop();
+    void workerLoop() DDSE_EXCLUDES(workMutex_, replyMutex_);
     void wakeEventLoop();
     /** Seconds on the steady clock (admission's time base). */
     double monotonicNow() const;
@@ -98,7 +97,7 @@ class Server
     void writeClient(std::uint64_t conn_id);
     void closeClient(std::uint64_t conn_id);
     void queueReply(Connection &conn, const std::string &reply);
-    void drainReplyQueue();
+    void drainReplyQueue() DDSE_EXCLUDES(replyMutex_);
 
     ServerOptions options_;
     Service service_;
@@ -113,13 +112,19 @@ class Server
 
     std::thread eventThread_;
     std::vector<std::thread> workerThreads_;
-    std::mutex workMutex_;
-    std::condition_variable workCv_;
+    /** Pure sleep/wakeup rendezvous for idle workers: the condition
+     *  reads only atomics and the self-locking admission queue, so
+     *  no data lives under this mutex. */
+    util::Mutex workMutex_;
+    util::CondVar workCv_;
 
-    std::mutex replyMutex_;
-    std::deque<std::pair<std::uint64_t, std::string>> replyQueue_;
+    util::Mutex replyMutex_;
+    std::deque<std::pair<std::uint64_t, std::string>> replyQueue_
+        DDSE_GUARDED_BY(replyMutex_);
 
-    /** Event-loop-thread-only state. */
+    /** Event-loop-thread-only state: confined to `eventThread_`
+     *  (plus start/stop when no event loop is running), never
+     *  shared, so there is deliberately no mutex to annotate. */
     std::map<std::uint64_t, Connection> connections_;
     std::uint64_t nextConnId_ = 1;
 };

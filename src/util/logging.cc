@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "util/thread_annotations.hh"
 
 namespace dronedse {
 
@@ -16,8 +17,8 @@ namespace {
  * concurrent messages from interleaving mid-line.
  */
 std::atomic<LogLevel> g_min_level{LogLevel::Info};
-std::mutex g_sink_mutex;
-LogSink g_sink; // empty = the stdio default
+util::Mutex g_sink_mutex;
+LogSink g_sink DDSE_GUARDED_BY(g_sink_mutex); // empty = stdio default
 
 /** Prefixes keep the historical "info:"/"warn:" output stable. */
 const char *
@@ -42,7 +43,7 @@ emit(LogLevel level, const std::string &msg)
     if (level < g_min_level.load(std::memory_order_relaxed))
         return;
 
-    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    util::MutexLock lock(g_sink_mutex);
     if (g_sink) {
         g_sink(level, msg);
         return;
@@ -74,7 +75,7 @@ logMinLevel()
 LogSink
 setLogSink(LogSink sink)
 {
-    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    util::MutexLock lock(g_sink_mutex);
     LogSink previous = std::move(g_sink);
     g_sink = std::move(sink);
     return previous;
@@ -105,7 +106,7 @@ fatal(const std::string &msg)
     // message even when a sink has captured normal output.
     std::fprintf(stderr, "fatal: %s\n", msg.c_str());
     {
-        std::lock_guard<std::mutex> lock(g_sink_mutex);
+        util::MutexLock lock(g_sink_mutex);
         if (g_sink)
             g_sink(LogLevel::Error, msg);
     }
@@ -117,7 +118,7 @@ panic(const std::string &msg)
 {
     std::fprintf(stderr, "panic: %s\n", msg.c_str());
     {
-        std::lock_guard<std::mutex> lock(g_sink_mutex);
+        util::MutexLock lock(g_sink_mutex);
         if (g_sink)
             g_sink(LogLevel::Error, msg);
     }

@@ -1,0 +1,38 @@
+/**
+ * Positive control for the thread-safety negative-compile checks:
+ * correctly locked access to a guarded member must compile cleanly
+ * under -Wthread-safety -Wthread-safety-beta -Werror.
+ */
+#include "util/thread_annotations.hh"
+
+namespace {
+
+class Counter
+{
+  public:
+    void bump()
+    {
+        dronedse::util::MutexLock lock(mutex_);
+        ++value_;
+    }
+
+    int read()
+    {
+        dronedse::util::MutexLock lock(mutex_);
+        return value_;
+    }
+
+  private:
+    dronedse::util::Mutex mutex_;
+    int value_ DDSE_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    c.bump();
+    return c.read();
+}

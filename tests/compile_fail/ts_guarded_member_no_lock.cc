@@ -1,0 +1,26 @@
+/**
+ * Must NOT compile under -Wthread-safety -Werror (clang): reads a
+ * GUARDED_BY member without holding its mutex.
+ */
+#include "util/thread_annotations.hh"
+
+namespace {
+
+class Counter
+{
+  public:
+    int read() { return value_; } // no lock held
+
+  private:
+    dronedse::util::Mutex mutex_;
+    int value_ DDSE_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    return c.read();
+}

@@ -1,0 +1,28 @@
+/**
+ * Must NOT compile under -Wthread-safety -Werror (clang): calls a
+ * REQUIRES(mutex_) function without acquiring the mutex first.
+ */
+#include "util/thread_annotations.hh"
+
+namespace {
+
+class Counter
+{
+  public:
+    void bump() DDSE_REQUIRES(mutex_) { ++value_; }
+    void caller() { bump(); } // mutex_ not held
+
+  private:
+    dronedse::util::Mutex mutex_;
+    int value_ DDSE_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    c.caller();
+    return 0;
+}

@@ -1,0 +1,15 @@
+/** Clean fixture: nothing for any analyzer pass to flag. */
+#ifndef FIXTURE_GOOD_HH
+#define FIXTURE_GOOD_HH
+
+namespace fixture {
+
+inline double
+scale(double factor, double input)
+{
+    return factor * input;
+}
+
+} // namespace fixture
+
+#endif

@@ -1,0 +1,9 @@
+/** Upper-layer header the back-edge fixture points at. */
+#ifndef FIXTURE_TOP_HH
+#define FIXTURE_TOP_HH
+
+namespace fixture {
+inline int top() { return 1; }
+} // namespace fixture
+
+#endif

@@ -1,0 +1,7 @@
+/** Known-bad fixture: util (layer 0) includes engine (layer 1). */
+#ifndef FIXTURE_BACKEDGE_HH
+#define FIXTURE_BACKEDGE_HH
+
+#include "engine/top.hh"
+
+#endif

@@ -1,0 +1,12 @@
+/** Known-bad fixture: raw-double parameter with a unit suffix. */
+#ifndef FIXTURE_BAD_UNITS_HH
+#define FIXTURE_BAD_UNITS_HH
+
+namespace fixture {
+
+/** `weightG` should be Quantity<Grams>, not a bare double. */
+double thrustRequired(double weightG, double twr);
+
+} // namespace fixture
+
+#endif

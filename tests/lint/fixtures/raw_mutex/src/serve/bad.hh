@@ -1,0 +1,25 @@
+/** Known-bad fixture: raw std::mutex in an annotated subsystem. */
+#ifndef FIXTURE_RAW_MUTEX_HH
+#define FIXTURE_RAW_MUTEX_HH
+
+#include <mutex>
+
+namespace fixture {
+
+class Queue
+{
+  public:
+    void push()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++depth_;
+    }
+
+  private:
+    std::mutex mutex_;
+    int depth_ = 0;
+};
+
+} // namespace fixture
+
+#endif

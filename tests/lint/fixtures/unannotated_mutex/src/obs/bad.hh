@@ -1,0 +1,19 @@
+/** Known-bad fixture: util::Mutex with no DDSE_* annotation —
+ *  nothing tells the analysis what it guards. */
+#ifndef FIXTURE_UNANNOTATED_MUTEX_HH
+#define FIXTURE_UNANNOTATED_MUTEX_HH
+
+#include "util/thread_annotations.hh"
+
+namespace fixture {
+
+class Registry
+{
+  private:
+    mutable util::Mutex mutex_;
+    int value_ = 0; // should be DDSE_GUARDED_BY(mutex_)
+};
+
+} // namespace fixture
+
+#endif

@@ -1,0 +1,14 @@
+/** Known-bad fixture: nondeterminism in a deterministic subtree. */
+#include <random>
+
+namespace fixture {
+
+int
+draw()
+{
+    std::mt19937 rng; // unseeded: default seed hides intent
+    std::random_device entropy;
+    return static_cast<int>(rng() ^ entropy());
+}
+
+} // namespace fixture

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Battery for tools/analyze.py: every known-bad fixture must be
+flagged by the right pass with the right message, the clean fixture
+and the real tree must pass.
+
+Usage: run_lint_tests.py REPO_ROOT
+"""
+
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+ANALYZE = REPO / "tools" / "analyze.py"
+FIXTURES = REPO / "tests" / "lint" / "fixtures"
+
+# (fixture dir, passes to run, expected stderr substring)
+BAD_CASES = (
+    ("raw_double_unit_param", "units",
+     "raw `double weightG` parameter"),
+    ("unseeded_rng", "determinism", "unseeded mt19937"),
+    ("unseeded_rng", "determinism", "random_device"),
+    ("layer_backedge", "layering", "back-edges are banned"),
+    ("raw_mutex", "locks", "raw std::mutex"),
+    ("raw_mutex", "locks", "raw std::lock_guard"),
+    ("unannotated_mutex", "locks",
+     "not referenced by any DDSE_* annotation"),
+)
+
+failures = []
+
+
+def run(root, passes):
+    return subprocess.run(
+        [sys.executable, str(ANALYZE), "--root", str(root),
+         "--fixture", "--passes", passes],
+        capture_output=True, text=True)
+
+
+for name, passes, needle in BAD_CASES:
+    proc = run(FIXTURES / name, passes)
+    if proc.returncode == 0:
+        failures.append(f"{name}[{passes}]: expected failure, "
+                        f"analyzer exited 0")
+    elif needle not in proc.stderr:
+        failures.append(f"{name}[{passes}]: expected "
+                        f"'{needle}' in stderr, got:\n{proc.stderr}")
+    else:
+        print(f"PASS {name}[{passes}]: flagged ('{needle}')")
+
+proc = run(FIXTURES / "clean", "units,locks,determinism,layering")
+if proc.returncode != 0:
+    failures.append(f"clean: expected success, analyzer said:\n"
+                    f"{proc.stdout}{proc.stderr}")
+else:
+    print("PASS clean: analyzer exits 0")
+
+proc = subprocess.run(
+    [sys.executable, str(ANALYZE), "--root", str(REPO)],
+    capture_output=True, text=True)
+if proc.returncode != 0:
+    failures.append(f"real tree: analyzer failed:\n"
+                    f"{proc.stdout}{proc.stderr}")
+else:
+    print("PASS real tree: analyzer exits 0")
+
+if failures:
+    print("\n".join(failures), file=sys.stderr)
+    print(f"\nrun_lint_tests: {len(failures)} failure(s)",
+          file=sys.stderr)
+    sys.exit(1)
+print(f"run_lint_tests: all {len(BAD_CASES) + 2} checks passed")

@@ -1,0 +1,365 @@
+#!/usr/bin/env python3
+"""Unified static-analysis driver for the dronedse tree.
+
+One entry point, several passes; each pass prints `analyze[<pass>]:
+OK` or a list of violations, and the driver exits non-zero when any
+pass fails.  CI and `ctest` both go through this script, so the
+passes cannot drift apart from each other.
+
+Passes
+------
+units        typed-quantity convention in public headers
+             (tools/check_units.py as a library)
+locks        concurrency hygiene in the annotated subsystems:
+             no raw std::mutex / lock_guard / unique_lock /
+             condition_variable — everything goes through the
+             annotated util::Mutex wrappers (thread_annotations.hh)
+             — and every util::Mutex declaration must be referenced
+             by at least one DDSE_* thread-safety annotation in the
+             same file (an unreferenced mutex guards nothing the
+             compiler can see)
+determinism  bans nondeterminism sources in the deterministic
+             subtrees (engine/fault/dse/serve): rand/srand,
+             std::random_device, time(), system_clock, unseeded
+             mt19937, and range-for accumulation over unordered
+             containers (iteration order is unspecified)
+layering     include-layer DAG: the fenced ``layers`` block in
+             DESIGN.md §13 declares one layer per line, lowest
+             first; a cross-directory include may only target a
+             strictly lower layer
+trace        chrome://tracing JSON schema (tools/check_trace.py as a
+             library); only runs when --trace-file is given
+
+A line may opt out of the determinism pass with an inline marker::
+
+    foo();  // analyze:allow(determinism) — justification
+
+Usage::
+
+    analyze.py [--root DIR] [--passes a,b,...] [--fixture]
+               [--trace-file F --min-events N]
+
+``--fixture`` relaxes repo-shape policy checks (allowlist staleness)
+so the known-bad mini-trees under tests/lint/fixtures/ can be
+analyzed in isolation.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import check_trace  # noqa: E402
+import check_units  # noqa: E402
+
+# Subsystems whose locking must go through util::Mutex (the
+# thread-safety-annotated wrapper).  Directories are scanned
+# recursively; single files are scanned alone.
+ANNOTATED_PATHS = (
+    "src/engine",
+    "src/serve",
+    "src/obs",
+    "src/util/logging.cc",
+)
+
+RAW_SYNC_RE = re.compile(
+    r"std::(?:recursive_|timed_|shared_)?mutex\b"
+    r"|std::lock_guard\b"
+    r"|std::unique_lock\b"
+    r"|std::scoped_lock\b"
+    r"|std::shared_lock\b"
+    r"|std::condition_variable(?:_any)?\b")
+
+MUTEX_DECL_RE = re.compile(r"\butil::Mutex\s+(\w+)\s*;")
+ANNOTATION_ARG_RE = re.compile(r"DDSE_[A-Z_]+\(([^)]*)\)")
+
+# Deterministic subtrees: a sweep/fault/serve run must be a pure
+# function of its inputs (DESIGN.md §13).
+DETERMINISTIC_PATHS = (
+    "src/engine",
+    "src/fault",
+    "src/dse",
+    "src/serve",
+)
+
+ALLOW_MARKER_RE = re.compile(r"analyze:allow\((\w+)\)")
+
+DETERMINISM_BANNED = (
+    (re.compile(r"(?<![.\w])(?:std::)?random_device\b"),
+     "std::random_device is nondeterministic"),
+    (re.compile(r"(?<![.\w])s?rand\s*\("),
+     "rand()/srand() — use a seeded std::mt19937"),
+    (re.compile(r"(?<![.\w])time\s*\("),
+     "time() reads the wall clock"),
+    (re.compile(r"\bsystem_clock\b"),
+     "system_clock reads the wall clock (steady_clock is the "
+     "monotonic alternative)"),
+    (re.compile(r"\bmt19937(?:_64)?\s+\w+\s*(?:;|\{\s*\}|\(\s*\))"),
+     "unseeded mt19937 — pass an explicit seed"),
+)
+
+
+def iter_sources(root, paths, suffixes=(".hh", ".cc")):
+    for entry in paths:
+        p = root / entry
+        if p.is_file():
+            yield p
+        elif p.is_dir():
+            for child in sorted(p.rglob("*")):
+                if child.suffix in suffixes:
+                    yield child
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def allow_lines(text, pass_name):
+    """Line numbers carrying an analyze:allow(<pass>) marker."""
+    allowed = set()
+    for i, line in enumerate(text.splitlines(), 1):
+        m = ALLOW_MARKER_RE.search(line)
+        if m and m.group(1) == pass_name:
+            allowed.add(i)
+            allowed.add(i + 1)  # marker on its own line covers next
+    return allowed
+
+
+def pass_units(root, fixture):
+    violations, _ = check_units.run(root, strict=not fixture)
+    return violations
+
+
+def pass_locks(root, fixture):
+    del fixture
+    violations = []
+    for path in iter_sources(root, ANNOTATED_PATHS):
+        rel = path.relative_to(root).as_posix()
+        raw = path.read_text()
+        text = check_units.strip_comments(raw)
+        for m in RAW_SYNC_RE.finditer(text):
+            violations.append(
+                f"{rel}:{line_of(text, m.start())}: raw "
+                f"{m.group(0)} in an annotated subsystem — use "
+                f"util::Mutex / util::MutexLock / util::CondVar "
+                f"(src/util/thread_annotations.hh)")
+        referenced = set()
+        for m in ANNOTATION_ARG_RE.finditer(text):
+            referenced.update(re.findall(r"\w+", m.group(1)))
+        for m in MUTEX_DECL_RE.finditer(text):
+            name = m.group(1)
+            if name not in referenced:
+                violations.append(
+                    f"{rel}:{line_of(text, m.start())}: util::Mutex "
+                    f"`{name}` is not referenced by any DDSE_* "
+                    f"annotation in this file — add GUARDED_BY / "
+                    f"REQUIRES / EXCLUDES so the analysis can see "
+                    f"what it guards")
+    return violations
+
+
+def unordered_names(text):
+    """Identifiers declared as unordered_map/unordered_set."""
+    names = set()
+    for m in re.finditer(r"\bunordered_(?:map|set)\s*<", text):
+        depth = 1
+        i = m.end()
+        while i < len(text) and depth > 0:
+            if text[i] == "<":
+                depth += 1
+            elif text[i] == ">":
+                depth -= 1
+            i += 1
+        decl = re.match(r"\s*&?\s*(\w+)", text[i:])
+        if decl:
+            names.add(decl.group(1))
+    return names
+
+
+def pass_determinism(root, fixture):
+    del fixture
+    violations = []
+    for path in iter_sources(root, DETERMINISTIC_PATHS):
+        rel = path.relative_to(root).as_posix()
+        raw = path.read_text()
+        allowed = allow_lines(raw, "determinism")
+        text = check_units.strip_comments(raw)
+        for regex, why in DETERMINISM_BANNED:
+            for m in regex.finditer(text):
+                line = line_of(text, m.start())
+                if line in allowed:
+                    continue
+                violations.append(
+                    f"{rel}:{line}: {m.group(0).strip()} — {why}")
+        names = unordered_names(text)
+        for m in re.finditer(
+                r"for\s*\([^;{()]*:\s*(?:this->)?(\w+)\s*\)", text):
+            if m.group(1) in names:
+                line = line_of(text, m.start())
+                if line in allowed:
+                    continue
+                violations.append(
+                    f"{rel}:{line}: range-for over unordered "
+                    f"container `{m.group(1)}` — iteration order is "
+                    f"unspecified; sort keys first or use an "
+                    f"ordered container")
+    return violations
+
+
+def parse_layers(design_path):
+    """The fenced ``layers`` block: one layer per line, lowest
+    first; returns {dir: layer_index} or (None, error)."""
+    if not design_path.is_file():
+        return None, f"{design_path}: not found"
+    text = design_path.read_text()
+    m = re.search(r"```layers\n(.*?)```", text, re.S)
+    if not m:
+        return None, (f"{design_path.name}: no fenced ```layers "
+                      f"block — declare the include-layer DAG "
+                      f"(DESIGN.md §13)")
+    layers = {}
+    for i, line in enumerate(m.group(1).strip().splitlines()):
+        for name in line.split():
+            if name in layers:
+                return None, (f"{design_path.name}: layer dir "
+                              f"'{name}' listed twice")
+            layers[name] = i
+    return layers, None
+
+
+INCLUDE_RE = re.compile(r'#include\s+"([^"]+)"')
+
+
+def strip_comments_keep_strings(text: str) -> str:
+    """Blank // and /* */ comments but keep string contents (the
+    layering pass reads include paths, which live in strings —
+    check_units.strip_comments blanks those too)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i)
+            j = n if j < 0 else j + 2
+            out.append("".join(c if c == "\n" else " "
+                               for c in text[i:j]))
+            i = j
+        elif text[i] in "\"'":
+            quote = text[i]
+            out.append(quote)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append(text[i:i + 2])
+                    i += 2
+                else:
+                    out.append(text[i])
+                    i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def pass_layering(root, fixture):
+    del fixture
+    layers, err = parse_layers(root / "DESIGN.md")
+    if err:
+        return [err]
+    violations = []
+    src = root / "src"
+    for d in sorted(p.name for p in src.iterdir() if p.is_dir()):
+        if d not in layers:
+            violations.append(
+                f"src/{d}/ is not assigned to a layer in the "
+                f"DESIGN.md ```layers block")
+    if violations:
+        return violations
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".hh", ".cc"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        here = path.relative_to(src).parts[0]
+        text = strip_comments_keep_strings(path.read_text())
+        for m in INCLUDE_RE.finditer(text):
+            top = m.group(1).split("/")[0]
+            if top == here or top not in layers:
+                continue
+            if layers[top] >= layers[here]:
+                violations.append(
+                    f"{rel}:{line_of(text, m.start())}: includes "
+                    f"\"{m.group(1)}\" — src/{top}/ (layer "
+                    f"{layers[top]}) is not below src/{here}/ "
+                    f"(layer {layers[here]}); back-edges are "
+                    f"banned (DESIGN.md §13)")
+    return violations
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repo root (default: .)")
+    parser.add_argument("--passes",
+                        default="units,locks,determinism,layering",
+                        help="comma-separated pass list")
+    parser.add_argument("--fixture", action="store_true",
+                        help="relax repo-shape policy checks for "
+                             "fixture mini-trees")
+    parser.add_argument("--trace-file",
+                        help="chrome://tracing JSON for the trace "
+                             "pass (adds the pass when given)")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="trace pass: minimum event count")
+    args = parser.parse_args()
+
+    root = pathlib.Path(args.root).resolve()
+    passes = {
+        "units": pass_units,
+        "locks": pass_locks,
+        "determinism": pass_determinism,
+        "layering": pass_layering,
+    }
+    requested = [p.strip() for p in args.passes.split(",")
+                 if p.strip()]
+    if args.trace_file and "trace" not in requested:
+        requested.append("trace")
+
+    failed = 0
+    for name in requested:
+        if name == "trace":
+            if not args.trace_file:
+                print("analyze[trace]: SKIP (no --trace-file)")
+                continue
+            violations = check_trace.validate(args.trace_file,
+                                              args.min_events)
+        elif name in passes:
+            violations = passes[name](root, args.fixture)
+        else:
+            print(f"analyze: unknown pass '{name}'",
+                  file=sys.stderr)
+            return 2
+        if violations:
+            failed += 1
+            for v in violations:
+                print(f"analyze[{name}]: {v}", file=sys.stderr)
+            print(f"analyze[{name}]: FAIL "
+                  f"({len(violations)} violation(s))",
+                  file=sys.stderr)
+        else:
+            print(f"analyze[{name}]: OK")
+
+    if failed:
+        print(f"analyze: {failed} pass(es) failed", file=sys.stderr)
+        return 1
+    print(f"analyze: all {len(requested)} pass(es) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

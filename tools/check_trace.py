@@ -18,6 +18,9 @@ emits, and the contract chrome://tracing needs to render the file):
 Exit status 0 when the trace validates, 1 with a per-event message
 otherwise.  CI runs this against a trace freshly emitted by an
 example binary so the export path stays loadable in the browser.
+
+Also importable: ``validate(path, min_events)`` returns the list of
+error messages (``tools/analyze.py`` uses this as its `trace` pass).
 """
 
 import argparse
@@ -28,45 +31,81 @@ import sys
 KNOWN_TRACKS = (1, 2)  # obs::kWallTrack, obs::kSimTrack
 
 
-def fail(msg: str) -> None:
-    print(f"check_trace: {msg}", file=sys.stderr)
-    raise SystemExit(1)
-
-
-def check_event(i: int, ev: object) -> None:
+def check_event(i: int, ev: object, errors: list) -> None:
     where = f"traceEvents[{i}]"
     if not isinstance(ev, dict):
-        fail(f"{where}: not an object")
+        errors.append(f"{where}: not an object")
+        return
     for key in ("name", "cat"):
         if not isinstance(ev.get(key), str) or not ev[key]:
-            fail(f"{where}: missing or empty string '{key}'")
+            errors.append(f"{where}: missing or empty string '{key}'")
+            return
+    name = ev["name"]
     ph = ev.get("ph")
     if ph not in ("X", "i"):
-        fail(f"{where} ({ev['name']}): ph must be 'X' or 'i', "
-             f"got {ph!r}")
+        errors.append(f"{where} ({name}): ph must be 'X' or 'i', "
+                      f"got {ph!r}")
+        return
     ts = ev.get("ts")
     if not isinstance(ts, numbers.Real) or ts < 0:
-        fail(f"{where} ({ev['name']}): ts must be a number >= 0")
+        errors.append(f"{where} ({name}): ts must be a number >= 0")
     for key in ("pid", "tid"):
         v = ev.get(key)
         if not isinstance(v, int) or isinstance(v, bool) or v < 0:
-            fail(f"{where} ({ev['name']}): {key} must be an "
-                 f"integer >= 0")
+            errors.append(f"{where} ({name}): {key} must be an "
+                          f"integer >= 0")
+            return
     if ev["pid"] not in KNOWN_TRACKS:
-        fail(f"{where} ({ev['name']}): pid {ev['pid']} is not a "
-             f"known track {KNOWN_TRACKS}")
+        errors.append(f"{where} ({name}): pid {ev['pid']} is not a "
+                      f"known track {KNOWN_TRACKS}")
     if ph == "X":
         dur = ev.get("dur")
         if not isinstance(dur, numbers.Real) or dur < 0:
-            fail(f"{where} ({ev['name']}): complete span needs "
-                 f"numeric dur >= 0")
+            errors.append(f"{where} ({name}): complete span needs "
+                          f"numeric dur >= 0")
     else:
         if "dur" in ev:
-            fail(f"{where} ({ev['name']}): instant must not carry "
-                 f"dur")
+            errors.append(f"{where} ({name}): instant must not "
+                          f"carry dur")
         if ev.get("s") not in ("t", "p", "g"):
-            fail(f"{where} ({ev['name']}): instant scope 's' must "
-                 f"be 't', 'p', or 'g'")
+            errors.append(f"{where} ({name}): instant scope 's' "
+                          f"must be 't', 'p', or 'g'")
+
+
+def validate(path: str, min_events: int = 1) -> list:
+    """Validate one trace file; returns error messages (empty = OK)."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: {exc}"]
+
+    if not isinstance(doc, dict):
+        return ["top level must be an object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing 'traceEvents' list"]
+    errors = []
+    if "displayTimeUnit" in doc and \
+            doc["displayTimeUnit"] not in ("ms", "ns"):
+        errors.append(f"displayTimeUnit must be 'ms' or 'ns', got "
+                      f"{doc['displayTimeUnit']!r}")
+    if len(events) < min_events:
+        errors.append(f"only {len(events)} events, expected at "
+                      f"least {min_events}")
+    for i, ev in enumerate(events):
+        check_event(i, ev, errors)
+    return errors
+
+
+def summarize(path: str) -> str:
+    with open(path, encoding="utf-8") as f:
+        events = json.load(f)["traceEvents"]
+    spans = sum(1 for ev in events if ev["ph"] == "X")
+    instants = len(events) - spans
+    tracks = len({ev["pid"] for ev in events})
+    return (f"{spans} spans, {instants} instants across "
+            f"{tracks} track(s)")
 
 
 def main() -> int:
@@ -77,33 +116,12 @@ def main() -> int:
                              "(default: 1)")
     args = parser.parse_args()
 
-    try:
-        with open(args.trace, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as exc:
-        fail(f"{args.trace}: {exc}")
-
-    if not isinstance(doc, dict):
-        fail("top level must be an object")
-    events = doc.get("traceEvents")
-    if not isinstance(events, list):
-        fail("missing 'traceEvents' list")
-    if "displayTimeUnit" in doc and \
-            doc["displayTimeUnit"] not in ("ms", "ns"):
-        fail(f"displayTimeUnit must be 'ms' or 'ns', got "
-             f"{doc['displayTimeUnit']!r}")
-    if len(events) < args.min_events:
-        fail(f"only {len(events)} events, expected at least "
-             f"{args.min_events}")
-
-    for i, ev in enumerate(events):
-        check_event(i, ev)
-
-    spans = sum(1 for ev in events if ev["ph"] == "X")
-    instants = len(events) - spans
-    print(f"check_trace: {args.trace} OK — {spans} spans, "
-          f"{instants} instants across "
-          f"{len({ev['pid'] for ev in events})} track(s)")
+    errors = validate(args.trace, args.min_events)
+    if errors:
+        for msg in errors:
+            print(f"check_trace: {msg}", file=sys.stderr)
+        return 1
+    print(f"check_trace: {args.trace} OK — {summarize(args.trace)}")
     return 0
 
 

@@ -12,11 +12,21 @@ policy failure): the raw-double simulation/estimation layers keep
 untyped numerics by design and are bridged with explicit ``Quantity``
 wraps at their call sites.
 
+Every directory under ``src/`` is discovered and scanned
+automatically — there is no hand-maintained "must scan" list, so a new
+subsystem is covered the moment it appears.  An allowlist entry that
+no longer names a real directory is itself a failure (stale holes do
+not linger).
+
 Struct *fields* are not checked: catalog record structs store raw
 published table data and expose typed accessors (see
 DESIGN.md, "Static guarantees").
 
 Usage: check_units.py [repo_root]
+
+Also importable: ``run(root, strict=True)`` returns the list of
+violation messages (``tools/analyze.py`` uses this as its `units`
+pass).
 """
 
 import pathlib
@@ -34,24 +44,6 @@ ALLOWLIST = (
     "src/platform/",  # Table 5 record structs and their plumbing
 )
 MAX_ALLOWLIST_ENTRIES = 10
-
-# Directory prefixes that must ALWAYS be scanned: adding one of these
-# to the allowlist is a policy failure, not a config change.  The
-# batch engine is listed explicitly because its internals (thread
-# pool, cache shards) are legitimately raw-double/raw-integer code —
-# the typed `Quantity` contract applies to its *headers* (the API
-# boundary), which is exactly what this linter checks.
-REQUIRED_SCANNED = (
-    "src/components/",
-    "src/physics/",
-    "src/power/",
-    "src/dse/",
-    "src/engine/",
-    "src/core/",
-    "src/obs/",
-    "src/fault/",
-    "src/serve/",
-)
 
 # A parameter name "ends in a unit" when it has one of these suffixes
 # after a lowercase letter or digit (camelCase: weightG, maxCurrentA)
@@ -162,21 +154,38 @@ def check_header(path: pathlib.Path, rel: str):
     return violations
 
 
-def main() -> int:
-    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
-    if len(ALLOWLIST) > MAX_ALLOWLIST_ENTRIES:
-        print(f"check_units: allowlist has {len(ALLOWLIST)} entries, "
-              f"max {MAX_ALLOWLIST_ENTRIES} — shrink it, do not grow "
-              f"it", file=sys.stderr)
-        return 1
-    for prefix in REQUIRED_SCANNED:
-        if any(prefix.startswith(allowed) for allowed in ALLOWLIST):
-            print(f"check_units: {prefix} is a typed-API module and "
-                  f"must stay scanned — remove it from the allowlist",
-                  file=sys.stderr)
-            return 1
+def discovered_dirs(root: pathlib.Path):
+    """Top-level directories under src/, sorted by name."""
+    src = root / "src"
+    if not src.is_dir():
+        return []
+    return sorted(d.name for d in src.iterdir() if d.is_dir())
 
+
+def run(root: pathlib.Path, strict: bool = True):
+    """Run the check; returns (violations, scanned_header_count).
+
+    `strict` additionally enforces the allowlist policy: a bounded
+    entry count and no stale entries (prefixes that are not real
+    directories).  Fixture mini-trees pass strict=False because they
+    do not mirror the allowlisted directories.
+    """
     violations = []
+    if len(ALLOWLIST) > MAX_ALLOWLIST_ENTRIES:
+        violations.append(
+            f"check_units: allowlist has {len(ALLOWLIST)} entries, "
+            f"max {MAX_ALLOWLIST_ENTRIES} — shrink it, do not grow "
+            f"it")
+        return violations, 0
+    if strict:
+        for prefix in ALLOWLIST:
+            if not (root / prefix).is_dir():
+                violations.append(
+                    f"check_units: stale allowlist entry '{prefix}' "
+                    f"— no such directory; remove it")
+        if violations:
+            return violations, 0
+
     scanned = 0
     for path in sorted((root / "src").rglob("*.hh")):
         rel = path.relative_to(root).as_posix()
@@ -184,13 +193,22 @@ def main() -> int:
             continue
         scanned += 1
         violations.extend(check_header(path, rel))
+    return violations, scanned
 
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+    violations, scanned = run(root)
     if violations:
         print("\n".join(violations), file=sys.stderr)
         print(f"\ncheck_units: {len(violations)} violation(s) in "
               f"{scanned} scanned headers", file=sys.stderr)
         return 1
-    print(f"check_units: OK ({scanned} headers scanned, "
+    dirs = discovered_dirs(root)
+    covered = [d for d in dirs
+               if f"src/{d}/" not in ALLOWLIST]
+    print(f"check_units: OK ({scanned} headers scanned across "
+          f"{len(covered)} of {len(dirs)} discovered src/ dirs, "
           f"{len(ALLOWLIST)} allowlisted prefixes)")
     return 0
 
