@@ -32,8 +32,8 @@ main()
              "gain small (min)", "gain large (min)"});
     for (const auto &a : table) {
         t.addRow({a.spec.name, fmt(a.slamSpeedup, 2) + "x",
-                  fmt(a.spec.powerOverheadW, 3),
-                  fmt(a.spec.weightOverheadG, 0),
+                  fmt(a.spec.powerOverheadW.value(), 3),
+                  fmt(a.spec.weightOverheadG.value(), 0),
                   costLevelName(a.spec.integrationCost),
                   costLevelName(a.spec.fabricationCost),
                   fmt(a.gainedSmallMin, 2), fmt(a.gainedLargeMin, 2)});
@@ -69,8 +69,8 @@ main()
             continue;
         const double gain =
             platformSwapGainMin(
-                in, Quantity<Watts>(a.spec.powerOverheadW - 10.0),
-                Quantity<Grams>(a.spec.weightOverheadG - 85.0))
+                in, a.spec.powerOverheadW - Quantity<Watts>(10.0),
+                a.spec.weightOverheadG - Quantity<Grams>(85.0))
                 .value();
         std::printf("  CPU/GPU -> %-4s : %+6.2f min (weight feedback "
                     "included)\n",

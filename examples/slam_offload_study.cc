@@ -72,7 +72,7 @@ main(int argc, char **argv)
         t.addRow({spec_p.name, fmt(pt.totalSeconds, 2),
                   fmt(fps, 0),
                   fmt(rpi.totalSeconds / pt.totalSeconds, 2) + "x",
-                  fmt(spec_p.powerOverheadW, 3),
+                  fmt(spec_p.powerOverheadW.value(), 3),
                   fps >= 20.0 ? "yes" : "no"});
     }
     t.print();
@@ -94,8 +94,8 @@ main(int argc, char **argv)
         if (spec_p.kind == PlatformKind::TX2)
             continue;
         const Quantity<Minutes> gain = platformSwapGainMin(
-            in, Quantity<Watts>(spec_p.powerOverheadW - 10.0),
-            Quantity<Grams>(spec_p.weightOverheadG - 85.0));
+            in, spec_p.powerOverheadW - Quantity<Watts>(10.0),
+            spec_p.weightOverheadG - Quantity<Grams>(85.0));
         std::printf("  offload to %-4s : %+5.2f min\n",
                     spec_p.name.c_str(), gain.value());
     }

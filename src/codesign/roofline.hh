@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Roofline model of the Table 5 platforms, calibrated against the
+ * trace-driven core simulator instead of copied from a datasheet.
+ *
+ * Two microkernel profiles run through `runIsolated` fit the host
+ * (RPi-class) roofline: an L1-resident streaming kernel measures
+ * peak ops/s (IPC at the core clock with no memory stalls), and a
+ * pointer-chasing kernel whose footprint dwarfs the LLC measures
+ * sustainable DRAM bandwidth (miss lines per cycle).  Five per-phase
+ * SLAM workload profiles then measure each `SlamPhase`'s arithmetic
+ * intensity — abstract pipeline ops per DRAM byte actually touched —
+ * which places every phase on the roofline: attainable throughput is
+ * min(peak, bandwidth x intensity), and a phase is memory-bound when
+ * the bandwidth roof is the binding one.  Accelerator rooflines are
+ * the host roofline scaled by per-platform peak/bandwidth factors
+ * (GPU lanes, FPGA pipelines + BRAM, ASIC memory specialization).
+ *
+ * The measured-vs-roofline gap per phase (attainable / Table 4
+ * calibrated throughput) is the report the co-design driver cites
+ * when it explains a recommendation.
+ */
+
+#ifndef DRONEDSE_CODESIGN_ROOFLINE_HH
+#define DRONEDSE_CODESIGN_ROOFLINE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "platform/platform.hh"
+#include "uarch/core.hh"
+
+namespace dronedse::codesign {
+
+/** One platform's roofline: a flat peak and a bandwidth slope. */
+struct RooflineSpec
+{
+    PlatformKind kind = PlatformKind::RPi;
+    /** Compute roof (abstract pipeline ops per second). */
+    double peakOpsPerSec = 0.0;
+    /** Memory roof slope (DRAM bytes per second). */
+    double bandwidthBytesPerSec = 0.0;
+
+    /** Intensity at which the two roofs intersect (ops/byte). */
+    double
+    ridgeOpsPerByte() const
+    {
+        return bandwidthBytesPerSec > 0.0
+                   ? peakOpsPerSec / bandwidthBytesPerSec
+                   : 0.0;
+    }
+
+    /** Attainable throughput at a given arithmetic intensity. */
+    double
+    attainable(double intensity_ops_per_byte) const
+    {
+        const double memory_roof =
+            bandwidthBytesPerSec * intensity_ops_per_byte;
+        return memory_roof < peakOpsPerSec ? memory_roof
+                                           : peakOpsPerSec;
+    }
+};
+
+/** Raw host-calibration measurements, kept for reports/tests. */
+struct HostCalibration
+{
+    /** Streaming microkernel counters (peak fit). */
+    PerfCounters streaming;
+    /** Pointer-chasing microkernel counters (bandwidth fit). */
+    PerfCounters chasing;
+    /** Per-phase characterization counters (intensity fit). */
+    std::array<PerfCounters,
+               static_cast<std::size_t>(SlamPhase::NumPhases)>
+        phases{};
+    /** Fitted host roofline. */
+    RooflineSpec host;
+    /** Per-phase arithmetic intensity (ops per DRAM byte). */
+    std::array<double,
+               static_cast<std::size_t>(SlamPhase::NumPhases)>
+        intensityOpsPerByte{};
+};
+
+/** One row of the per-platform roofline report. */
+struct PhaseRooflineReport
+{
+    SlamPhase phase = SlamPhase::FeatureExtraction;
+    /** Arithmetic intensity (a workload property, host-measured). */
+    double intensityOpsPerByte = 0.0;
+    /** min(peak, bandwidth x intensity) on this platform. */
+    double attainableOpsPerSec = 0.0;
+    /** Table 4 calibrated throughput on this platform. */
+    double measuredOpsPerSec = 0.0;
+    /** True when the bandwidth roof binds. */
+    bool memoryBound = false;
+    /** attainable / measured: how much roofline headroom is unused. */
+    double gap = 0.0;
+};
+
+/** Calibration knobs; the defaults are the canonical fit. */
+struct RooflineCalibrationConfig
+{
+    /** Events per microkernel / phase characterization run. */
+    std::uint64_t instructions = 1000000;
+    /** Trace seed (the fit is a pure function of this config). */
+    std::uint64_t seed = 17;
+    /** Host core clock the cycle counts are converted with (Hz). */
+    double clockHz = 1.5e9;
+};
+
+/** The streaming (peak-fit) microkernel profile. */
+WorkloadProfile streamingKernelProfile();
+
+/** The pointer-chasing (bandwidth-fit) microkernel profile. */
+WorkloadProfile pointerChaseKernelProfile();
+
+/** Per-phase SLAM characterization profile. */
+WorkloadProfile phaseKernelProfile(SlamPhase phase);
+
+/** Run the microkernels and fit the host roofline + intensities. */
+HostCalibration calibrateHost(
+    const RooflineCalibrationConfig &config = {});
+
+/**
+ * The calibrated roofline model over all four Table 4/5 platforms.
+ * Construction is deterministic; `shared()` memoizes the canonical
+ * fit so the serve layer and the examples pay for it once.
+ */
+class RooflineModel
+{
+  public:
+    explicit RooflineModel(
+        const RooflineCalibrationConfig &config = {});
+
+    /** Process-wide canonical model (default config). */
+    static const RooflineModel &shared();
+
+    const HostCalibration &calibration() const { return cal_; }
+
+    /** This platform's fitted roofline. */
+    const RooflineSpec &roofline(PlatformKind kind) const;
+
+    /** Host-measured arithmetic intensity of a phase (ops/byte). */
+    double intensity(SlamPhase phase) const;
+
+    /** min(peak, bandwidth x intensity) for a phase on a platform. */
+    double attainable(PlatformKind kind, SlamPhase phase) const;
+
+    /** True when the bandwidth roof binds for phase on platform. */
+    bool memoryBound(PlatformKind kind, SlamPhase phase) const;
+
+    /**
+     * Roofline-capped execution throughput the co-design driver
+     * plans with: the Table 4 calibrated phase throughput, clipped
+     * from above by the roofline (a platform cannot beat its own
+     * memory system no matter what the calibration table says).
+     */
+    double effectiveThroughput(PlatformKind kind,
+                               SlamPhase phase) const;
+
+    /** The full five-row report for one platform. */
+    std::vector<PhaseRooflineReport> report(PlatformKind kind) const;
+
+  private:
+    HostCalibration cal_;
+    std::array<RooflineSpec,
+               static_cast<std::size_t>(PlatformKind::NumPlatforms)>
+        rooflines_{};
+};
+
+} // namespace dronedse::codesign
+
+#endif // DRONEDSE_CODESIGN_ROOFLINE_HH

@@ -20,13 +20,14 @@ double
 gainMin(const PlatformSpec &spec, const OffloadScenario &sc,
         double total_power_w)
 {
-    double replaced_w = sc.replacedComputeW;
+    Quantity<Watts> replaced_w{sc.replacedComputeW};
     if (spec.kind == PlatformKind::TX2) {
         replaced_w = platformSpec(PlatformKind::RPi).powerOverheadW;
     }
-    const double power_saved = replaced_w - spec.powerOverheadW;
+    const Quantity<Watts> power_saved =
+        replaced_w - spec.powerOverheadW;
     return gainedFlightTimeApproxMin(
-               Quantity<Watts>(power_saved),
+               power_saved,
                Quantity<Watts>(total_power_w),
                Quantity<Minutes>(sc.baselineFlightMin))
         .value();
@@ -113,11 +114,12 @@ OffloadLink::attempt()
 
 const OffloadAssessment &
 recommendPlatform(const std::vector<OffloadAssessment> &table,
-                  bool small_drone, double tie_margin_min)
+                  bool small_drone, Quantity<Minutes> tie_margin)
 {
     if (table.empty())
         fatal("recommendPlatform: empty assessment table");
 
+    const double tie_margin_min = tie_margin.value();
     const OffloadAssessment *best = &table.front();
     auto gain = [&](const OffloadAssessment &a) {
         return small_drone ? a.gainedSmallMin : a.gainedLargeMin;

@@ -58,14 +58,15 @@ assessOffload(const std::array<double, 4> &speedups,
 
 /**
  * The paper's recommendation logic: rank platforms by gained flight
- * time, breaking near-ties (within `tie_margin_min` minutes) toward
- * lower integration+fabrication cost.  Returns the winner — the
- * FPGA under the paper's numbers.
+ * time, breaking near-ties (within `tie_margin`) toward lower
+ * integration+fabrication cost.  Returns the winner — the FPGA
+ * under the paper's numbers.
  */
 const OffloadAssessment &
 recommendPlatform(const std::vector<OffloadAssessment> &table,
                   bool small_drone = true,
-                  double tie_margin_min = 0.5);
+                  Quantity<Minutes> tie_margin =
+                      Quantity<Minutes>(0.5));
 
 /** Link model parameters. */
 struct OffloadLinkConfig

@@ -58,8 +58,8 @@ allPlatforms()
 
         v[0].kind = PlatformKind::RPi;
         v[0].name = "RPi";
-        v[0].powerOverheadW = 2.0;
-        v[0].weightOverheadG = 50.0;
+        v[0].powerOverheadW = Quantity<Watts>(2.0);
+        v[0].weightOverheadG = Quantity<Grams>(50.0);
         v[0].integrationCost = CostLevel::Low;
         v[0].fabricationCost = CostLevel::Low;
         v[0].phaseThroughput = kRpiThroughput;
@@ -68,8 +68,8 @@ allPlatforms()
         // bundle adjustment gains only ~2x (sparse, divergent).
         v[1].kind = PlatformKind::TX2;
         v[1].name = "TX2";
-        v[1].powerOverheadW = 10.0;
-        v[1].weightOverheadG = 85.0;
+        v[1].powerOverheadW = Quantity<Watts>(10.0);
+        v[1].weightOverheadG = Quantity<Grams>(85.0);
         v[1].integrationCost = CostLevel::Low;
         v[1].fabricationCost = CostLevel::Low;
         v[1].phaseThroughput =
@@ -79,8 +79,8 @@ allPlatforms()
         // an eSLAM-style feature front end (~10x).
         v[2].kind = PlatformKind::Fpga;
         v[2].name = "FPGA";
-        v[2].powerOverheadW = 0.417;
-        v[2].weightOverheadG = 75.0;
+        v[2].powerOverheadW = Quantity<Watts>(0.417);
+        v[2].weightOverheadG = Quantity<Grams>(75.0);
         v[2].integrationCost = CostLevel::Medium;
         v[2].fabricationCost = CostLevel::Medium;
         v[2].phaseThroughput =
@@ -90,8 +90,8 @@ allPlatforms()
         // throughput at a tiny power budget.
         v[3].kind = PlatformKind::Asic;
         v[3].name = "ASIC";
-        v[3].powerOverheadW = 0.024;
-        v[3].weightOverheadG = 20.0;
+        v[3].powerOverheadW = Quantity<Watts>(0.024);
+        v[3].weightOverheadG = Quantity<Grams>(20.0);
         v[3].integrationCost = CostLevel::High;
         v[3].fabricationCost = CostLevel::High;
         v[3].phaseThroughput =

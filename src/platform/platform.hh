@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "slam/pipeline.hh"
+#include "util/quantity.hh"
 
 namespace dronedse {
 
@@ -45,12 +46,12 @@ struct PlatformSpec
     PlatformKind kind = PlatformKind::RPi;
     std::string name;
     /**
-     * Power overhead of hosting SLAM on this platform (W), Table 5:
-     * RPi 2, TX2 10, FPGA 0.417, ASIC 0.024.
+     * Power overhead of hosting SLAM on this platform, Table 5:
+     * RPi 2 W, TX2 10 W, FPGA 0.417 W, ASIC 0.024 W.
      */
-    double powerOverheadW = 2.0;
-    /** Weight overhead (g), Table 5: 50 / 85 / 75 / 20. */
-    double weightOverheadG = 50.0;
+    Quantity<Watts> powerOverheadW{2.0};
+    /** Weight overhead, Table 5: 50 / 85 / 75 / 20 g. */
+    Quantity<Grams> weightOverheadG{50.0};
     CostLevel integrationCost = CostLevel::Low;
     CostLevel fabricationCost = CostLevel::Low;
     /**

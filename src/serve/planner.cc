@@ -34,7 +34,7 @@ finiteNonNegative(double v)
 
 QueryPlanner::QueryPlanner(engine::SweepEngine &engine,
                            PlannerLimits limits)
-    : engine_(engine), limits_(limits)
+    : engine_(engine), limits_(limits), codesign_(engine)
 {
 }
 
@@ -91,6 +91,57 @@ QueryPlanner::validate(const Request &request, ErrorReply &err) const
                check_aux("sensor_power_w",
                          point.sensorPowerW.value()) &&
                check_aux("payload_g", point.payloadG.value());
+    }
+
+    if (request.kind == QueryKind::Codesign) {
+        const codesign::MissionSpec &mission = request.mission;
+        if (!finitePositive(mission.targetRateHz))
+            return invalid(err, "target_rate_hz must be > 0");
+        if (mission.wheelbasesMm.empty() || mission.cells.empty())
+            return invalid(err,
+                           "mission wheelbases_mm and cells must "
+                           "be non-empty");
+        if (mission.wheelbasesMm.size() > limits_.maxAxisEntries ||
+            mission.cells.size() > limits_.maxAxisEntries)
+            return invalid(err, "mission axis exceeds max entries");
+        for (const Quantity<Millimeters> wb : mission.wheelbasesMm) {
+            if (!check_wheelbase(wb))
+                return false;
+        }
+        for (int cells : mission.cells) {
+            if (!check_cells(cells))
+                return false;
+        }
+        for (double ops : mission.perFrameOps) {
+            if (!finitePositive(ops))
+                return invalid(err,
+                               "per_frame_ops must be finite and "
+                               "> 0");
+        }
+        if (!finitePositive(mission.capacityLoMah.value()) ||
+            !finitePositive(mission.capacityHiMah.value()) ||
+            mission.capacityHiMah.value() <
+                mission.capacityLoMah.value())
+            return invalid(
+                err, "capacity range must satisfy 0 < lo <= hi");
+        if (!std::isfinite(mission.capacityStepMah.value()) ||
+            mission.capacityStepMah.value() <
+                limits_.minCapacityStepMah.value())
+            return invalid(err, "capacity_step_mah below minimum");
+        if (!check_aux("payload_g", mission.payloadG.value()))
+            return false;
+        // The compute-config axis is bounded by construction
+        // (platforms x splits x rate ladder), so capping the
+        // capacity axis bounds the whole expanded grid.
+        const double capacity_steps =
+            (mission.capacityHiMah.value() -
+             mission.capacityLoMah.value()) /
+            mission.capacityStepMah.value();
+        if (capacity_steps >
+            static_cast<double>(limits_.maxGridPoints))
+            return invalid(err,
+                           "capacity axis exceeds the grid cap");
+        return true;
     }
 
     const SweepSpec &spec = request.spec;
@@ -201,6 +252,59 @@ QueryPlanner::runCoalesced(const SweepSpec &spec)
     return flight->result;
 }
 
+std::shared_ptr<codesign::CodesignOutcome>
+QueryPlanner::runCodesignCoalesced(
+    const codesign::MissionSpec &mission)
+{
+    // Same single-flight shape as runCoalesced: the canonical
+    // request serialization is the key, so two codesign queries for
+    // byte-identical missions share one search.
+    Request key_request;
+    key_request.kind = QueryKind::Codesign;
+    key_request.mission = mission;
+    const std::string key = serializeRequest(key_request);
+
+    std::shared_ptr<InFlightCodesign> flight;
+    bool leader = false;
+    {
+        util::MutexLock lock(mutex_);
+        auto &slot = inflightCodesign_[key];
+        if (!slot) {
+            slot = std::make_shared<InFlightCodesign>();
+            leader = true;
+        }
+        flight = slot;
+        if (leader)
+            ++stats_.batchesLed;
+        else
+            ++stats_.coalesced;
+    }
+
+    if (leader) {
+        obs::ScopedSpan span("serve.codesign", "serve");
+        auto outcome = std::make_shared<codesign::CodesignOutcome>(
+            codesign_.run(mission));
+        {
+            util::MutexLock lock(flight->mutex);
+            flight->outcome = outcome;
+            flight->done = true;
+        }
+        flight->cv.notifyAll();
+        {
+            util::MutexLock lock(mutex_);
+            inflightCodesign_.erase(key);
+        }
+        obs::metrics().counter("serve.batches.led").add(1);
+        return outcome;
+    }
+
+    obs::metrics().counter("serve.batches.coalesced").add(1);
+    util::MutexLock lock(flight->mutex);
+    while (!flight->done)
+        flight->cv.wait(flight->mutex);
+    return flight->outcome;
+}
+
 std::string
 QueryPlanner::execute(const Request &request)
 {
@@ -234,6 +338,12 @@ QueryPlanner::execute(const Request &request)
             runCoalesced(request.spec);
         reply = serializeParetoReply(request.id, result->points,
                                      result->frontier);
+        break;
+    }
+    case QueryKind::Codesign: {
+        const std::shared_ptr<codesign::CodesignOutcome> outcome =
+            runCodesignCoalesced(request.mission);
+        reply = serializeCodesignReply(request.id, *outcome);
         break;
     }
     }

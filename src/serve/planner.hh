@@ -27,6 +27,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "codesign/codesign.hh"
 #include "engine/engine.hh"
 #include "serve/request.hh"
 #include "util/thread_annotations.hh"
@@ -95,17 +96,35 @@ class QueryPlanner
             DDSE_GUARDED_BY(mutex);
     };
 
+    struct InFlightCodesign
+    {
+        util::Mutex mutex;
+        util::CondVar cv;
+        bool done DDSE_GUARDED_BY(mutex) = false;
+        std::shared_ptr<codesign::CodesignOutcome> outcome
+            DDSE_GUARDED_BY(mutex);
+    };
+
     /** Run a spec single-flight (see file comment). */
     std::shared_ptr<engine::SweepResult>
     runCoalesced(const SweepSpec &spec) DDSE_EXCLUDES(mutex_);
 
+    /** Run a mission single-flight, keyed the same way. */
+    std::shared_ptr<codesign::CodesignOutcome>
+    runCodesignCoalesced(const codesign::MissionSpec &mission)
+        DDSE_EXCLUDES(mutex_);
+
     engine::SweepEngine &engine_;
     PlannerLimits limits_;
+    codesign::CodesignDriver codesign_;
 
     mutable util::Mutex mutex_;
     PlannerStats stats_ DDSE_GUARDED_BY(mutex_);
     std::unordered_map<std::string, std::shared_ptr<InFlight>>
         inflight_ DDSE_GUARDED_BY(mutex_);
+    std::unordered_map<std::string,
+                       std::shared_ptr<InFlightCodesign>>
+        inflightCodesign_ DDSE_GUARDED_BY(mutex_);
 };
 
 } // namespace dronedse::serve

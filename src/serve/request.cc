@@ -390,6 +390,143 @@ serializeResult(const DesignResult &result)
     return out;
 }
 
+bool
+parseMission(const JsonValue &value, codesign::MissionSpec &out,
+             ErrorReply &err)
+{
+    if (!value.isObject())
+        return invalid(err, "mission must be an object");
+    std::string activity_name_in;
+    double lo = out.capacityLoMah.value();
+    double hi = out.capacityHiMah.value();
+    double step = out.capacityStepMah.value();
+    double payload = out.payloadG.value();
+    if (!readString(value, "name", out.name, err) ||
+        !readDouble(value, "target_rate_hz", out.targetRateHz,
+                    err) ||
+        !readDouble(value, "capacity_lo_mah", lo, err) ||
+        !readDouble(value, "capacity_hi_mah", hi, err) ||
+        !readDouble(value, "capacity_step_mah", step, err) ||
+        !readDouble(value, "payload_g", payload, err) ||
+        !readString(value, "activity", activity_name_in, err))
+        return false;
+    if (!activity_name_in.empty() &&
+        !parseActivity(activity_name_in, out.activity, err))
+        return false;
+    if (const JsonValue *ops = value.find("per_frame_ops")) {
+        if (!ops->isArray() ||
+            ops->items().size() != out.perFrameOps.size())
+            return invalid(err, "per_frame_ops must be an array of " +
+                                    std::to_string(
+                                        out.perFrameOps.size()) +
+                                    " numbers");
+        std::size_t i = 0;
+        for (const JsonValue &entry : ops->items()) {
+            if (!entry.isNumber())
+                return invalid(
+                    err, "per_frame_ops entries must be numbers");
+            out.perFrameOps[i++] = entry.asNumber();
+        }
+    }
+    if (const JsonValue *wheelbases = value.find("wheelbases_mm")) {
+        if (!wheelbases->isArray())
+            return invalid(err, "wheelbases_mm must be an array");
+        out.wheelbasesMm.clear();
+        for (const JsonValue &entry : wheelbases->items()) {
+            if (!entry.isNumber())
+                return invalid(
+                    err, "wheelbases_mm entries must be numbers");
+            out.wheelbasesMm.push_back(
+                Quantity<Millimeters>(entry.asNumber()));
+        }
+    }
+    if (const JsonValue *cells = value.find("cells")) {
+        if (!cells->isArray())
+            return invalid(err, "cells must be an array");
+        out.cells.clear();
+        for (const JsonValue &entry : cells->items()) {
+            if (!entry.isNumber() ||
+                std::floor(entry.asNumber()) != entry.asNumber())
+                return invalid(err,
+                               "cells entries must be integers");
+            out.cells.push_back(static_cast<int>(entry.asNumber()));
+        }
+    }
+    out.capacityLoMah = Quantity<MilliampHours>(lo);
+    out.capacityHiMah = Quantity<MilliampHours>(hi);
+    out.capacityStepMah = Quantity<MilliampHours>(step);
+    out.payloadG = Quantity<Grams>(payload);
+    return true;
+}
+
+std::string
+serializeMission(const codesign::MissionSpec &mission)
+{
+    std::string out = "{";
+    out += "\"name\": " + jsonQuote(mission.name);
+    out += ", \"target_rate_hz\": " +
+           jsonNumber(mission.targetRateHz);
+    out += ", \"per_frame_ops\": [";
+    for (std::size_t i = 0; i < mission.perFrameOps.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += jsonNumber(mission.perFrameOps[i]);
+    }
+    out += "], \"wheelbases_mm\": [";
+    for (std::size_t i = 0; i < mission.wheelbasesMm.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += jsonNumber(mission.wheelbasesMm[i].value());
+    }
+    out += "], \"cells\": [";
+    for (std::size_t i = 0; i < mission.cells.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += std::to_string(mission.cells[i]);
+    }
+    out += "], \"capacity_lo_mah\": " +
+           jsonNumber(mission.capacityLoMah.value());
+    out += ", \"capacity_hi_mah\": " +
+           jsonNumber(mission.capacityHiMah.value());
+    out += ", \"capacity_step_mah\": " +
+           jsonNumber(mission.capacityStepMah.value());
+    out += ", \"activity\": " +
+           jsonQuote(activityName(mission.activity));
+    out += ", \"payload_g\": " +
+           jsonNumber(mission.payloadG.value());
+    out += "}";
+    return out;
+}
+
+std::string
+serializeChoice(const codesign::CodesignChoice &choice)
+{
+    if (!choice.feasible)
+        return "{\"feasible\": false}";
+    const codesign::ComputeConfig &cfg = choice.config;
+    std::string out = "{\"feasible\": true";
+    out += ", \"board\": " + jsonQuote(cfg.boardName);
+    out += ", \"platform\": " +
+           jsonQuote(platformSpec(cfg.platform).name);
+    out += ", \"split\": " +
+           jsonQuote(codesign::offloadSplitName(cfg.split));
+    out += ", \"rate_hz\": " + jsonNumber(cfg.rateHz);
+    out += ", \"sustained_fps\": " + jsonNumber(cfg.sustainedFps);
+    out += ", \"compute_power_w\": " +
+           jsonNumber(cfg.computePowerW.value());
+    out += ", \"compute_weight_g\": " +
+           jsonNumber(cfg.computeWeightG.value());
+    out += ", \"wheelbase_mm\": " +
+           jsonNumber(choice.design.inputs.wheelbaseMm.value());
+    out += ", \"cells\": " +
+           std::to_string(choice.design.inputs.cells);
+    out += ", \"capacity_mah\": " +
+           jsonNumber(choice.design.inputs.capacityMah.value());
+    out += ", \"result\": " + serializeResult(choice.design);
+    out += "}";
+    return out;
+}
+
 std::string
 replyHead(std::uint64_t id, bool ok, const char *kind)
 {
@@ -411,6 +548,7 @@ queryKindName(QueryKind kind)
     case QueryKind::Design: return "design";
     case QueryKind::Sweep: return "sweep";
     case QueryKind::Pareto: return "pareto";
+    case QueryKind::Codesign: return "codesign";
     }
     panic("queryKindName: corrupt kind");
     return "";
@@ -476,6 +614,8 @@ parseRequest(const std::string &frame, Request &out, ErrorReply &err)
         out.kind = QueryKind::Sweep;
     else if (kind_name == "pareto")
         out.kind = QueryKind::Pareto;
+    else if (kind_name == "codesign")
+        out.kind = QueryKind::Codesign;
     else
         return invalid(err, "unknown query kind '" + kind_name + "'");
 
@@ -495,6 +635,13 @@ parseRequest(const std::string &frame, Request &out, ErrorReply &err)
             return invalid(err, "design query requires a point");
         return parsePoint(*point, out.point, err);
     }
+    if (out.kind == QueryKind::Codesign) {
+        const JsonValue *mission = doc->find("mission");
+        if (!mission)
+            return invalid(err,
+                           "codesign query requires a mission");
+        return parseMission(*mission, out.mission, err);
+    }
     const JsonValue *spec = doc->find("spec");
     if (!spec)
         return invalid(err, "sweep/pareto query requires a spec");
@@ -510,6 +657,8 @@ serializeRequest(const Request &request)
         ", \"class\": " + jsonQuote(queryClassName(request.cls));
     if (request.kind == QueryKind::Design)
         out += ", \"point\": " + serializePoint(request.point);
+    else if (request.kind == QueryKind::Codesign)
+        out += ", \"mission\": " + serializeMission(request.mission);
     else
         out += ", \"spec\": " + serializeSpec(request.spec);
     out += "}";
@@ -554,6 +703,40 @@ serializeSweepReply(std::uint64_t id,
         if (i > 0)
             out += ", ";
         out += serializeResult(points[i]);
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+serializeCodesignReply(std::uint64_t id,
+                       const codesign::CodesignOutcome &outcome)
+{
+    std::string out = replyHead(id, true, "codesign");
+    out += ", \"config_count\": " +
+           std::to_string(outcome.configCount);
+    out += ", \"grid_points\": " +
+           std::to_string(outcome.gridPoints);
+    out += ", \"recommended\": " +
+           serializeChoice(outcome.recommended);
+    out += ", \"per_platform\": [";
+    for (std::size_t i = 0; i < outcome.perPlatform.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += serializeChoice(outcome.perPlatform[i]);
+    }
+    out += "], \"per_split\": [";
+    for (std::size_t i = 0; i < outcome.perSplit.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += serializeChoice(outcome.perSplit[i]);
+    }
+    out += "], \"best_sustained_fps\": [";
+    for (std::size_t i = 0; i < outcome.bestSustainedFps.size();
+         ++i) {
+        if (i > 0)
+            out += ", ";
+        out += jsonNumber(outcome.bestSustainedFps[i]);
     }
     out += "]}";
     return out;

@@ -3,15 +3,18 @@
  * Wire protocol of the DSE query service.
  *
  * Frames are line-delimited JSON: one request object per line in,
- * one reply object per line out.  Three query kinds map onto the
+ * one reply object per line out.  Four query kinds map onto the
  * existing model vocabulary:
  *
- *   design  — one `DesignInputs` point, solved through the memo
- *             cache (`{"id": 1, "kind": "design", "point": {...}}`)
- *   sweep   — a full `SweepSpec` grid; the reply carries every grid
- *             point in `expandGrid` order plus the feasible count
- *             and Pareto frontier indices
- *   pareto  — same spec, but the reply carries only the frontier
+ *   design   — one `DesignInputs` point, solved through the memo
+ *              cache (`{"id": 1, "kind": "design", "point": {...}}`)
+ *   sweep    — a full `SweepSpec` grid; the reply carries every grid
+ *              point in `expandGrid` order plus the feasible count
+ *              and Pareto frontier indices
+ *   pareto   — same spec, but the reply carries only the frontier
+ *   codesign — a `codesign::MissionSpec`; the reply carries the
+ *              recommended compute configuration plus the
+ *              per-platform and per-split frontiers
  *
  * Every reply echoes the request id and carries either `"ok": true`
  * with results or `"ok": false` with a typed error
@@ -34,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "codesign/codesign.hh"
 #include "dse/sweep.hh"
 
 namespace dronedse::serve {
@@ -44,6 +48,7 @@ enum class QueryKind
     Design,
     Sweep,
     Pareto,
+    Codesign,
 };
 
 /** Admission classes: interactive outranks batch under shed. */
@@ -85,6 +90,8 @@ struct Request
     DesignInputs point;
     /** Valid when kind == Sweep or Pareto. */
     SweepSpec spec;
+    /** Valid when kind == Codesign. */
+    codesign::MissionSpec mission;
 };
 
 /** Payload of an error reply. */
@@ -120,6 +127,9 @@ std::string
 serializeParetoReply(std::uint64_t id,
                      const std::vector<DesignResult> &points,
                      const std::vector<std::size_t> &frontier);
+std::string
+serializeCodesignReply(std::uint64_t id,
+                       const codesign::CodesignOutcome &outcome);
 
 } // namespace dronedse::serve
 

@@ -92,6 +92,15 @@ runAlone(TraceGenerator &generator, std::uint64_t instructions,
     return counters;
 }
 
+PerfCounters
+runIsolated(const WorkloadProfile &profile,
+            std::uint64_t instructions, std::uint64_t seed)
+{
+    TraceGenerator generator(profile, seed);
+    CorePlatform platform;
+    return runAlone(generator, instructions, platform);
+}
+
 CoScheduleResult
 coSchedule(TraceGenerator &first, TraceGenerator &second,
            std::uint64_t instructions_each, std::uint64_t slice,

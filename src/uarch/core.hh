@@ -49,6 +49,17 @@ PerfCounters runAlone(TraceGenerator &generator,
                       CorePlatform &platform);
 
 /**
+ * Run a profile in complete isolation: a fresh default platform and
+ * a seeded generator, nothing shared with any other run.  This is
+ * the calibration entry point the roofline layer uses to fit peak
+ * ops/s and memory bandwidth from microkernel profiles — a pure
+ * function of (profile, instructions, seed).
+ */
+PerfCounters runIsolated(const WorkloadProfile &profile,
+                         std::uint64_t instructions,
+                         std::uint64_t seed);
+
+/**
  * Execute a single event against the platform, accumulating into
  * `counters` (shared by runAlone and the co-scheduler).
  */

@@ -9,23 +9,23 @@ namespace {
 TEST(Platform, SpecsMatchTable5)
 {
     const auto &rpi = platformSpec(PlatformKind::RPi);
-    EXPECT_EQ(rpi.powerOverheadW, 2.0);
-    EXPECT_EQ(rpi.weightOverheadG, 50.0);
+    EXPECT_EQ(rpi.powerOverheadW.value(), 2.0);
+    EXPECT_EQ(rpi.weightOverheadG.value(), 50.0);
     EXPECT_EQ(rpi.integrationCost, CostLevel::Low);
 
     const auto &tx2 = platformSpec(PlatformKind::TX2);
-    EXPECT_EQ(tx2.powerOverheadW, 10.0);
-    EXPECT_EQ(tx2.weightOverheadG, 85.0);
+    EXPECT_EQ(tx2.powerOverheadW.value(), 10.0);
+    EXPECT_EQ(tx2.weightOverheadG.value(), 85.0);
 
     const auto &fpga = platformSpec(PlatformKind::Fpga);
-    EXPECT_EQ(fpga.powerOverheadW, 0.417);
-    EXPECT_EQ(fpga.weightOverheadG, 75.0);
+    EXPECT_EQ(fpga.powerOverheadW.value(), 0.417);
+    EXPECT_EQ(fpga.weightOverheadG.value(), 75.0);
     EXPECT_EQ(fpga.integrationCost, CostLevel::Medium);
     EXPECT_EQ(fpga.fabricationCost, CostLevel::Medium);
 
     const auto &asic = platformSpec(PlatformKind::Asic);
-    EXPECT_EQ(asic.powerOverheadW, 0.024);
-    EXPECT_EQ(asic.weightOverheadG, 20.0);
+    EXPECT_EQ(asic.powerOverheadW.value(), 0.024);
+    EXPECT_EQ(asic.weightOverheadG.value(), 20.0);
     EXPECT_EQ(asic.integrationCost, CostLevel::High);
     EXPECT_EQ(asic.fabricationCost, CostLevel::High);
 

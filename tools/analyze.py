@@ -81,6 +81,7 @@ DETERMINISTIC_PATHS = (
     "src/fault",
     "src/dse",
     "src/serve",
+    "src/codesign",
 )
 
 ALLOW_MARKER_RE = re.compile(r"analyze:allow\((\w+)\)")

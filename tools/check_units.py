@@ -41,7 +41,6 @@ ALLOWLIST = (
     "src/sim/",       # rigid-body state: raw SI doubles
     "src/slam/",      # vision pipeline: pixels and raw SI doubles
     "src/uarch/",     # microarchitecture model: cycles, not SI units
-    "src/platform/",  # Table 5 record structs and their plumbing
 )
 MAX_ALLOWLIST_ENTRIES = 10
 
