@@ -2,13 +2,22 @@
  * @file
  * Sweep-engine throughput bench: serial reference vs `SweepEngine`
  * at 1/2/4/8 threads on the Figure 10 footprint grids (all three
- * size classes, both chips, both activities, cells 1-6).
+ * size classes, both chips, both activities, cells 1-6), plus a
+ * cold-cache batch-vs-scalar series (SoA `solveDesignBatch` kernel
+ * vs per-point `solveDesign`) that measures the raw-compute win the
+ * memo cache would otherwise mask.
  *
  * Emits machine-readable results — points/s, cache hit rates,
  * speedups, a serial-vs-engine CSV identity check, and the span
  * tracer's overhead on the sweep (runtime-enabled vs disabled;
- * budget <3%) — as `BENCH_sweep.json` (path overridable via
- * argv[1]), seeding the repo's performance trajectory.
+ * budget <3%) — as `BENCH_sweep.json`.
+ *
+ * Usage: sweep_throughput [out.json] [--cold]
+ *
+ * `--cold` re-measures every cold series best-of-3 with
+ * `clearCache()` between repetitions, so each rep is a genuinely
+ * cold solve; without it a rerun on the same engine would score
+ * cache hits and report a warm number as cold.
  */
 
 #include <algorithm>
@@ -19,8 +28,10 @@
 #include <vector>
 
 #include "components/compute_board.hh"
+#include "dse/batch_solve.hh"
 #include "dse/export.hh"
 #include "dse/sweep.hh"
+#include "dse/weight_closure.hh"
 #include "engine/engine.hh"
 #include "obs/tracer.hh"
 #include "util/logging.hh"
@@ -80,8 +91,16 @@ num(double v)
 int
 main(int argc, char **argv)
 {
-    const std::string out_path =
-        argc > 1 ? argv[1] : "BENCH_sweep.json";
+    std::string out_path = "BENCH_sweep.json";
+    bool cold_mode = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--cold")
+            cold_mode = true;
+        else
+            out_path = arg;
+    }
+    const int cold_reps = cold_mode ? 3 : 1;
     const std::vector<SweepSpec> specs = fig10Grids();
 
     std::size_t grid_points = 0;
@@ -113,12 +132,23 @@ main(int argc, char **argv)
         engine::SweepEngine eng{
             engine::EngineOptions{.threads = threads}};
 
-        // Cold pass: every point is a miss and a real solve.
-        const auto cold_start = std::chrono::steady_clock::now();
+        // Cold pass: every point is a miss and a real solve.  In
+        // --cold mode the pass repeats best-of-N, with clearCache()
+        // wiping the memo between reps so rep 2+ stays a real solve
+        // instead of an all-hits replay masquerading as cold.
+        double cold_seconds = 1e300;
         std::string engine_csv;
-        for (const auto &spec : specs)
-            engine_csv += feasibleCsv(eng.run(spec).points);
-        const double cold_seconds = now_seconds_since(cold_start);
+        for (int rep = 0; rep < cold_reps; ++rep) {
+            if (rep > 0)
+                eng.clearCache();
+            const auto cold_start = std::chrono::steady_clock::now();
+            std::string rep_csv;
+            for (const auto &spec : specs)
+                rep_csv += feasibleCsv(eng.run(spec).points);
+            cold_seconds =
+                std::min(cold_seconds, now_seconds_since(cold_start));
+            engine_csv = std::move(rep_csv);
+        }
         const engine::CacheCounters cold_cache = eng.cacheCounters();
 
         // Warm pass: the same grids again; the closure is all hits.
@@ -165,6 +195,116 @@ main(int argc, char **argv)
         json += "}";
     }
     json += "]";
+
+    // Batch-vs-scalar, cold cache: the same grids through the same
+    // engine with only `batchSolve` toggled, clearCache() before
+    // every timed pass so each one measures raw solves — the SoA
+    // kernel against one `solveDesign` per point — rather than memo
+    // hits.  This is the series that shows the kernel's raw-compute
+    // win; everything above mixes in cache effects.
+    std::printf("\n--- batch vs scalar, cold cache (best of %d) ---\n",
+                cold_reps);
+    json += ", \"batch_vs_scalar\": {\"cold_cache\": true";
+    json += ", \"reps\": " + std::to_string(cold_reps);
+
+    // Raw kernel series: `solveDesign` loop vs `solveDesignBatch`
+    // with the memo cache bypassed outright — no quantization, no
+    // lookups, no inserts — so the number is the SoA kernel's
+    // compute win and nothing else.
+    {
+        std::vector<DesignInputs> flat_grid;
+        for (const auto &spec : specs) {
+            const std::vector<DesignInputs> grid = expandGrid(spec);
+            flat_grid.insert(flat_grid.end(), grid.begin(),
+                             grid.end());
+        }
+        std::vector<DesignResult> flat_out(flat_grid.size());
+        double raw_scalar = 1e300, raw_batch = 1e300;
+        for (int rep = 0; rep < cold_reps; ++rep) {
+            auto start = std::chrono::steady_clock::now();
+            for (std::size_t i = 0; i < flat_grid.size(); ++i)
+                flat_out[i] = solveDesign(flat_grid[i]);
+            raw_scalar =
+                std::min(raw_scalar, now_seconds_since(start));
+            start = std::chrono::steady_clock::now();
+            solveDesignBatch(
+                std::span<const DesignInputs>(flat_grid),
+                std::span<DesignResult>(flat_out));
+            raw_batch = std::min(raw_batch, now_seconds_since(start));
+        }
+        const double raw_scalar_pps =
+            static_cast<double>(flat_grid.size()) / raw_scalar;
+        const double raw_batch_pps =
+            static_cast<double>(flat_grid.size()) / raw_batch;
+        std::printf("raw kernel (no cache)   scalar %9.0f points/s   "
+                    "batch %9.0f points/s   speedup %.2fx\n",
+                    raw_scalar_pps, raw_batch_pps,
+                    raw_scalar / raw_batch);
+        json += ", \"raw_kernel\": {\"scalar_points_per_second\": " +
+                num(raw_scalar_pps);
+        json +=
+            ", \"batch_points_per_second\": " + num(raw_batch_pps);
+        json += ", \"batch_speedup\": " +
+                num(raw_scalar / raw_batch) + "}";
+    }
+
+    json += ", \"series\": [";
+    bool first_bvs = true;
+    for (int threads : {1, 4}) {
+        double scalar_seconds = 1e300, batch_seconds = 1e300;
+        std::string scalar_csv_out, batch_csv_out;
+        for (const bool batch : {false, true}) {
+            engine::SweepEngine eng{engine::EngineOptions{
+                .threads = threads, .batchSolve = batch}};
+            for (int rep = 0; rep < cold_reps; ++rep) {
+                eng.clearCache();
+                // Time only the sweeps; CSV formatting is the same
+                // either way and would otherwise swamp the solver.
+                std::vector<engine::SweepResult> runs;
+                const auto start = std::chrono::steady_clock::now();
+                for (const auto &spec : specs)
+                    runs.push_back(eng.run(spec));
+                const double seconds = now_seconds_since(start);
+                std::string rep_csv;
+                for (const auto &run : runs)
+                    rep_csv += feasibleCsv(run.points);
+                if (batch) {
+                    batch_seconds = std::min(batch_seconds, seconds);
+                    batch_csv_out = std::move(rep_csv);
+                } else {
+                    scalar_seconds = std::min(scalar_seconds, seconds);
+                    scalar_csv_out = std::move(rep_csv);
+                }
+            }
+        }
+        const bool identical = batch_csv_out == scalar_csv_out &&
+                               batch_csv_out == serial_csv;
+        const double scalar_pps =
+            static_cast<double>(grid_points) / scalar_seconds;
+        const double batch_pps =
+            static_cast<double>(grid_points) / batch_seconds;
+        const double speedup = scalar_seconds / batch_seconds;
+        std::printf("%2d thr   scalar %9.0f points/s   batch %9.0f "
+                    "points/s   speedup %.2fx   csv %s\n",
+                    threads, scalar_pps, batch_pps, speedup,
+                    identical ? "identical" : "DIVERGED");
+
+        if (!first_bvs)
+            json += ", ";
+        first_bvs = false;
+        json += "{\"threads\": " + std::to_string(threads);
+        json += ", \"scalar\": {\"wall_seconds\": " +
+                num(scalar_seconds);
+        json += ", \"points_per_second\": " + num(scalar_pps) + "}";
+        json +=
+            ", \"batch\": {\"wall_seconds\": " + num(batch_seconds);
+        json += ", \"points_per_second\": " + num(batch_pps) + "}";
+        json += ", \"batch_speedup\": " + num(speedup);
+        json += ", \"csv_identical\": ";
+        json += identical ? "true" : "false";
+        json += "}";
+    }
+    json += "]}";
 
     // Tracer overhead on the Fig 10 sweep: cold passes on a fresh
     // engine (so every point is a real solve), best-of-N to shave

@@ -5,11 +5,14 @@
  * time vs compute capability vs all-up weight.
  *
  * Usage: design_explorer [--jobs N] [--csv PATH] [--trace PATH]
- *                        [--metrics PATH]
+ *                        [--metrics PATH] [--no-batch]
  *   --jobs N       worker threads for the sweep (default: hardware)
  *   --csv PATH     write every feasible design point as CSV
  *   --trace PATH   capture engine spans, write chrome://tracing JSON
  *   --metrics PATH write the obs metrics-registry snapshot as JSON
+ *   --no-batch     solve point-by-point instead of through the SoA
+ *                  batch kernel (output is bit-identical either way;
+ *                  CI diffs the two CSVs to prove it)
  */
 
 #include <cstdio>
@@ -36,6 +39,7 @@ namespace {
 struct Options
 {
     int jobs = 0; // 0 = hardware concurrency
+    bool batchSolve = true;
     std::string csvPath;
     std::string tracePath;
     std::string metricsPath;
@@ -59,11 +63,13 @@ parseArgs(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--metrics") == 0 &&
                    i + 1 < argc) {
             opts.metricsPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--no-batch") == 0) {
+            opts.batchSolve = false;
         } else {
             fatal(std::string("design_explorer: unknown argument '") +
                   argv[i] + "' (usage: design_explorer [--jobs N] "
                             "[--csv PATH] [--trace PATH] "
-                            "[--metrics PATH])");
+                            "[--metrics PATH] [--no-batch])");
         }
     }
     return opts;
@@ -80,7 +86,8 @@ main(int argc, char **argv)
 
     std::printf("=== Design explorer: flight time vs compute ===\n\n");
 
-    engine::SweepEngine eng{engine::EngineOptions{.threads = opts.jobs}};
+    engine::SweepEngine eng{engine::EngineOptions{
+        .threads = opts.jobs, .batchSolve = opts.batchSolve}};
 
     // One sweep per size class (their capacity axes differ), every
     // compute board and battery family in each.

@@ -10,12 +10,14 @@
  *       | dse_server --stdio
  *
  * Usage: dse_server [--port N] [--bind ADDR] [--jobs N]
- *                   [--workers N] [--stdio]
+ *                   [--workers N] [--stdio] [--no-batch]
  *   --port N     TCP port (default 0 = ephemeral, printed at start)
  *   --bind ADDR  IPv4 bind address (default 127.0.0.1)
  *   --jobs N     engine sweep threads (default: hardware)
  *   --workers N  server worker threads draining the queue (default 2)
  *   --stdio      answer frames from stdin on stdout, then exit
+ *   --no-batch   solve point-by-point instead of through the SoA
+ *                batch kernel (replies are bit-identical either way)
  */
 
 #include <csignal>
@@ -46,6 +48,7 @@ struct Options
     int jobs = 0; // 0 = hardware concurrency
     int workers = 2;
     bool stdio = false;
+    bool batchSolve = true;
 };
 
 Options
@@ -73,11 +76,13 @@ parseArgs(int argc, char **argv)
                       "integer");
         } else if (std::strcmp(argv[i], "--stdio") == 0) {
             opts.stdio = true;
+        } else if (std::strcmp(argv[i], "--no-batch") == 0) {
+            opts.batchSolve = false;
         } else {
             fatal(std::string("dse_server: unknown argument '") +
                   argv[i] +
                   "' (usage: dse_server [--port N] [--bind ADDR] "
-                  "[--jobs N] [--workers N] [--stdio])");
+                  "[--jobs N] [--workers N] [--stdio] [--no-batch])");
         }
     }
     return opts;
@@ -121,6 +126,7 @@ main(int argc, char **argv)
 
     serve::ServiceOptions service_options;
     service_options.engine.threads = opts.jobs;
+    service_options.engine.batchSolve = opts.batchSolve;
 
     if (opts.stdio) {
         serve::Service service{service_options};

@@ -1,6 +1,7 @@
 #include "engine/engine.hh"
 
 #include <chrono>
+#include <span>
 
 #include "components/battery.hh"
 #include "engine/pareto.hh"
@@ -42,12 +43,30 @@ SweepEngine::run(const SweepSpec &spec)
 
     SweepResult result;
     result.points.resize(grid.size());
-    // Each worker writes only the slot of the index it was handed,
-    // so the reduction is order-independent by construction.
-    pool_.parallelFor(grid.size(), options_.chunkSize,
-                      [&](std::size_t i, int) {
-                          result.points[i] = cache_.solve(grid[i]);
-                      });
+    // Each worker writes only the slots of the range it was handed,
+    // so the reduction is order-independent by construction.  The
+    // batch path hands each chunk to the memo cache whole: misses
+    // ride the SoA kernel together instead of one fixed-point solve
+    // per point.  Chunk boundaries move with the thread count, but
+    // the kernel is blocking-invariant (solve(N) == any partition of
+    // it, per the batch property tests), so the determinism contract
+    // is unchanged.
+    if (options_.batchSolve) {
+        const std::span<const DesignInputs> grid_span(grid);
+        const std::span<DesignResult> points_span(result.points);
+        pool_.parallelForChunks(
+            grid.size(), options_.chunkSize,
+            [&](std::size_t begin, std::size_t end, int) {
+                cache_.solveBatch(
+                    grid_span.subspan(begin, end - begin),
+                    points_span.subspan(begin, end - begin));
+            });
+    } else {
+        pool_.parallelFor(grid.size(), options_.chunkSize,
+                          [&](std::size_t i, int) {
+                              result.points[i] = cache_.solve(grid[i]);
+                          });
+    }
 
     for (std::size_t i = 0; i < result.points.size(); ++i) {
         if (result.points[i].feasible)
@@ -89,6 +108,8 @@ SweepEngine::run(const SweepSpec &spec)
     registry.counter("engine.cache.misses").add(stats.cache.misses);
     registry.counter("engine.cache.evictions")
         .add(stats.cache.evictions);
+    if (options_.batchSolve)
+        registry.counter("engine.batch.points").add(stats.gridPoints);
     registry.gauge("engine.sweep.points_per_second")
         .set(stats.pointsPerSecond);
     registry

@@ -38,6 +38,14 @@ struct EngineOptions
     std::size_t cacheCapacity = 1 << 20;
     /** Grid indices per work chunk; 0 = ~4 chunks per worker. */
     std::size_t chunkSize = 0;
+    /**
+     * Solve each chunk's cache misses through the SoA batch kernel
+     * (`solveDesignBatch`) instead of one `solveDesign` per point.
+     * Results are bit-identical either way (the differential battery
+     * holds the kernel to the scalar oracle); off is the scalar
+     * reference path for benches and differential tests.
+     */
+    bool batchSolve = true;
 };
 
 /** Everything `run` produces for one spec. */
@@ -96,6 +104,13 @@ class SweepEngine
 
     /** Lifetime cache counters (across all runs of this engine). */
     CacheCounters cacheCounters() const { return cache_.counters(); }
+
+    /**
+     * Drop every memoized entry (lifetime counters are kept).  The
+     * cold-cache bench mode resets with this between passes so its
+     * batch-vs-scalar numbers measure raw solves, not cache hits.
+     */
+    void clearCache() { cache_.clear(); }
 
     /**
      * Stats of the most recent `run`, as one consistent copy taken

@@ -1,7 +1,10 @@
 #include "engine/memo_cache.hh"
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
+#include "dse/batch_solve.hh"
 #include "dse/weight_closure.hh"
 #include "util/logging.hh"
 
@@ -131,6 +134,110 @@ MemoCache::solve(const DesignInputs &inputs)
     DesignResult result = solveDesign(inputs);
     insert(key, result);
     return result;
+}
+
+void
+MemoCache::solveBatch(std::span<const DesignInputs> inputs,
+                      std::span<DesignResult> results)
+{
+    if (inputs.size() != results.size())
+        fatal("MemoCache::solveBatch: inputs/results size mismatch");
+
+    struct Duplicate
+    {
+        std::size_t index;  // slot to fill
+        std::size_t source; // earlier slot with the same key
+    };
+
+    // Pass 1: look every input up.  A repeat of a key that already
+    // missed in this batch is deferred — solving it again would both
+    // waste the solve and double-count the miss the sequential path
+    // scores only once.  The duplicate map keys on *indices* into
+    // `keys` (hashes precomputed) so tracking a miss never copies a
+    // DesignKey: the cache wrapper must stay thin enough not to eat
+    // the kernel's raw-compute win.
+    std::vector<DesignKey> keys;
+    std::vector<std::size_t> hashes;
+    keys.reserve(inputs.size());
+    hashes.reserve(inputs.size());
+    struct IndexHash
+    {
+        const std::vector<std::size_t> *hashes;
+        std::size_t operator()(std::size_t i) const
+        {
+            return (*hashes)[i];
+        }
+    };
+    struct IndexEq
+    {
+        const std::vector<DesignKey> *keys;
+        bool operator()(std::size_t a, std::size_t b) const
+        {
+            return (*keys)[a] == (*keys)[b];
+        }
+    };
+    std::unordered_map<std::size_t, std::size_t, IndexHash, IndexEq>
+        missed_at(0, IndexHash{&hashes}, IndexEq{&keys});
+    std::vector<std::size_t> pending; // unique misses, batch order
+    std::vector<Duplicate> duplicates;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        keys.push_back(quantizeInputs(inputs[i]));
+        hashes.push_back(hashKey(keys[i]));
+        if (const auto it = missed_at.find(i); it != missed_at.end()) {
+            duplicates.push_back({i, it->second});
+            continue;
+        }
+        if (auto cached = lookup(keys[i])) {
+            results[i] = *std::move(cached);
+            continue;
+        }
+        missed_at.emplace(i, i);
+        pending.push_back(i);
+    }
+
+    // All-miss, no-duplicate batches — every cold chunk of a real
+    // sweep — skip the gather entirely: the kernel reads and writes
+    // the caller's storage and the results are inserted in place.
+    if (pending.size() == inputs.size()) {
+        solveDesignBatch(inputs, results);
+        for (std::size_t i = 0; i < inputs.size(); ++i)
+            insert(keys[i], results[i]);
+        return;
+    }
+
+    // Pass 2: the misses ride the SoA kernel together — this is the
+    // whole point of chunk-level batching (DESIGN.md §15).
+    std::vector<DesignInputs> miss_inputs;
+    miss_inputs.reserve(pending.size());
+    for (std::size_t i : pending)
+        miss_inputs.push_back(inputs[i]);
+    std::vector<DesignResult> miss_results(pending.size());
+    solveDesignBatch(std::span<const DesignInputs>(miss_inputs),
+                     std::span<DesignResult>(miss_results));
+
+    // Pass 3: insert in batch order, matching the FIFO eviction
+    // order a sequential replay would have produced.
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+        insert(keys[pending[k]], miss_results[k]);
+        results[pending[k]] = std::move(miss_results[k]);
+    }
+
+    // Pass 4: duplicates copy the solved result and replay the hit
+    // the sequential path would have scored against the insert, so
+    // hits + misses advance by exactly the batch size.
+    for (const Duplicate &dup : duplicates) {
+        recordHit(keys[dup.index]);
+        results[dup.index] = results[dup.source];
+    }
+}
+
+void
+MemoCache::recordHit(const DesignKey &key)
+{
+    const std::size_t hash = hashKey(key);
+    Shard &shard = shardFor(key, hash);
+    util::MutexLock lock(shard.mutex);
+    ++shard.counters.hits;
 }
 
 CacheCounters

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 
@@ -113,6 +114,23 @@ class MemoCache
     DesignResult solve(const DesignInputs &inputs);
 
     /**
+     * Memoized batch solve: look every input up, run the misses
+     * through the SoA kernel (`solveDesignBatch`) in one pass, and
+     * insert them in batch order.  `results[i]` is byte-identical to
+     * what `solve(inputs[i])` would have produced, and the counters
+     * advance by exactly `inputs.size()` hits-plus-misses: repeats
+     * of a missed key within one batch are solved once and the
+     * repeats recorded as the hits the sequential path would have
+     * scored against the fresh insert.  (Only under a pathological
+     * capacity — smaller than one batch's unique-key footprint in a
+     * single shard — can the hit/miss split differ from a strictly
+     * sequential replay, because the sequential path may re-miss a
+     * key it evicted mid-batch.)
+     */
+    void solveBatch(std::span<const DesignInputs> inputs,
+                    std::span<DesignResult> results);
+
+    /**
      * One consistent snapshot (all shards locked together).  Locks
      * a variable set of mutexes in a loop — a pattern capability
      * analysis cannot express, hence the explicit opt-out on the
@@ -135,6 +153,9 @@ class MemoCache
     };
 
     Shard &shardFor(const DesignKey &key, std::size_t hash);
+
+    /** Count the hit an intra-batch duplicate replays (no lookup). */
+    void recordHit(const DesignKey &key);
 
     /** Per-shard entry cap; set once in the ctor, then read-only. */
     std::size_t shardCapacity_;

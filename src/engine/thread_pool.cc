@@ -55,6 +55,19 @@ void
 ThreadPool::parallelFor(std::size_t count, std::size_t chunk_size,
                         const std::function<void(std::size_t, int)> &body)
 {
+    parallelForChunks(count, chunk_size,
+                      [&body](std::size_t begin, std::size_t end,
+                              int worker) {
+                          for (std::size_t i = begin; i < end; ++i)
+                              body(i, worker);
+                      });
+}
+
+void
+ThreadPool::parallelForChunks(
+    std::size_t count, std::size_t chunk_size,
+    const std::function<void(std::size_t, std::size_t, int)> &body)
+{
     const auto n_workers = queues_.size();
     for (auto &stat : stats_)
         stat = WorkerStats{};
@@ -135,8 +148,7 @@ ThreadPool::runWorker(int worker, const Body &body)
         const auto start = std::chrono::steady_clock::now();
         {
             obs::ScopedSpan span("engine.chunk", "engine");
-            for (std::size_t i = chunk.begin; i < chunk.end; ++i)
-                body(i, worker);
+            body(chunk.begin, chunk.end, worker);
         }
         stat.busySeconds += secondsSince(start);
         stat.itemsProcessed += chunk.end - chunk.begin;

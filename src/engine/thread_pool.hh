@@ -72,6 +72,18 @@ class ThreadPool
                      const std::function<void(std::size_t, int)> &body);
 
     /**
+     * Chunk-granular variant: run `body(begin, end, worker)` once
+     * per dealt/stolen chunk instead of once per index.  This is the
+     * engine's batching hook — a chunk body can hand the whole
+     * [begin, end) range to the SoA batch solver in one call.  Same
+     * dealing, stealing, stats, and blocking semantics as
+     * `parallelFor` (which is implemented on top of this).
+     */
+    void parallelForChunks(
+        std::size_t count, std::size_t chunk_size,
+        const std::function<void(std::size_t, std::size_t, int)> &body);
+
+    /**
      * Stats of the most recent `parallelFor`, one entry per worker.
      * Only meaningful between jobs: each slot is written exclusively
      * by its owning worker during a run (indexed-slot discipline,
@@ -97,7 +109,8 @@ class ThreadPool
         std::deque<Chunk> chunks DDSE_GUARDED_BY(mutex);
     };
 
-    using Body = std::function<void(std::size_t, int)>;
+    /** Internal job unit: a chunk-range body. */
+    using Body = std::function<void(std::size_t, std::size_t, int)>;
 
     void workerLoop(int worker) DDSE_EXCLUDES(jobMutex_);
     /** Drain chunks with an explicit body: no racy `body_` reads. */
