@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Fleet-engine throughput bench: the full composed scenario catalog
+ * (11 singles + every cleanly-composing ordered pair) at a
+ * per-scenario drone population, flown at 1/2/4/8 threads.
+ *
+ * Emits `BENCH_fleet.json` with missions/s per thread count, the
+ * scaling ratios, and a byte-identity check of the full ECDF CSV
+ * across every thread count against the serial run (the fleet
+ * determinism contract, DESIGN.md §16).  The acceptance gate is
+ * >= 1000 missions/s at 8 threads on this composed workload —
+ * roughly the 25 ms/mission full-stack harness times 25, which is
+ * what makes million-mission risk studies tractable.
+ *
+ * Usage: fleet_throughput [out.json] [--drones N]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.hh"
+#include "util/logging.hh"
+
+using namespace dronedse;
+using namespace dronedse::fleet;
+
+namespace {
+
+double
+now_seconds_since(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+std::string
+num(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return std::string(buf);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_fleet.json";
+    std::size_t drones = 64;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--drones") == 0 && i + 1 < argc)
+            drones =
+                static_cast<std::size_t>(std::atoll(argv[++i]));
+        else
+            out_path = argv[i];
+    }
+
+    ComposedCatalog catalog = composedCatalog();
+    FleetSpec spec;
+    spec.mission = findMission("survey");
+    spec.scenarios = std::move(catalog.scenarios);
+    spec.dronesPerScenario = drones;
+    const std::size_t missions =
+        spec.scenarios.size() * spec.dronesPerScenario;
+
+    std::printf("=== Fleet throughput: %zu composed scenarios x "
+                "%zu drones = %zu missions (%zu pairs rejected) "
+                "===\n\n",
+                spec.scenarios.size(), spec.dronesPerScenario,
+                missions, catalog.rejectedPairs);
+
+    std::string json = "{\"bench\": \"fleet_throughput\"";
+    json += ", \"scenarios\": " +
+            std::to_string(spec.scenarios.size());
+    json += ", \"drones_per_scenario\": " + std::to_string(drones);
+    json += ", \"missions\": " + std::to_string(missions);
+    json += ", \"series\": [";
+
+    std::string serial_ecdf;
+    double serial_seconds = 0.0;
+    double mps_at_8 = 0.0;
+    bool all_identical = true;
+    bool first = true;
+    for (int threads : {1, 2, 4, 8}) {
+        // Best-of-3 wall time; the result is checked every rep.
+        double best_seconds = 1e300;
+        std::string ecdf;
+        for (int rep = 0; rep < 3; ++rep) {
+            const auto start = std::chrono::steady_clock::now();
+            const FleetResult result = runFleet(spec, threads);
+            const double seconds = now_seconds_since(start);
+            best_seconds = std::min(best_seconds, seconds);
+            const std::string rep_ecdf = fleetEcdfCsv(result);
+            if (rep > 0 && rep_ecdf != ecdf)
+                fatal("fleet_throughput: repeat run diverged at " +
+                      std::to_string(threads) + " threads");
+            ecdf = rep_ecdf;
+        }
+        if (threads == 1) {
+            serial_ecdf = ecdf;
+            serial_seconds = best_seconds;
+        }
+        const bool identical = ecdf == serial_ecdf;
+        all_identical = all_identical && identical;
+
+        const double mps =
+            static_cast<double>(missions) / best_seconds;
+        if (threads == 8)
+            mps_at_8 = mps;
+        const double speedup = serial_seconds / best_seconds;
+        std::printf("threads %d   %8.3f s   %9.0f missions/s   "
+                    "x%.2f   ecdf %s\n",
+                    threads, best_seconds, mps, speedup,
+                    identical ? "identical" : "DIVERGED");
+
+        if (!first)
+            json += ", ";
+        first = false;
+        json += "{\"threads\": " + std::to_string(threads);
+        json += ", \"wall_seconds\": " + num(best_seconds);
+        json += ", \"missions_per_second\": " + num(mps);
+        json += ", \"speedup\": " + num(speedup);
+        json += ", \"ecdf_identical\": ";
+        json += identical ? "true" : "false";
+        json += "}";
+    }
+
+    const bool gate = mps_at_8 >= 1000.0 && all_identical;
+    json += "], \"ecdf_identical_all\": ";
+    json += all_identical ? "true" : "false";
+    json += ", \"gate_1000_mps_at_8_threads\": ";
+    json += gate ? "true" : "false";
+    json += "}\n";
+
+    std::printf("\ngate (>=1000 missions/s at 8 threads, all ECDFs "
+                "identical): %s\n", gate ? "PASS" : "FAIL");
+
+    std::ofstream out(out_path);
+    if (!out)
+        fatal("fleet_throughput: cannot open '" + out_path + "'");
+    out << json;
+    std::printf("wrote %s\n", out_path.c_str());
+    return gate ? 0 : 1;
+}

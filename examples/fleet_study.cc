@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Fleet-scale risk study: fly drone populations through composed
+ * fault scenarios and environment axes, and report survival rates
+ * and flight-time / energy ECDFs per scenario (DESIGN.md §16).
+ *
+ * Usage: fleet_study [--mission NAME] [--drones N] [--jobs N]
+ *                    [--seed S] [--no-policy] [--catalog]
+ *                    [--scenario NAME] [--winds CSV]
+ *                    [--payloads CSV] [--ages CSV]
+ *                    [--summary-csv PATH] [--ecdf-csv PATH]
+ *                    [--list]
+ *   --mission NAME     mission from the catalog (default survey)
+ *   --drones N         drones per scenario (default 256)
+ *   --jobs N           worker threads (0 = all cores, default 1)
+ *   --seed S           fleet seed (default 17)
+ *   --no-policy        disable the degradation policy ladder
+ *   --catalog          fly the full composed catalog (11 singles +
+ *                      every cleanly-composing ordered pair)
+ *   --scenario NAME    fly one fault-catalog scenario instead
+ *   --winds CSV        wind axis values, m/s (e.g. 0,4,8)
+ *   --payloads CSV     payload axis values, g (e.g. 0,250,500)
+ *   --ages CSV         battery-age axis values in (0,1]
+ *   --summary-csv PATH write the per-scenario summary CSV
+ *   --ecdf-csv PATH    write the full ECDF CSV
+ *   --list             print missions and scenarios, then exit
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hh"
+#include "fleet/fleet.hh"
+#include "util/logging.hh"
+
+using namespace dronedse;
+using namespace dronedse::fleet;
+
+namespace {
+
+std::vector<double>
+parseAxis(const char *arg, const char *name)
+{
+    std::vector<double> out;
+    std::string s(arg);
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        const std::string tok = s.substr(pos, comma - pos);
+        if (tok.empty())
+            fatal(std::string("fleet_study: empty value in --") +
+                  name);
+        out.push_back(std::atof(tok.c_str()));
+        pos = comma + 1;
+    }
+    if (out.empty())
+        fatal(std::string("fleet_study: --") + name +
+              " needs at least one value");
+    return out;
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream f(path);
+    if (!f)
+        fatal("fleet_study: cannot open '" + path + "' for writing");
+    f << content;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FleetSpec spec;
+    spec.mission = findMission("survey");
+    int jobs = 1;
+    bool use_catalog = false;
+    std::string scenario_name, summary_path, ecdf_path;
+    std::vector<double> winds, payloads, ages;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--mission") == 0 && i + 1 < argc) {
+            spec.mission = findMission(argv[++i]);
+        } else if (std::strcmp(argv[i], "--drones") == 0 &&
+                   i + 1 < argc) {
+            spec.dronesPerScenario =
+                static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (std::strcmp(argv[i], "--jobs") == 0 &&
+                   i + 1 < argc) {
+            jobs = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--seed") == 0 &&
+                   i + 1 < argc) {
+            spec.fleetSeed =
+                static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (std::strcmp(argv[i], "--no-policy") == 0) {
+            spec.policyEnabled = false;
+        } else if (std::strcmp(argv[i], "--catalog") == 0) {
+            use_catalog = true;
+        } else if (std::strcmp(argv[i], "--scenario") == 0 &&
+                   i + 1 < argc) {
+            scenario_name = argv[++i];
+        } else if (std::strcmp(argv[i], "--winds") == 0 &&
+                   i + 1 < argc) {
+            winds = parseAxis(argv[++i], "winds");
+        } else if (std::strcmp(argv[i], "--payloads") == 0 &&
+                   i + 1 < argc) {
+            payloads = parseAxis(argv[++i], "payloads");
+        } else if (std::strcmp(argv[i], "--ages") == 0 &&
+                   i + 1 < argc) {
+            ages = parseAxis(argv[++i], "ages");
+        } else if (std::strcmp(argv[i], "--summary-csv") == 0 &&
+                   i + 1 < argc) {
+            summary_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--ecdf-csv") == 0 &&
+                   i + 1 < argc) {
+            ecdf_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--list") == 0) {
+            std::printf("missions:\n");
+            for (const auto &m : missionCatalog())
+                std::printf("  %-14s %s\n", m.name.c_str(),
+                            m.description.c_str());
+            std::printf("fault scenarios:\n");
+            for (const auto &sc : fault::scenarioCatalog())
+                std::printf("  %-24s %s\n", sc.name.c_str(),
+                            sc.description.c_str());
+            return 0;
+        } else {
+            fatal(std::string("fleet_study: unknown argument '") +
+                  argv[i] + "' (run with --list for catalogs)");
+        }
+    }
+
+    if (use_catalog && !scenario_name.empty())
+        fatal("fleet_study: --catalog and --scenario are exclusive");
+
+    if (use_catalog) {
+        ComposedCatalog catalog = composedCatalog();
+        std::printf("composed catalog: %zu scenarios (%zu pairs "
+                    "rejected by the subsystem-overlap rule)\n",
+                    catalog.scenarios.size(), catalog.rejectedPairs);
+        spec.scenarios = std::move(catalog.scenarios);
+    } else if (!scenario_name.empty()) {
+        spec.scenarios =
+            wrapScenarios({fault::findScenario(scenario_name)});
+    } else {
+        spec.scenarios = wrapScenarios(fault::scenarioCatalog());
+    }
+
+    if (!winds.empty() || !payloads.empty() || !ages.empty()) {
+        const EnvAxes nominal;
+        if (winds.empty())
+            winds = {nominal.windMps};
+        if (payloads.empty())
+            payloads = {nominal.payloadG};
+        if (ages.empty())
+            ages = {nominal.batteryAge};
+        spec.scenarios =
+            crossWithAxes(spec.scenarios, winds, payloads, ages);
+    }
+
+    std::printf("=== Fleet: mission '%s', %zu scenario%s x %zu "
+                "drones, policy %s, seed %llu ===\n\n",
+                spec.mission.name.c_str(), spec.scenarios.size(),
+                spec.scenarios.size() == 1 ? "" : "s",
+                spec.dronesPerScenario,
+                spec.policyEnabled ? "ON" : "OFF",
+                static_cast<unsigned long long>(spec.fleetSeed));
+
+    const FleetResult result = runFleet(spec, jobs);
+
+    std::printf("%-44s %8s %6s %6s %6s %6s %9s %9s\n", "scenario",
+                "survive", "crash", "land", "degr", "compl",
+                "t50 (s)", "t90 (s)");
+    for (const auto &sc : result.scenarios) {
+        const Ecdf flight = sc.flightTimeEcdf();
+        std::printf(
+            "%-44s %7.1f%% %6zu %6zu %6zu %6zu %9.1f %9.1f\n",
+            sc.name.c_str(), 100.0 * sc.survivalRate(),
+            sc.tierCount(fault::OutcomeTier::Crashed),
+            sc.tierCount(fault::OutcomeTier::LandedSafe),
+            sc.tierCount(fault::OutcomeTier::SurvivedDegraded),
+            sc.tierCount(fault::OutcomeTier::Completed),
+            flight.quantile(0.5), flight.quantile(0.9));
+    }
+    std::printf("\n%llu missions flown\n",
+                static_cast<unsigned long long>(result.missionsFlown));
+
+    if (!summary_path.empty()) {
+        writeFile(summary_path, fleetSummaryCsv(result));
+        std::printf("summary CSV written to %s\n",
+                    summary_path.c_str());
+    }
+    if (!ecdf_path.empty()) {
+        writeFile(ecdf_path, fleetEcdfCsv(result));
+        std::printf("ECDF CSV written to %s\n", ecdf_path.c_str());
+    }
+    return 0;
+}

@@ -1,5 +1,6 @@
 #include "fault/fault.hh"
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <sstream>
@@ -232,6 +233,136 @@ findScenario(const std::string &name)
             return s;
     }
     fatal("findScenario: no scenario named '" + name + "'");
+}
+
+FaultSubsystem
+faultSubsystem(const FaultEvent &event)
+{
+    switch (event.kind) {
+    case FaultKind::GpsDropout:
+        return FaultSubsystem::Gps;
+    case FaultKind::ImuNoiseSpike:
+        return FaultSubsystem::Imu;
+    case FaultKind::CameraFrameLoss:
+        return FaultSubsystem::Camera;
+    case FaultKind::MotorDerate: {
+        const int m = event.index;
+        if (m < 0 || m > 3)
+            fatal("faultSubsystem: motor index must be 0..3, got " +
+                  std::to_string(m));
+        return static_cast<FaultSubsystem>(
+            static_cast<int>(FaultSubsystem::Motor0) + m);
+    }
+    case FaultKind::OffloadLinkDown:
+    case FaultKind::OffloadLatencySpike:
+        return FaultSubsystem::OffloadLink;
+    case FaultKind::ComputeContention:
+        return FaultSubsystem::Compute;
+    case FaultKind::NumKinds:
+        break;
+    }
+    panic("faultSubsystem: invalid kind");
+}
+
+const char *
+faultSubsystemName(FaultSubsystem subsystem)
+{
+    switch (subsystem) {
+    case FaultSubsystem::Gps:
+        return "gps";
+    case FaultSubsystem::Imu:
+        return "imu";
+    case FaultSubsystem::Camera:
+        return "camera";
+    case FaultSubsystem::Motor0:
+        return "motor0";
+    case FaultSubsystem::Motor1:
+        return "motor1";
+    case FaultSubsystem::Motor2:
+        return "motor2";
+    case FaultSubsystem::Motor3:
+        return "motor3";
+    case FaultSubsystem::OffloadLink:
+        return "offload_link";
+    case FaultSubsystem::Compute:
+        return "compute";
+    }
+    panic("faultSubsystemName: invalid subsystem");
+}
+
+const char *
+composeErrorReasonName(ComposeErrorReason reason)
+{
+    switch (reason) {
+    case ComposeErrorReason::SameKindOverlap:
+        return "same_kind_overlap";
+    case ComposeErrorReason::MotorIndexOverlap:
+        return "motor_index_overlap";
+    case ComposeErrorReason::LinkSubsystemOverlap:
+        return "link_subsystem_overlap";
+    }
+    panic("composeErrorReasonName: invalid reason");
+}
+
+std::string
+ComposeError::message() const
+{
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "%s on %s at t=%.17gs: %s start=%.17g dur=%.17g vs "
+                  "%s start=%.17g dur=%.17g",
+                  composeErrorReasonName(reason),
+                  faultSubsystemName(subsystem), overlapStartS,
+                  faultKindName(first.kind), first.startS,
+                  first.durationS, faultKindName(second.kind),
+                  second.startS, second.durationS);
+    return buf;
+}
+
+ComposeResult
+composeScenarios(const FaultScenario &a, const FaultScenario &b,
+                 const std::string &name)
+{
+    FaultScenario merged;
+    merged.name = name.empty() ? a.name + "+" + b.name : name;
+    merged.description = a.description + " + " + b.description;
+    merged.events = a.events;
+    merged.events.insert(merged.events.end(), b.events.begin(),
+                         b.events.end());
+
+    for (std::size_t i = 0; i < merged.events.size(); ++i) {
+        for (std::size_t j = i + 1; j < merged.events.size(); ++j) {
+            const FaultEvent &e1 = merged.events[i];
+            const FaultEvent &e2 = merged.events[j];
+            if (faultSubsystem(e1) != faultSubsystem(e2))
+                continue;
+            const double overlap_start =
+                std::max(e1.startS, e2.startS);
+            const double overlap_end = std::min(
+                e1.startS + e1.durationS, e2.startS + e2.durationS);
+            if (overlap_start >= overlap_end)
+                continue;
+
+            ComposeError error;
+            if (e1.kind == FaultKind::MotorDerate &&
+                e2.kind == FaultKind::MotorDerate) {
+                error.reason = ComposeErrorReason::MotorIndexOverlap;
+            } else if (e1.kind == e2.kind) {
+                error.reason = ComposeErrorReason::SameKindOverlap;
+            } else {
+                // Only the offload-link subsystem maps two distinct
+                // kinds onto one physical resource.
+                error.reason =
+                    ComposeErrorReason::LinkSubsystemOverlap;
+            }
+            error.first = e1;
+            error.second = e2;
+            error.subsystem = faultSubsystem(e1);
+            error.overlapStartS = overlap_start;
+            return {std::nullopt, error};
+        }
+    }
+    return {std::move(merged), std::nullopt};
 }
 
 FaultScenario

@@ -117,6 +117,94 @@ const FaultScenario &findScenario(const std::string &name);
 FaultScenario randomScenario(std::uint64_t seed, double duration,
                              int max_events = 6);
 
+/**
+ * The physical subsystem a fault event degrades.  Overlap checking
+ * is per subsystem, not per kind: `OffloadLinkDown` and
+ * `OffloadLatencySpike` both act on the one radio, so scripting both
+ * at once has no well-defined semantics, while two `MotorDerate`
+ * events on *different* motors are independent actuators and
+ * compose fine.
+ */
+enum class FaultSubsystem
+{
+    Gps = 0,
+    Imu,
+    Camera,
+    /** Motor0..Motor3: one subsystem per actuator. */
+    Motor0,
+    Motor1,
+    Motor2,
+    Motor3,
+    OffloadLink,
+    Compute,
+};
+
+/** Subsystem an event targets (MotorDerate reads `event.index`). */
+FaultSubsystem faultSubsystem(const FaultEvent &event);
+
+/** Human-readable subsystem name. */
+const char *faultSubsystemName(FaultSubsystem subsystem);
+
+/** Why `composeScenarios` rejected a composition. */
+enum class ComposeErrorReason
+{
+    /** Two events of one kind overlap in time. */
+    SameKindOverlap = 0,
+    /** Two MotorDerate events on the same motor overlap in time. */
+    MotorIndexOverlap,
+    /**
+     * Link-down and latency-spike events overlap in time: both act
+     * on the one offload radio.
+     */
+    LinkSubsystemOverlap,
+};
+
+/** Human-readable reason name. */
+const char *composeErrorReasonName(ComposeErrorReason reason);
+
+/** Typed rejection: which events clashed, where, and why. */
+struct ComposeError
+{
+    ComposeErrorReason reason = ComposeErrorReason::SameKindOverlap;
+    /** The two clashing events (copied from the inputs). */
+    FaultEvent first;
+    FaultEvent second;
+    /** Subsystem both events act on. */
+    FaultSubsystem subsystem = FaultSubsystem::Gps;
+    /** Mission time the overlap begins (s). */
+    double overlapStartS = 0.0;
+
+    /** One-line description for logs and test failure messages. */
+    std::string message() const;
+};
+
+/**
+ * Result of a scenario composition: exactly one of `scenario` /
+ * `error` is set.  A rejected composition is an *expected* outcome
+ * when cross-producting a catalog — callers filter, they don't
+ * crash — which is why this is a typed value and not a fatal().
+ */
+struct ComposeResult
+{
+    std::optional<FaultScenario> scenario;
+    std::optional<ComposeError> error;
+
+    bool ok() const { return scenario.has_value(); }
+};
+
+/**
+ * Merge two scenarios into one timeline (events of `a`, then events
+ * of `b`; name "<a>+<b>" unless `name` is given).  Rejects — with a
+ * typed `ComposeError`, never silently — any pair of events in the
+ * merged timeline that overlap in time on the same subsystem, since
+ * the injector's strongest-magnitude resolution would otherwise
+ * pick a winner the scenario author never scripted.  The first
+ * clash in (outer, inner) event order is reported.
+ */
+ComposeResult composeScenarios(const FaultScenario &a,
+                               const FaultScenario &b,
+                               const std::string &name = "");
+
 } // namespace dronedse::fault
 
 #endif // DRONEDSE_FAULT_FAULT_HH

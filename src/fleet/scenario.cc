@@ -1,0 +1,97 @@
+#include "fleet/scenario.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace dronedse::fleet {
+
+std::string
+EnvAxes::tag() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "w%.17g_p%.17g_a%.17g", windMps,
+                  payloadG, batteryAge);
+    return buf;
+}
+
+ComposedCatalog
+composedCatalog()
+{
+    const auto &catalog = fault::scenarioCatalog();
+    ComposedCatalog out;
+
+    for (const auto &single : catalog)
+        out.scenarios.push_back({single.name, single, EnvAxes{}});
+
+    for (const auto &a : catalog) {
+        for (const auto &b : catalog) {
+            if (a.name == b.name)
+                continue;
+            auto composed = fault::composeScenarios(a, b);
+            if (composed.ok()) {
+                out.scenarios.push_back({composed.scenario->name,
+                                         std::move(*composed.scenario),
+                                         EnvAxes{}});
+            } else {
+                ++out.rejectedPairs;
+                out.rejections.push_back(std::move(*composed.error));
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<ComposedScenario>
+crossWithAxes(const std::vector<ComposedScenario> &scenarios,
+              const std::vector<double> &winds_mps,
+              const std::vector<double> &payloads_g,
+              const std::vector<double> &battery_ages)
+{
+    if (winds_mps.empty() || payloads_g.empty() ||
+        battery_ages.empty())
+        fatal("crossWithAxes: every axis needs at least one value");
+    for (double age : battery_ages) {
+        if (!(age > 0.0 && age <= 1.0))
+            fatal("crossWithAxes: battery age must lie in (0, 1]");
+    }
+    for (double wind : winds_mps) {
+        if (wind < 0.0)
+            fatal("crossWithAxes: wind must be non-negative");
+    }
+    for (double payload : payloads_g) {
+        if (payload < 0.0)
+            fatal("crossWithAxes: payload must be non-negative");
+    }
+
+    std::vector<ComposedScenario> out;
+    out.reserve(scenarios.size() * winds_mps.size() *
+                payloads_g.size() * battery_ages.size());
+    for (const auto &scenario : scenarios) {
+        for (double wind : winds_mps) {
+            for (double payload : payloads_g) {
+                for (double age : battery_ages) {
+                    ComposedScenario c = scenario;
+                    c.env.windMps = wind;
+                    c.env.payloadG = payload;
+                    c.env.batteryAge = age;
+                    c.name = scenario.name + "@" + c.env.tag();
+                    out.push_back(std::move(c));
+                }
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<ComposedScenario>
+wrapScenarios(const std::vector<fault::FaultScenario> &scenarios)
+{
+    std::vector<ComposedScenario> out;
+    out.reserve(scenarios.size());
+    for (const auto &scenario : scenarios)
+        out.push_back({scenario.name, scenario, EnvAxes{}});
+    return out;
+}
+
+} // namespace dronedse::fleet

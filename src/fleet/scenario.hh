@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Scenario composition for fleet studies: fault timelines crossed
+ * with environment axes.
+ *
+ * The paper's conclusions are statistical claims over scenario
+ * distributions, and The Role of Compute in Autonomous Aerial
+ * Vehicles (PAPERS.md 1906.10513) motivates sweeping environment
+ * axes — wind, payload, battery health — at scale.  A
+ * `ComposedScenario` bundles one fault timeline (possibly itself a
+ * `fault::composeScenarios` product of catalog entries) with one
+ * point on those axes; the fleet engine flies a population of
+ * drones through each.
+ *
+ * `composedCatalog()` builds the cross product of the 11-scenario
+ * fault catalog with itself through the typed composition API:
+ * pairs whose events overlap on one subsystem are *rejected by
+ * construction* (fault.hh `ComposeError`), so every composed
+ * timeline in the result has well-defined semantics.  The counts of
+ * accepted and rejected pairs are reported so studies can see what
+ * the overlap rule filtered.
+ */
+
+#ifndef DRONEDSE_FLEET_SCENARIO_HH
+#define DRONEDSE_FLEET_SCENARIO_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hh"
+
+namespace dronedse::fleet {
+
+/** Environment operating point for one scenario. */
+struct EnvAxes
+{
+    /** Mean horizontal wind (m/s); gusts scale with it. */
+    double windMps = 1.5;
+    /** Payload carried beyond the base airframe (g). */
+    double payloadG = 0.0;
+    /**
+     * Battery health: remaining capacity fraction in (0, 1].
+     * 1.0 = fresh pack, 0.7 = aged pack at 70 % capacity.
+     */
+    double batteryAge = 1.0;
+
+    bool operator==(const EnvAxes &) const = default;
+
+    /** "w<wind>_p<payload>_a<age>" axis tag for scenario names. */
+    std::string tag() const;
+};
+
+/** One fault timeline at one environment operating point. */
+struct ComposedScenario
+{
+    /** Unique within a fleet run; keys the per-scenario outputs. */
+    std::string name;
+    fault::FaultScenario faults;
+    EnvAxes env;
+};
+
+/** Result of cross-producting the fault catalog. */
+struct ComposedCatalog
+{
+    std::vector<ComposedScenario> scenarios;
+    /** Ordered pairs the overlap rule rejected. */
+    std::size_t rejectedPairs = 0;
+    /** The typed rejections, for reporting. */
+    std::vector<fault::ComposeError> rejections;
+};
+
+/**
+ * All single catalog scenarios plus every ordered pair (a, b),
+ * a != b, that composes cleanly under the subsystem-overlap rule.
+ * Deterministic: catalog order × catalog order.
+ */
+ComposedCatalog composedCatalog();
+
+/**
+ * Cross `scenarios` with every combination of the axis values:
+ * result order is scenario-major, then wind, payload, battery age.
+ * Each output is named `<scenario>@<axis tag>`.  Empty axis vectors
+ * are invalid (pass {EnvAxes{}.windMps} etc. for "don't sweep").
+ */
+std::vector<ComposedScenario>
+crossWithAxes(const std::vector<ComposedScenario> &scenarios,
+              const std::vector<double> &winds_mps,
+              const std::vector<double> &payloads_g,
+              const std::vector<double> &battery_ages);
+
+/** Wrap bare fault scenarios at the nominal operating point. */
+std::vector<ComposedScenario>
+wrapScenarios(const std::vector<fault::FaultScenario> &scenarios);
+
+} // namespace dronedse::fleet
+
+#endif // DRONEDSE_FLEET_SCENARIO_HH

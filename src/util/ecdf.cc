@@ -1,0 +1,124 @@
+#include "util/ecdf.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace dronedse {
+
+namespace {
+
+void
+requireFinite(double x)
+{
+    if (!std::isfinite(x))
+        fatal("Ecdf: samples must be finite (got NaN or ±inf)");
+}
+
+} // namespace
+
+Ecdf::Ecdf(std::vector<double> samples) : sorted_(std::move(samples))
+{
+    for (double x : sorted_)
+        requireFinite(x);
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+void
+Ecdf::add(double x)
+{
+    requireFinite(x);
+    sorted_.insert(
+        std::lower_bound(sorted_.begin(), sorted_.end(), x), x);
+}
+
+void
+Ecdf::requireNonEmpty(const char *what) const
+{
+    if (sorted_.empty())
+        fatal(std::string("Ecdf: ") + what +
+              " queried on an empty distribution");
+}
+
+double
+Ecdf::min() const
+{
+    requireNonEmpty("min");
+    return sorted_.front();
+}
+
+double
+Ecdf::max() const
+{
+    requireNonEmpty("max");
+    return sorted_.back();
+}
+
+double
+Ecdf::mean() const
+{
+    requireNonEmpty("mean");
+    double sum = 0.0;
+    for (double x : sorted_)
+        sum += x;
+    return sum / static_cast<double>(sorted_.size());
+}
+
+double
+Ecdf::cdf(double x) const
+{
+    requireNonEmpty("cdf");
+    const auto at_most =
+        std::upper_bound(sorted_.begin(), sorted_.end(), x) -
+        sorted_.begin();
+    return static_cast<double>(at_most) /
+           static_cast<double>(sorted_.size());
+}
+
+double
+Ecdf::probAtLeast(double t) const
+{
+    requireNonEmpty("probAtLeast");
+    const auto below =
+        std::lower_bound(sorted_.begin(), sorted_.end(), t) -
+        sorted_.begin();
+    return static_cast<double>(sorted_.size() - below) /
+           static_cast<double>(sorted_.size());
+}
+
+double
+Ecdf::quantile(double q) const
+{
+    requireNonEmpty("quantile");
+    if (!(q >= 0.0 && q <= 1.0))
+        fatal("Ecdf: quantile level must lie in [0, 1]");
+    if (q == 0.0)
+        return sorted_.front();
+    // Smallest index i with (i + 1) / n >= q, i.e. i = ceil(q*n) - 1.
+    const auto n = static_cast<double>(sorted_.size());
+    auto index = static_cast<std::size_t>(std::ceil(q * n)) - 1;
+    if (index >= sorted_.size())
+        index = sorted_.size() - 1;
+    return sorted_[index];
+}
+
+std::string
+Ecdf::toCsvRows(const std::string &prefix) const
+{
+    std::string out;
+    char buf[96];
+    const auto n = static_cast<double>(sorted_.size());
+    for (std::size_t i = 0; i < sorted_.size(); ++i) {
+        std::snprintf(buf, sizeof buf, "%.17g,%.17g", sorted_[i],
+                      static_cast<double>(i + 1) / n);
+        out += prefix;
+        out += ',';
+        out += buf;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace dronedse

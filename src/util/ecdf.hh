@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Empirical cumulative distribution function over finite samples.
+ *
+ * The fleet engine's risk outputs (DESIGN.md §16) are statistical
+ * claims over scenario distributions — P[flight time ≥ T], survival
+ * quantiles — so the primitive is an exact ECDF, not a fitted
+ * parametric model.  Samples are kept sorted; every query is a pure
+ * binary search over that order, which makes the answers independent
+ * of insertion order (permutation invariance, property-tested in
+ * tests/util/test_ecdf.cc) and byte-stable across thread counts when
+ * the sample set is.
+ *
+ * Conventions (pinned by the test battery):
+ *  - `cdf(x)`          = P[X ≤ x] = #{samples ≤ x} / n
+ *  - `probAtLeast(t)`  = P[X ≥ t] = #{samples ≥ t} / n
+ *  - `quantile(q)`     = smallest sample x with cdf(x) ≥ q for
+ *                        q ∈ (0, 1]; `quantile(0)` is the minimum
+ *                        (the standard left-continuous empirical
+ *                        quantile, exact on ties)
+ *
+ * Non-finite samples (NaN, ±inf) are configuration errors and
+ * fatal(); queries on an empty ECDF fatal() as well — an empty risk
+ * distribution answers nothing.
+ */
+
+#ifndef DRONEDSE_UTIL_ECDF_HH
+#define DRONEDSE_UTIL_ECDF_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dronedse {
+
+/** Exact empirical CDF over a finite sample set. */
+class Ecdf
+{
+  public:
+    Ecdf() = default;
+
+    /** Bulk construction; sorts once.  fatal() on non-finite input. */
+    explicit Ecdf(std::vector<double> samples);
+
+    /**
+     * Insert one sample, keeping the internal order sorted.
+     * fatal() on NaN or ±inf.
+     */
+    void add(double x);
+
+    std::size_t size() const { return sorted_.size(); }
+    bool empty() const { return sorted_.empty(); }
+
+    /** Smallest sample; fatal() when empty. */
+    double min() const;
+    /** Largest sample; fatal() when empty. */
+    double max() const;
+    /** Arithmetic mean over the sorted order; fatal() when empty. */
+    double mean() const;
+
+    /** P[X ≤ x]; fatal() when empty. */
+    double cdf(double x) const;
+
+    /** P[X ≥ t]; fatal() when empty. */
+    double probAtLeast(double t) const;
+
+    /**
+     * Smallest sample whose cdf reaches `q`; `q` must lie in
+     * [0, 1].  fatal() when empty or `q` is outside [0, 1].
+     */
+    double quantile(double q) const;
+
+    /** The samples in sorted order. */
+    const std::vector<double> &samples() const { return sorted_; }
+
+    /**
+     * Render as CSV rows `<prefix>,<value>,<cum_prob>` (no header,
+     * one row per sample, `%.17g` values so equal sample sets give
+     * byte-equal text).
+     */
+    std::string toCsvRows(const std::string &prefix) const;
+
+  private:
+    void requireNonEmpty(const char *what) const;
+
+    /** Always sorted ascending. */
+    std::vector<double> sorted_;
+};
+
+} // namespace dronedse
+
+#endif // DRONEDSE_UTIL_ECDF_HH

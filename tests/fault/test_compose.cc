@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Premise battery for `fault::composeScenarios`: every typed
+ * rejection reason must be reachable (same-kind overlap, same-motor
+ * overlap, link-subsystem overlap), every legal composition must
+ * merge cleanly, and the rejection must be a value — not a fatal()
+ * — because cross-producting a catalog treats clashes as expected
+ * filter hits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fault/fault.hh"
+#include "fault/injector.hh"
+
+using namespace dronedse::fault;
+
+namespace {
+
+FaultEvent
+event(FaultKind kind, double start, double duration,
+      double magnitude = 1.0, int index = 0)
+{
+    FaultEvent e;
+    e.kind = kind;
+    e.startS = start;
+    e.durationS = duration;
+    e.magnitude = magnitude;
+    e.index = index;
+    return e;
+}
+
+FaultScenario
+scenario(const std::string &name, std::vector<FaultEvent> events)
+{
+    FaultScenario s;
+    s.name = name;
+    s.description = name;
+    s.events = std::move(events);
+    return s;
+}
+
+} // namespace
+
+TEST(ScenarioCompose, MergesDisjointSubsystems)
+{
+    const auto a =
+        scenario("gps", {event(FaultKind::GpsDropout, 10.0, 20.0)});
+    const auto b = scenario(
+        "imu", {event(FaultKind::ImuNoiseSpike, 12.0, 30.0, 8.0)});
+    const ComposeResult r = composeScenarios(a, b);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.error.has_value());
+    EXPECT_EQ(r.scenario->name, "gps+imu");
+    ASSERT_EQ(r.scenario->events.size(), 2u);
+    // Input order is preserved: a's events, then b's.
+    EXPECT_EQ(r.scenario->events[0].kind, FaultKind::GpsDropout);
+    EXPECT_EQ(r.scenario->events[1].kind, FaultKind::ImuNoiseSpike);
+
+    // The merged timeline drives the injector like any other.
+    const FaultInjector injector(*r.scenario);
+    EXPECT_TRUE(injector.active(FaultKind::GpsDropout, 15.0));
+    EXPECT_DOUBLE_EQ(
+        injector.magnitude(FaultKind::ImuNoiseSpike, 15.0, 1.0), 8.0);
+}
+
+TEST(ScenarioCompose, MergesSameKindWhenWindowsAreDisjoint)
+{
+    const auto a =
+        scenario("early", {event(FaultKind::GpsDropout, 5.0, 10.0)});
+    const auto b =
+        scenario("late", {event(FaultKind::GpsDropout, 15.0, 10.0)});
+    // [5,15) and [15,25) touch but do not overlap.
+    const ComposeResult r = composeScenarios(a, b);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.scenario->events.size(), 2u);
+}
+
+TEST(ScenarioCompose, MergesDerateOnDifferentMotors)
+{
+    const auto a = scenario(
+        "m0", {event(FaultKind::MotorDerate, 10.0, 40.0, 0.7, 0)});
+    const auto b = scenario(
+        "m2", {event(FaultKind::MotorDerate, 10.0, 40.0, 0.5, 2)});
+    const ComposeResult r = composeScenarios(a, b);
+    ASSERT_TRUE(r.ok()) << r.error->message();
+
+    const FaultInjector injector(*r.scenario);
+    EXPECT_DOUBLE_EQ(injector.motorEffectiveness(0, 20.0), 0.7);
+    EXPECT_DOUBLE_EQ(injector.motorEffectiveness(2, 20.0), 0.5);
+    EXPECT_DOUBLE_EQ(injector.motorEffectiveness(1, 20.0), 1.0);
+}
+
+TEST(ScenarioCompose, RejectsSameKindOverlap)
+{
+    const auto a =
+        scenario("a", {event(FaultKind::GpsDropout, 10.0, 20.0)});
+    const auto b =
+        scenario("b", {event(FaultKind::GpsDropout, 25.0, 20.0)});
+    const ComposeResult r = composeScenarios(a, b);
+    ASSERT_FALSE(r.ok());
+    ASSERT_TRUE(r.error.has_value());
+    EXPECT_EQ(r.error->reason, ComposeErrorReason::SameKindOverlap);
+    EXPECT_EQ(r.error->subsystem, FaultSubsystem::Gps);
+    EXPECT_DOUBLE_EQ(r.error->overlapStartS, 25.0);
+    EXPECT_EQ(r.error->first.kind, FaultKind::GpsDropout);
+    EXPECT_EQ(r.error->second.kind, FaultKind::GpsDropout);
+    EXPECT_NE(r.error->message().find("same_kind_overlap"),
+              std::string::npos);
+}
+
+TEST(ScenarioCompose, RejectsSameMotorOverlap)
+{
+    const auto a = scenario(
+        "a", {event(FaultKind::MotorDerate, 10.0, 40.0, 0.7, 1)});
+    const auto b = scenario(
+        "b", {event(FaultKind::MotorDerate, 30.0, 40.0, 0.4, 1)});
+    const ComposeResult r = composeScenarios(a, b);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error->reason, ComposeErrorReason::MotorIndexOverlap);
+    EXPECT_EQ(r.error->subsystem, FaultSubsystem::Motor1);
+    EXPECT_DOUBLE_EQ(r.error->overlapStartS, 30.0);
+}
+
+TEST(ScenarioCompose, RejectsLinkDownVersusLatencySpike)
+{
+    // Different kinds, one physical radio: the injector would
+    // happily answer both queries, but the scenario semantics are
+    // undefined (latency of a link that is down?), so composition
+    // must reject rather than let the strongest writer win.
+    const auto a = scenario(
+        "down", {event(FaultKind::OffloadLinkDown, 10.0, 20.0)});
+    const auto b =
+        scenario("slow", {event(FaultKind::OffloadLatencySpike, 20.0,
+                                20.0, 150.0)});
+    const ComposeResult r = composeScenarios(a, b);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error->reason,
+              ComposeErrorReason::LinkSubsystemOverlap);
+    EXPECT_EQ(r.error->subsystem, FaultSubsystem::OffloadLink);
+    EXPECT_DOUBLE_EQ(r.error->overlapStartS, 20.0);
+}
+
+TEST(ScenarioCompose, EveryReasonNameIsStable)
+{
+    EXPECT_STREQ(
+        composeErrorReasonName(ComposeErrorReason::SameKindOverlap),
+        "same_kind_overlap");
+    EXPECT_STREQ(
+        composeErrorReasonName(ComposeErrorReason::MotorIndexOverlap),
+        "motor_index_overlap");
+    EXPECT_STREQ(composeErrorReasonName(
+                     ComposeErrorReason::LinkSubsystemOverlap),
+                 "link_subsystem_overlap");
+}
+
+TEST(ScenarioCompose, PreexistingClashInsideOneInputIsAlsoCaught)
+{
+    // The check covers the whole merged timeline, so a scenario
+    // that already clashes with itself cannot sneak through behind
+    // a clean partner.
+    const auto dirty =
+        scenario("dirty", {event(FaultKind::CameraFrameLoss, 5.0, 10.0),
+                           event(FaultKind::CameraFrameLoss, 9.0, 4.0)});
+    const auto clean = scenario("clean", {});
+    const ComposeResult r = composeScenarios(dirty, clean);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error->reason, ComposeErrorReason::SameKindOverlap);
+    EXPECT_EQ(r.error->subsystem, FaultSubsystem::Camera);
+}
+
+TEST(ScenarioCompose, CatalogSelfProductFiltersNotCrashes)
+{
+    // Cross-producting the 11-scenario catalog must partition into
+    // accepted merges and typed rejections, with nominal (empty
+    // timeline) composing with everything.
+    const auto &catalog = scenarioCatalog();
+    int accepted = 0, rejected = 0;
+    for (const auto &a : catalog) {
+        for (const auto &b : catalog) {
+            if (a.name == b.name)
+                continue;
+            const ComposeResult r = composeScenarios(a, b);
+            if (r.ok()) {
+                ++accepted;
+                if (a.name == "nominal" || b.name == "nominal")
+                    continue;
+                EXPECT_FALSE(r.scenario->events.empty());
+            } else {
+                ++rejected;
+                EXPECT_FALSE(r.error->message().empty());
+            }
+        }
+    }
+    EXPECT_GT(accepted, 0);
+    EXPECT_GT(rejected, 0);
+    // nominal composes with all 10 others, both ways.
+    EXPECT_GE(accepted, 20);
+}
+
+TEST(ScenarioCompose, ExplicitNameOverridesDefault)
+{
+    const auto a =
+        scenario("a", {event(FaultKind::GpsDropout, 1.0, 2.0)});
+    const auto b = scenario("b", {});
+    const ComposeResult r = composeScenarios(a, b, "custom");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.scenario->name, "custom");
+}

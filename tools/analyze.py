@@ -82,6 +82,7 @@ DETERMINISTIC_PATHS = (
     "src/dse",
     "src/serve",
     "src/codesign",
+    "src/fleet",
 )
 
 ALLOW_MARKER_RE = re.compile(r"analyze:allow\((\w+)\)")
