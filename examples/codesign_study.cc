@@ -29,6 +29,7 @@
 
 #include "codesign/codesign.hh"
 #include "engine/engine.hh"
+#include "example_args.hh"
 #include "serve/request.hh"
 #include "slam/pipeline.hh"
 #include "util/logging.hh"
@@ -137,30 +138,27 @@ main(int argc, char **argv)
     std::string mission_name;
     std::string out_path;
     bool recommend_only = false;
-    unsigned jobs = 2;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--mission") == 0 &&
-            i + 1 < argc) {
-            mission_name = argv[++i];
-        } else if (std::strcmp(argv[i], "--all") == 0) {
+    int jobs = 2;
+    examples::ExampleArgs args(argc, argv, "codesign_study",
+                               "[--mission NAME | --all] "
+                               "[--recommend] [--jobs N] "
+                               "[--out FILE]");
+    while (args.next()) {
+        if (args.stringArg("--mission", mission_name))
+            continue;
+        if (args.flag("--all")) {
             mission_name.clear();
-        } else if (std::strcmp(argv[i], "--recommend") == 0) {
-            recommend_only = true;
-        } else if (std::strcmp(argv[i], "--jobs") == 0 &&
-                   i + 1 < argc) {
-            jobs = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 10));
-            if (jobs == 0)
-                fatal("codesign_study: --jobs must be >= 1");
-        } else if (std::strcmp(argv[i], "--out") == 0 &&
-                   i + 1 < argc) {
-            out_path = argv[++i];
-        } else {
-            fatal(std::string("codesign_study: unknown argument '") +
-                  argv[i] +
-                  "' (usage: codesign_study [--mission NAME | "
-                  "--all] [--recommend] [--jobs N] [--out FILE])");
+            continue;
         }
+        if (args.flag("--recommend")) {
+            recommend_only = true;
+            continue;
+        }
+        if (args.intArg("--jobs", jobs, 1))
+            continue;
+        if (args.stringArg("--out", out_path))
+            continue;
+        args.unknown();
     }
 
     std::vector<MissionSpec> missions;
@@ -176,7 +174,7 @@ main(int argc, char **argv)
               "' (catalog:" + known + ")");
     }
 
-    std::printf("=== Roofline + co-design study (jobs=%u) ===\n\n",
+    std::printf("=== Roofline + co-design study (jobs=%d) ===\n\n",
                 jobs);
 
     engine::SweepEngine engine{

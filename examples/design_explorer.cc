@@ -26,6 +26,7 @@
 #include "dse/sweep.hh"
 #include "engine/engine.hh"
 #include "engine/pareto.hh"
+#include "example_args.hh"
 #include "obs/metrics.hh"
 #include "obs/tracer.hh"
 #include "util/logging.hh"
@@ -49,28 +50,24 @@ Options
 parseArgs(int argc, char **argv)
 {
     Options opts;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-            opts.jobs = std::atoi(argv[++i]);
-            if (opts.jobs < 1)
-                fatal("design_explorer: --jobs expects a positive "
-                      "integer");
-        } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-            opts.csvPath = argv[++i];
-        } else if (std::strcmp(argv[i], "--trace") == 0 &&
-                   i + 1 < argc) {
-            opts.tracePath = argv[++i];
-        } else if (std::strcmp(argv[i], "--metrics") == 0 &&
-                   i + 1 < argc) {
-            opts.metricsPath = argv[++i];
-        } else if (std::strcmp(argv[i], "--no-batch") == 0) {
+    examples::ExampleArgs args(argc, argv, "design_explorer",
+                               "[--jobs N] [--csv PATH] "
+                               "[--trace PATH] [--metrics PATH] "
+                               "[--no-batch]");
+    while (args.next()) {
+        if (args.intArg("--jobs", opts.jobs, 1))
+            continue;
+        if (args.stringArg("--csv", opts.csvPath))
+            continue;
+        if (args.stringArg("--trace", opts.tracePath))
+            continue;
+        if (args.stringArg("--metrics", opts.metricsPath))
+            continue;
+        if (args.flag("--no-batch")) {
             opts.batchSolve = false;
-        } else {
-            fatal(std::string("design_explorer: unknown argument '") +
-                  argv[i] + "' (usage: design_explorer [--jobs N] "
-                            "[--csv PATH] [--trace PATH] "
-                            "[--metrics PATH] [--no-batch])");
+            continue;
         }
+        args.unknown();
     }
     return opts;
 }

@@ -33,6 +33,7 @@
 #include <iostream>
 #include <thread>
 
+#include "example_args.hh"
 #include "serve/server.hh"
 #include "serve/service.hh"
 #include "util/logging.hh"
@@ -55,35 +56,31 @@ Options
 parseArgs(int argc, char **argv)
 {
     Options opts;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
-            opts.port = std::atoi(argv[++i]);
-            if (opts.port < 0 || opts.port > 65535)
+    examples::ExampleArgs args(argc, argv, "dse_server",
+                               "[--port N] [--bind ADDR] [--jobs N] "
+                               "[--workers N] [--stdio] "
+                               "[--no-batch]");
+    while (args.next()) {
+        if (args.intArg("--port", opts.port, 0)) {
+            if (opts.port > 65535)
                 fatal("dse_server: --port expects 0..65535");
-        } else if (std::strcmp(argv[i], "--bind") == 0 &&
-                   i + 1 < argc) {
-            opts.bindAddress = argv[++i];
-        } else if (std::strcmp(argv[i], "--jobs") == 0 &&
-                   i + 1 < argc) {
-            opts.jobs = std::atoi(argv[++i]);
-            if (opts.jobs < 1)
-                fatal("dse_server: --jobs expects a positive integer");
-        } else if (std::strcmp(argv[i], "--workers") == 0 &&
-                   i + 1 < argc) {
-            opts.workers = std::atoi(argv[++i]);
-            if (opts.workers < 1)
-                fatal("dse_server: --workers expects a positive "
-                      "integer");
-        } else if (std::strcmp(argv[i], "--stdio") == 0) {
-            opts.stdio = true;
-        } else if (std::strcmp(argv[i], "--no-batch") == 0) {
-            opts.batchSolve = false;
-        } else {
-            fatal(std::string("dse_server: unknown argument '") +
-                  argv[i] +
-                  "' (usage: dse_server [--port N] [--bind ADDR] "
-                  "[--jobs N] [--workers N] [--stdio] [--no-batch])");
+            continue;
         }
+        if (args.stringArg("--bind", opts.bindAddress))
+            continue;
+        if (args.intArg("--jobs", opts.jobs, 1))
+            continue;
+        if (args.intArg("--workers", opts.workers, 1))
+            continue;
+        if (args.flag("--stdio")) {
+            opts.stdio = true;
+            continue;
+        }
+        if (args.flag("--no-batch")) {
+            opts.batchSolve = false;
+            continue;
+        }
+        args.unknown();
     }
     return opts;
 }

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Shared command-line parsing for the example binaries.
+ *
+ * Every example speaks the same core dialect — `--seed N`,
+ * `--jobs N`, `--csv PATH` — plus its own study-specific flags.
+ * Before this helper each binary hand-rolled the strcmp ladder and
+ * they drifted (different missing-value behavior, different error
+ * spellings).  The cursor below owns the walk, the value plumbing,
+ * and the uniform `fatal()` message; each binary keeps only its own
+ * flag list:
+ *
+ *   ExampleArgs args(argc, argv, "fleet_study",
+ *                    "[--jobs N] [--seed N] [--csv PATH]");
+ *   while (args.next()) {
+ *       if (args.intArg("--jobs", opts.jobs, 1)) continue;
+ *       if (args.u64Arg("--seed", opts.seed)) continue;
+ *       if (args.stringArg("--csv", opts.csvPath)) continue;
+ *       if (args.flag("--list")) { opts.list = true; continue; }
+ *       args.unknown();
+ *   }
+ *
+ * Header-only on purpose: examples link only the libraries their
+ * study needs, and a parsing helper is not worth a library.
+ */
+
+#ifndef DRONEDSE_EXAMPLES_EXAMPLE_ARGS_HH
+#define DRONEDSE_EXAMPLES_EXAMPLE_ARGS_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace dronedse::examples {
+
+class ExampleArgs
+{
+  public:
+    ExampleArgs(int argc, char **argv, std::string program,
+                std::string usage)
+        : argc_(argc), argv_(argv), program_(std::move(program)),
+          usage_(std::move(usage))
+    {
+    }
+
+    /** Advance to the next argument; false when exhausted. */
+    bool next()
+    {
+        ++index_;
+        return index_ < argc_;
+    }
+
+    /** True when the current argument is exactly `name`. */
+    bool flag(const char *name) const
+    {
+        return std::strcmp(argv_[index_], name) == 0;
+    }
+
+    /** `--name VALUE`: fills `out`, consumes the value. */
+    bool stringArg(const char *name, std::string &out)
+    {
+        if (!flag(name))
+            return false;
+        out = takeValue(name);
+        return true;
+    }
+
+    /** `--name N` with N an integer >= `min`. */
+    bool intArg(const char *name, int &out, int min)
+    {
+        if (!flag(name))
+            return false;
+        const std::string value = takeValue(name);
+        char *end = nullptr;
+        const long parsed = std::strtol(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0' || parsed < min)
+            fatal(program_ + ": " + name +
+                  " expects an integer >= " + std::to_string(min));
+        out = static_cast<int>(parsed);
+        return true;
+    }
+
+    /** `--name N` with N a non-negative integer (seeds, budgets). */
+    bool u64Arg(const char *name, std::uint64_t &out)
+    {
+        if (!flag(name))
+            return false;
+        const std::string value = takeValue(name);
+        char *end = nullptr;
+        const unsigned long long parsed =
+            std::strtoull(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0' ||
+            value.front() == '-')
+            fatal(program_ + ": " + name +
+                  " expects a non-negative integer");
+        out = parsed;
+        return true;
+    }
+
+    /** `--name X` with X a finite double. */
+    bool doubleArg(const char *name, double &out)
+    {
+        if (!flag(name))
+            return false;
+        const std::string value = takeValue(name);
+        char *end = nullptr;
+        const double parsed = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0')
+            fatal(program_ + ": " + name + " expects a number");
+        out = parsed;
+        return true;
+    }
+
+    /** The current argument matched nothing: fail with usage. */
+    [[noreturn]] void unknown() const
+    {
+        fatal(program_ + ": unknown argument '" + argv_[index_] +
+              "' (usage: " + program_ + " " + usage_ + ")");
+    }
+
+  private:
+    std::string takeValue(const char *name)
+    {
+        if (index_ + 1 >= argc_)
+            fatal(program_ + ": " + name + " expects a value");
+        ++index_;
+        return argv_[index_];
+    }
+
+    int argc_;
+    char **argv_;
+    std::string program_;
+    std::string usage_;
+    int index_ = 0;
+};
+
+} // namespace dronedse::examples
+
+#endif // DRONEDSE_EXAMPLES_EXAMPLE_ARGS_HH

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "example_args.hh"
 #include "fault/fault.hh"
 #include "fleet/fleet.hh"
 #include "util/logging.hh"
@@ -86,43 +87,55 @@ main(int argc, char **argv)
     std::string scenario_name, summary_path, ecdf_path;
     std::vector<double> winds, payloads, ages;
 
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--mission") == 0 && i + 1 < argc) {
-            spec.mission = findMission(argv[++i]);
-        } else if (std::strcmp(argv[i], "--drones") == 0 &&
-                   i + 1 < argc) {
+    examples::ExampleArgs args(argc, argv, "fleet_study",
+                               "[--mission NAME] [--drones N] "
+                               "[--jobs N] [--seed N] [--no-policy] "
+                               "[--catalog] [--scenario NAME] "
+                               "[--winds A,B] [--payloads A,B] "
+                               "[--ages A,B] [--summary-csv PATH] "
+                               "[--ecdf-csv PATH] [--list]");
+    while (args.next()) {
+        std::string value;
+        if (args.stringArg("--mission", value)) {
+            spec.mission = findMission(value);
+            continue;
+        }
+        if (args.stringArg("--drones", value)) {
             spec.dronesPerScenario =
-                static_cast<std::size_t>(std::atoll(argv[++i]));
-        } else if (std::strcmp(argv[i], "--jobs") == 0 &&
-                   i + 1 < argc) {
-            jobs = std::atoi(argv[++i]);
-        } else if (std::strcmp(argv[i], "--seed") == 0 &&
-                   i + 1 < argc) {
-            spec.fleetSeed =
-                static_cast<std::uint64_t>(std::atoll(argv[++i]));
-        } else if (std::strcmp(argv[i], "--no-policy") == 0) {
+                static_cast<std::size_t>(std::atoll(value.c_str()));
+            continue;
+        }
+        if (args.intArg("--jobs", jobs, 1))
+            continue;
+        if (args.u64Arg("--seed", spec.fleetSeed))
+            continue;
+        if (args.flag("--no-policy")) {
             spec.policyEnabled = false;
-        } else if (std::strcmp(argv[i], "--catalog") == 0) {
+            continue;
+        }
+        if (args.flag("--catalog")) {
             use_catalog = true;
-        } else if (std::strcmp(argv[i], "--scenario") == 0 &&
-                   i + 1 < argc) {
-            scenario_name = argv[++i];
-        } else if (std::strcmp(argv[i], "--winds") == 0 &&
-                   i + 1 < argc) {
-            winds = parseAxis(argv[++i], "winds");
-        } else if (std::strcmp(argv[i], "--payloads") == 0 &&
-                   i + 1 < argc) {
-            payloads = parseAxis(argv[++i], "payloads");
-        } else if (std::strcmp(argv[i], "--ages") == 0 &&
-                   i + 1 < argc) {
-            ages = parseAxis(argv[++i], "ages");
-        } else if (std::strcmp(argv[i], "--summary-csv") == 0 &&
-                   i + 1 < argc) {
-            summary_path = argv[++i];
-        } else if (std::strcmp(argv[i], "--ecdf-csv") == 0 &&
-                   i + 1 < argc) {
-            ecdf_path = argv[++i];
-        } else if (std::strcmp(argv[i], "--list") == 0) {
+            continue;
+        }
+        if (args.stringArg("--scenario", scenario_name))
+            continue;
+        if (args.stringArg("--winds", value)) {
+            winds = parseAxis(value.c_str(), "winds");
+            continue;
+        }
+        if (args.stringArg("--payloads", value)) {
+            payloads = parseAxis(value.c_str(), "payloads");
+            continue;
+        }
+        if (args.stringArg("--ages", value)) {
+            ages = parseAxis(value.c_str(), "ages");
+            continue;
+        }
+        if (args.stringArg("--summary-csv", summary_path))
+            continue;
+        if (args.stringArg("--ecdf-csv", ecdf_path))
+            continue;
+        if (args.flag("--list")) {
             std::printf("missions:\n");
             for (const auto &m : missionCatalog())
                 std::printf("  %-14s %s\n", m.name.c_str(),
@@ -132,10 +145,8 @@ main(int argc, char **argv)
                 std::printf("  %-24s %s\n", sc.name.c_str(),
                             sc.description.c_str());
             return 0;
-        } else {
-            fatal(std::string("fleet_study: unknown argument '") +
-                  argv[i] + "' (run with --list for catalogs)");
         }
+        args.unknown();
     }
 
     if (use_catalog && !scenario_name.empty())

@@ -22,6 +22,7 @@
 #include <fstream>
 #include <string>
 
+#include "example_args.hh"
 #include "fault/fault.hh"
 #include "fault/mission.hh"
 #include "util/logging.hh"
@@ -35,34 +36,32 @@ main(int argc, char **argv)
     std::string csv_path, scenario_name;
     ResilienceConfig config;
     int jobs = 1;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-            csv_path = argv[++i];
-        } else if (std::strcmp(argv[i], "--scenario") == 0 &&
-                   i + 1 < argc) {
-            scenario_name = argv[++i];
-        } else if (std::strcmp(argv[i], "--no-policy") == 0) {
+    examples::ExampleArgs args(argc, argv, "resilience_study",
+                               "[--csv PATH] [--scenario NAME] "
+                               "[--no-policy] [--jobs N] [--seed S] "
+                               "[--duration S] [--list]");
+    while (args.next()) {
+        if (args.stringArg("--csv", csv_path))
+            continue;
+        if (args.stringArg("--scenario", scenario_name))
+            continue;
+        if (args.flag("--no-policy")) {
             config.policyEnabled = false;
-        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-            jobs = std::atoi(argv[++i]);
-        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-            config.seed =
-                static_cast<std::uint64_t>(std::atoll(argv[++i]));
-        } else if (std::strcmp(argv[i], "--duration") == 0 &&
-                   i + 1 < argc) {
-            config.durationS = std::atof(argv[++i]);
-        } else if (std::strcmp(argv[i], "--list") == 0) {
+            continue;
+        }
+        if (args.intArg("--jobs", jobs, 0))
+            continue;
+        if (args.u64Arg("--seed", config.seed))
+            continue;
+        if (args.doubleArg("--duration", config.durationS))
+            continue;
+        if (args.flag("--list")) {
             for (const auto &sc : scenarioCatalog())
                 std::printf("%-24s %s\n", sc.name.c_str(),
                             sc.description.c_str());
             return 0;
-        } else {
-            fatal(std::string("resilience_study: unknown argument '") +
-                  argv[i] +
-                  "' (usage: resilience_study [--csv PATH] "
-                  "[--scenario NAME] [--no-policy] [--jobs N] "
-                  "[--seed S] [--duration S] [--list])");
         }
+        args.unknown();
     }
 
     std::vector<FaultScenario> scenarios;

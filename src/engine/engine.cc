@@ -125,6 +125,54 @@ SweepEngine::solve(const DesignInputs &inputs)
     return cache_.solve(inputs);
 }
 
+std::vector<DesignResult>
+SweepEngine::solvePoints(std::span<const DesignInputs> points)
+{
+    // Same batching discipline as run(): one point list at a time
+    // per engine, workers write only their own slots, and the batch
+    // kernel is blocking-invariant — so the output is element-wise
+    // identical to a serial solve loop at any thread count.
+    util::MutexLock run_lock(runMutex_);
+    obs::ScopedSpan span("engine.solve_points", "engine");
+    std::vector<DesignResult> results(points.size());
+    if (options_.batchSolve) {
+        const std::span<DesignResult> results_span(results);
+        pool_.parallelForChunks(
+            points.size(), options_.chunkSize,
+            [&](std::size_t begin, std::size_t end, int) {
+                cache_.solveBatch(
+                    points.subspan(begin, end - begin),
+                    results_span.subspan(begin, end - begin));
+            });
+    } else {
+        pool_.parallelFor(points.size(), options_.chunkSize,
+                          [&](std::size_t i, int) {
+                              results[i] = cache_.solve(points[i]);
+                          });
+    }
+    obs::metrics().counter("engine.point_batches").add(1);
+    obs::metrics().counter("engine.grid_points").add(points.size());
+    return results;
+}
+
+std::size_t
+bestFeasibleIndex(std::span<const DesignResult> points,
+                  const SizeClassSpec *practical)
+{
+    std::size_t best = points.size();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const DesignResult &res = points[i];
+        if (!res.feasible)
+            continue;
+        if (practical && !withinPracticalLimits(res, *practical))
+            continue;
+        if (best == points.size() ||
+            res.flightTimeMin > points[best].flightTimeMin)
+            best = i;
+    }
+    return best;
+}
+
 DesignResult
 SweepEngine::bestConfiguration(const SizeClassSpec &spec,
                                const ComputeBoardRecord &compute,
@@ -133,24 +181,21 @@ SweepEngine::bestConfiguration(const SizeClassSpec &spec,
     std::vector<int> cells;
     for (int c = kMinCells; c <= kMaxCells; ++c)
         cells.push_back(c);
-    const SweepResult swept = run(classSweepSpec(
-        spec, cells, step, compute, FlightActivity::Hovering, twr));
-
-    // Same scan order as the serial search: cells ascending with
-    // capacity innermost is exactly the grid order, so "strictly
+    // The batched scan: expand the class grid once, solve it as one
+    // point batch (no feasible/frontier bookkeeping — the Pareto
+    // pass run() would do is O(n^2) pure overhead here), and take
+    // the max-flight-time index.  Cells ascending with capacity
+    // innermost is exactly the serial search's order, so "strictly
     // greater flight time wins" breaks ties identically.
-    DesignResult best;
-    for (std::size_t i : swept.feasible) {
-        const DesignResult &res = swept.points[i];
-        if (!withinPracticalLimits(res, spec))
-            continue;
-        if (!best.feasible || res.flightTimeMin > best.flightTimeMin)
-            best = res;
-    }
-    if (!best.feasible)
+    const std::vector<DesignInputs> grid = expandGrid(classSweepSpec(
+        spec, std::move(cells), step, compute,
+        FlightActivity::Hovering, twr));
+    const std::vector<DesignResult> points = solvePoints(grid);
+    const std::size_t best = bestFeasibleIndex(points, &spec);
+    if (best == points.size())
         fatal("SweepEngine::bestConfiguration: no feasible design in "
               "class sweep");
-    return best;
+    return points[best];
 }
 
 SweepEngine &

@@ -19,6 +19,7 @@
 #define DRONEDSE_ENGINE_ENGINE_HH
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "dse/sweep.hh"
@@ -90,6 +91,18 @@ class SweepEngine
     DesignResult solve(const DesignInputs &inputs);
 
     /**
+     * Batched solve of an explicit point list (no grid expansion,
+     * no frontier pass): `out[i] == solve(points[i])` element-wise,
+     * at any thread count.  This is the adaptive explorer's inner
+     * loop — each refinement round hands the engine whatever point
+     * set it decided to evaluate and the memo cache deduplicates
+     * re-visits across rounds and queries.
+     */
+    std::vector<DesignResult>
+    solvePoints(std::span<const DesignInputs> points)
+        DDSE_EXCLUDES(runMutex_);
+
+    /**
      * Engine-backed best configuration of a size class: max flight
      * time over cells {1..6} x capacity within the practical
      * envelope.  Identical scan order (and therefore identical
@@ -138,6 +151,20 @@ class SweepEngine
  * figure benches share one memo cache.
  */
 SweepEngine &sharedEngine();
+
+/**
+ * The best-configuration scan as a free function over an already
+ * solved point list: index of the feasible result with the maximum
+ * flight time, optionally restricted to a size class's practical
+ * envelope.  Scan order is input order and only a *strictly*
+ * greater flight time displaces the incumbent, so running it over
+ * an `expandGrid` sequence reproduces the serial search's
+ * tie-breaking exactly.  Returns `points.size()` when nothing
+ * qualifies.
+ */
+std::size_t
+bestFeasibleIndex(std::span<const DesignResult> points,
+                  const SizeClassSpec *practical = nullptr);
 
 } // namespace dronedse::engine
 

@@ -60,21 +60,43 @@ struct DesignKey
     int boardClass = 0;
     int activity = 0;
     std::string boardName;
+    /**
+     * Hash of the fields above, computed once by `quantizeInputs`.
+     * Every map probe, shard pick, and batch-duplicate check reuses
+     * it instead of re-hashing the key (the cold path hashes each
+     * key exactly once per batch).  Not part of the key's identity.
+     */
+    std::size_t hash = 0;
 
-    bool operator==(const DesignKey &) const = default;
+    bool operator==(const DesignKey &other) const
+    {
+        return wheelbaseUm == other.wheelbaseUm &&
+               propDiameterUin == other.propDiameterUin &&
+               capacityUmah == other.capacityUmah &&
+               twrMicro == other.twrMicro &&
+               boardWeightUg == other.boardWeightUg &&
+               boardPowerUw == other.boardPowerUw &&
+               sensorWeightUg == other.sensorWeightUg &&
+               sensorPowerUw == other.sensorPowerUw &&
+               payloadUg == other.payloadUg && cells == other.cells &&
+               escClass == other.escClass &&
+               boardClass == other.boardClass &&
+               activity == other.activity &&
+               boardName == other.boardName;
+    }
 };
 
-/** Quantize a full input set onto the cache grid. */
+/** Quantize a full input set onto the cache grid (fills `hash`). */
 DesignKey quantizeInputs(const DesignInputs &inputs);
 
-/** FNV-1a style hash over every key field. */
+/** Word-wise FNV-1a over the key fields, avalanche-finalized. */
 std::size_t hashKey(const DesignKey &key);
 
 struct DesignKeyHash
 {
     std::size_t operator()(const DesignKey &key) const
     {
-        return hashKey(key);
+        return key.hash != 0 ? key.hash : hashKey(key);
     }
 };
 
@@ -108,6 +130,13 @@ class MemoCache
     explicit MemoCache(std::size_t capacity = 1 << 20);
 
     std::optional<DesignResult> lookup(const DesignKey &key);
+    /**
+     * Hit-path variant without the optional: on a hit, copies the
+     * cached result straight into `out` (one copy, no intermediate)
+     * and returns true; on a miss leaves `out` alone.  Counters
+     * advance exactly as with the optional overload.
+     */
+    bool lookup(const DesignKey &key, DesignResult &out);
     void insert(const DesignKey &key, const DesignResult &result);
 
     /** Memoized `solveDesign`: lookup, else solve and insert. */

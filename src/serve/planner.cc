@@ -93,6 +93,141 @@ QueryPlanner::validate(const Request &request, ErrorReply &err) const
                check_aux("payload_g", point.payloadG.value());
     }
 
+    if (request.kind == QueryKind::Explore) {
+        const explore::ExploreQuery &query = request.explore;
+        // validateSpace owns the structural rules (arity, duplicate
+        // axes, lattice sanity); the planner adds service limits and
+        // the same physical-range checks a design point gets, so the
+        // driver's own fatal() guards can never fire on an admitted
+        // request.
+        const std::string space_err =
+            explore::validateSpace(query.space);
+        if (!space_err.empty())
+            return invalid(err, "explore space: " + space_err);
+        for (const explore::AxisSpec &axis : query.space.axes) {
+            if (axis.size() > limits_.maxAxisEntries)
+                return invalid(err,
+                               "explore axis exceeds max entries");
+            const double hi =
+                axis.lo +
+                axis.step * static_cast<double>(
+                                axis.count > 0 ? axis.count - 1 : 0);
+            switch (axis.kind) {
+            case explore::AxisKind::Wheelbase:
+                if (!check_wheelbase(Quantity<Millimeters>(axis.lo)) ||
+                    !check_wheelbase(Quantity<Millimeters>(hi)))
+                    return false;
+                break;
+            case explore::AxisKind::Capacity:
+                if (!finitePositive(axis.lo) || !finitePositive(hi))
+                    return invalid(err,
+                                   "capacity axis must stay > 0");
+                break;
+            case explore::AxisKind::Twr:
+                if (!check_twr(axis.lo) || !check_twr(hi))
+                    return false;
+                break;
+            case explore::AxisKind::Payload:
+                if (!check_aux("payload axis", axis.lo) ||
+                    !check_aux("payload axis", hi))
+                    return false;
+                break;
+            case explore::AxisKind::Board:
+                for (const ComputeBoardRecord &board : axis.boards) {
+                    if (!check_board(board))
+                        return false;
+                }
+                break;
+            case explore::AxisKind::Cells:
+            case explore::AxisKind::Activity:
+                break; // validateSpace / parser already own these.
+            }
+        }
+        // The base point fills every un-swept field; it must be as
+        // physical as a standalone design query.
+        const DesignInputs &base = query.space.base;
+        if (!check_wheelbase(base.wheelbaseMm) ||
+            !check_cells(base.cells) || !check_twr(base.twr))
+            return false;
+        if (!finitePositive(base.capacityMah.value()))
+            return invalid(err, "base capacity_mah must be > 0");
+        if (!check_aux("prop_diameter_in",
+                       base.propDiameterIn.value()) ||
+            !check_board(base.compute) ||
+            !check_aux("sensor_weight_g",
+                       base.sensorWeightG.value()) ||
+            !check_aux("sensor_power_w",
+                       base.sensorPowerW.value()) ||
+            !check_aux("payload_g", base.payloadG.value()))
+            return false;
+        const explore::ExploreOptions &opts = query.options;
+        if (opts.maxEvaluations == 0 ||
+            opts.maxEvaluations > limits_.maxExploreEvaluations)
+            return invalid(
+                err, "max_evaluations must be in [1, " +
+                         std::to_string(
+                             limits_.maxExploreEvaluations) +
+                         "]");
+        if (opts.initialSamples == 0)
+            return invalid(err, "initial_samples must be > 0");
+        if (opts.roundEvaluations == 0)
+            return invalid(err, "round_evaluations must be > 0");
+        return true;
+    }
+
+    if (request.kind == QueryKind::Risk) {
+        const explore::RiskQuery &query = request.risk;
+        const DesignInputs &point = query.point;
+        if (!check_wheelbase(point.wheelbaseMm) ||
+            !check_cells(point.cells) || !check_twr(point.twr))
+            return false;
+        if (!finitePositive(point.capacityMah.value()))
+            return invalid(err, "capacity_mah must be > 0");
+        if (!check_aux("prop_diameter_in",
+                       point.propDiameterIn.value()) ||
+            !check_board(point.compute) ||
+            !check_aux("sensor_weight_g",
+                       point.sensorWeightG.value()) ||
+            !check_aux("sensor_power_w",
+                       point.sensorPowerW.value()) ||
+            !check_aux("payload_g", point.payloadG.value()))
+            return false;
+        const explore::UncertaintyOptions &opts = query.options;
+        if (opts.samples == 0 ||
+            opts.samples > limits_.maxRiskSamples)
+            return invalid(
+                err, "samples must be in [1, " +
+                         std::to_string(limits_.maxRiskSamples) +
+                         "]");
+        if (opts.scatterReplicates < 2 ||
+            opts.scatterReplicates > limits_.maxScatterReplicates)
+            return invalid(
+                err, "scatter_replicates must be in [2, " +
+                         std::to_string(
+                             limits_.maxScatterReplicates) +
+                         "]");
+        if (query.gates.size() > limits_.maxAxisEntries ||
+            query.quantiles.size() > limits_.maxAxisEntries)
+            return invalid(err,
+                           "gates/quantiles exceed max entries");
+        for (const explore::GateSpec &gate : query.gates) {
+            if (!std::isfinite(gate.threshold))
+                return invalid(err,
+                               "gate threshold must be finite");
+            if (!std::isfinite(gate.minProbability) ||
+                gate.minProbability < 0.0 ||
+                gate.minProbability > 1.0)
+                return invalid(
+                    err, "gate min_probability must be in [0, 1]");
+        }
+        for (double q : query.quantiles) {
+            if (!std::isfinite(q) || q < 0.0 || q > 1.0)
+                return invalid(err,
+                               "quantiles must be in [0, 1]");
+        }
+        return true;
+    }
+
     if (request.kind == QueryKind::Codesign) {
         const codesign::MissionSpec &mission = request.mission;
         if (!finitePositive(mission.targetRateHz))
@@ -200,6 +335,52 @@ QueryPlanner::validate(const Request &request, ErrorReply &err) const
     return true;
 }
 
+template <typename T, typename MakeFn>
+std::shared_ptr<T>
+QueryPlanner::runSingleFlight(FlightTable<T> &table,
+                              const std::string &key,
+                              const char *span_name, MakeFn &&make)
+{
+    std::shared_ptr<InFlight<T>> flight;
+    bool leader = false;
+    {
+        util::MutexLock lock(mutex_);
+        auto &slot = table[key];
+        if (!slot) {
+            slot = std::make_shared<InFlight<T>>();
+            leader = true;
+        }
+        flight = slot;
+        if (leader)
+            ++stats_.batchesLed;
+        else
+            ++stats_.coalesced;
+    }
+
+    if (leader) {
+        obs::ScopedSpan span(span_name, "serve");
+        auto value = std::make_shared<T>(make());
+        {
+            util::MutexLock lock(flight->mutex);
+            flight->value = value;
+            flight->done = true;
+        }
+        flight->cv.notifyAll();
+        {
+            util::MutexLock lock(mutex_);
+            table.erase(key);
+        }
+        obs::metrics().counter("serve.batches.led").add(1);
+        return value;
+    }
+
+    obs::metrics().counter("serve.batches.coalesced").add(1);
+    util::MutexLock lock(flight->mutex);
+    while (!flight->done)
+        flight->cv.wait(flight->mutex);
+    return flight->value;
+}
+
 std::shared_ptr<engine::SweepResult>
 QueryPlanner::runCoalesced(const SweepSpec &spec)
 {
@@ -209,100 +390,51 @@ QueryPlanner::runCoalesced(const SweepSpec &spec)
     Request key_request;
     key_request.kind = QueryKind::Sweep;
     key_request.spec = spec;
-    const std::string key = serializeRequest(key_request);
-
-    std::shared_ptr<InFlight> flight;
-    bool leader = false;
-    {
-        util::MutexLock lock(mutex_);
-        auto &slot = inflight_[key];
-        if (!slot) {
-            slot = std::make_shared<InFlight>();
-            leader = true;
-        }
-        flight = slot;
-        if (leader)
-            ++stats_.batchesLed;
-        else
-            ++stats_.coalesced;
-    }
-
-    if (leader) {
-        obs::ScopedSpan span("serve.batch", "serve");
-        auto result = std::make_shared<engine::SweepResult>(
-            engine_.run(spec));
-        {
-            util::MutexLock lock(flight->mutex);
-            flight->result = result;
-            flight->done = true;
-        }
-        flight->cv.notifyAll();
-        {
-            util::MutexLock lock(mutex_);
-            inflight_.erase(key);
-        }
-        obs::metrics().counter("serve.batches.led").add(1);
-        return result;
-    }
-
-    obs::metrics().counter("serve.batches.coalesced").add(1);
-    util::MutexLock lock(flight->mutex);
-    while (!flight->done)
-        flight->cv.wait(flight->mutex);
-    return flight->result;
+    return runSingleFlight(
+        inflight_, serializeRequest(key_request), "serve.batch",
+        [&] { return engine_.run(spec); });
 }
 
 std::shared_ptr<codesign::CodesignOutcome>
 QueryPlanner::runCodesignCoalesced(
     const codesign::MissionSpec &mission)
 {
-    // Same single-flight shape as runCoalesced: the canonical
-    // request serialization is the key, so two codesign queries for
-    // byte-identical missions share one search.
+    // Same key discipline: two codesign queries for byte-identical
+    // missions share one search.
     Request key_request;
     key_request.kind = QueryKind::Codesign;
     key_request.mission = mission;
-    const std::string key = serializeRequest(key_request);
+    return runSingleFlight(
+        inflightCodesign_, serializeRequest(key_request),
+        "serve.codesign", [&] { return codesign_.run(mission); });
+}
 
-    std::shared_ptr<InFlightCodesign> flight;
-    bool leader = false;
-    {
-        util::MutexLock lock(mutex_);
-        auto &slot = inflightCodesign_[key];
-        if (!slot) {
-            slot = std::make_shared<InFlightCodesign>();
-            leader = true;
-        }
-        flight = slot;
-        if (leader)
-            ++stats_.batchesLed;
-        else
-            ++stats_.coalesced;
-    }
+std::shared_ptr<explore::ExploreResult>
+QueryPlanner::runExploreCoalesced(const explore::ExploreQuery &query)
+{
+    // Byte-identical (space, options) pairs share one adaptive run;
+    // distinct budgets over the same space still share work through
+    // the engine's memo cache point by point.
+    Request key_request;
+    key_request.kind = QueryKind::Explore;
+    key_request.explore = query;
+    return runSingleFlight(
+        inflightExplore_, serializeRequest(key_request),
+        "serve.explore", [&] {
+            explore::AdaptiveDriver driver(engine_, query.options);
+            return driver.run(query.space);
+        });
+}
 
-    if (leader) {
-        obs::ScopedSpan span("serve.codesign", "serve");
-        auto outcome = std::make_shared<codesign::CodesignOutcome>(
-            codesign_.run(mission));
-        {
-            util::MutexLock lock(flight->mutex);
-            flight->outcome = outcome;
-            flight->done = true;
-        }
-        flight->cv.notifyAll();
-        {
-            util::MutexLock lock(mutex_);
-            inflightCodesign_.erase(key);
-        }
-        obs::metrics().counter("serve.batches.led").add(1);
-        return outcome;
-    }
-
-    obs::metrics().counter("serve.batches.coalesced").add(1);
-    util::MutexLock lock(flight->mutex);
-    while (!flight->done)
-        flight->cv.wait(flight->mutex);
-    return flight->outcome;
+std::shared_ptr<explore::RiskOutcome>
+QueryPlanner::runRiskCoalesced(const explore::RiskQuery &query)
+{
+    Request key_request;
+    key_request.kind = QueryKind::Risk;
+    key_request.risk = query;
+    return runSingleFlight(
+        inflightRisk_, serializeRequest(key_request), "serve.risk",
+        [&] { return explore::runRiskQuery(query); });
 }
 
 std::string
@@ -344,6 +476,19 @@ QueryPlanner::execute(const Request &request)
         const std::shared_ptr<codesign::CodesignOutcome> outcome =
             runCodesignCoalesced(request.mission);
         reply = serializeCodesignReply(request.id, *outcome);
+        break;
+    }
+    case QueryKind::Explore: {
+        const std::shared_ptr<explore::ExploreResult> result =
+            runExploreCoalesced(request.explore);
+        reply = serializeExploreReply(request.id, *result);
+        break;
+    }
+    case QueryKind::Risk: {
+        const std::shared_ptr<explore::RiskOutcome> outcome =
+            runRiskCoalesced(request.risk);
+        reply = serializeRiskReply(request.id, *outcome,
+                                   request.risk.quantiles);
         break;
     }
     }

@@ -41,6 +41,12 @@ struct PlannerLimits
     std::size_t maxGridPoints = 200000;
     /** Max entries per spec axis array. */
     std::size_t maxAxisEntries = 256;
+    /** Max solver evaluations one explore query may budget. */
+    std::size_t maxExploreEvaluations = 100000;
+    /** Max Monte-Carlo samples one risk query may draw. */
+    std::size_t maxRiskSamples = 65536;
+    /** Max catalog replicates behind one risk query's scatter. */
+    int maxScatterReplicates = 4096;
     /** Smallest accepted capacity step (mAh). */
     Quantity<MilliampHours> minCapacityStepMah{1.0};
     /** Largest accepted wheelbase (mm). */
@@ -87,23 +93,36 @@ class QueryPlanner
     engine::SweepEngine &engine() { return engine_; }
 
   private:
-    struct InFlight
+    /**
+     * One in-flight computation of type T: the leader publishes the
+     * shared value under the flight's own mutex, followers wait on
+     * the condvar.  Every query family shares this one shape.
+     */
+    template <typename T> struct InFlight
     {
         util::Mutex mutex;
         util::CondVar cv;
         bool done DDSE_GUARDED_BY(mutex) = false;
-        std::shared_ptr<engine::SweepResult> result
-            DDSE_GUARDED_BY(mutex);
+        std::shared_ptr<T> value DDSE_GUARDED_BY(mutex);
     };
 
-    struct InFlightCodesign
-    {
-        util::Mutex mutex;
-        util::CondVar cv;
-        bool done DDSE_GUARDED_BY(mutex) = false;
-        std::shared_ptr<codesign::CodesignOutcome> outcome
-            DDSE_GUARDED_BY(mutex);
-    };
+    template <typename T>
+    using FlightTable =
+        std::unordered_map<std::string,
+                           std::shared_ptr<InFlight<T>>>;
+
+    /**
+     * The single-flight engine shared by every coalesced query
+     * family: first caller on `key` becomes the leader and runs
+     * `make`, followers block and share the leader's value.
+     * Defined in planner.cc (only instantiated there).
+     */
+    template <typename T, typename MakeFn>
+    std::shared_ptr<T> runSingleFlight(FlightTable<T> &table,
+                                       const std::string &key,
+                                       const char *span_name,
+                                       MakeFn &&make)
+        DDSE_EXCLUDES(mutex_);
 
     /** Run a spec single-flight (see file comment). */
     std::shared_ptr<engine::SweepResult>
@@ -114,17 +133,30 @@ class QueryPlanner
     runCodesignCoalesced(const codesign::MissionSpec &mission)
         DDSE_EXCLUDES(mutex_);
 
+    /** Run an adaptive exploration single-flight. */
+    std::shared_ptr<explore::ExploreResult>
+    runExploreCoalesced(const explore::ExploreQuery &query)
+        DDSE_EXCLUDES(mutex_);
+
+    /** Run a risk query single-flight. */
+    std::shared_ptr<explore::RiskOutcome>
+    runRiskCoalesced(const explore::RiskQuery &query)
+        DDSE_EXCLUDES(mutex_);
+
     engine::SweepEngine &engine_;
     PlannerLimits limits_;
     codesign::CodesignDriver codesign_;
 
     mutable util::Mutex mutex_;
     PlannerStats stats_ DDSE_GUARDED_BY(mutex_);
-    std::unordered_map<std::string, std::shared_ptr<InFlight>>
-        inflight_ DDSE_GUARDED_BY(mutex_);
-    std::unordered_map<std::string,
-                       std::shared_ptr<InFlightCodesign>>
-        inflightCodesign_ DDSE_GUARDED_BY(mutex_);
+    FlightTable<engine::SweepResult> inflight_
+        DDSE_GUARDED_BY(mutex_);
+    FlightTable<codesign::CodesignOutcome> inflightCodesign_
+        DDSE_GUARDED_BY(mutex_);
+    FlightTable<explore::ExploreResult> inflightExplore_
+        DDSE_GUARDED_BY(mutex_);
+    FlightTable<explore::RiskOutcome> inflightRisk_
+        DDSE_GUARDED_BY(mutex_);
 };
 
 } // namespace dronedse::serve

@@ -67,6 +67,47 @@ readString(const JsonValue &obj, const char *key, std::string &out,
 }
 
 bool
+readSize(const JsonValue &obj, const char *key, std::size_t &out,
+         ErrorReply &err)
+{
+    const JsonValue *value = obj.find(key);
+    if (!value)
+        return true;
+    if (!value->isNumber())
+        return invalid(err, std::string(key) + " must be a number");
+    const double v = value->asNumber();
+    if (std::floor(v) != v || v < 0.0 || v > kMaxId)
+        return invalid(err, std::string(key) +
+                                " must be a non-negative integer");
+    out = static_cast<std::size_t>(v);
+    return true;
+}
+
+bool
+readU64(const JsonValue &obj, const char *key, std::uint64_t &out,
+        ErrorReply &err)
+{
+    std::size_t v = static_cast<std::size_t>(out);
+    if (!readSize(obj, key, v, err))
+        return false;
+    out = static_cast<std::uint64_t>(v);
+    return true;
+}
+
+bool
+readBool(const JsonValue &obj, const char *key, bool &out,
+         ErrorReply &err)
+{
+    const JsonValue *value = obj.find(key);
+    if (!value)
+        return true;
+    if (!value->isBool())
+        return invalid(err, std::string(key) + " must be a boolean");
+    out = value->asBool();
+    return true;
+}
+
+bool
 parseEscClass(const std::string &name, EscClass &out, ErrorReply &err)
 {
     if (name == "short_flight")
@@ -498,6 +539,307 @@ serializeMission(const codesign::MissionSpec &mission)
     return out;
 }
 
+/**
+ * One explore axis.  Continuous kinds carry the lattice ladder
+ * (`{"axis": "twr", "lo": 1.5, "step": 0.5, "count": 4}`);
+ * enumerated kinds carry their value list (`{"axis": "cells",
+ * "values": [3, 4]}`, `{"axis": "board", "boards": [...]}`,
+ * `{"axis": "activity", "values": ["hovering"]}`).
+ */
+bool
+parseAxis(const JsonValue &value, explore::AxisSpec &out,
+          ErrorReply &err)
+{
+    if (!value.isObject())
+        return invalid(err, "axes entries must be objects");
+    std::string kind_name;
+    if (!readString(value, "axis", kind_name, err))
+        return false;
+    if (kind_name.empty())
+        return invalid(err, "axis entries require an axis name");
+    if (!explore::parseAxisKind(kind_name, out.kind))
+        return invalid(err, "unknown axis '" + kind_name + "'");
+    switch (out.kind) {
+    case explore::AxisKind::Cells: {
+        const JsonValue *values = value.find("values");
+        if (!values || !values->isArray())
+            return invalid(err, "cells axis requires a values array");
+        out.cells.clear();
+        for (const JsonValue &entry : values->items()) {
+            if (!entry.isNumber() ||
+                std::floor(entry.asNumber()) != entry.asNumber())
+                return invalid(
+                    err, "cells axis values must be integers");
+            out.cells.push_back(static_cast<int>(entry.asNumber()));
+        }
+        return true;
+    }
+    case explore::AxisKind::Board: {
+        const JsonValue *boards = value.find("boards");
+        if (!boards || !boards->isArray())
+            return invalid(err, "board axis requires a boards array");
+        out.boards.clear();
+        for (const JsonValue &entry : boards->items()) {
+            ComputeBoardRecord board;
+            if (!parseBoard(entry, board, err))
+                return false;
+            out.boards.push_back(std::move(board));
+        }
+        return true;
+    }
+    case explore::AxisKind::Activity: {
+        const JsonValue *values = value.find("values");
+        if (!values || !values->isArray())
+            return invalid(err,
+                           "activity axis requires a values array");
+        out.activities.clear();
+        for (const JsonValue &entry : values->items()) {
+            if (!entry.isString())
+                return invalid(
+                    err, "activity axis values must be strings");
+            FlightActivity activity = FlightActivity::Hovering;
+            if (!parseActivity(entry.asString(), activity, err))
+                return false;
+            out.activities.push_back(activity);
+        }
+        return true;
+    }
+    default:
+        break;
+    }
+    if (!readDouble(value, "lo", out.lo, err) ||
+        !readDouble(value, "step", out.step, err) ||
+        !readSize(value, "count", out.count, err))
+        return false;
+    return true;
+}
+
+std::string
+serializeAxis(const explore::AxisSpec &axis)
+{
+    std::string out = "{\"axis\": ";
+    out += jsonQuote(explore::axisKindName(axis.kind));
+    switch (axis.kind) {
+    case explore::AxisKind::Cells:
+        out += ", \"values\": [";
+        for (std::size_t i = 0; i < axis.cells.size(); ++i) {
+            if (i > 0)
+                out += ", ";
+            out += std::to_string(axis.cells[i]);
+        }
+        out += "]";
+        break;
+    case explore::AxisKind::Board:
+        out += ", \"boards\": [";
+        for (std::size_t i = 0; i < axis.boards.size(); ++i) {
+            if (i > 0)
+                out += ", ";
+            out += serializeBoard(axis.boards[i]);
+        }
+        out += "]";
+        break;
+    case explore::AxisKind::Activity:
+        out += ", \"values\": [";
+        for (std::size_t i = 0; i < axis.activities.size(); ++i) {
+            if (i > 0)
+                out += ", ";
+            out += jsonQuote(activityName(axis.activities[i]));
+        }
+        out += "]";
+        break;
+    default:
+        out += ", \"lo\": " + jsonNumber(axis.lo);
+        out += ", \"step\": " + jsonNumber(axis.step);
+        out += ", \"count\": " + std::to_string(axis.count);
+        break;
+    }
+    out += "}";
+    return out;
+}
+
+bool
+parseSpace(const JsonValue &value, explore::ExploreSpace &out,
+           ErrorReply &err)
+{
+    if (!value.isObject())
+        return invalid(err, "space must be an object");
+    if (const JsonValue *base = value.find("base")) {
+        if (!parsePoint(*base, out.base, err))
+            return false;
+    }
+    const JsonValue *axes = value.find("axes");
+    if (!axes || !axes->isArray())
+        return invalid(err, "space requires an axes array");
+    out.axes.clear();
+    for (const JsonValue &entry : axes->items()) {
+        explore::AxisSpec axis;
+        if (!parseAxis(entry, axis, err))
+            return false;
+        out.axes.push_back(std::move(axis));
+    }
+    return true;
+}
+
+std::string
+serializeSpace(const explore::ExploreSpace &space)
+{
+    std::string out = "{\"base\": " + serializePoint(space.base);
+    out += ", \"axes\": [";
+    for (std::size_t i = 0; i < space.axes.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += serializeAxis(space.axes[i]);
+    }
+    out += "]}";
+    return out;
+}
+
+bool
+parseExploreOptions(const JsonValue &value,
+                    explore::ExploreOptions &out, ErrorReply &err)
+{
+    if (!value.isObject())
+        return invalid(err, "options must be an object");
+    std::string sampler_name;
+    if (!readString(value, "sampler", sampler_name, err))
+        return false;
+    if (!sampler_name.empty() &&
+        !explore::parseSamplerKind(sampler_name, out.sampler))
+        return invalid(err,
+                       "unknown sampler '" + sampler_name + "'");
+    return readU64(value, "seed", out.seed, err) &&
+           readSize(value, "initial_samples", out.initialSamples,
+                    err) &&
+           readSize(value, "round_evaluations",
+                    out.roundEvaluations, err) &&
+           readSize(value, "max_evaluations", out.maxEvaluations,
+                    err) &&
+           readSize(value, "max_rounds", out.maxRounds, err) &&
+           readSize(value, "neighbor_radius", out.neighborRadius,
+                    err) &&
+           readBool(value, "bisect_boundary", out.bisectBoundary,
+                    err);
+}
+
+std::string
+serializeExploreOptions(const explore::ExploreOptions &options)
+{
+    std::string out = "{\"sampler\": ";
+    out += jsonQuote(explore::samplerKindName(options.sampler));
+    out += ", \"seed\": " + std::to_string(options.seed);
+    out += ", \"initial_samples\": " +
+           std::to_string(options.initialSamples);
+    out += ", \"round_evaluations\": " +
+           std::to_string(options.roundEvaluations);
+    out += ", \"max_evaluations\": " +
+           std::to_string(options.maxEvaluations);
+    out += ", \"max_rounds\": " + std::to_string(options.maxRounds);
+    out += ", \"neighbor_radius\": " +
+           std::to_string(options.neighborRadius);
+    out += std::string(", \"bisect_boundary\": ") +
+           (options.bisectBoundary ? "true" : "false");
+    out += "}";
+    return out;
+}
+
+bool
+parseUncertaintyOptions(const JsonValue &value,
+                        explore::UncertaintyOptions &out,
+                        ErrorReply &err)
+{
+    if (!value.isObject())
+        return invalid(err, "options must be an object");
+    return readU64(value, "seed", out.seed, err) &&
+           readSize(value, "samples", out.samples, err) &&
+           readInt(value, "scatter_replicates",
+                   out.scatterReplicates, err);
+}
+
+std::string
+serializeUncertaintyOptions(
+    const explore::UncertaintyOptions &options)
+{
+    std::string out =
+        "{\"seed\": " + std::to_string(options.seed);
+    out += ", \"samples\": " + std::to_string(options.samples);
+    out += ", \"scatter_replicates\": " +
+           std::to_string(options.scatterReplicates);
+    out += "}";
+    return out;
+}
+
+bool
+parseGate(const JsonValue &value, explore::GateSpec &out,
+          ErrorReply &err)
+{
+    if (!value.isObject())
+        return invalid(err, "gates entries must be objects");
+    std::string metric_name, op_name;
+    if (!readString(value, "metric", metric_name, err) ||
+        !readString(value, "op", op_name, err) ||
+        !readDouble(value, "threshold", out.threshold, err) ||
+        !readDouble(value, "min_probability", out.minProbability,
+                    err))
+        return false;
+    if (!metric_name.empty() &&
+        !explore::parseGateMetric(metric_name, out.metric))
+        return invalid(err, "unknown metric '" + metric_name + "'");
+    if (!op_name.empty() && !explore::parseGateOp(op_name, out.op))
+        return invalid(err, "unknown op '" + op_name + "'");
+    return true;
+}
+
+std::string
+serializeGate(const explore::GateSpec &gate)
+{
+    std::string out = "{\"metric\": ";
+    out += jsonQuote(explore::gateMetricName(gate.metric));
+    out += ", \"op\": " + jsonQuote(explore::gateOpName(gate.op));
+    out += ", \"threshold\": " + jsonNumber(gate.threshold);
+    out += ", \"min_probability\": " +
+           jsonNumber(gate.minProbability);
+    out += "}";
+    return out;
+}
+
+bool
+parseRisk(const JsonValue &doc, explore::RiskQuery &out,
+          ErrorReply &err)
+{
+    const JsonValue *point = doc.find("point");
+    if (!point)
+        return invalid(err, "risk query requires a point");
+    if (!parsePoint(*point, out.point, err))
+        return false;
+    if (const JsonValue *options = doc.find("options")) {
+        if (!parseUncertaintyOptions(*options, out.options, err))
+            return false;
+    }
+    if (const JsonValue *gates = doc.find("gates")) {
+        if (!gates->isArray())
+            return invalid(err, "gates must be an array");
+        out.gates.clear();
+        for (const JsonValue &entry : gates->items()) {
+            explore::GateSpec gate;
+            if (!parseGate(entry, gate, err))
+                return false;
+            out.gates.push_back(gate);
+        }
+    }
+    if (const JsonValue *quantiles = doc.find("quantiles")) {
+        if (!quantiles->isArray())
+            return invalid(err, "quantiles must be an array");
+        out.quantiles.clear();
+        for (const JsonValue &entry : quantiles->items()) {
+            if (!entry.isNumber())
+                return invalid(err,
+                               "quantiles entries must be numbers");
+            out.quantiles.push_back(entry.asNumber());
+        }
+    }
+    return true;
+}
+
 std::string
 serializeChoice(const codesign::CodesignChoice &choice)
 {
@@ -549,6 +891,8 @@ queryKindName(QueryKind kind)
     case QueryKind::Sweep: return "sweep";
     case QueryKind::Pareto: return "pareto";
     case QueryKind::Codesign: return "codesign";
+    case QueryKind::Explore: return "explore";
+    case QueryKind::Risk: return "risk";
     }
     panic("queryKindName: corrupt kind");
     return "";
@@ -616,6 +960,10 @@ parseRequest(const std::string &frame, Request &out, ErrorReply &err)
         out.kind = QueryKind::Pareto;
     else if (kind_name == "codesign")
         out.kind = QueryKind::Codesign;
+    else if (kind_name == "explore")
+        out.kind = QueryKind::Explore;
+    else if (kind_name == "risk")
+        out.kind = QueryKind::Risk;
     else
         return invalid(err, "unknown query kind '" + kind_name + "'");
 
@@ -642,6 +990,21 @@ parseRequest(const std::string &frame, Request &out, ErrorReply &err)
                            "codesign query requires a mission");
         return parseMission(*mission, out.mission, err);
     }
+    if (out.kind == QueryKind::Explore) {
+        const JsonValue *space = doc->find("space");
+        if (!space)
+            return invalid(err, "explore query requires a space");
+        if (!parseSpace(*space, out.explore.space, err))
+            return false;
+        if (const JsonValue *options = doc->find("options")) {
+            if (!parseExploreOptions(*options, out.explore.options,
+                                     err))
+                return false;
+        }
+        return true;
+    }
+    if (out.kind == QueryKind::Risk)
+        return parseRisk(*doc, out.risk, err);
     const JsonValue *spec = doc->find("spec");
     if (!spec)
         return invalid(err, "sweep/pareto query requires a spec");
@@ -659,7 +1022,29 @@ serializeRequest(const Request &request)
         out += ", \"point\": " + serializePoint(request.point);
     else if (request.kind == QueryKind::Codesign)
         out += ", \"mission\": " + serializeMission(request.mission);
-    else
+    else if (request.kind == QueryKind::Explore) {
+        out += ", \"space\": " + serializeSpace(request.explore.space);
+        out += ", \"options\": " +
+               serializeExploreOptions(request.explore.options);
+    } else if (request.kind == QueryKind::Risk) {
+        out += ", \"point\": " + serializePoint(request.risk.point);
+        out += ", \"options\": " +
+               serializeUncertaintyOptions(request.risk.options);
+        out += ", \"gates\": [";
+        for (std::size_t i = 0; i < request.risk.gates.size(); ++i) {
+            if (i > 0)
+                out += ", ";
+            out += serializeGate(request.risk.gates[i]);
+        }
+        out += "], \"quantiles\": [";
+        for (std::size_t i = 0; i < request.risk.quantiles.size();
+             ++i) {
+            if (i > 0)
+                out += ", ";
+            out += jsonNumber(request.risk.quantiles[i]);
+        }
+        out += "]";
+    } else
         out += ", \"spec\": " + serializeSpec(request.spec);
     out += "}";
     return out;
@@ -737,6 +1122,86 @@ serializeCodesignReply(std::uint64_t id,
         if (i > 0)
             out += ", ";
         out += jsonNumber(outcome.bestSustainedFps[i]);
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+serializeExploreReply(std::uint64_t id,
+                      const explore::ExploreResult &result)
+{
+    std::string out = replyHead(id, true, "explore");
+    out += ", \"space_points\": " +
+           std::to_string(result.spacePoints);
+    out += ", \"evaluations\": " +
+           std::to_string(result.evaluations());
+    out += ", \"rounds\": " + std::to_string(result.rounds.size());
+    out += result.converged ? ", \"converged\": true"
+                            : ", \"converged\": false";
+    out += ", \"frontier\": [";
+    for (std::size_t i = 0; i < result.frontier.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        const DesignResult &res = result.points[result.frontier[i]];
+        out += "{\"point\": " + serializePoint(res.inputs);
+        out += ", \"result\": " + serializeResult(res) + "}";
+    }
+    out += "], \"incumbent\": ";
+    if (result.incumbent < result.points.size()) {
+        const DesignResult &best = result.points[result.incumbent];
+        out += "{\"point\": " + serializePoint(best.inputs);
+        out += ", \"result\": " + serializeResult(best) + "}";
+    } else {
+        out += "null";
+    }
+    out += "}";
+    return out;
+}
+
+std::string
+serializeRiskReply(std::uint64_t id,
+                   const explore::RiskOutcome &outcome,
+                   const std::vector<double> &quantiles)
+{
+    const explore::UncertaintyResult &unc = outcome.uncertainty;
+    std::string out = replyHead(id, true, "risk");
+    out += ", \"nominal\": " + serializeResult(unc.nominal);
+    out += ", \"samples\": " + std::to_string(unc.samples);
+    out += ", \"feasible_samples\": " +
+           std::to_string(unc.feasibleSamples);
+    out += ", \"feasible_fraction\": " +
+           jsonNumber(unc.feasibleFraction());
+    out += ", \"gates\": [";
+    for (std::size_t i = 0; i < outcome.report.gates.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        const explore::GateOutcome &gate = outcome.report.gates[i];
+        std::string entry = serializeGate(gate.spec);
+        entry.pop_back(); // reopen the gate object
+        entry += ", \"probability\": " + jsonNumber(gate.probability);
+        entry += gate.pass ? ", \"pass\": true}" : ", \"pass\": false}";
+        out += entry;
+    }
+    out += outcome.report.allPass ? "], \"all_pass\": true"
+                                  : "], \"all_pass\": false";
+    // Quantiles read off the feasible-sample ECDFs; with nothing
+    // feasible there is no distribution to read, so the list is
+    // empty regardless of what was requested.
+    out += ", \"quantiles\": [";
+    if (!unc.flightTimeMin.empty()) {
+        for (std::size_t i = 0; i < quantiles.size(); ++i) {
+            if (i > 0)
+                out += ", ";
+            out += "{\"q\": " + jsonNumber(quantiles[i]);
+            out += ", \"flight_time_min\": " +
+                   jsonNumber(unc.flightTimeMin.quantile(
+                       quantiles[i]));
+            out += ", \"total_weight_g\": " +
+                   jsonNumber(
+                       unc.totalWeightG.quantile(quantiles[i]));
+            out += "}";
+        }
     }
     out += "]}";
     return out;

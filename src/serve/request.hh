@@ -15,6 +15,12 @@
  *   codesign — a `codesign::MissionSpec`; the reply carries the
  *              recommended compute configuration plus the
  *              per-platform and per-split frontiers
+ *   explore  — an `explore::ExploreQuery` (typed space + budget
+ *              options); the reply carries the adaptive Pareto
+ *              frontier, the round ledger, and the incumbent
+ *   risk     — an `explore::RiskQuery` (one point + uncertainty
+ *              options + gates); the reply carries the gate report
+ *              and requested flight-time/weight quantiles
  *
  * Every reply echoes the request id and carries either `"ok": true`
  * with results or `"ok": false` with a typed error
@@ -39,6 +45,8 @@
 
 #include "codesign/codesign.hh"
 #include "dse/sweep.hh"
+#include "explore/driver.hh"
+#include "explore/gate.hh"
 
 namespace dronedse::serve {
 
@@ -49,6 +57,8 @@ enum class QueryKind
     Sweep,
     Pareto,
     Codesign,
+    Explore,
+    Risk,
 };
 
 /** Admission classes: interactive outranks batch under shed. */
@@ -92,6 +102,10 @@ struct Request
     SweepSpec spec;
     /** Valid when kind == Codesign. */
     codesign::MissionSpec mission;
+    /** Valid when kind == Explore. */
+    explore::ExploreQuery explore;
+    /** Valid when kind == Risk. */
+    explore::RiskQuery risk;
 };
 
 /** Payload of an error reply. */
@@ -130,6 +144,13 @@ serializeParetoReply(std::uint64_t id,
 std::string
 serializeCodesignReply(std::uint64_t id,
                        const codesign::CodesignOutcome &outcome);
+std::string
+serializeExploreReply(std::uint64_t id,
+                      const explore::ExploreResult &result);
+/** `quantiles` echoes the request's list (values read off the ECDF). */
+std::string serializeRiskReply(std::uint64_t id,
+                               const explore::RiskOutcome &outcome,
+                               const std::vector<double> &quantiles);
 
 } // namespace dronedse::serve
 

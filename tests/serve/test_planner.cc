@@ -7,6 +7,9 @@
 #include <vector>
 
 #include "engine/engine.hh"
+#include "explore/driver.hh"
+#include "explore/gate.hh"
+#include "explore/space.hh"
 
 using namespace dronedse;
 using namespace dronedse::serve;
@@ -34,6 +37,39 @@ validDesign(std::uint64_t id)
     Request request;
     request.id = id;
     request.kind = QueryKind::Design;
+    return request;
+}
+
+Request
+validExplore(std::uint64_t id)
+{
+    Request request;
+    request.id = id;
+    request.kind = QueryKind::Explore;
+    request.explore.space.axes = {
+        explore::capacityAxis(Quantity<MilliampHours>(1500.0),
+                              Quantity<MilliampHours>(500.0), 6),
+        explore::cellsAxis({3, 4}),
+    };
+    request.explore.options.sampler = explore::SamplerKind::Grid;
+    request.explore.options.initialSamples = 4;
+    request.explore.options.maxEvaluations = 12;
+    return request;
+}
+
+Request
+validRisk(std::uint64_t id)
+{
+    Request request;
+    request.id = id;
+    request.kind = QueryKind::Risk;
+    request.risk.point.capacityMah =
+        Quantity<MilliampHours>(2200.0);
+    request.risk.options.samples = 64;
+    request.risk.gates = {explore::GateSpec{
+        explore::GateMetric::FlightTimeMin, explore::GateOp::AtLeast,
+        5.0, 0.5}};
+    request.risk.quantiles = {0.5};
     return request;
 }
 
@@ -167,6 +203,159 @@ TEST(ServePlanner, ConcurrentIdenticalSweepsCoalesce)
     // cache hits.
     const engine::CacheCounters cache = engine.cacheCounters();
     EXPECT_EQ(cache.misses, request.spec.pointCount());
+}
+
+TEST(ServePlanner, AcceptsValidExploreAndRiskQueries)
+{
+    engine::SweepEngine engine{engine::EngineOptions{.threads = 1}};
+    QueryPlanner planner{engine};
+    ErrorReply err;
+    EXPECT_TRUE(planner.validate(validExplore(1), err))
+        << err.message;
+    EXPECT_TRUE(planner.validate(validRisk(2), err)) << err.message;
+}
+
+TEST(ServePlanner, RejectsExploreAndRiskViolations)
+{
+    engine::SweepEngine engine{engine::EngineOptions{.threads = 1}};
+    QueryPlanner planner{engine};
+
+    const auto rejected = [&](const Request &request,
+                              const char *label) {
+        ErrorReply err;
+        EXPECT_FALSE(planner.validate(request, err)) << label;
+        EXPECT_EQ(err.code, ErrorCode::InvalidRequest) << label;
+    };
+
+    // Everything the explore/risk layer would fatal() on must be
+    // pre-rejected here: an admitted request can never crash the
+    // worker.
+    Request r = validExplore(1);
+    r.explore.space.axes.clear();
+    rejected(r, "empty space");
+
+    r = validExplore(2);
+    r.explore.space.axes.push_back(explore::cellsAxis({3}));
+    rejected(r, "duplicate axis kind");
+
+    r = validExplore(3);
+    r.explore.options.maxEvaluations = 0;
+    rejected(r, "zero evaluation budget");
+
+    r = validExplore(4);
+    r.explore.options.maxEvaluations = 1u << 30;
+    rejected(r, "budget over the service cap");
+
+    r = validExplore(5);
+    r.explore.options.initialSamples = 0;
+    rejected(r, "zero initial samples");
+
+    r = validExplore(6);
+    r.explore.options.roundEvaluations = 0;
+    rejected(r, "zero round evaluations");
+
+    r = validExplore(7);
+    r.explore.space.axes[0] =
+        explore::capacityAxis(Quantity<MilliampHours>(-100.0),
+                              Quantity<MilliampHours>(50.0), 3);
+    rejected(r, "negative capacity axis");
+
+    r = validExplore(8);
+    r.explore.space.base.twr = 50.0;
+    rejected(r, "base twr out of range");
+
+    r = validRisk(9);
+    r.risk.options.samples = 0;
+    rejected(r, "zero samples");
+
+    r = validRisk(10);
+    r.risk.options.samples = 1u << 30;
+    rejected(r, "samples over the service cap");
+
+    r = validRisk(11);
+    r.risk.options.scatterReplicates = 1;
+    rejected(r, "scatter replicates below 2");
+
+    r = validRisk(12);
+    r.risk.quantiles = {1.5};
+    rejected(r, "quantile outside [0, 1]");
+
+    r = validRisk(13);
+    r.risk.gates[0].minProbability = -0.5;
+    rejected(r, "gate probability outside [0, 1]");
+
+    EXPECT_EQ(planner.stats().executed, 0u);
+}
+
+TEST(ServePlanner, ExploreExecuteMatchesDriverRun)
+{
+    engine::SweepEngine engine{engine::EngineOptions{.threads = 1}};
+    QueryPlanner planner{engine};
+    const Request request = validExplore(41);
+
+    // An identical driver run over an identical engine must produce
+    // the byte-identical reply (exploration is deterministic; the
+    // planner adds nothing but serialization).
+    engine::SweepEngine oracle_engine{
+        engine::EngineOptions{.threads = 1}};
+    explore::AdaptiveDriver driver(oracle_engine,
+                                   request.explore.options);
+    const explore::ExploreResult expected =
+        driver.run(request.explore.space);
+
+    const std::string reply = planner.execute(request);
+    EXPECT_EQ(reply, serializeExploreReply(request.id, expected));
+    EXPECT_NE(reply.find("\"frontier\""), std::string::npos);
+    EXPECT_NE(reply.find("\"converged\""), std::string::npos);
+}
+
+TEST(ServePlanner, RiskExecuteCarriesGatesAndQuantiles)
+{
+    engine::SweepEngine engine{engine::EngineOptions{.threads = 1}};
+    QueryPlanner planner{engine};
+    const Request request = validRisk(43);
+
+    const explore::RiskOutcome expected =
+        explore::runRiskQuery(request.risk);
+    const std::string reply = planner.execute(request);
+    EXPECT_EQ(reply, serializeRiskReply(request.id, expected,
+                                        request.risk.quantiles));
+    EXPECT_NE(reply.find("\"feasible_fraction\""),
+              std::string::npos);
+    EXPECT_NE(reply.find("\"flight_time_min\""), std::string::npos);
+    EXPECT_NE(reply.find("\"all_pass\""), std::string::npos);
+}
+
+TEST(ServePlanner, ConcurrentIdenticalExploresCoalesce)
+{
+    engine::SweepEngine engine{engine::EngineOptions{.threads = 2}};
+    QueryPlanner planner{engine};
+    const Request request = validExplore(51);
+    constexpr int kCallers = 6;
+
+    std::vector<std::string> replies(kCallers);
+    std::vector<std::thread> threads;
+    threads.reserve(kCallers);
+    for (int i = 0; i < kCallers; ++i)
+        threads.emplace_back([&, i] {
+            replies[static_cast<std::size_t>(i)] =
+                planner.execute(request);
+        });
+    for (std::thread &t : threads)
+        t.join();
+
+    for (int i = 1; i < kCallers; ++i)
+        EXPECT_EQ(replies[static_cast<std::size_t>(i)], replies[0]);
+
+    const PlannerStats stats = planner.stats();
+    EXPECT_EQ(stats.executed, static_cast<std::uint64_t>(kCallers));
+    EXPECT_GE(stats.batchesLed, 1u);
+    EXPECT_EQ(stats.batchesLed + stats.coalesced,
+              static_cast<std::uint64_t>(kCallers));
+    // Whatever the leader/follower split, no caller re-solved a
+    // design: every run after the first is pure cache hits.
+    const engine::CacheCounters cache = engine.cacheCounters();
+    EXPECT_LE(cache.misses, request.explore.options.maxEvaluations);
 }
 
 TEST(ServePlanner, ConcurrentRunsAreSerializedByTheEngine)

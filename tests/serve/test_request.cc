@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "explore/space.hh"
 #include "serve/service.hh"
 #include "util/rng.hh"
 
@@ -38,6 +39,39 @@ sweepRequest(std::uint64_t id)
     request.spec.capacityLoMah = Quantity<MilliampHours>(2000.0);
     request.spec.capacityHiMah = Quantity<MilliampHours>(4000.0);
     request.spec.capacityStepMah = Quantity<MilliampHours>(500.0);
+    return request;
+}
+
+Request
+exploreRequest(std::uint64_t id)
+{
+    Request request;
+    request.id = id;
+    request.kind = QueryKind::Explore;
+    request.explore.space.axes = {
+        explore::capacityAxis(Quantity<MilliampHours>(1000.0),
+                              Quantity<MilliampHours>(500.0), 5),
+        explore::cellsAxis({3, 4}),
+        explore::twrAxis(2.0, 0.5, 3),
+    };
+    request.explore.options.maxEvaluations = 20;
+    request.explore.options.initialSamples = 8;
+    return request;
+}
+
+Request
+riskRequest(std::uint64_t id)
+{
+    Request request;
+    request.id = id;
+    request.kind = QueryKind::Risk;
+    request.risk.point.capacityMah =
+        Quantity<MilliampHours>(2200.0);
+    request.risk.options.samples = 64;
+    request.risk.gates = {explore::GateSpec{
+        explore::GateMetric::FlightTimeMin, explore::GateOp::AtLeast,
+        10.0, 0.9}};
+    request.risk.quantiles = {0.1, 0.5, 0.9};
     return request;
 }
 
@@ -147,6 +181,175 @@ TEST(ServeRequest, FuzzSerializeParseSerialize)
         EXPECT_EQ(serializeRequest(parsed), once)
             << "trial " << trial;
     }
+}
+
+TEST(ServeRequest, ExploreRoundTripIsByteIdentical)
+{
+    Request original = exploreRequest(13);
+    // Exercise every axis kind in one frame.
+    original.explore.space.axes.push_back(
+        explore::wheelbaseAxis(Quantity<Millimeters>(300.0),
+                               Quantity<Millimeters>(50.0), 4));
+    original.explore.space.axes.push_back(
+        explore::boardAxis({ComputeBoardRecord{
+            "Basic 3W chip", BoardClass::Basic, 20.0, 3.0}}));
+    original.explore.space.axes.push_back(explore::activityAxis(
+        {FlightActivity::Hovering, FlightActivity::Maneuvering}));
+    original.explore.space.axes.push_back(explore::payloadAxis(
+        Quantity<Grams>(0.0), Quantity<Grams>(100.0), 3));
+    original.explore.options.sampler = explore::SamplerKind::Grid;
+    original.explore.options.seed = 99;
+
+    const std::string frame = serializeRequest(original);
+    Request parsed;
+    ErrorReply err;
+    ASSERT_TRUE(parseRequest(frame, parsed, err)) << err.message;
+    EXPECT_EQ(parsed.kind, QueryKind::Explore);
+    EXPECT_EQ(parsed.explore.space.axes.size(), 7u);
+    EXPECT_EQ(parsed.explore.options.sampler,
+              explore::SamplerKind::Grid);
+    EXPECT_EQ(parsed.explore.options.seed, 99u);
+    EXPECT_EQ(serializeRequest(parsed), frame);
+}
+
+TEST(ServeRequest, RiskRoundTripIsByteIdentical)
+{
+    const Request original = riskRequest(17);
+    const std::string frame = serializeRequest(original);
+    Request parsed;
+    ErrorReply err;
+    ASSERT_TRUE(parseRequest(frame, parsed, err)) << err.message;
+    EXPECT_EQ(parsed.kind, QueryKind::Risk);
+    ASSERT_EQ(parsed.risk.gates.size(), 1u);
+    EXPECT_EQ(parsed.risk.gates[0].metric,
+              explore::GateMetric::FlightTimeMin);
+    EXPECT_EQ(parsed.risk.gates[0].op, explore::GateOp::AtLeast);
+    EXPECT_EQ(parsed.risk.quantiles,
+              (std::vector<double>{0.1, 0.5, 0.9}));
+    EXPECT_EQ(serializeRequest(parsed), frame);
+}
+
+TEST(ServeRequest, ExploreOptionsDefaultsSurviveOmission)
+{
+    // An explore frame with only a space: every option keeps its
+    // compiled-in default, and the canonical form round-trips.
+    Request parsed;
+    ErrorReply err;
+    ASSERT_TRUE(parseRequest(
+        "{\"id\": 5, \"kind\": \"explore\", \"space\": {\"axes\": "
+        "[{\"axis\": \"cells\", \"values\": [3, 4]}]}}",
+        parsed, err))
+        << err.message;
+    const explore::ExploreOptions defaults;
+    EXPECT_EQ(parsed.explore.options.sampler, defaults.sampler);
+    EXPECT_EQ(parsed.explore.options.seed, defaults.seed);
+    EXPECT_EQ(parsed.explore.options.initialSamples,
+              defaults.initialSamples);
+    EXPECT_EQ(parsed.explore.options.roundEvaluations,
+              defaults.roundEvaluations);
+    EXPECT_EQ(parsed.explore.options.maxEvaluations,
+              defaults.maxEvaluations);
+    const std::string canonical = serializeRequest(parsed);
+    Request reparsed;
+    ASSERT_TRUE(parseRequest(canonical, reparsed, err))
+        << err.message;
+    EXPECT_EQ(serializeRequest(reparsed), canonical);
+}
+
+TEST(ServeRequest, FuzzExploreAndRiskSerializeParseSerialize)
+{
+    Rng rng(4242);
+    for (int trial = 0; trial < 200; ++trial) {
+        Request request;
+        request.id = static_cast<std::uint64_t>(
+            rng.uniformInt(0, 1'000'000'000));
+        if (rng.uniform() < 0.5) {
+            request.kind = QueryKind::Explore;
+            request.explore.space.axes.push_back(
+                explore::capacityAxis(
+                    Quantity<MilliampHours>(
+                        rng.uniform(500.0, 3000.0)),
+                    Quantity<MilliampHours>(
+                        rng.uniform(50.0, 500.0)),
+                    static_cast<std::size_t>(
+                        rng.uniformInt(1, 12))));
+            if (rng.uniform() < 0.5)
+                request.explore.space.axes.push_back(
+                    explore::cellsAxis(
+                        {static_cast<int>(rng.uniformInt(1, 6))}));
+            if (rng.uniform() < 0.5)
+                request.explore.space.axes.push_back(
+                    explore::twrAxis(rng.uniform(1.5, 3.0),
+                                     rng.uniform(0.1, 1.0),
+                                     static_cast<std::size_t>(
+                                         rng.uniformInt(1, 5))));
+            request.explore.options.seed = static_cast<std::uint64_t>(
+                rng.uniformInt(0, 1 << 20));
+            request.explore.options.maxEvaluations =
+                static_cast<std::size_t>(rng.uniformInt(1, 5000));
+        } else {
+            request.kind = QueryKind::Risk;
+            request.risk.point.capacityMah = Quantity<MilliampHours>(
+                rng.uniform(500.0, 9000.0));
+            request.risk.point.twr = rng.uniform(1.0, 6.0);
+            request.risk.options.seed = static_cast<std::uint64_t>(
+                rng.uniformInt(0, 1 << 20));
+            request.risk.options.samples = static_cast<std::size_t>(
+                rng.uniformInt(1, 2048));
+            const int n_gates =
+                static_cast<int>(rng.uniformInt(0, 3));
+            for (int g = 0; g < n_gates; ++g)
+                request.risk.gates.push_back(explore::GateSpec{
+                    rng.uniform() < 0.5
+                        ? explore::GateMetric::FlightTimeMin
+                        : explore::GateMetric::TotalWeightG,
+                    rng.uniform() < 0.5 ? explore::GateOp::AtLeast
+                                        : explore::GateOp::AtMost,
+                    rng.uniform(1.0, 1000.0),
+                    rng.uniform(0.0, 1.0)});
+            const int n_q = static_cast<int>(rng.uniformInt(0, 4));
+            for (int q = 0; q < n_q; ++q)
+                request.risk.quantiles.push_back(
+                    rng.uniform(0.0, 1.0));
+        }
+        const std::string once = serializeRequest(request);
+        Request parsed;
+        ErrorReply err;
+        ASSERT_TRUE(parseRequest(once, parsed, err))
+            << "trial " << trial << ": " << err.message << "\n"
+            << once;
+        EXPECT_EQ(serializeRequest(parsed), once)
+            << "trial " << trial;
+    }
+}
+
+TEST(ServeRequest, MalformedExploreAndRiskFrames)
+{
+    const auto rejected = [](const std::string &frame,
+                             const char *label) {
+        Request parsed;
+        ErrorReply err;
+        EXPECT_FALSE(parseRequest(frame, parsed, err)) << label;
+        EXPECT_EQ(err.code, ErrorCode::InvalidRequest) << label;
+    };
+    rejected("{\"id\": 1, \"kind\": \"explore\"}", "missing space");
+    rejected("{\"id\": 1, \"kind\": \"explore\", \"space\": "
+             "{\"axes\": \"all\"}}",
+             "axes not an array");
+    rejected("{\"id\": 1, \"kind\": \"explore\", \"space\": "
+             "{\"axes\": [{\"axis\": \"warp\"}]}}",
+             "unknown axis kind");
+    rejected("{\"id\": 1, \"kind\": \"explore\", \"space\": "
+             "{\"axes\": [{\"axis\": \"cells\", \"values\": [3]}]}, "
+             "\"options\": {\"sampler\": \"psychic\"}}",
+             "unknown sampler");
+    rejected("{\"id\": 1, \"kind\": \"risk\"}", "missing point");
+    rejected("{\"id\": 1, \"kind\": \"risk\", \"point\": {}, "
+             "\"quantiles\": [\"median\"]}",
+             "quantile not a number");
+    rejected("{\"id\": 1, \"kind\": \"risk\", \"point\": {}, "
+             "\"gates\": [{\"metric\": \"karma\"}]}",
+             "unknown gate metric");
 }
 
 // --- malformed-frame battery (ISSUE 5 satellite) -------------------

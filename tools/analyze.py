@@ -83,6 +83,7 @@ DETERMINISTIC_PATHS = (
     "src/serve",
     "src/codesign",
     "src/fleet",
+    "src/explore",
 )
 
 ALLOW_MARKER_RE = re.compile(r"analyze:allow\((\w+)\)")
